@@ -1,0 +1,244 @@
+package tensordimm_test
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates the corresponding artifact through the same driver the CLI
+// tools use, and reports the artifact's headline quantity as a custom
+// metric so `go test -bench` output doubles as a reproduction record.
+//
+// The DRAM-simulation benches (Fig11/Fig12) replay full command-level
+// traces and therefore run one iteration each at the default -benchtime.
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"tensordimm"
+	"tensordimm/internal/core"
+	"tensordimm/internal/experiments"
+	"tensordimm/internal/power"
+	"tensordimm/internal/recsys"
+	"tensordimm/internal/stats"
+)
+
+func mustFloat(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkFig03ModelSize regenerates Figure 3 (NCF model size growth) and
+// reports the largest configuration's size in GB.
+func BenchmarkFig03ModelSize(b *testing.B) {
+	var largest float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3()
+		rows := r.Table.Rows
+		largest = mustFloat(b, rows[len(rows)-1][len(rows[0])-1])
+	}
+	b.ReportMetric(largest, "GB-largest-model")
+}
+
+// BenchmarkFig04Baselines regenerates Figure 4 and reports the geomean
+// slowdown of the CPU-only baseline vs the GPU-only oracle.
+func BenchmarkFig04Baselines(b *testing.B) {
+	p := core.DefaultPlatform()
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(p)
+		last := r.Table.Rows[len(r.Table.Rows)-1]
+		slowdown = 1 / mustFloat(b, last[2])
+	}
+	b.ReportMetric(slowdown, "x-cpuonly-slowdown")
+}
+
+// BenchmarkTab01NodeConfig regenerates Table 1 and reports the TensorNode
+// aggregate bandwidth.
+func BenchmarkTab01NodeConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Tab1()
+	}
+	b.ReportMetric(core.DefaultPlatform().NodePeakGBs(), "GB/s-node-peak")
+}
+
+// BenchmarkTab02Benchmarks regenerates Table 2.
+func BenchmarkTab02Benchmarks(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = len(experiments.Tab2().Table.Rows)
+	}
+	b.ReportMetric(float64(rows), "benchmarks")
+}
+
+// BenchmarkFig11Bandwidth replays the tensor-op DRAM traces of Figure 11
+// (trimmed batch sweep) and reports the peak TensorNode bandwidth and the
+// TensorNode/CPU mean ratio.
+func BenchmarkFig11Bandwidth(b *testing.B) {
+	var peak, ratio float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11(experiments.ScaleQuick)
+		last := r.Table.Rows[len(r.Table.Rows)-1]
+		var cpuVals, nodeVals []float64
+		for c := 1; c <= 3; c++ {
+			cpuVals = append(cpuVals, mustFloat(b, last[c]))
+			nodeVals = append(nodeVals, mustFloat(b, last[c+3]))
+		}
+		for _, v := range nodeVals {
+			if v > peak {
+				peak = v
+			}
+		}
+		ratio = stats.Mean(nodeVals) / stats.Mean(cpuVals)
+	}
+	b.ReportMetric(peak, "GB/s-node-max")
+	b.ReportMetric(ratio, "x-node-vs-cpu")
+}
+
+// BenchmarkFig12Scaling replays the DIMM-count scaling study of Figure 12
+// and reports the TensorNode throughput at 128 DIMMs.
+func BenchmarkFig12Scaling(b *testing.B) {
+	var at128 float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12(experiments.ScaleQuick)
+		for _, row := range r.Table.Rows {
+			if row[0] == "REDUCE" && row[1] == "128" {
+				at128 = mustFloat(b, row[4])
+			}
+		}
+	}
+	b.ReportMetric(at128, "GB/s-at-128DIMMs")
+}
+
+// BenchmarkFig13Breakdown regenerates the latency breakdowns of Figure 13
+// and reports TDIMM's batch-64 latency on the Facebook workload.
+func BenchmarkFig13Breakdown(b *testing.B) {
+	p := core.DefaultPlatform()
+	var us float64
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig13(p)
+		us = core.Simulate(core.TDIMM, recsys.Facebook(), 64, p).TotalS() * 1e6
+	}
+	b.ReportMetric(us, "us-tdimm-facebook")
+}
+
+// BenchmarkFig14Performance regenerates Figure 14 and reports TDIMM's
+// geomean fraction of the GPU-only oracle (paper: 0.84).
+func BenchmarkFig14Performance(b *testing.B) {
+	p := core.DefaultPlatform()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14(p)
+		last := r.Table.Rows[len(r.Table.Rows)-1]
+		frac = mustFloat(b, last[5])
+	}
+	b.ReportMetric(frac, "frac-of-oracle")
+}
+
+// BenchmarkFig15LargeEmbeddings regenerates Figure 15 and reports the
+// batch-64 TDIMM speedup over CPU-only at 8x embeddings (paper: ~15x).
+func BenchmarkFig15LargeEmbeddings(b *testing.B) {
+	p := core.DefaultPlatform()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig15(p)
+		for _, row := range r.Table.Rows {
+			if row[0] == "8x" && row[1] == "64" {
+				speedup = mustFloat(b, row[2])
+			}
+		}
+	}
+	b.ReportMetric(speedup, "x-8x-embeddings")
+}
+
+// BenchmarkFig16LinkSensitivity regenerates Figure 16 and reports how much
+// performance PMEM and TDIMM retain at 25 GB/s links (paper: 0.32 vs 0.85+).
+func BenchmarkFig16LinkSensitivity(b *testing.B) {
+	p := core.DefaultPlatform()
+	var pmem, tdimm float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig16(p)
+		var pmems, tdimms []float64
+		for _, row := range r.Table.Rows {
+			v := mustFloat(b, row[2])
+			if row[0] == "PMEM" {
+				pmems = append(pmems, v)
+			} else {
+				tdimms = append(tdimms, v)
+			}
+		}
+		pmem, tdimm = stats.Geomean(pmems), stats.Geomean(tdimms)
+	}
+	b.ReportMetric(pmem, "frac-pmem-at-25GBs")
+	b.ReportMetric(tdimm, "frac-tdimm-at-25GBs")
+}
+
+// BenchmarkTab03FPGA regenerates Table 3 and reports the NMP core's total
+// LUT utilization percentage.
+func BenchmarkTab03FPGA(b *testing.B) {
+	var lut float64
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Tab3()
+		lut = power.NMPCoreTotal().LUTPct
+	}
+	b.ReportMetric(lut, "%LUT-nmp-core")
+}
+
+// BenchmarkPowerBudget regenerates the Section 6.5 power analysis and
+// reports the 32-DIMM TensorNode power (paper: 416 W).
+func BenchmarkPowerBudget(b *testing.B) {
+	var watts float64
+	for i := 0; i < b.N; i++ {
+		_ = experiments.PowerBudget()
+		watts = power.TensorNodeWatts(32, 0.45, 0.25)
+	}
+	b.ReportMetric(watts, "W-tensornode")
+}
+
+// BenchmarkNMPInference measures the functional near-memory inference path
+// (TensorISA on a software TensorNode) end to end.
+func BenchmarkNMPInference(b *testing.B) {
+	nd, err := tensordimm.NewNode(8, 32<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tensordimm.YouTube()
+	cfg.TableRows = 1000
+	cfg.EmbDim = 128
+	cfg.Reduction = 10
+	cfg.Hidden = []int{64, 32, 16, 8}
+	model, err := tensordimm.BuildModel(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := tensordimm.Deploy(model, nd, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, _ := tensordimm.NewWorkload(cfg.TableRows, tensordimm.Zipfian, 2)
+	indices := gen.Batch(cfg.Tables, 16, cfg.Reduction)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.Infer(indices, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyticEngine measures the latency-model evaluation itself.
+func BenchmarkAnalyticEngine(b *testing.B) {
+	p := core.DefaultPlatform()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range recsys.All() {
+			for _, dp := range core.DesignPoints() {
+				acc += core.Simulate(dp, cfg, 64, p).TotalS()
+			}
+		}
+	}
+	if math.IsNaN(acc) {
+		b.Fatal("NaN latency")
+	}
+}

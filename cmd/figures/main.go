@@ -1,0 +1,66 @@
+// Command figures regenerates every table and figure of the TensorDIMM
+// paper's evaluation, printing each and writing text + CSV files under the
+// output directory. This is the one-shot reproduction harness behind
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	figures [-full] [-out results]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tensordimm"
+)
+
+func main() {
+	var (
+		full = flag.Bool("full", false, "run the paper's full parameter sweeps (slower)")
+		out  = flag.String("out", "results", "output directory for .txt/.csv artifacts")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+
+	p := tensordimm.DefaultPlatform()
+	for _, res := range tensordimm.RunAllExperiments(p, *full) {
+		fmt.Println(strings.Repeat("=", 72))
+		fmt.Println(res.Table.String())
+		for _, n := range res.Notes {
+			fmt.Println("note:", n)
+		}
+
+		var sb strings.Builder
+		sb.WriteString(res.Table.String())
+		for _, n := range res.Notes {
+			fmt.Fprintf(&sb, "note: %s\n", n)
+		}
+		txt := filepath.Join(*out, res.ID+".txt")
+		if err := os.WriteFile(txt, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		csvPath := filepath.Join(*out, res.ID+".csv")
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := res.Table.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Printf("wrote %d artifacts to %s\n", len(tensordimm.Experiments()), *out)
+}

@@ -1,0 +1,72 @@
+// Command tensorsim reproduces a single table or figure of the TensorDIMM
+// paper and prints it (optionally also as CSV).
+//
+// Usage:
+//
+//	tensorsim -list
+//	tensorsim -experiment fig11 [-full] [-csv out.csv]
+//	tensorsim -experiment fig14 -link 50 -dimms 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tensordimm"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		id    = flag.String("experiment", "", "experiment id (fig3..fig16, tab1..tab3, power)")
+		full  = flag.Bool("full", false, "run the paper's full parameter sweep (slower)")
+		csv   = flag.String("csv", "", "also write the result table as CSV to this path")
+		link  = flag.Float64("link", 0, "override node-GPU link bandwidth in GB/s (Figure 16 style)")
+		dimms = flag.Int("dimms", 0, "override the number of TensorDIMMs in the node")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("available experiments:")
+		for _, e := range tensordimm.Experiments() {
+			fmt.Printf("  %s\n", e)
+		}
+		if *id == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	p := tensordimm.DefaultPlatform()
+	if *link > 0 {
+		p = p.WithNodeLinkGBs(*link)
+	}
+	if *dimms > 0 {
+		p = p.WithNodeDIMMs(*dimms)
+	}
+
+	res, err := tensordimm.RunExperiment(strings.ToLower(*id), p, *full)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tensorsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Table.String())
+	for _, n := range res.Notes {
+		fmt.Println("note:", n)
+	}
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tensorsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Table.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tensorsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("csv written to", *csv)
+	}
+}

@@ -1,0 +1,96 @@
+// Command tracegen emits the DRAM transaction stream of one TensorISA
+// operation, with each 64-byte request decomposed under the chosen address
+// mapping — the inspection tool for the Figure 11/12 methodology.
+//
+// Usage:
+//
+//	tracegen -op gather -batch 4 -reduction 2 -config tnode -n 32
+//	tracegen -op average -config cpu -summary
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"tensordimm/internal/addrmap"
+	"tensordimm/internal/dram"
+	"tensordimm/internal/trace"
+)
+
+func main() {
+	var (
+		op        = flag.String("op", "gather", "tensor operation: gather, reduce, average")
+		batch     = flag.Int("batch", 4, "inference batch size")
+		reduction = flag.Int("reduction", 2, "embeddings pooled per output")
+		dim       = flag.Int("dim", 512, "embedding dimension (float32 elements)")
+		config    = flag.String("config", "tnode", "memory organization: cpu (8ch x 4rk) or tnode (32 TensorDIMMs)")
+		maxLines  = flag.Int("n", 64, "maximum trace lines to print (0 = all)")
+		summary   = flag.Bool("summary", false, "replay the trace through the DRAM simulator and print bandwidth")
+		seed      = flag.Int64("seed", 1, "index generator seed")
+	)
+	flag.Parse()
+
+	var scheme *addrmap.Scheme
+	switch *config {
+	case "cpu":
+		scheme = addrmap.CPUBaseline(8, 4, 1<<16)
+	case "tnode":
+		scheme = addrmap.TensorDIMM(32, 1<<16)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown config %q (want cpu or tnode)\n", *config)
+		os.Exit(2)
+	}
+
+	g, err := trace.NewGenerator(*dim*4, 100_000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	n := *batch * *reduction
+	indices := make([]int, n)
+	for i := range indices {
+		indices[i] = rng.Intn(g.TableRows)
+	}
+	l := g.LayoutFor(scheme.Geom, 1, n)
+
+	var reqs []dram.Request
+	switch *op {
+	case "gather":
+		reqs = g.Gather(l, indices)
+	case "reduce":
+		reqs = g.Reduce(l, n)
+	case "average":
+		reqs = g.Average(l, *batch, *reduction)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown op %q (want gather, reduce, average)\n", *op)
+		os.Exit(2)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "# %s on %s: %d requests (batch %d, reduction %d, dim %d)\n",
+		*op, scheme.Name(), len(reqs), *batch, *reduction, *dim)
+	for i, r := range reqs {
+		if *maxLines > 0 && i >= *maxLines {
+			fmt.Fprintf(w, "# ... %d more requests\n", len(reqs)-i)
+			break
+		}
+		kind := "RD"
+		if r.Write {
+			kind = "WR"
+		}
+		fmt.Fprintf(w, "%s %#012x %s\n", kind, r.Phys, scheme.Map(r.Phys))
+	}
+
+	if *summary {
+		sys := dram.NewSystem(scheme, dram.DDR43200())
+		res := sys.Run(reqs)
+		fmt.Fprintf(w, "# bandwidth %.1f GB/s (util %.2f, row hit %.2f, %d ACT, %d REF)\n",
+			res.BandwidthGBs(sys.Timing), sys.Utilization(res), res.RowHitRate(),
+			res.Activates, res.Refreshes)
+	}
+}

@@ -1,0 +1,62 @@
+// Capacity: the provisioning study behind Figures 3 and 12 — how fast
+// recommender model size outgrows GPU memory as embeddings scale, and how a
+// TensorNode is provisioned (DIMM count, capacity, aggregate bandwidth,
+// power) to hold it.
+package main
+
+import (
+	"fmt"
+
+	"tensordimm"
+	"tensordimm/internal/power"
+	"tensordimm/internal/recsys"
+	"tensordimm/internal/stats"
+)
+
+func main() {
+	const users, items = 5_000_000, 5_000_000
+
+	fmt.Println("NCF model size vs embedding dimension (5M users + 5M items per table):")
+	fmt.Println("  emb dim   model size   fits a 32 GiB GPU?")
+	for _, dim := range []int{64, 256, 1024, 4096, 16384, 32768} {
+		bytes := recsys.NCFModelSizeBytes(1024, dim, users, items)
+		fits := "yes"
+		if bytes > 32<<30 {
+			fits = "no"
+		}
+		fmt.Printf("  %7d   %10s   %s\n", dim, stats.FormatBytes(bytes), fits)
+	}
+
+	// Provision a TensorNode for the largest configuration: 128 GiB
+	// LR-DIMMs (the paper's module), power from the Micron-style model.
+	const perDIMM = 128 << 30
+	fmt.Println("\nTensorNode provisioning for the 32768-dim model:")
+	model := recsys.NCFModelSizeBytes(1024, 32768, users, items)
+	dimms := int((model + perDIMM - 1) / perDIMM)
+	// Round up to a power of two for clean rank-interleaved striping.
+	n := 1
+	for n < dimms {
+		n *= 2
+	}
+	p := tensordimm.DefaultPlatform().WithNodeDIMMs(n)
+	fmt.Printf("  model size          %s\n", stats.FormatBytes(model))
+	fmt.Printf("  TensorDIMMs         %d x 128 GiB (rounded up to a power of two)\n", n)
+	fmt.Printf("  pool capacity       %s\n", stats.FormatBytes(int64(n)*perDIMM))
+	fmt.Printf("  aggregate bandwidth %.1f GB/s (vs 204.8 GB/s on any CPU host)\n", p.NodePeakGBs())
+	fmt.Printf("  node power          %.0f W (OCP accelerator envelope: 350-700 W per module)\n",
+		power.TensorNodeWatts(n, 0.45, 0.25))
+
+	// What the bandwidth scaling buys: batch-64 TDIMM lookup time on the
+	// YouTube workload with 8x embeddings, at different node sizes.
+	fmt.Println("\nTDIMM embedding-layer time (YouTube, 8x embeddings, batch 64) vs node size:")
+	cfg := tensordimm.YouTube()
+	cfg = cfg.WithEmbDim(cfg.EmbDim * 8)
+	for _, nd := range []int{32, 64, 128} {
+		pp := tensordimm.DefaultPlatform().WithNodeDIMMs(nd)
+		b := tensordimm.Simulate(tensordimm.TDIMM, cfg, 64, pp)
+		fmt.Printf("  %3d TensorDIMMs: lookup %s, total %s\n",
+			nd, stats.FormatSeconds(b.LookupS), stats.FormatSeconds(b.TotalS()))
+	}
+	fmt.Println("\nmemory capacity AND bandwidth scale together with the DIMM count —")
+	fmt.Println("the property conventional channels cannot offer (Figure 12).")
+}

@@ -1,0 +1,45 @@
+// Recsys: evaluate the paper's four production recommender workloads (NCF,
+// YouTube, Fox, Facebook) across the five system design points and print the
+// Figure 13/14-style latency breakdowns and speedups — the headline
+// experiment of the paper.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"tensordimm"
+)
+
+func main() {
+	p := tensordimm.DefaultPlatform()
+	const batch = 64
+
+	fmt.Printf("platform: %s host, %s GPU, %d-TensorDIMM node (%.1f GB/s) behind %.0f GB/s NVLink\n\n",
+		p.CPU.Name, p.GPU.Name, p.NodeDIMMs, p.NodePeakGBs(), p.NodeLink.BandwidthGBs)
+
+	var geo = map[tensordimm.DesignPoint]float64{}
+	for _, cfg := range tensordimm.Benchmarks() {
+		fmt.Printf("%s  (tables=%d reduction=%d FC=%d, %.1f MiB gathered per batch-%d inference)\n",
+			cfg.Name, cfg.Tables, cfg.Reduction, cfg.FCLayers,
+			float64(cfg.GatheredBytes(batch))/(1<<20), batch)
+		oracle := tensordimm.Simulate(tensordimm.GPUOnly, cfg, batch, p).TotalS()
+		for _, dp := range tensordimm.DesignPoints() {
+			b := tensordimm.Simulate(dp, cfg, batch, p)
+			norm := oracle / b.TotalS()
+			geo[dp] += math.Log(norm)
+			fmt.Printf("  %-8s total %8.1f us  (lookup %7.1f  memcpy %6.1f  dnn %6.1f  else %5.1f)  %4.2fx of oracle\n",
+				dp, b.TotalS()*1e6, b.LookupS*1e6, b.TransferS*1e6, b.DNNS*1e6, b.OtherS*1e6, norm)
+		}
+		fmt.Printf("  TDIMM speedup: %.1fx vs CPU-only, %.1fx vs CPU-GPU\n\n",
+			tensordimm.Speedup(tensordimm.TDIMM, tensordimm.CPUOnly, cfg, batch, p),
+			tensordimm.Speedup(tensordimm.TDIMM, tensordimm.CPUGPU, cfg, batch, p))
+	}
+
+	fmt.Println("geomean fraction of the GPU-only oracle (batch 64):")
+	for _, dp := range tensordimm.DesignPoints() {
+		fmt.Printf("  %-8s %.3f\n", dp, math.Exp(geo[dp]/4))
+	}
+	fmt.Println("\npaper reference: TDIMM reaches 84% of the oracle on average,")
+	fmt.Println("6.2-15.0x over CPU-only and 8.9-17.6x over the hybrid CPU-GPU.")
+}

@@ -1,0 +1,164 @@
+package tensordimm_test
+
+// Cross-plane integration tests: the functional plane (NMP cores executing
+// TensorISA over real data), the analytical traffic model (isa.RankTraffic)
+// and the performance plane (trace -> DRAM simulation) must all agree on
+// what one tensor operation does.
+
+import (
+	"math/rand"
+	"testing"
+
+	"tensordimm"
+	"tensordimm/internal/addrmap"
+	"tensordimm/internal/dram"
+	"tensordimm/internal/isa"
+	"tensordimm/internal/node"
+	"tensordimm/internal/trace"
+)
+
+// TestTrafficModelMatchesDatapath executes an AVERAGE on a real node and
+// checks that the NMP cores' block counters equal the ISA-level analytical
+// traffic model times the DIMM count.
+func TestTrafficModelMatchesDatapath(t *testing.T) {
+	const dimms = 8
+	nd, err := node.New(node.Config{DIMMs: dimms, PerDIMMBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 input stripes averaged 4-way into 4 output stripes.
+	in := isa.Average(0, 4, 1024, 4)
+	buf := make([]float32, 16*dimms*16)
+	for i := range buf {
+		buf[i] = float32(i % 11)
+	}
+	if err := nd.WriteFloats(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := nd.Execute(isa.Program{in}); err != nil {
+		t.Fatal(err)
+	}
+	want := in.RankTraffic()
+	got := nd.Stats()
+	if got.BlocksRead != want.ReadBlocks*dimms {
+		t.Fatalf("reads: datapath %d vs model %d x %d DIMMs", got.BlocksRead, want.ReadBlocks, dimms)
+	}
+	if got.BlocksWritten != want.WriteBlocks*dimms {
+		t.Fatalf("writes: datapath %d vs model %d x %d DIMMs", got.BlocksWritten, want.WriteBlocks, dimms)
+	}
+}
+
+// TestTraceMatchesTrafficModel checks that the DRAM trace generator emits
+// exactly the traffic the ISA model predicts for REDUCE (whole-node view).
+func TestTraceMatchesTrafficModel(t *testing.T) {
+	g, err := trace.NewGenerator(2048, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const embeddings = 24
+	l := g.DefaultLayout(1, embeddings)
+	reqs := g.Reduce(l, embeddings)
+	// REDUCE count in stripes: embeddings * stripesPerEmb; on the default
+	// 32-DIMM node one 2 KiB embedding is exactly one stripe.
+	in := isa.Reduce(isa.RAdd, 0, 0, 0, embeddings)
+	tr := in.RankTraffic()
+	var reads, writes uint64
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads != tr.ReadBlocks*32 || writes != tr.WriteBlocks*32 {
+		t.Fatalf("trace %d/%d vs model %d/%d x 32", reads, writes, tr.ReadBlocks, tr.WriteBlocks)
+	}
+}
+
+// TestExperimentsDeterministic ensures the analytic experiment drivers are
+// reproducible run to run (all randomness is seeded).
+func TestExperimentsDeterministic(t *testing.T) {
+	p := tensordimm.DefaultPlatform()
+	a, err := tensordimm.RunExperiment("fig14", p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tensordimm.RunExperiment("fig14", p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.String() != b.Table.String() {
+		t.Fatal("fig14 is not deterministic")
+	}
+}
+
+// TestBankStaggerAblation quantifies the bank-staggered region placement
+// DESIGN.md calls out: a naive back-to-back layout must lose substantial
+// REDUCE bandwidth on the TensorNode organization (three streams fighting
+// over 16 banks), and the staggered layout must recover it.
+func TestBankStaggerAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DRAM replay in -short mode")
+	}
+	g, err := trace.NewGenerator(2048, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := dram.NewSystem(addrmap.TensorDIMM(32, 1<<16), dram.DDR43200())
+	// 2048 embeddings x 2 KiB = 4 MiB per region: exactly one bank cycle
+	// under this mapping, so back-to-back regions collide bank-for-bank —
+	// the worst case a bank-oblivious allocator can produce.
+	const embeddings = 2048
+
+	staggered := g.LayoutFor(sys.Scheme.Geom, 1, embeddings)
+	bwStaggered := sys.Run(g.Reduce(staggered, embeddings)).BandwidthGBs(sys.Timing)
+
+	naive := staggered
+	span := uint64(embeddings) * uint64(g.EmbBytes)
+	naive.ScratchB = naive.ScratchA + span
+	naive.OutBase = naive.ScratchB + span
+	bwNaive := sys.Run(g.Reduce(naive, embeddings)).BandwidthGBs(sys.Timing)
+
+	if bwStaggered < bwNaive*1.15 {
+		t.Fatalf("staggering gains only %.0f -> %.0f GB/s; expected a clear win",
+			bwNaive, bwStaggered)
+	}
+	t.Logf("REDUCE bandwidth: naive %.0f GB/s, bank-staggered %.0f GB/s", bwNaive, bwStaggered)
+}
+
+// TestZipfianVsUniformRowLocality probes an extension beyond the paper:
+// skewed (Zipfian) lookups concentrate on hot table rows, which raises the
+// DRAM row-hit rate of GATHER compared to uniform traffic.
+func TestZipfianVsUniformRowLocality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DRAM replay in -short mode")
+	}
+	g, err := trace.NewGenerator(2048, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := dram.NewSystem(addrmap.TensorDIMM(32, 1<<16), dram.DDR43200())
+	l := g.DefaultLayout(1, 2000)
+
+	hitRate := func(dist int) float64 {
+		rng := rand.New(rand.NewSource(99))
+		indices := make([]int, 2000)
+		if dist == 0 {
+			for i := range indices {
+				indices[i] = rng.Intn(g.TableRows)
+			}
+		} else {
+			z := rand.NewZipf(rng, 1.3, 1, uint64(g.TableRows-1))
+			for i := range indices {
+				indices[i] = int(z.Uint64())
+			}
+		}
+		return sys.Run(g.Gather(l, indices)).RowHitRate()
+	}
+	uniform := hitRate(0)
+	zipf := hitRate(1)
+	if zipf <= uniform {
+		t.Fatalf("zipf hit rate %.2f must exceed uniform %.2f", zipf, uniform)
+	}
+	t.Logf("GATHER row-hit rate: uniform %.2f, zipfian %.2f", uniform, zipf)
+}

@@ -1,0 +1,270 @@
+// Package addrmap implements the physical-to-DRAM address mapping schemes of
+// the TensorDIMM paper (Section 4.4, Figure 7).
+//
+// Two schemes matter for the evaluation:
+//
+//   - The baseline CPU scheme: cache-line (64 B) interleaving across the eight
+//     memory channels of a DGX-class host, then bank-group/bank/rank bits, so
+//     streaming traffic extracts channel- and bank-level parallelism but the
+//     aggregate bandwidth is capped by the number of physical channels.
+//
+//   - The TensorDIMM scheme (Figure 7(a)): the rank (= TensorDIMM) bits sit
+//     directly above the 64-byte block offset, so consecutive 64-byte chunks
+//     of an embedding stripe across all TensorDIMMs. Every NMP core then owns
+//     an equal slice of every tensor, which is what makes the aggregate NMP
+//     bandwidth scale with the number of TensorDIMMs.
+//
+// A Scheme is an ordered list of bit fields above the 64-byte offset; Map
+// peels fields from the least-significant end of the block index. All
+// geometry dimensions must be powers of two.
+package addrmap
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BlockBytes is the interleaving granularity: one 64-byte DRAM burst.
+const BlockBytes = 64
+
+// Field identifies one component of a decomposed DRAM address.
+type Field int
+
+// Address components, from the perspective of a memory controller.
+const (
+	FieldChannel Field = iota
+	FieldRank
+	FieldBankGroup
+	FieldBank
+	FieldColumn
+	FieldRow
+	numFields
+)
+
+// String implements fmt.Stringer.
+func (f Field) String() string {
+	switch f {
+	case FieldChannel:
+		return "channel"
+	case FieldRank:
+		return "rank"
+	case FieldBankGroup:
+		return "bankgroup"
+	case FieldBank:
+		return "bank"
+	case FieldColumn:
+		return "column"
+	case FieldRow:
+		return "row"
+	default:
+		return fmt.Sprintf("field(%d)", int(f))
+	}
+}
+
+// Geometry describes the DRAM organization visible to a mapping scheme.
+// Columns counts 64-byte blocks per row (e.g. an 8 KiB rank row = 128).
+type Geometry struct {
+	Channels   int // independent memory channels
+	Ranks      int // ranks per channel (TensorDIMM: 1; CPU: DIMMs x ranks)
+	BankGroups int // bank groups per rank (DDR4: 4)
+	Banks      int // banks per bank group (DDR4: 4)
+	Rows       int // rows per bank
+	Columns    int // 64-byte blocks per row
+}
+
+// Validate checks that all dimensions are positive powers of two.
+func (g Geometry) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"Channels", g.Channels}, {"Ranks", g.Ranks}, {"BankGroups", g.BankGroups},
+		{"Banks", g.Banks}, {"Rows", g.Rows}, {"Columns", g.Columns},
+	} {
+		if d.v <= 0 || d.v&(d.v-1) != 0 {
+			return fmt.Errorf("addrmap: %s = %d must be a positive power of two", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// size returns the number of values field f can take under g.
+func (g Geometry) size(f Field) int {
+	switch f {
+	case FieldChannel:
+		return g.Channels
+	case FieldRank:
+		return g.Ranks
+	case FieldBankGroup:
+		return g.BankGroups
+	case FieldBank:
+		return g.Banks
+	case FieldColumn:
+		return g.Columns
+	case FieldRow:
+		return g.Rows
+	default:
+		return 1
+	}
+}
+
+// TotalBytes returns the capacity addressed by the geometry.
+func (g Geometry) TotalBytes() uint64 {
+	return uint64(g.Channels) * uint64(g.Ranks) * uint64(g.BankGroups) *
+		uint64(g.Banks) * uint64(g.Rows) * uint64(g.Columns) * BlockBytes
+}
+
+// Addr is a fully decomposed DRAM address.
+type Addr struct {
+	Channel   int
+	Rank      int
+	BankGroup int
+	Bank      int
+	Row       int
+	Column    int
+}
+
+// String implements fmt.Stringer.
+func (a Addr) String() string {
+	return fmt.Sprintf("ch%d/rk%d/bg%d/ba%d/row%#x/col%d",
+		a.Channel, a.Rank, a.BankGroup, a.Bank, a.Row, a.Column)
+}
+
+// Scheme maps physical byte addresses to DRAM coordinates. Order lists the
+// fields from least-significant (just above the 64 B offset) to most-
+// significant. Every field must appear exactly once.
+type Scheme struct {
+	Geom  Geometry
+	Order []Field
+	name  string
+}
+
+// New builds a scheme after validating the geometry and field order.
+func New(name string, g Geometry, order []Field) (*Scheme, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(order) != int(numFields) {
+		return nil, fmt.Errorf("addrmap: order has %d fields, want %d", len(order), numFields)
+	}
+	var seen [numFields]bool
+	for _, f := range order {
+		if f < 0 || f >= numFields {
+			return nil, fmt.Errorf("addrmap: unknown field %d", f)
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("addrmap: duplicate field %s", f)
+		}
+		seen[f] = true
+	}
+	o := make([]Field, len(order))
+	copy(o, order)
+	return &Scheme{Geom: g, Order: o, name: name}, nil
+}
+
+// MustNew is New but panics on error; for package-level presets.
+func MustNew(name string, g Geometry, order []Field) *Scheme {
+	s, err := New(name, g, order)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the scheme's human-readable name.
+func (s *Scheme) Name() string { return s.name }
+
+// Map decomposes a physical byte address. Addresses beyond the geometry's
+// capacity wrap (the row field simply truncates), which keeps Map total; the
+// trace generators always stay within capacity.
+func (s *Scheme) Map(phys uint64) Addr {
+	block := phys / BlockBytes
+	var a Addr
+	for _, f := range s.Order {
+		n := uint64(s.Geom.size(f))
+		v := int(block % n)
+		block /= n
+		switch f {
+		case FieldChannel:
+			a.Channel = v
+		case FieldRank:
+			a.Rank = v
+		case FieldBankGroup:
+			a.BankGroup = v
+		case FieldBank:
+			a.Bank = v
+		case FieldColumn:
+			a.Column = v
+		case FieldRow:
+			a.Row = v
+		}
+	}
+	return a
+}
+
+// Unmap is the inverse of Map for in-capacity addresses; it returns the
+// physical byte address of the block at the given coordinates.
+func (s *Scheme) Unmap(a Addr) uint64 {
+	var block uint64
+	for i := len(s.Order) - 1; i >= 0; i-- {
+		f := s.Order[i]
+		n := uint64(s.Geom.size(f))
+		var v int
+		switch f {
+		case FieldChannel:
+			v = a.Channel
+		case FieldRank:
+			v = a.Rank
+		case FieldBankGroup:
+			v = a.BankGroup
+		case FieldBank:
+			v = a.Bank
+		case FieldColumn:
+			v = a.Column
+		case FieldRow:
+			v = a.Row
+		}
+		block = block*n + uint64(v)
+	}
+	return block * BlockBytes
+}
+
+// OffsetBits returns the number of address bits consumed below the mapping
+// (always 6 for 64-byte blocks); provided for documentation and tests.
+func OffsetBits() int { return bits.TrailingZeros(BlockBytes) }
+
+// CPUBaseline returns the mapping of a DGX-class CPU memory system:
+// `channels` memory channels with `ranks` ranks each (e.g. 8 channels x 4
+// ranks = 32 DIMMs, Section 6.1), cache-line interleaved across channels and
+// bank groups so a sequential stream saturates the channel bandwidth.
+// Field order (LSB->MSB): channel, bank group, column, bank, rank, row.
+func CPUBaseline(channels, ranks, rowsPerBank int) *Scheme {
+	g := Geometry{
+		Channels:   channels,
+		Ranks:      ranks,
+		BankGroups: 4,
+		Banks:      4,
+		Rows:       rowsPerBank,
+		Columns:    128, // 8 KiB rank row / 64 B
+	}
+	order := []Field{FieldChannel, FieldBankGroup, FieldColumn, FieldBank, FieldRank, FieldRow}
+	return MustNew(fmt.Sprintf("cpu-%dch-%drk", channels, ranks), g, order)
+}
+
+// TensorDIMM returns the rank-level-parallel mapping of Figure 7: the DIMM
+// index sits directly above the 64 B offset so consecutive blocks stripe
+// across all `dimms` TensorDIMMs. Each TensorDIMM owns a private channel
+// (its NMP core reads rank-locally), hence Channels = dimms and Ranks = 1.
+// Field order (LSB->MSB): channel(=DIMM), bank group, column, bank, row.
+func TensorDIMM(dimms, rowsPerBank int) *Scheme {
+	g := Geometry{
+		Channels:   dimms,
+		Ranks:      1,
+		BankGroups: 4,
+		Banks:      4,
+		Rows:       rowsPerBank,
+		Columns:    128,
+	}
+	order := []Field{FieldChannel, FieldBankGroup, FieldColumn, FieldBank, FieldRank, FieldRow}
+	return MustNew(fmt.Sprintf("tensordimm-%d", dimms), g, order)
+}

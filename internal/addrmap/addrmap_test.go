@@ -1,0 +1,174 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallGeom() Geometry {
+	return Geometry{Channels: 4, Ranks: 2, BankGroups: 4, Banks: 4, Rows: 64, Columns: 128}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := smallGeom().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := smallGeom()
+	bad.Channels = 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for non-power-of-two channels")
+	}
+	bad = smallGeom()
+	bad.Rows = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want error for zero rows")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := smallGeom()
+	full := []Field{FieldChannel, FieldBankGroup, FieldColumn, FieldBank, FieldRank, FieldRow}
+	if _, err := New("ok", g, full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("short", g, full[:5]); err == nil {
+		t.Fatal("want error for missing field")
+	}
+	dup := []Field{FieldChannel, FieldChannel, FieldColumn, FieldBank, FieldRank, FieldRow}
+	if _, err := New("dup", g, dup); err == nil {
+		t.Fatal("want error for duplicate field")
+	}
+	bad := []Field{Field(99), FieldBankGroup, FieldColumn, FieldBank, FieldRank, FieldRow}
+	if _, err := New("bad", g, bad); err == nil {
+		t.Fatal("want error for unknown field")
+	}
+}
+
+func TestCPUBaselineChannelInterleave(t *testing.T) {
+	s := CPUBaseline(8, 4, 1<<15)
+	// Consecutive 64 B blocks must land on consecutive channels.
+	for i := 0; i < 16; i++ {
+		a := s.Map(uint64(i) * BlockBytes)
+		if a.Channel != i%8 {
+			t.Fatalf("block %d on channel %d, want %d", i, a.Channel, i%8)
+		}
+	}
+	// Same block, different byte offset within it: same address.
+	if s.Map(0) != s.Map(63) {
+		t.Fatal("intra-block offsets must map identically")
+	}
+}
+
+func TestTensorDIMMStriping(t *testing.T) {
+	s := TensorDIMM(32, 1<<15)
+	// A 2 KiB embedding (32 blocks) must put exactly one block on each DIMM.
+	seen := make(map[int]int)
+	for i := 0; i < 32; i++ {
+		a := s.Map(uint64(i) * BlockBytes)
+		seen[a.Channel]++
+	}
+	if len(seen) != 32 {
+		t.Fatalf("embedding striped over %d DIMMs, want 32", len(seen))
+	}
+	for ch, n := range seen {
+		if n != 1 {
+			t.Fatalf("DIMM %d got %d blocks, want 1", ch, n)
+		}
+	}
+	// Rank must always be 0 (one rank per TensorDIMM channel).
+	if a := s.Map(12345 * BlockBytes); a.Rank != 0 {
+		t.Fatalf("rank = %d, want 0", a.Rank)
+	}
+}
+
+func TestSequentialStreamAlternatesBankGroups(t *testing.T) {
+	s := TensorDIMM(4, 1<<14)
+	// Blocks 0,4,8,12 are on DIMM 0; they should walk bank groups 0,1,2,3 so
+	// that back-to-back bursts avoid the tCCD_L penalty.
+	for i := 0; i < 4; i++ {
+		a := s.Map(uint64(i*4) * BlockBytes)
+		if a.Channel != 0 {
+			t.Fatalf("block %d not on DIMM 0", i*4)
+		}
+		if a.BankGroup != i {
+			t.Fatalf("block %d bank group %d, want %d", i*4, a.BankGroup, i)
+		}
+	}
+}
+
+func TestUnmapInverse(t *testing.T) {
+	schemes := []*Scheme{
+		CPUBaseline(8, 4, 1<<12),
+		TensorDIMM(32, 1<<12),
+		TensorDIMM(8, 1<<10),
+	}
+	for _, s := range schemes {
+		cap := s.Geom.TotalBytes()
+		for _, phys := range []uint64{0, 64, 4096, cap / 2, cap - BlockBytes} {
+			a := s.Map(phys)
+			if got := s.Unmap(a); got != phys {
+				t.Fatalf("%s: Unmap(Map(%#x)) = %#x", s.Name(), phys, got)
+			}
+		}
+	}
+}
+
+func TestQuickMapUnmapBijection(t *testing.T) {
+	s := CPUBaseline(8, 4, 1<<12)
+	capBlocks := s.Geom.TotalBytes() / BlockBytes
+	f := func(raw uint64) bool {
+		phys := (raw % capBlocks) * BlockBytes
+		return s.Unmap(s.Map(phys)) == phys
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFieldsInRange(t *testing.T) {
+	s := TensorDIMM(16, 1<<12)
+	capBlocks := s.Geom.TotalBytes() / BlockBytes
+	g := s.Geom
+	f := func(raw uint64) bool {
+		a := s.Map((raw % capBlocks) * BlockBytes)
+		return a.Channel >= 0 && a.Channel < g.Channels &&
+			a.Rank >= 0 && a.Rank < g.Ranks &&
+			a.BankGroup >= 0 && a.BankGroup < g.BankGroups &&
+			a.Bank >= 0 && a.Bank < g.Banks &&
+			a.Row >= 0 && a.Row < g.Rows &&
+			a.Column >= 0 && a.Column < g.Columns
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	g := Geometry{Channels: 2, Ranks: 2, BankGroups: 4, Banks: 4, Rows: 1024, Columns: 128}
+	want := uint64(2*2*4*4*1024*128) * 64
+	if got := g.TotalBytes(); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if FieldRow.String() != "row" || Field(42).String() == "" {
+		t.Fatal("Field.String misbehaves")
+	}
+	a := Addr{Channel: 1, Rank: 2, BankGroup: 3, Bank: 0, Row: 5, Column: 6}
+	if a.String() == "" {
+		t.Fatal("Addr.String empty")
+	}
+	if OffsetBits() != 6 {
+		t.Fatalf("OffsetBits = %d, want 6", OffsetBits())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on bad geometry")
+		}
+	}()
+	MustNew("bad", Geometry{}, nil)
+}

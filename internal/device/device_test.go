@@ -1,0 +1,118 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlatformConstants(t *testing.T) {
+	gpu := V100()
+	cpu := XeonHost()
+	if gpu.MemBWGBs != 900 {
+		t.Fatalf("V100 HBM = %v, want 900 GB/s", gpu.MemBWGBs)
+	}
+	if cpu.MemBWGBs != 204.8 {
+		t.Fatalf("host DDR4 = %v, want 204.8 GB/s (8 x 25.6)", cpu.MemBWGBs)
+	}
+	if cpu.GatherEff > 0.05 {
+		t.Fatalf("CPU gather efficiency %v must honor Gupta et al. <5%%", cpu.GatherEff)
+	}
+	if gpu.PeakFLOPS <= cpu.PeakFLOPS*5 {
+		t.Fatal("GPU must be much faster than CPU for dense layers")
+	}
+}
+
+func TestGatherAsymmetry(t *testing.T) {
+	// Gathering 10 MB of embeddings: the GPU must be >40x faster than the
+	// CPU (bandwidth ratio x gather-efficiency ratio), the root cause the
+	// paper identifies for the embedding bottleneck.
+	const bytes = 10 << 20
+	cpu, gpu := XeonHost(), V100()
+	ratio := cpu.GatherSeconds(bytes) / gpu.GatherSeconds(bytes)
+	if ratio < 40 {
+		t.Fatalf("CPU/GPU gather time ratio = %.1f, want > 40", ratio)
+	}
+}
+
+func TestStreamVsGather(t *testing.T) {
+	cpu := XeonHost()
+	if cpu.StreamSeconds(1<<20) >= cpu.GatherSeconds(1<<20) {
+		t.Fatal("streaming must beat gathering on the CPU")
+	}
+	if cpu.GatherSeconds(0) != 0 || cpu.StreamSeconds(-1) != 0 {
+		t.Fatal("zero/negative bytes must cost zero")
+	}
+}
+
+func TestDenseLayerRoofline(t *testing.T) {
+	gpu := V100()
+	// Huge batch: compute-bound. 4096x4096 at batch 4096:
+	// flops = 2*4096^3 = 137 GFLOP -> ~10 ms at 14 TFLOPS.
+	tBig := gpu.DenseLayerSeconds(4096, 4096, 4096)
+	flopTime := 2.0 * 4096 * 4096 * 4096 / gpu.PeakFLOPS
+	if tBig < flopTime || tBig > flopTime*1.5 {
+		t.Fatalf("compute-bound layer: %v vs flop time %v", tBig, flopTime)
+	}
+	// Batch 1: memory-bound (weights dominate).
+	tSmall := gpu.DenseLayerSeconds(1, 4096, 4096)
+	memTime := 4096.0 * 4096 * 4 / (gpu.MemBWGBs * 1e9)
+	if tSmall < memTime {
+		t.Fatalf("memory-bound layer %v cannot beat weight-read time %v", tSmall, memTime)
+	}
+}
+
+func TestKernelLaunchFloor(t *testing.T) {
+	gpu := V100()
+	// A tiny layer is launch-bound.
+	tTiny := gpu.DenseLayerSeconds(1, 8, 8)
+	if tTiny < gpu.KernelLaunchS {
+		t.Fatalf("layer time %v below launch overhead %v", tTiny, gpu.KernelLaunchS)
+	}
+}
+
+func TestMLPSeconds(t *testing.T) {
+	gpu := V100()
+	dims := []int{1024, 512, 256, 1}
+	total := gpu.MLPSeconds(64, dims)
+	var sum float64
+	for i := 0; i+1 < len(dims); i++ {
+		sum += gpu.DenseLayerSeconds(64, dims[i], dims[i+1])
+	}
+	if total != sum {
+		t.Fatalf("MLPSeconds %v != sum of layers %v", total, sum)
+	}
+	if gpu.MLPSeconds(64, []int{5}) != 0 {
+		t.Fatal("single-dim chain has no layers")
+	}
+}
+
+func TestCPUSlowerThanGPUOnMLP(t *testing.T) {
+	dims := []int{2048, 1024, 512, 256, 1}
+	cpu, gpu := XeonHost(), V100()
+	tc := cpu.MLPSeconds(64, dims)
+	tg := gpu.MLPSeconds(64, dims)
+	if tc/tg < 3 {
+		t.Fatalf("CPU/GPU MLP ratio = %.1f, expected compute gap", tc/tg)
+	}
+}
+
+func TestString(t *testing.T) {
+	if V100().String() == "" || XeonHost().String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: layer time is monotone in batch size.
+func TestQuickLayerMonotoneInBatch(t *testing.T) {
+	gpu := V100()
+	f := func(b1Raw, b2Raw uint8) bool {
+		b1, b2 := int(b1Raw)+1, int(b2Raw)+1
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		return gpu.DenseLayerSeconds(b1, 512, 512) <= gpu.DenseLayerSeconds(b2, 512, 512)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

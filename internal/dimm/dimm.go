@@ -1,0 +1,176 @@
+// Package dimm implements the TensorDIMM module of Section 4.2, Figure 6(b):
+// a buffered DIMM whose commodity DRAM rank is kept as-is, with an NMP core
+// added inside the buffer device.
+//
+// The module has two personalities:
+//
+//   - Normal buffered DIMM: the host's memory controller issues plain 64-byte
+//     load/store transactions (ReadBlock/WriteBlock), exactly as a registered
+//     or load-reduced DIMM would serve them. This is the paper's requirement
+//     that TensorDIMM "be utilized as a normal buffered DIMM device" when not
+//     accelerating DL.
+//
+//   - NMP: TensorISA instructions forwarded by the runtime are decoded by the
+//     NMP-local memory controller and executed over the rank-local DRAM
+//     (Execute).
+//
+// Addressing: the node's physical space is striped across TensorDIMMs in
+// 64-byte blocks (Figure 7); global block g lives on DIMM g % nodeDim at
+// rank-local block g / nodeDim. The dimm package owns that translation and
+// enforces rank-locality for the NMP core.
+package dimm
+
+import (
+	"fmt"
+	"sync"
+
+	"tensordimm/internal/isa"
+	"tensordimm/internal/nmp"
+)
+
+// SharedRegion is the node-wide replicated store that holds GATHER index
+// lists. The runtime broadcasts index blocks to every buffer device along
+// with the instruction (Section 4.4); replicating them is what lets every
+// NMP core walk the full index list without touching remote ranks.
+//
+// It is safe for concurrent reads; writes must not overlap Execute calls.
+type SharedRegion struct {
+	mu     sync.RWMutex
+	blocks map[uint64]nmp.Block
+}
+
+// NewSharedRegion returns an empty replicated region.
+func NewSharedRegion() *SharedRegion {
+	return &SharedRegion{blocks: make(map[uint64]nmp.Block)}
+}
+
+// Write stores a block at the given global block address.
+func (s *SharedRegion) Write(globalBlock uint64, b nmp.Block) {
+	s.mu.Lock()
+	s.blocks[globalBlock] = b
+	s.mu.Unlock()
+}
+
+// Read fetches a block; missing blocks are an error (uninitialized index
+// list — always a runtime bug).
+func (s *SharedRegion) Read(globalBlock uint64) (nmp.Block, error) {
+	s.mu.RLock()
+	b, ok := s.blocks[globalBlock]
+	s.mu.RUnlock()
+	if !ok {
+		return nmp.Block{}, fmt.Errorf("dimm: shared block %#x not written", globalBlock)
+	}
+	return b, nil
+}
+
+// Len returns the number of blocks resident in the region.
+func (s *SharedRegion) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// TensorDIMM is one TensorDIMM module.
+type TensorDIMM struct {
+	tid     int
+	nodeDim int
+	store   []byte // rank-local DRAM contents
+	shared  *SharedRegion
+	core    *nmp.Core
+}
+
+// New builds TensorDIMM `tid` of a node with `nodeDim` DIMMs and
+// `localBytes` of rank-local DRAM (a multiple of 64).
+func New(tid, nodeDim int, localBytes uint64, shared *SharedRegion) (*TensorDIMM, error) {
+	if localBytes == 0 || localBytes%isa.BlockBytes != 0 {
+		return nil, fmt.Errorf("dimm: localBytes %d must be a positive multiple of %d", localBytes, isa.BlockBytes)
+	}
+	if shared == nil {
+		return nil, fmt.Errorf("dimm: nil shared region")
+	}
+	d := &TensorDIMM{tid: tid, nodeDim: nodeDim, store: make([]byte, localBytes), shared: shared}
+	core, err := nmp.NewCore(tid, nodeDim, d)
+	if err != nil {
+		return nil, err
+	}
+	d.core = core
+	return d, nil
+}
+
+// TID returns the DIMM's index within its node.
+func (d *TensorDIMM) TID() int { return d.tid }
+
+// LocalBytes returns the rank-local capacity.
+func (d *TensorDIMM) LocalBytes() uint64 { return uint64(len(d.store)) }
+
+// Core exposes the NMP core (for stats inspection).
+func (d *TensorDIMM) Core() *nmp.Core { return d.core }
+
+// owns reports whether the global block address belongs to this DIMM.
+func (d *TensorDIMM) owns(globalBlock uint64) bool {
+	return int(globalBlock%uint64(d.nodeDim)) == d.tid
+}
+
+// localOffset translates a global block address to a byte offset in store.
+func (d *TensorDIMM) localOffset(globalBlock uint64) (uint64, error) {
+	if !d.owns(globalBlock) {
+		return 0, fmt.Errorf("dimm %d: global block %#x belongs to DIMM %d",
+			d.tid, globalBlock, globalBlock%uint64(d.nodeDim))
+	}
+	off := (globalBlock / uint64(d.nodeDim)) * isa.BlockBytes
+	if off+isa.BlockBytes > uint64(len(d.store)) {
+		return 0, fmt.Errorf("dimm %d: global block %#x beyond local capacity %d B", d.tid, globalBlock, len(d.store))
+	}
+	return off, nil
+}
+
+// ReadLocal implements nmp.Env.
+func (d *TensorDIMM) ReadLocal(globalBlock uint64) (nmp.Block, error) {
+	off, err := d.localOffset(globalBlock)
+	if err != nil {
+		return nmp.Block{}, err
+	}
+	var b nmp.Block
+	copy(b[:], d.store[off:off+isa.BlockBytes])
+	return b, nil
+}
+
+// WriteLocal implements nmp.Env.
+func (d *TensorDIMM) WriteLocal(globalBlock uint64, b nmp.Block) error {
+	off, err := d.localOffset(globalBlock)
+	if err != nil {
+		return err
+	}
+	copy(d.store[off:off+isa.BlockBytes], b[:])
+	return nil
+}
+
+// ReadShared implements nmp.Env.
+func (d *TensorDIMM) ReadShared(globalBlock uint64) (nmp.Block, error) {
+	return d.shared.Read(globalBlock)
+}
+
+// ReadBlock is the normal-DIMM personality: a 64-byte load at a rank-local
+// byte offset, as issued by a conventional memory controller.
+func (d *TensorDIMM) ReadBlock(localOffset uint64) (nmp.Block, error) {
+	if localOffset%isa.BlockBytes != 0 || localOffset+isa.BlockBytes > uint64(len(d.store)) {
+		return nmp.Block{}, fmt.Errorf("dimm %d: bad local offset %#x", d.tid, localOffset)
+	}
+	var b nmp.Block
+	copy(b[:], d.store[localOffset:localOffset+isa.BlockBytes])
+	return b, nil
+}
+
+// WriteBlock is the normal-DIMM personality store.
+func (d *TensorDIMM) WriteBlock(localOffset uint64, b nmp.Block) error {
+	if localOffset%isa.BlockBytes != 0 || localOffset+isa.BlockBytes > uint64(len(d.store)) {
+		return fmt.Errorf("dimm %d: bad local offset %#x", d.tid, localOffset)
+	}
+	copy(d.store[localOffset:localOffset+isa.BlockBytes], b[:])
+	return nil
+}
+
+// Execute runs one broadcast TensorISA instruction on this DIMM's NMP core.
+func (d *TensorDIMM) Execute(in isa.Instruction) error {
+	return d.core.Execute(in)
+}

@@ -1,0 +1,162 @@
+package dimm
+
+import (
+	"strings"
+	"testing"
+
+	"tensordimm/internal/isa"
+	"tensordimm/internal/nmp"
+)
+
+func TestNewValidation(t *testing.T) {
+	sh := NewSharedRegion()
+	if _, err := New(0, 4, 100, sh); err == nil {
+		t.Fatal("want error: localBytes not multiple of 64")
+	}
+	if _, err := New(0, 4, 0, sh); err == nil {
+		t.Fatal("want error: zero localBytes")
+	}
+	if _, err := New(0, 4, 4096, nil); err == nil {
+		t.Fatal("want error: nil shared region")
+	}
+	if _, err := New(9, 4, 4096, sh); err == nil {
+		t.Fatal("want error: tid out of range (via nmp core)")
+	}
+	d, err := New(2, 4, 4096, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TID() != 2 || d.LocalBytes() != 4096 || d.Core() == nil {
+		t.Fatalf("accessors: tid=%d bytes=%d", d.TID(), d.LocalBytes())
+	}
+}
+
+func TestOwnershipTranslation(t *testing.T) {
+	sh := NewSharedRegion()
+	d, _ := New(1, 4, 4096, sh)
+	b := nmp.PackFloats([]float32{42})
+
+	// Global block 5 = 5 mod 4 = DIMM 1, local block 1 (offset 64).
+	if err := d.WriteLocal(5, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadLocal(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmp.UnpackFloats(got)[0] != 42 {
+		t.Fatal("round trip failed")
+	}
+	// The normal personality sees it at local offset 64.
+	nb, err := d.ReadBlock(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmp.UnpackFloats(nb)[0] != 42 {
+		t.Fatal("normal personality sees different data")
+	}
+
+	// Foreign block: 6 mod 4 = DIMM 2.
+	if _, err := d.ReadLocal(6); err == nil || !strings.Contains(err.Error(), "belongs to DIMM 2") {
+		t.Fatalf("want ownership error, got %v", err)
+	}
+	if err := d.WriteLocal(6, b); err == nil {
+		t.Fatal("want ownership error on write")
+	}
+}
+
+func TestCapacityBounds(t *testing.T) {
+	sh := NewSharedRegion()
+	d, _ := New(0, 2, 128, sh) // two local blocks
+	b := nmp.Block{}
+	if err := d.WriteLocal(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteLocal(2, b); err != nil { // local block 1
+		t.Fatal(err)
+	}
+	if err := d.WriteLocal(4, b); err == nil { // local block 2: beyond
+		t.Fatal("want capacity error")
+	}
+	if _, err := d.ReadLocal(4); err == nil {
+		t.Fatal("want capacity error on read")
+	}
+}
+
+func TestNormalPersonalityBounds(t *testing.T) {
+	sh := NewSharedRegion()
+	d, _ := New(0, 1, 128, sh)
+	if _, err := d.ReadBlock(63); err == nil {
+		t.Fatal("want alignment error")
+	}
+	if _, err := d.ReadBlock(128); err == nil {
+		t.Fatal("want bounds error")
+	}
+	if err := d.WriteBlock(65, nmp.Block{}); err == nil {
+		t.Fatal("want alignment error on write")
+	}
+	if err := d.WriteBlock(128, nmp.Block{}); err == nil {
+		t.Fatal("want bounds error on write")
+	}
+	if err := d.WriteBlock(64, nmp.PackFloats([]float32{7})); err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.ReadBlock(64)
+	if err != nil || nmp.UnpackFloats(b)[0] != 7 {
+		t.Fatalf("ReadBlock: %v %v", b, err)
+	}
+}
+
+func TestSharedRegion(t *testing.T) {
+	sh := NewSharedRegion()
+	if _, err := sh.Read(0); err == nil {
+		t.Fatal("want error for unwritten block")
+	}
+	sh.Write(3, nmp.PackIndices([]int32{1, 2, 3}))
+	b, err := sh.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmp.UnpackFloats(b) == nil {
+		t.Fatal("unexpected nil")
+	}
+	if sh.Len() != 1 {
+		t.Fatalf("Len = %d", sh.Len())
+	}
+}
+
+func TestExecuteThroughDIMM(t *testing.T) {
+	// A one-DIMM "node": REDUCE over its local blocks.
+	sh := NewSharedRegion()
+	d, _ := New(0, 1, 4096, sh)
+	if err := d.WriteLocal(0, nmp.PackFloats([]float32{3})); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteLocal(1, nmp.PackFloats([]float32{4})); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Execute(isa.Reduce(isa.RMul, 0, 1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.ReadLocal(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmp.UnpackFloats(out)[0] != 12 {
+		t.Fatalf("3*4 = %v", nmp.UnpackFloats(out)[0])
+	}
+	if d.Core().Stats().Instructions != 1 {
+		t.Fatal("instruction not retired")
+	}
+}
+
+func TestExecuteRemoteAccessFails(t *testing.T) {
+	// An NMP core must not be able to touch blocks of another DIMM: REDUCE
+	// with count 2 on a 2-DIMM node reads blocks {0,2} on DIMM 0 — fine —
+	// but a mis-striped base (odd) would belong to DIMM 1 and must fail.
+	sh := NewSharedRegion()
+	d, _ := New(0, 2, 4096, sh)
+	if err := d.Execute(isa.Reduce(isa.RAdd, 1, 3, 5, 1)); err == nil {
+		t.Fatal("want rank-locality violation")
+	}
+}

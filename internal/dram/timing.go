@@ -1,0 +1,87 @@
+// Package dram implements a command-level DDR4 memory-system simulator in the
+// role Ramulator plays in the TensorDIMM paper (Section 5): it replays the
+// read/write transaction streams of the tensor operations and reports the
+// effective memory bandwidth under a given organization and address mapping.
+//
+// The model tracks individual DRAM commands (ACT, RD, WR, PRE, REF) against
+// the full set of DDR4 bank/rank/channel timing constraints (tRCD, tRP, tCL,
+// tRAS, tRC, tCCD_S/L, tRRD_S/L, tFAW, tWR, tWTR, tRTP, tREFI, tRFC) with a
+// first-ready FR-FCFS scheduler and an open-row policy, per channel. Channels
+// are independent in DDR4, so they are simulated independently (and in
+// parallel) and the results are aggregated.
+//
+// The engine is event-driven at command granularity rather than ticked cycle
+// by cycle: for every queued request it computes the earliest cycle at which
+// the request's next command could legally issue, then issues the globally
+// earliest one (preferring column commands, then row hits, then age). This is
+// functionally equivalent to a ticked FR-FCFS controller for bandwidth
+// measurement while being fast enough to sweep batch sizes and DIMM counts.
+package dram
+
+// Timing holds DDR4 timing parameters in memory-clock cycles (tCK). The
+// default profile models DDR4-3200 (PC4-25600: 25.6 GB/s per 64-bit channel,
+// Table 1 of the paper).
+type Timing struct {
+	TCKps int64 // picoseconds per memory-clock cycle
+
+	CL  int // CAS latency (RD to first data)
+	CWL int // CAS write latency (WR to first data)
+	RCD int // ACT to RD/WR
+	RP  int // PRE to ACT
+	RAS int // ACT to PRE
+	RC  int // ACT to ACT, same bank
+
+	BL   int // data-bus cycles per burst (BL8 on a DDR bus = 4 clocks)
+	CCDL int // RD-to-RD / WR-to-WR, same bank group
+	RRDS int // ACT-to-ACT, different bank group
+	RRDL int // ACT-to-ACT, same bank group
+	FAW  int // window for at most four ACTs per rank
+
+	WR   int // write recovery (end of write data to PRE)
+	WTRS int // write-to-read turnaround, different bank group
+	WTRL int // write-to-read turnaround, same bank group
+	RTP  int // read to precharge
+	RTW  int // read-to-write bus turnaround penalty
+
+	REFI int // average refresh interval
+	RFC  int // refresh cycle time
+}
+
+// DDR43200 returns timing for a DDR4-3200AA-class device (1600 MHz memory
+// clock, 0.625 ns per cycle): 22-22-22, tRAS 52, tFAW 40, 8 Gb die tRFC.
+func DDR43200() Timing {
+	return Timing{
+		TCKps: 625,
+		CL:    22,
+		CWL:   16,
+		RCD:   22,
+		RP:    22,
+		RAS:   52,
+		RC:    74,
+		BL:    4,
+		CCDL:  8,
+		RRDS:  4,
+		RRDL:  8,
+		FAW:   40,
+		WR:    24,
+		WTRS:  4,
+		WTRL:  12,
+		RTP:   12,
+		RTW:   8,
+		REFI:  12480, // 7.8 us
+		RFC:   560,   // 350 ns (8 Gb)
+	}
+}
+
+// ChannelPeakGBs returns the theoretical peak bandwidth of one 64-bit channel
+// in GB/s: 64 B per BL cycles.
+func (t Timing) ChannelPeakGBs() float64 {
+	bytesPerCycle := 64.0 / float64(t.BL)
+	cyclesPerSec := 1e12 / float64(t.TCKps)
+	return bytesPerCycle * cyclesPerSec / 1e9
+}
+
+// CyclesToSeconds converts a cycle count to seconds.
+func (t Timing) CyclesToSeconds(cycles int64) float64 {
+	return float64(cycles) * float64(t.TCKps) * 1e-12
+}

@@ -1,0 +1,188 @@
+// Package embed implements the embedding-layer golden model: lookup tables
+// and the gather / reduce / average / concat semantics of Figure 2 of the
+// TensorDIMM paper. It is the functional reference against which the
+// near-memory datapath (internal/nmp executing TensorISA on a TensorNode) is
+// cross-validated — both must produce bit-identical results.
+package embed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tensordimm/internal/isa"
+	"tensordimm/internal/tensor"
+)
+
+// Table is one embedding lookup table: Rows embedding vectors of Dim float32
+// elements each (e.g. one vector per user or per item, Section 2.3).
+type Table struct {
+	rows, dim int
+	data      []float32
+}
+
+// NewTable allocates a zero-filled table.
+func NewTable(rows, dim int) (*Table, error) {
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("embed: invalid table geometry %dx%d", rows, dim)
+	}
+	return &Table{rows: rows, dim: dim, data: make([]float32, rows*dim)}, nil
+}
+
+// NewRandomTable allocates a table filled with deterministic pseudo-random
+// values in [-1, 1), seeded so experiments are reproducible.
+func NewRandomTable(rows, dim int, seed int64) (*Table, error) {
+	t, err := NewTable(rows, dim)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.data {
+		t.data[i] = rng.Float32()*2 - 1
+	}
+	return t, nil
+}
+
+// Rows returns the number of embedding vectors.
+func (t *Table) Rows() int { return t.rows }
+
+// Dim returns the embedding dimension.
+func (t *Table) Dim() int { return t.dim }
+
+// Bytes returns the table footprint (4 B per element).
+func (t *Table) Bytes() int64 { return int64(t.rows) * int64(t.dim) * 4 }
+
+// Row returns embedding vector i, aliasing table storage.
+func (t *Table) Row(i int) []float32 {
+	return t.data[i*t.dim : (i+1)*t.dim]
+}
+
+// Gather performs the embedding lookup of Figure 2 step 1: it returns a
+// [len(indices), dim] tensor whose row k is table row indices[k].
+func (t *Table) Gather(indices []int) (*tensor.Tensor, error) {
+	out := tensor.New(len(indices), t.dim)
+	for k, idx := range indices {
+		if idx < 0 || idx >= t.rows {
+			return nil, fmt.Errorf("embed: index %d out of range [0,%d)", idx, t.rows)
+		}
+		copy(out.Row(k), t.Row(idx))
+	}
+	return out, nil
+}
+
+// Pool reduces groups of n consecutive rows of a gathered [B*n, dim] tensor
+// into a [B, dim] tensor with the given element-wise operator. For RAdd it is
+// sum-pooling, for RMul element-wise product (NCF's GMF path), for RMax
+// max-pooling. Use Average for mean-pooling.
+func Pool(gathered *tensor.Tensor, n int, op isa.ReduceOp) (*tensor.Tensor, error) {
+	if gathered.Rank() != 2 {
+		return nil, fmt.Errorf("embed: Pool requires rank-2 input")
+	}
+	rows, dim := gathered.Dim(0), gathered.Dim(1)
+	if n <= 0 || rows%n != 0 {
+		return nil, fmt.Errorf("embed: cannot pool %d rows in groups of %d", rows, n)
+	}
+	out := tensor.New(rows/n, dim)
+	for g := 0; g < rows/n; g++ {
+		dst := out.Row(g)
+		copy(dst, gathered.Row(g*n))
+		for j := 1; j < n; j++ {
+			src := gathered.Row(g*n + j)
+			switch op {
+			case isa.RAdd:
+				for i := range dst {
+					dst[i] += src[i]
+				}
+			case isa.RSub:
+				for i := range dst {
+					dst[i] -= src[i]
+				}
+			case isa.RMul:
+				for i := range dst {
+					dst[i] *= src[i]
+				}
+			case isa.RMax:
+				for i := range dst {
+					if src[i] > dst[i] {
+						dst[i] = src[i]
+					}
+				}
+			default:
+				return nil, fmt.Errorf("embed: unknown reduce op %v", op)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Average mean-pools groups of n consecutive rows, matching the AVERAGE
+// instruction (Figure 9(c)): accumulate then divide.
+func Average(gathered *tensor.Tensor, n int) (*tensor.Tensor, error) {
+	summed, err := Pool(gathered, n, isa.RAdd)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Scale(summed, 1/float32(n)), nil
+}
+
+// Layer describes one embedding layer: a set of tables queried with the same
+// batch, each pooled `Reduction`-way with operator `Op`, and the per-table
+// results concatenated along the feature dimension (Figure 2).
+type Layer struct {
+	Tables    []*Table
+	Reduction int          // lookups pooled per output row (Table 2 "max reduction")
+	Op        isa.ReduceOp // pooling operator; RAdd with averaging when Mean is set
+	Mean      bool         // divide pooled sums by Reduction (AVERAGE semantics)
+}
+
+// Forward runs the full embedding layer for a batch: perTableIndices[t] holds
+// batch*Reduction lookup indices for table t. It returns the concatenated
+// [batch, len(Tables)*dim] tensor fed to the DNN.
+func (l *Layer) Forward(perTableIndices [][]int, batch int) (*tensor.Tensor, error) {
+	if len(perTableIndices) != len(l.Tables) {
+		return nil, fmt.Errorf("embed: %d index lists for %d tables", len(perTableIndices), len(l.Tables))
+	}
+	pooled := make([]*tensor.Tensor, len(l.Tables))
+	for t, table := range l.Tables {
+		indices := perTableIndices[t]
+		if len(indices) != batch*l.Reduction {
+			return nil, fmt.Errorf("embed: table %d has %d indices, want batch %d x reduction %d",
+				t, len(indices), batch, l.Reduction)
+		}
+		gathered, err := table.Gather(indices)
+		if err != nil {
+			return nil, err
+		}
+		var p *tensor.Tensor
+		if l.Reduction == 1 {
+			p = gathered
+		} else if l.Mean {
+			p, err = Average(gathered, l.Reduction)
+		} else {
+			p, err = Pool(gathered, l.Reduction, l.Op)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pooled[t] = p
+	}
+	return tensor.ConcatRows(pooled...)
+}
+
+// GatheredBytes returns the bytes read from the tables by one Forward call —
+// the quantity the paper's bandwidth analysis calls N*sizeof(embedding).
+func (l *Layer) GatheredBytes(batch int) int64 {
+	var total int64
+	for _, t := range l.Tables {
+		total += int64(batch) * int64(l.Reduction) * int64(t.Dim()) * 4
+	}
+	return total
+}
+
+// ReducedBytes returns the bytes of the layer output for one batch.
+func (l *Layer) ReducedBytes(batch int) int64 {
+	var total int64
+	for _, t := range l.Tables {
+		total += int64(batch) * int64(t.Dim()) * 4
+	}
+	return total
+}

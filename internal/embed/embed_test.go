@@ -1,0 +1,234 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tensordimm/internal/isa"
+	"tensordimm/internal/tensor"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(0, 4); err == nil {
+		t.Fatal("want error for zero rows")
+	}
+	if _, err := NewTable(4, -1); err == nil {
+		t.Fatal("want error for negative dim")
+	}
+	tb, err := NewTable(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 10 || tb.Dim() != 8 || tb.Bytes() != 10*8*4 {
+		t.Fatalf("geometry: %d x %d, %d bytes", tb.Rows(), tb.Dim(), tb.Bytes())
+	}
+}
+
+func TestRandomTableDeterministic(t *testing.T) {
+	a, _ := NewRandomTable(100, 16, 7)
+	b, _ := NewRandomTable(100, 16, 7)
+	c, _ := NewRandomTable(100, 16, 8)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 16; j++ {
+			if a.Row(i)[j] != b.Row(i)[j] {
+				t.Fatal("same seed must give same table")
+			}
+		}
+	}
+	same := true
+	for j := 0; j < 16 && same; j++ {
+		same = a.Row(0)[j] == c.Row(0)[j]
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGather(t *testing.T) {
+	tb, _ := NewTable(4, 2)
+	for i := 0; i < 4; i++ {
+		tb.Row(i)[0] = float32(i)
+		tb.Row(i)[1] = float32(i * 10)
+	}
+	g, err := tb.Gather([]int{3, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.MustFromSlice([]float32{3, 30, 0, 0, 3, 30}, 3, 2)
+	if !tensor.Equal(g, want) {
+		t.Fatalf("Gather = %v, want %v", g, want)
+	}
+	if _, err := tb.Gather([]int{4}); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	if _, err := tb.Gather([]int{-1}); err == nil {
+		t.Fatal("want negative-index error")
+	}
+}
+
+func TestPoolOps(t *testing.T) {
+	g := tensor.MustFromSlice([]float32{
+		1, 2,
+		3, 4,
+		5, 6,
+		7, 8,
+	}, 4, 2)
+	sum, err := Pool(g, 2, isa.RAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(sum, tensor.MustFromSlice([]float32{4, 6, 12, 14}, 2, 2)) {
+		t.Fatalf("sum pool = %v", sum)
+	}
+	mul, _ := Pool(g, 2, isa.RMul)
+	if !tensor.Equal(mul, tensor.MustFromSlice([]float32{3, 8, 35, 48}, 2, 2)) {
+		t.Fatalf("mul pool = %v", mul)
+	}
+	mx, _ := Pool(g, 2, isa.RMax)
+	if !tensor.Equal(mx, tensor.MustFromSlice([]float32{3, 4, 7, 8}, 2, 2)) {
+		t.Fatalf("max pool = %v", mx)
+	}
+	sub, _ := Pool(g, 2, isa.RSub)
+	if !tensor.Equal(sub, tensor.MustFromSlice([]float32{-2, -2, -2, -2}, 2, 2)) {
+		t.Fatalf("sub pool = %v", sub)
+	}
+	avg, _ := Average(g, 2)
+	if !tensor.Equal(avg, tensor.MustFromSlice([]float32{2, 3, 6, 7}, 2, 2)) {
+		t.Fatalf("average = %v", avg)
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	g := tensor.New(4, 2)
+	if _, err := Pool(g, 3, isa.RAdd); err == nil {
+		t.Fatal("want error: 4 rows not divisible by 3")
+	}
+	if _, err := Pool(g, 0, isa.RAdd); err == nil {
+		t.Fatal("want error for n=0")
+	}
+	if _, err := Pool(tensor.New(4), 2, isa.RAdd); err == nil {
+		t.Fatal("want rank error")
+	}
+	if _, err := Pool(g, 2, isa.ReduceOp(99)); err == nil {
+		t.Fatal("want unknown-op error")
+	}
+}
+
+func TestLayerForward(t *testing.T) {
+	t1, _ := NewRandomTable(50, 4, 1)
+	t2, _ := NewRandomTable(50, 4, 2)
+	layer := &Layer{Tables: []*Table{t1, t2}, Reduction: 2, Op: isa.RAdd, Mean: true}
+	batch := 3
+	idx1 := []int{0, 1, 2, 3, 4, 5}
+	idx2 := []int{10, 11, 12, 13, 14, 15}
+	out, err := layer.Forward([][]int{idx1, idx2}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != batch || out.Dim(1) != 8 {
+		t.Fatalf("output shape %v, want [3 8]", out.Shape())
+	}
+	// First output row, first half = mean of table1 rows 0 and 1.
+	for j := 0; j < 4; j++ {
+		want := (t1.Row(0)[j] + t1.Row(1)[j]) / 2
+		if got := out.At(0, j); got != want {
+			t.Fatalf("out[0][%d] = %v, want %v", j, got, want)
+		}
+		want2 := (t2.Row(10)[j] + t2.Row(11)[j]) / 2
+		if got := out.At(0, 4+j); got != want2 {
+			t.Fatalf("out[0][%d] = %v, want %v", 4+j, got, want2)
+		}
+	}
+}
+
+func TestLayerForwardReduction1(t *testing.T) {
+	tb, _ := NewRandomTable(10, 4, 3)
+	layer := &Layer{Tables: []*Table{tb}, Reduction: 1}
+	out, err := layer.Forward([][]int{{5, 6}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		if out.At(0, j) != tb.Row(5)[j] || out.At(1, j) != tb.Row(6)[j] {
+			t.Fatal("reduction=1 must pass rows through")
+		}
+	}
+}
+
+func TestLayerForwardValidation(t *testing.T) {
+	tb, _ := NewTable(10, 4)
+	layer := &Layer{Tables: []*Table{tb}, Reduction: 2}
+	if _, err := layer.Forward([][]int{{1, 2}, {3, 4}}, 1); err == nil {
+		t.Fatal("want error: index lists vs tables mismatch")
+	}
+	if _, err := layer.Forward([][]int{{1, 2, 3}}, 1); err == nil {
+		t.Fatal("want error: wrong index count")
+	}
+	if _, err := layer.Forward([][]int{{1, 99}}, 1); err == nil {
+		t.Fatal("want error: index out of range")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	tb, _ := NewTable(100, 512)
+	layer := &Layer{Tables: []*Table{tb, tb}, Reduction: 50}
+	batch := 64
+	if got := layer.GatheredBytes(batch); got != int64(batch)*50*2*512*4 {
+		t.Fatalf("GatheredBytes = %d", got)
+	}
+	if got := layer.ReducedBytes(batch); got != int64(batch)*2*512*4 {
+		t.Fatalf("ReducedBytes = %d", got)
+	}
+}
+
+// Property: sum-pool then scale equals Average.
+func TestQuickAverageEqualsScaledSum(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := tensor.New(3*n, 8)
+		for i := range g.Data() {
+			g.Data()[i] = rng.Float32()
+		}
+		avg, err1 := Average(g, n)
+		sum, err2 := Pool(g, n, isa.RAdd)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return tensor.AllClose(avg, tensor.Scale(sum, 1/float32(n)), 1e-6, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gather preserves rows exactly (gather(i) == table.Row(i)).
+func TestQuickGatherExact(t *testing.T) {
+	tb, _ := NewRandomTable(64, 16, 9)
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		indices := make([]int, len(raw))
+		for i, r := range raw {
+			indices[i] = int(r) % tb.Rows()
+		}
+		g, err := tb.Gather(indices)
+		if err != nil {
+			return false
+		}
+		for k, idx := range indices {
+			row := tb.Row(idx)
+			for j := range row {
+				if g.At(k, j) != row[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

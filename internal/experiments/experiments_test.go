@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"tensordimm/internal/core"
+)
+
+func platform() core.Platform { return core.DefaultPlatform() }
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTab1MatchesPaper(t *testing.T) {
+	r := Tab1()
+	s := r.Table.String()
+	for _, want := range []string{"DDR4 (PC4-25600)", "32", "25.6 GB/sec", "819.2 GB/sec"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTab2MatchesPaper(t *testing.T) {
+	r := Tab2()
+	if len(r.Table.Rows) != 4 {
+		t.Fatalf("Table 2 has %d rows", len(r.Table.Rows))
+	}
+	want := map[string][]string{
+		"NCF":      {"4", "2", "4"},
+		"YouTube":  {"2", "50", "4"},
+		"Fox":      {"2", "50", "1"},
+		"Facebook": {"8", "25", "6"},
+	}
+	for _, row := range r.Table.Rows {
+		w, ok := want[row[0]]
+		if !ok {
+			t.Fatalf("unexpected network %q", row[0])
+		}
+		for i, v := range w {
+			if row[i+1] != v {
+				t.Errorf("%s column %d = %s, want %s", row[0], i+1, row[i+1], v)
+			}
+		}
+	}
+}
+
+func TestFig3EmbeddingDominates(t *testing.T) {
+	r := Fig3()
+	// Walking down the first data column (embedding dim grows) must grow
+	// the model far faster than walking across the first row (MLP grows).
+	first := parseFloat(t, r.Table.Rows[0][1])
+	downEmb := parseFloat(t, r.Table.Rows[len(r.Table.Rows)-1][1])
+	acrossMLP := parseFloat(t, r.Table.Rows[0][len(r.Table.Rows[0])-1])
+	if downEmb/first < 10*(acrossMLP/first) {
+		t.Fatalf("embedding growth %.0fx vs MLP growth %.0fx: embedding must dominate",
+			downEmb/first, acrossMLP/first)
+	}
+	// Largest configuration reaches TB scale (paper: up to 8192 GB).
+	largest := parseFloat(t, r.Table.Rows[len(r.Table.Rows)-1][1])
+	if largest < 500 {
+		t.Fatalf("largest embedding config = %.0f GB, want hundreds of GBs", largest)
+	}
+}
+
+func TestFig4ShowsSlowdowns(t *testing.T) {
+	r := Fig4(platform())
+	last := r.Table.Rows[len(r.Table.Rows)-1]
+	if last[0] != "average" {
+		t.Fatal("missing average row")
+	}
+	cpu := parseFloat(t, last[2])
+	hy := parseFloat(t, last[3])
+	if cpu > 0.3 || hy > 0.3 {
+		t.Fatalf("baselines too fast: CPU-only %.2f, CPU-GPU %.2f of oracle", cpu, hy)
+	}
+	if len(r.Table.Rows) != 4*4+1 {
+		t.Fatalf("Figure 4 rows = %d, want 4 networks x 4 batches + average", len(r.Table.Rows))
+	}
+}
+
+func TestFig11BandwidthShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DRAM sweep in -short mode")
+	}
+	r := Fig11(ScaleQuick)
+	if len(r.Table.Rows) != 4 {
+		t.Fatalf("quick Fig11 rows = %d", len(r.Table.Rows))
+	}
+	// At the largest batch the TensorNode streaming ops must exceed the
+	// CPU's by ~4x and beat 500 GB/s; the CPU must stay under its 204.8
+	// GB/s channel ceiling.
+	last := r.Table.Rows[len(r.Table.Rows)-1]
+	cpuReduce := parseFloat(t, last[2])
+	nodeReduce := parseFloat(t, last[5])
+	if cpuReduce > 204.8 {
+		t.Fatalf("CPU REDUCE %.0f GB/s exceeds the channel ceiling", cpuReduce)
+	}
+	if nodeReduce < 500 {
+		t.Fatalf("TensorNode REDUCE %.0f GB/s, want > 500", nodeReduce)
+	}
+	if nodeReduce/cpuReduce < 3 {
+		t.Fatalf("REDUCE ratio %.1fx, want ~4x", nodeReduce/cpuReduce)
+	}
+}
+
+func TestFig12Scaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DRAM sweep in -short mode")
+	}
+	r := Fig12(ScaleQuick)
+	// Find REDUCE rows: TensorNode bandwidth must grow with DIMM count
+	// while CPU stays flat.
+	var cpu32, cpu128, node32, node128 float64
+	for _, row := range r.Table.Rows {
+		if row[0] != "REDUCE" {
+			continue
+		}
+		switch row[1] {
+		case "32":
+			cpu32, node32 = parseFloat(t, row[3]), parseFloat(t, row[4])
+		case "128":
+			cpu128, node128 = parseFloat(t, row[3]), parseFloat(t, row[4])
+		}
+	}
+	if node128 < 2.5*node32 {
+		t.Fatalf("TensorNode REDUCE: 128 DIMMs %.0f vs 32 DIMMs %.0f GB/s, want ~4x scaling", node128, node32)
+	}
+	if cpu128 > cpu32*1.3 {
+		t.Fatalf("CPU REDUCE grew with DIMMs: %.0f -> %.0f GB/s", cpu32, cpu128)
+	}
+	if node128 < 2000 {
+		t.Fatalf("TensorNode at 128 DIMMs = %.0f GB/s, want TB/s scale (paper 3.1 TB/s)", node128)
+	}
+}
+
+func TestFig13BreakdownStructure(t *testing.T) {
+	r := Fig13(platform())
+	if len(r.Table.Rows) != 4*5 {
+		t.Fatalf("Fig13 rows = %d, want 4 networks x 5 designs", len(r.Table.Rows))
+	}
+	// Every network's slowest design must have normalized total 1.0.
+	seen := map[string]bool{}
+	for _, row := range r.Table.Rows {
+		if parseFloat(t, row[7]) > 0.999 {
+			seen[row[0]] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("normalization anchors missing: %v", seen)
+	}
+}
+
+func TestFig14TDIMMGeomean(t *testing.T) {
+	r := Fig14(platform())
+	last := r.Table.Rows[len(r.Table.Rows)-1]
+	td := parseFloat(t, last[5])
+	if td < 0.75 || td > 0.95 {
+		t.Fatalf("TDIMM geomean = %.2f, want ~0.84", td)
+	}
+	if g := parseFloat(t, last[6]); g != 1 {
+		t.Fatalf("GPU-only geomean = %v, must be 1", g)
+	}
+}
+
+func TestFig15SpeedupsGrowWithEmbeddings(t *testing.T) {
+	r := Fig15(platform())
+	// Rows ordered by (scale, batch); compare batch-64 rows across scales.
+	var s1, s8 float64
+	for _, row := range r.Table.Rows {
+		if row[1] != "64" {
+			continue
+		}
+		switch row[0] {
+		case "1x":
+			s1 = parseFloat(t, row[2])
+		case "8x":
+			s8 = parseFloat(t, row[2])
+		}
+	}
+	if s8 <= s1 {
+		t.Fatalf("speedup must grow with embedding scale: 1x=%.1f, 8x=%.1f", s1, s8)
+	}
+	if s1 < 4 || s8 > 40 {
+		t.Fatalf("speedups out of band: 1x=%.1f, 8x=%.1f (paper 6.2-15.0, max 35)", s1, s8)
+	}
+}
+
+func TestFig16Robustness(t *testing.T) {
+	r := Fig16(platform())
+	for _, row := range r.Table.Rows {
+		at25 := parseFloat(t, row[2])
+		at150 := parseFloat(t, row[4])
+		if at150 < 0.999 {
+			t.Fatalf("%s %s: 150 GB/s must normalize to 1, got %v", row[0], row[1], at150)
+		}
+		if row[0] == "TDIMM" && at25 < 0.7 {
+			t.Errorf("TDIMM %s retains %.2f at 25 GB/s, want >= 0.7 (paper >= 0.85 avg)", row[1], at25)
+		}
+		if row[0] == "PMEM" && row[1] == "8x" && at25 > 0.6 {
+			t.Errorf("PMEM 8x retains %.2f at 25 GB/s, want heavy loss", at25)
+		}
+	}
+}
+
+func TestTab3Rows(t *testing.T) {
+	r := Tab3()
+	if len(r.Table.Rows) != 4 {
+		t.Fatalf("Table 3 rows = %d, want 3 components + total", len(r.Table.Rows))
+	}
+	for _, row := range r.Table.Rows {
+		for _, c := range row[1:] {
+			if parseFloat(t, c) > 1.0 {
+				t.Errorf("%s utilization %s%% exceeds 1%% of the device", row[0], c)
+			}
+		}
+	}
+}
+
+func TestPowerBudgetRow(t *testing.T) {
+	r := PowerBudget()
+	var node float64
+	for _, row := range r.Table.Rows {
+		if strings.HasPrefix(row[0], "TensorNode") {
+			node = parseFloat(t, row[1])
+		}
+	}
+	if node < 300 || node > 700 {
+		t.Fatalf("TensorNode power = %.0f W, want within the OCP 350-700 W envelope (paper 416)", node)
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	p := platform()
+	for _, id := range IDs() {
+		if id == "fig11" || id == "fig12" || id == "extscatter" {
+			continue // covered elsewhere; skip heavy reruns
+		}
+		r, err := ByID(id, p, ScaleQuick)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if r.ID != id || len(r.Table.Rows) == 0 {
+			t.Fatalf("%s: empty result", id)
+		}
+	}
+	if _, err := ByID("nope", p, ScaleQuick); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+func TestExtScatterBandwidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DRAM replay in -short mode")
+	}
+	r := ExtScatter(ScaleQuick)
+	if len(r.Table.Rows) != 3 {
+		t.Fatalf("extscatter rows = %d", len(r.Table.Rows))
+	}
+	last := r.Table.Rows[len(r.Table.Rows)-1]
+	ratio := parseFloat(t, last[3])
+	if ratio < 1.5 {
+		t.Fatalf("TensorNode/CPU scatter-add ratio = %.2f, want a clear NMP win", ratio)
+	}
+}

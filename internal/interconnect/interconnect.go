@@ -1,0 +1,83 @@
+// Package interconnect models the system interconnects of the paper's
+// evaluation platform (Sections 2.2 and 5): the host PCIe(v3) bus that the
+// conventional hybrid CPU-GPU design must cross, and the NVLink(v2)/NVSwitch
+// GPU-side fabric that TensorNode is attached to.
+//
+// A transfer is modeled as fixed latency plus size over effective bandwidth —
+// adequate here because the paper's tensor transfers are large, streaming
+// copies (cudaMemcpy / CC-NUMA reads) whose cost is bandwidth-dominated, and
+// because the evaluation's link-sensitivity study (Figure 16) varies exactly
+// this bandwidth parameter.
+package interconnect
+
+import "fmt"
+
+// Link is one interconnect path between two endpoints.
+type Link struct {
+	Name string
+	// BandwidthGBs is the effective uni-directional data bandwidth in GB/s.
+	BandwidthGBs float64
+	// LatencyS is the fixed per-transfer overhead in seconds (driver call,
+	// DMA setup, switch traversal).
+	LatencyS float64
+}
+
+// PCIe3x16 returns the host PCIe v3 x16 link: 16 GB/s theoretical, with the
+// ~10 us cudaMemcpy fixed overhead of a discrete GPU.
+func PCIe3x16() Link {
+	return Link{Name: "PCIe3-x16", BandwidthGBs: 16, LatencyS: 10e-6}
+}
+
+// NVLink2 returns an NVLink v2 path of n links (25 GB/s each, Section 2.2);
+// a V100 has six, for 150 GB/s per GPU through NVSwitch.
+func NVLink2(n int) Link {
+	return Link{
+		Name:         fmt.Sprintf("NVLink2-x%d", n),
+		BandwidthGBs: 25 * float64(n),
+		LatencyS:     5e-6,
+	}
+}
+
+// WithBandwidth returns a copy of the link with a different bandwidth, used
+// by the Figure 16 sensitivity sweep (25/50/150 GB/s).
+func (l Link) WithBandwidth(gbs float64) Link {
+	l.BandwidthGBs = gbs
+	l.Name = fmt.Sprintf("%s@%.0fGB/s", l.Name, gbs)
+	return l
+}
+
+// TransferSeconds returns the time to move `bytes` across the link.
+func (l Link) TransferSeconds(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.LatencyS + float64(bytes)/(l.BandwidthGBs*1e9)
+}
+
+// Switch models an NVSwitch-class non-blocking crossbar: every endpoint pair
+// communicates at full port bandwidth concurrently (Section 2.2: "any given
+// GPU within DGX-2 can communicate with any other GPU at the full
+// uni-directional bandwidth"). Congestion arises only at endpoint ports.
+type Switch struct {
+	Name  string
+	Ports int
+	// PortLink is the per-port link (NVLink bundle of each endpoint).
+	PortLink Link
+}
+
+// NVSwitch returns a DGX-2-class switch: 16 ports of 6 NVLink2 bricks.
+func NVSwitch(ports int) Switch {
+	return Switch{Name: "NVSwitch", Ports: ports, PortLink: NVLink2(6)}
+}
+
+// TransferSeconds returns the time for a point-to-point transfer through the
+// switch: bound by the source and destination port bandwidth (equal here),
+// with one extra hop of latency.
+func (s Switch) TransferSeconds(bytes int64) float64 {
+	return s.PortLink.TransferSeconds(bytes) + s.PortLink.LatencyS
+}
+
+// BisectionGBs returns the switch's total bisection bandwidth.
+func (s Switch) BisectionGBs() float64 {
+	return float64(s.Ports) / 2 * s.PortLink.BandwidthGBs
+}

@@ -1,0 +1,93 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPCIeVsNVLinkRatio(t *testing.T) {
+	// The paper's premise: NVLink moves embeddings ~9x faster than PCIe
+	// (Section 1: "approximately 9x faster than PCIe").
+	pcie := PCIe3x16()
+	nvlink := NVLink2(6)
+	ratio := nvlink.BandwidthGBs / pcie.BandwidthGBs
+	if math.Abs(ratio-9.375) > 0.01 {
+		t.Fatalf("NVLink/PCIe bandwidth ratio = %.2f, want 150/16", ratio)
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	l := Link{Name: "test", BandwidthGBs: 10, LatencyS: 1e-6}
+	// 10 GB at 10 GB/s = 1 s + 1 us.
+	got := l.TransferSeconds(10e9)
+	if math.Abs(got-1.000001) > 1e-9 {
+		t.Fatalf("TransferSeconds = %v", got)
+	}
+	if l.TransferSeconds(0) != 0 {
+		t.Fatal("zero bytes must cost zero")
+	}
+	if l.TransferSeconds(-5) != 0 {
+		t.Fatal("negative bytes must cost zero")
+	}
+}
+
+func TestSmallTransferLatencyBound(t *testing.T) {
+	// A 64 B transfer must be dominated by fixed latency, not bandwidth.
+	l := NVLink2(6)
+	got := l.TransferSeconds(64)
+	if got < l.LatencyS || got > l.LatencyS*1.01 {
+		t.Fatalf("64 B transfer = %v, want ~latency %v", got, l.LatencyS)
+	}
+}
+
+func TestWithBandwidth(t *testing.T) {
+	base := NVLink2(6)
+	for _, gbs := range []float64{25, 50, 150} { // the Figure 16 sweep
+		l := base.WithBandwidth(gbs)
+		if l.BandwidthGBs != gbs {
+			t.Fatalf("WithBandwidth(%v) = %v", gbs, l.BandwidthGBs)
+		}
+		if l.LatencyS != base.LatencyS {
+			t.Fatal("WithBandwidth must preserve latency")
+		}
+	}
+	if base.BandwidthGBs != 150 {
+		t.Fatal("WithBandwidth must not mutate the receiver")
+	}
+}
+
+func TestNVSwitch(t *testing.T) {
+	sw := NVSwitch(16)
+	if sw.BisectionGBs() != 8*150 {
+		t.Fatalf("bisection = %v", sw.BisectionGBs())
+	}
+	// One switch hop adds one extra port latency.
+	direct := sw.PortLink.TransferSeconds(1 << 20)
+	through := sw.TransferSeconds(1 << 20)
+	if through <= direct {
+		t.Fatal("switch hop must add latency")
+	}
+	if through-direct > 2*sw.PortLink.LatencyS {
+		t.Fatalf("switch hop cost %v too large", through-direct)
+	}
+}
+
+// Property: transfer time is monotone in size and bandwidth.
+func TestQuickTransferMonotone(t *testing.T) {
+	f := func(b1, b2 uint32, bw1Raw, bw2Raw uint8) bool {
+		s1, s2 := int64(b1), int64(b2)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		bw1 := float64(bw1Raw%100) + 1
+		bw2 := bw1 + float64(bw2Raw%100) + 1
+		slow := Link{BandwidthGBs: bw1, LatencyS: 1e-6}
+		fast := Link{BandwidthGBs: bw2, LatencyS: 1e-6}
+		return slow.TransferSeconds(s1) <= slow.TransferSeconds(s2) &&
+			fast.TransferSeconds(s2) <= slow.TransferSeconds(s2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,315 @@
+// Package isa implements TensorISA, the custom tensor instruction set of the
+// TensorDIMM paper (Section 4.4, Figures 8 and 9).
+//
+// Three primitives are supported:
+//
+//	GATHER  — embedding lookup:      out[i] = table[idx[i]]
+//	REDUCE  — element-wise binary op: out = in1 <OP> in2
+//	AVERAGE — N-way element-wise mean: out = (in[0]+...+in[N-1]) / N
+//
+// Addressing model. Following the paper's pseudo-code (Figure 9), every base
+// address and count is expressed in units of 64-byte blocks: 64 B is the
+// minimum access granularity of a x64 DIMM with burst length 8, and it is the
+// granularity at which the TensorDIMM address mapping stripes tensors across
+// ranks (Figure 7). A "stripe" is one 64 B block per TensorDIMM; an embedding
+// whose payload is nodeDim x 64 B occupies exactly one stripe. Larger
+// embeddings occupy consecutive stripes, and the runtime expands lookup
+// indices accordingly (idx*k .. idx*k+k-1 for k stripes per embedding).
+//
+// The wire format is a fixed 32-byte little-endian word per instruction; see
+// Encode for the layout. Instructions are broadcast by the runtime to every
+// TensorDIMM in a TensorNode, and each NMP core executes its rank-local slice
+// (its "tid") of the operation.
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BlockBytes is the minimum DRAM access granularity assumed by TensorISA:
+// eight x8 devices x burst length 8 = 64 bytes (Section 4.2).
+const BlockBytes = 64
+
+// LanesPerBlock is the number of 4-byte scalar lanes in one 64-byte block;
+// it is also the width of the NMP vector ALU (Section 4.2).
+const LanesPerBlock = 16
+
+// WordBytes is the size of one encoded instruction.
+const WordBytes = 32
+
+// Opcode identifies a TensorISA primitive (Figure 8).
+type Opcode uint8
+
+// TensorISA opcodes. GATHER, REDUCE and AVERAGE are the paper's three
+// primitives (Figure 8). SCATTER_ADD is this repository's extension for the
+// training direction the paper leaves to future work: the inverse of GATHER,
+// accumulating per-row gradients into the embedding table near-memory
+// (table[idx[i]] += grad[i]), which spares the un-reduced gradient tensor
+// the trip across the interconnect exactly as GATHER spares the embeddings.
+const (
+	OpInvalid    Opcode = iota
+	OpGather            // embedding lookup
+	OpReduce            // element-wise binary reduction
+	OpAverage           // element-wise N-way average
+	OpScatterAdd        // extension: embedding-table gradient accumulate
+)
+
+// String implements fmt.Stringer.
+func (op Opcode) String() string {
+	switch op {
+	case OpGather:
+		return "GATHER"
+	case OpReduce:
+		return "REDUCE"
+	case OpAverage:
+		return "AVERAGE"
+	case OpScatterAdd:
+		return "SCATTER_ADD"
+	default:
+		return fmt.Sprintf("INVALID(%d)", uint8(op))
+	}
+}
+
+// ReduceOp selects the element-wise operator <OP> of a REDUCE instruction
+// (Figure 9(b): "add, subtract, average, ..." — Section 4.2).
+type ReduceOp uint8
+
+// Element-wise operators supported by the 16-wide vector ALU.
+const (
+	RAdd ReduceOp = iota
+	RSub
+	RMul
+	RMax
+)
+
+// String implements fmt.Stringer.
+func (r ReduceOp) String() string {
+	switch r {
+	case RAdd:
+		return "add"
+	case RSub:
+		return "sub"
+	case RMul:
+		return "mul"
+	case RMax:
+		return "max"
+	default:
+		return fmt.Sprintf("rop(%d)", uint8(r))
+	}
+}
+
+// Instruction is one decoded TensorISA instruction. Field meaning depends on
+// the opcode, mirroring Figure 8:
+//
+//	         InputBase   Aux          OutputBase  Count
+//	GATHER   tableBase   idxBase      outputBase  #indices (multiple of 16)
+//	REDUCE   inputBase1  inputBase2   outputBase  #blocks per rank
+//	AVERAGE  inputBase   averageNum   outputBase  #output blocks per rank
+//
+// All bases and counts are in 64-byte blocks (see package comment).
+type Instruction struct {
+	Op         Opcode
+	ROp        ReduceOp // REDUCE only; RAdd otherwise
+	InputBase  uint64
+	Aux        uint64
+	OutputBase uint64
+	Count      uint32
+}
+
+// Errors returned by Validate and Decode.
+var (
+	ErrOpcode    = errors.New("isa: invalid opcode")
+	ErrCount     = errors.New("isa: invalid count")
+	ErrAux       = errors.New("isa: invalid aux field")
+	ErrTruncated = errors.New("isa: truncated instruction word")
+)
+
+// Gather builds a GATHER instruction. count is the number of embedding
+// indices to process and must be a positive multiple of 16, because the NMP
+// core reads indices one 64-byte block (16 x int32) at a time (Figure 9(a)).
+func Gather(tableBase, idxBase, outputBase uint64, count uint32) Instruction {
+	return Instruction{Op: OpGather, InputBase: tableBase, Aux: idxBase, OutputBase: outputBase, Count: count}
+}
+
+// Reduce builds a REDUCE instruction combining two equal-length operands.
+func Reduce(rop ReduceOp, inputBase1, inputBase2, outputBase uint64, count uint32) Instruction {
+	return Instruction{Op: OpReduce, ROp: rop, InputBase: inputBase1, Aux: inputBase2, OutputBase: outputBase, Count: count}
+}
+
+// Average builds an AVERAGE instruction reducing averageNum consecutive
+// tensors of count blocks each into one tensor of count blocks.
+func Average(inputBase uint64, averageNum uint32, outputBase uint64, count uint32) Instruction {
+	return Instruction{Op: OpAverage, InputBase: inputBase, Aux: uint64(averageNum), OutputBase: outputBase, Count: count}
+}
+
+// ScatterAdd builds a SCATTER_ADD instruction (extension): for each of the
+// count indices, accumulate one gradient stripe from gradBase into table row
+// idx (table[idx[i]] += grad[i]). count must be a positive multiple of 16,
+// like GATHER. Duplicate indices accumulate in instruction order.
+func ScatterAdd(tableBase, idxBase, gradBase uint64, count uint32) Instruction {
+	return Instruction{Op: OpScatterAdd, InputBase: tableBase, Aux: idxBase, OutputBase: gradBase, Count: count}
+}
+
+// Validate checks structural invariants of the instruction.
+func (in Instruction) Validate() error {
+	switch in.Op {
+	case OpGather, OpScatterAdd:
+		if in.Count == 0 || in.Count%LanesPerBlock != 0 {
+			return fmt.Errorf("%w: %v count %d must be a positive multiple of %d", ErrCount, in.Op, in.Count, LanesPerBlock)
+		}
+	case OpReduce:
+		if in.Count == 0 {
+			return fmt.Errorf("%w: REDUCE count must be positive", ErrCount)
+		}
+		if in.ROp > RMax {
+			return fmt.Errorf("%w: REDUCE operator %d", ErrAux, in.ROp)
+		}
+	case OpAverage:
+		if in.Count == 0 {
+			return fmt.Errorf("%w: AVERAGE count must be positive", ErrCount)
+		}
+		if in.Aux < 1 {
+			return fmt.Errorf("%w: AVERAGE averageNum must be >= 1, got %d", ErrAux, in.Aux)
+		}
+	default:
+		return fmt.Errorf("%w: %d", ErrOpcode, in.Op)
+	}
+	return nil
+}
+
+// Encode serializes the instruction into its 32-byte wire format:
+//
+//	offset 0  : opcode (uint8)
+//	offset 1  : reduce operator (uint8)
+//	offset 2-3: reserved (zero)
+//	offset 4-7: count (uint32 LE)
+//	offset 8  : InputBase (uint64 LE)
+//	offset 16 : Aux (uint64 LE)
+//	offset 24 : OutputBase (uint64 LE)
+func (in Instruction) Encode() [WordBytes]byte {
+	var w [WordBytes]byte
+	w[0] = byte(in.Op)
+	w[1] = byte(in.ROp)
+	binary.LittleEndian.PutUint32(w[4:8], in.Count)
+	binary.LittleEndian.PutUint64(w[8:16], in.InputBase)
+	binary.LittleEndian.PutUint64(w[16:24], in.Aux)
+	binary.LittleEndian.PutUint64(w[24:32], in.OutputBase)
+	return w
+}
+
+// Decode parses a 32-byte wire word. It returns ErrTruncated if b is short
+// and a validation error if the decoded instruction is malformed.
+func Decode(b []byte) (Instruction, error) {
+	if len(b) < WordBytes {
+		return Instruction{}, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	in := Instruction{
+		Op:         Opcode(b[0]),
+		ROp:        ReduceOp(b[1]),
+		Count:      binary.LittleEndian.Uint32(b[4:8]),
+		InputBase:  binary.LittleEndian.Uint64(b[8:16]),
+		Aux:        binary.LittleEndian.Uint64(b[16:24]),
+		OutputBase: binary.LittleEndian.Uint64(b[24:32]),
+	}
+	if err := in.Validate(); err != nil {
+		return Instruction{}, err
+	}
+	return in, nil
+}
+
+// String renders a one-line disassembly, e.g.
+// "GATHER table=0x100 idx=0x2000 out=0x4000 count=64".
+func (in Instruction) String() string {
+	switch in.Op {
+	case OpGather:
+		return fmt.Sprintf("GATHER table=%#x idx=%#x out=%#x count=%d", in.InputBase, in.Aux, in.OutputBase, in.Count)
+	case OpReduce:
+		return fmt.Sprintf("REDUCE.%s in1=%#x in2=%#x out=%#x count=%d", in.ROp, in.InputBase, in.Aux, in.OutputBase, in.Count)
+	case OpAverage:
+		return fmt.Sprintf("AVERAGE in=%#x n=%d out=%#x count=%d", in.InputBase, in.Aux, in.OutputBase, in.Count)
+	case OpScatterAdd:
+		return fmt.Sprintf("SCATTER_ADD table=%#x idx=%#x grad=%#x count=%d", in.InputBase, in.Aux, in.OutputBase, in.Count)
+	default:
+		return fmt.Sprintf("INVALID op=%d", uint8(in.Op))
+	}
+}
+
+// Program is an ordered sequence of instructions, as emitted by the runtime
+// for one embedding layer (e.g. two GATHERs followed by a REDUCE, Figure 2).
+type Program []Instruction
+
+// Validate validates every instruction in the program.
+func (p Program) Validate() error {
+	for i, in := range p {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("instruction %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EncodeProgram serializes the program as len(p) consecutive 32-byte words.
+func EncodeProgram(p Program) []byte {
+	out := make([]byte, 0, len(p)*WordBytes)
+	for _, in := range p {
+		w := in.Encode()
+		out = append(out, w[:]...)
+	}
+	return out
+}
+
+// DecodeProgram parses a byte stream of whole instruction words.
+func DecodeProgram(b []byte) (Program, error) {
+	if len(b)%WordBytes != 0 {
+		return nil, fmt.Errorf("%w: stream length %d not a multiple of %d", ErrTruncated, len(b), WordBytes)
+	}
+	p := make(Program, 0, len(b)/WordBytes)
+	for off := 0; off < len(b); off += WordBytes {
+		in, err := Decode(b[off : off+WordBytes])
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", off/WordBytes, err)
+		}
+		p = append(p, in)
+	}
+	return p, nil
+}
+
+// Traffic describes the DRAM traffic an instruction generates per TensorDIMM,
+// in 64-byte blocks, following the pseudo-code of Figure 9. It is used by the
+// trace generator and by the analytical bandwidth model.
+type Traffic struct {
+	ReadBlocks  uint64 // blocks read from rank-local DRAM
+	WriteBlocks uint64 // blocks written to rank-local DRAM
+}
+
+// TotalBlocks returns reads plus writes.
+func (t Traffic) TotalBlocks() uint64 { return t.ReadBlocks + t.WriteBlocks }
+
+// RankTraffic returns the per-TensorDIMM DRAM traffic of the instruction.
+//
+//	GATHER     : reads count/16 index blocks + count data blocks, writes count.
+//	REDUCE     : reads 2*count, writes count.
+//	AVERAGE    : reads averageNum*count, writes count.
+//	SCATTER_ADD: reads count/16 index blocks + count gradient blocks +
+//	             count table blocks, writes count table blocks.
+//
+// The index-block reads of GATHER/SCATTER_ADD are counted on every rank:
+// the paper broadcasts the instruction and each NMP core walks the full
+// index list.
+func (in Instruction) RankTraffic() Traffic {
+	c := uint64(in.Count)
+	switch in.Op {
+	case OpGather:
+		return Traffic{ReadBlocks: c/LanesPerBlock + c, WriteBlocks: c}
+	case OpReduce:
+		return Traffic{ReadBlocks: 2 * c, WriteBlocks: c}
+	case OpAverage:
+		return Traffic{ReadBlocks: in.Aux * c, WriteBlocks: c}
+	case OpScatterAdd:
+		return Traffic{ReadBlocks: c/LanesPerBlock + 2*c, WriteBlocks: c}
+	default:
+		return Traffic{}
+	}
+}

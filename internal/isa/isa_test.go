@@ -1,0 +1,203 @@
+package isa
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instruction
+		ok   bool
+	}{
+		{"gather ok", Gather(0x100, 0x200, 0x300, 64), true},
+		{"gather count 0", Gather(0, 0, 0, 0), false},
+		{"gather count not multiple of 16", Gather(0, 0, 0, 17), false},
+		{"reduce ok", Reduce(RAdd, 1, 2, 3, 10), true},
+		{"reduce mul ok", Reduce(RMul, 1, 2, 3, 10), true},
+		{"reduce count 0", Reduce(RAdd, 1, 2, 3, 0), false},
+		{"reduce bad op", Instruction{Op: OpReduce, ROp: 99, Count: 4}, false},
+		{"average ok", Average(1, 25, 3, 8), true},
+		{"average n=0", Average(1, 0, 3, 8), false},
+		{"average count 0", Average(1, 4, 3, 0), false},
+		{"invalid opcode", Instruction{Op: 0, Count: 4}, false},
+		{"unknown opcode", Instruction{Op: 77, Count: 4}, false},
+	}
+	for _, c := range cases {
+		err := c.in.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ins := []Instruction{
+		Gather(0xDEADBEEF00, 0x1234, 0xFFFF_FFFF_FFFF_0000, 1024),
+		Reduce(RMul, 1, 2, 3, 77),
+		Average(0xABC, 50, 0xDEF, 12),
+	}
+	for _, in := range ins {
+		w := in.Encode()
+		got, err := Decode(w[:])
+		if err != nil {
+			t.Fatalf("%v: decode error %v", in, err)
+		}
+		if got != in {
+			t.Fatalf("round trip: got %+v want %+v", got, in)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short word: got %v, want ErrTruncated", err)
+	}
+	var w [WordBytes]byte // opcode 0 = invalid
+	if _, err := Decode(w[:]); !errors.Is(err, ErrOpcode) {
+		t.Fatalf("invalid opcode: got %v", err)
+	}
+}
+
+func TestDecodeRejectsBadCount(t *testing.T) {
+	in := Gather(1, 2, 3, 16)
+	w := in.Encode()
+	w[4] = 3 // count -> 3, not a multiple of 16
+	if _, err := Decode(w[:]); !errors.Is(err, ErrCount) {
+		t.Fatalf("got %v, want ErrCount", err)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p := Program{
+		Gather(0, 0x1000, 0x2000, 128),
+		Gather(0x8000, 0x1000, 0x3000, 128),
+		Reduce(RAdd, 0x2000, 0x3000, 0x4000, 128),
+		Average(0x2000, 50, 0x5000, 16),
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b := EncodeProgram(p)
+	if len(b) != len(p)*WordBytes {
+		t.Fatalf("encoded length %d", len(b))
+	}
+	got, err := DecodeProgram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(p) {
+		t.Fatalf("decoded %d instructions", len(got))
+	}
+	for i := range p {
+		if got[i] != p[i] {
+			t.Fatalf("instruction %d: %+v != %+v", i, got[i], p[i])
+		}
+	}
+}
+
+func TestDecodeProgramErrors(t *testing.T) {
+	if _, err := DecodeProgram(make([]byte, WordBytes+1)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", err)
+	}
+	bad := Instruction{Op: OpReduce, Count: 0}
+	w := bad.Encode()
+	if _, err := DecodeProgram(w[:]); err == nil {
+		t.Fatal("want validation error from DecodeProgram")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for in, want := range map[Instruction]string{
+		Gather(1, 2, 3, 16):      "GATHER",
+		Reduce(RMax, 1, 2, 3, 4): "REDUCE.max",
+		Average(1, 2, 3, 4):      "AVERAGE",
+		{Op: 99}:                 "INVALID",
+	} {
+		if s := in.String(); !strings.Contains(s, want) {
+			t.Errorf("String() = %q, want substring %q", s, want)
+		}
+	}
+	if OpGather.String() != "GATHER" || Opcode(99).String() == "" {
+		t.Error("Opcode.String misbehaves")
+	}
+	if RSub.String() != "sub" || ReduceOp(42).String() == "" {
+		t.Error("ReduceOp.String misbehaves")
+	}
+}
+
+func TestRankTraffic(t *testing.T) {
+	// GATHER of 64 indices: 64/16=4 index blocks + 64 data reads, 64 writes.
+	tr := Gather(0, 0, 0, 64).RankTraffic()
+	if tr.ReadBlocks != 68 || tr.WriteBlocks != 64 {
+		t.Fatalf("gather traffic = %+v", tr)
+	}
+	// REDUCE of 100 blocks: 200 reads, 100 writes.
+	tr = Reduce(RAdd, 0, 0, 0, 100).RankTraffic()
+	if tr.ReadBlocks != 200 || tr.WriteBlocks != 100 {
+		t.Fatalf("reduce traffic = %+v", tr)
+	}
+	// AVERAGE of 50 tensors x 8 blocks: 400 reads, 8 writes.
+	tr = Average(0, 50, 0, 8).RankTraffic()
+	if tr.ReadBlocks != 400 || tr.WriteBlocks != 8 {
+		t.Fatalf("average traffic = %+v", tr)
+	}
+	if tr.TotalBlocks() != 408 {
+		t.Fatalf("total = %d", tr.TotalBlocks())
+	}
+	if (Instruction{Op: 88}).RankTraffic() != (Traffic{}) {
+		t.Fatal("invalid op should have zero traffic")
+	}
+}
+
+// Property: Encode/Decode round-trips for arbitrary valid instructions.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(op uint8, rop uint8, in1, aux, out uint64, cnt uint32) bool {
+		ins := Instruction{
+			Op:         Opcode(op%3) + 1,
+			ROp:        ReduceOp(rop % 4),
+			InputBase:  in1,
+			Aux:        aux,
+			OutputBase: out,
+			Count:      cnt,
+		}
+		// Make the instruction valid for its opcode.
+		switch ins.Op {
+		case OpGather:
+			ins.Count = (cnt%1024 + 1) * 16
+		case OpReduce:
+			ins.Count = cnt%65536 + 1
+		case OpAverage:
+			ins.Count = cnt%65536 + 1
+			ins.Aux = aux%64 + 1
+		}
+		w := ins.Encode()
+		got, err := Decode(w[:])
+		return err == nil && got == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: traffic counters are monotone in count.
+func TestQuickTrafficMonotone(t *testing.T) {
+	f := func(c1, c2 uint16) bool {
+		a, b := uint32(c1%1000+1)*16, uint32(c2%1000+1)*16
+		if a > b {
+			a, b = b, a
+		}
+		ta := Gather(0, 0, 0, a).RankTraffic()
+		tb := Gather(0, 0, 0, b).RankTraffic()
+		return ta.TotalBlocks() <= tb.TotalBlocks()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterAddValidation(t *testing.T) {
+	if err := ScatterAdd(1, 2, 3, 32).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ScatterAdd(1, 2, 3, 0).Validate(); err == nil {
+		t.Fatal("want error for zero count")
+	}
+	if err := ScatterAdd(1, 2, 3, 17).Validate(); err == nil {
+		t.Fatal("want error for count not multiple of 16")
+	}
+}
+
+func TestScatterAddRoundTrip(t *testing.T) {
+	in := ScatterAdd(0x100, 0x200, 0x300, 64)
+	w := in.Encode()
+	got, err := Decode(w[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != in {
+		t.Fatalf("round trip: %+v != %+v", got, in)
+	}
+	if !strings.Contains(in.String(), "SCATTER_ADD") {
+		t.Fatalf("String = %q", in.String())
+	}
+	if OpScatterAdd.String() != "SCATTER_ADD" {
+		t.Fatal("opcode String wrong")
+	}
+}
+
+func TestScatterAddTraffic(t *testing.T) {
+	// 32 indices: 2 index blocks + 32 gradient reads + 32 table reads,
+	// 32 table writes.
+	tr := ScatterAdd(0, 0, 0, 32).RankTraffic()
+	if tr.ReadBlocks != 2+64 || tr.WriteBlocks != 32 {
+		t.Fatalf("traffic = %+v", tr)
+	}
+}

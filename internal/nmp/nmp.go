@@ -1,0 +1,381 @@
+// Package nmp implements the near-memory-processing core that TensorDIMM
+// places inside the buffer device of each DIMM (Section 4.2, Figure 6(a)).
+//
+// The core consists of:
+//
+//   - an NMP-local memory controller, modeled here as the FSM that lowers one
+//     TensorISA instruction into a stream of rank-local 64-byte block reads
+//     and writes (the DRAM-command-level cost of that stream is measured
+//     separately by internal/dram);
+//
+//   - input SRAM queues A and B and an output queue C, each sized to the
+//     bandwidth-delay product of the memory (25.6 GB/s x 20 ns = 512 B = 8
+//     blocks, Section 4.2 "Implementation and overhead");
+//
+//   - a 16-lane float32 vector ALU clocked at 150 MHz that pops operand
+//     pairs from the input queues and pushes results to the output queue.
+//
+// Execution is functionally exact: the same arithmetic the paper's pseudo
+// code (Figure 9) prescribes, over real data, so results can be compared
+// bit-for-bit against the golden model in internal/embed.
+package nmp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tensordimm/internal/isa"
+)
+
+// Block is one 64-byte DRAM burst: 16 float32 lanes.
+type Block [isa.BlockBytes]byte
+
+// QueueBlocks is the capacity of each SRAM queue in 64-byte blocks:
+// 25.6 GB/s x 20 ns = 512 B (Section 4.2).
+const QueueBlocks = 8
+
+// ALUClockHz is the vector ALU clock (Section 4.2).
+const ALUClockHz = 150e6
+
+// ALULanes is the vector width: sixteen 4-byte scalar elements per block.
+const ALULanes = isa.LanesPerBlock
+
+// Env is the memory environment a buffer device exposes to its NMP core.
+// Global addresses are in 64-byte blocks over the node's physical space; the
+// implementation enforces rank-locality (an NMP core can only touch its own
+// DIMM's DRAM, which is what makes aggregate bandwidth scale, Section 4.2).
+type Env interface {
+	// ReadLocal returns the rank-local block at the global block address.
+	ReadLocal(globalBlock uint64) (Block, error)
+	// WriteLocal stores a rank-local block.
+	WriteLocal(globalBlock uint64, b Block) error
+	// ReadShared returns a block of the node-wide replicated region that
+	// holds GATHER index lists (broadcast alongside the instruction).
+	ReadShared(globalBlock uint64) (Block, error)
+}
+
+// Stats counts datapath activity for one core.
+type Stats struct {
+	BlocksRead    uint64 // rank-local DRAM blocks read
+	BlocksWritten uint64 // rank-local DRAM blocks written
+	SharedReads   uint64 // index blocks read from the replicated region
+	ALUBlockOps   uint64 // vector-ALU block operations executed
+	Instructions  uint64 // TensorISA instructions retired
+}
+
+// ALUBusySeconds returns the time the 16-wide 150 MHz ALU was busy: one
+// block operation per cycle.
+func (s Stats) ALUBusySeconds() float64 { return float64(s.ALUBlockOps) / ALUClockHz }
+
+// queue is a fixed-capacity ring of blocks — the input/output SRAM queues.
+type queue struct {
+	buf  [QueueBlocks]Block
+	head int
+	n    int
+	// highWater tracks the maximum occupancy reached, for sizing checks.
+	highWater int
+}
+
+func (q *queue) push(b Block) bool {
+	if q.n == QueueBlocks {
+		return false
+	}
+	q.buf[(q.head+q.n)%QueueBlocks] = b
+	q.n++
+	if q.n > q.highWater {
+		q.highWater = q.n
+	}
+	return true
+}
+
+func (q *queue) pop() (Block, bool) {
+	if q.n == 0 {
+		return Block{}, false
+	}
+	b := q.buf[q.head]
+	q.head = (q.head + 1) % QueueBlocks
+	q.n--
+	return b, true
+}
+
+// Core is one NMP core, bound to TensorDIMM `TID` of a node with `NodeDim`
+// TensorDIMMs.
+type Core struct {
+	TID     int
+	NodeDim int
+	env     Env
+
+	inA, inB, out queue
+	stats         Stats
+}
+
+// NewCore builds a core for DIMM tid of nodeDim.
+func NewCore(tid, nodeDim int, env Env) (*Core, error) {
+	if nodeDim <= 0 || tid < 0 || tid >= nodeDim {
+		return nil, fmt.Errorf("nmp: tid %d out of range for nodeDim %d", tid, nodeDim)
+	}
+	if env == nil {
+		return nil, fmt.Errorf("nmp: nil environment")
+	}
+	return &Core{TID: tid, NodeDim: nodeDim, env: env}, nil
+}
+
+// Stats returns a copy of the datapath counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// QueueHighWater returns the maximum occupancy reached by the A, B and C
+// queues, to validate the paper's 0.5 KB sizing.
+func (c *Core) QueueHighWater() (a, b, out int) {
+	return c.inA.highWater, c.inB.highWater, c.out.highWater
+}
+
+// Execute runs one TensorISA instruction on this core's slice of the
+// operation, per the pseudo-code of Figure 9.
+func (c *Core) Execute(in isa.Instruction) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	var err error
+	switch in.Op {
+	case isa.OpGather:
+		err = c.gather(in)
+	case isa.OpReduce:
+		err = c.reduce(in)
+	case isa.OpAverage:
+		err = c.average(in)
+	case isa.OpScatterAdd:
+		err = c.scatterAdd(in)
+	default:
+		err = fmt.Errorf("nmp: unsupported opcode %v", in.Op)
+	}
+	if err == nil {
+		c.stats.Instructions++
+	}
+	return err
+}
+
+func (c *Core) readLocal(block uint64) (Block, error) {
+	b, err := c.env.ReadLocal(block)
+	if err == nil {
+		c.stats.BlocksRead++
+	}
+	return b, err
+}
+
+func (c *Core) writeLocal(block uint64, b Block) error {
+	err := c.env.WriteLocal(block, b)
+	if err == nil {
+		c.stats.BlocksWritten++
+	}
+	return err
+}
+
+// gather implements Figure 9(a): stream indices, copy table stripes to the
+// output tensor. Data passes through the input queue to the output queue
+// (the ALU forwards, Section 4.2).
+func (c *Core) gather(in isa.Instruction) error {
+	tid := uint64(c.TID)
+	dim := uint64(c.NodeDim)
+	for i := uint64(0); i < uint64(in.Count)/isa.LanesPerBlock; i++ {
+		xb, err := c.env.ReadShared(in.Aux + i)
+		if err != nil {
+			return fmt.Errorf("nmp gather: index block %d: %w", i, err)
+		}
+		c.stats.SharedReads++
+		for j := uint64(0); j < isa.LanesPerBlock; j++ {
+			idx := uint64(binary.LittleEndian.Uint32(xb[j*4 : j*4+4]))
+			blk, err := c.readLocal(in.InputBase + idx*dim + tid)
+			if err != nil {
+				return fmt.Errorf("nmp gather: index %d: %w", idx, err)
+			}
+			if !c.inA.push(blk) {
+				return fmt.Errorf("nmp gather: input queue overflow")
+			}
+			fwd, _ := c.inA.pop() // forward path: input queue -> output queue
+			if !c.out.push(fwd) {
+				return fmt.Errorf("nmp gather: output queue overflow")
+			}
+			ob, _ := c.out.pop()
+			if err := c.writeLocal(in.OutputBase+(i*isa.LanesPerBlock+j)*dim+tid, ob); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// reduce implements Figure 9(b): C = A <OP> B, block by block.
+func (c *Core) reduce(in isa.Instruction) error {
+	tid := uint64(c.TID)
+	dim := uint64(c.NodeDim)
+	for i := uint64(0); i < uint64(in.Count); i++ {
+		a, err := c.readLocal(in.InputBase + i*dim + tid)
+		if err != nil {
+			return fmt.Errorf("nmp reduce: operand A block %d: %w", i, err)
+		}
+		b, err := c.readLocal(in.Aux + i*dim + tid)
+		if err != nil {
+			return fmt.Errorf("nmp reduce: operand B block %d: %w", i, err)
+		}
+		if !c.inA.push(a) || !c.inB.push(b) {
+			return fmt.Errorf("nmp reduce: input queue overflow")
+		}
+		av, _ := c.inA.pop()
+		bv, _ := c.inB.pop()
+		cv := aluOp(in.ROp, av, bv)
+		c.stats.ALUBlockOps++
+		if !c.out.push(cv) {
+			return fmt.Errorf("nmp reduce: output queue overflow")
+		}
+		ob, _ := c.out.pop()
+		if err := c.writeLocal(in.OutputBase+i*dim+tid, ob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// average implements Figure 9(c): accumulate averageNum blocks, divide.
+func (c *Core) average(in isa.Instruction) error {
+	tid := uint64(c.TID)
+	dim := uint64(c.NodeDim)
+	n := in.Aux
+	for i := uint64(0); i < uint64(in.Count); i++ {
+		var acc Block // 256'b0 ... extended to the full block
+		for j := uint64(0); j < n; j++ {
+			a, err := c.readLocal(in.InputBase + (i*n+j)*dim + tid)
+			if err != nil {
+				return fmt.Errorf("nmp average: input %d.%d: %w", i, j, err)
+			}
+			if !c.inA.push(a) {
+				return fmt.Errorf("nmp average: input queue overflow")
+			}
+			av, _ := c.inA.pop()
+			acc = aluOp(isa.RAdd, acc, av)
+			c.stats.ALUBlockOps++
+		}
+		acc = aluScale(acc, 1/float32(n))
+		c.stats.ALUBlockOps++
+		if !c.out.push(acc) {
+			return fmt.Errorf("nmp average: output queue overflow")
+		}
+		ob, _ := c.out.pop()
+		if err := c.writeLocal(in.OutputBase+i*dim+tid, ob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterAdd implements the SCATTER_ADD extension: the inverse of gather,
+// accumulating gradient stripes into table rows (read-modify-write through
+// the A/B input queues and the vector ALU). Duplicate indices accumulate in
+// instruction order because the core executes its slice sequentially.
+func (c *Core) scatterAdd(in isa.Instruction) error {
+	tid := uint64(c.TID)
+	dim := uint64(c.NodeDim)
+	for i := uint64(0); i < uint64(in.Count)/isa.LanesPerBlock; i++ {
+		xb, err := c.env.ReadShared(in.Aux + i)
+		if err != nil {
+			return fmt.Errorf("nmp scatter-add: index block %d: %w", i, err)
+		}
+		c.stats.SharedReads++
+		for j := uint64(0); j < isa.LanesPerBlock; j++ {
+			idx := uint64(binary.LittleEndian.Uint32(xb[j*4 : j*4+4]))
+			grad, err := c.readLocal(in.OutputBase + (i*isa.LanesPerBlock+j)*dim + tid)
+			if err != nil {
+				return fmt.Errorf("nmp scatter-add: gradient %d: %w", i*isa.LanesPerBlock+j, err)
+			}
+			row, err := c.readLocal(in.InputBase + idx*dim + tid)
+			if err != nil {
+				return fmt.Errorf("nmp scatter-add: table row %d: %w", idx, err)
+			}
+			if !c.inA.push(row) || !c.inB.push(grad) {
+				return fmt.Errorf("nmp scatter-add: input queue overflow")
+			}
+			av, _ := c.inA.pop()
+			bv, _ := c.inB.pop()
+			sum := aluOp(isa.RAdd, av, bv)
+			c.stats.ALUBlockOps++
+			if !c.out.push(sum) {
+				return fmt.Errorf("nmp scatter-add: output queue overflow")
+			}
+			ob, _ := c.out.pop()
+			if err := c.writeLocal(in.InputBase+idx*dim+tid, ob); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// aluOp applies the element-wise operator across the 16 float32 lanes.
+func aluOp(op isa.ReduceOp, a, b Block) Block {
+	var out Block
+	for l := 0; l < ALULanes; l++ {
+		av := math.Float32frombits(binary.LittleEndian.Uint32(a[l*4 : l*4+4]))
+		bv := math.Float32frombits(binary.LittleEndian.Uint32(b[l*4 : l*4+4]))
+		var r float32
+		switch op {
+		case isa.RAdd:
+			r = av + bv
+		case isa.RSub:
+			r = av - bv
+		case isa.RMul:
+			r = av * bv
+		case isa.RMax:
+			if av >= bv {
+				r = av
+			} else {
+				r = bv
+			}
+		}
+		binary.LittleEndian.PutUint32(out[l*4:l*4+4], math.Float32bits(r))
+	}
+	return out
+}
+
+// aluScale multiplies every lane by s (the divide step of AVERAGE).
+func aluScale(a Block, s float32) Block {
+	var out Block
+	for l := 0; l < ALULanes; l++ {
+		av := math.Float32frombits(binary.LittleEndian.Uint32(a[l*4 : l*4+4]))
+		binary.LittleEndian.PutUint32(out[l*4:l*4+4], math.Float32bits(av*s))
+	}
+	return out
+}
+
+// PackFloats encodes 16 float32 values into a block (little-endian).
+func PackFloats(vals []float32) Block {
+	var b Block
+	for i, v := range vals {
+		if i >= ALULanes {
+			break
+		}
+		binary.LittleEndian.PutUint32(b[i*4:i*4+4], math.Float32bits(v))
+	}
+	return b
+}
+
+// UnpackFloats decodes a block into 16 float32 values.
+func UnpackFloats(b Block) []float32 {
+	out := make([]float32, ALULanes)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4 : i*4+4]))
+	}
+	return out
+}
+
+// PackIndices encodes 16 int32 lookup indices into a block, the layout the
+// GATHER datapath expects for its index-list reads.
+func PackIndices(vals []int32) Block {
+	var b Block
+	for i, v := range vals {
+		if i >= ALULanes {
+			break
+		}
+		binary.LittleEndian.PutUint32(b[i*4:i*4+4], uint32(v))
+	}
+	return b
+}

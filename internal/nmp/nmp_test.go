@@ -1,0 +1,275 @@
+package nmp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tensordimm/internal/isa"
+)
+
+// fakeEnv is a map-backed Env for unit-testing the core datapath.
+type fakeEnv struct {
+	tid, dim int
+	local    map[uint64]Block
+	shared   map[uint64]Block
+	failAt   uint64 // local reads at this block fail (0 = disabled)
+}
+
+func newFakeEnv(tid, dim int) *fakeEnv {
+	return &fakeEnv{tid: tid, dim: dim, local: map[uint64]Block{}, shared: map[uint64]Block{}}
+}
+
+func (e *fakeEnv) ReadLocal(g uint64) (Block, error) {
+	if e.failAt != 0 && g == e.failAt {
+		return Block{}, fmt.Errorf("injected fault at %#x", g)
+	}
+	if int(g%uint64(e.dim)) != e.tid {
+		return Block{}, fmt.Errorf("block %#x not local to tid %d", g, e.tid)
+	}
+	return e.local[g], nil
+}
+
+func (e *fakeEnv) WriteLocal(g uint64, b Block) error {
+	if int(g%uint64(e.dim)) != e.tid {
+		return fmt.Errorf("block %#x not local to tid %d", g, e.tid)
+	}
+	e.local[g] = b
+	return nil
+}
+
+func (e *fakeEnv) ReadShared(g uint64) (Block, error) {
+	b, ok := e.shared[g]
+	if !ok {
+		return Block{}, fmt.Errorf("shared block %#x missing", g)
+	}
+	return b, nil
+}
+
+func TestNewCoreValidation(t *testing.T) {
+	env := newFakeEnv(0, 4)
+	if _, err := NewCore(4, 4, env); err == nil {
+		t.Fatal("want error for tid out of range")
+	}
+	if _, err := NewCore(-1, 4, env); err == nil {
+		t.Fatal("want error for negative tid")
+	}
+	if _, err := NewCore(0, 4, nil); err == nil {
+		t.Fatal("want error for nil env")
+	}
+	if _, err := NewCore(3, 4, env); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	vals := make([]float32, ALULanes)
+	for i := range vals {
+		vals[i] = float32(i) * 1.5
+	}
+	got := UnpackFloats(PackFloats(vals))
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("lane %d: %v != %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestReduceOps(t *testing.T) {
+	dim := 2
+	for _, rop := range []isa.ReduceOp{isa.RAdd, isa.RSub, isa.RMul, isa.RMax} {
+		env := newFakeEnv(0, dim)
+		core, _ := NewCore(0, dim, env)
+		a := make([]float32, ALULanes)
+		b := make([]float32, ALULanes)
+		for i := range a {
+			a[i] = float32(i + 1)
+			b[i] = float32(2*i - 3)
+		}
+		env.local[0] = PackFloats(a)  // inputBase1 block 0 (tid 0 of dim 2)
+		env.local[10] = PackFloats(b) // inputBase2 block 10
+		in := isa.Reduce(rop, 0, 10, 20, 1)
+		if err := core.Execute(in); err != nil {
+			t.Fatalf("%v: %v", rop, err)
+		}
+		got := UnpackFloats(env.local[20])
+		for i := range a {
+			var want float32
+			switch rop {
+			case isa.RAdd:
+				want = a[i] + b[i]
+			case isa.RSub:
+				want = a[i] - b[i]
+			case isa.RMul:
+				want = a[i] * b[i]
+			case isa.RMax:
+				want = float32(math.Max(float64(a[i]), float64(b[i])))
+			}
+			if got[i] != want {
+				t.Fatalf("%v lane %d: got %v want %v", rop, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestReduceMultiBlockAddressing(t *testing.T) {
+	// tid 1 of 4: the core must touch only blocks == 1 (mod 4).
+	dim := 4
+	env := newFakeEnv(1, dim)
+	core, _ := NewCore(1, dim, env)
+	for i := uint64(0); i < 3; i++ {
+		env.local[0+i*4+1] = PackFloats([]float32{float32(i)})
+		env.local[100+i*4+1] = PackFloats([]float32{float32(10 * i)})
+	}
+	in := isa.Reduce(isa.RAdd, 0, 100, 200, 3)
+	if err := core.Execute(in); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		got := UnpackFloats(env.local[200+i*4+1])[0]
+		if got != float32(11*i) {
+			t.Fatalf("block %d: got %v want %v", i, got, float32(11*i))
+		}
+	}
+	s := core.Stats()
+	if s.BlocksRead != 6 || s.BlocksWritten != 3 || s.ALUBlockOps != 3 || s.Instructions != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	dim := 1
+	env := newFakeEnv(0, dim)
+	core, _ := NewCore(0, dim, env)
+	// Average 4 blocks into 1, twice (count=2).
+	for i := uint64(0); i < 8; i++ {
+		env.local[i] = PackFloats([]float32{float32(i), float32(i * 2)})
+	}
+	in := isa.Average(0, 4, 100, 2)
+	if err := core.Execute(in); err != nil {
+		t.Fatal(err)
+	}
+	out0 := UnpackFloats(env.local[100])
+	if out0[0] != 1.5 || out0[1] != 3 { // mean(0..3), mean(0,2,4,6)
+		t.Fatalf("avg group 0 = %v", out0[:2])
+	}
+	out1 := UnpackFloats(env.local[101])
+	if out1[0] != 5.5 || out1[1] != 11 {
+		t.Fatalf("avg group 1 = %v", out1[:2])
+	}
+}
+
+func TestGather(t *testing.T) {
+	dim := 2
+	env := newFakeEnv(0, dim)
+	core, _ := NewCore(0, dim, env)
+	// Table of 32 rows, one stripe each; tid 0 holds block row*2.
+	for r := uint64(0); r < 32; r++ {
+		env.local[1000+r*2] = PackFloats([]float32{float32(r) + 0.5})
+	}
+	indices := make([]int32, 16)
+	for i := range indices {
+		indices[i] = int32((i * 7) % 32)
+	}
+	env.shared[50] = PackIndices(indices)
+	in := isa.Gather(1000, 50, 2000, 16)
+	if err := core.Execute(in); err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range indices {
+		got := UnpackFloats(env.local[2000+uint64(i)*2])[0]
+		want := float32(idx) + 0.5
+		if got != want {
+			t.Fatalf("gathered %d: got %v want %v", i, got, want)
+		}
+	}
+	s := core.Stats()
+	if s.SharedReads != 1 || s.BlocksRead != 16 || s.BlocksWritten != 16 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestGatherMissingIndexBlock(t *testing.T) {
+	env := newFakeEnv(0, 1)
+	core, _ := NewCore(0, 1, env)
+	in := isa.Gather(0, 99, 10, 16)
+	if err := core.Execute(in); err == nil {
+		t.Fatal("want error for missing shared index block")
+	}
+}
+
+func TestExecuteInvalidInstruction(t *testing.T) {
+	env := newFakeEnv(0, 1)
+	core, _ := NewCore(0, 1, env)
+	if err := core.Execute(isa.Instruction{Op: isa.OpReduce, Count: 0}); err == nil {
+		t.Fatal("want validation error")
+	}
+	if core.Stats().Instructions != 0 {
+		t.Fatal("failed instruction must not retire")
+	}
+}
+
+func TestFaultPropagates(t *testing.T) {
+	env := newFakeEnv(0, 1)
+	env.local[0] = PackFloats([]float32{1})
+	env.local[1] = PackFloats([]float32{2})
+	env.failAt = 1
+	core, _ := NewCore(0, 1, env)
+	if err := core.Execute(isa.Reduce(isa.RAdd, 0, 1, 2, 1)); err == nil {
+		t.Fatal("want injected fault to propagate")
+	}
+}
+
+func TestQueueHighWaterWithinSpec(t *testing.T) {
+	// The synchronous datapath must never exceed the 0.5 KB (8-block) SRAM
+	// queues of Section 4.2.
+	dim := 1
+	env := newFakeEnv(0, dim)
+	core, _ := NewCore(0, dim, env)
+	for i := uint64(0); i < 256; i++ {
+		env.local[i] = PackFloats([]float32{float32(i)})
+	}
+	if err := core.Execute(isa.Average(0, 16, 1000, 16)); err != nil {
+		t.Fatal(err)
+	}
+	a, b, out := core.QueueHighWater()
+	if a > QueueBlocks || b > QueueBlocks || out > QueueBlocks {
+		t.Fatalf("queue high water %d/%d/%d exceeds %d", a, b, out, QueueBlocks)
+	}
+	if a == 0 || out == 0 {
+		t.Fatal("queues unused — datapath not staging through SRAM")
+	}
+}
+
+func TestALUBusyTime(t *testing.T) {
+	var s Stats
+	s.ALUBlockOps = 150e6 // one second of work at 150 MHz
+	if got := s.ALUBusySeconds(); got < 0.99 || got > 1.01 {
+		t.Fatalf("ALUBusySeconds = %v, want ~1", got)
+	}
+}
+
+// Property: REDUCE add on the core equals lane-wise float32 addition.
+func TestQuickReduceMatchesScalar(t *testing.T) {
+	f := func(av, bv [16]float32) bool {
+		env := newFakeEnv(0, 1)
+		core, _ := NewCore(0, 1, env)
+		env.local[0] = PackFloats(av[:])
+		env.local[1] = PackFloats(bv[:])
+		if err := core.Execute(isa.Reduce(isa.RAdd, 0, 1, 2, 1)); err != nil {
+			return false
+		}
+		got := UnpackFloats(env.local[2])
+		for i := range av {
+			want := av[i] + bv[i]
+			if got[i] != want && !(math.IsNaN(float64(got[i])) && math.IsNaN(float64(want))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

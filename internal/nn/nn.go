@@ -1,0 +1,174 @@
+// Package nn implements the dense DNN substrate of the recommender models:
+// fully-connected (FC/MLP) layers with the activations used by neural
+// collaborative filtering and its descendants (Section 2.3, Figure 2 step 3).
+// It provides real forward computation (for functional validation and the
+// examples) and FLOP/parameter accounting (for the roofline performance
+// model in internal/device).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tensordimm/internal/tensor"
+)
+
+// Activation selects the nonlinearity applied after a dense layer.
+type Activation int
+
+// Supported activations.
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActSigmoid
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActReLU:
+		return "relu"
+	case ActSigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("act(%d)", int(a))
+	}
+}
+
+// Dense is one fully-connected layer: y = act(x*W + b).
+type Dense struct {
+	W   *tensor.Tensor // [in, out]
+	B   []float32      // [out]
+	Act Activation
+}
+
+// NewDense builds a layer with deterministic Xavier-style random weights.
+func NewDense(in, out int, act Activation, seed int64) (*Dense, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("nn: invalid dense geometry %dx%d", in, out)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := tensor.New(in, out)
+	scale := float32(math.Sqrt(2.0 / float64(in+out)))
+	for i := range w.Data() {
+		w.Data()[i] = (rng.Float32()*2 - 1) * scale
+	}
+	b := make([]float32, out)
+	return &Dense{W: w, B: b, Act: act}, nil
+}
+
+// InDim returns the input width.
+func (d *Dense) InDim() int { return d.W.Dim(0) }
+
+// OutDim returns the output width.
+func (d *Dense) OutDim() int { return d.W.Dim(1) }
+
+// Forward computes act(x*W + b) for x of shape [batch, in].
+func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	y, err := tensor.MatMul(x, d.W)
+	if err != nil {
+		return nil, fmt.Errorf("nn dense: %w", err)
+	}
+	rows, cols := y.Dim(0), y.Dim(1)
+	for r := 0; r < rows; r++ {
+		row := y.Row(r)
+		for c := 0; c < cols; c++ {
+			v := row[c] + d.B[c]
+			switch d.Act {
+			case ActReLU:
+				if v < 0 {
+					v = 0
+				}
+			case ActSigmoid:
+				v = float32(1 / (1 + math.Exp(-float64(v))))
+			}
+			row[c] = v
+		}
+	}
+	return y, nil
+}
+
+// FLOPs returns the multiply-add count for one batch (2 FLOPs per MAC).
+func (d *Dense) FLOPs(batch int) int64 {
+	return 2 * int64(batch) * int64(d.InDim()) * int64(d.OutDim())
+}
+
+// ParamBytes returns the weight+bias footprint.
+func (d *Dense) ParamBytes() int64 {
+	return int64(d.W.Len())*4 + int64(len(d.B))*4
+}
+
+// MLP is a stack of dense layers (the "top MLP" of Figure 1).
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds a stack from the dimension chain dims[0] -> dims[1] -> ...
+// with ReLU between hidden layers and a sigmoid on the final layer (the
+// event-probability head of a recommender, Section 2.3).
+func NewMLP(dims []int, seed int64) (*MLP, error) {
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("nn: MLP needs at least input and output dims, got %v", dims)
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(dims); i++ {
+		act := ActReLU
+		if i == len(dims)-2 {
+			act = ActSigmoid
+		}
+		l, err := NewDense(dims[i], dims[i+1], act, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m, nil
+}
+
+// Forward runs the whole stack.
+func (m *MLP) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i, l := range m.Layers {
+		x, err = l.Forward(x)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", i, err)
+		}
+	}
+	return x, nil
+}
+
+// Dims returns the dimension chain [in, h1, ..., out].
+func (m *MLP) Dims() []int {
+	if len(m.Layers) == 0 {
+		return nil
+	}
+	dims := []int{m.Layers[0].InDim()}
+	for _, l := range m.Layers {
+		dims = append(dims, l.OutDim())
+	}
+	return dims
+}
+
+// FLOPs returns the total FLOP count for one batch.
+func (m *MLP) FLOPs(batch int) int64 {
+	var total int64
+	for _, l := range m.Layers {
+		total += l.FLOPs(batch)
+	}
+	return total
+}
+
+// ParamBytes returns the total parameter footprint.
+func (m *MLP) ParamBytes() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		total += l.ParamBytes()
+	}
+	return total
+}
+
+// NumLayers returns the number of dense layers.
+func (m *MLP) NumLayers() int { return len(m.Layers) }

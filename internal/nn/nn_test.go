@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tensordimm/internal/tensor"
+)
+
+func TestNewDenseValidation(t *testing.T) {
+	if _, err := NewDense(0, 4, ActNone, 1); err == nil {
+		t.Fatal("want error for zero input dim")
+	}
+	if _, err := NewDense(4, -1, ActNone, 1); err == nil {
+		t.Fatal("want error for negative output dim")
+	}
+	d, err := NewDense(4, 3, ActReLU, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.InDim() != 4 || d.OutDim() != 3 {
+		t.Fatalf("dims %d %d", d.InDim(), d.OutDim())
+	}
+}
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	d := &Dense{W: tensor.MustFromSlice([]float32{1, 2, 3, 4}, 2, 2), B: []float32{10, 20}, Act: ActNone}
+	x := tensor.MustFromSlice([]float32{1, 1}, 1, 2)
+	y, err := d.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = [1+3, 2+4] + [10, 20] = [14, 26]
+	if y.At(0, 0) != 14 || y.At(0, 1) != 26 {
+		t.Fatalf("forward = %v", y)
+	}
+}
+
+func TestActivations(t *testing.T) {
+	w := tensor.MustFromSlice([]float32{1, 1}, 1, 2)
+	x := tensor.MustFromSlice([]float32{-2}, 1, 1)
+
+	relu := &Dense{W: w, B: []float32{0, 4}, Act: ActReLU}
+	y, _ := relu.Forward(x)
+	if y.At(0, 0) != 0 || y.At(0, 1) != 2 {
+		t.Fatalf("relu = %v", y)
+	}
+
+	sig := &Dense{W: w, B: []float32{2, 0}, Act: ActSigmoid}
+	y, _ = sig.Forward(x)
+	if math.Abs(float64(y.At(0, 0))-0.5) > 1e-6 {
+		t.Fatalf("sigmoid(0) = %v, want 0.5", y.At(0, 0))
+	}
+	if v := y.At(0, 1); v <= 0 || v >= 0.5 {
+		t.Fatalf("sigmoid(-2) = %v, want in (0, 0.5)", v)
+	}
+}
+
+func TestDenseForwardShapeError(t *testing.T) {
+	d, _ := NewDense(4, 2, ActNone, 1)
+	if _, err := d.Forward(tensor.New(1, 3)); err == nil {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	d, _ := NewDense(100, 50, ActReLU, 1)
+	if d.FLOPs(8) != 2*8*100*50 {
+		t.Fatalf("FLOPs = %d", d.FLOPs(8))
+	}
+	if d.ParamBytes() != (100*50+50)*4 {
+		t.Fatalf("ParamBytes = %d", d.ParamBytes())
+	}
+}
+
+func TestNewMLP(t *testing.T) {
+	if _, err := NewMLP([]int{5}, 1); err == nil {
+		t.Fatal("want error for single-dim chain")
+	}
+	m, err := NewMLP([]int{8, 4, 2, 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLayers() != 3 {
+		t.Fatalf("layers = %d", m.NumLayers())
+	}
+	dims := m.Dims()
+	want := []int{8, 4, 2, 1}
+	for i := range want {
+		if dims[i] != want[i] {
+			t.Fatalf("Dims = %v", dims)
+		}
+	}
+	// Hidden layers ReLU, final Sigmoid.
+	if m.Layers[0].Act != ActReLU || m.Layers[2].Act != ActSigmoid {
+		t.Fatal("activation schedule wrong")
+	}
+	if (&MLP{}).Dims() != nil {
+		t.Fatal("empty MLP Dims should be nil")
+	}
+}
+
+func TestMLPForwardProbability(t *testing.T) {
+	m, _ := NewMLP([]int{16, 8, 1}, 3)
+	x := tensor.New(4, 16)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i%7) * 0.1
+	}
+	y, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(0) != 4 || y.Dim(1) != 1 {
+		t.Fatalf("output shape %v", y.Shape())
+	}
+	for i := 0; i < 4; i++ {
+		p := y.At(i, 0)
+		if p <= 0 || p >= 1 {
+			t.Fatalf("probability %v outside (0,1)", p)
+		}
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	a, _ := NewMLP([]int{8, 4, 1}, 5)
+	b, _ := NewMLP([]int{8, 4, 1}, 5)
+	x := tensor.New(2, 8)
+	x.Fill(0.5)
+	ya, _ := a.Forward(x)
+	yb, _ := b.Forward(x)
+	if !tensor.Equal(ya, yb) {
+		t.Fatal("same seed must give identical networks")
+	}
+}
+
+func TestMLPAccounting(t *testing.T) {
+	m, _ := NewMLP([]int{100, 10, 1}, 1)
+	if m.FLOPs(2) != 2*2*(100*10+10*1) {
+		t.Fatalf("FLOPs = %d", m.FLOPs(2))
+	}
+	if m.ParamBytes() != (100*10+10+10*1+1)*4 {
+		t.Fatalf("ParamBytes = %d", m.ParamBytes())
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	if ActReLU.String() != "relu" || ActSigmoid.String() != "sigmoid" ||
+		ActNone.String() != "none" || Activation(9).String() == "" {
+		t.Fatal("Activation.String misbehaves")
+	}
+}
+
+// Property: ReLU output is non-negative.
+func TestQuickReLUNonNegative(t *testing.T) {
+	d, _ := NewDense(8, 8, ActReLU, 11)
+	f := func(vals [8]float32) bool {
+		x := tensor.MustFromSlice(append([]float32{}, vals[:]...), 1, 8)
+		y, err := d.Forward(x)
+		if err != nil {
+			return false
+		}
+		for _, v := range y.Data() {
+			if v < 0 || math.IsNaN(float64(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

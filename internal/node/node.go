@@ -1,0 +1,328 @@
+// Package node implements TensorNode (Section 4.3, Figure 6(c)): a
+// disaggregated memory pool fully populated with TensorDIMMs, attached as an
+// endpoint of the GPU-side system interconnect.
+//
+// The node provides:
+//
+//   - striped data movement: tensors written into the pool are interleaved in
+//     64-byte blocks across all TensorDIMMs (the address mapping of Figure 7),
+//     so every NMP core owns an equal slice of every tensor;
+//
+//   - instruction broadcast: one TensorISA instruction is delivered to every
+//     buffer device, and all NMP cores execute their slice concurrently
+//     (Section 4.4, "the TensorISA instruction is broadcasted to all the
+//     TensorDIMMs");
+//
+//   - a pool memory allocator in the spirit of the remote-memory
+//     (de)allocation runtime APIs the paper builds on ([39]): first-fit with
+//     stripe-aligned bases and free-block coalescing.
+//
+// Functional contents are real: data written here and transformed by the NMP
+// cores is compared bit-for-bit against the golden model in tests.
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"tensordimm/internal/dimm"
+	"tensordimm/internal/isa"
+	"tensordimm/internal/nmp"
+)
+
+// Config sizes a TensorNode.
+type Config struct {
+	// DIMMs is the number of TensorDIMMs (Table 1 default: 32).
+	DIMMs int
+	// PerDIMMBytes is the rank-local capacity of each TensorDIMM
+	// (e.g. 128 GiB LR-DIMMs in the paper; far smaller in tests).
+	PerDIMMBytes uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.DIMMs <= 0 {
+		return fmt.Errorf("node: DIMMs must be positive, got %d", c.DIMMs)
+	}
+	if c.PerDIMMBytes == 0 || c.PerDIMMBytes%isa.BlockBytes != 0 {
+		return fmt.Errorf("node: PerDIMMBytes %d must be a positive multiple of %d", c.PerDIMMBytes, isa.BlockBytes)
+	}
+	return nil
+}
+
+// Node is a TensorNode instance.
+type Node struct {
+	cfg    Config
+	dimms  []*dimm.TensorDIMM
+	shared *dimm.SharedRegion
+
+	mu     sync.Mutex
+	free   []span            // allocator free list, sorted by base, in bytes
+	allocs map[uint64]uint64 // base -> size
+}
+
+// span is a free region [base, base+size) in bytes.
+type span struct {
+	base, size uint64
+}
+
+// New builds a TensorNode.
+func New(cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shared := dimm.NewSharedRegion()
+	n := &Node{
+		cfg:    cfg,
+		shared: shared,
+		allocs: make(map[uint64]uint64),
+	}
+	for tid := 0; tid < cfg.DIMMs; tid++ {
+		d, err := dimm.New(tid, cfg.DIMMs, cfg.PerDIMMBytes, shared)
+		if err != nil {
+			return nil, err
+		}
+		n.dimms = append(n.dimms, d)
+	}
+	n.free = []span{{base: 0, size: n.CapacityBytes()}}
+	return n, nil
+}
+
+// NodeDim returns the number of TensorDIMMs.
+func (n *Node) NodeDim() int { return n.cfg.DIMMs }
+
+// CapacityBytes returns the pool capacity.
+func (n *Node) CapacityBytes() uint64 {
+	return uint64(n.cfg.DIMMs) * n.cfg.PerDIMMBytes
+}
+
+// StripeBytes returns the striping granularity: one 64-byte block per DIMM.
+func (n *Node) StripeBytes() uint64 {
+	return uint64(n.cfg.DIMMs) * isa.BlockBytes
+}
+
+// DIMM returns TensorDIMM tid (for stats inspection and tests).
+func (n *Node) DIMM(tid int) *dimm.TensorDIMM { return n.dimms[tid] }
+
+// dimmFor locates the owner of a global block and its local byte offset.
+func (n *Node) dimmFor(globalBlock uint64) *dimm.TensorDIMM {
+	return n.dimms[globalBlock%uint64(n.cfg.DIMMs)]
+}
+
+// Write stores bytes into the pool at a 64-byte-aligned byte address,
+// striping blocks across DIMMs. Partial trailing blocks are zero-padded.
+// This is the functional equivalent of a GPU->TensorNode cudaMemcpy.
+func (n *Node) Write(base uint64, data []byte) error {
+	if base%isa.BlockBytes != 0 {
+		return fmt.Errorf("node: write base %#x not 64 B aligned", base)
+	}
+	if base+uint64(len(data)) > n.CapacityBytes() {
+		return fmt.Errorf("node: write [%#x, +%d) beyond capacity %d", base, len(data), n.CapacityBytes())
+	}
+	for off := 0; off < len(data); off += isa.BlockBytes {
+		var b nmp.Block
+		copy(b[:], data[off:])
+		gb := (base + uint64(off)) / isa.BlockBytes
+		if err := n.dimmFor(gb).WriteLocal(gb, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read fetches len(out) bytes from the pool at a 64-byte-aligned address.
+// This is the functional equivalent of a TensorNode->GPU cudaMemcpy.
+func (n *Node) Read(base uint64, out []byte) error {
+	if base%isa.BlockBytes != 0 {
+		return fmt.Errorf("node: read base %#x not 64 B aligned", base)
+	}
+	if base+uint64(len(out)) > n.CapacityBytes() {
+		return fmt.Errorf("node: read [%#x, +%d) beyond capacity %d", base, len(out), n.CapacityBytes())
+	}
+	for off := 0; off < len(out); off += isa.BlockBytes {
+		gb := (base + uint64(off)) / isa.BlockBytes
+		b, err := n.dimmFor(gb).ReadLocal(gb)
+		if err != nil {
+			return err
+		}
+		copy(out[off:], b[:])
+	}
+	return nil
+}
+
+// WriteFloats stores a float32 slice (little-endian) at base.
+func (n *Node) WriteFloats(base uint64, vals []float32) error {
+	buf := make([]byte, ((len(vals)*4+isa.BlockBytes-1)/isa.BlockBytes)*isa.BlockBytes)
+	for i, v := range vals {
+		b := nmp.PackFloats([]float32{v})
+		copy(buf[i*4:i*4+4], b[:4])
+	}
+	return n.Write(base, buf)
+}
+
+// ReadFloats fetches count float32 values from base.
+func (n *Node) ReadFloats(base uint64, count int) ([]float32, error) {
+	nBytes := ((count*4 + isa.BlockBytes - 1) / isa.BlockBytes) * isa.BlockBytes
+	buf := make([]byte, nBytes)
+	if err := n.Read(base, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float32, count)
+	for i := range out {
+		var b nmp.Block
+		copy(b[:4], buf[i*4:i*4+4])
+		out[i] = nmp.UnpackFloats(b)[0]
+	}
+	return out, nil
+}
+
+// LoadIndices replicates a GATHER index list into the shared region at the
+// given 64-byte-aligned byte address. Indices are padded to a whole block
+// with zeros (harmless: GATHER count controls how many are consumed).
+func (n *Node) LoadIndices(base uint64, indices []int32) error {
+	if base%isa.BlockBytes != 0 {
+		return fmt.Errorf("node: index base %#x not 64 B aligned", base)
+	}
+	for off := 0; off < len(indices); off += isa.LanesPerBlock {
+		end := off + isa.LanesPerBlock
+		if end > len(indices) {
+			end = len(indices)
+		}
+		blk := nmp.PackIndices(indices[off:end])
+		n.shared.Write(base/isa.BlockBytes+uint64(off/isa.LanesPerBlock), blk)
+	}
+	return nil
+}
+
+// Execute broadcasts each instruction of the program to every TensorDIMM and
+// runs all NMP cores concurrently, one instruction at a time (instructions
+// within a program are dependent; DIMMs within an instruction are not).
+func (n *Node) Execute(p isa.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for i, in := range p {
+		// Instruction fields are in 64-byte blocks; convert byte->block
+		// addressing is the caller's job. Broadcast to all cores.
+		var wg sync.WaitGroup
+		errs := make([]error, len(n.dimms))
+		for tid, d := range n.dimms {
+			wg.Add(1)
+			go func(tid int, d *dimm.TensorDIMM) {
+				defer wg.Done()
+				errs[tid] = d.Execute(in)
+			}(tid, d)
+		}
+		wg.Wait()
+		for tid, err := range errs {
+			if err != nil {
+				return fmt.Errorf("node: instruction %d (%v) on DIMM %d: %w", i, in, tid, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Alloc reserves size bytes in the pool, returning a stripe-aligned base so
+// tensors always stripe cleanly across all DIMMs. First-fit.
+func (n *Node) Alloc(size uint64) (uint64, error) {
+	if size == 0 {
+		return 0, fmt.Errorf("node: zero-size allocation")
+	}
+	stripe := n.StripeBytes()
+	size = (size + stripe - 1) / stripe * stripe
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, s := range n.free {
+		// Stripe-align the candidate base within the span.
+		base := (s.base + stripe - 1) / stripe * stripe
+		pad := base - s.base
+		if s.size < pad+size {
+			continue
+		}
+		// Carve [base, base+size) out of the span.
+		if pad > 0 {
+			n.free[i] = span{base: s.base, size: pad}
+			rest := s.size - pad - size
+			if rest > 0 {
+				n.free = insertSpan(n.free, i+1, span{base: base + size, size: rest})
+			}
+		} else {
+			rest := s.size - size
+			if rest > 0 {
+				n.free[i] = span{base: base + size, size: rest}
+			} else {
+				n.free = append(n.free[:i], n.free[i+1:]...)
+			}
+		}
+		n.allocs[base] = size
+		return base, nil
+	}
+	return 0, fmt.Errorf("node: out of pool memory (%d bytes requested)", size)
+}
+
+// Free releases an allocation made by Alloc, coalescing adjacent free spans.
+func (n *Node) Free(base uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	size, ok := n.allocs[base]
+	if !ok {
+		return fmt.Errorf("node: Free(%#x): not an allocation base", base)
+	}
+	delete(n.allocs, base)
+	// Insert sorted.
+	i := 0
+	for i < len(n.free) && n.free[i].base < base {
+		i++
+	}
+	n.free = insertSpan(n.free, i, span{base: base, size: size})
+	// Coalesce with neighbours.
+	if i+1 < len(n.free) && n.free[i].base+n.free[i].size == n.free[i+1].base {
+		n.free[i].size += n.free[i+1].size
+		n.free = append(n.free[:i+1], n.free[i+2:]...)
+	}
+	if i > 0 && n.free[i-1].base+n.free[i-1].size == n.free[i].base {
+		n.free[i-1].size += n.free[i].size
+		n.free = append(n.free[:i], n.free[i+1:]...)
+	}
+	return nil
+}
+
+// FreeBytes returns the total unallocated pool capacity.
+func (n *Node) FreeBytes() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total uint64
+	for _, s := range n.free {
+		total += s.size
+	}
+	return total
+}
+
+// AllocCount returns the number of live allocations.
+func (n *Node) AllocCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.allocs)
+}
+
+// Stats aggregates NMP datapath counters across all DIMMs.
+func (n *Node) Stats() nmp.Stats {
+	var total nmp.Stats
+	for _, d := range n.dimms {
+		s := d.Core().Stats()
+		total.BlocksRead += s.BlocksRead
+		total.BlocksWritten += s.BlocksWritten
+		total.SharedReads += s.SharedReads
+		total.ALUBlockOps += s.ALUBlockOps
+		total.Instructions += s.Instructions
+	}
+	return total
+}
+
+func insertSpan(spans []span, i int, s span) []span {
+	spans = append(spans, span{})
+	copy(spans[i+1:], spans[i:])
+	spans[i] = s
+	return spans
+}

@@ -1,0 +1,370 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tensordimm/internal/embed"
+	"tensordimm/internal/isa"
+	"tensordimm/internal/tensor"
+)
+
+func testNode(t *testing.T, dimms int) *Node {
+	t.Helper()
+	n, err := New(Config{DIMMs: dimms, PerDIMMBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigValidate(t *testing.T) {
+	if _, err := New(Config{DIMMs: 0, PerDIMMBytes: 64}); err == nil {
+		t.Fatal("want error for zero DIMMs")
+	}
+	if _, err := New(Config{DIMMs: 4, PerDIMMBytes: 100}); err == nil {
+		t.Fatal("want error for unaligned capacity")
+	}
+	n := testNode(t, 8)
+	if n.NodeDim() != 8 || n.CapacityBytes() != 8<<20 || n.StripeBytes() != 512 {
+		t.Fatalf("geometry: dim=%d cap=%d stripe=%d", n.NodeDim(), n.CapacityBytes(), n.StripeBytes())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	n := testNode(t, 8)
+	data := make([]byte, 8*64*3) // three stripes
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if err := n.Write(0, data); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(data))
+	if err := n.Read(0, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatalf("byte %d: %d != %d", i, out[i], data[i])
+		}
+	}
+}
+
+func TestWriteReadValidation(t *testing.T) {
+	n := testNode(t, 4)
+	if err := n.Write(63, []byte{1}); err == nil {
+		t.Fatal("want alignment error")
+	}
+	if err := n.Write(n.CapacityBytes()-32, make([]byte, 64)); err == nil {
+		t.Fatal("want capacity error")
+	}
+	if err := n.Read(63, make([]byte, 1)); err == nil {
+		t.Fatal("want alignment error on read")
+	}
+	if err := n.Read(n.CapacityBytes()-32, make([]byte, 64)); err == nil {
+		t.Fatal("want capacity error on read")
+	}
+}
+
+func TestFloatsRoundTrip(t *testing.T) {
+	n := testNode(t, 4)
+	vals := make([]float32, 100)
+	for i := range vals {
+		vals[i] = float32(i) * 0.25
+	}
+	if err := n.WriteFloats(4096, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.ReadFloats(4096, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("float %d: %v != %v", i, got[i], vals[i])
+		}
+	}
+}
+
+// uploadTable writes an embed.Table into pool memory at base, row r at
+// base + r*rowBytes, which under the striped mapping spreads each row across
+// all DIMMs (Figure 7).
+func uploadTable(t *testing.T, n *Node, tb *embed.Table, base uint64) {
+	t.Helper()
+	for r := 0; r < tb.Rows(); r++ {
+		if err := n.WriteFloats(base+uint64(r)*uint64(tb.Dim())*4, tb.Row(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGatherAverageMatchesGolden(t *testing.T) {
+	// 8 DIMMs; dim 128 floats = 512 B = 8 blocks = exactly one stripe.
+	const dimms, dim = 8, 128
+	n := testNode(t, dimms)
+	tb, _ := embed.NewRandomTable(200, dim, 11)
+
+	tableBase, _ := n.Alloc(uint64(tb.Bytes()))
+	uploadTable(t, n, tb, tableBase)
+
+	batch, reduction := 4, 4
+	count := batch * reduction // 16 = one index block
+	rng := rand.New(rand.NewSource(5))
+	rows := make([]int, count)
+	idx32 := make([]int32, count)
+	for i := range rows {
+		rows[i] = rng.Intn(tb.Rows())
+		idx32[i] = int32(rows[i])
+	}
+
+	idxBase := uint64(1 << 18)
+	if err := n.LoadIndices(idxBase, idx32); err != nil {
+		t.Fatal(err)
+	}
+	gatherBase, _ := n.Alloc(uint64(count * dim * 4))
+	outBase, _ := n.Alloc(uint64(batch * dim * 4))
+
+	prog := isa.Program{
+		isa.Gather(tableBase/64, idxBase/64, gatherBase/64, uint32(count)),
+		isa.Average(gatherBase/64, uint32(reduction), outBase/64, uint32(batch)),
+	}
+	if err := n.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+
+	// Golden model.
+	gathered, err := tb.Gather(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := embed.Average(gathered, reduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotVals, err := n.ReadFloats(outBase, batch*dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.MustFromSlice(gotVals, batch, dim)
+	if !tensor.Equal(got, want) {
+		t.Fatal("NMP AVERAGE output differs from golden model")
+	}
+
+	// Datapath stats must reflect the broadcast execution.
+	s := n.Stats()
+	if s.Instructions != uint64(2*dimms) {
+		t.Fatalf("instructions retired = %d, want %d", s.Instructions, 2*dimms)
+	}
+	if s.BlocksRead == 0 || s.BlocksWritten == 0 || s.ALUBlockOps == 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestGatherReduceTwoTablesMatchesGolden(t *testing.T) {
+	// NCF-style: gather from two tables, element-wise multiply (GMF path).
+	const dimms, dim = 4, 64 // one stripe = 4*16 = 64 floats
+	n := testNode(t, dimms)
+	t1, _ := embed.NewRandomTable(100, dim, 1)
+	t2, _ := embed.NewRandomTable(100, dim, 2)
+	base1, _ := n.Alloc(uint64(t1.Bytes()))
+	base2, _ := n.Alloc(uint64(t2.Bytes()))
+	uploadTable(t, n, t1, base1)
+	uploadTable(t, n, t2, base2)
+
+	batch := 16
+	rng := rand.New(rand.NewSource(9))
+	rows1 := make([]int, batch)
+	rows2 := make([]int, batch)
+	idx1 := make([]int32, batch)
+	idx2 := make([]int32, batch)
+	for i := 0; i < batch; i++ {
+		rows1[i] = rng.Intn(100)
+		rows2[i] = rng.Intn(100)
+		idx1[i] = int32(rows1[i])
+		idx2[i] = int32(rows2[i])
+	}
+	idxBase1, idxBase2 := uint64(1<<19), uint64(1<<19+4096)
+	if err := n.LoadIndices(idxBase1, idx1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.LoadIndices(idxBase2, idx2); err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := n.Alloc(uint64(batch * dim * 4))
+	g2, _ := n.Alloc(uint64(batch * dim * 4))
+	out, _ := n.Alloc(uint64(batch * dim * 4))
+
+	prog := isa.Program{
+		isa.Gather(base1/64, idxBase1/64, g1/64, uint32(batch)),
+		isa.Gather(base2/64, idxBase2/64, g2/64, uint32(batch)),
+		isa.Reduce(isa.RMul, g1/64, g2/64, out/64, uint32(batch*dim*4/64)),
+	}
+	if err := n.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := t1.Gather(rows1)
+	b, _ := t2.Gather(rows2)
+	want, _ := tensor.Mul(a, b)
+	gotVals, err := n.ReadFloats(out, batch*dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.MustFromSlice(gotVals, batch, dim)
+	if !tensor.Equal(got, want) {
+		t.Fatal("NMP GATHER+REDUCE differs from golden model")
+	}
+}
+
+func TestMultiStripeEmbeddings(t *testing.T) {
+	// Embeddings spanning k=2 stripes (dim 128 on 4 DIMMs): the runtime
+	// expands indices stripe-transposed within each pooling group so the
+	// paper's AVERAGE addressing (Figure 9(c)) still applies.
+	const dimms, dim = 4, 128 // stripe = 64 floats, k = 2
+	const k = 2
+	n := testNode(t, dimms)
+	tb, _ := embed.NewRandomTable(64, dim, 3)
+	tableBase, _ := n.Alloc(uint64(tb.Bytes()))
+	uploadTable(t, n, tb, tableBase)
+
+	batch, reduction := 2, 4
+	rng := rand.New(rand.NewSource(21))
+	rows := make([]int, batch*reduction)
+	for i := range rows {
+		rows[i] = rng.Intn(64)
+	}
+	// Expand: group-major, stripe-major, embedding-minor.
+	expanded := make([]int32, 0, batch*reduction*k)
+	for g := 0; g < batch; g++ {
+		for s := 0; s < k; s++ {
+			for j := 0; j < reduction; j++ {
+				expanded = append(expanded, int32(rows[g*reduction+j]*k+s))
+			}
+		}
+	}
+	idxBase := uint64(1 << 18)
+	if err := n.LoadIndices(idxBase, expanded); err != nil {
+		t.Fatal(err)
+	}
+	gBase, _ := n.Alloc(uint64(len(expanded) * int(n.StripeBytes())))
+	oBase, _ := n.Alloc(uint64(batch * dim * 4))
+	prog := isa.Program{
+		isa.Gather(tableBase/64, idxBase/64, gBase/64, uint32(len(expanded))),
+		isa.Average(gBase/64, uint32(reduction), oBase/64, uint32(batch*k)),
+	}
+	if err := n.Execute(prog); err != nil {
+		t.Fatal(err)
+	}
+
+	gathered, _ := tb.Gather(rows)
+	want, _ := embed.Average(gathered, reduction)
+	gotVals, err := n.ReadFloats(oBase, batch*dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.MustFromSlice(gotVals, batch, dim)
+	if !tensor.Equal(got, want) {
+		t.Fatal("multi-stripe AVERAGE differs from golden model")
+	}
+}
+
+func TestExecuteValidatesProgram(t *testing.T) {
+	n := testNode(t, 2)
+	if err := n.Execute(isa.Program{{Op: isa.OpGather, Count: 3}}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestAllocFreeBasics(t *testing.T) {
+	n := testNode(t, 4)
+	total := n.FreeBytes()
+	a, err := n.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%n.StripeBytes() != 0 {
+		t.Fatalf("alloc base %#x not stripe aligned", a)
+	}
+	b, _ := n.Alloc(1000)
+	if b == a {
+		t.Fatal("overlapping allocations")
+	}
+	if n.AllocCount() != 2 {
+		t.Fatalf("AllocCount = %d", n.AllocCount())
+	}
+	if err := n.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if n.FreeBytes() != total {
+		t.Fatalf("leak: free %d != total %d", n.FreeBytes(), total)
+	}
+	if err := n.Free(a); err == nil {
+		t.Fatal("double free must error")
+	}
+	if _, err := n.Alloc(0); err == nil {
+		t.Fatal("zero alloc must error")
+	}
+	if _, err := n.Alloc(n.CapacityBytes() * 2); err == nil {
+		t.Fatal("oversized alloc must error")
+	}
+}
+
+func TestAllocReusesFreedSpace(t *testing.T) {
+	n := testNode(t, 4)
+	a, _ := n.Alloc(n.CapacityBytes() / 2)
+	if _, err := n.Alloc(n.CapacityBytes()); err == nil {
+		t.Fatal("should not fit")
+	}
+	if err := n.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Alloc(n.CapacityBytes()); err != nil {
+		t.Fatalf("coalesced free space not reusable: %v", err)
+	}
+}
+
+// Property: allocations never overlap and are stripe-aligned.
+func TestQuickAllocatorInvariants(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		n, err := New(Config{DIMMs: 4, PerDIMMBytes: 1 << 16})
+		if err != nil {
+			return false
+		}
+		type region struct{ base, size uint64 }
+		var live []region
+		for _, s := range sizes {
+			size := uint64(s%4096) + 1
+			base, err := n.Alloc(size)
+			if err != nil {
+				continue // pool exhausted is fine
+			}
+			if base%n.StripeBytes() != 0 {
+				return false
+			}
+			for _, r := range live {
+				if base < r.base+r.size && r.base < base+size {
+					return false // overlap
+				}
+			}
+			live = append(live, region{base, size})
+			// Free every other allocation to exercise coalescing.
+			if len(live)%2 == 0 {
+				victim := live[0]
+				if err := n.Free(victim.base); err != nil {
+					return false
+				}
+				live = live[1:]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

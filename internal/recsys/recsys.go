@@ -1,0 +1,193 @@
+// Package recsys provides the four DNN-based recommender systems of the
+// paper's evaluation (Table 2) — NCF (MLPerf), YouTube, Fox and Facebook —
+// plus the NCF model-size growth model of Figure 3.
+//
+// Each benchmark is characterised by the parameters the paper reports:
+// number of embedding lookup tables, maximum reduction (lookups pooled per
+// output), number of FC/MLP layers, and the default embedding dimension of
+// 512 (Section 5). Table row counts are synthetic (the paper's production
+// tables are hundreds of GBs; geometry, not contents, is what matters).
+package recsys
+
+import (
+	"fmt"
+
+	"tensordimm/internal/embed"
+	"tensordimm/internal/isa"
+	"tensordimm/internal/nn"
+	"tensordimm/internal/tensor"
+)
+
+// DefaultEmbDim is the paper's default embedding dimension (Section 5).
+const DefaultEmbDim = 512
+
+// DefaultBatch is the paper's default inference batch size (Section 5,
+// after Facebook's reported 1-100 deployment range).
+const DefaultBatch = 64
+
+// Config describes one recommender benchmark.
+type Config struct {
+	Name      string
+	Tables    int          // embedding lookup tables (Table 2)
+	Reduction int          // max reduction: lookups pooled per output row
+	FCLayers  int          // FC/MLP layer count (Table 2)
+	EmbDim    int          // embedding dimension (512 default)
+	TableRows int          // rows per lookup table (synthetic)
+	Hidden    []int        // hidden layer widths
+	Op        isa.ReduceOp // pooling operator
+	Mean      bool         // mean pooling (AVERAGE) vs plain reduce
+}
+
+// NCF returns the MLPerf neural-collaborative-filtering benchmark:
+// 4 tables (user/item for the GMF and MLP paths), pairwise reduction.
+func NCF() Config {
+	return Config{
+		Name: "NCF", Tables: 4, Reduction: 2, FCLayers: 4,
+		EmbDim: DefaultEmbDim, TableRows: 100_000,
+		Hidden: []int{1024, 512, 256, 128},
+		Op:     isa.RMul, // GMF combines user x item element-wise
+	}
+}
+
+// YouTube returns the YouTube candidate-ranking benchmark: 2 tables
+// (watch and search histories), 50-way average pooling.
+func YouTube() Config {
+	return Config{
+		Name: "YouTube", Tables: 2, Reduction: 50, FCLayers: 4,
+		EmbDim: DefaultEmbDim, TableRows: 100_000,
+		Hidden: []int{1024, 512, 256, 128},
+		Op:     isa.RAdd, Mean: true,
+	}
+}
+
+// Fox returns the Fox theatrical-release analysis benchmark: 2 tables,
+// 50-way pooling, a single FC layer.
+func Fox() Config {
+	return Config{
+		Name: "Fox", Tables: 2, Reduction: 50, FCLayers: 1,
+		EmbDim: DefaultEmbDim, TableRows: 100_000,
+		Hidden: []int{256},
+		Op:     isa.RAdd, Mean: true,
+	}
+}
+
+// Facebook returns the Facebook (DLRM-class) benchmark: 8 tables, 25-way
+// pooling, 6 FC layers.
+func Facebook() Config {
+	return Config{
+		Name: "Facebook", Tables: 8, Reduction: 25, FCLayers: 6,
+		EmbDim: DefaultEmbDim, TableRows: 100_000,
+		Hidden: []int{2048, 1024, 512, 256, 128, 64},
+		Op:     isa.RAdd, Mean: true,
+	}
+}
+
+// All returns the four benchmarks in the paper's order.
+func All() []Config {
+	return []Config{NCF(), YouTube(), Fox(), Facebook()}
+}
+
+// Validate checks internal consistency (Table 2 invariants).
+func (c Config) Validate() error {
+	if c.Tables <= 0 || c.Reduction <= 0 || c.EmbDim <= 0 || c.TableRows <= 0 {
+		return fmt.Errorf("recsys %s: non-positive geometry", c.Name)
+	}
+	if len(c.Hidden) != c.FCLayers {
+		return fmt.Errorf("recsys %s: %d hidden dims for %d FC layers", c.Name, len(c.Hidden), c.FCLayers)
+	}
+	return nil
+}
+
+// WithEmbDim returns a copy with the embedding dimension scaled, used by the
+// large-embedding studies (Figures 12, 15, 16: 1-8x of the 512 default).
+func (c Config) WithEmbDim(dim int) Config {
+	c.EmbDim = dim
+	return c
+}
+
+// MLPDims returns the full dimension chain of the top MLP: the concatenated
+// embedding width in, the hidden layers, and the scalar probability out.
+func (c Config) MLPDims() []int {
+	dims := []int{c.Tables * c.EmbDim}
+	dims = append(dims, c.Hidden...)
+	return append(dims, 1)
+}
+
+// EmbBytes returns bytes per embedding vector.
+func (c Config) EmbBytes() int64 { return int64(c.EmbDim) * 4 }
+
+// GatheredBytes returns the table bytes gathered for one batch:
+// batch x tables x reduction x embedding size.
+func (c Config) GatheredBytes(batch int) int64 {
+	return int64(batch) * int64(c.Tables) * int64(c.Reduction) * c.EmbBytes()
+}
+
+// ReducedBytes returns the pooled embedding-layer output bytes for one batch.
+func (c Config) ReducedBytes(batch int) int64 {
+	return int64(batch) * int64(c.Tables) * c.EmbBytes()
+}
+
+// TotalTableBytes returns the lookup-table footprint of the model.
+func (c Config) TotalTableBytes() int64 {
+	return int64(c.Tables) * int64(c.TableRows) * c.EmbBytes()
+}
+
+// Model is a fully materialized recommender: real tables and a real MLP.
+type Model struct {
+	Cfg       Config
+	Embedding *embed.Layer
+	MLP       *nn.MLP
+}
+
+// Build materializes a model with deterministic random parameters.
+func Build(cfg Config, seed int64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layer := &embed.Layer{Reduction: cfg.Reduction, Op: cfg.Op, Mean: cfg.Mean}
+	for t := 0; t < cfg.Tables; t++ {
+		tb, err := embed.NewRandomTable(cfg.TableRows, cfg.EmbDim, seed+int64(t))
+		if err != nil {
+			return nil, err
+		}
+		layer.Tables = append(layer.Tables, tb)
+	}
+	mlp, err := nn.NewMLP(cfg.MLPDims(), seed+1000)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Cfg: cfg, Embedding: layer, MLP: mlp}, nil
+}
+
+// Infer runs a full functional inference: embedding layer then the MLP,
+// returning [batch, 1] event probabilities.
+func (m *Model) Infer(perTableIndices [][]int, batch int) (*tensor.Tensor, error) {
+	x, err := m.Embedding.Forward(perTableIndices, batch)
+	if err != nil {
+		return nil, err
+	}
+	return m.MLP.Forward(x)
+}
+
+// InferFromEmbeddings runs only the DNN stage on an already-pooled
+// embedding tensor (what the GPU does after receiving the reduced tensor
+// from a TensorNode).
+func (m *Model) InferFromEmbeddings(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return m.MLP.Forward(x)
+}
+
+// NCFModelSizeBytes reproduces the Figure 3 model-size model: a neural
+// collaborative filtering recommender with `users` user vectors and `items`
+// item vectors per lookup table (5 million each in the paper), duplicated
+// across the GMF and MLP paths, plus the MLP tower parameters.
+//
+//	embeddings: (users + items) x embDim x 4 B x 2 paths
+//	MLP tower:  NCF's standard pyramid [4m, 2m, m] for MLP dimension m, fed
+//	            by the concatenated user|item vector (2 x embDim).
+func NCFModelSizeBytes(mlpDim, embDim int, users, items int64) int64 {
+	embBytes := (users + items) * int64(embDim) * 4 * 2
+	in := 2 * int64(embDim)
+	m := int64(mlpDim)
+	mlpParams := in*4*m + 4*m*2*m + 2*m*m + m // three tower layers + output
+	return embBytes + mlpParams*4
+}

@@ -1,0 +1,190 @@
+package recsys
+
+import (
+	"testing"
+
+	"tensordimm/internal/workload"
+)
+
+func TestTable2Parameters(t *testing.T) {
+	// The benchmark zoo must match Table 2 of the paper exactly.
+	cases := []struct {
+		cfg       Config
+		tables    int
+		reduction int
+		fcLayers  int
+	}{
+		{NCF(), 4, 2, 4},
+		{YouTube(), 2, 50, 4},
+		{Fox(), 2, 50, 1},
+		{Facebook(), 8, 25, 6},
+	}
+	for _, c := range cases {
+		if c.cfg.Tables != c.tables || c.cfg.Reduction != c.reduction || c.cfg.FCLayers != c.fcLayers {
+			t.Errorf("%s: got (%d tables, %d reduction, %d layers), want (%d, %d, %d)",
+				c.cfg.Name, c.cfg.Tables, c.cfg.Reduction, c.cfg.FCLayers,
+				c.tables, c.reduction, c.fcLayers)
+		}
+		if c.cfg.EmbDim != 512 {
+			t.Errorf("%s: EmbDim %d, want the paper's 512 default", c.cfg.Name, c.cfg.EmbDim)
+		}
+		if err := c.cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", c.cfg.Name, err)
+		}
+	}
+	if len(All()) != 4 {
+		t.Fatal("All() must return the four benchmarks")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	c := NCF()
+	c.Tables = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("want geometry error")
+	}
+	c = NCF()
+	c.Hidden = []int{1}
+	if err := c.Validate(); err == nil {
+		t.Fatal("want hidden/FC mismatch error")
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	c := YouTube() // 2 tables x 50 reduction x 2 KiB embeddings
+	if c.EmbBytes() != 2048 {
+		t.Fatalf("EmbBytes = %d", c.EmbBytes())
+	}
+	if got := c.GatheredBytes(64); got != 64*2*50*2048 {
+		t.Fatalf("GatheredBytes = %d", got)
+	}
+	if got := c.ReducedBytes(64); got != 64*2*2048 {
+		t.Fatalf("ReducedBytes = %d", got)
+	}
+	if got := c.TotalTableBytes(); got != 2*100_000*2048 {
+		t.Fatalf("TotalTableBytes = %d", got)
+	}
+}
+
+func TestWithEmbDim(t *testing.T) {
+	c := Fox().WithEmbDim(4096)
+	if c.EmbDim != 4096 || Fox().EmbDim != 512 {
+		t.Fatal("WithEmbDim must copy")
+	}
+	// Scaling dim 8x scales gathered bytes 8x (Figure 15's premise).
+	if c.GatheredBytes(8) != 8*Fox().GatheredBytes(8) {
+		t.Fatal("gathered bytes must scale with dim")
+	}
+}
+
+func TestMLPDims(t *testing.T) {
+	c := Facebook()
+	dims := c.MLPDims()
+	if dims[0] != 8*512 {
+		t.Fatalf("input dim = %d, want tables x embDim", dims[0])
+	}
+	if dims[len(dims)-1] != 1 {
+		t.Fatal("output must be the scalar event probability")
+	}
+	if len(dims) != c.FCLayers+2 {
+		t.Fatalf("dims chain length %d, want %d", len(dims), c.FCLayers+2)
+	}
+}
+
+func TestBuildAndInfer(t *testing.T) {
+	cfg := NCF()
+	cfg.TableRows = 500 // keep the test small
+	cfg.EmbDim = 64
+	cfg.Hidden = []int{32, 16, 8, 4}
+	m, err := Build(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := workload.NewGenerator(cfg.TableRows, workload.Uniform, 1)
+	batch := 4
+	indices := gen.Batch(cfg.Tables, batch, cfg.Reduction)
+	probs, err := m.Infer(indices, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs.Dim(0) != batch || probs.Dim(1) != 1 {
+		t.Fatalf("output shape %v", probs.Shape())
+	}
+	for i := 0; i < batch; i++ {
+		if p := probs.At(i, 0); p <= 0 || p >= 1 {
+			t.Fatalf("probability %v outside (0,1)", p)
+		}
+	}
+}
+
+func TestInferMatchesTwoStage(t *testing.T) {
+	// Full Infer must equal embedding Forward + InferFromEmbeddings —
+	// the invariant that lets the five design points differ only in where
+	// the stages run, never in results.
+	cfg := YouTube()
+	cfg.TableRows = 300
+	cfg.EmbDim = 32
+	cfg.Hidden = []int{16, 8, 4, 2}
+	cfg.Reduction = 5
+	m, err := Build(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := workload.NewGenerator(cfg.TableRows, workload.Zipfian, 2)
+	batch := 3
+	indices := gen.Batch(cfg.Tables, batch, cfg.Reduction)
+
+	full, err := m.Infer(indices, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := m.Embedding.Forward(indices, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoStage, err := m.InferFromEmbeddings(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < batch; i++ {
+		if full.At(i, 0) != twoStage.At(i, 0) {
+			t.Fatal("staged inference differs from fused inference")
+		}
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	bad := NCF()
+	bad.Hidden = nil
+	if _, err := Build(bad, 1); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestNCFModelSizeGrowth(t *testing.T) {
+	// Figure 3's qualitative claims:
+	// (1) scaling the embedding dim grows the model far faster than
+	//     scaling the MLP dim;
+	// (2) at 5M users + 5M items and large dims, the model reaches
+	//     hundreds of GBs.
+	const users, items = 5_000_000, 5_000_000
+	base := NCFModelSizeBytes(64, 64, users, items)
+	embScaled := NCFModelSizeBytes(64, 512, users, items)
+	mlpScaled := NCFModelSizeBytes(512, 64, users, items)
+	embGrowth := float64(embScaled) / float64(base)
+	mlpGrowth := float64(mlpScaled) / float64(base)
+	if embGrowth < 4*mlpGrowth {
+		t.Fatalf("embedding growth %.1fx not >> MLP growth %.1fx", embGrowth, mlpGrowth)
+	}
+	huge := NCFModelSizeBytes(2048, 8192, users, items)
+	if huge < 500<<30 {
+		t.Fatalf("8192-dim model = %d GB, want hundreds of GBs", huge>>30)
+	}
+	// Monotonicity in both axes.
+	if NCFModelSizeBytes(128, 64, users, items) < base {
+		t.Fatal("model size must grow with MLP dim")
+	}
+	if NCFModelSizeBytes(64, 128, users, items) < base {
+		t.Fatal("model size must grow with embedding dim")
+	}
+}

@@ -1,0 +1,320 @@
+// Package runtime implements the software runtime of Section 4.4: it deploys
+// recommender models onto a TensorNode (remote pool allocation, striped
+// table upload), compiles embedding layers into TensorISA programs (the
+// GATHER / REDUCE / AVERAGE sequences of Figure 2), broadcasts them for
+// near-memory execution, and reads back the pooled tensor the GPU would
+// receive over NVLink.
+//
+// Index expansion. TensorISA addresses tensors in stripes (one 64-byte block
+// per TensorDIMM). When an embedding spans k stripes (dimension larger than
+// nodeDim x 16 elements), the runtime expands each logical row index into k
+// stripe indices. Within a pooling group the expansion is stripe-transposed
+// — group-major, then stripe, then group member — which is exactly the
+// layout that makes the paper's AVERAGE addressing (Figure 9(c), input
+// i*averageNum+j) pool corresponding stripes of the group's embeddings.
+package runtime
+
+import (
+	"fmt"
+
+	"tensordimm/internal/isa"
+	"tensordimm/internal/node"
+	"tensordimm/internal/recsys"
+	"tensordimm/internal/tensor"
+)
+
+// Deployment is a recommender model resident in a TensorNode pool.
+type Deployment struct {
+	Model *recsys.Model
+	Node  *node.Node
+
+	tableBase  []uint64 // pool byte address of each table
+	stripes    int      // stripes per embedding (k)
+	idxBase    uint64   // shared-region byte address for index lists
+	gatherBase []uint64 // scratch for gathered tensors (per operand)
+	outBase    uint64   // pooled output tensor
+	maxBatch   int
+}
+
+// Deploy uploads the model's embedding tables into the node (striped across
+// all TensorDIMMs) and pre-allocates the scratch regions for batches up to
+// maxBatch. It exercises the remote-pool allocation APIs ([39]).
+func Deploy(m *recsys.Model, nd *node.Node, maxBatch int) (*Deployment, error) {
+	cfg := m.Cfg
+	embBytes := int(cfg.EmbBytes())
+	stripeBytes := int(nd.StripeBytes())
+	if embBytes%stripeBytes != 0 {
+		return nil, fmt.Errorf("runtime: embedding size %d B is not a multiple of the node stripe %d B",
+			embBytes, stripeBytes)
+	}
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("runtime: maxBatch must be positive")
+	}
+	d := &Deployment{
+		Model:    m,
+		Node:     nd,
+		stripes:  embBytes / stripeBytes,
+		idxBase:  0,
+		maxBatch: maxBatch,
+	}
+
+	// Upload tables.
+	for t, tb := range m.Embedding.Tables {
+		base, err := nd.Alloc(uint64(tb.Bytes()))
+		if err != nil {
+			return nil, fmt.Errorf("runtime: alloc table %d: %w", t, err)
+		}
+		for r := 0; r < tb.Rows(); r++ {
+			off := base + uint64(r)*uint64(embBytes)
+			if err := nd.WriteFloats(off, tb.Row(r)); err != nil {
+				return nil, fmt.Errorf("runtime: upload table %d row %d: %w", t, r, err)
+			}
+		}
+		d.tableBase = append(d.tableBase, base)
+	}
+
+	// Scratch: two gather operand buffers (enough for pairwise REDUCE) and
+	// the pooled output. Sized for the worst case — a full batch of
+	// reduction-many embeddings per table — plus one index block of
+	// padding slack (GATHER counts are rounded up to 16 and the padded
+	// stripes land just past the live region).
+	padSlack := uint64(isa.LanesPerBlock * stripeBytes)
+	gatherBytes := uint64(maxBatch)*uint64(cfg.Reduction)*uint64(embBytes) + padSlack
+	for i := 0; i < 2; i++ {
+		b, err := nd.Alloc(gatherBytes)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: alloc gather scratch: %w", err)
+		}
+		d.gatherBase = append(d.gatherBase, b)
+	}
+	out, err := nd.Alloc(uint64(maxBatch)*uint64(cfg.Tables)*uint64(embBytes) + padSlack)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: alloc output: %w", err)
+	}
+	d.outBase = out
+	return d, nil
+}
+
+// Release frees all pool allocations of the deployment.
+func (d *Deployment) Release() error {
+	for _, b := range d.tableBase {
+		if err := d.Node.Free(b); err != nil {
+			return err
+		}
+	}
+	for _, b := range d.gatherBase {
+		if err := d.Node.Free(b); err != nil {
+			return err
+		}
+	}
+	return d.Node.Free(d.outBase)
+}
+
+// Stripes returns the number of stripes per embedding under this node.
+func (d *Deployment) Stripes() int { return d.stripes }
+
+// ExpandIndices expands logical row indices into stripe indices for GATHER,
+// stripe-transposed within pooling groups of size `reduction` (see the
+// package comment), and pads the result to a whole index block (multiple of
+// 16) by repeating the last stripe index (the padded outputs land beyond the
+// consumed region and are ignored).
+func ExpandIndices(rows []int, reduction, stripes int) []int32 {
+	if reduction <= 0 {
+		reduction = 1
+	}
+	groups := len(rows) / reduction
+	out := make([]int32, 0, len(rows)*stripes+isa.LanesPerBlock)
+	for g := 0; g < groups; g++ {
+		for s := 0; s < stripes; s++ {
+			for j := 0; j < reduction; j++ {
+				out = append(out, int32(rows[g*reduction+j]*stripes+s))
+			}
+		}
+	}
+	// Tail rows that do not fill a whole group expand row-major.
+	for _, r := range rows[groups*reduction:] {
+		for s := 0; s < stripes; s++ {
+			out = append(out, int32(r*stripes+s))
+		}
+	}
+	for len(out)%isa.LanesPerBlock != 0 {
+		pad := int32(0)
+		if len(out) > 0 {
+			pad = out[len(out)-1]
+		}
+		out = append(out, pad)
+	}
+	return out
+}
+
+// CompileTable builds the TensorISA program for one table's embedding stage
+// of a batch: a GATHER (after the runtime loads the expanded index list into
+// the shared region) followed by the pooling pass, writing the pooled rows
+// for table t at outBase + t*batch*embBytes.
+//
+// Pooling lowers as follows (Table 2 workloads):
+//   - reduction == 1: GATHER directly into the output region;
+//   - Mean pooling:   GATHER + one AVERAGE (Figure 9(c));
+//   - 2-way reduce:   two GATHERs (group members split across the two
+//     scratch operands) + one REDUCE with the configured operator;
+//   - N-way non-mean reduce lowers to a REDUCE chain and is rejected here
+//     (none of the paper's workloads need it).
+func (d *Deployment) CompileTable(t int, rows []int, batch int) (isa.Program, []int32, error) {
+	cfg := d.Model.Cfg
+	if len(rows) != batch*cfg.Reduction {
+		return nil, nil, fmt.Errorf("runtime: table %d: %d rows for batch %d x reduction %d",
+			t, len(rows), batch, cfg.Reduction)
+	}
+	embBytes := uint64(cfg.EmbBytes())
+	outBase := (d.outBase + uint64(t)*uint64(batch)*embBytes) / isa.BlockBytes
+	tableBase := d.tableBase[t] / isa.BlockBytes
+	idxBase := d.idxBase / isa.BlockBytes
+	k := uint32(d.stripes)
+
+	switch {
+	case cfg.Reduction == 1:
+		idx := ExpandIndices(rows, 1, d.stripes)
+		return isa.Program{
+			isa.Gather(tableBase, idxBase, outBase, uint32(len(idx))),
+		}, idx, nil
+
+	case cfg.Mean:
+		idx := ExpandIndices(rows, cfg.Reduction, d.stripes)
+		g := d.gatherBase[0] / isa.BlockBytes
+		return isa.Program{
+			isa.Gather(tableBase, idxBase, g, uint32(len(idx))),
+			isa.Average(g, uint32(cfg.Reduction), outBase, uint32(batch)*k),
+		}, idx, nil
+
+	case cfg.Reduction == 2:
+		// Split group members: even members then odd members, each
+		// row-major, so REDUCE combines positionally.
+		a := make([]int, batch)
+		b := make([]int, batch)
+		for g := 0; g < batch; g++ {
+			a[g], b[g] = rows[2*g], rows[2*g+1]
+		}
+		idx := append(ExpandIndices(a, 1, d.stripes), ExpandIndices(b, 1, d.stripes)...)
+		ga := d.gatherBase[0] / isa.BlockBytes
+		gb := d.gatherBase[1] / isa.BlockBytes
+		countA := uint32(len(idx) / 2)
+		return isa.Program{
+			isa.Gather(tableBase, idxBase, ga, countA),
+			isa.Gather(tableBase, idxBase+uint64(countA)/isa.LanesPerBlock, gb, countA),
+			isa.Reduce(cfg.Op, ga, gb, outBase, uint32(batch)*k),
+		}, idx, nil
+
+	default:
+		return nil, nil, fmt.Errorf("runtime: %d-way non-mean reduction not supported by TensorISA lowering", cfg.Reduction)
+	}
+}
+
+// RunEmbedding executes the full embedding layer near-memory and returns the
+// pooled, concatenated [batch, tables*dim] tensor (the data a GPU would copy
+// back over NVLink). Results are bit-identical to the golden model.
+func (d *Deployment) RunEmbedding(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
+	cfg := d.Model.Cfg
+	if batch > d.maxBatch {
+		return nil, fmt.Errorf("runtime: batch %d exceeds deployment maxBatch %d", batch, d.maxBatch)
+	}
+	if len(perTableRows) != cfg.Tables {
+		return nil, fmt.Errorf("runtime: %d index lists for %d tables", len(perTableRows), cfg.Tables)
+	}
+	perTable := make([]*tensor.Tensor, cfg.Tables)
+	for t := 0; t < cfg.Tables; t++ {
+		prog, idx, err := d.CompileTable(t, perTableRows[t], batch)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Node.LoadIndices(d.idxBase, idx); err != nil {
+			return nil, err
+		}
+		if err := d.Node.Execute(prog); err != nil {
+			return nil, err
+		}
+		vals, err := d.Node.ReadFloats(d.outBase+uint64(t)*uint64(batch)*uint64(cfg.EmbBytes()), batch*cfg.EmbDim)
+		if err != nil {
+			return nil, err
+		}
+		perTable[t], err = tensor.FromSlice(vals, batch, cfg.EmbDim)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tensor.ConcatRows(perTable...)
+}
+
+// Infer runs a full inference with the embedding stage near-memory and the
+// DNN stage on the (simulated) GPU: functionally identical to
+// Model.Infer, with the embedding tensor produced by the TensorNode.
+func (d *Deployment) Infer(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
+	x, err := d.RunEmbedding(perTableRows, batch)
+	if err != nil {
+		return nil, err
+	}
+	return d.Model.InferFromEmbeddings(x)
+}
+
+// GoldenEmbedding computes the reference embedding output for comparison.
+func (d *Deployment) GoldenEmbedding(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
+	return d.Model.Embedding.Forward(perTableRows, batch)
+}
+
+// UpdateTable applies per-row gradient accumulation to table t near-memory
+// via the SCATTER_ADD extension: table[rows[i]] += grads.Row(i). The
+// gradient tensor is staged into pool scratch (the NVLink copy a training
+// step would perform), the update executes on the NMP cores, and the
+// host-side golden table is updated write-through so model and node stay
+// consistent. Duplicate rows accumulate in order.
+func (d *Deployment) UpdateTable(t int, rows []int, grads *tensor.Tensor) error {
+	cfg := d.Model.Cfg
+	if t < 0 || t >= cfg.Tables {
+		return fmt.Errorf("runtime: table %d out of range", t)
+	}
+	if grads.Rank() != 2 || grads.Dim(0) != len(rows) || grads.Dim(1) != cfg.EmbDim {
+		return fmt.Errorf("runtime: gradient shape %v for %d rows of dim %d", grads.Shape(), len(rows), cfg.EmbDim)
+	}
+	if len(rows)*d.stripes > (d.maxBatch*cfg.Reduction*d.stripes)+isa.LanesPerBlock {
+		return fmt.Errorf("runtime: %d gradient rows exceed scratch capacity", len(rows))
+	}
+	// Stage gradients into the gather scratch buffer, row-major.
+	embBytes := uint64(cfg.EmbBytes())
+	for i := 0; i < len(rows); i++ {
+		if err := d.Node.WriteFloats(d.gatherBase[0]+uint64(i)*embBytes, grads.Row(i)); err != nil {
+			return fmt.Errorf("runtime: stage gradient %d: %w", i, err)
+		}
+	}
+	idx := ExpandIndices(rows, 1, d.stripes)
+	if err := d.Node.LoadIndices(d.idxBase, idx); err != nil {
+		return err
+	}
+	// Padding repeats the last stripe index; compensate by staging zero
+	// gradients for the padded slots so the extra accumulations are no-ops.
+	realStripes := len(rows) * d.stripes
+	zero := make([]float32, isa.LanesPerBlock)
+	stripeBytes := d.Node.StripeBytes()
+	for s := realStripes; s < len(idx); s++ {
+		for off := uint64(0); off < stripeBytes; off += 64 {
+			if err := d.Node.WriteFloats(d.gatherBase[0]+uint64(s)*stripeBytes+off, zero); err != nil {
+				return err
+			}
+		}
+	}
+	prog := isa.Program{
+		isa.ScatterAdd(d.tableBase[t]/isa.BlockBytes, d.idxBase/isa.BlockBytes,
+			d.gatherBase[0]/isa.BlockBytes, uint32(len(idx))),
+	}
+	if err := d.Node.Execute(prog); err != nil {
+		return err
+	}
+	// Write-through to the golden table.
+	table := d.Model.Embedding.Tables[t]
+	for i, r := range rows {
+		dst := table.Row(r)
+		src := grads.Row(i)
+		for k := range dst {
+			dst[k] += src[k]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package runtime
+
+import (
+	"testing"
+
+	"tensordimm/internal/isa"
+	"tensordimm/internal/node"
+	"tensordimm/internal/recsys"
+	"tensordimm/internal/tensor"
+	"tensordimm/internal/workload"
+)
+
+// smallConfig returns a test-sized model config. dim must be a multiple of
+// nodeDim*16 elements (stripe) for the given node.
+func smallConfig(name string, tables, reduction, dim int, mean bool, op isa.ReduceOp) recsys.Config {
+	return recsys.Config{
+		Name: name, Tables: tables, Reduction: reduction, FCLayers: 2,
+		EmbDim: dim, TableRows: 200, Hidden: []int{16, 8},
+		Op: op, Mean: mean,
+	}
+}
+
+func newNode(t *testing.T, dimms int) *node.Node {
+	t.Helper()
+	n, err := node.New(node.Config{DIMMs: dimms, PerDIMMBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func deploy(t *testing.T, cfg recsys.Config, dimms, maxBatch int) *Deployment {
+	t.Helper()
+	m, err := recsys.Build(cfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Deploy(m, newNode(t, dimms), maxBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeployValidation(t *testing.T) {
+	// dim 100 floats = 400 B is not a multiple of an 8-DIMM stripe (512 B).
+	cfg := smallConfig("bad", 1, 1, 100, false, isa.RAdd)
+	m, err := recsys.Build(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Deploy(m, newNode(t, 8), 4); err == nil {
+		t.Fatal("want stripe-mismatch error")
+	}
+	good := smallConfig("good", 1, 1, 128, false, isa.RAdd)
+	gm, _ := recsys.Build(good, 1)
+	if _, err := Deploy(gm, newNode(t, 8), 0); err == nil {
+		t.Fatal("want maxBatch error")
+	}
+}
+
+func TestExpandIndicesSingleStripe(t *testing.T) {
+	idx := ExpandIndices([]int{5, 9, 2, 7}, 2, 1)
+	// Groups (5,9) and (2,7), k=1: order unchanged, padded to 16.
+	if len(idx) != 16 {
+		t.Fatalf("len = %d, want padded 16", len(idx))
+	}
+	want := []int32{5, 9, 2, 7}
+	for i, w := range want {
+		if idx[i] != w {
+			t.Fatalf("idx[%d] = %d, want %d", i, idx[i], w)
+		}
+	}
+	for _, p := range idx[4:] {
+		if p != 7 {
+			t.Fatalf("padding = %d, want repeat of last index", p)
+		}
+	}
+}
+
+func TestExpandIndicesStripeTransposed(t *testing.T) {
+	// Two groups of two rows, k=2 stripes: within each group the order must
+	// be stripe-major: (r0s0, r1s0, r0s1, r1s1).
+	idx := ExpandIndices([]int{3, 4, 8, 9}, 2, 2)
+	want := []int32{6, 8, 7, 9, 16, 18, 17, 19}
+	for i, w := range want {
+		if idx[i] != w {
+			t.Fatalf("idx[%d] = %d, want %d (full: %v)", i, idx[i], w, idx[:8])
+		}
+	}
+}
+
+func TestExpandIndicesDefensive(t *testing.T) {
+	if got := ExpandIndices([]int{1, 2, 3}, 0, 1); len(got)%16 != 0 {
+		t.Fatal("reduction 0 must behave as 1 and pad")
+	}
+	// Tail rows beyond whole groups expand row-major.
+	idx := ExpandIndices([]int{1, 2, 3}, 2, 2)
+	want := []int32{2, 4, 3, 5, 6, 7}
+	for i, w := range want {
+		if idx[i] != w {
+			t.Fatalf("idx[%d] = %d, want %d", i, idx[i], w)
+		}
+	}
+}
+
+// checkMatchesGolden deploys a model, runs the embedding layer near-memory
+// and verifies bit-identity with the golden model.
+func checkMatchesGolden(t *testing.T, cfg recsys.Config, dimms, batch int) {
+	t.Helper()
+	d := deploy(t, cfg, dimms, batch)
+	gen, _ := workload.NewGenerator(cfg.TableRows, workload.Uniform, 5)
+	rows := gen.Batch(cfg.Tables, batch, cfg.Reduction)
+
+	got, err := d.RunEmbedding(rows, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.GoldenEmbedding(rows, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, want) {
+		t.Fatal("near-memory embedding differs from golden model")
+	}
+}
+
+func TestMeanPoolingMatchesGolden(t *testing.T) {
+	// YouTube-style: mean pooling, one stripe per embedding (8 DIMMs x 16
+	// lanes = 128 elements).
+	cfg := smallConfig("yt", 2, 10, 128, true, isa.RAdd)
+	checkMatchesGolden(t, cfg, 8, 4)
+}
+
+func TestMeanPoolingMultiStripe(t *testing.T) {
+	// dim 256 on 8 DIMMs = 2 stripes per embedding.
+	cfg := smallConfig("yt2", 2, 5, 256, true, isa.RAdd)
+	checkMatchesGolden(t, cfg, 8, 3)
+}
+
+func TestPairwiseMulMatchesGolden(t *testing.T) {
+	// NCF-style GMF: 2-way element-wise product via two GATHERs + REDUCE.
+	cfg := smallConfig("ncf", 2, 2, 128, false, isa.RMul)
+	checkMatchesGolden(t, cfg, 8, 4)
+}
+
+func TestPairwiseMultiStripe(t *testing.T) {
+	cfg := smallConfig("ncf2", 1, 2, 512, false, isa.RMul)
+	checkMatchesGolden(t, cfg, 4, 5)
+}
+
+func TestNoReduction(t *testing.T) {
+	cfg := smallConfig("plain", 3, 1, 128, false, isa.RAdd)
+	checkMatchesGolden(t, cfg, 8, 6)
+}
+
+func TestUnsupportedLowering(t *testing.T) {
+	cfg := smallConfig("bad", 1, 5, 128, false, isa.RAdd) // 5-way non-mean
+	d := deploy(t, cfg, 8, 2)
+	gen, _ := workload.NewGenerator(cfg.TableRows, workload.Uniform, 1)
+	rows := gen.Batch(1, 2, 5)
+	if _, err := d.RunEmbedding(rows, 2); err == nil {
+		t.Fatal("want lowering error for N-way non-mean reduce")
+	}
+}
+
+func TestBatchLimits(t *testing.T) {
+	cfg := smallConfig("lim", 1, 2, 128, true, isa.RAdd)
+	d := deploy(t, cfg, 8, 2)
+	gen, _ := workload.NewGenerator(cfg.TableRows, workload.Uniform, 1)
+	if _, err := d.RunEmbedding(gen.Batch(1, 4, 2), 4); err == nil {
+		t.Fatal("want batch > maxBatch error")
+	}
+	if _, err := d.RunEmbedding([][]int{{1, 2}, {3, 4}}, 1); err == nil {
+		t.Fatal("want table-count error")
+	}
+	if _, _, err := d.CompileTable(0, []int{1, 2, 3}, 1); err == nil {
+		t.Fatal("want row-count error")
+	}
+}
+
+func TestInferEndToEnd(t *testing.T) {
+	cfg := smallConfig("e2e", 2, 4, 128, true, isa.RAdd)
+	d := deploy(t, cfg, 8, 3)
+	gen, _ := workload.NewGenerator(cfg.TableRows, workload.Zipfian, 9)
+	rows := gen.Batch(cfg.Tables, 3, cfg.Reduction)
+
+	got, err := d.Infer(rows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Model.Infer(rows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, want) {
+		t.Fatal("near-memory inference differs from pure-software inference")
+	}
+}
+
+func TestReleaseFreesPool(t *testing.T) {
+	nd := newNode(t, 8)
+	free0 := nd.FreeBytes()
+	cfg := smallConfig("rel", 2, 2, 128, true, isa.RAdd)
+	m, _ := recsys.Build(cfg, 3)
+	d, err := Deploy(m, nd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.FreeBytes() >= free0 {
+		t.Fatal("deployment must consume pool memory")
+	}
+	if err := d.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if nd.FreeBytes() != free0 {
+		t.Fatalf("leak: %d != %d", nd.FreeBytes(), free0)
+	}
+}
+
+func TestMaxBatchPaddingStaysInBounds(t *testing.T) {
+	// Run at exactly maxBatch: GATHER padding must stay within the
+	// allocated slack and still match golden.
+	cfg := smallConfig("pad", 1, 3, 128, true, isa.RAdd)
+	checkMatchesGolden(t, cfg, 8, 7) // 7*3=21 indices -> padded to 32
+}

@@ -1,0 +1,351 @@
+// Package tensor provides the dense float32 tensor substrate used throughout
+// the TensorDIMM reproduction: it is both the golden functional model for the
+// near-memory tensor operations (GATHER/REDUCE/AVERAGE, Figure 9 of the paper)
+// and the arithmetic backend for the DNN layers of the recommender models.
+//
+// Tensors are row-major, at most rank-2 in practice (the embedding layer and
+// MLP stack only need matrices and vectors), but the type supports arbitrary
+// rank for completeness.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 tensor.
+//
+// The zero value is an empty tensor. Use New or FromSlice to construct one.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// ErrShape is returned (wrapped) when operand shapes are incompatible.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// New returns a zero-filled tensor of the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is not
+// copied; the caller must not alias it unless that is intended.
+func FromSlice(data []float32, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			return nil, fmt.Errorf("%w: negative dimension %d", ErrShape, d)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("%w: shape %v needs %d elements, have %d", ErrShape, shape, n, len(data))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}, nil
+}
+
+// MustFromSlice is FromSlice but panics on error; for tests and literals.
+func MustFromSlice(data []float32, shape ...int) *Tensor {
+	t, err := FromSlice(data, shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Bytes returns the storage footprint in bytes (4 bytes per float32 element).
+func (t *Tensor) Bytes() int64 { return int64(len(t.data)) * 4 }
+
+// Data returns the backing slice (row-major). Mutations are visible.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// At returns the element at the given indices.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dim %d", x, t.shape[i], i))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Row returns row i of a rank-2 tensor as a slice aliasing the tensor storage.
+func (t *Tensor) Row(i int) []float32 {
+	if len(t.shape) != 2 {
+		panic("tensor: Row requires rank-2 tensor")
+	}
+	w := t.shape[1]
+	return t.data[i*w : (i+1)*w]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if a.Rank() != b.Rank() {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSame returns an error if operands differ in shape.
+func checkSame(op string, a, b *Tensor) error {
+	if !SameShape(a, b) {
+		return fmt.Errorf("%w: %s %v vs %v", ErrShape, op, a.shape, b.shape)
+	}
+	return nil
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if err := checkSame("add", a, b); err != nil {
+		return nil, err
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) (*Tensor, error) {
+	if err := checkSame("sub", a, b); err != nil {
+		return nil, err
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) (*Tensor, error) {
+	if err := checkSame("mul", a, b); err != nil {
+		return nil, err
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out, nil
+}
+
+// Max returns elementwise max(a, b).
+func Max(a, b *Tensor) (*Tensor, error) {
+	if err := checkSame("max", a, b); err != nil {
+		return nil, err
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		if a.data[i] >= b.data[i] {
+			out.data[i] = a.data[i]
+		} else {
+			out.data[i] = b.data[i]
+		}
+	}
+	return out, nil
+}
+
+// Scale returns t * s elementwise.
+func Scale(t *Tensor, s float32) *Tensor {
+	out := New(t.shape...)
+	for i := range t.data {
+		out.data[i] = t.data[i] * s
+	}
+	return out
+}
+
+// Average returns the elementwise mean of the inputs, matching the AVERAGE
+// instruction semantics of Figure 9(c): accumulate then divide by the count.
+func Average(ts ...*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, errors.New("tensor: Average of zero tensors")
+	}
+	for _, t := range ts[1:] {
+		if err := checkSame("average", ts[0], t); err != nil {
+			return nil, err
+		}
+	}
+	out := New(ts[0].shape...)
+	for _, t := range ts {
+		for i := range t.data {
+			out.data[i] += t.data[i]
+		}
+	}
+	inv := 1 / float32(len(ts))
+	for i := range out.data {
+		out.data[i] *= inv
+	}
+	return out, nil
+}
+
+// Sum returns the elementwise sum of the inputs (N-way REDUCE with OP=add).
+func Sum(ts ...*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, errors.New("tensor: Sum of zero tensors")
+	}
+	for _, t := range ts[1:] {
+		if err := checkSame("sum", ts[0], t); err != nil {
+			return nil, err
+		}
+	}
+	out := New(ts[0].shape...)
+	for _, t := range ts {
+		for i := range t.data {
+			out.data[i] += t.data[i]
+		}
+	}
+	return out, nil
+}
+
+// ConcatRows concatenates rank-2 tensors along dim 1 (the feature dimension),
+// i.e. [B,d1],[B,d2] -> [B,d1+d2]. This is the "tensor concatenation" used to
+// combine embedding features before the DNN (Figure 2, step 2).
+func ConcatRows(ts ...*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, errors.New("tensor: ConcatRows of zero tensors")
+	}
+	rows := ts[0].Dim(0)
+	width := 0
+	for _, t := range ts {
+		if t.Rank() != 2 {
+			return nil, fmt.Errorf("%w: ConcatRows requires rank-2, got rank %d", ErrShape, t.Rank())
+		}
+		if t.Dim(0) != rows {
+			return nil, fmt.Errorf("%w: ConcatRows row counts %d vs %d", ErrShape, rows, t.Dim(0))
+		}
+		width += t.Dim(1)
+	}
+	out := New(rows, width)
+	for r := 0; r < rows; r++ {
+		dst := out.Row(r)
+		off := 0
+		for _, t := range ts {
+			off += copy(dst[off:], t.Row(r))
+		}
+	}
+	return out, nil
+}
+
+// MatMul returns a[M,K] x b[K,N] -> [M,N].
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("%w: MatMul requires rank-2 operands", ErrShape)
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		return nil, fmt.Errorf("%w: MatMul inner dims %d vs %d", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(p)
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// AllClose reports whether a and b match elementwise within atol+rtol*|b|.
+func AllClose(a, b *Tensor, atol, rtol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.data {
+		av, bv := float64(a.data[i]), float64(b.data[i])
+		if math.IsNaN(av) || math.IsNaN(bv) {
+			return false
+		}
+		if math.Abs(av-bv) > atol+rtol*math.Abs(bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports exact elementwise equality.
+func Equal(a, b *Tensor) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.data {
+		if a.data[i] != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer with a compact shape-and-preview format.
+func (t *Tensor) String() string {
+	const preview = 8
+	n := len(t.data)
+	if n <= preview {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%v ...+%d]", t.shape, t.data[:preview], n-preview)
+}

@@ -1,0 +1,329 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(3, 4)
+	if x.Len() != 12 || x.Rank() != 2 || x.Dim(0) != 3 || x.Dim(1) != 4 {
+		t.Fatalf("unexpected geometry: %v", x)
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if x.Bytes() != 48 {
+		t.Fatalf("Bytes = %d, want 48", x.Bytes())
+	}
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	if _, err := FromSlice([]float32{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("want error for wrong element count")
+	}
+	if _, err := FromSlice(nil, -1); err == nil {
+		t.Fatal("want error for negative dim")
+	}
+	x, err := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", x.At(1, 0))
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(42, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 42 {
+		t.Fatalf("At = %v, want 42", got)
+	}
+	if x.Data()[1*12+2*4+3] != 42 {
+		t.Fatal("row-major offset wrong")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	x := New(2, 2)
+	for _, idx := range [][]int{{2, 0}, {0, -1}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%v) should panic", idx)
+				}
+			}()
+			x.At(idx...)
+		}()
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := MustFromSlice([]float32{10, 20, 30, 40}, 2, 2)
+
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(sum, MustFromSlice([]float32{11, 22, 33, 44}, 2, 2)) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, _ := Sub(b, a)
+	if !Equal(diff, MustFromSlice([]float32{9, 18, 27, 36}, 2, 2)) {
+		t.Fatalf("Sub = %v", diff)
+	}
+	prod, _ := Mul(a, b)
+	if !Equal(prod, MustFromSlice([]float32{10, 40, 90, 160}, 2, 2)) {
+		t.Fatalf("Mul = %v", prod)
+	}
+	mx, _ := Max(a, MustFromSlice([]float32{4, 1, 3, 9}, 2, 2))
+	if !Equal(mx, MustFromSlice([]float32{4, 2, 3, 9}, 2, 2)) {
+		t.Fatalf("Max = %v", mx)
+	}
+}
+
+func TestShapeMismatchErrors(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 3)
+	for name, f := range map[string]func(x, y *Tensor) (*Tensor, error){
+		"Add": Add, "Sub": Sub, "Mul": Mul, "Max": Max,
+	} {
+		if _, err := f(a, b); err == nil {
+			t.Errorf("%s: want shape error", name)
+		}
+	}
+	if _, err := Sum(a, b); err == nil {
+		t.Error("Sum: want shape error")
+	}
+	if _, err := Average(a, b); err == nil {
+		t.Error("Average: want shape error")
+	}
+}
+
+func TestAverageMatchesManual(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2}, 2)
+	b := MustFromSlice([]float32{3, 6}, 2)
+	c := MustFromSlice([]float32{5, 10}, 2)
+	avg, err := Average(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(avg, MustFromSlice([]float32{3, 6}, 2)) {
+		t.Fatalf("Average = %v", avg)
+	}
+}
+
+func TestSumEmptyAndSingle(t *testing.T) {
+	if _, err := Sum(); err == nil {
+		t.Fatal("Sum() should error")
+	}
+	if _, err := Average(); err == nil {
+		t.Fatal("Average() should error")
+	}
+	a := MustFromSlice([]float32{7, 8}, 2)
+	s, err := Sum(a)
+	if err != nil || !Equal(s, a) {
+		t.Fatalf("Sum(a) = %v, %v", s, err)
+	}
+}
+
+func TestConcatRows(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := MustFromSlice([]float32{5, 6, 7, 8, 9, 10}, 2, 3)
+	c, err := ConcatRows(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFromSlice([]float32{1, 2, 5, 6, 7, 3, 4, 8, 9, 10}, 2, 5)
+	if !Equal(c, want) {
+		t.Fatalf("ConcatRows = %v, want %v", c, want)
+	}
+	if _, err := ConcatRows(a, New(3, 2)); err == nil {
+		t.Fatal("want row-count mismatch error")
+	}
+	if _, err := ConcatRows(New(2)); err == nil {
+		t.Fatal("want rank error")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := MustFromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFromSlice([]float32{58, 64, 139, 154}, 2, 2)
+	if !Equal(c, want) {
+		t.Fatalf("MatMul = %v, want %v", c, want)
+	}
+	if _, err := MatMul(a, a); err == nil {
+		t.Fatal("want inner-dim error")
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 4)
+	for i := range a.Data() {
+		a.Data()[i] = rng.Float32()
+	}
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	c, err := MatMul(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AllClose(c, a, 1e-6, 1e-6) {
+		t.Fatal("A x I != A")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2}, 2)
+	b := a.Clone()
+	b.Data()[0] = 99
+	if a.Data()[0] != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	a := New(2, 3)
+	a.Row(1)[2] = 5
+	if a.At(1, 2) != 5 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestScaleAndFill(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3}, 3)
+	s := Scale(a, 2)
+	if !Equal(s, MustFromSlice([]float32{2, 4, 6}, 3)) {
+		t.Fatalf("Scale = %v", s)
+	}
+	a.Fill(7)
+	for _, v := range a.Data() {
+		if v != 7 {
+			t.Fatal("Fill failed")
+		}
+	}
+}
+
+func TestStringPreview(t *testing.T) {
+	short := MustFromSlice([]float32{1, 2}, 2)
+	if short.String() == "" {
+		t.Fatal("empty String")
+	}
+	long := New(100)
+	if long.String() == "" {
+		t.Fatal("empty String for long tensor")
+	}
+}
+
+// randVec builds a deterministic tensor from quick-check int seeds.
+func randVec(seed int64, n int) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := New(n)
+	for i := range t.Data() {
+		t.Data()[i] = rng.Float32()*8 - 4
+	}
+	return t
+}
+
+// Property: Add is commutative.
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		a, b := randVec(seed1, 64), randVec(seed2, 64)
+		x, _ := Add(a, b)
+		y, _ := Add(b, a)
+		return Equal(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sum over a permutation of inputs is unchanged (exact for float32
+// here because Sum accumulates in the same order positionally; we verify
+// pairwise swap which must commute elementwise).
+func TestQuickMulCommutative(t *testing.T) {
+	f := func(seed1, seed2 int64) bool {
+		a, b := randVec(seed1, 48), randVec(seed2, 48)
+		x, _ := Mul(a, b)
+		y, _ := Mul(b, a)
+		return Equal(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AVERAGE of k identical vectors is (close to) the vector itself.
+func TestQuickAverageIdentity(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%7) + 1
+		v := randVec(seed, 32)
+		ins := make([]*Tensor, k)
+		for i := range ins {
+			ins[i] = v
+		}
+		avg, err := Average(ins...)
+		if err != nil {
+			return false
+		}
+		return AllClose(avg, v, 1e-5, 1e-5)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ConcatRows width is the sum of operand widths and preserves rows.
+func TestQuickConcatWidths(t *testing.T) {
+	f := func(seed int64, w1Raw, w2Raw uint8) bool {
+		w1, w2 := int(w1Raw%16)+1, int(w2Raw%16)+1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(3, w1), New(3, w2)
+		for i := range a.Data() {
+			a.Data()[i] = rng.Float32()
+		}
+		for i := range b.Data() {
+			b.Data()[i] = rng.Float32()
+		}
+		c, err := ConcatRows(a, b)
+		if err != nil {
+			return false
+		}
+		if c.Dim(0) != 3 || c.Dim(1) != w1+w2 {
+			return false
+		}
+		// Spot-check boundary elements of each row.
+		for r := 0; r < 3; r++ {
+			if c.At(r, 0) != a.At(r, 0) || c.At(r, w1) != b.At(r, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	a := randVec(1, 256*256)
+	x, _ := FromSlice(a.Data(), 256, 256)
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

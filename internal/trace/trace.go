@@ -1,0 +1,214 @@
+// Package trace generates the DRAM read/write transaction streams of the
+// TensorISA operations, mirroring the paper's "memory tracing function that
+// hooks into the DL frameworks" (Section 5). The streams follow the
+// functional pseudo-code of Figure 9 exactly:
+//
+//	GATHER  — reads the index blocks, reads every 64 B block of each gathered
+//	          embedding from its (random) table row, writes the gathered
+//	          tensor contiguously.
+//	REDUCE  — streams two equal-size operands in and one result out.
+//	AVERAGE — streams averageNum operands in and one result out.
+//
+// Addresses are linear physical byte addresses; the address-mapping scheme of
+// the simulated system decides where each 64 B block lands (across the eight
+// CPU channels for the baseline, or striped across every TensorDIMM for the
+// proposed design, Figure 7). The same trace therefore exercises both
+// organizations, which is exactly the comparison of Figures 11 and 12.
+package trace
+
+import (
+	"fmt"
+
+	"tensordimm/internal/addrmap"
+	"tensordimm/internal/dram"
+	"tensordimm/internal/isa"
+)
+
+// Layout fixes where the regions of one embedding layer live in the physical
+// address space. All fields are byte addresses, 64 B aligned.
+type Layout struct {
+	TableBase uint64 // base of the embedding lookup table region
+	IndexBase uint64 // base of the lookup-index list
+	GatherOut uint64 // base of the gathered (batched) tensor
+	ScratchA  uint64 // reduction input A (usually == GatherOut)
+	ScratchB  uint64 // reduction input B
+	OutBase   uint64 // base of the final reduced tensor
+}
+
+// Generator produces DRAM request streams for tensor operations over
+// embeddings of a fixed geometry.
+type Generator struct {
+	// EmbBytes is the payload size of one embedding vector (e.g. 512
+	// float32 = 2048 B, the paper's default).
+	EmbBytes int
+	// TableRows is the number of embedding vectors in the lookup table.
+	TableRows int
+}
+
+// NewGenerator validates the geometry and returns a Generator.
+func NewGenerator(embBytes, tableRows int) (*Generator, error) {
+	if embBytes <= 0 || embBytes%isa.BlockBytes != 0 {
+		return nil, fmt.Errorf("trace: EmbBytes %d must be a positive multiple of %d", embBytes, isa.BlockBytes)
+	}
+	if tableRows <= 0 {
+		return nil, fmt.Errorf("trace: TableRows %d must be positive", tableRows)
+	}
+	return &Generator{EmbBytes: embBytes, TableRows: tableRows}, nil
+}
+
+// EmbBlocks returns the number of 64 B blocks per embedding.
+func (g *Generator) EmbBlocks() int { return g.EmbBytes / isa.BlockBytes }
+
+// TableBytes returns the table footprint in bytes.
+func (g *Generator) TableBytes() uint64 {
+	return uint64(g.TableRows) * uint64(g.EmbBytes)
+}
+
+// Gather emits the transaction stream of one GATHER instruction: for every
+// index, read the whole embedding from the table and append it to the
+// gathered tensor at out. Index-list reads (one 64 B block per 16 indices)
+// are included, as in Figure 9(a).
+func (g *Generator) Gather(l Layout, indices []int) []dram.Request {
+	eb := g.EmbBlocks()
+	reqs := make([]dram.Request, 0, len(indices)*(2*eb)+len(indices)/isa.LanesPerBlock+1)
+	// Index block reads.
+	nIdxBlocks := (len(indices) + isa.LanesPerBlock - 1) / isa.LanesPerBlock
+	for i := 0; i < nIdxBlocks; i++ {
+		reqs = append(reqs, dram.Request{Phys: l.IndexBase + uint64(i)*isa.BlockBytes})
+	}
+	for i, idx := range indices {
+		rowBase := l.TableBase + uint64(idx)*uint64(g.EmbBytes)
+		outBase := l.GatherOut + uint64(i)*uint64(g.EmbBytes)
+		for b := 0; b < eb; b++ {
+			reqs = append(reqs, dram.Request{Phys: rowBase + uint64(b)*isa.BlockBytes})
+			reqs = append(reqs, dram.Request{Phys: outBase + uint64(b)*isa.BlockBytes, Write: true})
+		}
+	}
+	return reqs
+}
+
+// Reduce emits the stream of one REDUCE instruction over tensors of the
+// given number of embeddings: read A and B interleaved, write the result.
+func (g *Generator) Reduce(l Layout, embeddings int) []dram.Request {
+	blocks := embeddings * g.EmbBlocks()
+	reqs := make([]dram.Request, 0, 3*blocks)
+	for b := 0; b < blocks; b++ {
+		off := uint64(b) * isa.BlockBytes
+		reqs = append(reqs,
+			dram.Request{Phys: l.ScratchA + off},
+			dram.Request{Phys: l.ScratchB + off},
+			dram.Request{Phys: l.OutBase + off, Write: true},
+		)
+	}
+	return reqs
+}
+
+// Average emits the stream of one AVERAGE instruction reducing groups of
+// n consecutive embeddings into one: for each output embedding it reads n
+// inputs and writes one result, as in Figure 9(c).
+func (g *Generator) Average(l Layout, outEmbeddings, n int) []dram.Request {
+	eb := g.EmbBlocks()
+	reqs := make([]dram.Request, 0, outEmbeddings*eb*(n+1))
+	for i := 0; i < outEmbeddings; i++ {
+		for b := 0; b < eb; b++ {
+			for j := 0; j < n; j++ {
+				in := l.ScratchA + uint64(((i*n+j)*eb+b))*isa.BlockBytes
+				reqs = append(reqs, dram.Request{Phys: in})
+			}
+			out := l.OutBase + uint64((i*eb+b))*isa.BlockBytes
+			reqs = append(reqs, dram.Request{Phys: out, Write: true})
+		}
+	}
+	return reqs
+}
+
+// ScatterAdd emits the stream of one SCATTER_ADD extension instruction:
+// for every index, read the gradient stripe (sequential), read the table
+// row (random) and write it back (random). Used to study the training
+// direction the paper leaves to future work.
+func (g *Generator) ScatterAdd(l Layout, indices []int) []dram.Request {
+	eb := g.EmbBlocks()
+	reqs := make([]dram.Request, 0, len(indices)*(3*eb)+len(indices)/isa.LanesPerBlock+1)
+	nIdxBlocks := (len(indices) + isa.LanesPerBlock - 1) / isa.LanesPerBlock
+	for i := 0; i < nIdxBlocks; i++ {
+		reqs = append(reqs, dram.Request{Phys: l.IndexBase + uint64(i)*isa.BlockBytes})
+	}
+	for i, idx := range indices {
+		gradBase := l.ScratchA + uint64(i)*uint64(g.EmbBytes)
+		rowBase := l.TableBase + uint64(idx)*uint64(g.EmbBytes)
+		for b := 0; b < eb; b++ {
+			off := uint64(b) * isa.BlockBytes
+			reqs = append(reqs,
+				dram.Request{Phys: gradBase + off},
+				dram.Request{Phys: rowBase + off},
+				dram.Request{Phys: rowBase + off, Write: true},
+			)
+		}
+	}
+	return reqs
+}
+
+// LayerPhases emits the dependent phases of one full embedding layer with
+// `tables` lookup tables, `reduction`-way pooling and the given per-table
+// index lists: first all GATHERs (independent), then the pooling pass that
+// consumes them. It returns phases suitable for dram.System.RunPhases.
+func (g *Generator) LayerPhases(l Layout, perTableIndices [][]int, reduction int) [][]dram.Request {
+	var gatherPhase []dram.Request
+	for t, indices := range perTableIndices {
+		tl := l
+		// Each table and its gather output occupy disjoint regions.
+		tl.TableBase = l.TableBase + uint64(t)*g.TableBytes()
+		tl.GatherOut = l.GatherOut + uint64(t)*uint64(len(indices))*uint64(g.EmbBytes)
+		gatherPhase = append(gatherPhase, g.Gather(tl, indices)...)
+	}
+	if reduction <= 1 {
+		return [][]dram.Request{gatherPhase}
+	}
+	var poolPhase []dram.Request
+	for t, indices := range perTableIndices {
+		tl := l
+		tl.ScratchA = l.GatherOut + uint64(t)*uint64(len(indices))*uint64(g.EmbBytes)
+		tl.OutBase = l.OutBase + uint64(t)*uint64(len(indices)/reduction)*uint64(g.EmbBytes)
+		poolPhase = append(poolPhase, g.Average(tl, len(indices)/reduction, reduction)...)
+	}
+	return [][]dram.Request{gatherPhase, poolPhase}
+}
+
+// LayoutFor returns a non-overlapping region layout for a generator, a
+// worst-case gather size (embeddings gathered in one phase across all
+// tables) and a target memory organization. Streaming tensor kernels read
+// two or three regions concurrently; if those regions started in the same
+// DRAM bank they would thrash each other's row buffers, so each
+// concurrently-streamed region (gather output / scratch B / final output)
+// is placed at a distinct bank offset ("bank staggering"). The bank stride
+// is derived from the mapping: under the schemes of this repository the
+// bank index advances every Channels x BankGroups x Columns blocks.
+func (g *Generator) LayoutFor(geom addrmap.Geometry, tables, maxGathered int) Layout {
+	bankStride := uint64(geom.Channels) * uint64(geom.BankGroups) * uint64(geom.Columns) * isa.BlockBytes
+	bankCycle := bankStride * uint64(geom.Banks)
+	place := func(after uint64, bank int) uint64 {
+		base := (after + bankCycle - 1) / bankCycle * bankCycle
+		return base + uint64(bank)*bankStride
+	}
+	align := func(x uint64) uint64 { return (x + 4095) &^ 4095 }
+	tableEnd := align(uint64(tables) * g.TableBytes())
+	idxEnd := align(tableEnd + uint64(maxGathered)*4)
+	gatherBase := place(idxEnd, 0)
+	gatherEnd := gatherBase + uint64(maxGathered)*uint64(g.EmbBytes)
+	scratchB := place(gatherEnd, 1)
+	scratchBEnd := scratchB + uint64(maxGathered)*uint64(g.EmbBytes)
+	return Layout{
+		TableBase: 0,
+		IndexBase: tableEnd,
+		GatherOut: gatherBase,
+		ScratchA:  gatherBase, // reduction reads the gathered tensor
+		ScratchB:  scratchB,
+		OutBase:   place(scratchBEnd, 2),
+	}
+}
+
+// DefaultLayout is LayoutFor under the paper's default TensorNode
+// organization (32 TensorDIMMs, Table 1).
+func (g *Generator) DefaultLayout(tables, maxGathered int) Layout {
+	return g.LayoutFor(addrmap.TensorDIMM(32, 1<<16).Geom, tables, maxGathered)
+}

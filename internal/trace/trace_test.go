@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tensordimm/internal/addrmap"
+	"tensordimm/internal/dram"
+	"tensordimm/internal/isa"
+)
+
+func gen(t *testing.T) *Generator {
+	t.Helper()
+	g, err := NewGenerator(2048, 100000) // 512-dim float32 embeddings
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(100, 10); err == nil {
+		t.Fatal("want error for non-multiple-of-64 embedding")
+	}
+	if _, err := NewGenerator(0, 10); err == nil {
+		t.Fatal("want error for zero embedding")
+	}
+	if _, err := NewGenerator(64, 0); err == nil {
+		t.Fatal("want error for zero rows")
+	}
+}
+
+func TestGatherRequestCounts(t *testing.T) {
+	g := gen(t)
+	l := g.DefaultLayout(1, 64)
+	indices := make([]int, 64)
+	for i := range indices {
+		indices[i] = i * 7 % g.TableRows
+	}
+	reqs := g.Gather(l, indices)
+	eb := g.EmbBlocks()
+	wantReads := 64/isa.LanesPerBlock + 64*eb
+	wantWrites := 64 * eb
+	var reads, writes int
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads != wantReads || writes != wantWrites {
+		t.Fatalf("gather: %d reads %d writes, want %d/%d", reads, writes, wantReads, wantWrites)
+	}
+}
+
+func TestGatherMatchesISATraffic(t *testing.T) {
+	// The trace and the ISA-level analytical traffic model must agree. A
+	// GATHER instruction with count=N covers one stripe per index; with
+	// EmbBytes == stripe size (nodeDim*64), per-rank blocks x nodeDim equals
+	// the whole-node totals of the trace.
+	g := gen(t)
+	nodeDim := g.EmbBlocks() // stripe == embedding (paper default: 32 DIMMs x 64 B = 2 KiB)
+	l := g.DefaultLayout(1, 32)
+	indices := make([]int, 32)
+	reqs := g.Gather(l, indices)
+	in := isa.Gather(0, 0, 0, uint32(len(indices)))
+	tr := in.RankTraffic()
+	nodeReads := int(tr.ReadBlocks-uint64(len(indices))/isa.LanesPerBlock)*nodeDim + int(len(indices))/isa.LanesPerBlock
+	nodeWrites := int(tr.WriteBlocks) * nodeDim
+	var reads, writes int
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads != nodeReads || writes != nodeWrites {
+		t.Fatalf("trace %d/%d vs ISA-derived %d/%d", reads, writes, nodeReads, nodeWrites)
+	}
+}
+
+func TestReduceCounts(t *testing.T) {
+	g := gen(t)
+	l := g.DefaultLayout(2, 128)
+	reqs := g.Reduce(l, 16)
+	eb := g.EmbBlocks()
+	var reads, writes int
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads != 2*16*eb || writes != 16*eb {
+		t.Fatalf("reduce: %d reads %d writes", reads, writes)
+	}
+}
+
+func TestAverageCounts(t *testing.T) {
+	g := gen(t)
+	l := g.DefaultLayout(1, 400)
+	reqs := g.Average(l, 8, 50)
+	eb := g.EmbBlocks()
+	var reads, writes int
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads != 8*50*eb || writes != 8*eb {
+		t.Fatalf("average: %d reads %d writes", reads, writes)
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	g := gen(t)
+	l := g.DefaultLayout(2, 256)
+	if l.IndexBase < g.TableBytes()*2 {
+		t.Fatal("index region overlaps tables")
+	}
+	if l.GatherOut <= l.IndexBase {
+		t.Fatal("gather region overlaps indices")
+	}
+	if l.ScratchB <= l.GatherOut {
+		t.Fatal("scratch B overlaps gather output")
+	}
+	if l.OutBase <= l.ScratchB {
+		t.Fatal("output overlaps scratch B")
+	}
+}
+
+func TestGatherStripesAcrossAllDIMMs(t *testing.T) {
+	// Under the TensorDIMM mapping, one gathered 2 KiB embedding must touch
+	// all 32 DIMMs exactly once for reads (plus once for writes).
+	g := gen(t)
+	scheme := addrmap.TensorDIMM(32, 1<<15)
+	l := g.DefaultLayout(1, 16)
+	reqs := g.Gather(l, []int{12345})
+	perDIMMReads := make(map[int]int)
+	for _, r := range reqs[1:] { // skip the index-block read
+		a := scheme.Map(r.Phys)
+		if !r.Write {
+			perDIMMReads[a.Channel]++
+		}
+	}
+	if len(perDIMMReads) != 32 {
+		t.Fatalf("gather touched %d DIMMs, want 32", len(perDIMMReads))
+	}
+	for ch, n := range perDIMMReads {
+		if n != 1 {
+			t.Fatalf("DIMM %d read %d blocks, want 1", ch, n)
+		}
+	}
+}
+
+func TestLayerPhasesStructure(t *testing.T) {
+	g := gen(t)
+	l := g.DefaultLayout(2, 2*64*50)
+	idx := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = (i * 131) % g.TableRows
+		}
+		return out
+	}
+	phases := g.LayerPhases(l, [][]int{idx(64 * 50), idx(64 * 50)}, 50)
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d, want 2 (gather, pool)", len(phases))
+	}
+	if len(phases[0]) == 0 || len(phases[1]) == 0 {
+		t.Fatal("empty phase")
+	}
+	// With reduction 1 there is no pooling pass.
+	single := g.LayerPhases(l, [][]int{idx(64)}, 1)
+	if len(single) != 1 {
+		t.Fatalf("reduction=1 phases = %d, want 1", len(single))
+	}
+}
+
+func TestEndToEndBandwidthRatio(t *testing.T) {
+	// Integration: the same layer trace must achieve roughly 4x the
+	// bandwidth on a 32-DIMM TensorNode vs the 8-channel CPU system —
+	// the central claim behind Figure 11.
+	g := gen(t)
+	rng := rand.New(rand.NewSource(42))
+	batch, reduction := 32, 50
+	n := batch * reduction
+	indices := make([]int, n)
+	for i := range indices {
+		indices[i] = rng.Intn(g.TableRows)
+	}
+	l := g.DefaultLayout(1, n)
+	phases := g.LayerPhases(l, [][]int{indices}, reduction)
+
+	cpu := dram.NewSystem(addrmap.CPUBaseline(8, 4, 1<<15), dram.DDR43200())
+	node := dram.NewSystem(addrmap.TensorDIMM(32, 1<<15), dram.DDR43200())
+	cpuRes := cpu.RunPhases(phases)
+	nodeRes := node.RunPhases(phases)
+	cpuBW := cpuRes.BandwidthGBs(cpu.Timing)
+	nodeBW := nodeRes.BandwidthGBs(node.Timing)
+	ratio := nodeBW / cpuBW
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("TensorNode/CPU bandwidth ratio = %.2f (%.1f vs %.1f GB/s), want ~4x",
+			ratio, nodeBW, cpuBW)
+	}
+}
+
+func TestQuickGatherAddressesInTable(t *testing.T) {
+	g, _ := NewGenerator(2048, 5000)
+	l := g.DefaultLayout(1, 64)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		indices := make([]int, 16)
+		for i := range indices {
+			indices[i] = rng.Intn(g.TableRows)
+		}
+		for _, r := range g.Gather(l, indices) {
+			if r.Write {
+				if r.Phys < l.GatherOut {
+					return false
+				}
+			} else if r.Phys >= l.IndexBase && r.Phys < l.GatherOut {
+				continue // index read
+			} else if !r.Write && r.Phys >= g.TableBytes() {
+				return false // table read out of bounds
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterAddCounts(t *testing.T) {
+	g := gen(t)
+	l := g.DefaultLayout(1, 64)
+	indices := make([]int, 32)
+	for i := range indices {
+		indices[i] = (i * 13) % g.TableRows
+	}
+	reqs := g.ScatterAdd(l, indices)
+	eb := g.EmbBlocks()
+	var reads, writes int
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	wantReads := 32/16 + 2*32*eb // index blocks + gradient and table reads
+	if reads != wantReads || writes != 32*eb {
+		t.Fatalf("scatter-add: %d reads %d writes, want %d/%d", reads, writes, wantReads, 32*eb)
+	}
+}

@@ -1,0 +1,108 @@
+// Package workload generates the inference request streams of the
+// evaluation: batches of embedding lookup indices per table, with uniform or
+// Zipfian popularity (production embedding accesses are heavily skewed, but
+// the paper's bandwidth analysis holds under both — the skew mainly affects
+// row-buffer locality, which the DRAM experiments can probe directly).
+//
+// All generators are deterministically seeded so every experiment is
+// reproducible bit-for-bit.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Distribution selects how lookup indices are drawn.
+type Distribution int
+
+// Supported index distributions.
+const (
+	Uniform Distribution = iota
+	Zipfian
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	default:
+		return fmt.Sprintf("dist(%d)", int(d))
+	}
+}
+
+// Generator draws lookup indices for one model's tables.
+type Generator struct {
+	rows int
+	dist Distribution
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewGenerator builds a generator over tables of `rows` rows.
+// For Zipfian, s=1.2 over the full row range (a common web-popularity fit).
+func NewGenerator(rows int, dist Distribution, seed int64) (*Generator, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("workload: rows must be positive, got %d", rows)
+	}
+	g := &Generator{rows: rows, dist: dist, rng: rand.New(rand.NewSource(seed))}
+	if dist == Zipfian {
+		g.zipf = rand.NewZipf(g.rng, 1.2, 1, uint64(rows-1))
+		if g.zipf == nil {
+			return nil, fmt.Errorf("workload: bad zipf parameters for %d rows", rows)
+		}
+	}
+	return g, nil
+}
+
+// Next draws one index.
+func (g *Generator) Next() int {
+	if g.dist == Zipfian {
+		return int(g.zipf.Uint64())
+	}
+	return g.rng.Intn(g.rows)
+}
+
+// Indices draws n indices.
+func (g *Generator) Indices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Batch draws the per-table index lists for one inference batch:
+// tables x (batch x reduction) indices.
+func (g *Generator) Batch(tables, batch, reduction int) [][]int {
+	out := make([][]int, tables)
+	for t := range out {
+		out[t] = g.Indices(batch * reduction)
+	}
+	return out
+}
+
+// Int32 converts an index list to the int32 form the TensorISA index blocks
+// carry (Figure 9(a) reads 16 x 4-byte indices per block).
+func Int32(indices []int) []int32 {
+	out := make([]int32, len(indices))
+	for i, v := range indices {
+		out[i] = int32(v)
+	}
+	return out
+}
+
+// PaperBatches returns the batch sizes of Figure 4 ({1,8,64,128}).
+func PaperBatches() []int { return []int{1, 8, 64, 128} }
+
+// SweepBatches returns the batch sweep of Figure 11 (2..128).
+func SweepBatches() []int {
+	var out []int
+	for b := 2; b <= 128; b += 6 {
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(0, Uniform, 1); err == nil {
+		t.Fatal("want error for zero rows")
+	}
+	if _, err := NewGenerator(100, Zipfian, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndicesInRange(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Zipfian} {
+		g, err := NewGenerator(1000, dist, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range g.Indices(10000) {
+			if idx < 0 || idx >= 1000 {
+				t.Fatalf("%v: index %d out of range", dist, idx)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := NewGenerator(1000, Zipfian, 7)
+	b, _ := NewGenerator(1000, Zipfian, 7)
+	ia, ib := a.Indices(100), b.Indices(100)
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c, _ := NewGenerator(1000, Zipfian, 8)
+	ic := c.Indices(100)
+	same := true
+	for i := range ia {
+		if ia[i] != ic[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Zipfian traffic must concentrate on a few hot rows; uniform must not.
+	rows := 10000
+	n := 50000
+	top := func(dist Distribution) float64 {
+		g, _ := NewGenerator(rows, dist, 3)
+		counts := make(map[int]int)
+		for _, idx := range g.Indices(n) {
+			counts[idx]++
+		}
+		hot := 0
+		for idx, c := range counts {
+			if idx < 10 {
+				hot += c
+			}
+		}
+		return float64(hot) / float64(n)
+	}
+	zipfHot := top(Zipfian)
+	uniformHot := top(Uniform)
+	if zipfHot < 0.2 {
+		t.Fatalf("zipf top-10 share = %.3f, want skewed", zipfHot)
+	}
+	if uniformHot > 0.01 {
+		t.Fatalf("uniform top-10 share = %.3f, want flat", uniformHot)
+	}
+}
+
+func TestBatchShape(t *testing.T) {
+	g, _ := NewGenerator(100, Uniform, 1)
+	b := g.Batch(3, 8, 25)
+	if len(b) != 3 {
+		t.Fatalf("tables = %d", len(b))
+	}
+	for _, lst := range b {
+		if len(lst) != 8*25 {
+			t.Fatalf("indices per table = %d", len(lst))
+		}
+	}
+}
+
+func TestInt32(t *testing.T) {
+	got := Int32([]int{1, 2, 300000})
+	if len(got) != 3 || got[2] != 300000 {
+		t.Fatalf("Int32 = %v", got)
+	}
+}
+
+func TestPaperBatches(t *testing.T) {
+	b := PaperBatches()
+	want := []int{1, 8, 64, 128}
+	if len(b) != len(want) {
+		t.Fatalf("PaperBatches = %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("PaperBatches = %v", b)
+		}
+	}
+	sweep := SweepBatches()
+	if sweep[0] != 2 || sweep[len(sweep)-1] > 128 || len(sweep) < 10 {
+		t.Fatalf("SweepBatches = %v", sweep)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Zipfian.String() != "zipfian" || Distribution(9).String() == "" {
+		t.Fatal("Distribution.String misbehaves")
+	}
+}
+
+// Property: all draws stay in range for any seed and row count.
+func TestQuickRange(t *testing.T) {
+	f := func(seed int64, rowsRaw uint16) bool {
+		rows := int(rowsRaw%5000) + 2
+		g, err := NewGenerator(rows, Zipfian, seed)
+		if err != nil {
+			return false
+		}
+		for _, idx := range g.Indices(200) {
+			if idx < 0 || idx >= rows {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

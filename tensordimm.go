@@ -1,0 +1,185 @@
+// Package tensordimm is a complete, self-contained reproduction of
+// "TensorDIMM: A Practical Near-Memory Processing Architecture for
+// Embeddings and Tensor Operations in Deep Learning" (Kwon, Lee & Rhu,
+// MICRO-52, 2019), implemented in pure Go with no dependencies beyond the
+// standard library.
+//
+// The library provides, as one vertically integrated stack:
+//
+//   - TensorISA (GATHER / REDUCE / AVERAGE), the paper's tensor instruction
+//     set, with binary encoding and exact functional semantics;
+//   - the TensorDIMM module: a buffered DIMM with a near-memory-processing
+//     core (16-lane vector ALU, SRAM staging queues, NMP-local memory
+//     controller) in its buffer device;
+//   - TensorNode: a disaggregated pool of TensorDIMMs behind an
+//     NVLink-class interconnect, with rank-interleaved tensor striping,
+//     instruction broadcast and a pool memory allocator;
+//   - a command-level DDR4 simulator (banks, ranks, channels, FR-FCFS,
+//     refresh) that measures the effective memory bandwidth of the tensor
+//     operations under both the conventional CPU organization and the
+//     TensorDIMM organization;
+//   - roofline CPU/GPU device models, PCIe/NVLink interconnect models, and
+//     an end-to-end latency engine covering the paper's five recommender
+//     design points (CPU-only, CPU-GPU, PMEM, TDIMM, GPU-only);
+//   - the four recommender benchmarks of the evaluation (NCF, YouTube, Fox,
+//     Facebook) as runnable models with real embedding tables and MLPs;
+//   - one experiment driver per table and figure of the paper.
+//
+// # Quick start
+//
+//	nd, _ := tensordimm.NewNode(8, 64<<20)            // 8 TensorDIMMs
+//	model, _ := tensordimm.BuildModel(cfg, 42)         // real tables + MLP
+//	dep, _ := tensordimm.Deploy(model, nd, 64)         // upload, allocate
+//	probs, _ := dep.Infer(indices, batch)              // NMP embedding + DNN
+//
+// See the examples directory for runnable programs and EXPERIMENTS.md for
+// the paper-vs-reproduction record of every table and figure.
+package tensordimm
+
+import (
+	"tensordimm/internal/core"
+	"tensordimm/internal/embed"
+	"tensordimm/internal/experiments"
+	"tensordimm/internal/isa"
+	"tensordimm/internal/node"
+	"tensordimm/internal/recsys"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/tensor"
+	"tensordimm/internal/workload"
+)
+
+// Core system types, aliased from the implementation packages so external
+// users never need the internal import paths.
+type (
+	// Node is a TensorNode: a disaggregated pool of TensorDIMMs.
+	Node = node.Node
+	// NodeConfig sizes a TensorNode.
+	NodeConfig = node.Config
+	// ModelConfig describes one recommender benchmark (Table 2).
+	ModelConfig = recsys.Config
+	// Model is a materialized recommender: embedding tables plus MLP.
+	Model = recsys.Model
+	// Deployment is a model resident in a TensorNode pool.
+	Deployment = runtime.Deployment
+	// Platform is the evaluation platform (devices, links, node).
+	Platform = core.Platform
+	// DesignPoint is one of the five system designs of Section 6.
+	DesignPoint = core.DesignPoint
+	// Breakdown is a per-phase inference latency decomposition (Figure 13).
+	Breakdown = core.Breakdown
+	// Tensor is a dense row-major float32 tensor.
+	Tensor = tensor.Tensor
+	// Table is one embedding lookup table.
+	Table = embed.Table
+	// Instruction is one TensorISA instruction (Figure 8).
+	Instruction = isa.Instruction
+	// Program is an ordered TensorISA instruction sequence.
+	Program = isa.Program
+	// ExperimentResult is one reproduced table or figure.
+	ExperimentResult = experiments.Result
+	// WorkloadGenerator draws embedding lookup indices.
+	WorkloadGenerator = workload.Generator
+)
+
+// The five design points (Section 6).
+const (
+	CPUOnly = core.CPUOnly
+	CPUGPU  = core.CPUGPU
+	PMEM    = core.PMEM
+	TDIMM   = core.TDIMM
+	GPUOnly = core.GPUOnly
+)
+
+// Index distributions for workload generation.
+const (
+	Uniform = workload.Uniform
+	Zipfian = workload.Zipfian
+)
+
+// NewNode builds a TensorNode with the given number of TensorDIMMs, each
+// holding perDIMMBytes of rank-local DRAM.
+func NewNode(dimms int, perDIMMBytes uint64) (*Node, error) {
+	return node.New(node.Config{DIMMs: dimms, PerDIMMBytes: perDIMMBytes})
+}
+
+// Benchmark configurations of the paper's evaluation (Table 2).
+func NCF() ModelConfig      { return recsys.NCF() }
+func YouTube() ModelConfig  { return recsys.YouTube() }
+func Fox() ModelConfig      { return recsys.Fox() }
+func Facebook() ModelConfig { return recsys.Facebook() }
+
+// Benchmarks returns all four evaluation workloads in the paper's order.
+func Benchmarks() []ModelConfig { return recsys.All() }
+
+// BuildModel materializes a recommender model with deterministic random
+// parameters.
+func BuildModel(cfg ModelConfig, seed int64) (*Model, error) {
+	return recsys.Build(cfg, seed)
+}
+
+// Deploy uploads a model's embedding tables into a TensorNode and prepares
+// scratch space for inference batches up to maxBatch.
+func Deploy(m *Model, nd *Node, maxBatch int) (*Deployment, error) {
+	return runtime.Deploy(m, nd, maxBatch)
+}
+
+// NewWorkload returns a deterministic index generator over tables of `rows`
+// rows with the given popularity distribution.
+func NewWorkload(rows int, dist workload.Distribution, seed int64) (*WorkloadGenerator, error) {
+	return workload.NewGenerator(rows, dist, seed)
+}
+
+// DefaultPlatform returns the paper's evaluation platform: DGX-class host,
+// V100-class GPU, 32-TensorDIMM TensorNode behind 150 GB/s NVLink (Table 1).
+func DefaultPlatform() Platform { return core.DefaultPlatform() }
+
+// DesignPoints lists the five designs in the paper's order.
+func DesignPoints() []DesignPoint { return core.DesignPoints() }
+
+// Simulate costs one inference of the workload at the given batch under the
+// chosen design point, returning the Figure 13 latency breakdown.
+func Simulate(dp DesignPoint, cfg ModelConfig, batch int, p Platform) Breakdown {
+	return core.Simulate(dp, cfg, batch, p)
+}
+
+// Speedup returns how much faster design a is than design b on a workload.
+func Speedup(a, b DesignPoint, cfg ModelConfig, batch int, p Platform) float64 {
+	return core.Speedup(a, b, cfg, batch, p)
+}
+
+// SimulateShared costs one inference when n GPUs serve inferences
+// concurrently against the shared platform resources (the TensorNode is an
+// NVSwitch endpoint reachable by every GPU, Section 4.3).
+func SimulateShared(dp DesignPoint, cfg ModelConfig, batch int, p Platform, nGPUs int) Breakdown {
+	return core.SimulateShared(dp, cfg, batch, p, nGPUs)
+}
+
+// SharedThroughput returns aggregate inferences/second for n GPUs sharing
+// the platform under the given design point.
+func SharedThroughput(dp DesignPoint, cfg ModelConfig, batch int, p Platform, nGPUs int) float64 {
+	return core.SharedThroughput(dp, cfg, batch, p, nGPUs)
+}
+
+// Experiments lists the identifiers of every reproduced table and figure.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment reproduces one table or figure by identifier (e.g. "fig11",
+// "tab3"). Set full for the paper's complete parameter sweep on the
+// simulation-heavy experiments; the default trimmed sweep preserves every
+// trend at a fraction of the runtime.
+func RunExperiment(id string, p Platform, full bool) (ExperimentResult, error) {
+	scale := experiments.ScaleQuick
+	if full {
+		scale = experiments.ScaleFull
+	}
+	return experiments.ByID(id, p, scale)
+}
+
+// RunAllExperiments reproduces every table and figure in the paper's order.
+func RunAllExperiments(p Platform, full bool) []ExperimentResult {
+	scale := experiments.ScaleQuick
+	if full {
+		scale = experiments.ScaleFull
+	}
+	return experiments.All(p, scale)
+}

@@ -1,0 +1,97 @@
+package tensordimm_test
+
+import (
+	"testing"
+
+	"tensordimm"
+	"tensordimm/internal/tensor"
+)
+
+// TestPublicAPIEndToEnd exercises the whole public surface: build a node,
+// deploy a model, run a near-memory inference, and verify it matches the
+// pure-software model bit for bit.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	nd, err := tensordimm.NewNode(8, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tensordimm.YouTube()
+	cfg.TableRows = 300
+	cfg.EmbDim = 128 // one stripe on 8 DIMMs
+	cfg.Reduction = 5
+	cfg.Hidden = []int{32, 16, 8, 4}
+
+	model, err := tensordimm.BuildModel(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := tensordimm.Deploy(model, nd, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := tensordimm.NewWorkload(cfg.TableRows, tensordimm.Zipfian, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := 4
+	indices := gen.Batch(cfg.Tables, batch, cfg.Reduction)
+
+	got, err := dep.Infer(indices, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := model.Infer(indices, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, want) {
+		t.Fatal("near-memory inference differs from software model")
+	}
+}
+
+func TestPublicBenchmarks(t *testing.T) {
+	bs := tensordimm.Benchmarks()
+	if len(bs) != 4 {
+		t.Fatalf("Benchmarks() = %d entries", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		names[b.Name] = true
+	}
+	for _, want := range []string{"NCF", "YouTube", "Fox", "Facebook"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %s", want)
+		}
+	}
+}
+
+func TestPublicSimulation(t *testing.T) {
+	p := tensordimm.DefaultPlatform()
+	if len(tensordimm.DesignPoints()) != 5 {
+		t.Fatal("want five design points")
+	}
+	b := tensordimm.Simulate(tensordimm.TDIMM, tensordimm.YouTube(), 64, p)
+	if b.TotalS() <= 0 {
+		t.Fatal("non-positive latency")
+	}
+	if s := tensordimm.Speedup(tensordimm.TDIMM, tensordimm.CPUOnly, tensordimm.YouTube(), 64, p); s < 2 {
+		t.Fatalf("TDIMM speedup over CPU-only = %.1f, implausible", s)
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	ids := tensordimm.Experiments()
+	if len(ids) != 13 {
+		t.Fatalf("Experiments() = %d ids, want 12 paper artifacts + 1 extension", len(ids))
+	}
+	r, err := tensordimm.RunExperiment("tab2", tensordimm.DefaultPlatform(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "tab2" || len(r.Table.Rows) != 4 {
+		t.Fatalf("tab2 result malformed: %+v", r)
+	}
+	if _, err := tensordimm.RunExperiment("bogus", tensordimm.DefaultPlatform(), false); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
