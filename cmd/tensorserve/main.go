@@ -1,0 +1,173 @@
+// Command tensorserve drives the concurrent serving runtime with a
+// synthetic open-loop workload: requests arrive at a fixed rate regardless
+// of completion (the arrival model of a production front-end), the server
+// coalesces them into merged near-memory embedding executions, and the run
+// ends with a throughput and latency report (p50/p95/p99).
+//
+// Usage:
+//
+//	tensorserve                                  # YouTube-class model, defaults
+//	tensorserve -model facebook -rate 500 -duration 3s
+//	tensorserve -model ncf -batch 4 -maxbatch 32 -workers 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"tensordimm"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "youtube", "benchmark model: ncf, youtube, fox, facebook")
+		rows      = flag.Int("rows", 4000, "rows per embedding table (paper-scale tables are hundreds of GBs; geometry is what matters)")
+		dim       = flag.Int("dim", 256, "embedding dimension (must be a multiple of dimms x 16)")
+		dimms     = flag.Int("dimms", 8, "TensorDIMMs in the node")
+		batch     = flag.Int("batch", 1, "samples per client request")
+		rate      = flag.Float64("rate", 1000, "offered load in requests/second (open loop)")
+		duration  = flag.Duration("duration", 2*time.Second, "how long to offer load")
+		maxBatch  = flag.Int("maxbatch", 64, "merged-batch cap (samples)")
+		maxDelay  = flag.Duration("delay", 200*time.Microsecond, "micro-batching deadline")
+		workers   = flag.Int("workers", 4, "concurrent batch executors (= deployment slots)")
+		zipf      = flag.Bool("zipf", false, "draw Zipfian (skewed) lookup indices instead of uniform")
+		seed      = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	cfg, err := benchmark(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tensorserve:", err)
+		os.Exit(2)
+	}
+	cfg.TableRows = *rows
+	cfg.EmbDim = *dim
+	stripeElems := *dimms * 16
+	if *dim%stripeElems != 0 {
+		fmt.Fprintf(os.Stderr, "tensorserve: -dim %d must be a multiple of dimms x 16 = %d\n", *dim, stripeElems)
+		os.Exit(2)
+	}
+
+	// Size the pool: tables + per-lane gather scratch + per-slot outputs,
+	// with 2x slack for allocator alignment.
+	lanes := *workers * cfg.Tables
+	embBytes := uint64(cfg.EmbBytes())
+	need := uint64(cfg.TotalTableBytes()) +
+		uint64(lanes)*2*uint64(*maxBatch)*uint64(cfg.Reduction)*embBytes +
+		uint64(*workers)*uint64(cfg.Tables)*uint64(*maxBatch)*embBytes
+	perDIMM := (2*need/uint64(*dimms) + 65535) / 65536 * 65536
+
+	nd, err := tensordimm.NewNode(*dimms, perDIMM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := tensordimm.BuildModel(cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := tensordimm.DeployConcurrent(model, nd, *maxBatch, *workers, lanes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := tensordimm.NewServer(tensordimm.ServeConfig{
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+		Workers:  *workers,
+	}, dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dist := tensordimm.Uniform
+	if *zipf {
+		dist = tensordimm.Zipfian
+	}
+	gen, err := tensordimm.NewWorkload(cfg.TableRows, dist, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model %s: %d tables x %d rows, dim %d, %d-way %s\n",
+		cfg.Name, cfg.Tables, cfg.TableRows, cfg.EmbDim, cfg.Reduction, poolingName(cfg))
+	fmt.Printf("node: %d TensorDIMMs, %.0f MiB pool, %d B stripe\n",
+		nd.NodeDim(), float64(nd.CapacityBytes())/(1<<20), nd.StripeBytes())
+	fmt.Printf("server: maxBatch %d, deadline %v, %d workers, %d lanes\n",
+		*maxBatch, *maxDelay, *workers, lanes)
+	fmt.Printf("offering %.0f req/s x %v, batch %d, %s indices (open loop)\n\n",
+		*rate, *duration, *batch, dist)
+
+	// Open loop on an absolute schedule: arrival n is due at start +
+	// n/rate, and late arrivals fire immediately in a catch-up burst, so a
+	// slow server cannot throttle the offered load. Each request runs in
+	// its own goroutine; indices are drawn in the arrival loop (the
+	// generator is sequential).
+	interval := float64(time.Second) / *rate
+	start := time.Now()
+	var wg sync.WaitGroup
+	var submitErr error
+	var errOnce sync.Once
+	offered := 0
+	for {
+		due := start.Add(time.Duration(float64(offered) * interval))
+		if due.Sub(start) >= *duration {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		rows := gen.Batch(cfg.Tables, *batch, cfg.Reduction)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := srv.Infer(rows, *batch); err != nil {
+				errOnce.Do(func() { submitErr = err })
+			}
+		}()
+		offered++
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if submitErr != nil {
+		log.Fatal(submitErr)
+	}
+
+	m := srv.Metrics()
+	fmt.Println(m)
+	fmt.Printf("\noffered %d requests, completed %d (sustained %.0f req/s against %.0f req/s offered)\n",
+		offered, m.Requests, float64(m.Requests)/m.Uptime.Seconds(), *rate)
+	s := nd.Stats()
+	fmt.Printf("NMP activity: %d instructions, %d blocks read, %d blocks written, %d ALU block ops\n",
+		s.Instructions, s.BlocksRead, s.BlocksWritten, s.ALUBlockOps)
+}
+
+func benchmark(name string) (tensordimm.ModelConfig, error) {
+	switch strings.ToLower(name) {
+	case "ncf":
+		return tensordimm.NCF(), nil
+	case "youtube":
+		return tensordimm.YouTube(), nil
+	case "fox":
+		return tensordimm.Fox(), nil
+	case "facebook":
+		return tensordimm.Facebook(), nil
+	default:
+		return tensordimm.ModelConfig{}, fmt.Errorf("unknown model %q (want ncf, youtube, fox, facebook)", name)
+	}
+}
+
+func poolingName(cfg tensordimm.ModelConfig) string {
+	if cfg.Mean {
+		return "mean pooling"
+	}
+	if cfg.Reduction == 1 {
+		return "no pooling"
+	}
+	return "reduce pooling"
+}

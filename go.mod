@@ -1,0 +1,3 @@
+module tensordimm
+
+go 1.21

@@ -11,6 +11,17 @@ func testScheme(channels int) *addrmap.Scheme {
 	return addrmap.CPUBaseline(channels, 2, 1<<14)
 }
 
+// reqCount trims request streams in -short mode: the structural assertions
+// below hold at a quarter of the full stream length, and the suite drops
+// from ~2 s to well under one.
+func reqCount(t *testing.T, full int) int {
+	t.Helper()
+	if testing.Short() {
+		return full / 4
+	}
+	return full
+}
+
 func TestTimingPeak(t *testing.T) {
 	tm := DDR43200()
 	peak := tm.ChannelPeakGBs()
@@ -33,13 +44,14 @@ func sequential(n int, write bool) []Request {
 
 func TestSequentialReadsNearPeak(t *testing.T) {
 	s := NewSystem(testScheme(1), DDR43200())
-	res := s.Run(sequential(20000, false))
+	n := reqCount(t, 20000)
+	res := s.Run(sequential(n, false))
 	util := s.Utilization(res)
 	if util < 0.85 {
 		t.Fatalf("sequential read utilization = %.2f, want > 0.85 (bw %.1f GB/s)",
 			util, res.BandwidthGBs(s.Timing))
 	}
-	if res.ReadBlocks != 20000 || res.WriteBlocks != 0 {
+	if res.ReadBlocks != int64(n) || res.WriteBlocks != 0 {
 		t.Fatalf("blocks: %d reads, %d writes", res.ReadBlocks, res.WriteBlocks)
 	}
 	if hr := res.RowHitRate(); hr < 0.9 {
@@ -49,7 +61,7 @@ func TestSequentialReadsNearPeak(t *testing.T) {
 
 func TestSequentialWritesNearPeak(t *testing.T) {
 	s := NewSystem(testScheme(1), DDR43200())
-	res := s.Run(sequential(20000, true))
+	res := s.Run(sequential(reqCount(t, 20000), true))
 	if util := s.Utilization(res); util < 0.8 {
 		t.Fatalf("sequential write utilization = %.2f, want > 0.8", util)
 	}
@@ -63,7 +75,7 @@ func TestRandomReadsACTBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	makeReqs := func(s *System) []Request {
 		capBytes := s.Scheme.Geom.TotalBytes()
-		reqs := make([]Request, 20000)
+		reqs := make([]Request, reqCount(t, 20000))
 		for i := range reqs {
 			reqs[i] = Request{Phys: (rng.Uint64() % (capBytes / 64)) * 64}
 		}
@@ -85,7 +97,7 @@ func TestRandomReadsACTBound(t *testing.T) {
 }
 
 func TestMoreChannelsMoreBandwidth(t *testing.T) {
-	reqs := sequential(40000, false)
+	reqs := sequential(reqCount(t, 40000), false)
 	s1 := NewSystem(testScheme(1), DDR43200())
 	s4 := NewSystem(testScheme(4), DDR43200())
 	bw1 := s1.Run(reqs).BandwidthGBs(s1.Timing)
@@ -99,7 +111,7 @@ func TestMoreChannelsMoreBandwidth(t *testing.T) {
 func TestCPUChannelCeiling(t *testing.T) {
 	// The structural claim of the paper: adding ranks/DIMMs to the same
 	// channels does not add bandwidth; adding TensorDIMM channels does.
-	reqs := sequential(40000, false)
+	reqs := sequential(reqCount(t, 40000), false)
 	cpu8x4 := NewSystem(addrmap.CPUBaseline(8, 4, 1<<14), DDR43200()) // 32 DIMMs
 	cpu8x1 := NewSystem(addrmap.CPUBaseline(8, 1, 1<<14), DDR43200()) // 8 DIMMs
 	bw32 := cpu8x4.Run(reqs).BandwidthGBs(cpu8x4.Timing)
@@ -117,7 +129,7 @@ func TestCPUChannelCeiling(t *testing.T) {
 func TestRefreshOverheadVisible(t *testing.T) {
 	// With refresh enabled, a long run must record refreshes.
 	s := NewSystem(testScheme(1), DDR43200())
-	res := s.Run(sequential(100000, false))
+	res := s.Run(sequential(reqCount(t, 100000), false))
 	if res.Refreshes == 0 {
 		t.Fatal("expected refreshes during a long run")
 	}
@@ -206,7 +218,7 @@ func TestRowPolicyTradeoff(t *testing.T) {
 	open := NewSystem(addrmap.CPUBaseline(1, 1, 1<<14), DDR43200())
 	closed := open.WithPolicy(PolicyClosedRow)
 	capBytes := open.Scheme.Geom.TotalBytes()
-	random := make([]Request, 15000)
+	random := make([]Request, reqCount(t, 15000))
 	for i := range random {
 		random[i] = Request{Phys: (rng.Uint64() % (capBytes / 64)) * 64}
 	}
@@ -215,7 +227,7 @@ func TestRowPolicyTradeoff(t *testing.T) {
 	if randClosed < randOpen*0.95 {
 		t.Fatalf("closed-row random %.1f GB/s much worse than open-row %.1f", randClosed, randOpen)
 	}
-	seq := sequential(15000, false)
+	seq := sequential(reqCount(t, 15000), false)
 	seqOpen := open.Run(seq).BandwidthGBs(open.Timing)
 	seqClosed := closed.Run(seq).BandwidthGBs(closed.Timing)
 	if seqClosed > seqOpen*1.05 {

@@ -4,6 +4,7 @@
 // the CLI tools and EXPERIMENTS.md all report identical data.
 //
 // Drivers that replay DRAM traces (Figures 11 and 12) accept a Scale knob:
+// ScaleSmoke runs a minimal sweep (seconds, for -short test runs),
 // ScaleQuick trims the sweep for CI-sized runs, ScaleFull reproduces the
 // paper's full parameter grid.
 package experiments
@@ -24,10 +25,13 @@ import (
 // Scale selects sweep size for simulation-heavy experiments.
 type Scale int
 
-// Sweep scales.
+// Sweep scales. ScaleQuick is the default; ScaleSmoke exists for -short
+// test runs and still exercises every code path of the DRAM-replay drivers
+// at a fraction of the sweep.
 const (
 	ScaleQuick Scale = iota
 	ScaleFull
+	ScaleSmoke
 )
 
 // Result is one reproduced artifact.
@@ -120,14 +124,18 @@ func Fig4(p core.Platform) Result {
 
 // fig11Batches returns the batch sweep for the DRAM experiments.
 func fig11Batches(s Scale) []int {
-	if s == ScaleFull {
+	switch s {
+	case ScaleFull:
 		var out []int
 		for b := 2; b <= 128; b += 6 {
 			out = append(out, b)
 		}
 		return out
+	case ScaleSmoke:
+		return []int{8}
+	default:
+		return []int{2, 32, 64, 128}
 	}
-	return []int{2, 32, 64, 128}
 }
 
 // dramSystems builds the two memory systems of Figure 11: the 8-channel x
@@ -223,8 +231,12 @@ func Fig12(s Scale) Result {
 	dimmCounts := []int{32, 64, 128}
 	scales := []int{2, 4}
 	batches := 32
-	if s == ScaleFull {
+	switch s {
+	case ScaleFull:
 		batches = 64
+	case ScaleSmoke:
+		dimmCounts = []int{32}
+		batches = 8
 	}
 	const reduction = 50
 	rng := rand.New(rand.NewSource(12))
@@ -436,8 +448,11 @@ func ExtScatter(s Scale) Result {
 	}
 	rng := rand.New(rand.NewSource(13))
 	sizes := []int{256, 1024, 4096}
-	if s == ScaleFull {
+	switch s {
+	case ScaleFull:
 		sizes = []int{256, 1024, 4096, 16384}
+	case ScaleSmoke:
+		sizes = []int{256}
 	}
 	var lastRatio float64
 	for _, n := range sizes {

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"tensordimm/internal/isa"
 )
@@ -101,11 +102,18 @@ func (q *queue) pop() (Block, bool) {
 
 // Core is one NMP core, bound to TensorDIMM `TID` of a node with `NodeDim`
 // TensorDIMMs.
+//
+// A core executes one instruction at a time, like the hardware it models: a
+// single FSM in the buffer device drives the SRAM queues and the vector ALU.
+// Execute therefore serializes concurrent callers per core, while different
+// cores run fully in parallel — which is what lets concurrent programs over
+// disjoint pool regions interleave safely at instruction granularity.
 type Core struct {
 	TID     int
 	NodeDim int
 	env     Env
 
+	mu            sync.Mutex // serializes Execute; guards queues and stats
 	inA, inB, out queue
 	stats         Stats
 }
@@ -122,20 +130,29 @@ func NewCore(tid, nodeDim int, env Env) (*Core, error) {
 }
 
 // Stats returns a copy of the datapath counters.
-func (c *Core) Stats() Stats { return c.stats }
+func (c *Core) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // QueueHighWater returns the maximum occupancy reached by the A, B and C
 // queues, to validate the paper's 0.5 KB sizing.
 func (c *Core) QueueHighWater() (a, b, out int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.inA.highWater, c.inB.highWater, c.out.highWater
 }
 
 // Execute runs one TensorISA instruction on this core's slice of the
-// operation, per the pseudo-code of Figure 9.
+// operation, per the pseudo-code of Figure 9. Concurrent calls serialize on
+// the core (see the type comment).
 func (c *Core) Execute(in isa.Instruction) error {
 	if err := in.Validate(); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var err error
 	switch in.Op {
 	case isa.OpGather:

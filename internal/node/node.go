@@ -56,9 +56,10 @@ type Node struct {
 	dimms  []*dimm.TensorDIMM
 	shared *dimm.SharedRegion
 
-	mu     sync.Mutex
-	free   []span            // allocator free list, sorted by base, in bytes
-	allocs map[uint64]uint64 // base -> size
+	mu      sync.Mutex
+	free    []span            // allocator free list, sorted by base, in bytes
+	allocs  map[uint64]uint64 // base -> size
+	idxNext uint64            // next unreserved shared-region byte address
 }
 
 // span is a free region [base, base+size) in bytes.
@@ -197,6 +198,12 @@ func (n *Node) LoadIndices(base uint64, indices []int32) error {
 // Execute broadcasts each instruction of the program to every TensorDIMM and
 // runs all NMP cores concurrently, one instruction at a time (instructions
 // within a program are dependent; DIMMs within an instruction are not).
+//
+// Execute is safe to call concurrently with other Execute, Read and Write
+// calls as long as the programs touch disjoint pool regions (each core
+// serializes its own instruction stream, so concurrent programs interleave
+// at instruction granularity). The runtime's per-lane scratch partitioning
+// guarantees disjointness for concurrent inference batches.
 func (n *Node) Execute(p isa.Program) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -221,6 +228,24 @@ func (n *Node) Execute(p isa.Program) error {
 		}
 	}
 	return nil
+}
+
+// ReserveIndexRegion hands out a block-aligned, never-reused byte address
+// range of the replicated shared region (the store LoadIndices writes to).
+// Concurrent writers of the shared region — deployments, scratch lanes —
+// reserve disjoint regions so their index lists cannot collide. The shared
+// region is sparse (index blocks are materialized on write), so reservation
+// costs nothing until the region is used.
+func (n *Node) ReserveIndexRegion(bytes uint64) uint64 {
+	if bytes == 0 {
+		bytes = isa.BlockBytes
+	}
+	bytes = (bytes + isa.BlockBytes - 1) / isa.BlockBytes * isa.BlockBytes
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	base := n.idxNext
+	n.idxNext += bytes
+	return base
 }
 
 // Alloc reserves size bytes in the pool, returning a stripe-aligned base so

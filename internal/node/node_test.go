@@ -2,6 +2,7 @@ package node
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -366,5 +367,75 @@ func TestQuickAllocatorInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentExecuteDisjointRegions runs many GATHER programs from
+// concurrent goroutines, each over its own index region and output scratch,
+// and checks every result against the golden table. This is the isolation
+// contract the serving runtime relies on (and must hold under -race).
+func TestConcurrentExecuteDisjointRegions(t *testing.T) {
+	const dimms, dim = 8, 128 // one stripe per embedding
+	n := testNode(t, dimms)
+	tb, _ := embed.NewRandomTable(300, dim, 21)
+	tableBase, _ := n.Alloc(uint64(tb.Bytes()))
+	uploadTable(t, n, tb, tableBase)
+
+	const workers, count = 8, 16
+	type job struct {
+		rows    []int
+		idxBase uint64
+		outBase uint64
+	}
+	jobs := make([]job, workers)
+	for w := range jobs {
+		rng := rand.New(rand.NewSource(int64(w) + 100))
+		rows := make([]int, count)
+		for i := range rows {
+			rows[i] = rng.Intn(tb.Rows())
+		}
+		out, err := n.Alloc(uint64(count * dim * 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[w] = job{rows: rows, idxBase: uint64(1<<18) + uint64(w)*4096, outBase: out}
+	}
+
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			j := jobs[w]
+			idx := make([]int32, count)
+			for i, r := range j.rows {
+				idx[i] = int32(r)
+			}
+			if err := n.LoadIndices(j.idxBase, idx); err != nil {
+				errs[w] = err
+				return
+			}
+			errs[w] = n.Execute(isa.Program{
+				isa.Gather(tableBase/64, j.idxBase/64, j.outBase/64, uint32(count)),
+			})
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for w, j := range jobs {
+		want, _ := tb.Gather(j.rows)
+		gotVals, err := n.ReadFloats(j.outBase, count*dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tensor.MustFromSlice(gotVals, count, dim)
+		if !tensor.Equal(got, want) {
+			t.Fatalf("worker %d: concurrent GATHER differs from golden model", w)
+		}
 	}
 }

@@ -12,10 +12,21 @@
 // — group-major, then stripe, then group member — which is exactly the
 // layout that makes the paper's AVERAGE addressing (Figure 9(c), input
 // i*averageNum+j) pool corresponding stripes of the group's embeddings.
+//
+// Concurrency. A Deployment partitions its scratch memory into execution
+// slots (one pooled-output region each) and scratch lanes (one index-list
+// region plus two gather operand buffers each). RunEmbedding acquires a free
+// slot for the whole batch and fans the per-table GATHER/REDUCE programs out
+// across free lanes, so every in-flight table touches a disjoint slice of
+// the pool and concurrent batches never alias. Deploy gives a deployment one
+// slot and one lane — the sequential behavior of the paper's runtime —
+// while DeployConcurrent sizes both for a serving workload (see
+// internal/serve).
 package runtime
 
 import (
 	"fmt"
+	"sync"
 
 	"tensordimm/internal/isa"
 	"tensordimm/internal/node"
@@ -23,23 +34,52 @@ import (
 	"tensordimm/internal/tensor"
 )
 
+// scratchLane is the per-execution scratch a single table's embedding stage
+// needs: a reserved index-list region of the replicated shared store and two
+// gather operand buffers in the pool (enough for pairwise REDUCE).
+type scratchLane struct {
+	idxBase    uint64    // shared-region byte address for index lists
+	gatherBase [2]uint64 // pool scratch for gathered tensors
+}
+
 // Deployment is a recommender model resident in a TensorNode pool.
+//
+// RunEmbedding, Infer and UpdateTable are safe for concurrent use; the
+// number of concurrent batches in flight is bounded by the deployment's
+// slots and the per-table parallelism within a batch by its lanes.
 type Deployment struct {
 	Model *recsys.Model
 	Node  *node.Node
 
-	tableBase  []uint64 // pool byte address of each table
-	stripes    int      // stripes per embedding (k)
-	idxBase    uint64   // shared-region byte address for index lists
-	gatherBase []uint64 // scratch for gathered tensors (per operand)
-	outBase    uint64   // pooled output tensor
-	maxBatch   int
+	tableBase []uint64 // pool byte address of each table
+	stripes   int      // stripes per embedding (k)
+	maxBatch  int
+	padSlack  uint64 // per-table output slack absorbing GATHER index padding
+
+	outBase  []uint64      // pooled output tensor region, one per slot
+	lanes    []scratchLane // index + gather scratch, one per lane
+	freeSlot chan int
+	freeLane chan int
+
+	relMu    sync.Mutex
+	released bool
 }
 
 // Deploy uploads the model's embedding tables into the node (striped across
 // all TensorDIMMs) and pre-allocates the scratch regions for batches up to
-// maxBatch. It exercises the remote-pool allocation APIs ([39]).
+// maxBatch, with a single execution slot and scratch lane (sequential
+// embedding execution, the paper's baseline runtime). It exercises the
+// remote-pool allocation APIs ([39]).
 func Deploy(m *recsys.Model, nd *node.Node, maxBatch int) (*Deployment, error) {
+	return DeployConcurrent(m, nd, maxBatch, 1, 1)
+}
+
+// DeployConcurrent is Deploy with explicit concurrency sizing: slots bounds
+// how many batches can execute at once (one pooled-output region each) and
+// lanes bounds how many per-table programs can be in flight across those
+// batches (one index region plus two gather buffers each). A serving setup
+// typically uses slots = worker count and lanes = slots x tables.
+func DeployConcurrent(m *recsys.Model, nd *node.Node, maxBatch, slots, lanes int) (*Deployment, error) {
 	cfg := m.Cfg
 	embBytes := int(cfg.EmbBytes())
 	stripeBytes := int(nd.StripeBytes())
@@ -50,12 +90,16 @@ func Deploy(m *recsys.Model, nd *node.Node, maxBatch int) (*Deployment, error) {
 	if maxBatch <= 0 {
 		return nil, fmt.Errorf("runtime: maxBatch must be positive")
 	}
+	if slots <= 0 || lanes <= 0 {
+		return nil, fmt.Errorf("runtime: slots (%d) and lanes (%d) must be positive", slots, lanes)
+	}
 	d := &Deployment{
 		Model:    m,
 		Node:     nd,
 		stripes:  embBytes / stripeBytes,
-		idxBase:  0,
 		maxBatch: maxBatch,
+		freeSlot: make(chan int, slots),
+		freeLane: make(chan int, lanes),
 	}
 
 	// Upload tables.
@@ -73,51 +117,91 @@ func Deploy(m *recsys.Model, nd *node.Node, maxBatch int) (*Deployment, error) {
 		d.tableBase = append(d.tableBase, base)
 	}
 
-	// Scratch: two gather operand buffers (enough for pairwise REDUCE) and
-	// the pooled output. Sized for the worst case — a full batch of
-	// reduction-many embeddings per table — plus one index block of
-	// padding slack (GATHER counts are rounded up to 16 and the padded
-	// stripes land just past the live region).
-	padSlack := uint64(isa.LanesPerBlock * stripeBytes)
+	// Scratch. Gather buffers are sized for the worst case — a full batch of
+	// reduction-many embeddings — plus one index block of padding slack
+	// (GATHER counts are rounded up to 16 and the padded stripes land just
+	// past the live region). Every per-table segment of the output region
+	// carries the same slack: when reduction is 1 GATHER writes straight
+	// into the output, and its padding stripes must not clobber the next
+	// table's segment, whichever order the tables execute in. Index regions
+	// get the worst-case expanded list plus two blocks of padding slack (the
+	// pairwise-REDUCE path pads each of its two halves independently).
+	d.padSlack = uint64(isa.LanesPerBlock * stripeBytes)
+	padSlack := d.padSlack
 	gatherBytes := uint64(maxBatch)*uint64(cfg.Reduction)*uint64(embBytes) + padSlack
-	for i := 0; i < 2; i++ {
-		b, err := nd.Alloc(gatherBytes)
-		if err != nil {
-			return nil, fmt.Errorf("runtime: alloc gather scratch: %w", err)
+	idxBytes := uint64(maxBatch*cfg.Reduction*d.stripes+2*isa.LanesPerBlock) * 4
+	for i := 0; i < lanes; i++ {
+		var ln scratchLane
+		ln.idxBase = nd.ReserveIndexRegion(idxBytes)
+		for j := 0; j < 2; j++ {
+			b, err := nd.Alloc(gatherBytes)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: alloc gather scratch (lane %d): %w", i, err)
+			}
+			ln.gatherBase[j] = b
 		}
-		d.gatherBase = append(d.gatherBase, b)
+		d.lanes = append(d.lanes, ln)
+		d.freeLane <- i
 	}
-	out, err := nd.Alloc(uint64(maxBatch)*uint64(cfg.Tables)*uint64(embBytes) + padSlack)
-	if err != nil {
-		return nil, fmt.Errorf("runtime: alloc output: %w", err)
+	outBytes := uint64(cfg.Tables) * (uint64(maxBatch)*uint64(embBytes) + padSlack)
+	for s := 0; s < slots; s++ {
+		out, err := nd.Alloc(outBytes)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: alloc output (slot %d): %w", s, err)
+		}
+		d.outBase = append(d.outBase, out)
+		d.freeSlot <- s
 	}
-	d.outBase = out
 	return d, nil
 }
 
-// Release frees all pool allocations of the deployment.
+// Release frees all pool allocations of the deployment. It is idempotent:
+// releasing an already-released deployment is a no-op, so shutdown paths
+// (server close, deferred cleanup) can release unconditionally.
 func (d *Deployment) Release() error {
+	d.relMu.Lock()
+	defer d.relMu.Unlock()
+	if d.released {
+		return nil
+	}
+	d.released = true
+	var first error
+	free := func(b uint64) {
+		if err := d.Node.Free(b); err != nil && first == nil {
+			first = err
+		}
+	}
 	for _, b := range d.tableBase {
-		if err := d.Node.Free(b); err != nil {
-			return err
-		}
+		free(b)
 	}
-	for _, b := range d.gatherBase {
-		if err := d.Node.Free(b); err != nil {
-			return err
-		}
+	for _, ln := range d.lanes {
+		free(ln.gatherBase[0])
+		free(ln.gatherBase[1])
 	}
-	return d.Node.Free(d.outBase)
+	for _, b := range d.outBase {
+		free(b)
+	}
+	return first
 }
 
 // Stripes returns the number of stripes per embedding under this node.
 func (d *Deployment) Stripes() int { return d.stripes }
 
+// MaxBatch returns the largest batch one embedding execution accepts.
+func (d *Deployment) MaxBatch() int { return d.maxBatch }
+
+// Slots returns how many batches can execute concurrently.
+func (d *Deployment) Slots() int { return len(d.outBase) }
+
+// Lanes returns how many per-table programs can be in flight at once.
+func (d *Deployment) Lanes() int { return len(d.lanes) }
+
 // ExpandIndices expands logical row indices into stripe indices for GATHER,
 // stripe-transposed within pooling groups of size `reduction` (see the
 // package comment), and pads the result to a whole index block (multiple of
 // 16) by repeating the last stripe index (the padded outputs land beyond the
-// consumed region and are ignored).
+// consumed region and are ignored). Rows beyond the last whole group expand
+// row-major; an empty row list expands to an empty index list.
 func ExpandIndices(rows []int, reduction, stripes int) []int32 {
 	if reduction <= 0 {
 		reduction = 1
@@ -148,9 +232,17 @@ func ExpandIndices(rows []int, reduction, stripes int) []int32 {
 }
 
 // CompileTable builds the TensorISA program for one table's embedding stage
-// of a batch: a GATHER (after the runtime loads the expanded index list into
-// the shared region) followed by the pooling pass, writing the pooled rows
-// for table t at outBase + t*batch*embBytes.
+// of a batch against the deployment's first scratch lane and output slot.
+// It exists for inspection and tests; executions go through RunEmbedding,
+// which compiles against whichever lane and slot it acquired.
+func (d *Deployment) CompileTable(t int, rows []int, batch int) (isa.Program, []int32, error) {
+	return d.compileTable(t, rows, batch, d.lanes[0], d.outBase[0])
+}
+
+// compileTable builds one table's program against an explicit scratch lane
+// and output region: a GATHER (after the runtime loads the expanded index
+// list into the lane's shared region) followed by the pooling pass, writing
+// the pooled rows for table t at outBase + t*batch*embBytes.
 //
 // Pooling lowers as follows (Table 2 workloads):
 //   - reduction == 1: GATHER directly into the output region;
@@ -159,16 +251,15 @@ func ExpandIndices(rows []int, reduction, stripes int) []int32 {
 //     scratch operands) + one REDUCE with the configured operator;
 //   - N-way non-mean reduce lowers to a REDUCE chain and is rejected here
 //     (none of the paper's workloads need it).
-func (d *Deployment) CompileTable(t int, rows []int, batch int) (isa.Program, []int32, error) {
+func (d *Deployment) compileTable(t int, rows []int, batch int, ln scratchLane, out uint64) (isa.Program, []int32, error) {
 	cfg := d.Model.Cfg
 	if len(rows) != batch*cfg.Reduction {
 		return nil, nil, fmt.Errorf("runtime: table %d: %d rows for batch %d x reduction %d",
 			t, len(rows), batch, cfg.Reduction)
 	}
-	embBytes := uint64(cfg.EmbBytes())
-	outBase := (d.outBase + uint64(t)*uint64(batch)*embBytes) / isa.BlockBytes
+	outBase := (out + uint64(t)*d.outStride(batch)) / isa.BlockBytes
 	tableBase := d.tableBase[t] / isa.BlockBytes
-	idxBase := d.idxBase / isa.BlockBytes
+	idxBase := ln.idxBase / isa.BlockBytes
 	k := uint32(d.stripes)
 
 	switch {
@@ -180,7 +271,7 @@ func (d *Deployment) CompileTable(t int, rows []int, batch int) (isa.Program, []
 
 	case cfg.Mean:
 		idx := ExpandIndices(rows, cfg.Reduction, d.stripes)
-		g := d.gatherBase[0] / isa.BlockBytes
+		g := ln.gatherBase[0] / isa.BlockBytes
 		return isa.Program{
 			isa.Gather(tableBase, idxBase, g, uint32(len(idx))),
 			isa.Average(g, uint32(cfg.Reduction), outBase, uint32(batch)*k),
@@ -195,8 +286,8 @@ func (d *Deployment) CompileTable(t int, rows []int, batch int) (isa.Program, []
 			a[g], b[g] = rows[2*g], rows[2*g+1]
 		}
 		idx := append(ExpandIndices(a, 1, d.stripes), ExpandIndices(b, 1, d.stripes)...)
-		ga := d.gatherBase[0] / isa.BlockBytes
-		gb := d.gatherBase[1] / isa.BlockBytes
+		ga := ln.gatherBase[0] / isa.BlockBytes
+		gb := ln.gatherBase[1] / isa.BlockBytes
 		countA := uint32(len(idx) / 2)
 		return isa.Program{
 			isa.Gather(tableBase, idxBase, ga, countA),
@@ -209,9 +300,34 @@ func (d *Deployment) CompileTable(t int, rows []int, batch int) (isa.Program, []
 	}
 }
 
+// outStride returns the byte spacing between consecutive tables' segments
+// of an output region for the given batch: the live rows plus the padding
+// slack that absorbs GATHER's rounded-up index count.
+func (d *Deployment) outStride(batch int) uint64 {
+	return uint64(batch)*uint64(d.Model.Cfg.EmbBytes()) + d.padSlack
+}
+
+// runTable executes one table's embedding stage on a scratch lane: compile,
+// broadcast the index list into the lane's shared region, execute.
+func (d *Deployment) runTable(ln scratchLane, out uint64, t int, rows []int, batch int) error {
+	prog, idx, err := d.compileTable(t, rows, batch, ln, out)
+	if err != nil {
+		return err
+	}
+	if err := d.Node.LoadIndices(ln.idxBase, idx); err != nil {
+		return err
+	}
+	return d.Node.Execute(prog)
+}
+
 // RunEmbedding executes the full embedding layer near-memory and returns the
 // pooled, concatenated [batch, tables*dim] tensor (the data a GPU would copy
 // back over NVLink). Results are bit-identical to the golden model.
+//
+// The call acquires one execution slot for the whole batch (blocking if all
+// slots are busy) and fans the per-table programs out across the free
+// scratch lanes, so tables execute concurrently when the deployment was
+// sized with more than one lane.
 func (d *Deployment) RunEmbedding(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
 	cfg := d.Model.Cfg
 	if batch > d.maxBatch {
@@ -220,19 +336,31 @@ func (d *Deployment) RunEmbedding(perTableRows [][]int, batch int) (*tensor.Tens
 	if len(perTableRows) != cfg.Tables {
 		return nil, fmt.Errorf("runtime: %d index lists for %d tables", len(perTableRows), cfg.Tables)
 	}
-	perTable := make([]*tensor.Tensor, cfg.Tables)
+	slot := <-d.freeSlot
+	defer func() { d.freeSlot <- slot }()
+	out := d.outBase[slot]
+
+	errs := make([]error, cfg.Tables)
+	var wg sync.WaitGroup
 	for t := 0; t < cfg.Tables; t++ {
-		prog, idx, err := d.CompileTable(t, perTableRows[t], batch)
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			lane := <-d.freeLane
+			defer func() { d.freeLane <- lane }()
+			errs[t] = d.runTable(d.lanes[lane], out, t, perTableRows[t], batch)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		if err := d.Node.LoadIndices(d.idxBase, idx); err != nil {
-			return nil, err
-		}
-		if err := d.Node.Execute(prog); err != nil {
-			return nil, err
-		}
-		vals, err := d.Node.ReadFloats(d.outBase+uint64(t)*uint64(batch)*uint64(cfg.EmbBytes()), batch*cfg.EmbDim)
+	}
+
+	perTable := make([]*tensor.Tensor, cfg.Tables)
+	for t := 0; t < cfg.Tables; t++ {
+		vals, err := d.Node.ReadFloats(out+uint64(t)*d.outStride(batch), batch*cfg.EmbDim)
 		if err != nil {
 			return nil, err
 		}
@@ -262,10 +390,15 @@ func (d *Deployment) GoldenEmbedding(perTableRows [][]int, batch int) (*tensor.T
 
 // UpdateTable applies per-row gradient accumulation to table t near-memory
 // via the SCATTER_ADD extension: table[rows[i]] += grads.Row(i). The
-// gradient tensor is staged into pool scratch (the NVLink copy a training
+// gradient tensor is staged into a scratch lane (the NVLink copy a training
 // step would perform), the update executes on the NMP cores, and the
 // host-side golden table is updated write-through so model and node stay
 // consistent. Duplicate rows accumulate in order.
+//
+// UpdateTable acquires a scratch lane like any embedding execution, but the
+// update itself races with concurrent inferences reading the same table —
+// exactly as asynchronous training against a live serving replica would.
+// Callers that need a consistent table must quiesce inference first.
 func (d *Deployment) UpdateTable(t int, rows []int, grads *tensor.Tensor) error {
 	cfg := d.Model.Cfg
 	if t < 0 || t >= cfg.Tables {
@@ -274,18 +407,27 @@ func (d *Deployment) UpdateTable(t int, rows []int, grads *tensor.Tensor) error 
 	if grads.Rank() != 2 || grads.Dim(0) != len(rows) || grads.Dim(1) != cfg.EmbDim {
 		return fmt.Errorf("runtime: gradient shape %v for %d rows of dim %d", grads.Shape(), len(rows), cfg.EmbDim)
 	}
-	if len(rows)*d.stripes > (d.maxBatch*cfg.Reduction*d.stripes)+isa.LanesPerBlock {
+	// Capacity check against the PADDED stripe count: ExpandIndices rounds
+	// up to a whole 16-index block and the zero-staging loop below writes a
+	// stripe for every padded slot, so the bound must cover the rounding or
+	// the zeros spill into the next pool allocation.
+	padded := (len(rows)*d.stripes + isa.LanesPerBlock - 1) / isa.LanesPerBlock * isa.LanesPerBlock
+	if padded > (d.maxBatch*cfg.Reduction*d.stripes)+isa.LanesPerBlock {
 		return fmt.Errorf("runtime: %d gradient rows exceed scratch capacity", len(rows))
 	}
-	// Stage gradients into the gather scratch buffer, row-major.
+	lane := <-d.freeLane
+	defer func() { d.freeLane <- lane }()
+	ln := d.lanes[lane]
+
+	// Stage gradients into the lane's gather scratch, row-major.
 	embBytes := uint64(cfg.EmbBytes())
 	for i := 0; i < len(rows); i++ {
-		if err := d.Node.WriteFloats(d.gatherBase[0]+uint64(i)*embBytes, grads.Row(i)); err != nil {
+		if err := d.Node.WriteFloats(ln.gatherBase[0]+uint64(i)*embBytes, grads.Row(i)); err != nil {
 			return fmt.Errorf("runtime: stage gradient %d: %w", i, err)
 		}
 	}
 	idx := ExpandIndices(rows, 1, d.stripes)
-	if err := d.Node.LoadIndices(d.idxBase, idx); err != nil {
+	if err := d.Node.LoadIndices(ln.idxBase, idx); err != nil {
 		return err
 	}
 	// Padding repeats the last stripe index; compensate by staging zero
@@ -295,14 +437,14 @@ func (d *Deployment) UpdateTable(t int, rows []int, grads *tensor.Tensor) error 
 	stripeBytes := d.Node.StripeBytes()
 	for s := realStripes; s < len(idx); s++ {
 		for off := uint64(0); off < stripeBytes; off += 64 {
-			if err := d.Node.WriteFloats(d.gatherBase[0]+uint64(s)*stripeBytes+off, zero); err != nil {
+			if err := d.Node.WriteFloats(ln.gatherBase[0]+uint64(s)*stripeBytes+off, zero); err != nil {
 				return err
 			}
 		}
 	}
 	prog := isa.Program{
-		isa.ScatterAdd(d.tableBase[t]/isa.BlockBytes, d.idxBase/isa.BlockBytes,
-			d.gatherBase[0]/isa.BlockBytes, uint32(len(idx))),
+		isa.ScatterAdd(d.tableBase[t]/isa.BlockBytes, ln.idxBase/isa.BlockBytes,
+			ln.gatherBase[0]/isa.BlockBytes, uint32(len(idx))),
 	}
 	if err := d.Node.Execute(prog); err != nil {
 		return err

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"tensordimm/internal/isa"
@@ -223,4 +225,191 @@ func TestMaxBatchPaddingStaysInBounds(t *testing.T) {
 	// allocated slack and still match golden.
 	cfg := smallConfig("pad", 1, 3, 128, true, isa.RAdd)
 	checkMatchesGolden(t, cfg, 8, 7) // 7*3=21 indices -> padded to 32
+}
+
+func TestExpandIndicesEdgeCases(t *testing.T) {
+	// Empty row list: nothing to expand, and the result is already a whole
+	// (zero) number of index blocks.
+	if got := ExpandIndices(nil, 4, 2); len(got) != 0 {
+		t.Fatalf("empty rows expanded to %d indices, want 0", len(got))
+	}
+	if got := ExpandIndices([]int{}, 1, 1); len(got) != 0 {
+		t.Fatalf("empty rows expanded to %d indices, want 0", len(got))
+	}
+	// Reduction larger than the row list: no whole group forms, so every
+	// row expands row-major, then pads to one block.
+	idx := ExpandIndices([]int{4, 7}, 5, 3)
+	want := []int32{12, 13, 14, 21, 22, 23}
+	if len(idx) != 16 {
+		t.Fatalf("len = %d, want one padded block", len(idx))
+	}
+	for i, w := range want {
+		if idx[i] != w {
+			t.Fatalf("idx[%d] = %d, want %d", i, idx[i], w)
+		}
+	}
+	for _, p := range idx[len(want):] {
+		if p != want[len(want)-1] {
+			t.Fatalf("padding = %d, want repeat of last index", p)
+		}
+	}
+}
+
+func TestReleaseDoubleRelease(t *testing.T) {
+	nd := newNode(t, 8)
+	free0 := nd.FreeBytes()
+	cfg := smallConfig("rel2", 2, 2, 128, true, isa.RAdd)
+	m, _ := recsys.Build(cfg, 3)
+	d, err := Deploy(m, nd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if nd.FreeBytes() != free0 {
+		t.Fatalf("leak after release: %d != %d", nd.FreeBytes(), free0)
+	}
+	// Second release is an idempotent no-op: no error, no double free.
+	if err := d.Release(); err != nil {
+		t.Fatalf("double release: %v", err)
+	}
+	if nd.FreeBytes() != free0 || nd.AllocCount() != 0 {
+		t.Fatalf("double release corrupted the allocator: free %d, allocs %d",
+			nd.FreeBytes(), nd.AllocCount())
+	}
+}
+
+func TestDeployConcurrentValidation(t *testing.T) {
+	cfg := smallConfig("val", 1, 1, 128, false, isa.RAdd)
+	m, _ := recsys.Build(cfg, 1)
+	if _, err := DeployConcurrent(m, newNode(t, 8), 4, 0, 1); err == nil {
+		t.Fatal("want slots error")
+	}
+	if _, err := DeployConcurrent(m, newNode(t, 8), 4, 1, 0); err == nil {
+		t.Fatal("want lanes error")
+	}
+	d, err := DeployConcurrent(m, newNode(t, 8), 4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Slots() != 3 || d.Lanes() != 2 || d.MaxBatch() != 4 {
+		t.Fatalf("slots/lanes/maxBatch = %d/%d/%d", d.Slots(), d.Lanes(), d.MaxBatch())
+	}
+}
+
+// TestConcurrentRunEmbedding drives a multi-slot, multi-lane deployment from
+// many goroutines and checks every batch against the golden model — the
+// isolation guarantee the serving layer builds on. Run with -race.
+func TestConcurrentRunEmbedding(t *testing.T) {
+	// Facebook-like shape: several mean-pooled tables, two stripes each.
+	cfg := smallConfig("conc", 4, 5, 256, true, isa.RAdd)
+	m, err := recsys.Build(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := newNode(t, 8)
+	d, err := DeployConcurrent(m, nd, 6, 3, 3*cfg.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, iters = 8, 4
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen, _ := workload.NewGenerator(cfg.TableRows, workload.Zipfian, int64(c)*31+1)
+			for i := 0; i < iters; i++ {
+				batch := 1 + (c+i)%6
+				rows := gen.Batch(cfg.Tables, batch, cfg.Reduction)
+				got, err := d.RunEmbedding(rows, batch)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				want, err := d.GoldenEmbedding(rows, batch)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if !tensor.Equal(got, want) {
+					errs[c] = fmt.Errorf("client %d iter %d: concurrent embedding differs from golden", c, i)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentPairwiseReduce exercises the two-GATHER + REDUCE path (both
+// gather operand buffers of a lane) under concurrency.
+func TestConcurrentPairwiseReduce(t *testing.T) {
+	cfg := smallConfig("conc2", 2, 2, 128, false, isa.RMul)
+	m, err := recsys.Build(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DeployConcurrent(m, newNode(t, 8), 4, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			gen, _ := workload.NewGenerator(cfg.TableRows, workload.Uniform, int64(c)+51)
+			for i := 0; i < 3; i++ {
+				rows := gen.Batch(cfg.Tables, 4, cfg.Reduction)
+				got, err := d.RunEmbedding(rows, 4)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				want, _ := d.GoldenEmbedding(rows, 4)
+				if !tensor.Equal(got, want) {
+					errs[c] = fmt.Errorf("client %d: pairwise reduce differs from golden", c)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUpdateTablePaddingCapacityBound(t *testing.T) {
+	// stripes=6 (dim 768 on 8 DIMMs), maxBatch*reduction=5: scratch holds
+	// 30 live stripes + 16 slack. 7 rows = 42 stripes pads to 48 > 46, so
+	// the padded zero-staging would overrun the gather buffer — the
+	// capacity check must reject it rather than corrupt the neighbor
+	// allocation.
+	cfg := smallConfig("padcap", 1, 1, 768, false, isa.RAdd)
+	d := deploy(t, cfg, 8, 5)
+	rows := make([]int, 7)
+	grads := tensor.New(len(rows), cfg.EmbDim)
+	if err := d.UpdateTable(0, rows, grads); err == nil {
+		t.Fatal("want scratch-capacity error for padded overrun")
+	}
+	// 6 rows = 36 stripes pads to 48... also over; 5 rows = 30 pads to
+	// 32 <= 46 and must succeed.
+	rows = rows[:5]
+	grads = tensor.New(len(rows), cfg.EmbDim)
+	if err := d.UpdateTable(0, rows, grads); err != nil {
+		t.Fatal(err)
+	}
 }

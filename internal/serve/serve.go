@@ -1,0 +1,418 @@
+// Package serve turns a deployed recommender model into a concurrent
+// inference server: the serving runtime a TensorNode-equipped host would run
+// in production.
+//
+// The paper's runtime (Section 4.4) executes one embedding batch at a time.
+// Real recommendation traffic arrives as many small independent requests
+// (Facebook reports deployed batch sizes of 1-100), and the TensorNode's
+// aggregate bandwidth is only realized when enough lookups are in flight —
+// the observation RecNMP (Ke et al., 2020) quantifies for production
+// traffic. The server closes that gap with two mechanisms:
+//
+//   - dynamic micro-batching: requests against the model are coalesced into
+//     one merged embedding execution, up to MaxBatch samples or until the
+//     oldest waiting request has aged MaxDelay, whichever comes first. The
+//     per-sample GATHER/REDUCE semantics are positional, so a merged batch
+//     is bit-identical to running each request alone;
+//
+//   - a worker pool over the deployment's execution slots: each worker runs
+//     a merged batch whose per-table programs fan out across the
+//     deployment's scratch lanes (tables stripe over disjoint rank
+//     partitions, so table-level parallelism is architecturally free).
+//
+// Every request's queue and total latency is recorded; Metrics reports
+// p50/p95/p99 percentiles plus sustained throughput, the numbers a serving
+// SLO is written against.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/stats"
+	"tensordimm/internal/tensor"
+)
+
+// Config tunes the serving runtime. The zero value of every field selects a
+// sensible default at New.
+type Config struct {
+	// MaxBatch caps how many samples one merged embedding execution may
+	// carry. Defaults to the smallest MaxBatch of the deployments.
+	MaxBatch int
+	// MaxDelay bounds how long the oldest request of a forming batch waits
+	// for co-riders before the batch is dispatched anyway. Defaults to
+	// 200us — far below a recommender's latency SLO, long enough to
+	// coalesce under load.
+	MaxDelay time.Duration
+	// Workers is the number of merged batches executed concurrently.
+	// Defaults to the total execution slots across the deployments.
+	Workers int
+	// QueueDepth is the submission queue capacity; submissions beyond it
+	// block. Defaults to 256.
+	QueueDepth int
+}
+
+func (c Config) withDefaults(deps []*runtime.Deployment) Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = deps[0].MaxBatch()
+		for _, d := range deps[1:] {
+			if d.MaxBatch() < c.MaxBatch {
+				c.MaxBatch = d.MaxBatch()
+			}
+		}
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	if c.Workers == 0 {
+		for _, d := range deps {
+			c.Workers += d.Slots()
+		}
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// request is one submitted inference, pending or in flight.
+type request struct {
+	rows      [][]int
+	batch     int
+	embedOnly bool
+	enq       time.Time
+	done      chan result
+}
+
+type result struct {
+	out *tensor.Tensor
+	err error
+}
+
+// mergedBatch is a coalesced group of requests dispatched as one execution.
+type mergedBatch struct {
+	reqs  []*request
+	total int // sum of request batches
+}
+
+// Server owns one or more Deployments of the same model (replicas across
+// TensorNode pools) and serves concurrent inference requests against them
+// with dynamic micro-batching. Create with New, submit with Infer or Embed
+// from any number of goroutines, and Close when done — Close releases the
+// owned deployments.
+type Server struct {
+	cfg  Config
+	deps []*runtime.Deployment
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // submits accepted but not yet enqueued
+	queue    chan *request
+
+	dispatch  chan *mergedBatch
+	batcherWG sync.WaitGroup
+	workerWG  sync.WaitGroup
+
+	started time.Time
+	rr      atomic.Uint64 // round-robin deployment cursor
+
+	requests atomic.Uint64
+	samples  atomic.Uint64
+	batches  atomic.Uint64
+	failures atomic.Uint64
+	queueLat stats.Latency
+	totalLat stats.Latency
+}
+
+// New validates the deployments (same model geometry everywhere, batching
+// cap within every deployment's capacity), starts the batcher and worker
+// goroutines, and returns a serving handle.
+func New(cfg Config, deps ...*runtime.Deployment) (*Server, error) {
+	if len(deps) == 0 {
+		return nil, fmt.Errorf("serve: at least one deployment required")
+	}
+	ref := deps[0].Model.Cfg
+	for i, d := range deps[1:] {
+		c := d.Model.Cfg
+		if c.Tables != ref.Tables || c.Reduction != ref.Reduction ||
+			c.EmbDim != ref.EmbDim || c.TableRows != ref.TableRows ||
+			c.Mean != ref.Mean || c.Op != ref.Op {
+			return nil, fmt.Errorf("serve: deployment %d serves a different model geometry than deployment 0", i+1)
+		}
+	}
+	cfg = cfg.withDefaults(deps)
+	if cfg.MaxBatch <= 0 {
+		return nil, fmt.Errorf("serve: MaxBatch must be positive")
+	}
+	if cfg.Workers <= 0 || cfg.QueueDepth <= 0 || cfg.MaxDelay <= 0 {
+		return nil, fmt.Errorf("serve: Workers (%d), QueueDepth (%d) and MaxDelay (%v) must be positive",
+			cfg.Workers, cfg.QueueDepth, cfg.MaxDelay)
+	}
+	for i, d := range deps {
+		if d.MaxBatch() < cfg.MaxBatch {
+			return nil, fmt.Errorf("serve: MaxBatch %d exceeds deployment %d's capacity %d",
+				cfg.MaxBatch, i, d.MaxBatch())
+		}
+	}
+	s := &Server{
+		cfg:      cfg,
+		deps:     deps,
+		queue:    make(chan *request, cfg.QueueDepth),
+		dispatch: make(chan *mergedBatch, cfg.Workers),
+		started:  time.Now(),
+	}
+	s.batcherWG.Add(1)
+	go s.batcher()
+	for w := 0; w < cfg.Workers; w++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Infer runs a full inference — near-memory embedding plus the DNN stage —
+// for one request of `batch` samples, blocking until the result is ready.
+// perTableRows holds batch x reduction row indices per table, exactly as
+// Deployment.Infer takes them. Safe for concurrent use.
+func (s *Server) Infer(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
+	return s.submit(perTableRows, batch, false)
+}
+
+// Embed runs only the embedding stage, returning the pooled [batch,
+// tables*dim] tensor. The output is bit-identical to
+// Deployment.GoldenEmbedding regardless of how the request was batched with
+// others. Safe for concurrent use.
+func (s *Server) Embed(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
+	return s.submit(perTableRows, batch, true)
+}
+
+func (s *Server) submit(perTableRows [][]int, batch int, embedOnly bool) (*tensor.Tensor, error) {
+	cfg := s.deps[0].Model.Cfg
+	if batch <= 0 || batch > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("serve: batch %d out of range [1, %d]", batch, s.cfg.MaxBatch)
+	}
+	if len(perTableRows) != cfg.Tables {
+		return nil, fmt.Errorf("serve: %d index lists for %d tables", len(perTableRows), cfg.Tables)
+	}
+	for t, rows := range perTableRows {
+		if len(rows) != batch*cfg.Reduction {
+			return nil, fmt.Errorf("serve: table %d: %d rows for batch %d x reduction %d",
+				t, len(rows), batch, cfg.Reduction)
+		}
+		for _, r := range rows {
+			if r < 0 || r >= cfg.TableRows {
+				return nil, fmt.Errorf("serve: table %d: row index %d out of range [0, %d)", t, r, cfg.TableRows)
+			}
+		}
+	}
+	req := &request{
+		rows:      perTableRows,
+		batch:     batch,
+		embedOnly: embedOnly,
+		enq:       time.Now(),
+		done:      make(chan result, 1),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: server is closed")
+	}
+	// Holding the lock for the send would serialize submitters; instead the
+	// closed flag is checked first and Close closes the queue only after
+	// every in-flight submit has enqueued (see Close).
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	s.queue <- req
+	s.inflight.Done()
+	r := <-req.done
+	return r.out, r.err
+}
+
+// batcher coalesces submissions into merged batches: a batch closes when it
+// reaches MaxBatch samples, when the oldest member has waited MaxDelay, or
+// when the queue shuts down.
+func (s *Server) batcher() {
+	defer s.batcherWG.Done()
+	defer close(s.dispatch)
+	var pending *request
+	for {
+		first := pending
+		pending = nil
+		if first == nil {
+			r, ok := <-s.queue
+			if !ok {
+				return
+			}
+			first = r
+		}
+		mb := &mergedBatch{reqs: []*request{first}, total: first.batch}
+		timer := time.NewTimer(s.cfg.MaxDelay)
+	collect:
+		for mb.total < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					break collect
+				}
+				if mb.total+r.batch > s.cfg.MaxBatch {
+					pending = r // head-of-line for the next batch
+					break collect
+				}
+				mb.reqs = append(mb.reqs, r)
+				mb.total += r.batch
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.dispatch <- mb
+	}
+}
+
+// worker executes merged batches until the dispatch channel drains.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for mb := range s.dispatch {
+		s.execute(mb)
+	}
+}
+
+// execute runs one merged batch on the next deployment replica and fans the
+// results back out to the member requests.
+func (s *Server) execute(mb *mergedBatch) {
+	start := time.Now()
+	for _, r := range mb.reqs {
+		s.queueLat.Observe(start.Sub(r.enq).Seconds())
+	}
+	dep := s.deps[int(s.rr.Add(1)-1)%len(s.deps)]
+	cfg := dep.Model.Cfg
+
+	// Merge: concatenate the member requests' per-table row lists. Pooling
+	// groups are positional, so sample i of member j lands at output row
+	// (offset of j) + i with identical arithmetic to a solo run.
+	merged := make([][]int, cfg.Tables)
+	for t := range merged {
+		rows := make([]int, 0, mb.total*cfg.Reduction)
+		for _, r := range mb.reqs {
+			rows = append(rows, r.rows[t]...)
+		}
+		merged[t] = rows
+	}
+
+	emb, err := dep.RunEmbedding(merged, mb.total)
+	if err != nil {
+		s.failures.Add(uint64(len(mb.reqs)))
+		for _, r := range mb.reqs {
+			r.done <- result{err: fmt.Errorf("serve: merged batch of %d failed: %w", mb.total, err)}
+		}
+		return
+	}
+	s.batches.Add(1)
+
+	// Split: each member request gets its slice of the embedding rows, and
+	// — unless it asked for embeddings only — its own DNN stage (row-wise
+	// MLP results are independent of co-batched rows).
+	width := emb.Dim(1)
+	off := 0
+	for _, r := range mb.reqs {
+		vals := make([]float32, 0, r.batch*width)
+		for i := 0; i < r.batch; i++ {
+			vals = append(vals, emb.Row(off+i)...)
+		}
+		off += r.batch
+		out, err := tensor.FromSlice(vals, r.batch, width)
+		if err == nil && !r.embedOnly {
+			out, err = dep.Model.InferFromEmbeddings(out)
+		}
+		if err != nil {
+			s.failures.Add(1)
+			r.done <- result{err: err}
+			continue
+		}
+		s.requests.Add(1)
+		s.samples.Add(uint64(r.batch))
+		s.totalLat.Observe(time.Since(r.enq).Seconds())
+		r.done <- result{out: out}
+	}
+}
+
+// Close stops accepting requests, drains everything already submitted,
+// stops the batcher and workers, and releases the owned deployments. It is
+// idempotent; requests submitted after Close fail fast.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait() // every accepted submit has reached the queue
+	close(s.queue)
+	s.batcherWG.Wait()
+	s.workerWG.Wait()
+	var first error
+	for _, d := range s.deps {
+		if err := d.Release(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Metrics is a point-in-time snapshot of the server's counters and latency
+// percentiles. All latencies are in seconds.
+type Metrics struct {
+	Requests uint64 // completed successfully
+	Samples  uint64 // total samples across completed requests
+	Batches  uint64 // merged executions
+	Failures uint64 // requests completed with an error
+	Uptime   time.Duration
+
+	// MeanBatch is the average merged execution size in samples — the
+	// coalescing factor micro-batching achieved.
+	MeanBatch float64
+	// Throughput is completed samples per second of uptime.
+	Throughput float64
+	// QueueLatency digests time from submission to execution start.
+	QueueLatency stats.LatencySummary
+	// TotalLatency digests time from submission to result delivery.
+	TotalLatency stats.LatencySummary
+}
+
+// Metrics snapshots the server's counters. Safe to call at any time,
+// including after Close.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		Requests:     s.requests.Load(),
+		Samples:      s.samples.Load(),
+		Batches:      s.batches.Load(),
+		Failures:     s.failures.Load(),
+		Uptime:       time.Since(s.started),
+		QueueLatency: s.queueLat.Summary(),
+		TotalLatency: s.totalLat.Summary(),
+	}
+	if m.Batches > 0 {
+		m.MeanBatch = float64(m.Samples) / float64(m.Batches)
+	}
+	if sec := m.Uptime.Seconds(); sec > 0 {
+		m.Throughput = float64(m.Samples) / sec
+	}
+	return m
+}
+
+// String renders the metrics as a small report.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"requests %d (%d samples, %d failures) in %s\n"+
+			"merged executions %d (mean batch %.1f)\n"+
+			"throughput %.0f samples/s\n"+
+			"queue latency  %s\n"+
+			"total latency  %s",
+		m.Requests, m.Samples, m.Failures, m.Uptime.Round(time.Millisecond),
+		m.Batches, m.MeanBatch, m.Throughput,
+		m.QueueLatency, m.TotalLatency)
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -96,5 +97,103 @@ func TestFormatSeconds(t *testing.T) {
 		if got := FormatSeconds(in); got != want {
 			t.Errorf("FormatSeconds(%v) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5} // sorted: 1..5
+	cases := map[float64]float64{
+		0:   1,
+		50:  3,
+		100: 5,
+		25:  2,
+		75:  4,
+	}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{1, 2}, 50); got != 1.5 {
+		t.Errorf("Percentile 50 of {1,2} = %v, want 1.5", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty input must be NaN")
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestLatencySummary(t *testing.T) {
+	var l Latency
+	if s := l.Summary(); s.Count != 0 || s.String() != "no observations" {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		l.Observe(float64(i) * 1e-3)
+	}
+	s := l.Summary()
+	if s.Count != 100 || l.Count() != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 1e-3 || s.Max != 100e-3 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 < 50e-3 || s.P50 > 51e-3 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P99 < 99e-3 || s.P99 > 100e-3 {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	if math.Abs(s.Mean-50.5e-3) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestLatencyConcurrent(t *testing.T) {
+	var l Latency
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Observe(1e-6)
+				_ = l.Summary()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", l.Count())
+	}
+}
+
+func TestLatencyReservoirBounded(t *testing.T) {
+	var l Latency
+	const total = ReservoirCap + 5000
+	for i := 0; i < total; i++ {
+		l.Observe(float64(i+1) * 1e-6)
+	}
+	if l.Count() != total {
+		t.Fatalf("count = %d, want %d", l.Count(), total)
+	}
+	if len(l.obs) != ReservoirCap {
+		t.Fatalf("retained %d observations, want capped at %d", len(l.obs), ReservoirCap)
+	}
+	s := l.Summary()
+	if s.Count != total || s.Min != 1e-6 || s.Max != float64(total)*1e-6 {
+		t.Fatalf("exact stats wrong: %+v", s)
+	}
+	// Uniform sample: the median estimate must land near the true median.
+	trueP50 := float64(total) / 2 * 1e-6
+	if s.P50 < trueP50*0.95 || s.P50 > trueP50*1.05 {
+		t.Fatalf("sampled p50 = %v, true %v", s.P50, trueP50)
 	}
 }

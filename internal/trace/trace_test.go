@@ -190,6 +190,14 @@ func TestEndToEndBandwidthRatio(t *testing.T) {
 	g := gen(t)
 	rng := rand.New(rand.NewSource(42))
 	batch, reduction := 32, 50
+	minRatio := 2.5
+	if testing.Short() {
+		// Reduced replay: the NMP win shrinks (and gets noisier) at
+		// small batches, so assert a looser band at a quarter of the
+		// runtime.
+		batch = 8
+		minRatio = 2
+	}
 	n := batch * reduction
 	indices := make([]int, n)
 	for i := range indices {
@@ -205,7 +213,7 @@ func TestEndToEndBandwidthRatio(t *testing.T) {
 	cpuBW := cpuRes.BandwidthGBs(cpu.Timing)
 	nodeBW := nodeRes.BandwidthGBs(node.Timing)
 	ratio := nodeBW / cpuBW
-	if ratio < 2.5 || ratio > 6 {
+	if ratio < minRatio || ratio > 6 {
 		t.Fatalf("TensorNode/CPU bandwidth ratio = %.2f (%.1f vs %.1f GB/s), want ~4x",
 			ratio, nodeBW, cpuBW)
 	}

@@ -32,8 +32,19 @@
 //	dep, _ := tensordimm.Deploy(model, nd, 64)         // upload, allocate
 //	probs, _ := dep.Infer(indices, batch)              // NMP embedding + DNN
 //
-// See the examples directory for runnable programs and EXPERIMENTS.md for
-// the paper-vs-reproduction record of every table and figure.
+// # Serving
+//
+// The serve layer turns deployments into a concurrent inference server with
+// dynamic micro-batching and latency accounting:
+//
+//	dep, _ := tensordimm.DeployConcurrent(model, nd, 64, 4, 8)
+//	srv, _ := tensordimm.NewServer(tensordimm.ServeConfig{}, dep)
+//	probs, _ := srv.Infer(indices, batch)              // safe from any goroutine
+//	fmt.Println(srv.Metrics())                         // p50/p95/p99, throughput
+//
+// See the examples directory for runnable programs, ARCHITECTURE.md for the
+// layer stack, and EXPERIMENTS.md (in the repository root) for the
+// paper-vs-reproduction record of every table and figure.
 package tensordimm
 
 import (
@@ -44,6 +55,7 @@ import (
 	"tensordimm/internal/node"
 	"tensordimm/internal/recsys"
 	"tensordimm/internal/runtime"
+	"tensordimm/internal/serve"
 	"tensordimm/internal/tensor"
 	"tensordimm/internal/workload"
 )
@@ -79,6 +91,12 @@ type (
 	ExperimentResult = experiments.Result
 	// WorkloadGenerator draws embedding lookup indices.
 	WorkloadGenerator = workload.Generator
+	// Server is a concurrent batched inference server over deployments.
+	Server = serve.Server
+	// ServeConfig tunes the server's batching and worker pool.
+	ServeConfig = serve.Config
+	// ServeMetrics is a snapshot of serving throughput and latency.
+	ServeMetrics = serve.Metrics
 )
 
 // The five design points (Section 6).
@@ -121,6 +139,20 @@ func BuildModel(cfg ModelConfig, seed int64) (*Model, error) {
 // scratch space for inference batches up to maxBatch.
 func Deploy(m *Model, nd *Node, maxBatch int) (*Deployment, error) {
 	return runtime.Deploy(m, nd, maxBatch)
+}
+
+// DeployConcurrent is Deploy with explicit concurrency sizing: slots bounds
+// concurrent batches in flight, lanes bounds concurrent per-table programs.
+// A serving setup typically uses slots = workers, lanes = slots x tables.
+func DeployConcurrent(m *Model, nd *Node, maxBatch, slots, lanes int) (*Deployment, error) {
+	return runtime.DeployConcurrent(m, nd, maxBatch, slots, lanes)
+}
+
+// NewServer starts a concurrent batched inference server over one or more
+// deployments of the same model. Close the server to stop it and release
+// the deployments.
+func NewServer(cfg ServeConfig, deps ...*Deployment) (*Server, error) {
+	return serve.New(cfg, deps...)
 }
 
 // NewWorkload returns a deterministic index generator over tables of `rows`
