@@ -1,14 +1,20 @@
-// Command tensorserve drives the concurrent serving runtime with a
-// synthetic open-loop workload: requests arrive at a fixed rate regardless
-// of completion (the arrival model of a production front-end), the server
-// coalesces them into merged near-memory embedding executions, and the run
-// ends with a throughput and latency report (p50/p95/p99).
+// Command tensorserve drives the serving stack with a synthetic open-loop
+// workload: requests arrive at a fixed rate regardless of completion (the
+// arrival model of a production front-end), the server coalesces them into
+// merged near-memory embedding executions, and the run ends with a
+// throughput and latency report (p50/p95/p99).
+//
+// With -nodes N (N > 1) it drives the sharded cluster instead of a single
+// node: the model is split table-wise or row-wise across N TensorNodes,
+// each fronted by an optional hot-row cache, and the report adds per-shard
+// sub-request, cache hit/miss and modeled fabric-transfer counters.
 //
 // Usage:
 //
 //	tensorserve                                  # YouTube-class model, defaults
 //	tensorserve -model facebook -rate 500 -duration 3s
 //	tensorserve -model ncf -batch 4 -maxbatch 32 -workers 2
+//	tensorserve -nodes 4 -shard row -cache-mb 4 -zipf -zipf-s 0.9
 package main
 
 import (
@@ -28,7 +34,7 @@ func main() {
 		modelName = flag.String("model", "youtube", "benchmark model: ncf, youtube, fox, facebook")
 		rows      = flag.Int("rows", 4000, "rows per embedding table (paper-scale tables are hundreds of GBs; geometry is what matters)")
 		dim       = flag.Int("dim", 256, "embedding dimension (must be a multiple of dimms x 16)")
-		dimms     = flag.Int("dimms", 8, "TensorDIMMs in the node")
+		dimms     = flag.Int("dimms", 8, "TensorDIMMs per node")
 		batch     = flag.Int("batch", 1, "samples per client request")
 		rate      = flag.Float64("rate", 1000, "offered load in requests/second (open loop)")
 		duration  = flag.Duration("duration", 2*time.Second, "how long to offer load")
@@ -36,7 +42,12 @@ func main() {
 		maxDelay  = flag.Duration("delay", 200*time.Microsecond, "micro-batching deadline")
 		workers   = flag.Int("workers", 4, "concurrent batch executors (= deployment slots)")
 		zipf      = flag.Bool("zipf", false, "draw Zipfian (skewed) lookup indices instead of uniform")
+		zipfS     = flag.Float64("zipf-s", 1.2, "Zipf exponent for -zipf (0.9 matches production skew fits)")
 		seed      = flag.Int64("seed", 1, "workload seed")
+
+		nodes   = flag.Int("nodes", 1, "TensorNode shards; >1 selects cluster mode")
+		shard   = flag.String("shard", "table", "cluster sharding: table (whole tables round-robin) or row (rows hashed across shards)")
+		cacheMB = flag.Float64("cache-mb", 0, "per-shard hot-row cache capacity in MiB (0 disables; cluster mode only)")
 	)
 	flag.Parse()
 
@@ -53,60 +64,144 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Size the pool: tables + per-lane gather scratch + per-slot outputs,
-	// with 2x slack for allocator alignment.
-	lanes := *workers * cfg.Tables
-	embBytes := uint64(cfg.EmbBytes())
-	need := uint64(cfg.TotalTableBytes()) +
-		uint64(lanes)*2*uint64(*maxBatch)*uint64(cfg.Reduction)*embBytes +
-		uint64(*workers)*uint64(cfg.Tables)*uint64(*maxBatch)*embBytes
-	perDIMM := (2*need/uint64(*dimms) + 65535) / 65536 * 65536
-
-	nd, err := tensordimm.NewNode(*dimms, perDIMM)
-	if err != nil {
-		log.Fatal(err)
-	}
 	model, err := tensordimm.BuildModel(cfg, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dep, err := tensordimm.DeployConcurrent(model, nd, *maxBatch, *workers, lanes)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv, err := tensordimm.NewServer(tensordimm.ServeConfig{
-		MaxBatch: *maxBatch,
-		MaxDelay: *maxDelay,
-		Workers:  *workers,
-	}, dep)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	dist := tensordimm.Uniform
+	var gen *tensordimm.WorkloadGenerator
 	if *zipf {
-		dist = tensordimm.Zipfian
+		gen, err = tensordimm.NewZipfWorkload(cfg.TableRows, *zipfS, *seed)
+	} else {
+		gen, err = tensordimm.NewWorkload(cfg.TableRows, tensordimm.Uniform, *seed)
 	}
-	gen, err := tensordimm.NewWorkload(cfg.TableRows, dist, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("model %s: %d tables x %d rows, dim %d, %d-way %s\n",
 		cfg.Name, cfg.Tables, cfg.TableRows, cfg.EmbDim, cfg.Reduction, poolingName(cfg))
+	dist := "uniform"
+	if *zipf {
+		dist = fmt.Sprintf("zipf(%.2g)", *zipfS)
+	}
+
+	if *nodes > 1 {
+		runCluster(model, cfg, gen, dist, *nodes, *shard, *cacheMB,
+			*dimms, *batch, *rate, *duration, *maxBatch, *maxDelay, *workers)
+		return
+	}
+	runSingle(model, cfg, gen, dist,
+		*dimms, *batch, *rate, *duration, *maxBatch, *maxDelay, *workers)
+}
+
+// runSingle drives one TensorNode behind a batched server (the PR 1 path).
+func runSingle(model *tensordimm.Model, cfg tensordimm.ModelConfig,
+	gen *tensordimm.WorkloadGenerator, dist string,
+	dimms, batch int, rate float64, duration time.Duration,
+	maxBatch int, maxDelay time.Duration, workers int) {
+
+	// Size the pool: tables + per-lane gather scratch + per-slot outputs,
+	// with 2x slack for allocator alignment.
+	lanes := workers * cfg.Tables
+	embBytes := uint64(cfg.EmbBytes())
+	need := uint64(cfg.TotalTableBytes()) +
+		uint64(lanes)*2*uint64(maxBatch)*uint64(cfg.Reduction)*embBytes +
+		uint64(workers)*uint64(cfg.Tables)*uint64(maxBatch)*embBytes
+	perDIMM := (2*need/uint64(dimms) + 65535) / 65536 * 65536
+
+	nd, err := tensordimm.NewNode(dimms, perDIMM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := tensordimm.DeployConcurrent(model, nd, maxBatch, workers, lanes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := tensordimm.NewServer(tensordimm.ServeConfig{
+		MaxBatch: maxBatch,
+		MaxDelay: maxDelay,
+		Workers:  workers,
+	}, dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("node: %d TensorDIMMs, %.0f MiB pool, %d B stripe\n",
 		nd.NodeDim(), float64(nd.CapacityBytes())/(1<<20), nd.StripeBytes())
 	fmt.Printf("server: maxBatch %d, deadline %v, %d workers, %d lanes\n",
-		*maxBatch, *maxDelay, *workers, lanes)
-	fmt.Printf("offering %.0f req/s x %v, batch %d, %s indices (open loop)\n\n",
-		*rate, *duration, *batch, dist)
+		maxBatch, maxDelay, workers, lanes)
 
-	// Open loop on an absolute schedule: arrival n is due at start +
-	// n/rate, and late arrivals fire immediately in a catch-up burst, so a
-	// slow server cannot throttle the offered load. Each request runs in
-	// its own goroutine; indices are drawn in the arrival loop (the
-	// generator is sequential).
-	interval := float64(time.Second) / *rate
+	offered := offerLoad(cfg, gen, dist, batch, rate, duration, srv.Infer)
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	m := srv.Metrics()
+	fmt.Println(m)
+	fmt.Printf("\noffered %d requests, completed %d (sustained %.0f req/s against %.0f req/s offered)\n",
+		offered, m.Requests, float64(m.Requests)/m.Uptime.Seconds(), rate)
+	s := nd.Stats()
+	fmt.Printf("NMP activity: %d instructions, %d blocks read, %d blocks written, %d ALU block ops\n",
+		s.Instructions, s.BlocksRead, s.BlocksWritten, s.ALUBlockOps)
+}
+
+// runCluster drives the sharded multi-node cluster.
+func runCluster(model *tensordimm.Model, cfg tensordimm.ModelConfig,
+	gen *tensordimm.WorkloadGenerator, dist string,
+	nodes int, shard string, cacheMB float64,
+	dimms, batch int, rate float64, duration time.Duration,
+	maxBatch int, maxDelay time.Duration, workers int) {
+
+	var strategy tensordimm.ShardStrategy
+	switch strings.ToLower(shard) {
+	case "table":
+		strategy = tensordimm.TableWise
+	case "row":
+		strategy = tensordimm.RowWise
+	default:
+		fmt.Fprintf(os.Stderr, "tensorserve: -shard %q must be table or row\n", shard)
+		os.Exit(2)
+	}
+	cl, err := tensordimm.NewCluster(model, tensordimm.ClusterConfig{
+		Nodes:        nodes,
+		Strategy:     strategy,
+		DIMMsPerNode: dimms,
+		MaxBatch:     maxBatch,
+		Workers:      workers,
+		MaxDelay:     maxDelay,
+		CacheBytes:   int64(cacheMB * (1 << 20)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d shards (%s), %d TensorDIMMs each, %.1f MiB cache per shard\n",
+		nodes, strategy, dimms, cacheMB)
+	fmt.Printf("shards: maxBatch %d samples/request, deadline %v, %d workers each\n",
+		maxBatch, maxDelay, workers)
+
+	offered := offerLoad(cfg, gen, dist, batch, rate, duration, cl.Infer)
+	if err := cl.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	m := cl.Metrics()
+	fmt.Println(m)
+	fmt.Printf("offered %d requests, completed %d (sustained %.0f req/s against %.0f req/s offered)\n",
+		offered, m.Requests, float64(m.Requests)/m.Uptime.Seconds(), rate)
+}
+
+// offerLoad submits requests open loop on an absolute schedule: arrival n
+// is due at start + n/rate, and late arrivals fire immediately in a
+// catch-up burst, so a slow server cannot throttle the offered load. Each
+// request runs in its own goroutine; indices are drawn in the arrival loop
+// (the generator is sequential). Returns the number of requests offered.
+func offerLoad(cfg tensordimm.ModelConfig, gen *tensordimm.WorkloadGenerator,
+	dist string, batch int, rate float64, duration time.Duration,
+	infer func([][]int, int) (*tensordimm.Tensor, error)) int {
+
+	fmt.Printf("offering %.0f req/s x %v, batch %d, %s indices (open loop)\n\n",
+		rate, duration, batch, dist)
+	interval := float64(time.Second) / rate
 	start := time.Now()
 	var wg sync.WaitGroup
 	var submitErr error
@@ -114,37 +209,27 @@ func main() {
 	offered := 0
 	for {
 		due := start.Add(time.Duration(float64(offered) * interval))
-		if due.Sub(start) >= *duration {
+		if due.Sub(start) >= duration {
 			break
 		}
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
-		rows := gen.Batch(cfg.Tables, *batch, cfg.Reduction)
+		rows := gen.Batch(cfg.Tables, batch, cfg.Reduction)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := srv.Infer(rows, *batch); err != nil {
+			if _, err := infer(rows, batch); err != nil {
 				errOnce.Do(func() { submitErr = err })
 			}
 		}()
 		offered++
 	}
 	wg.Wait()
-	if err := srv.Close(); err != nil {
-		log.Fatal(err)
-	}
 	if submitErr != nil {
 		log.Fatal(submitErr)
 	}
-
-	m := srv.Metrics()
-	fmt.Println(m)
-	fmt.Printf("\noffered %d requests, completed %d (sustained %.0f req/s against %.0f req/s offered)\n",
-		offered, m.Requests, float64(m.Requests)/m.Uptime.Seconds(), *rate)
-	s := nd.Stats()
-	fmt.Printf("NMP activity: %d instructions, %d blocks read, %d blocks written, %d ALU block ops\n",
-		s.Instructions, s.BlocksRead, s.BlocksWritten, s.ALUBlockOps)
+	return offered
 }
 
 func benchmark(name string) (tensordimm.ModelConfig, error) {

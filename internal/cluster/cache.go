@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"tensordimm/internal/stats"
+)
+
+// rowCache is a byte-capacity-bounded LRU of hot embedding rows fronting
+// one shard, keyed by flat local row. RecNMP (Ke et al., 2020) observes
+// that production embedding traffic is heavily skewed, which makes a small
+// cache disproportionately effective: a hit serves the row from the
+// router's memory and skips the shard's near-memory gather path entirely —
+// no sub-request row, no interconnect transfer.
+//
+// Capacity accounting charges the row payload only (dim x 4 bytes per
+// entry); the map/list bookkeeping is not counted against the budget.
+// All methods are safe for concurrent use; hit and miss counts are exposed
+// as stats.Counters so reports can read them without taking the lock.
+type rowCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	rowBytes int64
+	used     int64
+	order    *list.List // front = most recently used
+	items    map[int]*list.Element
+
+	hits   stats.Counter
+	misses stats.Counter
+}
+
+// cacheEntry is one resident row.
+type cacheEntry struct {
+	row int
+	vec []float32
+}
+
+// newRowCache builds a cache of at most capBytes of dim-wide rows. It
+// returns nil when capBytes is too small to hold even one row, which
+// callers treat as "cache disabled".
+func newRowCache(capBytes int64, dim int) *rowCache {
+	rowBytes := int64(dim) * 4
+	if capBytes < rowBytes {
+		return nil
+	}
+	return &rowCache{
+		capBytes: capBytes,
+		rowBytes: rowBytes,
+		order:    list.New(),
+		items:    make(map[int]*list.Element),
+	}
+}
+
+// get returns the cached vector for a flat row and promotes it to most
+// recently used, counting the probe as a hit or a miss. The returned slice
+// is the cache's private copy; callers must not mutate it (nothing in the
+// cluster does — rows are only ever copied into output tensors).
+func (c *rowCache) get(row int) ([]float32, bool) {
+	c.mu.Lock()
+	el, ok := c.items[row]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	vec := el.Value.(*cacheEntry).vec
+	c.mu.Unlock()
+	c.hits.Inc()
+	return vec, true
+}
+
+// put inserts a private copy of vec for a flat row, evicting least recently
+// used rows until the byte budget holds. Re-inserting a resident row only
+// refreshes its recency.
+func (c *rowCache) put(row int, vec []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[row]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.used+c.rowBytes > c.capBytes {
+		back := c.order.Back()
+		if back == nil {
+			return // capBytes < rowBytes is rejected in newRowCache
+		}
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).row)
+		c.used -= c.rowBytes
+	}
+	cp := make([]float32, len(vec))
+	copy(cp, vec)
+	c.items[row] = c.order.PushFront(&cacheEntry{row: row, vec: cp})
+	c.used += c.rowBytes
+}
+
+// len returns the number of resident rows.
+func (c *rowCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func vec(dim int, v float32) []float32 {
+	out := make([]float32, dim)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestRowCacheDisabledWhenTooSmall(t *testing.T) {
+	if c := newRowCache(0, 16); c != nil {
+		t.Fatal("zero capacity must disable the cache")
+	}
+	if c := newRowCache(63, 16); c != nil {
+		t.Fatal("capacity below one row must disable the cache")
+	}
+	if c := newRowCache(64, 16); c == nil {
+		t.Fatal("one-row capacity must enable the cache")
+	}
+}
+
+func TestRowCacheLRUEviction(t *testing.T) {
+	const dim = 16 // 64 B per row
+	c := newRowCache(3*64, dim)
+	for r := 0; r < 3; r++ {
+		c.put(r, vec(dim, float32(r)))
+	}
+	// Touch row 0 so row 1 becomes least recently used, then overflow.
+	if _, ok := c.get(0); !ok {
+		t.Fatal("row 0 should be resident")
+	}
+	c.put(3, vec(dim, 3))
+	if _, ok := c.get(1); ok {
+		t.Fatal("row 1 should have been evicted as LRU")
+	}
+	for _, r := range []int{0, 2, 3} {
+		got, ok := c.get(r)
+		if !ok {
+			t.Fatalf("row %d should be resident", r)
+		}
+		if got[0] != float32(r) {
+			t.Fatalf("row %d holds %v", r, got[0])
+		}
+	}
+	if c.len() != 3 {
+		t.Fatalf("resident rows = %d, want 3", c.len())
+	}
+}
+
+func TestRowCachePutCopies(t *testing.T) {
+	const dim = 16
+	c := newRowCache(1024, dim)
+	src := vec(dim, 1)
+	c.put(7, src)
+	src[0] = 99 // caller mutates its slice after insert
+	got, ok := c.get(7)
+	if !ok || got[0] != 1 {
+		t.Fatalf("cache shares caller storage: got %v", got[0])
+	}
+	// Re-inserting a resident row refreshes recency without growing usage.
+	c.put(7, vec(dim, 2))
+	if c.len() != 1 {
+		t.Fatalf("re-insert grew the cache to %d rows", c.len())
+	}
+}
+
+func TestRowCacheAccountingUnderConcurrency(t *testing.T) {
+	const dim = 16
+	c := newRowCache(8*64, dim)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				row := (g + i) % 16
+				if _, ok := c.get(row); !ok {
+					c.put(row, vec(dim, float32(row)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.hits.Load() + c.misses.Load(); got != 8*200 {
+		t.Fatalf("hits+misses = %d, want %d", got, 8*200)
+	}
+	if c.len() > 8 {
+		t.Fatalf("%d resident rows exceed the 8-row budget", c.len())
+	}
+}

@@ -1,0 +1,500 @@
+// Package cluster scales the single-node serving stack out to many
+// TensorNodes: a Cluster shards one recommender model across N nodes,
+// routes every inference batch to the shards owning its rows, gathers the
+// partial results over a modeled NVSwitch-class fabric and merges them
+// bit-identically to the single-node golden embedding.
+//
+// The design follows the paper's own scaling argument (Section 4.3: a
+// TensorNode is an endpoint of the GPU-side interconnect, so pooled
+// capacity and aggregate NMP bandwidth grow with the number of nodes) and
+// RecNMP's observation that production embedding traffic is heavily
+// skewed, which the per-shard hot-row caches exploit.
+//
+// Structure of one request:
+//
+//   - route: every lookup (table, row) maps through the placement — whole
+//     tables round-robin for TableWise, rows hashed across shards for
+//     RowWise — and probes the owning shard's LRU hot-row cache. Hits are
+//     served immediately; misses are deduplicated into one flat index list
+//     per shard (a shard stores all its rows as a single gather-only
+//     table, so a sub-request is one index list regardless of how many
+//     tables it touches).
+//   - execute: each non-empty sub-request runs through the shard's own
+//     serve.Server (micro-batching across concurrent cluster requests) on
+//     the shard's runtime.Deployment, gathering rows near-memory.
+//   - transfer: the index lists out and the partial gathered rows back are
+//     charged to the fabric with interconnect.Switch.ConvergeSeconds —
+//     concurrent shard responses converge on the router's port, so their
+//     payloads serialize at its bandwidth.
+//   - merge: gathered rows and cache hits are reassembled in request
+//     order and pooled with the golden embed.Pool / embed.Average code, so
+//     the merged output is bit-identical to Deployment.GoldenEmbedding for
+//     both strategies.
+//
+// Pooling happens at the router rather than near-memory: a row-wise
+// pooling group spans shards, and a cache hit must bypass the gather path
+// entirely, so shards return raw gathered rows. The near-memory cores
+// still perform the gathers — the bandwidth-dominant stage — while the
+// cache absorbs the transfer inflation on skewed traffic.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tensordimm/internal/embed"
+	"tensordimm/internal/interconnect"
+	"tensordimm/internal/isa"
+	"tensordimm/internal/nn"
+	"tensordimm/internal/node"
+	"tensordimm/internal/recsys"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/serve"
+	"tensordimm/internal/stats"
+	"tensordimm/internal/tensor"
+)
+
+// Config sizes a cluster. The zero value of every optional field selects a
+// documented default at New; Nodes is required.
+type Config struct {
+	// Nodes is the number of TensorNode shards. Required, must be positive.
+	Nodes int
+	// Strategy selects table-wise (default) or row-wise sharding.
+	Strategy Strategy
+	// DIMMsPerNode is the TensorDIMM count of each node. Defaults to 8.
+	// The model's embedding dimension must be a multiple of
+	// DIMMsPerNode x 16 so rows stripe cleanly.
+	DIMMsPerNode int
+	// PerDIMMBytes overrides each node's per-DIMM capacity. Zero auto-sizes
+	// the pool to fit the shard's table slice plus execution scratch.
+	PerDIMMBytes uint64
+	// MaxBatch caps the samples of one cluster request. Defaults to 64.
+	MaxBatch int
+	// Workers is each shard server's concurrent executor count (and its
+	// deployment's slots and lanes). Defaults to 2.
+	Workers int
+	// MaxDelay is each shard server's micro-batching deadline. Zero
+	// defaults to 100us: sub-requests already carry a whole cluster
+	// request's misses, so shards wait only briefly for co-riders.
+	MaxDelay time.Duration
+	// CacheBytes is the per-shard hot-row cache capacity in bytes. Zero
+	// (or anything smaller than one row) disables caching.
+	CacheBytes int64
+	// Fabric is the switch connecting the shards to the router. A zero
+	// value defaults to interconnect.NVSwitch(Nodes + 1): one port per
+	// shard plus the router's.
+	Fabric interconnect.Switch
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.DIMMsPerNode == 0 {
+		c.DIMMsPerNode = 8
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 100 * time.Microsecond
+	}
+	if c.Fabric.Ports == 0 {
+		c.Fabric = interconnect.NVSwitch(c.Nodes + 1)
+	}
+	return c
+}
+
+// shard is one TensorNode of the cluster plus its serving stack.
+type shard struct {
+	id    int
+	node  *node.Node
+	srv   *serve.Server
+	cache *rowCache // nil when caching is disabled
+
+	subRequests  stats.Counter
+	rowsGathered stats.Counter
+	partialBytes stats.Counter // gathered rows shipped shard -> router
+	indexBytes   stats.Counter // index lists shipped router -> shard
+}
+
+// Cluster is a sharded multi-node serving system for one recommender
+// model. Create with New, submit with Infer or Embed from any number of
+// goroutines, inspect with Metrics, and Close when done.
+type Cluster struct {
+	model *recsys.Model
+	cfg   Config
+	place *placement
+	shard []*shard
+
+	closed   atomic.Bool
+	started  time.Time
+	requests stats.Counter
+	samples  stats.Counter
+	failures stats.Counter
+	lookups  stats.Counter
+	transfer stats.Latency // modeled fabric seconds per request
+	totalLat stats.Latency // wall-clock seconds per request
+}
+
+// New shards the model across cfg.Nodes TensorNodes: it materializes each
+// shard's flat local table from the model's golden tables, builds and
+// uploads a gather-only deployment per shard, and starts a serve.Server
+// in front of each. The model itself is not modified and keeps serving as
+// the golden reference for merges.
+func New(m *recsys.Model, cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: Nodes must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.Strategy != TableWise && cfg.Strategy != RowWise {
+		return nil, fmt.Errorf("cluster: unknown strategy %v", cfg.Strategy)
+	}
+	cfg = cfg.withDefaults()
+	mc := m.Cfg
+	stripeElems := cfg.DIMMsPerNode * 16
+	if mc.EmbDim%stripeElems != 0 {
+		return nil, fmt.Errorf("cluster: embedding dim %d must be a multiple of DIMMsPerNode x 16 = %d",
+			mc.EmbDim, stripeElems)
+	}
+	if cfg.MaxBatch < 0 || cfg.Workers < 0 || cfg.MaxDelay < 0 || cfg.CacheBytes < 0 {
+		return nil, fmt.Errorf("cluster: negative sizing (MaxBatch %d, Workers %d, MaxDelay %v, CacheBytes %d)",
+			cfg.MaxBatch, cfg.Workers, cfg.MaxDelay, cfg.CacheBytes)
+	}
+
+	c := &Cluster{
+		model: m,
+		cfg:   cfg,
+		place: newPlacement(cfg.Strategy, cfg.Nodes, mc.Tables, mc.TableRows),
+	}
+	for s := 0; s < cfg.Nodes; s++ {
+		sh, err := c.buildShard(s)
+		if err != nil {
+			c.Close() // release the shards already built
+			return nil, err
+		}
+		c.shard = append(c.shard, sh)
+	}
+	// Uptime starts when the cluster is ready to serve, not when table
+	// upload began, so Metrics-derived throughput reflects serving time.
+	c.started = time.Now()
+	return c, nil
+}
+
+// buildShard materializes shard s: flat table, node, deployment, server.
+// An empty shard (no rows placed on it) gets no serving stack.
+func (c *Cluster) buildShard(s int) (*shard, error) {
+	mc := c.model.Cfg
+	sh := &shard{id: s}
+	localRows := c.place.localRows[s]
+	if localRows == 0 {
+		return sh, nil
+	}
+
+	// Flat local table: every row this shard owns, at the flat coordinate
+	// placement.locate assigns it. Owned rows are enumerated directly —
+	// whole tables for TableWise, the stride-N residue class for RowWise —
+	// so construction copies each owned row once instead of scanning the
+	// full model per shard.
+	flat, err := embed.NewTable(localRows, mc.EmbDim)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d table: %w", s, err)
+	}
+	for t := 0; t < mc.Tables; t++ {
+		base := c.place.flatBase[s][t]
+		if base < 0 {
+			continue
+		}
+		src := c.model.Embedding.Tables[t]
+		if c.cfg.Strategy == RowWise {
+			for i, r := 0, s; r < mc.TableRows; i, r = i+1, r+c.cfg.Nodes {
+				copy(flat.Row(base+i), src.Row(r))
+			}
+		} else {
+			for r := 0; r < mc.TableRows; r++ {
+				copy(flat.Row(base+r), src.Row(r))
+			}
+		}
+	}
+
+	// Gather-only shard model: one flat table, reduction 1 (pooling happens
+	// at the router's merge), a minimal MLP so every Model invariant holds
+	// even though the cluster only ever calls Embed on shard servers.
+	shardCfg := recsys.Config{
+		Name:      fmt.Sprintf("%s/shard%d", mc.Name, s),
+		Tables:    1,
+		Reduction: 1,
+		FCLayers:  0,
+		EmbDim:    mc.EmbDim,
+		TableRows: localRows,
+		Op:        isa.RAdd,
+	}
+	mlp, err := nn.NewMLP(shardCfg.MLPDims(), int64(s))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d mlp: %w", s, err)
+	}
+	shardModel := &recsys.Model{
+		Cfg: shardCfg,
+		Embedding: &embed.Layer{
+			Tables:    []*embed.Table{flat},
+			Reduction: 1,
+			Op:        isa.RAdd,
+		},
+		MLP: mlp,
+	}
+
+	// Worst case rows of one sub-request: every lookup of a maximal cluster
+	// request lands on this shard.
+	maxSub := c.place.tablesOn(s) * c.cfg.MaxBatch * mc.Reduction
+
+	nd, err := node.New(node.Config{
+		DIMMs:        c.cfg.DIMMsPerNode,
+		PerDIMMBytes: c.perDIMMBytes(localRows, maxSub),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d node: %w", s, err)
+	}
+	dep, err := runtime.DeployConcurrent(shardModel, nd, maxSub, c.cfg.Workers, c.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d deploy: %w", s, err)
+	}
+	sh.srv, err = serve.New(serve.Config{
+		MaxBatch: maxSub,
+		MaxDelay: c.cfg.MaxDelay,
+		Workers:  c.cfg.Workers,
+	}, dep)
+	if err != nil {
+		dep.Release()
+		return nil, fmt.Errorf("cluster: shard %d server: %w", s, err)
+	}
+	sh.node = nd
+	sh.cache = newRowCache(c.cfg.CacheBytes, mc.EmbDim)
+	return sh, nil
+}
+
+// perDIMMBytes sizes one shard node's per-DIMM capacity: the flat table,
+// two gather buffers per lane, one output region per slot, padding slack
+// on each, stripe-alignment margin per allocation, and 50% headroom.
+func (c *Cluster) perDIMMBytes(localRows, maxSub int) uint64 {
+	if c.cfg.PerDIMMBytes > 0 {
+		return c.cfg.PerDIMMBytes
+	}
+	embBytes := uint64(c.model.Cfg.EmbBytes())
+	stripe := uint64(c.cfg.DIMMsPerNode) * isa.BlockBytes
+	slack := uint64(isa.LanesPerBlock) * stripe
+	region := uint64(maxSub)*embBytes + slack // one gather buffer or output
+	workers := uint64(c.cfg.Workers)
+	allocs := 1 + 3*workers // table + 2 gather buffers and 1 output each
+	need := uint64(localRows)*embBytes + 3*workers*region + allocs*stripe
+	per := (need + need/2) / uint64(c.cfg.DIMMsPerNode)
+	return (per + 4095) / 4096 * 4096
+}
+
+// rowSrc locates one gathered row inside a shard's sub-request result.
+type rowSrc struct {
+	shard int32
+	idx   int32
+}
+
+// subreq is the deduplicated flat index list routed to one shard.
+type subreq struct {
+	rows []int
+	pos  map[int]int // flat row -> index in rows
+}
+
+// Embed runs the sharded embedding stage for one request of `batch`
+// samples and returns the pooled [batch, tables*dim] tensor, bit-identical
+// to Deployment.GoldenEmbedding regardless of strategy, cache state or
+// co-running requests. perTableRows holds batch x reduction row indices
+// per table, exactly as Deployment.Infer takes them. Safe for concurrent
+// use.
+func (c *Cluster) Embed(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
+	return c.run(perTableRows, batch, true)
+}
+
+// Infer runs Embed plus the model's DNN stage at the router (the GPU that
+// received the merged tensor), returning [batch, 1] probabilities. Safe
+// for concurrent use.
+func (c *Cluster) Infer(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
+	return c.run(perTableRows, batch, false)
+}
+
+func (c *Cluster) run(perTableRows [][]int, batch int, embedOnly bool) (*tensor.Tensor, error) {
+	start := time.Now()
+	mc := c.model.Cfg
+	if c.closed.Load() {
+		return nil, fmt.Errorf("cluster: cluster is closed")
+	}
+	if batch <= 0 || batch > c.cfg.MaxBatch {
+		return nil, fmt.Errorf("cluster: batch %d out of range [1, %d]", batch, c.cfg.MaxBatch)
+	}
+	if len(perTableRows) != mc.Tables {
+		return nil, fmt.Errorf("cluster: %d index lists for %d tables", len(perTableRows), mc.Tables)
+	}
+	lookups := batch * mc.Reduction
+	for t, rows := range perTableRows {
+		if len(rows) != lookups {
+			return nil, fmt.Errorf("cluster: table %d: %d rows for batch %d x reduction %d",
+				t, len(rows), batch, mc.Reduction)
+		}
+		for _, r := range rows {
+			if r < 0 || r >= mc.TableRows {
+				return nil, fmt.Errorf("cluster: table %d: row index %d out of range [0, %d)", t, r, mc.TableRows)
+			}
+		}
+	}
+	c.lookups.Add(uint64(mc.Tables * lookups))
+
+	// Route: resolve every lookup to a cache hit or a deduplicated slot in
+	// the owning shard's sub-request.
+	subs := make([]*subreq, c.cfg.Nodes)
+	hits := make([][][]float32, mc.Tables)
+	srcs := make([][]rowSrc, mc.Tables)
+	for t, rows := range perTableRows {
+		hits[t] = make([][]float32, lookups)
+		srcs[t] = make([]rowSrc, lookups)
+		for i, r := range rows {
+			s, flat := c.place.locate(t, r)
+			sh := c.shard[s]
+			if sh.cache != nil {
+				if vec, ok := sh.cache.get(flat); ok {
+					hits[t][i] = vec
+					continue
+				}
+			}
+			sub := subs[s]
+			if sub == nil {
+				sub = &subreq{pos: make(map[int]int)}
+				subs[s] = sub
+			}
+			j, ok := sub.pos[flat]
+			if !ok {
+				j = len(sub.rows)
+				sub.rows = append(sub.rows, flat)
+				sub.pos[flat] = j
+			}
+			srcs[t][i] = rowSrc{shard: int32(s), idx: int32(j)}
+		}
+	}
+
+	// Execute the per-shard sub-requests concurrently and model the fabric
+	// cost: index lists out, partial gathered rows back, both serializing
+	// at the router's port.
+	results := make([]*tensor.Tensor, c.cfg.Nodes)
+	errs := make([]error, c.cfg.Nodes)
+	fabricBytes := make([]int64, c.cfg.Nodes)
+	var wg sync.WaitGroup
+	for s, sub := range subs {
+		if sub == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, sub *subreq) {
+			defer wg.Done()
+			sh := c.shard[s]
+			n := len(sub.rows)
+			results[s], errs[s] = sh.srv.Embed([][]int{sub.rows}, n)
+			if errs[s] != nil {
+				return // a failed sub-request gathered and transferred nothing
+			}
+			idxBytes := int64(n) * 4
+			rowBytes := int64(n) * mc.EmbBytes()
+			sh.subRequests.Inc()
+			sh.rowsGathered.Add(uint64(n))
+			sh.indexBytes.Add(uint64(idxBytes))
+			sh.partialBytes.Add(uint64(rowBytes))
+			fabricBytes[s] = idxBytes + rowBytes
+		}(s, sub)
+	}
+	wg.Wait()
+	c.transfer.Observe(c.cfg.Fabric.ConvergeSeconds(fabricBytes))
+	for s, err := range errs {
+		if err != nil {
+			c.failures.Inc()
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+	}
+
+	// Feed the caches with the rows just gathered.
+	for s, sub := range subs {
+		if sub == nil || c.shard[s].cache == nil {
+			continue
+		}
+		for flat, j := range sub.pos {
+			c.shard[s].cache.put(flat, results[s].Row(j))
+		}
+	}
+
+	// Merge: reassemble each table's gathered rows in request order, then
+	// pool with the golden code path — bit-identical to Layer.Forward.
+	pooled := make([]*tensor.Tensor, mc.Tables)
+	for t := 0; t < mc.Tables; t++ {
+		g := tensor.New(lookups, mc.EmbDim)
+		for i := 0; i < lookups; i++ {
+			vec := hits[t][i]
+			if vec == nil {
+				src := srcs[t][i]
+				vec = results[src.shard].Row(int(src.idx))
+			}
+			copy(g.Row(i), vec)
+		}
+		var err error
+		switch {
+		case mc.Reduction == 1:
+			pooled[t] = g
+		case mc.Mean:
+			pooled[t], err = embed.Average(g, mc.Reduction)
+		default:
+			pooled[t], err = embed.Pool(g, mc.Reduction, mc.Op)
+		}
+		if err != nil {
+			c.failures.Inc()
+			return nil, fmt.Errorf("cluster: merge table %d: %w", t, err)
+		}
+	}
+	out, err := tensor.ConcatRows(pooled...)
+	if err == nil && !embedOnly {
+		out, err = c.model.InferFromEmbeddings(out)
+	}
+	if err != nil {
+		c.failures.Inc()
+		return nil, err
+	}
+	c.requests.Inc()
+	c.samples.Add(uint64(batch))
+	c.totalLat.Observe(time.Since(start).Seconds())
+	return out, nil
+}
+
+// GoldenEmbedding computes the single-node reference embedding output the
+// cluster's merge must match bit-for-bit.
+func (c *Cluster) GoldenEmbedding(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
+	return c.model.Embedding.Forward(perTableRows, batch)
+}
+
+// Nodes returns the shard count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Config returns the cluster's effective configuration (defaults filled).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Close stops accepting requests, shuts down every shard server (draining
+// whatever they already accepted) and releases the shard deployments. It
+// is idempotent.
+func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, sh := range c.shard {
+		if sh == nil || sh.srv == nil {
+			continue
+		}
+		if err := sh.srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tensordimm/internal/serve"
+	"tensordimm/internal/stats"
+)
+
+// ShardMetrics is a point-in-time snapshot of one shard's counters.
+type ShardMetrics struct {
+	Shard        int           // shard id
+	Tables       int           // global tables this shard holds a slice of
+	Rows         int           // flat local table height
+	SubRequests  uint64        // sub-requests routed here
+	RowsGathered uint64        // rows gathered near-memory (cache misses)
+	CacheHits    uint64        // lookups served from the hot-row cache
+	CacheMisses  uint64        // lookups that went to the gather path
+	CacheRows    int           // rows currently resident in the cache
+	HitRate      float64       // CacheHits / (CacheHits + CacheMisses)
+	PartialBytes uint64        // modeled bytes shipped shard -> router
+	IndexBytes   uint64        // modeled bytes shipped router -> shard
+	Serve        serve.Metrics // the shard server's own metrics
+}
+
+// Metrics is a point-in-time snapshot of the cluster's counters. All
+// latencies are in seconds.
+type Metrics struct {
+	Strategy Strategy      // sharding strategy in effect
+	Nodes    int           // shard count
+	Requests uint64        // cluster requests completed successfully
+	Samples  uint64        // samples across completed requests
+	Failures uint64        // requests completed with an error
+	Lookups  uint64        // individual (table, row) lookups routed
+	Uptime   time.Duration // time since New
+
+	// CacheHits and CacheMisses aggregate the per-shard hot-row caches;
+	// HitRate is their ratio (0 when caching is disabled).
+	CacheHits   uint64
+	CacheMisses uint64
+	HitRate     float64
+
+	// TransferBytes is the total modeled fabric traffic (index lists plus
+	// partial results); Transfer digests the modeled per-request fabric
+	// seconds (interconnect.Switch.ConvergeSeconds).
+	TransferBytes uint64
+	Transfer      stats.LatencySummary
+
+	// TotalLatency digests wall-clock submission-to-result seconds.
+	TotalLatency stats.LatencySummary
+
+	// Shards holds one entry per shard, including empty shards.
+	Shards []ShardMetrics
+}
+
+// Metrics snapshots every counter. Safe to call at any time, including
+// after Close and concurrently with Infer.
+func (c *Cluster) Metrics() Metrics {
+	m := Metrics{
+		Strategy:     c.cfg.Strategy,
+		Nodes:        c.cfg.Nodes,
+		Requests:     c.requests.Load(),
+		Samples:      c.samples.Load(),
+		Failures:     c.failures.Load(),
+		Lookups:      c.lookups.Load(),
+		Uptime:       time.Since(c.started),
+		Transfer:     c.transfer.Summary(),
+		TotalLatency: c.totalLat.Summary(),
+	}
+	for _, sh := range c.shard {
+		sm := ShardMetrics{
+			Shard:  sh.id,
+			Tables: c.place.tablesOn(sh.id),
+			Rows:   c.place.localRows[sh.id],
+		}
+		sm.SubRequests = sh.subRequests.Load()
+		sm.RowsGathered = sh.rowsGathered.Load()
+		sm.PartialBytes = sh.partialBytes.Load()
+		sm.IndexBytes = sh.indexBytes.Load()
+		if sh.cache != nil {
+			sm.CacheHits = sh.cache.hits.Load()
+			sm.CacheMisses = sh.cache.misses.Load()
+			sm.CacheRows = sh.cache.len()
+			sm.HitRate = stats.HitRate(sm.CacheHits, sm.CacheMisses)
+		}
+		if sh.srv != nil {
+			sm.Serve = sh.srv.Metrics()
+		}
+		m.CacheHits += sm.CacheHits
+		m.CacheMisses += sm.CacheMisses
+		m.TransferBytes += sm.PartialBytes + sm.IndexBytes
+		m.Shards = append(m.Shards, sm)
+	}
+	m.HitRate = stats.HitRate(m.CacheHits, m.CacheMisses)
+	return m
+}
+
+// String renders the metrics as a small report with a per-shard table.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d shards, %s sharding, up %s\n",
+		m.Nodes, m.Strategy, m.Uptime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "requests %d (%d samples, %d failures), %d lookups\n",
+		m.Requests, m.Samples, m.Failures, m.Lookups)
+	fmt.Fprintf(&b, "hot-row cache: %d hits / %d misses (hit rate %.1f%%)\n",
+		m.CacheHits, m.CacheMisses, 100*m.HitRate)
+	fmt.Fprintf(&b, "fabric: %s transferred, modeled per-request %s\n",
+		stats.FormatBytes(int64(m.TransferBytes)), m.Transfer)
+	fmt.Fprintf(&b, "total latency  %s\n", m.TotalLatency)
+	tbl := stats.Table{
+		Title:   "per shard",
+		Columns: []string{"shard", "tables", "rows", "subreqs", "gathered", "hits", "misses", "hit%", "partials"},
+	}
+	for _, s := range m.Shards {
+		tbl.AddRow(s.Shard, s.Tables, s.Rows, s.SubRequests, s.RowsGathered,
+			s.CacheHits, s.CacheMisses, fmt.Sprintf("%.1f", 100*s.HitRate),
+			stats.FormatBytes(int64(s.PartialBytes)))
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import "fmt"
+
+// Strategy selects how a model's embedding tables are split across the
+// cluster's shards.
+type Strategy int
+
+// Supported sharding strategies.
+const (
+	// TableWise assigns whole tables to shards round-robin (table t lives
+	// on shard t mod N). It is the default: per-table traffic stays on one
+	// node and the only cross-node data is each table's partial result.
+	TableWise Strategy = iota
+	// RowWise hash-partitions every table's rows across all shards (row r
+	// lives on shard r mod N), for tables too large for any single node.
+	// Every shard then holds a slice of every table and pooling groups span
+	// shards, so partial gathered rows cross the interconnect.
+	RowWise
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case TableWise:
+		return "table-wise"
+	case RowWise:
+		return "row-wise"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// placement maps every (table, row) coordinate of the full model onto a
+// shard and a row of that shard's flat local table. Each shard stores all
+// the rows it owns — from however many global tables — concatenated into
+// one flat gather-only table, so a sub-request is a single index list no
+// matter how many tables it touches.
+type placement struct {
+	strategy Strategy
+	nodes    int
+	tables   int
+	rows     int // rows per global table
+	// flatBase[s][t] is the first flat row of table t's slice on shard s,
+	// or -1 when shard s holds none of table t.
+	flatBase [][]int
+	// localRows[s] is the flat table height of shard s (0 = empty shard).
+	localRows []int
+}
+
+// newPlacement precomputes the shard layout for a model of `tables` tables
+// with `rows` rows each over `nodes` shards.
+func newPlacement(strategy Strategy, nodes, tables, rows int) *placement {
+	p := &placement{
+		strategy:  strategy,
+		nodes:     nodes,
+		tables:    tables,
+		rows:      rows,
+		flatBase:  make([][]int, nodes),
+		localRows: make([]int, nodes),
+	}
+	for s := range p.flatBase {
+		p.flatBase[s] = make([]int, tables)
+		for t := range p.flatBase[s] {
+			p.flatBase[s][t] = -1
+		}
+	}
+	switch strategy {
+	case TableWise:
+		for t := 0; t < tables; t++ {
+			s := t % nodes
+			p.flatBase[s][t] = p.localRows[s]
+			p.localRows[s] += rows
+		}
+	case RowWise:
+		for s := 0; s < nodes; s++ {
+			// Shard s owns rows s, s+N, s+2N, ... of every table:
+			// ceil((rows-s)/N) rows when s < rows, none otherwise.
+			count := 0
+			if s < rows {
+				count = (rows - s + nodes - 1) / nodes
+			}
+			for t := 0; t < tables; t++ {
+				if count == 0 {
+					continue
+				}
+				p.flatBase[s][t] = p.localRows[s]
+				p.localRows[s] += count
+			}
+		}
+	}
+	return p
+}
+
+// locate returns the shard owning (table, row) and the row's index in that
+// shard's flat local table.
+func (p *placement) locate(table, row int) (shard, flat int) {
+	switch p.strategy {
+	case RowWise:
+		s := row % p.nodes
+		return s, p.flatBase[s][table] + row/p.nodes
+	default: // TableWise
+		s := table % p.nodes
+		return s, p.flatBase[s][table] + row
+	}
+}
+
+// tablesOn returns how many global tables shard s holds a slice of.
+func (p *placement) tablesOn(s int) int {
+	n := 0
+	for _, base := range p.flatBase[s] {
+		if base >= 0 {
+			n++
+		}
+	}
+	return n
+}

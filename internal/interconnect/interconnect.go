@@ -81,3 +81,24 @@ func (s Switch) TransferSeconds(bytes int64) float64 {
 func (s Switch) BisectionGBs() float64 {
 	return float64(s.Ports) / 2 * s.PortLink.BandwidthGBs
 }
+
+// ConvergeSeconds returns the time for several concurrent transfers — one
+// per element of bytes, each from a distinct source port — to converge on a
+// single destination port. The sources inject in parallel (the crossbar is
+// non-blocking), so the destination port's bandwidth is the bottleneck: the
+// payloads serialize there, while the fixed DMA-setup and switch-hop
+// latencies of the sources overlap and are charged once. Zero-byte entries
+// (shards not participating in a request) cost nothing; an all-empty list
+// returns 0.
+func (s Switch) ConvergeSeconds(bytes []int64) float64 {
+	var total int64
+	for _, b := range bytes {
+		if b > 0 {
+			total += b
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return s.TransferSeconds(total)
+}

@@ -91,3 +91,33 @@ func TestQuickTransferMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestConvergeSeconds(t *testing.T) {
+	sw := NVSwitch(4)
+	if got := sw.ConvergeSeconds(nil); got != 0 {
+		t.Fatalf("empty converge = %g, want 0", got)
+	}
+	if got := sw.ConvergeSeconds([]int64{0, 0, -5}); got != 0 {
+		t.Fatalf("all-idle converge = %g, want 0", got)
+	}
+	// Payloads serialize at the destination port: the cost equals one
+	// switch transfer of the summed bytes, and is strictly less than the
+	// sum of independent transfers (fixed costs charged once, not thrice).
+	parts := []int64{1 << 20, 2 << 20, 4 << 20}
+	got := sw.ConvergeSeconds(parts)
+	want := sw.TransferSeconds(7 << 20)
+	if got != want {
+		t.Fatalf("converge = %g, want one summed transfer %g", got, want)
+	}
+	var sum float64
+	for _, b := range parts {
+		sum += sw.TransferSeconds(b)
+	}
+	if got >= sum {
+		t.Fatalf("converge %g not cheaper than serial transfers %g", got, sum)
+	}
+	// Idle sources cost nothing extra.
+	if with := sw.ConvergeSeconds([]int64{1 << 20, 0, 2 << 20, 0, 4 << 20}); with != got {
+		t.Fatalf("idle sources changed the cost: %g vs %g", with, got)
+	}
+}

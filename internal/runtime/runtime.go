@@ -48,8 +48,10 @@ type scratchLane struct {
 // number of concurrent batches in flight is bounded by the deployment's
 // slots and the per-table parallelism within a batch by its lanes.
 type Deployment struct {
+	// Model is the deployed recommender (golden tables plus MLP).
 	Model *recsys.Model
-	Node  *node.Node
+	// Node is the TensorNode pool holding the uploaded tables and scratch.
+	Node *node.Node
 
 	tableBase []uint64 // pool byte address of each table
 	stripes   int      // stripes per embedding (k)

@@ -37,24 +37,50 @@ import (
 )
 
 // Config tunes the serving runtime. The zero value of every field selects a
-// sensible default at New.
+// sensible default at New; negative values are invalid and rejected by New
+// (they are never silently replaced by a default, so a sign bug in a caller
+// surfaces as an error instead of a 200us deadline).
 type Config struct {
 	// MaxBatch caps how many samples one merged embedding execution may
-	// carry. Defaults to the smallest MaxBatch of the deployments.
+	// carry. Zero defaults to the smallest MaxBatch of the deployments;
+	// negative is invalid.
 	MaxBatch int
 	// MaxDelay bounds how long the oldest request of a forming batch waits
-	// for co-riders before the batch is dispatched anyway. Defaults to
+	// for co-riders before the batch is dispatched anyway. Zero defaults to
 	// 200us — far below a recommender's latency SLO, long enough to
-	// coalesce under load.
+	// coalesce under load. Negative is invalid: a negative deadline would
+	// make every timer fire immediately, silently disabling micro-batching.
 	MaxDelay time.Duration
-	// Workers is the number of merged batches executed concurrently.
-	// Defaults to the total execution slots across the deployments.
+	// Workers is the number of merged batches executed concurrently. Zero
+	// defaults to the total execution slots across the deployments;
+	// negative is invalid.
 	Workers int
 	// QueueDepth is the submission queue capacity; submissions beyond it
-	// block. Defaults to 256.
+	// block. Zero defaults to 256; negative is invalid.
 	QueueDepth int
 }
 
+// validate rejects negative settings. Zero values are legal (they select
+// defaults in withDefaults); anything below zero is a caller bug.
+func (c Config) validate() error {
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("serve: MaxBatch %d is negative (use 0 for the default)", c.MaxBatch)
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("serve: MaxDelay %v is negative (use 0 for the 200us default)", c.MaxDelay)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("serve: Workers %d is negative (use 0 for the default)", c.Workers)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("serve: QueueDepth %d is negative (use 0 for the default)", c.QueueDepth)
+	}
+	return nil
+}
+
+// withDefaults fills every zero field with its documented default. It must
+// run after validate: it only ever replaces exact zeros, so a negative
+// value would otherwise leak through to the batcher's timer.
 func (c Config) withDefaults(deps []*runtime.Deployment) Config {
 	if c.MaxBatch == 0 {
 		c.MaxBatch = deps[0].MaxBatch()
@@ -143,13 +169,12 @@ func New(cfg Config, deps ...*runtime.Deployment) (*Server, error) {
 			return nil, fmt.Errorf("serve: deployment %d serves a different model geometry than deployment 0", i+1)
 		}
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults(deps)
 	if cfg.MaxBatch <= 0 {
 		return nil, fmt.Errorf("serve: MaxBatch must be positive")
-	}
-	if cfg.Workers <= 0 || cfg.QueueDepth <= 0 || cfg.MaxDelay <= 0 {
-		return nil, fmt.Errorf("serve: Workers (%d), QueueDepth (%d) and MaxDelay (%v) must be positive",
-			cfg.Workers, cfg.QueueDepth, cfg.MaxDelay)
 	}
 	for i, d := range deps {
 		if d.MaxBatch() < cfg.MaxBatch {
@@ -366,11 +391,11 @@ func (s *Server) Close() error {
 // Metrics is a point-in-time snapshot of the server's counters and latency
 // percentiles. All latencies are in seconds.
 type Metrics struct {
-	Requests uint64 // completed successfully
-	Samples  uint64 // total samples across completed requests
-	Batches  uint64 // merged executions
-	Failures uint64 // requests completed with an error
-	Uptime   time.Duration
+	Requests uint64        // completed successfully
+	Samples  uint64        // total samples across completed requests
+	Batches  uint64        // merged executions
+	Failures uint64        // requests completed with an error
+	Uptime   time.Duration // time since New
 
 	// MeanBatch is the average merged execution size in samples — the
 	// coalescing factor micro-batching achieved.

@@ -336,9 +336,20 @@ func TestNewRejectsNegativeConfig(t *testing.T) {
 		{Workers: -1},
 		{QueueDepth: -1},
 		{MaxDelay: -time.Millisecond},
+		{MaxBatch: -1},
 	} {
 		if _, err := New(bad, d); err == nil {
 			t.Fatalf("config %+v: want error, got server", bad)
 		}
+	}
+	// The documented zero-value behavior: MaxDelay 0 selects the 200us
+	// default rather than an always-expired batching timer.
+	s, err := New(Config{}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.cfg.MaxDelay != 200*time.Microsecond {
+		t.Fatalf("zero MaxDelay defaulted to %v, want 200us", s.cfg.MaxDelay)
 	}
 }

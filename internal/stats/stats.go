@@ -12,7 +12,32 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
+
+// Counter is a monotonically increasing, concurrency-safe event counter —
+// cache hits and misses, routed sub-requests, transferred bytes. The zero
+// value is ready to use.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.n.Load() }
+
+// HitRate returns hits/(hits+misses), or 0 when nothing was counted, so
+// cache reports never divide by zero.
+func HitRate(hits, misses uint64) float64 {
+	total := hits + misses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
 
 // Geomean returns the geometric mean of xs (NaN for empty or non-positive
 // input, which always indicates a driver bug).

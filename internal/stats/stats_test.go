@@ -197,3 +197,31 @@ func TestLatencyReservoirBounded(t *testing.T) {
 		t.Fatalf("sampled p50 = %v, true %v", s.P50, trueP50)
 	}
 }
+
+func TestCounterAndHitRate(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatal("zero value must read 0")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1010 {
+		t.Fatalf("count = %d, want %d", got, 8*1010)
+	}
+	if HitRate(0, 0) != 0 {
+		t.Fatal("empty hit rate must be 0")
+	}
+	if got := HitRate(3, 1); got != 0.75 {
+		t.Fatalf("HitRate(3,1) = %g, want 0.75", got)
+	}
+}

@@ -87,6 +87,37 @@ func (g *Generator) Gather(l Layout, indices []int) []dram.Request {
 	return reqs
 }
 
+// GatherCached emits the transaction stream of a GATHER filtered through a
+// hot-row cache (the RecNMP-style rank-level cache the cluster layer places
+// in front of each shard): the index blocks are always read, but table-row
+// reads and gather-output writes are emitted only for indices the cache
+// misses (cached(idx) == false). Cache hits are served from buffer-device
+// SRAM and generate no DRAM traffic, which is exactly the bandwidth relief
+// a skewed trace buys — replay the returned stream through internal/dram to
+// measure it.
+func (g *Generator) GatherCached(l Layout, indices []int, cached func(int) bool) []dram.Request {
+	eb := g.EmbBlocks()
+	reqs := make([]dram.Request, 0, len(indices)*(2*eb)+len(indices)/isa.LanesPerBlock+1)
+	nIdxBlocks := (len(indices) + isa.LanesPerBlock - 1) / isa.LanesPerBlock
+	for i := 0; i < nIdxBlocks; i++ {
+		reqs = append(reqs, dram.Request{Phys: l.IndexBase + uint64(i)*isa.BlockBytes})
+	}
+	out := 0 // misses pack contiguously in the gather output
+	for _, idx := range indices {
+		if cached != nil && cached(idx) {
+			continue
+		}
+		rowBase := l.TableBase + uint64(idx)*uint64(g.EmbBytes)
+		outBase := l.GatherOut + uint64(out)*uint64(g.EmbBytes)
+		out++
+		for b := 0; b < eb; b++ {
+			reqs = append(reqs, dram.Request{Phys: rowBase + uint64(b)*isa.BlockBytes})
+			reqs = append(reqs, dram.Request{Phys: outBase + uint64(b)*isa.BlockBytes, Write: true})
+		}
+	}
+	return reqs
+}
+
 // Reduce emits the stream of one REDUCE instruction over tensors of the
 // given number of embeddings: read A and B interleaved, write the result.
 func (g *Generator) Reduce(l Layout, embeddings int) []dram.Request {

@@ -268,3 +268,47 @@ func TestScatterAddCounts(t *testing.T) {
 		t.Fatalf("scatter-add: %d reads %d writes, want %d/%d", reads, writes, wantReads, 32*eb)
 	}
 }
+
+// GatherCached must emit all index-block reads but table-row reads and
+// output writes only for cache misses, with miss outputs packed
+// contiguously from GatherOut.
+func TestGatherCachedFiltersHits(t *testing.T) {
+	g, err := NewGenerator(256, 64) // 4 blocks per embedding
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := g.DefaultLayout(1, 64)
+	indices := []int{5, 9, 5, 33, 9, 7}
+	hot := map[int]bool{5: true, 9: true}
+	reqs := g.GatherCached(l, indices, func(i int) bool { return hot[i] })
+	eb := g.EmbBlocks()
+	misses := 2 // 33 and 7 (occurrences of 5 and 9 are all hits)
+	wantReads := 1 /* index block */ + misses*eb
+	wantWrites := misses * eb
+	reads, writes := 0, 0
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads != wantReads || writes != wantWrites {
+		t.Fatalf("reads %d writes %d, want %d and %d", reads, writes, wantReads, wantWrites)
+	}
+	// Miss outputs pack contiguously: the first write lands at GatherOut.
+	for _, r := range reqs {
+		if r.Write {
+			if r.Phys != l.GatherOut {
+				t.Fatalf("first output write at %#x, want %#x", r.Phys, l.GatherOut)
+			}
+			break
+		}
+	}
+	// A nil predicate degenerates to a plain Gather stream.
+	plain := g.Gather(l, indices)
+	unfiltered := g.GatherCached(l, indices, nil)
+	if len(plain) != len(unfiltered) {
+		t.Fatalf("nil predicate: %d requests, want %d", len(unfiltered), len(plain))
+	}
+}

@@ -141,3 +141,66 @@ func TestQuickRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestZipfGeneratorValidation(t *testing.T) {
+	if _, err := NewZipfGenerator(0, 0.9, 1); err == nil {
+		t.Fatal("want error for zero rows")
+	}
+	if _, err := NewZipfGenerator(100, 0, 1); err == nil {
+		t.Fatal("want error for non-positive exponent")
+	}
+	if _, err := NewZipfGenerator(100, -1, 1); err == nil {
+		t.Fatal("want error for negative exponent")
+	}
+}
+
+// The inverse-CDF sampler must be deterministic per seed, stay in range,
+// and actually skew: under Zipf(0.9) the hottest decile of rows must carry
+// well over half the draws (the analytical top-10% mass at s=0.9 over
+// 1000 rows is ~66%).
+func TestZipfGeneratorSkew(t *testing.T) {
+	const rows, draws = 1000, 20000
+	g1, err := NewZipfGenerator(rows, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewZipfGenerator(rows, 0.9, 7)
+	hot := 0
+	for i := 0; i < draws; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, a, b)
+		}
+		if a < 0 || a >= rows {
+			t.Fatalf("draw %d out of range: %d", i, a)
+		}
+		if a < rows/10 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if frac < 0.55 || frac > 0.8 {
+		t.Fatalf("top-decile mass %.2f outside the expected Zipf(0.9) band", frac)
+	}
+}
+
+// A steeper exponent concentrates more mass on the hottest rows.
+func TestZipfGeneratorExponentOrdering(t *testing.T) {
+	const rows, draws = 1000, 20000
+	mass := func(s float64) float64 {
+		g, err := NewZipfGenerator(rows, s, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if g.Next() < rows/20 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	if m5, m12 := mass(0.5), mass(1.2); m5 >= m12 {
+		t.Fatalf("Zipf(0.5) top-5%% mass %.2f >= Zipf(1.2) mass %.2f", m5, m12)
+	}
+}

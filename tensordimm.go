@@ -48,6 +48,7 @@
 package tensordimm
 
 import (
+	"tensordimm/internal/cluster"
 	"tensordimm/internal/core"
 	"tensordimm/internal/embed"
 	"tensordimm/internal/experiments"
@@ -97,6 +98,17 @@ type (
 	ServeConfig = serve.Config
 	// ServeMetrics is a snapshot of serving throughput and latency.
 	ServeMetrics = serve.Metrics
+	// Cluster is a sharded multi-node serving system with hot-row caching.
+	Cluster = cluster.Cluster
+	// ClusterConfig sizes a cluster (nodes, strategy, caches, fabric).
+	ClusterConfig = cluster.Config
+	// ClusterMetrics is a snapshot of cluster routing, cache and fabric
+	// counters.
+	ClusterMetrics = cluster.Metrics
+	// ShardMetrics is one shard's slice of ClusterMetrics.
+	ShardMetrics = cluster.ShardMetrics
+	// ShardStrategy selects table-wise or row-wise sharding.
+	ShardStrategy = cluster.Strategy
 )
 
 // The five design points (Section 6).
@@ -112,6 +124,14 @@ const (
 const (
 	Uniform = workload.Uniform
 	Zipfian = workload.Zipfian
+)
+
+// Sharding strategies for NewCluster.
+const (
+	// TableWise places whole tables on shards round-robin (the default).
+	TableWise = cluster.TableWise
+	// RowWise hash-partitions every table's rows across all shards.
+	RowWise = cluster.RowWise
 )
 
 // NewNode builds a TensorNode with the given number of TensorDIMMs, each
@@ -155,10 +175,26 @@ func NewServer(cfg ServeConfig, deps ...*Deployment) (*Server, error) {
 	return serve.New(cfg, deps...)
 }
 
+// NewCluster shards a model across cfg.Nodes TensorNodes with per-shard
+// hot-row caches and a modeled NVSwitch fabric. Submit with Infer/Embed
+// from any goroutine; merged outputs are bit-identical to a single-node
+// deployment. Close the cluster to stop the shard servers and release
+// their pools.
+func NewCluster(m *Model, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(m, cfg)
+}
+
 // NewWorkload returns a deterministic index generator over tables of `rows`
 // rows with the given popularity distribution.
 func NewWorkload(rows int, dist workload.Distribution, seed int64) (*WorkloadGenerator, error) {
 	return workload.NewGenerator(rows, dist, seed)
+}
+
+// NewZipfWorkload returns a deterministic index generator drawing from a
+// Zipf distribution with exponent s (any s > 0, including the production
+// fit s = 0.9) over tables of `rows` rows.
+func NewZipfWorkload(rows int, s float64, seed int64) (*WorkloadGenerator, error) {
+	return workload.NewZipfGenerator(rows, s, seed)
 }
 
 // DefaultPlatform returns the paper's evaluation platform: DGX-class host,

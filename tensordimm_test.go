@@ -95,3 +95,50 @@ func TestPublicExperiments(t *testing.T) {
 		t.Fatal("want error for unknown experiment")
 	}
 }
+
+// TestPublicClusterAPI exercises the sharded multi-node surface: shard a
+// model row-wise across 3 nodes with hot-row caches, serve a skewed
+// workload, and verify bit-identity with the single-model golden path.
+func TestPublicClusterAPI(t *testing.T) {
+	cfg := tensordimm.YouTube()
+	cfg.TableRows = 301
+	cfg.EmbDim = 128
+	cfg.Reduction = 5
+	cfg.Hidden = []int{32, 16, 8, 4}
+	model, err := tensordimm.BuildModel(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := tensordimm.NewCluster(model, tensordimm.ClusterConfig{
+		Nodes:      3,
+		Strategy:   tensordimm.RowWise,
+		CacheBytes: 64 << 10,
+		MaxBatch:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	gen, err := tensordimm.NewZipfWorkload(cfg.TableRows, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		indices := gen.Batch(cfg.Tables, 4, cfg.Reduction)
+		got, err := cl.Infer(indices, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := model.Infer(indices, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(got, want) {
+			t.Fatalf("iter %d: cluster inference differs from software model", i)
+		}
+	}
+	m := cl.Metrics()
+	if m.Requests != 4 || m.CacheHits+m.CacheMisses != m.Lookups {
+		t.Fatalf("cluster metrics malformed: %+v", m)
+	}
+}
