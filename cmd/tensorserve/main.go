@@ -9,18 +9,25 @@
 // each fronted by an optional hot-row cache, and the report adds per-shard
 // sub-request, cache hit/miss and modeled fabric-transfer counters.
 //
+// With -update-frac F, that fraction of arrivals are SCATTER_ADD
+// gradient-update batches instead of inferences; the report then includes
+// update counts and (in cluster mode) per-shard update and cache
+// invalidation counters.
+//
 // Usage:
 //
 //	tensorserve                                  # YouTube-class model, defaults
 //	tensorserve -model facebook -rate 500 -duration 3s
 //	tensorserve -model ncf -batch 4 -maxbatch 32 -workers 2
 //	tensorserve -nodes 4 -shard row -cache-mb 4 -zipf -zipf-s 0.9
+//	tensorserve -nodes 4 -cache-mb 4 -zipf -update-frac 0.2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"strings"
 	"sync"
@@ -44,6 +51,7 @@ func main() {
 		zipf      = flag.Bool("zipf", false, "draw Zipfian (skewed) lookup indices instead of uniform")
 		zipfS     = flag.Float64("zipf-s", 1.2, "Zipf exponent for -zipf (0.9 matches production skew fits)")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		updFrac   = flag.Float64("update-frac", 0, "fraction of requests that are SCATTER_ADD gradient updates (0..1)")
 
 		nodes   = flag.Int("nodes", 1, "TensorNode shards; >1 selects cluster mode")
 		shard   = flag.String("shard", "table", "cluster sharding: table (whole tables round-robin) or row (rows hashed across shards)")
@@ -85,20 +93,25 @@ func main() {
 		dist = fmt.Sprintf("zipf(%.2g)", *zipfS)
 	}
 
+	if *updFrac < 0 || *updFrac > 1 {
+		fmt.Fprintf(os.Stderr, "tensorserve: -update-frac %g must be in [0, 1]\n", *updFrac)
+		os.Exit(2)
+	}
+
 	if *nodes > 1 {
 		runCluster(model, cfg, gen, dist, *nodes, *shard, *cacheMB,
-			*dimms, *batch, *rate, *duration, *maxBatch, *maxDelay, *workers)
+			*dimms, *batch, *rate, *duration, *maxBatch, *maxDelay, *workers, *updFrac, *seed)
 		return
 	}
 	runSingle(model, cfg, gen, dist,
-		*dimms, *batch, *rate, *duration, *maxBatch, *maxDelay, *workers)
+		*dimms, *batch, *rate, *duration, *maxBatch, *maxDelay, *workers, *updFrac, *seed)
 }
 
 // runSingle drives one TensorNode behind a batched server (the PR 1 path).
 func runSingle(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 	gen *tensordimm.WorkloadGenerator, dist string,
 	dimms, batch int, rate float64, duration time.Duration,
-	maxBatch int, maxDelay time.Duration, workers int) {
+	maxBatch int, maxDelay time.Duration, workers int, updFrac float64, seed int64) {
 
 	// Size the pool: tables + per-lane gather scratch + per-slot outputs,
 	// with 2x slack for allocator alignment.
@@ -131,7 +144,7 @@ func runSingle(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 	fmt.Printf("server: maxBatch %d, deadline %v, %d workers, %d lanes\n",
 		maxBatch, maxDelay, workers, lanes)
 
-	offered := offerLoad(cfg, gen, dist, batch, rate, duration, srv.Infer)
+	offered := offerLoad(cfg, gen, dist, batch, rate, duration, updFrac, seed, srv.Infer, srv.Update)
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}
@@ -150,7 +163,7 @@ func runCluster(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 	gen *tensordimm.WorkloadGenerator, dist string,
 	nodes int, shard string, cacheMB float64,
 	dimms, batch int, rate float64, duration time.Duration,
-	maxBatch int, maxDelay time.Duration, workers int) {
+	maxBatch int, maxDelay time.Duration, workers int, updFrac float64, seed int64) {
 
 	var strategy tensordimm.ShardStrategy
 	switch strings.ToLower(shard) {
@@ -179,7 +192,7 @@ func runCluster(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 	fmt.Printf("shards: maxBatch %d samples/request, deadline %v, %d workers each\n",
 		maxBatch, maxDelay, workers)
 
-	offered := offerLoad(cfg, gen, dist, batch, rate, duration, cl.Infer)
+	offered := offerLoad(cfg, gen, dist, batch, rate, duration, updFrac, seed, cl.Infer, cl.ApplyUpdates)
 	if err := cl.Close(); err != nil {
 		log.Fatal(err)
 	}
@@ -192,16 +205,22 @@ func runCluster(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 
 // offerLoad submits requests open loop on an absolute schedule: arrival n
 // is due at start + n/rate, and late arrivals fire immediately in a
-// catch-up burst, so a slow server cannot throttle the offered load. Each
+// catch-up burst, so a slow server cannot throttle the offered load. With
+// updFrac > 0 that fraction of arrivals are SCATTER_ADD gradient-update
+// batches (batch rows against one random table) instead of inferences —
+// the asynchronous-training traffic an online recommender serves. Each
 // request runs in its own goroutine; indices are drawn in the arrival loop
 // (the generator is sequential). Returns the number of requests offered.
 func offerLoad(cfg tensordimm.ModelConfig, gen *tensordimm.WorkloadGenerator,
 	dist string, batch int, rate float64, duration time.Duration,
-	infer func([][]int, int) (*tensordimm.Tensor, error)) int {
+	updFrac float64, seed int64,
+	infer func([][]int, int) (*tensordimm.Tensor, error),
+	update func([]tensordimm.TableUpdate) error) int {
 
-	fmt.Printf("offering %.0f req/s x %v, batch %d, %s indices (open loop)\n\n",
-		rate, duration, batch, dist)
+	fmt.Printf("offering %.0f req/s x %v, batch %d, %s indices, %.0f%% updates (open loop)\n\n",
+		rate, duration, batch, dist, 100*updFrac)
 	interval := float64(time.Second) / rate
+	rng := rand.New(rand.NewSource(seed))
 	start := time.Now()
 	var wg sync.WaitGroup
 	var submitErr error
@@ -215,14 +234,30 @@ func offerLoad(cfg tensordimm.ModelConfig, gen *tensordimm.WorkloadGenerator,
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
-		rows := gen.Batch(cfg.Tables, batch, cfg.Reduction)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if _, err := infer(rows, batch); err != nil {
-				errOnce.Do(func() { submitErr = err })
+		if rng.Float64() < updFrac {
+			urows := gen.Indices(batch)
+			grads := tensordimm.NewTensor(len(urows), cfg.EmbDim)
+			for i := range grads.Data() {
+				grads.Data()[i] = rng.Float32()*0.02 - 0.01
 			}
-		}()
+			ups := []tensordimm.TableUpdate{{Table: rng.Intn(cfg.Tables), Rows: urows, Grads: grads}}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := update(ups); err != nil {
+					errOnce.Do(func() { submitErr = err })
+				}
+			}()
+		} else {
+			rows := gen.Batch(cfg.Tables, batch, cfg.Reduction)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := infer(rows, batch); err != nil {
+					errOnce.Do(func() { submitErr = err })
+				}
+			}()
+		}
 		offered++
 	}
 	wg.Wait()

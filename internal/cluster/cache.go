@@ -18,16 +18,27 @@ import (
 // entry); the map/list bookkeeping is not counted against the budget.
 // All methods are safe for concurrent use; hit and miss counts are exposed
 // as stats.Counters so reports can read them without taking the lock.
+//
+// Coherence. Online updates mutate shard tables underneath the cache, so
+// the cache carries a version counter: invalidate removes the updated rows
+// and bumps the version atomically, and putAt drops any insert whose
+// caller-side snapshot predates the bump. A reader that gathered a row
+// before an update therefore can never park the stale value in the cache
+// after the update's invalidation pass — without the version check the
+// read-gather / update-invalidate / read-put interleaving would cache
+// pre-update data forever.
 type rowCache struct {
 	mu       sync.Mutex
 	capBytes int64
 	rowBytes int64
 	used     int64
+	version  uint64     // bumped by every invalidate, guarded by mu
 	order    *list.List // front = most recently used
 	items    map[int]*list.Element
 
-	hits   stats.Counter
-	misses stats.Counter
+	hits          stats.Counter
+	misses        stats.Counter
+	invalidations stats.Counter
 }
 
 // cacheEntry is one resident row.
@@ -71,12 +82,61 @@ func (c *rowCache) get(row int) ([]float32, bool) {
 	return vec, true
 }
 
+// snapshot returns the cache's current version for a later putAt. Callers
+// take it before dispatching the gathers whose results they intend to
+// cache.
+func (c *rowCache) snapshot() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// putAt is put conditioned on the version still matching the caller's
+// snapshot: if any invalidation happened since, the row being inserted may
+// predate an update and is dropped.
+func (c *rowCache) putAt(row int, vec []float32, ver uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version != ver {
+		return
+	}
+	c.insert(row, vec)
+}
+
+// invalidate removes the given flat rows (if resident) and bumps the cache
+// version so every in-flight putAt taken before this call is dropped. It
+// returns how many resident rows were actually removed; the count is also
+// added to the invalidations counter.
+func (c *rowCache) invalidate(rows []int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	n := 0
+	for _, row := range rows {
+		el, ok := c.items[row]
+		if !ok {
+			continue
+		}
+		c.order.Remove(el)
+		delete(c.items, row)
+		c.used -= c.rowBytes
+		n++
+	}
+	c.invalidations.Add(uint64(n))
+	return n
+}
+
 // put inserts a private copy of vec for a flat row, evicting least recently
 // used rows until the byte budget holds. Re-inserting a resident row only
 // refreshes its recency.
 func (c *rowCache) put(row int, vec []float32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.insert(row, vec)
+}
+
+// insert is the lock-held body of put/putAt.
+func (c *rowCache) insert(row int, vec []float32) {
 	if el, ok := c.items[row]; ok {
 		c.order.MoveToFront(el)
 		return

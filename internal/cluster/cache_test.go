@@ -3,6 +3,10 @@ package cluster
 import (
 	"sync"
 	"testing"
+
+	"tensordimm/internal/isa"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/tensor"
 )
 
 func vec(dim int, v float32) []float32 {
@@ -67,6 +71,138 @@ func TestRowCachePutCopies(t *testing.T) {
 	c.put(7, vec(dim, 2))
 	if c.len() != 1 {
 		t.Fatalf("re-insert grew the cache to %d rows", c.len())
+	}
+}
+
+// TestRowCacheExactBudgetFill pins the eviction boundary arithmetic: a
+// budget of exactly k rows holds k rows with zero evictions, the (k+1)th
+// insert evicts exactly one, and a budget that is not a whole multiple of
+// the row size only holds the whole rows that fit.
+func TestRowCacheExactBudgetFill(t *testing.T) {
+	const dim = 16 // 64 B per row
+	c := newRowCache(4*64, dim)
+	for r := 0; r < 4; r++ {
+		c.put(r, vec(dim, float32(r)))
+	}
+	if c.len() != 4 || c.used != 4*64 {
+		t.Fatalf("exact fill: %d rows, %d bytes used", c.len(), c.used)
+	}
+	for r := 0; r < 4; r++ { // nothing was evicted at exactly-full
+		if _, ok := c.get(r); !ok {
+			t.Fatalf("row %d evicted at exact budget", r)
+		}
+	}
+	c.put(4, vec(dim, 4))
+	if c.len() != 4 || c.used != 4*64 {
+		t.Fatalf("overflow by one: %d rows, %d bytes used", c.len(), c.used)
+	}
+	if _, ok := c.get(0); ok {
+		t.Fatal("LRU row 0 should have been the single eviction")
+	}
+
+	// A fractional budget (3.5 rows) holds only 3 whole rows.
+	c = newRowCache(3*64+32, dim)
+	for r := 0; r < 4; r++ {
+		c.put(r, vec(dim, float32(r)))
+	}
+	if c.len() != 3 || c.used != 3*64 {
+		t.Fatalf("fractional budget: %d rows, %d bytes used", c.len(), c.used)
+	}
+}
+
+// TestRowCacheZeroBudget covers the disabled-cache contract end to end: a
+// zero (or sub-row) budget yields a nil cache, and the cluster treats a
+// nil cache as "no caching" on both the read and the write path.
+func TestRowCacheZeroBudget(t *testing.T) {
+	if c := newRowCache(0, 16); c != nil {
+		t.Fatal("zero budget must disable the cache")
+	}
+	// A cacheless cluster still serves updates and reads correctly.
+	mc := testConfig(2, 1, 64, false, isa.RAdd)
+	c, _ := buildCluster(t, mc, Config{Nodes: 2}) // CacheBytes 0
+	rows := [][]int{{0, 1}, {2, 3}}
+	if _, err := c.Embed(rows, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := tensor.New(1, mc.EmbDim)
+	g.Fill(0.5)
+	if err := c.ApplyUpdates([]runtime.TableUpdate{{Table: 0, Rows: []int{1}, Grads: g}}); err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.CacheHits != 0 || m.CacheMisses != 0 || m.Invalidations != 0 {
+		t.Fatalf("cacheless cluster recorded cache traffic: %+v", m)
+	}
+	got, err := c.Embed(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.GoldenEmbedding(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, want) {
+		t.Fatal("cacheless post-update embed differs from golden")
+	}
+}
+
+// TestRowCacheInvalidateMidLRU removes an entry from the middle of the LRU
+// order and checks residency, byte accounting, the invalidation counter,
+// and that later eviction order is unaffected by the hole.
+func TestRowCacheInvalidateMidLRU(t *testing.T) {
+	const dim = 16
+	c := newRowCache(3*64, dim)
+	for r := 0; r < 3; r++ {
+		c.put(r, vec(dim, float32(r)))
+	}
+	// LRU order (old -> new): 0, 1, 2. Invalidate the middle entry plus a
+	// non-resident row; only the resident one counts.
+	if n := c.invalidate([]int{1, 77}); n != 1 {
+		t.Fatalf("invalidate removed %d rows, want 1", n)
+	}
+	if c.invalidations.Load() != 1 {
+		t.Fatalf("invalidations counter = %d, want 1", c.invalidations.Load())
+	}
+	if c.len() != 2 || c.used != 2*64 {
+		t.Fatalf("after invalidate: %d rows, %d bytes used", c.len(), c.used)
+	}
+	if _, ok := c.get(1); ok {
+		t.Fatal("invalidated row still resident")
+	}
+	// The freed budget admits a new row without evicting anything.
+	c.put(3, vec(dim, 3))
+	if c.len() != 3 {
+		t.Fatalf("after refill: %d rows, want 3", c.len())
+	}
+	for _, r := range []int{0, 2, 3} {
+		if _, ok := c.get(r); !ok {
+			t.Fatalf("row %d should be resident", r)
+		}
+	}
+	// Overflow now evicts the oldest survivor (row 0), not the hole.
+	c.put(4, vec(dim, 4))
+	if _, ok := c.get(0); ok {
+		t.Fatal("row 0 should be the next eviction after the mid-LRU hole")
+	}
+}
+
+// TestRowCacheVersionHandshake pins the coherence mechanism: a putAt with
+// a snapshot taken before an invalidation must be dropped, one taken after
+// must land.
+func TestRowCacheVersionHandshake(t *testing.T) {
+	const dim = 16
+	c := newRowCache(1024, dim)
+	ver := c.snapshot()
+	c.invalidate([]int{5}) // nothing resident: still bumps the version
+	c.putAt(5, vec(dim, 1), ver)
+	if _, ok := c.get(5); ok {
+		t.Fatal("stale putAt landed after invalidation")
+	}
+	ver = c.snapshot()
+	c.putAt(5, vec(dim, 2), ver)
+	got, ok := c.get(5)
+	if !ok || got[0] != 2 {
+		t.Fatal("fresh putAt should land")
 	}
 }
 

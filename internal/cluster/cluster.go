@@ -36,6 +36,16 @@
 // entirely, so shards return raw gathered rows. The near-memory cores
 // still perform the gathers — the bandwidth-dominant stage — while the
 // cache absorbs the transfer inflation on skewed traffic.
+//
+// Online updates (ApplyUpdates) reuse the same routing: an update's rows
+// split by placement into per-shard sub-updates that SCATTER_ADD
+// near-memory through each shard's server, the golden model absorbs the
+// same gradients write-through, and the scattered rows are invalidated
+// from the shard caches. Per-table locks serialize same-table updates
+// (float accumulation order is part of the bit-identity contract), and a
+// cache version handshake (rowCache.snapshot / putAt / invalidate) keeps a
+// concurrent reader from parking a pre-update row in a cache after the
+// update's invalidation pass.
 package cluster
 
 import (
@@ -119,6 +129,9 @@ type shard struct {
 	rowsGathered stats.Counter
 	partialBytes stats.Counter // gathered rows shipped shard -> router
 	indexBytes   stats.Counter // index lists shipped router -> shard
+	subUpdates   stats.Counter // sub-updates routed here
+	rowsUpdated  stats.Counter // gradient rows scattered near-memory
+	updateBytes  stats.Counter // indices + gradients shipped router -> shard
 }
 
 // Cluster is a sharded multi-node serving system for one recommender
@@ -130,14 +143,24 @@ type Cluster struct {
 	place *placement
 	shard []*shard
 
-	closed   atomic.Bool
-	started  time.Time
-	requests stats.Counter
-	samples  stats.Counter
-	failures stats.Counter
-	lookups  stats.Counter
-	transfer stats.Latency // modeled fabric seconds per request
-	totalLat stats.Latency // wall-clock seconds per request
+	// tableMu serializes updates per global table: float accumulation is
+	// not associative, so per-table ordering — across the shard scatters,
+	// the golden write-through and the cache invalidations together — is
+	// what keeps Embed bit-identical to the sequential reference. Updates
+	// to distinct tables proceed concurrently.
+	tableMu []sync.Mutex
+
+	closed      atomic.Bool
+	started     time.Time
+	requests    stats.Counter
+	samples     stats.Counter
+	failures    stats.Counter
+	lookups     stats.Counter
+	updates     stats.Counter // ApplyUpdates calls completed successfully
+	updateRows  stats.Counter // gradient rows routed across completed updates
+	transfer    stats.Latency // modeled fabric seconds per request
+	updTransfer stats.Latency // modeled fabric seconds per update batch
+	totalLat    stats.Latency // wall-clock seconds per request
 }
 
 // New shards the model across cfg.Nodes TensorNodes: it materializes each
@@ -165,9 +188,10 @@ func New(m *recsys.Model, cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		model: m,
-		cfg:   cfg,
-		place: newPlacement(cfg.Strategy, cfg.Nodes, mc.Tables, mc.TableRows),
+		model:   m,
+		cfg:     cfg,
+		place:   newPlacement(cfg.Strategy, cfg.Nodes, mc.Tables, mc.TableRows),
+		tableMu: make([]sync.Mutex, mc.Tables),
 	}
 	for s := 0; s < cfg.Nodes; s++ {
 		sh, err := c.buildShard(s)
@@ -321,6 +345,164 @@ func (c *Cluster) Infer(perTableRows [][]int, batch int) (*tensor.Tensor, error)
 	return c.run(perTableRows, batch, false)
 }
 
+// ApplyUpdates applies a batch of per-table gradient updates cluster-wide:
+// every entry's rows are routed through the same TableWise/RowWise
+// placement as gathers, scattered near-memory on the owning shards (via
+// each shard's server, where updates order ahead of co-batched reads),
+// written through to the golden model, and invalidated from the shards'
+// hot-row caches. Index and gradient transfer bytes are charged to the
+// fabric like read traffic.
+//
+// Ordering. Updates to the same global table are serialized (slice order
+// within one call, lock order across calls); updates to distinct tables
+// proceed concurrently. After ApplyUpdates returns, every subsequent Embed
+// observes the update and remains bit-identical to the sequential golden
+// model. An Embed concurrent with the call may observe pre-update rows,
+// post-update rows, or (for rows spanning multiple stripes) a mix of
+// pre- and post-update stripes — but never a stale cache entry that
+// outlives the update (see rowCache's version handshake). Safe for
+// concurrent use.
+//
+// Each entry may carry at most MaxBatch x reduction rows — one request's
+// worth, mirroring the read path. The whole batch is validated before
+// anything executes. A shard failure mid-batch returns an error and leaves
+// that table inconsistent between shards and golden model (counted in
+// Failures); callers should treat it as fatal for the deployment.
+func (c *Cluster) ApplyUpdates(ups []runtime.TableUpdate) error {
+	mc := c.model.Cfg
+	if c.closed.Load() {
+		return fmt.Errorf("cluster: cluster is closed")
+	}
+	if len(ups) == 0 {
+		return fmt.Errorf("cluster: empty update batch")
+	}
+	for i, up := range ups {
+		if up.Table < 0 || up.Table >= mc.Tables {
+			return fmt.Errorf("cluster: update %d: table %d out of range [0, %d)", i, up.Table, mc.Tables)
+		}
+		if up.Grads == nil || up.Grads.Rank() != 2 || up.Grads.Dim(0) != len(up.Rows) || up.Grads.Dim(1) != mc.EmbDim {
+			return fmt.Errorf("cluster: update %d: gradient shape for %d rows of dim %d", i, len(up.Rows), mc.EmbDim)
+		}
+		if len(up.Rows) > c.cfg.MaxBatch*mc.Reduction {
+			return fmt.Errorf("cluster: update %d: %d rows exceed the %d-row update cap",
+				i, len(up.Rows), c.cfg.MaxBatch*mc.Reduction)
+		}
+		for _, r := range up.Rows {
+			if r < 0 || r >= mc.TableRows {
+				return fmt.Errorf("cluster: update %d: row index %d out of range [0, %d)", i, r, mc.TableRows)
+			}
+		}
+	}
+
+	// Group by table (shared grouping with the runtime, so orderings can
+	// never diverge) and fan the groups out: distinct tables update
+	// concurrently.
+	order, groups := runtime.GroupUpdatesByTable(ups)
+	fabricBytes := make([]int64, c.cfg.Nodes)
+	var fabricMu sync.Mutex
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for gi, t := range order {
+		wg.Add(1)
+		go func(gi, t int) {
+			defer wg.Done()
+			c.tableMu[t].Lock()
+			defer c.tableMu[t].Unlock()
+			for _, up := range groups[t] {
+				bytes, err := c.applyTableUpdate(up)
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				fabricMu.Lock()
+				for s, b := range bytes {
+					fabricBytes[s] += b
+				}
+				fabricMu.Unlock()
+			}
+		}(gi, t)
+	}
+	wg.Wait()
+	c.updTransfer.Observe(c.cfg.Fabric.ConvergeSeconds(fabricBytes))
+	for _, err := range errs {
+		if err != nil {
+			c.failures.Inc()
+			return err
+		}
+	}
+	rows := 0
+	for _, up := range ups {
+		rows += len(up.Rows)
+	}
+	c.updates.Inc()
+	c.updateRows.Add(uint64(rows))
+	return nil
+}
+
+// applyTableUpdate routes one table's update to its owning shards (callers
+// hold the table's update lock): split the rows by placement, scatter each
+// shard's slice through its server, write through to the golden model, and
+// invalidate the scattered rows from the shard caches. Returns the modeled
+// per-shard fabric bytes (indices + gradients, router -> shard).
+func (c *Cluster) applyTableUpdate(up runtime.TableUpdate) ([]int64, error) {
+	mc := c.model.Cfg
+	// Split by owning shard, preserving row order per shard (duplicates
+	// must accumulate in order).
+	shardRows := make(map[int][]int) // shard -> flat local rows
+	shardSrc := make(map[int][]int)  // shard -> gradient row indices
+	for i, r := range up.Rows {
+		s, flat := c.place.locate(up.Table, r)
+		shardRows[s] = append(shardRows[s], flat)
+		shardSrc[s] = append(shardSrc[s], i)
+	}
+
+	bytes := make([]int64, c.cfg.Nodes)
+	errs := make(map[int]error, len(shardRows))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s, flatRows := range shardRows {
+		wg.Add(1)
+		go func(s int, flatRows []int) {
+			defer wg.Done()
+			sh := c.shard[s]
+			grads := tensor.New(len(flatRows), mc.EmbDim)
+			for j, i := range shardSrc[s] {
+				copy(grads.Row(j), up.Grads.Row(i))
+			}
+			// The shard stores its rows as one flat gather-only table, so a
+			// sub-update always targets table 0 of the shard model.
+			err := sh.srv.Update([]runtime.TableUpdate{{Table: 0, Rows: flatRows, Grads: grads}})
+			if err != nil {
+				mu.Lock()
+				errs[s] = err
+				mu.Unlock()
+				return
+			}
+			// Invalidate AFTER the scatter committed: the version bump inside
+			// invalidate also voids every in-flight putAt snapshotted before
+			// now, so no reader can park a pre-update row in the cache.
+			if sh.cache != nil {
+				sh.cache.invalidate(flatRows)
+			}
+			upBytes := int64(len(flatRows))*4 + int64(len(flatRows))*mc.EmbBytes()
+			sh.subUpdates.Inc()
+			sh.rowsUpdated.Add(uint64(len(flatRows)))
+			sh.updateBytes.Add(uint64(upBytes))
+			bytes[s] = upBytes
+		}(s, flatRows)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d update: %w", s, err)
+		}
+	}
+	// Write-through to the golden model, in the same per-table order the
+	// shards applied (shared accumulation with the runtime).
+	runtime.AccumulateGolden(c.model.Embedding.Tables[up.Table], up)
+	return bytes, nil
+}
+
 func (c *Cluster) run(perTableRows [][]int, batch int, embedOnly bool) (*tensor.Tensor, error) {
 	start := time.Now()
 	mc := c.model.Cfg
@@ -346,6 +528,16 @@ func (c *Cluster) run(perTableRows [][]int, batch int, embedOnly bool) (*tensor.
 		}
 	}
 	c.lookups.Add(uint64(mc.Tables * lookups))
+
+	// Snapshot every cache's version before any gather is dispatched: a
+	// row gathered now may predate an update that lands mid-request, and
+	// putAt drops it if the version moved (see rowCache).
+	cacheVer := make([]uint64, c.cfg.Nodes)
+	for s, sh := range c.shard {
+		if sh.cache != nil {
+			cacheVer[s] = sh.cache.snapshot()
+		}
+	}
 
 	// Route: resolve every lookup to a cache hit or a deduplicated slot in
 	// the owning shard's sub-request.
@@ -417,13 +609,15 @@ func (c *Cluster) run(perTableRows [][]int, batch int, embedOnly bool) (*tensor.
 		}
 	}
 
-	// Feed the caches with the rows just gathered.
+	// Feed the caches with the rows just gathered — unless an update bumped
+	// the shard's version since the snapshot, in which case the gathered
+	// rows may be stale and are not cached.
 	for s, sub := range subs {
 		if sub == nil || c.shard[s].cache == nil {
 			continue
 		}
 		for flat, j := range sub.pos {
-			c.shard[s].cache.put(flat, results[s].Row(j))
+			c.shard[s].cache.putAt(flat, results[s].Row(j), cacheVer[s])
 		}
 	}
 

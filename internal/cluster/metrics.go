@@ -11,18 +11,22 @@ import (
 
 // ShardMetrics is a point-in-time snapshot of one shard's counters.
 type ShardMetrics struct {
-	Shard        int           // shard id
-	Tables       int           // global tables this shard holds a slice of
-	Rows         int           // flat local table height
-	SubRequests  uint64        // sub-requests routed here
-	RowsGathered uint64        // rows gathered near-memory (cache misses)
-	CacheHits    uint64        // lookups served from the hot-row cache
-	CacheMisses  uint64        // lookups that went to the gather path
-	CacheRows    int           // rows currently resident in the cache
-	HitRate      float64       // CacheHits / (CacheHits + CacheMisses)
-	PartialBytes uint64        // modeled bytes shipped shard -> router
-	IndexBytes   uint64        // modeled bytes shipped router -> shard
-	Serve        serve.Metrics // the shard server's own metrics
+	Shard         int           // shard id
+	Tables        int           // global tables this shard holds a slice of
+	Rows          int           // flat local table height
+	SubRequests   uint64        // sub-requests routed here
+	RowsGathered  uint64        // rows gathered near-memory (cache misses)
+	CacheHits     uint64        // lookups served from the hot-row cache
+	CacheMisses   uint64        // lookups that went to the gather path
+	CacheRows     int           // rows currently resident in the cache
+	HitRate       float64       // CacheHits / (CacheHits + CacheMisses)
+	PartialBytes  uint64        // modeled bytes shipped shard -> router
+	IndexBytes    uint64        // modeled bytes shipped router -> shard
+	SubUpdates    uint64        // sub-updates scattered here
+	RowsUpdated   uint64        // gradient rows accumulated near-memory
+	Invalidations uint64        // hot-row cache entries removed by updates
+	UpdateBytes   uint64        // modeled update bytes (indices + gradients) router -> shard
+	Serve         serve.Metrics // the shard server's own metrics
 }
 
 // Metrics is a point-in-time snapshot of the cluster's counters. All
@@ -32,9 +36,15 @@ type Metrics struct {
 	Nodes    int           // shard count
 	Requests uint64        // cluster requests completed successfully
 	Samples  uint64        // samples across completed requests
-	Failures uint64        // requests completed with an error
+	Failures uint64        // requests or updates completed with an error
 	Lookups  uint64        // individual (table, row) lookups routed
 	Uptime   time.Duration // time since New
+
+	// Updates counts completed ApplyUpdates calls; RowsUpdated the gradient
+	// rows they routed; Invalidations the cache entries they removed.
+	Updates       uint64
+	RowsUpdated   uint64
+	Invalidations uint64
 
 	// CacheHits and CacheMisses aggregate the per-shard hot-row caches;
 	// HitRate is their ratio (0 when caching is disabled).
@@ -42,11 +52,13 @@ type Metrics struct {
 	CacheMisses uint64
 	HitRate     float64
 
-	// TransferBytes is the total modeled fabric traffic (index lists plus
-	// partial results); Transfer digests the modeled per-request fabric
-	// seconds (interconnect.Switch.ConvergeSeconds).
-	TransferBytes uint64
-	Transfer      stats.LatencySummary
+	// TransferBytes is the total modeled fabric traffic (index lists,
+	// partial results, and update indices + gradients); Transfer digests
+	// the modeled per-request fabric seconds and UpdateTransfer the modeled
+	// per-update-batch fabric seconds (interconnect.Switch.ConvergeSeconds).
+	TransferBytes  uint64
+	Transfer       stats.LatencySummary
+	UpdateTransfer stats.LatencySummary
 
 	// TotalLatency digests wall-clock submission-to-result seconds.
 	TotalLatency stats.LatencySummary
@@ -59,15 +71,18 @@ type Metrics struct {
 // after Close and concurrently with Infer.
 func (c *Cluster) Metrics() Metrics {
 	m := Metrics{
-		Strategy:     c.cfg.Strategy,
-		Nodes:        c.cfg.Nodes,
-		Requests:     c.requests.Load(),
-		Samples:      c.samples.Load(),
-		Failures:     c.failures.Load(),
-		Lookups:      c.lookups.Load(),
-		Uptime:       time.Since(c.started),
-		Transfer:     c.transfer.Summary(),
-		TotalLatency: c.totalLat.Summary(),
+		Strategy:       c.cfg.Strategy,
+		Nodes:          c.cfg.Nodes,
+		Requests:       c.requests.Load(),
+		Samples:        c.samples.Load(),
+		Failures:       c.failures.Load(),
+		Lookups:        c.lookups.Load(),
+		Updates:        c.updates.Load(),
+		RowsUpdated:    c.updateRows.Load(),
+		Uptime:         time.Since(c.started),
+		Transfer:       c.transfer.Summary(),
+		UpdateTransfer: c.updTransfer.Summary(),
+		TotalLatency:   c.totalLat.Summary(),
 	}
 	for _, sh := range c.shard {
 		sm := ShardMetrics{
@@ -79,9 +94,13 @@ func (c *Cluster) Metrics() Metrics {
 		sm.RowsGathered = sh.rowsGathered.Load()
 		sm.PartialBytes = sh.partialBytes.Load()
 		sm.IndexBytes = sh.indexBytes.Load()
+		sm.SubUpdates = sh.subUpdates.Load()
+		sm.RowsUpdated = sh.rowsUpdated.Load()
+		sm.UpdateBytes = sh.updateBytes.Load()
 		if sh.cache != nil {
 			sm.CacheHits = sh.cache.hits.Load()
 			sm.CacheMisses = sh.cache.misses.Load()
+			sm.Invalidations = sh.cache.invalidations.Load()
 			sm.CacheRows = sh.cache.len()
 			sm.HitRate = stats.HitRate(sm.CacheHits, sm.CacheMisses)
 		}
@@ -90,7 +109,8 @@ func (c *Cluster) Metrics() Metrics {
 		}
 		m.CacheHits += sm.CacheHits
 		m.CacheMisses += sm.CacheMisses
-		m.TransferBytes += sm.PartialBytes + sm.IndexBytes
+		m.Invalidations += sm.Invalidations
+		m.TransferBytes += sm.PartialBytes + sm.IndexBytes + sm.UpdateBytes
 		m.Shards = append(m.Shards, sm)
 	}
 	m.HitRate = stats.HitRate(m.CacheHits, m.CacheMisses)
@@ -104,6 +124,8 @@ func (m Metrics) String() string {
 		m.Nodes, m.Strategy, m.Uptime.Round(time.Millisecond))
 	fmt.Fprintf(&b, "requests %d (%d samples, %d failures), %d lookups\n",
 		m.Requests, m.Samples, m.Failures, m.Lookups)
+	fmt.Fprintf(&b, "updates %d (%d gradient rows, %d cache invalidations)\n",
+		m.Updates, m.RowsUpdated, m.Invalidations)
 	fmt.Fprintf(&b, "hot-row cache: %d hits / %d misses (hit rate %.1f%%)\n",
 		m.CacheHits, m.CacheMisses, 100*m.HitRate)
 	fmt.Fprintf(&b, "fabric: %s transferred, modeled per-request %s\n",
@@ -111,11 +133,12 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "total latency  %s\n", m.TotalLatency)
 	tbl := stats.Table{
 		Title:   "per shard",
-		Columns: []string{"shard", "tables", "rows", "subreqs", "gathered", "hits", "misses", "hit%", "partials"},
+		Columns: []string{"shard", "tables", "rows", "subreqs", "gathered", "hits", "misses", "hit%", "updates", "invals", "partials"},
 	}
 	for _, s := range m.Shards {
 		tbl.AddRow(s.Shard, s.Tables, s.Rows, s.SubRequests, s.RowsGathered,
 			s.CacheHits, s.CacheMisses, fmt.Sprintf("%.1f", 100*s.HitRate),
+			s.SubUpdates, s.Invalidations,
 			stats.FormatBytes(int64(s.PartialBytes)))
 	}
 	b.WriteString(tbl.String())

@@ -12,14 +12,21 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"time"
 
 	"tensordimm/internal/addrmap"
+	"tensordimm/internal/cluster"
 	"tensordimm/internal/core"
 	"tensordimm/internal/dram"
+	"tensordimm/internal/isa"
 	"tensordimm/internal/power"
 	"tensordimm/internal/recsys"
+	"tensordimm/internal/runtime"
 	"tensordimm/internal/stats"
+	"tensordimm/internal/tensor"
 	"tensordimm/internal/trace"
+	"tensordimm/internal/workload"
 )
 
 // Scale selects sweep size for simulation-heavy experiments.
@@ -478,13 +485,117 @@ func ExtScatter(s Scale) Result {
 	}
 }
 
+// ExtOnline is the online-update extension experiment: a sharded cluster
+// with hot-row caches serves Zipf-skewed traffic while an increasing
+// fraction of requests are SCATTER_ADD update batches. The sweep reports
+// sustained request throughput, the hot-row cache hit rate that survives
+// the updates' invalidations (the RecNMP locality question under writes),
+// and the invalidation count — TRiM-style update bandwidth treated as a
+// first-class serving metric.
+func ExtOnline(s Scale) Result {
+	mc := recsys.Config{
+		Name: "extonline", Tables: 2, Reduction: 2, FCLayers: 1,
+		EmbDim: 64, TableRows: 2000, Hidden: []int{8},
+		Op: isa.RAdd,
+	}
+	fracs := []float64{0, 0.1, 0.25, 0.5}
+	reqs := 400
+	switch s {
+	case ScaleFull:
+		fracs = []float64{0, 0.1, 0.25, 0.5, 0.75}
+		reqs = 2000
+	case ScaleSmoke:
+		fracs = []float64{0, 0.5}
+		reqs = 80
+	}
+	const batch = 4
+	t := stats.Table{
+		Title:   "Extension: online updates — update fraction vs throughput and cache hit rate",
+		Columns: []string{"update frac", "req/s", "hit rate [%]", "invalidations", "updated rows"},
+	}
+	for _, frac := range fracs {
+		cl, err := cluster.New(mustBuild(mc, 42), cluster.Config{
+			Nodes: 2, DIMMsPerNode: 4, MaxBatch: 16, CacheBytes: 64 << 10,
+		})
+		if err != nil {
+			panic(err)
+		}
+		gen, err := workload.NewZipfGenerator(mc.TableRows, 0.9, 7)
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		start := time.Now()
+		// Submit in small concurrent bursts so the shard micro-batchers
+		// coalesce, as a serving front-end would.
+		var wg sync.WaitGroup
+		for i := 0; i < reqs; i++ {
+			update := rng.Float64() < frac
+			var rows [][]int
+			var ups []runtime.TableUpdate
+			if update {
+				target := rng.Intn(mc.Tables)
+				urows := gen.Indices(batch)
+				g := tensor.New(len(urows), mc.EmbDim)
+				for k := range g.Data() {
+					g.Data()[k] = rng.Float32() - 0.5
+				}
+				ups = []runtime.TableUpdate{{Table: target, Rows: urows, Grads: g}}
+			} else {
+				rows = gen.Batch(mc.Tables, batch, mc.Reduction)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if update {
+					if err := cl.ApplyUpdates(ups); err != nil {
+						panic(err)
+					}
+					return
+				}
+				if _, err := cl.Embed(rows, batch); err != nil {
+					panic(err)
+				}
+			}()
+			if (i+1)%8 == 0 {
+				wg.Wait()
+			}
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		m := cl.Metrics()
+		cl.Close()
+		t.AddRow(fmt.Sprintf("%.2f", frac),
+			fmt.Sprintf("%.0f", float64(reqs)/elapsed),
+			fmt.Sprintf("%.1f", 100*m.HitRate),
+			m.Invalidations, m.RowsUpdated)
+	}
+	return Result{
+		ID: "extonline", Title: "Online-update throughput and cache coherence (extension)", Table: t,
+		Notes: []string{
+			"Extension beyond the paper: cluster-wide SCATTER_ADD updates with hot-row cache invalidation.",
+			"Hit rate column shows how much RecNMP-style locality survives as the write fraction grows.",
+		},
+	}
+}
+
+// mustBuild materializes a model or panics (experiment drivers have no
+// error channel; a build failure here is a programming error).
+func mustBuild(mc recsys.Config, seed int64) *recsys.Model {
+	m, err := recsys.Build(mc, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // All runs every experiment at the given scale, in the paper's order, plus
-// the extension experiment.
+// the extension experiments.
 func All(p core.Platform, s Scale) []Result {
 	return []Result{
 		Fig3(), Fig4(p), Tab1(), Tab2(),
 		Fig11(s), Fig12(s), Fig13(p), Fig14(p), Fig15(p), Fig16(p),
-		Tab3(), PowerBudget(), ExtScatter(s),
+		Tab3(), PowerBudget(), ExtScatter(s), ExtOnline(s),
 	}
 }
 
@@ -517,13 +628,15 @@ func ByID(id string, p core.Platform, s Scale) (Result, error) {
 		return PowerBudget(), nil
 	case "extscatter":
 		return ExtScatter(s), nil
+	case "extonline":
+		return ExtOnline(s), nil
 	default:
-		return Result{}, fmt.Errorf("experiments: unknown id %q (want fig3, fig4, tab1, tab2, fig11, fig12, fig13, fig14, fig15, fig16, tab3, power, extscatter)", id)
+		return Result{}, fmt.Errorf("experiments: unknown id %q (want fig3, fig4, tab1, tab2, fig11, fig12, fig13, fig14, fig15, fig16, tab3, power, extscatter, extonline)", id)
 	}
 }
 
 // IDs lists all experiment identifiers in the paper's order, with the
-// extension experiment last.
+// extension experiments last.
 func IDs() []string {
-	return []string{"fig3", "fig4", "tab1", "tab2", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab3", "power", "extscatter"}
+	return []string{"fig3", "fig4", "tab1", "tab2", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab3", "power", "extscatter", "extonline"}
 }

@@ -293,3 +293,34 @@ func TestExtScatterBandwidth(t *testing.T) {
 		t.Fatalf("TensorNode/CPU scatter-add ratio = %.2f, want a clear NMP win", ratio)
 	}
 }
+
+func TestExtOnlineSweep(t *testing.T) {
+	scale := ScaleQuick
+	wantRows := 4
+	if testing.Short() {
+		scale = ScaleSmoke
+		wantRows = 2
+	}
+	r := ExtOnline(scale)
+	if len(r.Table.Rows) != wantRows {
+		t.Fatalf("extonline rows = %d, want %d", len(r.Table.Rows), wantRows)
+	}
+	// Row 0 is the read-only baseline: Zipf skew must yield cache hits and
+	// zero invalidations / updated rows.
+	base := r.Table.Rows[0]
+	if parseFloat(t, base[2]) <= 0 {
+		t.Fatalf("read-only hit rate = %s, want > 0 under Zipf skew", base[2])
+	}
+	if base[3] != "0" || base[4] != "0" {
+		t.Fatalf("read-only row reports update activity: %v", base)
+	}
+	// The largest update fraction must show real write traffic: updated
+	// rows and cache invalidations both non-zero.
+	last := r.Table.Rows[len(r.Table.Rows)-1]
+	if last[4] == "0" {
+		t.Fatalf("update sweep scattered no rows: %v", last)
+	}
+	if last[3] == "0" {
+		t.Fatalf("update sweep invalidated no cache entries: %v", last)
+	}
+}

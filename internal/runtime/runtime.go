@@ -22,12 +22,21 @@
 // slot and one lane — the sequential behavior of the paper's runtime —
 // while DeployConcurrent sizes both for a serving workload (see
 // internal/serve).
+//
+// Online updates. ApplyUpdates programs the SCATTER_ADD extension over the
+// same lane partitioning: gradient rows are staged into a lane's gather
+// scratch, expanded stripe indices into its index region, and the NMP cores
+// accumulate them into the resident table. Distinct tables update
+// concurrently (disjoint row-ranges commute); updates to one table are
+// serialized by a per-table lock, because float accumulation order is part
+// of the bit-identity contract with the write-through golden tables.
 package runtime
 
 import (
 	"fmt"
 	"sync"
 
+	"tensordimm/internal/embed"
 	"tensordimm/internal/isa"
 	"tensordimm/internal/node"
 	"tensordimm/internal/recsys"
@@ -62,6 +71,13 @@ type Deployment struct {
 	lanes    []scratchLane // index + gather scratch, one per lane
 	freeSlot chan int
 	freeLane chan int
+
+	// tableMu serializes SCATTER_ADD updates per table row-range: updates
+	// to the same table apply in submission order (float accumulation is
+	// not associative, so order is part of the bit-identity contract with
+	// the golden model), while updates to disjoint tables proceed
+	// concurrently on separate scratch lanes.
+	tableMu []sync.Mutex
 
 	relMu    sync.Mutex
 	released bool
@@ -102,6 +118,7 @@ func DeployConcurrent(m *recsys.Model, nd *node.Node, maxBatch, slots, lanes int
 		maxBatch: maxBatch,
 		freeSlot: make(chan int, slots),
 		freeLane: make(chan int, lanes),
+		tableMu:  make([]sync.Mutex, cfg.Tables),
 	}
 
 	// Upload tables.
@@ -390,51 +407,172 @@ func (d *Deployment) GoldenEmbedding(perTableRows [][]int, batch int) (*tensor.T
 	return d.Model.Embedding.Forward(perTableRows, batch)
 }
 
-// UpdateTable applies per-row gradient accumulation to table t near-memory
-// via the SCATTER_ADD extension: table[rows[i]] += grads.Row(i). The
-// gradient tensor is staged into a scratch lane (the NVLink copy a training
-// step would perform), the update executes on the NMP cores, and the
-// host-side golden table is updated write-through so model and node stay
-// consistent. Duplicate rows accumulate in order.
-//
-// UpdateTable acquires a scratch lane like any embedding execution, but the
-// update itself races with concurrent inferences reading the same table —
-// exactly as asynchronous training against a live serving replica would.
-// Callers that need a consistent table must quiesce inference first.
-func (d *Deployment) UpdateTable(t int, rows []int, grads *tensor.Tensor) error {
-	cfg := d.Model.Cfg
-	if t < 0 || t >= cfg.Tables {
-		return fmt.Errorf("runtime: table %d out of range", t)
-	}
-	if grads.Rank() != 2 || grads.Dim(0) != len(rows) || grads.Dim(1) != cfg.EmbDim {
-		return fmt.Errorf("runtime: gradient shape %v for %d rows of dim %d", grads.Shape(), len(rows), cfg.EmbDim)
-	}
-	// Capacity check against the PADDED stripe count: ExpandIndices rounds
-	// up to a whole 16-index block and the zero-staging loop below writes a
-	// stripe for every padded slot, so the bound must cover the rounding or
-	// the zeros spill into the next pool allocation.
-	padded := (len(rows)*d.stripes + isa.LanesPerBlock - 1) / isa.LanesPerBlock * isa.LanesPerBlock
-	if padded > (d.maxBatch*cfg.Reduction*d.stripes)+isa.LanesPerBlock {
-		return fmt.Errorf("runtime: %d gradient rows exceed scratch capacity", len(rows))
-	}
-	lane := <-d.freeLane
-	defer func() { d.freeLane <- lane }()
-	ln := d.lanes[lane]
+// TableUpdate is one table's slice of an online update batch: gradient rows
+// to accumulate into the table via near-memory SCATTER_ADD. Grads must be a
+// [len(Rows), EmbDim] tensor; Rows may contain duplicates, which accumulate
+// in order.
+type TableUpdate struct {
+	// Table is the target embedding table index.
+	Table int
+	// Rows lists the target row of each gradient (duplicates allowed).
+	Rows []int
+	// Grads holds one gradient row per entry of Rows.
+	Grads *tensor.Tensor
+}
 
+// UpdateTable applies per-row gradient accumulation to table t near-memory
+// via the SCATTER_ADD extension: table[rows[i]] += grads.Row(i). It is
+// ApplyUpdates for a single table; see there for the ordering contract.
+func (d *Deployment) UpdateTable(t int, rows []int, grads *tensor.Tensor) error {
+	return d.ApplyUpdates([]TableUpdate{{Table: t, Rows: rows, Grads: grads}})
+}
+
+// ApplyUpdates applies a batch of per-table gradient updates near-memory:
+// for every entry, table[Rows[i]] += Grads.Row(i) via SCATTER_ADD. The
+// whole batch is validated before anything executes, so an invalid entry
+// leaves every table untouched.
+//
+// Concurrency and ordering. Updates to distinct tables fan out across the
+// deployment's scratch lanes and execute concurrently — tables occupy
+// disjoint row-ranges of the pool, so they commute. Updates to the same
+// table are serialized (in slice order within one call, and in lock
+// acquisition order across concurrent calls): float accumulation is not
+// associative, so per-row-range ordering is what keeps the node table
+// bit-identical to the write-through golden table, which is updated under
+// the same per-table lock.
+//
+// An update races with concurrent inferences reading the same table —
+// exactly as asynchronous training against a live serving replica would.
+// Ordering between a racing read and update is per stripe (each DIMM's
+// NMP core serializes its own execution): a read of a row that spans
+// multiple stripes may observe some stripes pre-update and some post.
+// Reads issued after ApplyUpdates returns observe the whole update;
+// callers that need consistent snapshots during updates must quiesce
+// first.
+func (d *Deployment) ApplyUpdates(ups []TableUpdate) error {
+	return d.applyUpdates(ups, true)
+}
+
+// ApplyUpdatesToNode is ApplyUpdates without the write-through to the
+// host-side golden tables. It exists for replica fan-out: when several
+// deployments share one *recsys.Model (replicas of the same model across
+// pools), the golden tables must absorb each update exactly once —
+// ApplyUpdates on the first replica, ApplyUpdatesToNode on the rest.
+func (d *Deployment) ApplyUpdatesToNode(ups []TableUpdate) error {
+	return d.applyUpdates(ups, false)
+}
+
+// GroupUpdatesByTable splits an update batch into per-table groups,
+// preserving slice order within each table, and returns the tables in
+// first-appearance order. It is the single authoritative grouping for the
+// write path — the runtime and the cluster router both use it, so their
+// per-table orderings (part of the golden bit-identity contract) can
+// never diverge.
+func GroupUpdatesByTable(ups []TableUpdate) ([]int, map[int][]TableUpdate) {
+	groups := make(map[int][]TableUpdate)
+	order := make([]int, 0, len(ups))
+	for _, up := range ups {
+		if _, seen := groups[up.Table]; !seen {
+			order = append(order, up.Table)
+		}
+		groups[up.Table] = append(groups[up.Table], up)
+	}
+	return order, groups
+}
+
+// AccumulateGolden applies one update to a host-side golden table in slice
+// order: table[Rows[i]] += Grads.Row(i). It is the single authoritative
+// write-through accumulation shared by the runtime's deployments and the
+// cluster's top-level golden model; float addition is order-sensitive, so
+// a second implementation could silently break bit-identity.
+func AccumulateGolden(table *embed.Table, up TableUpdate) {
+	for i, r := range up.Rows {
+		dst := table.Row(r)
+		src := up.Grads.Row(i)
+		for k := range dst {
+			dst[k] += src[k]
+		}
+	}
+}
+
+// applyUpdates validates the whole batch, groups it by table, and fans the
+// per-table groups out across scratch lanes, each group under its table's
+// update lock.
+func (d *Deployment) applyUpdates(ups []TableUpdate, writeThrough bool) error {
+	cfg := d.Model.Cfg
+	for i, up := range ups {
+		if up.Table < 0 || up.Table >= cfg.Tables {
+			return fmt.Errorf("runtime: update %d: table %d out of range", i, up.Table)
+		}
+		if up.Grads == nil || up.Grads.Rank() != 2 || up.Grads.Dim(0) != len(up.Rows) || up.Grads.Dim(1) != cfg.EmbDim {
+			return fmt.Errorf("runtime: update %d: gradient shape for %d rows of dim %d", i, len(up.Rows), cfg.EmbDim)
+		}
+		for _, r := range up.Rows {
+			if r < 0 || r >= d.Model.Embedding.Tables[up.Table].Rows() {
+				return fmt.Errorf("runtime: update %d: row %d out of range [0, %d)",
+					i, r, d.Model.Embedding.Tables[up.Table].Rows())
+			}
+		}
+		// Capacity check against the PADDED stripe count: ExpandIndices
+		// rounds up to a whole 16-index block and the zero staging in
+		// scatterTable writes a stripe for every padded slot, so the bound
+		// must cover the rounding or the zeros spill past the scratch.
+		padded := (len(up.Rows)*d.stripes + isa.LanesPerBlock - 1) / isa.LanesPerBlock * isa.LanesPerBlock
+		if padded > (d.maxBatch*cfg.Reduction*d.stripes)+isa.LanesPerBlock {
+			return fmt.Errorf("runtime: update %d: %d gradient rows exceed scratch capacity", i, len(up.Rows))
+		}
+	}
+
+	order, groups := GroupUpdatesByTable(ups)
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for gi, t := range order {
+		wg.Add(1)
+		go func(gi, t int) {
+			defer wg.Done()
+			d.tableMu[t].Lock()
+			defer d.tableMu[t].Unlock()
+			lane := <-d.freeLane
+			defer func() { d.freeLane <- lane }()
+			for _, up := range groups[t] {
+				if err := d.scatterTable(d.lanes[lane], up); err != nil {
+					errs[gi] = err
+					return
+				}
+				if writeThrough {
+					AccumulateGolden(d.Model.Embedding.Tables[t], up)
+				}
+			}
+		}(gi, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterTable stages one validated table update into a scratch lane and
+// executes its SCATTER_ADD program: gradients into the lane's gather
+// scratch (the NVLink copy a training step would perform), expanded stripe
+// indices into the lane's index region, then one near-memory accumulate.
+func (d *Deployment) scatterTable(ln scratchLane, up TableUpdate) error {
 	// Stage gradients into the lane's gather scratch, row-major.
-	embBytes := uint64(cfg.EmbBytes())
-	for i := 0; i < len(rows); i++ {
-		if err := d.Node.WriteFloats(ln.gatherBase[0]+uint64(i)*embBytes, grads.Row(i)); err != nil {
+	embBytes := uint64(d.Model.Cfg.EmbBytes())
+	for i := 0; i < len(up.Rows); i++ {
+		if err := d.Node.WriteFloats(ln.gatherBase[0]+uint64(i)*embBytes, up.Grads.Row(i)); err != nil {
 			return fmt.Errorf("runtime: stage gradient %d: %w", i, err)
 		}
 	}
-	idx := ExpandIndices(rows, 1, d.stripes)
+	idx := ExpandIndices(up.Rows, 1, d.stripes)
 	if err := d.Node.LoadIndices(ln.idxBase, idx); err != nil {
 		return err
 	}
 	// Padding repeats the last stripe index; compensate by staging zero
 	// gradients for the padded slots so the extra accumulations are no-ops.
-	realStripes := len(rows) * d.stripes
+	realStripes := len(up.Rows) * d.stripes
 	zero := make([]float32, isa.LanesPerBlock)
 	stripeBytes := d.Node.StripeBytes()
 	for s := realStripes; s < len(idx); s++ {
@@ -445,20 +583,8 @@ func (d *Deployment) UpdateTable(t int, rows []int, grads *tensor.Tensor) error 
 		}
 	}
 	prog := isa.Program{
-		isa.ScatterAdd(d.tableBase[t]/isa.BlockBytes, ln.idxBase/isa.BlockBytes,
+		isa.ScatterAdd(d.tableBase[up.Table]/isa.BlockBytes, ln.idxBase/isa.BlockBytes,
 			ln.gatherBase[0]/isa.BlockBytes, uint32(len(idx))),
 	}
-	if err := d.Node.Execute(prog); err != nil {
-		return err
-	}
-	// Write-through to the golden table.
-	table := d.Model.Embedding.Tables[t]
-	for i, r := range rows {
-		dst := table.Row(r)
-		src := grads.Row(i)
-		for k := range dst {
-			dst[k] += src[k]
-		}
-	}
-	return nil
+	return d.Node.Execute(prog)
 }

@@ -2,9 +2,11 @@ package runtime
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"tensordimm/internal/isa"
+	"tensordimm/internal/recsys"
 	"tensordimm/internal/tensor"
 	"tensordimm/internal/workload"
 )
@@ -78,6 +80,187 @@ func TestUpdateTableMultiStripe(t *testing.T) {
 	for k, v := range vals {
 		if v != snapshot[k]+0.25 {
 			t.Fatalf("node row 2 lane %d: %v != %v", k, v, snapshot[k]+0.25)
+		}
+	}
+}
+
+// applyGolden accumulates ups into a host-side snapshot table set the same
+// way the sequential golden model would: in slice order, duplicates in order.
+func applyGolden(snap [][][]float32, ups []TableUpdate) {
+	for _, up := range ups {
+		for i, r := range up.Rows {
+			for k := range snap[up.Table][r] {
+				snap[up.Table][r][k] += up.Grads.At(i, k)
+			}
+		}
+	}
+}
+
+func snapshotTables(d *Deployment) [][][]float32 {
+	snap := make([][][]float32, len(d.Model.Embedding.Tables))
+	for t, tb := range d.Model.Embedding.Tables {
+		snap[t] = make([][]float32, tb.Rows())
+		for r := range snap[t] {
+			snap[t][r] = append([]float32(nil), tb.Row(r)...)
+		}
+	}
+	return snap
+}
+
+func TestApplyUpdatesMultiTable(t *testing.T) {
+	cfg := smallConfig("multi", 3, 1, 128, false, isa.RAdd)
+	m, err := recsys.Build(cfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DeployConcurrent(m, newNode(t, 8), 8, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshotTables(d)
+
+	rng := rand.New(rand.NewSource(7))
+	var ups []TableUpdate
+	for _, tb := range []int{0, 2, 1, 0} { // table 0 twice: order matters
+		rows := []int{rng.Intn(cfg.TableRows), 5, 5} // dup-heavy
+		grads := tensor.New(len(rows), cfg.EmbDim)
+		for i := range grads.Data() {
+			grads.Data()[i] = rng.Float32() - 0.5
+		}
+		ups = append(ups, TableUpdate{Table: tb, Rows: rows, Grads: grads})
+	}
+	if err := d.ApplyUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+	applyGolden(snap, ups)
+
+	for tb := 0; tb < cfg.Tables; tb++ {
+		for r := 0; r < cfg.TableRows; r++ {
+			got := d.Model.Embedding.Tables[tb].Row(r)
+			for k, w := range snap[tb][r] {
+				if got[k] != w {
+					t.Fatalf("table %d row %d lane %d: %v != %v", tb, r, k, got[k], w)
+				}
+			}
+		}
+		// Node copy agrees with the write-through copy.
+		vals, err := d.Node.ReadFloats(d.tableBase[tb], cfg.TableRows*cfg.EmbDim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < cfg.TableRows; r++ {
+			for k := 0; k < cfg.EmbDim; k++ {
+				if vals[r*cfg.EmbDim+k] != snap[tb][r][k] {
+					t.Fatalf("node table %d row %d lane %d: %v != %v",
+						tb, r, k, vals[r*cfg.EmbDim+k], snap[tb][r][k])
+				}
+			}
+		}
+	}
+}
+
+func TestApplyUpdatesConcurrentDisjointTables(t *testing.T) {
+	cfg := smallConfig("conc", 4, 1, 128, false, isa.RAdd)
+	m, err := recsys.Build(cfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DeployConcurrent(m, newNode(t, 8), 8, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := snapshotTables(d)
+
+	// One updater goroutine per table: per-table order is deterministic, so
+	// the final state must match the golden accumulation exactly even though
+	// tables update concurrently.
+	const steps = 5
+	perTable := make([][]TableUpdate, cfg.Tables)
+	for tb := 0; tb < cfg.Tables; tb++ {
+		rng := rand.New(rand.NewSource(int64(100 + tb)))
+		for s := 0; s < steps; s++ {
+			rows := []int{rng.Intn(cfg.TableRows), rng.Intn(cfg.TableRows)}
+			grads := tensor.New(len(rows), cfg.EmbDim)
+			for i := range grads.Data() {
+				grads.Data()[i] = rng.Float32() - 0.5
+			}
+			perTable[tb] = append(perTable[tb], TableUpdate{Table: tb, Rows: rows, Grads: grads})
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Tables)
+	for tb := 0; tb < cfg.Tables; tb++ {
+		wg.Add(1)
+		go func(tb int) {
+			defer wg.Done()
+			for _, up := range perTable[tb] {
+				if err := d.ApplyUpdates([]TableUpdate{up}); err != nil {
+					errs[tb] = err
+					return
+				}
+			}
+		}(tb)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tb := 0; tb < cfg.Tables; tb++ {
+		applyGolden(snap, perTable[tb])
+	}
+	for tb := 0; tb < cfg.Tables; tb++ {
+		for r := 0; r < cfg.TableRows; r++ {
+			got := d.Model.Embedding.Tables[tb].Row(r)
+			for k, w := range snap[tb][r] {
+				if got[k] != w {
+					t.Fatalf("table %d row %d lane %d: %v != %v", tb, r, k, got[k], w)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyUpdatesValidatesAtomically(t *testing.T) {
+	cfg := smallConfig("atomic", 2, 1, 128, false, isa.RAdd)
+	d := deploy(t, cfg, 8, 4)
+	snap := snapshotTables(d)
+	good := tensor.New(1, cfg.EmbDim)
+	good.Fill(1)
+	bad := tensor.New(1, cfg.EmbDim)
+	ups := []TableUpdate{
+		{Table: 0, Rows: []int{3}, Grads: good},
+		{Table: 1, Rows: []int{cfg.TableRows}, Grads: bad}, // out of range
+	}
+	if err := d.ApplyUpdates(ups); err == nil {
+		t.Fatal("want row-range error")
+	}
+	// The valid first entry must NOT have been applied.
+	for k, w := range snap[0][3] {
+		if d.Model.Embedding.Tables[0].Row(3)[k] != w {
+			t.Fatal("partial application after failed validation")
+		}
+	}
+	if err := d.ApplyUpdates([]TableUpdate{{Table: 0, Rows: []int{1}, Grads: nil}}); err == nil {
+		t.Fatal("want nil-gradient error")
+	}
+	if err := d.ApplyUpdatesToNode([]TableUpdate{{Table: 0, Rows: []int{3}, Grads: good}}); err != nil {
+		t.Fatal(err)
+	}
+	// Node-only application must leave the golden table untouched.
+	for k, w := range snap[0][3] {
+		if d.Model.Embedding.Tables[0].Row(3)[k] != w {
+			t.Fatal("ApplyUpdatesToNode wrote through to the golden table")
+		}
+	}
+	vals, err := d.Node.ReadFloats(d.tableBase[0]+3*uint64(cfg.EmbBytes()), cfg.EmbDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range snap[0][3] {
+		if vals[k] != w+1 {
+			t.Fatalf("node row lane %d: %v, want %v", k, vals[k], w+1)
 		}
 	}
 }

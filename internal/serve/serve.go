@@ -20,6 +20,11 @@
 //     deployment's scratch lanes (tables stripe over disjoint rank
 //     partitions, so table-level parallelism is architecturally free).
 //
+// The server also accepts online embedding updates (Update) through the
+// same queue: within a merged batch, member updates apply — to every
+// replica, in arrival order — before the merged embedding executes, so an
+// update never loses to a read it was coalesced with on the same rows.
+//
 // Every request's queue and total latency is recorded; Metrics reports
 // p50/p95/p99 percentiles plus sustained throughput, the numbers a serving
 // SLO is written against.
@@ -31,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tensordimm/internal/recsys"
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/stats"
 	"tensordimm/internal/tensor"
@@ -104,11 +110,14 @@ func (c Config) withDefaults(deps []*runtime.Deployment) Config {
 	return c
 }
 
-// request is one submitted inference, pending or in flight.
+// request is one submitted inference or update, pending or in flight.
+// Updates carry a non-nil updates slice and contribute zero samples to a
+// merged batch; reads carry rows/batch.
 type request struct {
 	rows      [][]int
 	batch     int
 	embedOnly bool
+	updates   []runtime.TableUpdate
 	enq       time.Time
 	done      chan result
 }
@@ -142,6 +151,18 @@ type Server struct {
 	batcherWG sync.WaitGroup
 	workerWG  sync.WaitGroup
 
+	// closeDone is closed once the first Close has fully drained and
+	// released; every Close call waits on it, so no caller returns while
+	// queued requests are still pending (see Close).
+	closeOnce sync.Once
+	closeDone chan struct{}
+	closeErr  error
+
+	// upMu serializes update application across workers: an update fans out
+	// to every replica, and the fan-out must be atomic so all replicas
+	// accumulate updates in one global order and stay bit-identical.
+	upMu sync.Mutex
+
 	started time.Time
 	rr      atomic.Uint64 // round-robin deployment cursor
 
@@ -149,6 +170,8 @@ type Server struct {
 	samples  atomic.Uint64
 	batches  atomic.Uint64
 	failures atomic.Uint64
+	updates  atomic.Uint64
+	upRows   atomic.Uint64
 	queueLat stats.Latency
 	totalLat stats.Latency
 }
@@ -183,11 +206,12 @@ func New(cfg Config, deps ...*runtime.Deployment) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:      cfg,
-		deps:     deps,
-		queue:    make(chan *request, cfg.QueueDepth),
-		dispatch: make(chan *mergedBatch, cfg.Workers),
-		started:  time.Now(),
+		cfg:       cfg,
+		deps:      deps,
+		queue:     make(chan *request, cfg.QueueDepth),
+		dispatch:  make(chan *mergedBatch, cfg.Workers),
+		closeDone: make(chan struct{}),
+		started:   time.Now(),
 	}
 	s.batcherWG.Add(1)
 	go s.batcher()
@@ -240,6 +264,50 @@ func (s *Server) submit(perTableRows [][]int, batch int, embedOnly bool) (*tenso
 		enq:       time.Now(),
 		done:      make(chan result, 1),
 	}
+	return s.enqueue(req)
+}
+
+// Update submits a batch of embedding-table gradient updates through the
+// same micro-batching queue as reads. Within a merged batch, updates apply
+// before the merged embedding executes, so an update never loses to a read
+// it was coalesced with on the same rows; across batches, a caller that
+// waits for Update to return is guaranteed every later read observes the
+// update. The update is applied to every replica deployment (write-through
+// to each distinct golden model exactly once), so replicas stay
+// bit-identical. Safe for concurrent use.
+func (s *Server) Update(ups []runtime.TableUpdate) error {
+	cfg := s.deps[0].Model.Cfg
+	if len(ups) == 0 {
+		return fmt.Errorf("serve: empty update batch")
+	}
+	for i, up := range ups {
+		if up.Table < 0 || up.Table >= cfg.Tables {
+			return fmt.Errorf("serve: update %d: table %d out of range [0, %d)", i, up.Table, cfg.Tables)
+		}
+		if up.Grads == nil || up.Grads.Rank() != 2 || up.Grads.Dim(0) != len(up.Rows) || up.Grads.Dim(1) != cfg.EmbDim {
+			return fmt.Errorf("serve: update %d: gradient shape for %d rows of dim %d", i, len(up.Rows), cfg.EmbDim)
+		}
+		if len(up.Rows) > s.cfg.MaxBatch*cfg.Reduction {
+			return fmt.Errorf("serve: update %d: %d rows exceed the %d-row update cap",
+				i, len(up.Rows), s.cfg.MaxBatch*cfg.Reduction)
+		}
+		for _, r := range up.Rows {
+			if r < 0 || r >= cfg.TableRows {
+				return fmt.Errorf("serve: update %d: row index %d out of range [0, %d)", i, r, cfg.TableRows)
+			}
+		}
+	}
+	req := &request{
+		updates: ups,
+		enq:     time.Now(),
+		done:    make(chan result, 1),
+	}
+	_, err := s.enqueue(req)
+	return err
+}
+
+// enqueue hands one request to the batcher and blocks for its result.
+func (s *Server) enqueue(req *request) (*tensor.Tensor, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -276,7 +344,9 @@ func (s *Server) batcher() {
 		mb := &mergedBatch{reqs: []*request{first}, total: first.batch}
 		timer := time.NewTimer(s.cfg.MaxDelay)
 	collect:
-		for mb.total < s.cfg.MaxBatch {
+		// Updates contribute zero samples to total, so the member cap keeps
+		// an update flood from growing one merged batch without bound.
+		for mb.total < s.cfg.MaxBatch && len(mb.reqs) < s.cfg.QueueDepth {
 			select {
 			case r, ok := <-s.queue:
 				if !ok {
@@ -305,13 +375,32 @@ func (s *Server) worker() {
 	}
 }
 
-// execute runs one merged batch on the next deployment replica and fans the
-// results back out to the member requests.
+// execute runs one merged batch: member updates first (in arrival order,
+// so an update never loses to a read it was coalesced with on the same
+// rows), then the merged embedding for the member reads on the next
+// deployment replica, fanning results back out to the member requests.
 func (s *Server) execute(mb *mergedBatch) {
 	start := time.Now()
 	for _, r := range mb.reqs {
 		s.queueLat.Observe(start.Sub(r.enq).Seconds())
 	}
+
+	// Partition: updates apply before any member read executes.
+	var updates, reads []*request
+	for _, r := range mb.reqs {
+		if r.updates != nil {
+			updates = append(updates, r)
+		} else {
+			reads = append(reads, r)
+		}
+	}
+	if len(updates) > 0 {
+		s.applyUpdates(updates)
+	}
+	if len(reads) == 0 {
+		return
+	}
+
 	dep := s.deps[int(s.rr.Add(1)-1)%len(s.deps)]
 	cfg := dep.Model.Cfg
 
@@ -321,7 +410,7 @@ func (s *Server) execute(mb *mergedBatch) {
 	merged := make([][]int, cfg.Tables)
 	for t := range merged {
 		rows := make([]int, 0, mb.total*cfg.Reduction)
-		for _, r := range mb.reqs {
+		for _, r := range reads {
 			rows = append(rows, r.rows[t]...)
 		}
 		merged[t] = rows
@@ -329,8 +418,8 @@ func (s *Server) execute(mb *mergedBatch) {
 
 	emb, err := dep.RunEmbedding(merged, mb.total)
 	if err != nil {
-		s.failures.Add(uint64(len(mb.reqs)))
-		for _, r := range mb.reqs {
+		s.failures.Add(uint64(len(reads)))
+		for _, r := range reads {
 			r.done <- result{err: fmt.Errorf("serve: merged batch of %d failed: %w", mb.total, err)}
 		}
 		return
@@ -342,7 +431,7 @@ func (s *Server) execute(mb *mergedBatch) {
 	// MLP results are independent of co-batched rows).
 	width := emb.Dim(1)
 	off := 0
-	for _, r := range mb.reqs {
+	for _, r := range reads {
 		vals := make([]float32, 0, r.batch*width)
 		for i := 0; i < r.batch; i++ {
 			vals = append(vals, emb.Row(off+i)...)
@@ -364,38 +453,87 @@ func (s *Server) execute(mb *mergedBatch) {
 	}
 }
 
-// Close stops accepting requests, drains everything already submitted,
-// stops the batcher and workers, and releases the owned deployments. It is
-// idempotent; requests submitted after Close fail fast.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
+// applyUpdates applies a merged batch's update requests in arrival order,
+// replying to each. The server-wide update lock makes the per-request
+// replica fan-out atomic: concurrent workers cannot interleave two updates
+// across replicas, so every replica accumulates the same global order.
+func (s *Server) applyUpdates(reqs []*request) {
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	for _, r := range reqs {
+		if err := s.fanOutUpdate(r.updates); err != nil {
+			s.failures.Add(1)
+			r.done <- result{err: fmt.Errorf("serve: update failed: %w", err)}
+			continue
+		}
+		rows := 0
+		for _, up := range r.updates {
+			rows += len(up.Rows)
+		}
+		s.updates.Add(1)
+		s.upRows.Add(uint64(rows))
+		s.totalLat.Observe(time.Since(r.enq).Seconds())
+		r.done <- result{}
 	}
-	s.closed = true
-	s.mu.Unlock()
-	s.inflight.Wait() // every accepted submit has reached the queue
-	close(s.queue)
-	s.batcherWG.Wait()
-	s.workerWG.Wait()
-	var first error
-	for _, d := range s.deps {
-		if err := d.Release(); err != nil && first == nil {
-			first = err
+}
+
+// fanOutUpdate applies one update batch to every replica deployment. The
+// first deployment of each distinct golden model writes through to it;
+// further replicas of the same model update their node copy only, so a
+// shared golden absorbs each gradient exactly once.
+func (s *Server) fanOutUpdate(ups []runtime.TableUpdate) error {
+	seen := make(map[*recsys.Model]bool, len(s.deps))
+	for i, d := range s.deps {
+		var err error
+		if seen[d.Model] {
+			err = d.ApplyUpdatesToNode(ups)
+		} else {
+			seen[d.Model] = true
+			err = d.ApplyUpdates(ups)
+		}
+		if err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
 		}
 	}
-	return first
+	return nil
+}
+
+// Close stops accepting requests, drains everything already submitted
+// (pending micro-batches execute and reply — reads and updates alike, so a
+// caller blocked in Infer, Embed or Update always gets its result), stops
+// the batcher and workers, and releases the owned deployments. It is
+// idempotent, and every call — including concurrent ones — returns only
+// after the drain has completed; requests submitted after Close fail fast.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.inflight.Wait() // every accepted submit has reached the queue
+		close(s.queue)
+		s.batcherWG.Wait()
+		s.workerWG.Wait()
+		for _, d := range s.deps {
+			if err := d.Release(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+		close(s.closeDone)
+	})
+	<-s.closeDone
+	return s.closeErr
 }
 
 // Metrics is a point-in-time snapshot of the server's counters and latency
 // percentiles. All latencies are in seconds.
 type Metrics struct {
-	Requests uint64        // completed successfully
-	Samples  uint64        // total samples across completed requests
-	Batches  uint64        // merged executions
-	Failures uint64        // requests completed with an error
-	Uptime   time.Duration // time since New
+	Requests    uint64        // read requests completed successfully
+	Samples     uint64        // total samples across completed read requests
+	Batches     uint64        // merged executions
+	Failures    uint64        // requests (reads or updates) completed with an error
+	Updates     uint64        // update requests applied successfully
+	RowsUpdated uint64        // gradient rows accumulated across applied updates
+	Uptime      time.Duration // time since New
 
 	// MeanBatch is the average merged execution size in samples — the
 	// coalescing factor micro-batching achieved.
@@ -416,6 +554,8 @@ func (s *Server) Metrics() Metrics {
 		Samples:      s.samples.Load(),
 		Batches:      s.batches.Load(),
 		Failures:     s.failures.Load(),
+		Updates:      s.updates.Load(),
+		RowsUpdated:  s.upRows.Load(),
 		Uptime:       time.Since(s.started),
 		QueueLatency: s.queueLat.Summary(),
 		TotalLatency: s.totalLat.Summary(),
@@ -433,11 +573,13 @@ func (s *Server) Metrics() Metrics {
 func (m Metrics) String() string {
 	return fmt.Sprintf(
 		"requests %d (%d samples, %d failures) in %s\n"+
+			"updates %d (%d gradient rows)\n"+
 			"merged executions %d (mean batch %.1f)\n"+
 			"throughput %.0f samples/s\n"+
 			"queue latency  %s\n"+
 			"total latency  %s",
 		m.Requests, m.Samples, m.Failures, m.Uptime.Round(time.Millisecond),
+		m.Updates, m.RowsUpdated,
 		m.Batches, m.MeanBatch, m.Throughput,
 		m.QueueLatency, m.TotalLatency)
 }

@@ -42,6 +42,16 @@
 //	probs, _ := srv.Infer(indices, batch)              // safe from any goroutine
 //	fmt.Println(srv.Metrics())                         // p50/p95/p99, throughput
 //
+// # Online updates
+//
+// Deployments, servers and clusters all accept SCATTER_ADD gradient
+// updates while serving; caches stay coherent and reads stay bit-identical
+// to the sequential golden model:
+//
+//	up := tensordimm.TableUpdate{Table: 0, Rows: rows, Grads: grads}
+//	_ = srv.Update([]tensordimm.TableUpdate{up})       // ahead of co-batched reads
+//	_ = cl.ApplyUpdates([]tensordimm.TableUpdate{up})  // routed + invalidated per shard
+//
 // See the examples directory for runnable programs, ARCHITECTURE.md for the
 // layer stack, and EXPERIMENTS.md (in the repository root) for the
 // paper-vs-reproduction record of every table and figure.
@@ -98,6 +108,10 @@ type (
 	ServeConfig = serve.Config
 	// ServeMetrics is a snapshot of serving throughput and latency.
 	ServeMetrics = serve.Metrics
+	// TableUpdate is one table's slice of an online gradient-update batch,
+	// accepted by Deployment.ApplyUpdates, Server.Update and
+	// Cluster.ApplyUpdates.
+	TableUpdate = runtime.TableUpdate
 	// Cluster is a sharded multi-node serving system with hot-row caching.
 	Cluster = cluster.Cluster
 	// ClusterConfig sizes a cluster (nodes, strategy, caches, fabric).
@@ -139,6 +153,10 @@ const (
 func NewNode(dimms int, perDIMMBytes uint64) (*Node, error) {
 	return node.New(node.Config{DIMMs: dimms, PerDIMMBytes: perDIMMBytes})
 }
+
+// NewTensor allocates a zero-filled dense row-major float32 tensor — e.g.
+// the gradient batch of a TableUpdate.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 
 // Benchmark configurations of the paper's evaluation (Table 2).
 func NCF() ModelConfig      { return recsys.NCF() }

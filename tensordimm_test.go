@@ -81,8 +81,8 @@ func TestPublicSimulation(t *testing.T) {
 
 func TestPublicExperiments(t *testing.T) {
 	ids := tensordimm.Experiments()
-	if len(ids) != 13 {
-		t.Fatalf("Experiments() = %d ids, want 12 paper artifacts + 1 extension", len(ids))
+	if len(ids) != 14 {
+		t.Fatalf("Experiments() = %d ids, want 12 paper artifacts + 2 extensions", len(ids))
 	}
 	r, err := tensordimm.RunExperiment("tab2", tensordimm.DefaultPlatform(), false)
 	if err != nil {
@@ -140,5 +140,91 @@ func TestPublicClusterAPI(t *testing.T) {
 	m := cl.Metrics()
 	if m.Requests != 4 || m.CacheHits+m.CacheMisses != m.Lookups {
 		t.Fatalf("cluster metrics malformed: %+v", m)
+	}
+}
+
+// TestPublicOnlineUpdateAPI exercises the online-update surface end to
+// end: TableUpdate / NewTensor through Cluster.ApplyUpdates and
+// Server.Update, with reads staying bit-identical to the golden model.
+func TestPublicOnlineUpdateAPI(t *testing.T) {
+	cfg := tensordimm.YouTube()
+	cfg.TableRows = 301
+	cfg.EmbDim = 128
+	cfg.Reduction = 5
+	cfg.Hidden = []int{32, 16, 8, 4}
+	model, err := tensordimm.BuildModel(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := tensordimm.NewCluster(model, tensordimm.ClusterConfig{
+		Nodes:      2,
+		Strategy:   tensordimm.TableWise,
+		CacheBytes: 64 << 10,
+		MaxBatch:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	grads := tensordimm.NewTensor(3, cfg.EmbDim)
+	for i := range grads.Data() {
+		grads.Data()[i] = 0.25
+	}
+	up := tensordimm.TableUpdate{Table: 1, Rows: []int{5, 5, 17}, Grads: grads}
+	if err := cl.ApplyUpdates([]tensordimm.TableUpdate{up}); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := tensordimm.NewZipfWorkload(cfg.TableRows, 0.9, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := gen.Batch(cfg.Tables, 4, cfg.Reduction)
+	indices[1][0], indices[1][1] = 5, 17 // touch the updated rows
+	got, err := cl.Embed(indices, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cl.GoldenEmbedding(indices, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, want) {
+		t.Fatal("post-update cluster embed differs from golden")
+	}
+	if m := cl.Metrics(); m.Updates != 1 || m.RowsUpdated != 3 {
+		t.Fatalf("update metrics malformed: %+v", m)
+	}
+
+	// Single-node server path.
+	nd, err := tensordimm.NewNode(8, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := tensordimm.DeployConcurrent(model, nd, 8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := tensordimm.NewServer(tensordimm.ServeConfig{}, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Update([]tensordimm.TableUpdate{up}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = srv.Embed(indices, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = dep.GoldenEmbedding(indices, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(got, want) {
+		t.Fatal("post-update server embed differs from golden")
+	}
+	if m := srv.Metrics(); m.Updates != 1 || m.RowsUpdated != 3 {
+		t.Fatalf("server update metrics malformed: %+v", m)
 	}
 }
