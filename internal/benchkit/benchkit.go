@@ -1,0 +1,261 @@
+// Package benchkit is the shared throughput-benchmark harness of the hot
+// serving path. The same benchmark bodies run in two places: the standard
+// `go test -bench` entry points (BenchmarkServeThroughput in
+// internal/serve, BenchmarkClusterEmbed in internal/cluster,
+// BenchmarkExpandIndices in internal/runtime) and the cmd/benchjson tool,
+// which executes them with testing.Benchmark and emits BENCH_serving.json
+// so every PR leaves a comparable performance record.
+//
+// The harness pins the zero-allocation contract of the serving stack: all
+// steady-state benchmark loops drive the *Into APIs with pooled
+// per-client buffers, pre-generated request batches and warmed servers, so
+// `-benchmem` reporting 0 allocs/op is a regression gate, not an accident.
+// Geometry is fixed (4 tables x 64-dim embeddings, pairwise reduction,
+// 4 TensorDIMMs per node) to stay comparable across PRs — the recorded
+// baseline in cmd/benchjson was measured with exactly this harness.
+package benchkit
+
+import (
+	"sync"
+	"testing"
+
+	"tensordimm/internal/cluster"
+	"tensordimm/internal/node"
+	"tensordimm/internal/recsys"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/serve"
+	"tensordimm/internal/workload"
+)
+
+// Harness geometry, fixed for cross-PR comparability.
+const (
+	benchTables    = 4
+	benchDim       = 64
+	benchReduction = 2
+	benchRows      = 4096
+	benchDIMMs     = 4
+	benchBatch     = 4  // samples per client request
+	benchMaxBatch  = 64 // merged-batch cap
+	benchWorkers   = 4
+	benchClients   = 16 // concurrent client goroutines (SetParallelism)
+	benchWarmup    = 256
+	benchFeedLen   = 64 // distinct pre-generated request batches
+	benchZipfS     = 0.9
+	benchNodes     = 2         // cluster shards
+	benchCacheB    = 256 << 10 // per-shard hot-row cache bytes
+)
+
+// model builds the fixed benchmark recommender.
+func model(b *testing.B) *recsys.Model {
+	b.Helper()
+	cfg := recsys.Config{
+		Name: "bench", Tables: benchTables, Reduction: benchReduction,
+		FCLayers: 1, EmbDim: benchDim, TableRows: benchRows,
+		Hidden: []int{16},
+	}
+	m, err := recsys.Build(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// feed pre-generates the request batches every client cycles through, so
+// load generation never appears in the measured loop.
+func feed(b *testing.B, m *recsys.Model) [][][]int {
+	b.Helper()
+	gen, err := workload.NewZipfGenerator(m.Cfg.TableRows, benchZipfS, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := make([][][]int, benchFeedLen)
+	for i := range batches {
+		batches[i] = gen.Batch(m.Cfg.Tables, benchBatch, m.Cfg.Reduction)
+	}
+	return batches
+}
+
+// client is one load-generator goroutine's reusable state: its embedding
+// destination buffer and its private cursor into the shared feed.
+type client struct {
+	dst    []float32
+	cursor int
+}
+
+// clientPool hands RunParallel goroutines their reusable client state; the
+// pool is warmed before the timer starts so steady-state Gets allocate
+// nothing.
+func clientPool(width int) *sync.Pool {
+	p := &sync.Pool{New: func() any {
+		return &client{dst: make([]float32, benchBatch*width)}
+	}}
+	for i := 0; i < 2*benchClients; i++ {
+		p.Put(p.New())
+	}
+	return p
+}
+
+// ServeThroughput is the BenchmarkServeThroughput body: concurrent clients
+// submitting 4-sample Embed requests through the micro-batching server via
+// the zero-allocation EmbedInto path. Reports req/s and p99 latency (us)
+// as extra metrics.
+func ServeThroughput(b *testing.B) {
+	m := model(b)
+	nd, err := node.New(node.Config{DIMMs: benchDIMMs, PerDIMMBytes: 16 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := runtime.DeployConcurrent(m, nd, benchMaxBatch, benchWorkers, 2*benchWorkers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{MaxBatch: benchMaxBatch, Workers: benchWorkers}, dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	defer nd.Close()
+
+	batches := feed(b, m)
+	width := m.Cfg.Tables * m.Cfg.EmbDim
+	pool := clientPool(width)
+	warm := pool.Get().(*client)
+	for i := 0; i < benchWarmup; i++ {
+		dst, err := srv.EmbedInto(warm.dst, batches[i%len(batches)], benchBatch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm.dst = dst
+	}
+	pool.Put(warm)
+
+	b.SetParallelism(benchClients)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cl := pool.Get().(*client)
+		defer pool.Put(cl)
+		for pb.Next() {
+			dst, err := srv.EmbedInto(cl.dst, batches[cl.cursor%benchFeedLen], benchBatch)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			cl.dst = dst
+			cl.cursor++
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "req/s")
+	}
+	b.ReportMetric(srv.Metrics().TotalLatency.P99*1e6, "p99-us")
+}
+
+// ClusterEmbed is the BenchmarkClusterEmbed body: concurrent clients
+// submitting 4-sample Embed requests against a 2-shard cluster with warm
+// hot-row caches, via the zero-allocation EmbedInto path. Reports req/s as
+// an extra metric.
+func ClusterEmbed(b *testing.B) {
+	m := model(b)
+	cl, err := cluster.New(m, cluster.Config{
+		Nodes: benchNodes, DIMMsPerNode: benchDIMMs,
+		MaxBatch: benchMaxBatch, CacheBytes: benchCacheB,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	batches := feed(b, m)
+	width := m.Cfg.Tables * m.Cfg.EmbDim
+	pool := clientPool(width)
+	warm := pool.Get().(*client)
+	for i := 0; i < benchWarmup; i++ {
+		dst, err := cl.EmbedInto(warm.dst, batches[i%len(batches)], benchBatch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm.dst = dst
+	}
+	pool.Put(warm)
+
+	b.SetParallelism(benchClients / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		st := pool.Get().(*client)
+		defer pool.Put(st)
+		for pb.Next() {
+			dst, err := cl.EmbedInto(st.dst, batches[st.cursor%benchFeedLen], benchBatch)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			st.dst = dst
+			st.cursor++
+		}
+	})
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "req/s")
+	}
+}
+
+// ExpandIndices is the BenchmarkExpandIndices body: stripe-index expansion
+// of a 64-sample pairwise-reduction batch into a reused scratch buffer.
+func ExpandIndices(b *testing.B) {
+	rows := make([]int, benchMaxBatch*benchReduction)
+	for i := range rows {
+		rows[i] = (i * 37) % benchRows
+	}
+	const stripes = benchDim / (benchDIMMs * 16)
+	buf := make([]int32, 0, len(rows)*stripes+64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = runtime.ExpandIndicesInto(buf[:0], rows, benchReduction, stripes)
+	}
+	b.StopTimer()
+	if len(buf) == 0 {
+		b.Fatal("empty expansion")
+	}
+}
+
+// Result is one benchmark's digest, as serialized into BENCH_serving.json.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	ReqPerSec   float64 `json:"req_per_sec,omitempty"`
+	P99Us       float64 `json:"p99_us,omitempty"`
+}
+
+// digest converts a testing.BenchmarkResult into a Result.
+func digest(name string, r testing.BenchmarkResult) Result {
+	out := Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if v, ok := r.Extra["req/s"]; ok {
+		out.ReqPerSec = v
+	}
+	if v, ok := r.Extra["p99-us"]; ok {
+		out.P99Us = v
+	}
+	return out
+}
+
+// RunSuite executes the three hot-path benchmarks with testing.Benchmark
+// (auto-scaled iteration counts) and returns their digests in suite order:
+// ServeThroughput, ClusterEmbed, ExpandIndices.
+func RunSuite() []Result {
+	return []Result{
+		digest("ServeThroughput", testing.Benchmark(ServeThroughput)),
+		digest("ClusterEmbed", testing.Benchmark(ClusterEmbed)),
+		digest("ExpandIndices", testing.Benchmark(ExpandIndices)),
+	}
+}

@@ -1,0 +1,12 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"tensordimm/internal/benchkit"
+)
+
+// BenchmarkClusterEmbed drives a 2-shard cluster with warm hot-row caches
+// over the zero-allocation EmbedInto path; with -benchmem it pins
+// 0 allocs/op in steady state. Extra metric: req/s.
+func BenchmarkClusterEmbed(b *testing.B) { benchkit.ClusterEmbed(b) }

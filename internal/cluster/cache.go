@@ -27,6 +27,13 @@ import (
 // after the update's invalidation pass — without the version check the
 // read-gather / update-invalidate / read-put interleaving would cache
 // pre-update data forever.
+// Memory discipline. The hot serving path probes with getInto, which
+// copies the row into a caller-provided buffer under the lock — the caller
+// never holds a reference into the cache. Row payload buffers are recycled
+// through a free list when entries are evicted or invalidated, so a warm
+// cache inserts and evicts without allocating. get (tests only) returns the
+// resident slice directly; it is valid only until the next insert or
+// invalidation, which may recycle its storage.
 type rowCache struct {
 	mu       sync.Mutex
 	capBytes int64
@@ -35,6 +42,7 @@ type rowCache struct {
 	version  uint64     // bumped by every invalidate, guarded by mu
 	order    *list.List // front = most recently used
 	items    map[int]*list.Element
+	freeVecs [][]float32 // recycled row payload buffers, guarded by mu
 
 	hits          stats.Counter
 	misses        stats.Counter
@@ -65,8 +73,9 @@ func newRowCache(capBytes int64, dim int) *rowCache {
 
 // get returns the cached vector for a flat row and promotes it to most
 // recently used, counting the probe as a hit or a miss. The returned slice
-// is the cache's private copy; callers must not mutate it (nothing in the
-// cluster does — rows are only ever copied into output tensors).
+// aliases cache storage and is only valid until the next insert or
+// invalidation (payload buffers are recycled); it exists for tests — the
+// serving path uses getInto.
 func (c *rowCache) get(row int) ([]float32, bool) {
 	c.mu.Lock()
 	el, ok := c.items[row]
@@ -80,6 +89,26 @@ func (c *rowCache) get(row int) ([]float32, bool) {
 	c.mu.Unlock()
 	c.hits.Inc()
 	return vec, true
+}
+
+// getInto copies the cached vector for a flat row into dst (which must be
+// rowBytes/4 long) and promotes it to most recently used, counting the
+// probe as a hit or a miss. The copy happens under the cache lock, so the
+// caller owns a stable snapshot without ever holding cache storage — the
+// allocation-free hit path of the router.
+func (c *rowCache) getInto(row int, dst []float32) bool {
+	c.mu.Lock()
+	el, ok := c.items[row]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Inc()
+		return false
+	}
+	c.order.MoveToFront(el)
+	copy(dst, el.Value.(*cacheEntry).vec)
+	c.mu.Unlock()
+	c.hits.Inc()
+	return true
 }
 
 // snapshot returns the cache's current version for a later putAt. Callers
@@ -119,6 +148,7 @@ func (c *rowCache) invalidate(rows []int) int {
 		}
 		c.order.Remove(el)
 		delete(c.items, row)
+		c.freeVecs = append(c.freeVecs, el.Value.(*cacheEntry).vec)
 		c.used -= c.rowBytes
 		n++
 	}
@@ -135,7 +165,9 @@ func (c *rowCache) put(row int, vec []float32) {
 	c.insert(row, vec)
 }
 
-// insert is the lock-held body of put/putAt.
+// insert is the lock-held body of put/putAt. Evicted rows donate their
+// payload buffer to the free list, and new rows take one from it when
+// available, so a cache at capacity churns without allocating payloads.
 func (c *rowCache) insert(row int, vec []float32) {
 	if el, ok := c.items[row]; ok {
 		c.order.MoveToFront(el)
@@ -148,9 +180,16 @@ func (c *rowCache) insert(row int, vec []float32) {
 		}
 		c.order.Remove(back)
 		delete(c.items, back.Value.(*cacheEntry).row)
+		c.freeVecs = append(c.freeVecs, back.Value.(*cacheEntry).vec)
 		c.used -= c.rowBytes
 	}
-	cp := make([]float32, len(vec))
+	var cp []float32
+	if n := len(c.freeVecs); n > 0 {
+		cp = c.freeVecs[n-1]
+		c.freeVecs = c.freeVecs[:n-1]
+	} else {
+		cp = make([]float32, len(vec))
+	}
 	copy(cp, vec)
 	c.items[row] = c.order.PushFront(&cacheEntry{row: row, vec: cp})
 	c.used += c.rowBytes

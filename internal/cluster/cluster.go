@@ -137,11 +137,27 @@ type shard struct {
 // Cluster is a sharded multi-node serving system for one recommender
 // model. Create with New, submit with Infer or Embed from any number of
 // goroutines, inspect with Metrics, and Close when done.
+//
+// Memory discipline. Every request borrows a routerScratch from a pool —
+// flat per-shard sub-request slices with an epoch-stamped dedup table (no
+// per-request maps), a hit buffer the caches copy into, and per-shard
+// result buffers the shard servers gather into — and sub-requests are
+// dispatched through a fixed pool of router workers, so the steady-state
+// Embed path performs no heap allocations (see ARCHITECTURE.md, "Memory
+// discipline").
 type Cluster struct {
 	model *recsys.Model
 	cfg   Config
 	place *placement
 	shard []*shard
+
+	scratchPool sync.Pool
+	dispatch    chan *shardCall
+
+	// runMu guards the closed flag against the in-flight counter so Close
+	// can wait for every running request before tearing the shards down.
+	runMu    sync.Mutex
+	inflight sync.WaitGroup
 
 	// tableMu serializes updates per global table: float accumulation is
 	// not associative, so per-table ordering — across the shard scatters,
@@ -192,6 +208,15 @@ func New(m *recsys.Model, cfg Config) (*Cluster, error) {
 		cfg:     cfg,
 		place:   newPlacement(cfg.Strategy, cfg.Nodes, mc.Tables, mc.TableRows),
 		tableMu: make([]sync.Mutex, mc.Tables),
+	}
+	c.scratchPool.New = func() any { return c.newScratch() }
+	// Router workers: enough for every shard of several concurrent
+	// requests to be in flight at once. A call beyond that queues briefly;
+	// the shard servers' micro-batching absorbs the jitter.
+	workers := cfg.Nodes * cfg.Workers * 2
+	c.dispatch = make(chan *shardCall, workers)
+	for i := 0; i < workers; i++ {
+		go c.dispatchWorker()
 	}
 	for s := 0; s < cfg.Nodes; s++ {
 		sh, err := c.buildShard(s)
@@ -316,16 +341,120 @@ func (c *Cluster) perDIMMBytes(localRows, maxSub int) uint64 {
 	return (per + 4095) / 4096 * 4096
 }
 
-// rowSrc locates one gathered row inside a shard's sub-request result.
+// rowSrc locates one lookup's resolved row: shard >= 0 indexes into that
+// shard's sub-request result, shard == -1 indexes a row of the scratch's
+// hit buffer (the lookup was served by a cache).
 type rowSrc struct {
 	shard int32
 	idx   int32
 }
 
-// subreq is the deduplicated flat index list routed to one shard.
-type subreq struct {
-	rows []int
-	pos  map[int]int // flat row -> index in rows
+// subScratch is one shard's slice of a routerScratch: the deduplicated
+// flat index list being built, the buffer the shard server gathers into,
+// and the epoch-stamped dedup table replacing the per-request map — a slot
+// is live only when its stamp equals the scratch's current epoch, so reuse
+// costs one increment instead of a map allocation.
+type subScratch struct {
+	rows    []int   // deduplicated flat rows routed to this shard
+	rowsArg [][]int // reused 1-element header for the shard server call
+	out     []float32
+	stamp   []uint32 // dedup: stamp[flat] == epoch means slot[flat] is live
+	slot    []int32  // dedup: flat row -> index in rows
+}
+
+// routerScratch is the per-request working set of the router, pooled on
+// the cluster. A scratch is owned by exactly one request from Get to Put.
+type routerScratch struct {
+	wg       sync.WaitGroup
+	epoch    uint32
+	cacheVer []uint64
+	fabric   []int64
+	calls    []shardCall
+	sub      []subScratch
+	src      []rowSrc  // tables x lookups resolved sources
+	hitBuf   []float32 // cache hits, one dim-wide row per hit
+	hitRows  int
+}
+
+// shardCall is one shard sub-request being executed by a router worker.
+type shardCall struct {
+	c   *Cluster
+	s   int
+	scr *routerScratch
+	err error
+}
+
+// newScratch sizes a routerScratch for the cluster's geometry.
+func (c *Cluster) newScratch() *routerScratch {
+	mc := c.model.Cfg
+	lookups := c.cfg.MaxBatch * mc.Reduction
+	scr := &routerScratch{
+		cacheVer: make([]uint64, c.cfg.Nodes),
+		fabric:   make([]int64, c.cfg.Nodes),
+		calls:    make([]shardCall, c.cfg.Nodes),
+		sub:      make([]subScratch, c.cfg.Nodes),
+		src:      make([]rowSrc, mc.Tables*lookups),
+		hitBuf:   make([]float32, mc.Tables*lookups*mc.EmbDim),
+	}
+	for s := range scr.sub {
+		maxSub := c.place.tablesOn(s) * lookups
+		scr.sub[s] = subScratch{
+			rows:    make([]int, 0, maxSub),
+			rowsArg: make([][]int, 1),
+			out:     make([]float32, 0, maxSub*mc.EmbDim),
+			stamp:   make([]uint32, c.place.localRows[s]),
+			slot:    make([]int32, c.place.localRows[s]),
+		}
+	}
+	for s := range scr.calls {
+		scr.calls[s] = shardCall{c: c, s: s, scr: scr}
+	}
+	return scr
+}
+
+// nextEpoch advances the scratch's dedup epoch, clearing the stamp tables
+// only on the (rare) wrap-around.
+func (scr *routerScratch) nextEpoch() uint32 {
+	scr.epoch++
+	if scr.epoch == 0 {
+		for s := range scr.sub {
+			clear(scr.sub[s].stamp)
+		}
+		scr.epoch = 1
+	}
+	return scr.epoch
+}
+
+// dispatchWorker executes shard sub-requests until Close drains the pool.
+func (c *Cluster) dispatchWorker() {
+	for call := range c.dispatch {
+		call.run()
+		call.scr.wg.Done()
+	}
+}
+
+// run executes one shard's sub-request: the shard server gathers the
+// deduplicated rows into the scratch's per-shard buffer, and the transfer
+// is accounted per shard for the fabric model.
+func (call *shardCall) run() {
+	c, s, scr := call.c, call.s, call.scr
+	sh := c.shard[s]
+	sub := &scr.sub[s]
+	n := len(sub.rows)
+	sub.rowsArg[0] = sub.rows
+	out, err := sh.srv.EmbedInto(sub.out[:0], sub.rowsArg, n)
+	if err != nil {
+		call.err = err
+		return // a failed sub-request gathered and transferred nothing
+	}
+	sub.out, call.err = out, nil
+	idxBytes := int64(n) * 4
+	rowBytes := int64(n) * c.model.Cfg.EmbBytes()
+	sh.subRequests.Inc()
+	sh.rowsGathered.Add(uint64(n))
+	sh.indexBytes.Add(uint64(idxBytes))
+	sh.partialBytes.Add(uint64(rowBytes))
+	scr.fabric[s] = idxBytes + rowBytes
 }
 
 // Embed runs the sharded embedding stage for one request of `batch`
@@ -335,14 +464,49 @@ type subreq struct {
 // per table, exactly as Deployment.Infer takes them. Safe for concurrent
 // use.
 func (c *Cluster) Embed(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
-	return c.run(perTableRows, batch, true)
+	mc := c.model.Cfg
+	if err := c.validateRead(perTableRows, batch); err != nil {
+		return nil, err
+	}
+	dst := make([]float32, batch*mc.Tables*mc.EmbDim)
+	if _, err := c.run(dst, perTableRows, batch, true); err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(dst, batch, mc.Tables*mc.EmbDim)
+}
+
+// EmbedInto is Embed writing the pooled [batch, tables*dim] values
+// row-major into dst, which is grown if its capacity is insufficient and
+// returned re-sliced to exactly batch*tables*dim. A caller that reuses the
+// returned slice performs zero heap allocations in steady state; the
+// cluster writes to dst only for the duration of the call and never
+// retains it. Safe for concurrent use (with distinct dst buffers).
+func (c *Cluster) EmbedInto(dst []float32, perTableRows [][]int, batch int) ([]float32, error) {
+	mc := c.model.Cfg
+	if err := c.validateRead(perTableRows, batch); err != nil {
+		return nil, err
+	}
+	need := batch * mc.Tables * mc.EmbDim
+	if cap(dst) < need {
+		dst = make([]float32, need)
+	}
+	dst = dst[:need]
+	if _, err := c.run(dst, perTableRows, batch, true); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // Infer runs Embed plus the model's DNN stage at the router (the GPU that
 // received the merged tensor), returning [batch, 1] probabilities. Safe
 // for concurrent use.
 func (c *Cluster) Infer(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
-	return c.run(perTableRows, batch, false)
+	mc := c.model.Cfg
+	if err := c.validateRead(perTableRows, batch); err != nil {
+		return nil, err
+	}
+	dst := make([]float32, batch*mc.Tables*mc.EmbDim)
+	return c.run(dst, perTableRows, batch, false)
 }
 
 // ApplyUpdates applies a batch of per-table gradient updates cluster-wide:
@@ -370,9 +534,6 @@ func (c *Cluster) Infer(perTableRows [][]int, batch int) (*tensor.Tensor, error)
 // Failures); callers should treat it as fatal for the deployment.
 func (c *Cluster) ApplyUpdates(ups []runtime.TableUpdate) error {
 	mc := c.model.Cfg
-	if c.closed.Load() {
-		return fmt.Errorf("cluster: cluster is closed")
-	}
 	if len(ups) == 0 {
 		return fmt.Errorf("cluster: empty update batch")
 	}
@@ -393,6 +554,11 @@ func (c *Cluster) ApplyUpdates(ups []runtime.TableUpdate) error {
 			}
 		}
 	}
+
+	if err := c.enter(); err != nil {
+		return err
+	}
+	defer c.inflight.Done()
 
 	// Group by table (shared grouping with the runtime, so orderings can
 	// never diverge) and fan the groups out: distinct tables update
@@ -503,107 +669,118 @@ func (c *Cluster) applyTableUpdate(up runtime.TableUpdate) ([]int64, error) {
 	return bytes, nil
 }
 
-func (c *Cluster) run(perTableRows [][]int, batch int, embedOnly bool) (*tensor.Tensor, error) {
-	start := time.Now()
+// validateRead checks one read submission against the cluster geometry.
+func (c *Cluster) validateRead(perTableRows [][]int, batch int) error {
 	mc := c.model.Cfg
-	if c.closed.Load() {
-		return nil, fmt.Errorf("cluster: cluster is closed")
-	}
 	if batch <= 0 || batch > c.cfg.MaxBatch {
-		return nil, fmt.Errorf("cluster: batch %d out of range [1, %d]", batch, c.cfg.MaxBatch)
+		return fmt.Errorf("cluster: batch %d out of range [1, %d]", batch, c.cfg.MaxBatch)
 	}
 	if len(perTableRows) != mc.Tables {
-		return nil, fmt.Errorf("cluster: %d index lists for %d tables", len(perTableRows), mc.Tables)
+		return fmt.Errorf("cluster: %d index lists for %d tables", len(perTableRows), mc.Tables)
 	}
 	lookups := batch * mc.Reduction
 	for t, rows := range perTableRows {
 		if len(rows) != lookups {
-			return nil, fmt.Errorf("cluster: table %d: %d rows for batch %d x reduction %d",
+			return fmt.Errorf("cluster: table %d: %d rows for batch %d x reduction %d",
 				t, len(rows), batch, mc.Reduction)
 		}
 		for _, r := range rows {
 			if r < 0 || r >= mc.TableRows {
-				return nil, fmt.Errorf("cluster: table %d: row index %d out of range [0, %d)", t, r, mc.TableRows)
+				return fmt.Errorf("cluster: table %d: row index %d out of range [0, %d)", t, r, mc.TableRows)
 			}
 		}
 	}
+	return nil
+}
+
+// enter registers one in-flight operation, failing when the cluster is
+// closed; the matching c.inflight.Done() lets Close drain before teardown.
+func (c *Cluster) enter() error {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	if c.closed.Load() {
+		return fmt.Errorf("cluster: cluster is closed")
+	}
+	c.inflight.Add(1)
+	return nil
+}
+
+// run executes one validated request against dst (length batch*tables*dim):
+// route, execute, transfer, merge. For embedOnly it returns (nil, nil) with
+// the pooled values in dst; otherwise it returns the DNN output.
+func (c *Cluster) run(dst []float32, perTableRows [][]int, batch int, embedOnly bool) (*tensor.Tensor, error) {
+	start := time.Now()
+	mc := c.model.Cfg
+	if err := c.enter(); err != nil {
+		return nil, err
+	}
+	defer c.inflight.Done()
+	lookups := batch * mc.Reduction
+	dim := mc.EmbDim
 	c.lookups.Add(uint64(mc.Tables * lookups))
+
+	scr := c.scratchPool.Get().(*routerScratch)
+	defer c.scratchPool.Put(scr)
+	epoch := scr.nextEpoch()
+	scr.hitRows = 0
 
 	// Snapshot every cache's version before any gather is dispatched: a
 	// row gathered now may predate an update that lands mid-request, and
 	// putAt drops it if the version moved (see rowCache).
-	cacheVer := make([]uint64, c.cfg.Nodes)
 	for s, sh := range c.shard {
+		scr.fabric[s] = 0
+		scr.sub[s].rows = scr.sub[s].rows[:0]
 		if sh.cache != nil {
-			cacheVer[s] = sh.cache.snapshot()
+			scr.cacheVer[s] = sh.cache.snapshot()
 		}
 	}
 
-	// Route: resolve every lookup to a cache hit or a deduplicated slot in
-	// the owning shard's sub-request.
-	subs := make([]*subreq, c.cfg.Nodes)
-	hits := make([][][]float32, mc.Tables)
-	srcs := make([][]rowSrc, mc.Tables)
+	// Route: resolve every lookup to a cache hit (copied into the hit
+	// buffer, so no reference into the cache outlives the probe) or a
+	// deduplicated slot in the owning shard's sub-request.
 	for t, rows := range perTableRows {
-		hits[t] = make([][]float32, lookups)
-		srcs[t] = make([]rowSrc, lookups)
+		srcRow := scr.src[t*lookups : (t+1)*lookups]
 		for i, r := range rows {
 			s, flat := c.place.locate(t, r)
 			sh := c.shard[s]
 			if sh.cache != nil {
-				if vec, ok := sh.cache.get(flat); ok {
-					hits[t][i] = vec
+				hit := scr.hitBuf[scr.hitRows*dim : (scr.hitRows+1)*dim]
+				if sh.cache.getInto(flat, hit) {
+					srcRow[i] = rowSrc{shard: -1, idx: int32(scr.hitRows)}
+					scr.hitRows++
 					continue
 				}
 			}
-			sub := subs[s]
-			if sub == nil {
-				sub = &subreq{pos: make(map[int]int)}
-				subs[s] = sub
+			sub := &scr.sub[s]
+			if sub.stamp[flat] == epoch {
+				srcRow[i] = rowSrc{shard: int32(s), idx: sub.slot[flat]}
+				continue
 			}
-			j, ok := sub.pos[flat]
-			if !ok {
-				j = len(sub.rows)
-				sub.rows = append(sub.rows, flat)
-				sub.pos[flat] = j
-			}
-			srcs[t][i] = rowSrc{shard: int32(s), idx: int32(j)}
+			sub.stamp[flat] = epoch
+			sub.slot[flat] = int32(len(sub.rows))
+			srcRow[i] = rowSrc{shard: int32(s), idx: sub.slot[flat]}
+			sub.rows = append(sub.rows, flat)
 		}
 	}
 
-	// Execute the per-shard sub-requests concurrently and model the fabric
-	// cost: index lists out, partial gathered rows back, both serializing
-	// at the router's port.
-	results := make([]*tensor.Tensor, c.cfg.Nodes)
-	errs := make([]error, c.cfg.Nodes)
-	fabricBytes := make([]int64, c.cfg.Nodes)
-	var wg sync.WaitGroup
-	for s, sub := range subs {
-		if sub == nil {
+	// Execute the per-shard sub-requests concurrently through the router
+	// workers and model the fabric cost: index lists out, partial gathered
+	// rows back, both serializing at the router's port.
+	for s := range scr.sub {
+		if len(scr.sub[s].rows) == 0 {
 			continue
 		}
-		wg.Add(1)
-		go func(s int, sub *subreq) {
-			defer wg.Done()
-			sh := c.shard[s]
-			n := len(sub.rows)
-			results[s], errs[s] = sh.srv.Embed([][]int{sub.rows}, n)
-			if errs[s] != nil {
-				return // a failed sub-request gathered and transferred nothing
-			}
-			idxBytes := int64(n) * 4
-			rowBytes := int64(n) * mc.EmbBytes()
-			sh.subRequests.Inc()
-			sh.rowsGathered.Add(uint64(n))
-			sh.indexBytes.Add(uint64(idxBytes))
-			sh.partialBytes.Add(uint64(rowBytes))
-			fabricBytes[s] = idxBytes + rowBytes
-		}(s, sub)
+		scr.calls[s].err = nil
+		scr.wg.Add(1)
+		c.dispatch <- &scr.calls[s]
 	}
-	wg.Wait()
-	c.transfer.Observe(c.cfg.Fabric.ConvergeSeconds(fabricBytes))
-	for s, err := range errs {
-		if err != nil {
+	scr.wg.Wait()
+	c.transfer.Observe(c.cfg.Fabric.ConvergeSeconds(scr.fabric))
+	for s := range scr.sub {
+		if len(scr.sub[s].rows) == 0 {
+			continue
+		}
+		if err := scr.calls[s].err; err != nil {
 			c.failures.Inc()
 			return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
 		}
@@ -612,45 +789,80 @@ func (c *Cluster) run(perTableRows [][]int, batch int, embedOnly bool) (*tensor.
 	// Feed the caches with the rows just gathered — unless an update bumped
 	// the shard's version since the snapshot, in which case the gathered
 	// rows may be stale and are not cached.
-	for s, sub := range subs {
-		if sub == nil || c.shard[s].cache == nil {
+	for s := range scr.sub {
+		sub := &scr.sub[s]
+		if len(sub.rows) == 0 || c.shard[s].cache == nil {
 			continue
 		}
-		for flat, j := range sub.pos {
-			c.shard[s].cache.putAt(flat, results[s].Row(j), cacheVer[s])
+		for j, flat := range sub.rows {
+			c.shard[s].cache.putAt(flat, sub.out[j*dim:(j+1)*dim], scr.cacheVer[s])
 		}
 	}
 
-	// Merge: reassemble each table's gathered rows in request order, then
-	// pool with the golden code path — bit-identical to Layer.Forward.
-	pooled := make([]*tensor.Tensor, mc.Tables)
+	// Merge: pool each table's rows in request order directly into dst,
+	// with exactly the per-element operation sequence of the golden
+	// embed.Pool / embed.Average path (copy the first group member, apply
+	// the operator per member in order, scale for mean) — bit-identical to
+	// Layer.Forward.
+	width := mc.Tables * dim
+	vecFor := func(srcRow []rowSrc, i int) []float32 {
+		src := srcRow[i]
+		if src.shard < 0 {
+			return scr.hitBuf[int(src.idx)*dim : (int(src.idx)+1)*dim]
+		}
+		out := scr.sub[src.shard].out
+		return out[int(src.idx)*dim : (int(src.idx)+1)*dim]
+	}
+	red := mc.Reduction
 	for t := 0; t < mc.Tables; t++ {
-		g := tensor.New(lookups, mc.EmbDim)
-		for i := 0; i < lookups; i++ {
-			vec := hits[t][i]
-			if vec == nil {
-				src := srcs[t][i]
-				vec = results[src.shard].Row(int(src.idx))
+		srcRow := scr.src[t*lookups : (t+1)*lookups]
+		for g := 0; g < batch; g++ {
+			seg := dst[g*width+t*dim : g*width+(t+1)*dim]
+			copy(seg, vecFor(srcRow, g*red))
+			for j := 1; j < red; j++ {
+				vec := vecFor(srcRow, g*red+j)
+				switch {
+				case mc.Mean, mc.Op == isa.RAdd:
+					for k := range seg {
+						seg[k] += vec[k]
+					}
+				case mc.Op == isa.RSub:
+					for k := range seg {
+						seg[k] -= vec[k]
+					}
+				case mc.Op == isa.RMul:
+					for k := range seg {
+						seg[k] *= vec[k]
+					}
+				case mc.Op == isa.RMax:
+					for k := range seg {
+						if vec[k] > seg[k] {
+							seg[k] = vec[k]
+						}
+					}
+				default:
+					c.failures.Inc()
+					return nil, fmt.Errorf("cluster: merge table %d: unknown reduce op %v", t, mc.Op)
+				}
 			}
-			copy(g.Row(i), vec)
-		}
-		var err error
-		switch {
-		case mc.Reduction == 1:
-			pooled[t] = g
-		case mc.Mean:
-			pooled[t], err = embed.Average(g, mc.Reduction)
-		default:
-			pooled[t], err = embed.Pool(g, mc.Reduction, mc.Op)
-		}
-		if err != nil {
-			c.failures.Inc()
-			return nil, fmt.Errorf("cluster: merge table %d: %w", t, err)
+			if mc.Mean && red > 1 {
+				inv := 1 / float32(red)
+				for k := range seg {
+					seg[k] *= inv
+				}
+			}
 		}
 	}
-	out, err := tensor.ConcatRows(pooled...)
-	if err == nil && !embedOnly {
-		out, err = c.model.InferFromEmbeddings(out)
+
+	if embedOnly {
+		c.requests.Inc()
+		c.samples.Add(uint64(batch))
+		c.totalLat.Observe(time.Since(start).Seconds())
+		return nil, nil
+	}
+	view, err := tensor.FromSlice(dst, batch, width)
+	if err == nil {
+		view, err = c.model.InferFromEmbeddings(view)
 	}
 	if err != nil {
 		c.failures.Inc()
@@ -659,7 +871,7 @@ func (c *Cluster) run(perTableRows [][]int, batch int, embedOnly bool) (*tensor.
 	c.requests.Inc()
 	c.samples.Add(uint64(batch))
 	c.totalLat.Observe(time.Since(start).Seconds())
-	return out, nil
+	return view, nil
 }
 
 // GoldenEmbedding computes the single-node reference embedding output the
@@ -674,13 +886,18 @@ func (c *Cluster) Nodes() int { return c.cfg.Nodes }
 // Config returns the cluster's effective configuration (defaults filled).
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Close stops accepting requests, shuts down every shard server (draining
-// whatever they already accepted) and releases the shard deployments. It
-// is idempotent.
+// Close stops accepting requests, waits for every in-flight request and
+// update to drain, shuts down every shard server (draining whatever they
+// already accepted), releases the shard deployments, stops the router
+// workers, and stops the shard nodes' executor workers. It is idempotent.
 func (c *Cluster) Close() error {
-	if c.closed.Swap(true) {
+	c.runMu.Lock()
+	already := c.closed.Swap(true)
+	c.runMu.Unlock()
+	if already {
 		return nil
 	}
+	c.inflight.Wait()
 	var first error
 	for _, sh := range c.shard {
 		if sh == nil || sh.srv == nil {
@@ -688,6 +905,12 @@ func (c *Cluster) Close() error {
 		}
 		if err := sh.srv.Close(); err != nil && first == nil {
 			first = err
+		}
+	}
+	close(c.dispatch)
+	for _, sh := range c.shard {
+		if sh != nil && sh.node != nil {
+			sh.node.Close()
 		}
 	}
 	return first

@@ -1,0 +1,104 @@
+package node
+
+import (
+	"testing"
+
+	"tensordimm/internal/isa"
+)
+
+// TestReadFloatsIntoRoundTrip pins the allocation-free float I/O path:
+// WriteFloats (block-packed, zero-padded tail) followed by ReadFloatsInto
+// must round-trip exactly, including counts that are not a multiple of the
+// 16-lane block and reads into reused buffers.
+func TestReadFloatsIntoRoundTrip(t *testing.T) {
+	n, err := New(Config{DIMMs: 4, PerDIMMBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	base, err := n.Alloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float32, 100)
+	for _, count := range []int{1, 15, 16, 17, 64, 100} {
+		vals := make([]float32, count)
+		for i := range vals {
+			vals[i] = float32(i)*0.5 - 7
+		}
+		if err := n.WriteFloats(base, vals); err != nil {
+			t.Fatal(err)
+		}
+		got := buf[:count]
+		if err := n.ReadFloatsInto(base, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("count %d: got[%d] = %v, want %v", count, i, got[i], vals[i])
+			}
+		}
+		// The allocating form must agree with the into-form.
+		alloc, err := n.ReadFloats(base, count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vals {
+			if alloc[i] != vals[i] {
+				t.Fatalf("count %d: ReadFloats[%d] = %v, want %v", count, i, alloc[i], vals[i])
+			}
+		}
+	}
+	// The partial tail block is zero-padded: write 1 float, read 16 back.
+	if err := n.WriteFloats(base, []float32{42}); err != nil {
+		t.Fatal(err)
+	}
+	got := buf[:isa.LanesPerBlock]
+	if err := n.ReadFloatsInto(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("got[0] = %v, want 42", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("tail lane %d = %v, want zero padding", i, got[i])
+		}
+	}
+}
+
+// TestIOBoundsAndAlignment pins the error paths of the rewritten I/O.
+func TestIOBoundsAndAlignment(t *testing.T) {
+	n, err := New(Config{DIMMs: 2, PerDIMMBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.WriteFloats(32, []float32{1}); err == nil {
+		t.Fatal("want unaligned-base write error")
+	}
+	if err := n.ReadFloatsInto(32, make([]float32, 1)); err == nil {
+		t.Fatal("want unaligned-base read error")
+	}
+	if err := n.WriteFloats(n.CapacityBytes()-64, make([]float32, 32)); err == nil {
+		t.Fatal("want out-of-capacity write error")
+	}
+	if err := n.ReadFloatsInto(n.CapacityBytes()-64, make([]float32, 32)); err == nil {
+		t.Fatal("want out-of-capacity read error")
+	}
+}
+
+// TestExecuteAfterClose pins the Close contract: the executor workers stop
+// and further Execute calls fail cleanly instead of hanging.
+func TestExecuteAfterClose(t *testing.T) {
+	n, err := New(Config{DIMMs: 2, PerDIMMBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Close() // idempotent
+	prog := isa.Program{isa.Gather(0, 0, 8, 16)}
+	if err := n.Execute(prog); err == nil {
+		t.Fatal("want error executing on a closed node")
+	}
+}

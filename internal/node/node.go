@@ -22,8 +22,11 @@
 package node
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"tensordimm/internal/dimm"
 	"tensordimm/internal/isa"
@@ -60,6 +63,29 @@ type Node struct {
 	free    []span            // allocator free list, sorted by base, in bytes
 	allocs  map[uint64]uint64 // base -> size
 	idxNext uint64            // next unreserved shared-region byte address
+
+	// Instruction broadcast runs on one persistent worker goroutine per
+	// TensorDIMM (the per-DIMM FSM of the hardware): Execute hands each
+	// worker the instruction over its channel and waits on a pooled
+	// execState, so the steady-state broadcast path performs no heap
+	// allocations (see ARCHITECTURE.md, "Memory discipline").
+	execCh   []chan execJob
+	execPool sync.Pool
+	closed   atomic.Bool
+}
+
+// execJob is one instruction handed to a DIMM's executor worker.
+type execJob struct {
+	in isa.Instruction
+	st *execState
+}
+
+// execState is the per-Execute rendezvous: every worker records its error
+// slot and signals the WaitGroup. States are pooled and reused; errs is
+// fully overwritten for every instruction before it is read.
+type execState struct {
+	wg   sync.WaitGroup
+	errs []error
 }
 
 // span is a free region [base, base+size) in bytes.
@@ -86,7 +112,37 @@ func New(cfg Config) (*Node, error) {
 		n.dimms = append(n.dimms, d)
 	}
 	n.free = []span{{base: 0, size: n.CapacityBytes()}}
+	n.execPool.New = func() any { return &execState{errs: make([]error, cfg.DIMMs)} }
+	for tid := 0; tid < cfg.DIMMs; tid++ {
+		ch := make(chan execJob, 1)
+		n.execCh = append(n.execCh, ch)
+		go n.execWorker(tid, ch)
+	}
 	return n, nil
+}
+
+// execWorker drains one DIMM's instruction channel until Close.
+func (n *Node) execWorker(tid int, ch chan execJob) {
+	d := n.dimms[tid]
+	for j := range ch {
+		j.st.errs[tid] = d.Execute(j.in)
+		j.st.wg.Done()
+	}
+}
+
+// Close stops the node's executor workers. It is idempotent. Close must not
+// be called while Execute calls are in flight (drain deployments and
+// servers first); Execute after Close returns an error. Closing is only
+// needed when nodes are created and torn down repeatedly in one process
+// (the cluster does it per shard) — a node that lives for the process
+// lifetime can skip it.
+func (n *Node) Close() {
+	if n.closed.Swap(true) {
+		return
+	}
+	for _, ch := range n.execCh {
+		close(ch)
+	}
 }
 
 // NodeDim returns the number of TensorDIMMs.
@@ -151,30 +207,63 @@ func (n *Node) Read(base uint64, out []byte) error {
 	return nil
 }
 
-// WriteFloats stores a float32 slice (little-endian) at base.
+// WriteFloats stores a float32 slice (little-endian) at base. The trailing
+// partial block, if any, is zero-padded, and the write performs no heap
+// allocations: values are packed block by block on the stack.
 func (n *Node) WriteFloats(base uint64, vals []float32) error {
-	buf := make([]byte, ((len(vals)*4+isa.BlockBytes-1)/isa.BlockBytes)*isa.BlockBytes)
-	for i, v := range vals {
-		b := nmp.PackFloats([]float32{v})
-		copy(buf[i*4:i*4+4], b[:4])
+	nBytes := uint64(((len(vals)*4 + isa.BlockBytes - 1) / isa.BlockBytes) * isa.BlockBytes)
+	if base%isa.BlockBytes != 0 {
+		return fmt.Errorf("node: write base %#x not 64 B aligned", base)
 	}
-	return n.Write(base, buf)
+	if base+nBytes > n.CapacityBytes() {
+		return fmt.Errorf("node: write [%#x, +%d) beyond capacity %d", base, nBytes, n.CapacityBytes())
+	}
+	for off := 0; off < len(vals); off += isa.LanesPerBlock {
+		end := off + isa.LanesPerBlock
+		if end > len(vals) {
+			end = len(vals)
+		}
+		blk := nmp.PackFloats(vals[off:end])
+		gb := base/isa.BlockBytes + uint64(off/isa.LanesPerBlock)
+		if err := n.dimmFor(gb).WriteLocal(gb, blk); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadFloats fetches count float32 values from base.
 func (n *Node) ReadFloats(base uint64, count int) ([]float32, error) {
-	nBytes := ((count*4 + isa.BlockBytes - 1) / isa.BlockBytes) * isa.BlockBytes
-	buf := make([]byte, nBytes)
-	if err := n.Read(base, buf); err != nil {
+	out := make([]float32, count)
+	if err := n.ReadFloatsInto(base, out); err != nil {
 		return nil, err
 	}
-	out := make([]float32, count)
-	for i := range out {
-		var b nmp.Block
-		copy(b[:4], buf[i*4:i*4+4])
-		out[i] = nmp.UnpackFloats(b)[0]
-	}
 	return out, nil
+}
+
+// ReadFloatsInto fetches len(out) float32 values from base into the
+// caller's buffer, decoding 64-byte blocks directly so the steady-state
+// read-back path performs no heap allocations. base must be 64 B aligned.
+func (n *Node) ReadFloatsInto(base uint64, out []float32) error {
+	nBytes := uint64(((len(out)*4 + isa.BlockBytes - 1) / isa.BlockBytes) * isa.BlockBytes)
+	if base%isa.BlockBytes != 0 {
+		return fmt.Errorf("node: read base %#x not 64 B aligned", base)
+	}
+	if base+nBytes > n.CapacityBytes() {
+		return fmt.Errorf("node: read [%#x, +%d) beyond capacity %d", base, nBytes, n.CapacityBytes())
+	}
+	i := 0
+	for gb := base / isa.BlockBytes; i < len(out); gb++ {
+		b, err := n.dimmFor(gb).ReadLocal(gb)
+		if err != nil {
+			return err
+		}
+		for l := 0; l < isa.LanesPerBlock && i < len(out); l++ {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[l*4 : l*4+4]))
+			i++
+		}
+	}
+	return nil
 }
 
 // LoadIndices replicates a GATHER index list into the shared region at the
@@ -208,25 +297,28 @@ func (n *Node) Execute(p isa.Program) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	if n.closed.Load() {
+		return fmt.Errorf("node: node is closed")
+	}
+	// Instruction fields are in 64-byte blocks; convert byte->block
+	// addressing is the caller's job. Broadcast each instruction to the
+	// persistent per-DIMM workers and wait on the pooled state: no goroutine
+	// spawns or slice allocations on the steady-state path.
+	st := n.execPool.Get().(*execState)
 	for i, in := range p {
-		// Instruction fields are in 64-byte blocks; convert byte->block
-		// addressing is the caller's job. Broadcast to all cores.
-		var wg sync.WaitGroup
-		errs := make([]error, len(n.dimms))
-		for tid, d := range n.dimms {
-			wg.Add(1)
-			go func(tid int, d *dimm.TensorDIMM) {
-				defer wg.Done()
-				errs[tid] = d.Execute(in)
-			}(tid, d)
+		st.wg.Add(len(n.dimms))
+		for _, ch := range n.execCh {
+			ch <- execJob{in: in, st: st}
 		}
-		wg.Wait()
-		for tid, err := range errs {
+		st.wg.Wait()
+		for tid, err := range st.errs {
 			if err != nil {
+				n.execPool.Put(st)
 				return fmt.Errorf("node: instruction %d (%v) on DIMM %d: %w", i, in, tid, err)
 			}
 		}
 	}
+	n.execPool.Put(st)
 	return nil
 }
 

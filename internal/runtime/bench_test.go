@@ -1,0 +1,11 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"tensordimm/internal/benchkit"
+)
+
+// BenchmarkExpandIndices measures stripe-index expansion into a reused
+// scratch buffer (ExpandIndicesInto); with -benchmem it pins 0 allocs/op.
+func BenchmarkExpandIndices(b *testing.B) { benchkit.ExpandIndices(b) }

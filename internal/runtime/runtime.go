@@ -17,11 +17,19 @@
 // slots (one pooled-output region each) and scratch lanes (one index-list
 // region plus two gather operand buffers each). RunEmbedding acquires a free
 // slot for the whole batch and fans the per-table GATHER/REDUCE programs out
-// across free lanes, so every in-flight table touches a disjoint slice of
+// across the lanes, so every in-flight table touches a disjoint slice of
 // the pool and concurrent batches never alias. Deploy gives a deployment one
 // slot and one lane — the sequential behavior of the paper's runtime —
 // while DeployConcurrent sizes both for a serving workload (see
 // internal/serve).
+//
+// Memory discipline. Each lane is owned by one persistent worker goroutine
+// holding the lane's host-side scratch (expanded index list, row-split
+// buffers, compiled program), and each slot carries a preallocated job array
+// and WaitGroup; RunEmbeddingInto writes the pooled result into a
+// caller-provided buffer. Together these make the steady-state embedding
+// path — expansion, compilation, broadcast, execution, read-back — free of
+// heap allocations (see ARCHITECTURE.md, "Memory discipline").
 //
 // Online updates. ApplyUpdates programs the SCATTER_ADD extension over the
 // same lane partitioning: gradient rows are staged into a lane's gather
@@ -35,6 +43,7 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tensordimm/internal/embed"
 	"tensordimm/internal/isa"
@@ -44,11 +53,50 @@ import (
 )
 
 // scratchLane is the per-execution scratch a single table's embedding stage
-// needs: a reserved index-list region of the replicated shared store and two
-// gather operand buffers in the pool (enough for pairwise REDUCE).
+// needs: a reserved index-list region of the replicated shared store, two
+// gather operand buffers in the pool (enough for pairwise REDUCE), and the
+// host-side reusable buffers of the lane's worker goroutine. The host
+// buffers are owned exclusively by that worker, so the compile/expand stage
+// never allocates in steady state.
 type scratchLane struct {
 	idxBase    uint64    // shared-region byte address for index lists
 	gatherBase [2]uint64 // pool scratch for gathered tensors
+
+	idx   []int32 // expanded stripe-index scratch
+	rowsA []int   // even group members (pairwise-REDUCE split)
+	rowsB []int   // odd group members
+	prog  isa.Program
+}
+
+// jobKind selects what a lane worker does with a job.
+type jobKind int
+
+const (
+	jobGather  jobKind = iota // one table's GATHER/REDUCE stage of a batch
+	jobScatter                // one table's SCATTER_ADD update
+)
+
+// laneJob is one unit of work handed to a lane worker. Gather jobs live in
+// a slot's preallocated job array (zero allocation per batch); scatter jobs
+// are stack/heap transient on the update path.
+type laneJob struct {
+	kind  jobKind
+	t     int   // gather: target table
+	rows  []int // gather: the table's row indices
+	batch int   // gather: batch size
+	out   uint64
+	up    TableUpdate // scatter: the update to apply
+	wg    *sync.WaitGroup
+	err   error
+}
+
+// slotScratch is the per-slot execution state: one preallocated gather job
+// per table and the WaitGroup the jobs signal. A slot is held by exactly
+// one batch at a time (acquired through freeSlot), so the array is never
+// shared between in-flight batches.
+type slotScratch struct {
+	wg   sync.WaitGroup
+	jobs []laneJob
 }
 
 // Deployment is a recommender model resident in a TensorNode pool.
@@ -67,10 +115,11 @@ type Deployment struct {
 	maxBatch  int
 	padSlack  uint64 // per-table output slack absorbing GATHER index padding
 
-	outBase  []uint64      // pooled output tensor region, one per slot
-	lanes    []scratchLane // index + gather scratch, one per lane
+	outBase  []uint64       // pooled output tensor region, one per slot
+	lanes    []*scratchLane // index + gather scratch, one per lane worker
+	slots    []slotScratch  // per-slot job arrays
 	freeSlot chan int
-	freeLane chan int
+	work     chan *laneJob // feeds the persistent lane workers
 
 	// tableMu serializes SCATTER_ADD updates per table row-range: updates
 	// to the same table apply in submission order (float accumulation is
@@ -79,8 +128,25 @@ type Deployment struct {
 	// concurrently on separate scratch lanes.
 	tableMu []sync.Mutex
 
+	// relMu guards the released flag against the in-flight counter so
+	// Release can wait for every running execution before closing the lane
+	// workers' job channel (a send on a closed channel would panic).
 	relMu    sync.Mutex
-	released bool
+	inflight sync.WaitGroup
+	released atomic.Bool
+}
+
+// enter registers one in-flight execution, failing when the deployment is
+// released; the matching d.inflight.Done() lets Release drain before it
+// stops the lane workers.
+func (d *Deployment) enter() error {
+	d.relMu.Lock()
+	defer d.relMu.Unlock()
+	if d.released.Load() {
+		return fmt.Errorf("runtime: deployment is released")
+	}
+	d.inflight.Add(1)
+	return nil
 }
 
 // Deploy uploads the model's embedding tables into the node (striped across
@@ -117,7 +183,7 @@ func DeployConcurrent(m *recsys.Model, nd *node.Node, maxBatch, slots, lanes int
 		stripes:  embBytes / stripeBytes,
 		maxBatch: maxBatch,
 		freeSlot: make(chan int, slots),
-		freeLane: make(chan int, lanes),
+		work:     make(chan *laneJob, slots*cfg.Tables),
 		tableMu:  make([]sync.Mutex, cfg.Tables),
 	}
 
@@ -148,9 +214,15 @@ func DeployConcurrent(m *recsys.Model, nd *node.Node, maxBatch, slots, lanes int
 	d.padSlack = uint64(isa.LanesPerBlock * stripeBytes)
 	padSlack := d.padSlack
 	gatherBytes := uint64(maxBatch)*uint64(cfg.Reduction)*uint64(embBytes) + padSlack
-	idxBytes := uint64(maxBatch*cfg.Reduction*d.stripes+2*isa.LanesPerBlock) * 4
+	idxCap := maxBatch*cfg.Reduction*d.stripes + 2*isa.LanesPerBlock
+	idxBytes := uint64(idxCap) * 4
 	for i := 0; i < lanes; i++ {
-		var ln scratchLane
+		ln := &scratchLane{
+			idx:   make([]int32, 0, idxCap),
+			rowsA: make([]int, 0, maxBatch),
+			rowsB: make([]int, 0, maxBatch),
+			prog:  make(isa.Program, 0, 3),
+		}
 		ln.idxBase = nd.ReserveIndexRegion(idxBytes)
 		for j := 0; j < 2; j++ {
 			b, err := nd.Alloc(gatherBytes)
@@ -160,18 +232,42 @@ func DeployConcurrent(m *recsys.Model, nd *node.Node, maxBatch, slots, lanes int
 			ln.gatherBase[j] = b
 		}
 		d.lanes = append(d.lanes, ln)
-		d.freeLane <- i
 	}
 	outBytes := uint64(cfg.Tables) * (uint64(maxBatch)*uint64(embBytes) + padSlack)
+	d.slots = make([]slotScratch, slots)
 	for s := 0; s < slots; s++ {
 		out, err := nd.Alloc(outBytes)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: alloc output (slot %d): %w", s, err)
 		}
 		d.outBase = append(d.outBase, out)
+		d.slots[s].jobs = make([]laneJob, cfg.Tables)
+		for t := range d.slots[s].jobs {
+			d.slots[s].jobs[t].wg = &d.slots[s].wg
+		}
 		d.freeSlot <- s
 	}
+	// The lane workers own their scratch for the deployment's lifetime;
+	// Release closes the work channel to stop them.
+	for _, ln := range d.lanes {
+		go d.laneWorker(ln)
+	}
 	return d, nil
+}
+
+// laneWorker drains the deployment's job channel with exclusive use of one
+// scratch lane (device regions and host buffers alike), until Release
+// closes the channel.
+func (d *Deployment) laneWorker(ln *scratchLane) {
+	for j := range d.work {
+		switch j.kind {
+		case jobGather:
+			j.err = d.runTable(ln, j.out, j.t, j.rows, j.batch)
+		case jobScatter:
+			j.err = d.scatterTable(ln, j.up)
+		}
+		j.wg.Done()
+	}
 }
 
 // Release frees all pool allocations of the deployment. It is idempotent:
@@ -180,10 +276,15 @@ func DeployConcurrent(m *recsys.Model, nd *node.Node, maxBatch, slots, lanes int
 func (d *Deployment) Release() error {
 	d.relMu.Lock()
 	defer d.relMu.Unlock()
-	if d.released {
+	if d.released.Swap(true) {
 		return nil
 	}
-	d.released = true
+	// In-flight executions already counted themselves in; new ones block on
+	// relMu and then fail the released check. Draining before the close
+	// keeps a concurrent RunEmbeddingInto/ApplyUpdates from sending on a
+	// closed channel.
+	d.inflight.Wait()
+	close(d.work) // stop the lane workers
 	var first error
 	free := func(b uint64) {
 		if err := d.Node.Free(b); err != nil && first == nil {
@@ -222,40 +323,53 @@ func (d *Deployment) Lanes() int { return len(d.lanes) }
 // consumed region and are ignored). Rows beyond the last whole group expand
 // row-major; an empty row list expands to an empty index list.
 func ExpandIndices(rows []int, reduction, stripes int) []int32 {
+	return ExpandIndicesInto(make([]int32, 0, len(rows)*stripes+isa.LanesPerBlock), rows, reduction, stripes)
+}
+
+// ExpandIndicesInto is ExpandIndices appending into dst, for callers that
+// reuse a scratch buffer across requests (pass dst[:0] to overwrite it):
+// the hot serving path expands every index list this way without
+// allocating. When dst is non-empty its length must be a multiple of 16 so
+// the padding of the appended expansion stays self-contained — that is how
+// the pairwise-REDUCE path expands both operand halves into one buffer,
+// each half padded exactly as a standalone ExpandIndices would pad it.
+func ExpandIndicesInto(dst []int32, rows []int, reduction, stripes int) []int32 {
 	if reduction <= 0 {
 		reduction = 1
 	}
 	groups := len(rows) / reduction
-	out := make([]int32, 0, len(rows)*stripes+isa.LanesPerBlock)
+	start := len(dst)
 	for g := 0; g < groups; g++ {
 		for s := 0; s < stripes; s++ {
 			for j := 0; j < reduction; j++ {
-				out = append(out, int32(rows[g*reduction+j]*stripes+s))
+				dst = append(dst, int32(rows[g*reduction+j]*stripes+s))
 			}
 		}
 	}
 	// Tail rows that do not fill a whole group expand row-major.
 	for _, r := range rows[groups*reduction:] {
 		for s := 0; s < stripes; s++ {
-			out = append(out, int32(r*stripes+s))
+			dst = append(dst, int32(r*stripes+s))
 		}
 	}
-	for len(out)%isa.LanesPerBlock != 0 {
+	for (len(dst)-start)%isa.LanesPerBlock != 0 {
 		pad := int32(0)
-		if len(out) > 0 {
-			pad = out[len(out)-1]
+		if len(dst) > start {
+			pad = dst[len(dst)-1]
 		}
-		out = append(out, pad)
+		dst = append(dst, pad)
 	}
-	return out
+	return dst
 }
 
 // CompileTable builds the TensorISA program for one table's embedding stage
 // of a batch against the deployment's first scratch lane and output slot.
 // It exists for inspection and tests; executions go through RunEmbedding,
-// which compiles against whichever lane and slot it acquired.
+// which compiles against whichever lane and slot it acquired. The compile
+// runs on a private host scratch, so it never races the lane workers.
 func (d *Deployment) CompileTable(t int, rows []int, batch int) (isa.Program, []int32, error) {
-	return d.compileTable(t, rows, batch, d.lanes[0], d.outBase[0])
+	ln := &scratchLane{idxBase: d.lanes[0].idxBase, gatherBase: d.lanes[0].gatherBase}
+	return d.compileTable(t, rows, batch, ln, d.outBase[0])
 }
 
 // compileTable builds one table's program against an explicit scratch lane
@@ -270,7 +384,7 @@ func (d *Deployment) CompileTable(t int, rows []int, batch int) (isa.Program, []
 //     scratch operands) + one REDUCE with the configured operator;
 //   - N-way non-mean reduce lowers to a REDUCE chain and is rejected here
 //     (none of the paper's workloads need it).
-func (d *Deployment) compileTable(t int, rows []int, batch int, ln scratchLane, out uint64) (isa.Program, []int32, error) {
+func (d *Deployment) compileTable(t int, rows []int, batch int, ln *scratchLane, out uint64) (isa.Program, []int32, error) {
 	cfg := d.Model.Cfg
 	if len(rows) != batch*cfg.Reduction {
 		return nil, nil, fmt.Errorf("runtime: table %d: %d rows for batch %d x reduction %d",
@@ -283,36 +397,40 @@ func (d *Deployment) compileTable(t int, rows []int, batch int, ln scratchLane, 
 
 	switch {
 	case cfg.Reduction == 1:
-		idx := ExpandIndices(rows, 1, d.stripes)
-		return isa.Program{
-			isa.Gather(tableBase, idxBase, outBase, uint32(len(idx))),
-		}, idx, nil
+		ln.idx = ExpandIndicesInto(ln.idx[:0], rows, 1, d.stripes)
+		ln.prog = append(ln.prog[:0],
+			isa.Gather(tableBase, idxBase, outBase, uint32(len(ln.idx))))
+		return ln.prog, ln.idx, nil
 
 	case cfg.Mean:
-		idx := ExpandIndices(rows, cfg.Reduction, d.stripes)
+		ln.idx = ExpandIndicesInto(ln.idx[:0], rows, cfg.Reduction, d.stripes)
 		g := ln.gatherBase[0] / isa.BlockBytes
-		return isa.Program{
-			isa.Gather(tableBase, idxBase, g, uint32(len(idx))),
-			isa.Average(g, uint32(cfg.Reduction), outBase, uint32(batch)*k),
-		}, idx, nil
+		ln.prog = append(ln.prog[:0],
+			isa.Gather(tableBase, idxBase, g, uint32(len(ln.idx))),
+			isa.Average(g, uint32(cfg.Reduction), outBase, uint32(batch)*k))
+		return ln.prog, ln.idx, nil
 
 	case cfg.Reduction == 2:
 		// Split group members: even members then odd members, each
-		// row-major, so REDUCE combines positionally.
-		a := make([]int, batch)
-		b := make([]int, batch)
+		// row-major, so REDUCE combines positionally. Both halves expand
+		// into one scratch buffer — each padded independently, exactly as
+		// two standalone expansions concatenated, but without the two
+		// intermediate slices.
+		ln.rowsA, ln.rowsB = ln.rowsA[:0], ln.rowsB[:0]
 		for g := 0; g < batch; g++ {
-			a[g], b[g] = rows[2*g], rows[2*g+1]
+			ln.rowsA = append(ln.rowsA, rows[2*g])
+			ln.rowsB = append(ln.rowsB, rows[2*g+1])
 		}
-		idx := append(ExpandIndices(a, 1, d.stripes), ExpandIndices(b, 1, d.stripes)...)
+		ln.idx = ExpandIndicesInto(ln.idx[:0], ln.rowsA, 1, d.stripes)
+		countA := uint32(len(ln.idx))
+		ln.idx = ExpandIndicesInto(ln.idx, ln.rowsB, 1, d.stripes)
 		ga := ln.gatherBase[0] / isa.BlockBytes
 		gb := ln.gatherBase[1] / isa.BlockBytes
-		countA := uint32(len(idx) / 2)
-		return isa.Program{
+		ln.prog = append(ln.prog[:0],
 			isa.Gather(tableBase, idxBase, ga, countA),
 			isa.Gather(tableBase, idxBase+uint64(countA)/isa.LanesPerBlock, gb, countA),
-			isa.Reduce(cfg.Op, ga, gb, outBase, uint32(batch)*k),
-		}, idx, nil
+			isa.Reduce(cfg.Op, ga, gb, outBase, uint32(batch)*k))
+		return ln.prog, ln.idx, nil
 
 	default:
 		return nil, nil, fmt.Errorf("runtime: %d-way non-mean reduction not supported by TensorISA lowering", cfg.Reduction)
@@ -328,7 +446,7 @@ func (d *Deployment) outStride(batch int) uint64 {
 
 // runTable executes one table's embedding stage on a scratch lane: compile,
 // broadcast the index list into the lane's shared region, execute.
-func (d *Deployment) runTable(ln scratchLane, out uint64, t int, rows []int, batch int) error {
+func (d *Deployment) runTable(ln *scratchLane, out uint64, t int, rows []int, batch int) error {
 	prog, idx, err := d.compileTable(t, rows, batch, ln, out)
 	if err != nil {
 		return err
@@ -349,46 +467,68 @@ func (d *Deployment) runTable(ln scratchLane, out uint64, t int, rows []int, bat
 // sized with more than one lane.
 func (d *Deployment) RunEmbedding(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
 	cfg := d.Model.Cfg
-	if batch > d.maxBatch {
+	if batch < 0 || batch > d.maxBatch {
 		return nil, fmt.Errorf("runtime: batch %d exceeds deployment maxBatch %d", batch, d.maxBatch)
 	}
+	dst := make([]float32, batch*cfg.Tables*cfg.EmbDim)
+	if err := d.RunEmbeddingInto(dst, perTableRows, batch); err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(dst, batch, cfg.Tables*cfg.EmbDim)
+}
+
+// RunEmbeddingInto is RunEmbedding writing the pooled [batch, tables*dim]
+// tensor row-major into a caller-provided buffer, whose length must be
+// exactly batch*tables*dim. It is the zero-allocation variant of the hot
+// serving path: the caller owns dst for the duration of the call and may
+// reuse it across calls; the deployment never retains a reference to it.
+func (d *Deployment) RunEmbeddingInto(dst []float32, perTableRows [][]int, batch int) error {
+	cfg := d.Model.Cfg
+	if err := d.enter(); err != nil {
+		return err
+	}
+	defer d.inflight.Done()
+	if batch > d.maxBatch {
+		return fmt.Errorf("runtime: batch %d exceeds deployment maxBatch %d", batch, d.maxBatch)
+	}
 	if len(perTableRows) != cfg.Tables {
-		return nil, fmt.Errorf("runtime: %d index lists for %d tables", len(perTableRows), cfg.Tables)
+		return fmt.Errorf("runtime: %d index lists for %d tables", len(perTableRows), cfg.Tables)
+	}
+	width := cfg.Tables * cfg.EmbDim
+	if len(dst) != batch*width {
+		return fmt.Errorf("runtime: destination holds %d floats, batch %d needs %d", len(dst), batch, batch*width)
 	}
 	slot := <-d.freeSlot
 	defer func() { d.freeSlot <- slot }()
 	out := d.outBase[slot]
+	sc := &d.slots[slot]
 
-	errs := make([]error, cfg.Tables)
-	var wg sync.WaitGroup
+	sc.wg.Add(cfg.Tables)
 	for t := 0; t < cfg.Tables; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			lane := <-d.freeLane
-			defer func() { d.freeLane <- lane }()
-			errs[t] = d.runTable(d.lanes[lane], out, t, perTableRows[t], batch)
-		}(t)
+		j := &sc.jobs[t]
+		j.kind, j.t, j.rows, j.batch, j.out, j.err = jobGather, t, perTableRows[t], batch, out, nil
+		d.work <- j
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	sc.wg.Wait()
+	for t := range sc.jobs {
+		if err := sc.jobs[t].err; err != nil {
+			return err
 		}
 	}
 
-	perTable := make([]*tensor.Tensor, cfg.Tables)
+	// Read back each table's pooled segment directly into its column strip
+	// of dst: row i of table t lands at dst[i*width + t*dim].
+	embBytes := uint64(cfg.EmbBytes())
 	for t := 0; t < cfg.Tables; t++ {
-		vals, err := d.Node.ReadFloats(out+uint64(t)*d.outStride(batch), batch*cfg.EmbDim)
-		if err != nil {
-			return nil, err
-		}
-		perTable[t], err = tensor.FromSlice(vals, batch, cfg.EmbDim)
-		if err != nil {
-			return nil, err
+		base := out + uint64(t)*d.outStride(batch)
+		for i := 0; i < batch; i++ {
+			seg := dst[i*width+t*cfg.EmbDim : i*width+(t+1)*cfg.EmbDim]
+			if err := d.Node.ReadFloatsInto(base+uint64(i)*embBytes, seg); err != nil {
+				return err
+			}
 		}
 	}
-	return tensor.ConcatRows(perTable...)
+	return nil
 }
 
 // Infer runs a full inference with the embedding stage near-memory and the
@@ -500,6 +640,10 @@ func AccumulateGolden(table *embed.Table, up TableUpdate) {
 // update lock.
 func (d *Deployment) applyUpdates(ups []TableUpdate, writeThrough bool) error {
 	cfg := d.Model.Cfg
+	if err := d.enter(); err != nil {
+		return err
+	}
+	defer d.inflight.Done()
 	for i, up := range ups {
 		if up.Table < 0 || up.Table >= cfg.Tables {
 			return fmt.Errorf("runtime: update %d: table %d out of range", i, up.Table)
@@ -532,11 +676,17 @@ func (d *Deployment) applyUpdates(ups []TableUpdate, writeThrough bool) error {
 			defer wg.Done()
 			d.tableMu[t].Lock()
 			defer d.tableMu[t].Unlock()
-			lane := <-d.freeLane
-			defer func() { d.freeLane <- lane }()
 			for _, up := range groups[t] {
-				if err := d.scatterTable(d.lanes[lane], up); err != nil {
-					errs[gi] = err
+				// Scatter through a lane worker: the worker stages the
+				// gradients and indices on its own lane, so concurrent
+				// table groups use disjoint scratch.
+				var jwg sync.WaitGroup
+				job := laneJob{kind: jobScatter, up: up, wg: &jwg}
+				jwg.Add(1)
+				d.work <- &job
+				jwg.Wait()
+				if job.err != nil {
+					errs[gi] = job.err
 					return
 				}
 				if writeThrough {
@@ -554,11 +704,15 @@ func (d *Deployment) applyUpdates(ups []TableUpdate, writeThrough bool) error {
 	return nil
 }
 
+// zeroLanes is one index block's worth of zero gradient elements, used to
+// neutralize SCATTER_ADD padding without a per-update allocation.
+var zeroLanes [isa.LanesPerBlock]float32
+
 // scatterTable stages one validated table update into a scratch lane and
 // executes its SCATTER_ADD program: gradients into the lane's gather
 // scratch (the NVLink copy a training step would perform), expanded stripe
 // indices into the lane's index region, then one near-memory accumulate.
-func (d *Deployment) scatterTable(ln scratchLane, up TableUpdate) error {
+func (d *Deployment) scatterTable(ln *scratchLane, up TableUpdate) error {
 	// Stage gradients into the lane's gather scratch, row-major.
 	embBytes := uint64(d.Model.Cfg.EmbBytes())
 	for i := 0; i < len(up.Rows); i++ {
@@ -566,18 +720,18 @@ func (d *Deployment) scatterTable(ln scratchLane, up TableUpdate) error {
 			return fmt.Errorf("runtime: stage gradient %d: %w", i, err)
 		}
 	}
-	idx := ExpandIndices(up.Rows, 1, d.stripes)
+	ln.idx = ExpandIndicesInto(ln.idx[:0], up.Rows, 1, d.stripes)
+	idx := ln.idx
 	if err := d.Node.LoadIndices(ln.idxBase, idx); err != nil {
 		return err
 	}
 	// Padding repeats the last stripe index; compensate by staging zero
 	// gradients for the padded slots so the extra accumulations are no-ops.
 	realStripes := len(up.Rows) * d.stripes
-	zero := make([]float32, isa.LanesPerBlock)
 	stripeBytes := d.Node.StripeBytes()
 	for s := realStripes; s < len(idx); s++ {
 		for off := uint64(0); off < stripeBytes; off += 64 {
-			if err := d.Node.WriteFloats(ln.gatherBase[0]+uint64(s)*stripeBytes+off, zero); err != nil {
+			if err := d.Node.WriteFloats(ln.gatherBase[0]+uint64(s)*stripeBytes+off, zeroLanes[:]); err != nil {
 				return err
 			}
 		}

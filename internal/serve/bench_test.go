@@ -1,0 +1,13 @@
+package serve_test
+
+import (
+	"testing"
+
+	"tensordimm/internal/benchkit"
+)
+
+// BenchmarkServeThroughput drives the micro-batching server with
+// concurrent clients over the zero-allocation EmbedInto path; with
+// -benchmem it pins 0 allocs/op in steady state (the CI bench-smoke step
+// gates on it via cmd/benchjson). Extra metrics: req/s and p99 latency.
+func BenchmarkServeThroughput(b *testing.B) { benchkit.ServeThroughput(b) }

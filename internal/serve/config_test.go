@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"testing"
+
+	"tensordimm/internal/isa"
+)
+
+// TestConfigRejectsQueueShallowerThanWorkers pins the pooled-buffer
+// invariant documented on Config: the batch freelist is sized for
+// QueueDepth queued plus Workers executing batches, so a queue shallower
+// than the worker pool is rejected — both when set explicitly and when
+// Workers is defaulted from the deployments' slots.
+func TestConfigRejectsQueueShallowerThanWorkers(t *testing.T) {
+	cfg := testConfig(2, 2, 128, false, isa.RAdd)
+	d := newDeployment(t, cfg, 8, 2, 2)
+	defer d.Release()
+
+	if _, err := New(Config{Workers: 4, QueueDepth: 2}, d); err == nil {
+		t.Fatal("want error for QueueDepth < Workers")
+	}
+	// Workers defaulted from slots (2) with an explicit QueueDepth of 1
+	// must be rejected by the post-default check.
+	if _, err := New(Config{QueueDepth: 1}, d); err == nil {
+		t.Fatal("want error for defaulted Workers exceeding QueueDepth")
+	}
+	// Equal is allowed: one queue slot per worker.
+	s, err := New(Config{Workers: 2, QueueDepth: 2}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,6 +46,19 @@ import (
 // sensible default at New; negative values are invalid and rejected by New
 // (they are never silently replaced by a default, so a sign bug in a caller
 // surfaces as an error instead of a 200us deadline).
+//
+// Pooled-buffer invariant. The server recycles its per-request and
+// per-batch objects and gives every worker goroutine one private scratch
+// (merged index lists and embedding read-back buffer, sized by MaxBatch).
+// That is safe because (a) a merged batch is owned by exactly one worker
+// from dispatch until its last member reply is sent, and (b) the batcher
+// caps a batch's member count at QueueDepth, which sizes the pooled member
+// arrays. New therefore rejects QueueDepth < Workers: a submission queue
+// shallower than the worker pool could not have fed every executing worker
+// from distinct queue slots, so the batch freelist sizing — Workers
+// executing plus QueueDepth queued — would no longer bound how many batches
+// are simultaneously live, and a recycled batch could alias one still being
+// drained. See ARCHITECTURE.md, "Memory discipline".
 type Config struct {
 	// MaxBatch caps how many samples one merged embedding execution may
 	// carry. Zero defaults to the smallest MaxBatch of the deployments;
@@ -81,6 +94,8 @@ func (c Config) validate() error {
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("serve: QueueDepth %d is negative (use 0 for the default)", c.QueueDepth)
 	}
+	// QueueDepth >= Workers is enforced in New after defaulting, where both
+	// values are final.
 	return nil
 }
 
@@ -112,14 +127,19 @@ func (c Config) withDefaults(deps []*runtime.Deployment) Config {
 
 // request is one submitted inference or update, pending or in flight.
 // Updates carry a non-nil updates slice and contribute zero samples to a
-// merged batch; reads carry rows/batch.
+// merged batch; reads carry rows/batch. Embedding reads carry dst, the
+// caller-provided buffer the worker writes the result into; inference
+// reads leave dst nil and receive a fresh tensor. Requests are pooled: the
+// submitter puts its request back only after reading the reply, so a
+// pooled request is never aliased by two in-flight submissions.
 type request struct {
-	rows      [][]int
-	batch     int
-	embedOnly bool
-	updates   []runtime.TableUpdate
-	enq       time.Time
-	done      chan result
+	rows    [][]int
+	batch   int
+	dst     []float32 // embedding destination; nil for inference reads
+	infer   bool      // run the DNN stage on the merged embedding
+	updates []runtime.TableUpdate
+	enq     time.Time
+	done    chan result
 }
 
 type result struct {
@@ -127,10 +147,42 @@ type result struct {
 	err error
 }
 
+// reqPool recycles request objects (with their reply channels) across
+// submissions; the steady-state submit path allocates nothing.
+var reqPool = sync.Pool{New: func() any { return &request{done: make(chan result, 1)} }}
+
+// getRequest fetches a pooled request stamped with the submission time.
+func getRequest() *request {
+	r := reqPool.Get().(*request)
+	r.enq = time.Now()
+	return r
+}
+
+// putRequest clears a request's references and recycles it. Only the
+// submitter calls it, after the reply has been received — the worker never
+// touches a request after sending its result.
+func putRequest(r *request) {
+	r.rows, r.dst, r.updates, r.infer, r.batch = nil, nil, nil, false, 0
+	reqPool.Put(r)
+}
+
 // mergedBatch is a coalesced group of requests dispatched as one execution.
+// Batches are pooled per server; the owning worker recycles the batch after
+// the last member reply is sent (see the Config invariant).
 type mergedBatch struct {
 	reqs  []*request
 	total int // sum of request batches
+}
+
+// workerScratch is one worker goroutine's private execution scratch: the
+// partition of a batch into updates and reads, the merged per-table index
+// lists, and the embedding read-back buffer. Sized once from the server
+// geometry, reused for every batch the worker executes.
+type workerScratch struct {
+	ups    []*request
+	reads  []*request
+	merged [][]int
+	emb    []float32
 }
 
 // Server owns one or more Deployments of the same model (replicas across
@@ -141,6 +193,13 @@ type mergedBatch struct {
 type Server struct {
 	cfg  Config
 	deps []*runtime.Deployment
+
+	tables, dim, reduction int // model geometry, cached for the hot path
+	width                  int // tables*dim, the embedding row width
+
+	// mbPool recycles mergedBatch objects between the batcher and the
+	// workers; see the Config invariant for why its sizing is safe.
+	mbPool sync.Pool
 
 	mu       sync.Mutex
 	closed   bool
@@ -205,13 +264,24 @@ func New(cfg Config, deps ...*runtime.Deployment) (*Server, error) {
 				cfg.MaxBatch, i, d.MaxBatch())
 		}
 	}
+	if cfg.QueueDepth < cfg.Workers {
+		return nil, fmt.Errorf("serve: QueueDepth %d is below Workers %d; the pooled batch buffers are sized "+
+			"for QueueDepth queued plus Workers executing batches (see Config)", cfg.QueueDepth, cfg.Workers)
+	}
 	s := &Server{
 		cfg:       cfg,
 		deps:      deps,
+		tables:    ref.Tables,
+		dim:       ref.EmbDim,
+		reduction: ref.Reduction,
+		width:     ref.Tables * ref.EmbDim,
 		queue:     make(chan *request, cfg.QueueDepth),
 		dispatch:  make(chan *mergedBatch, cfg.Workers),
 		closeDone: make(chan struct{}),
 		started:   time.Now(),
+	}
+	s.mbPool.New = func() any {
+		return &mergedBatch{reqs: make([]*request, 0, cfg.QueueDepth)}
 	}
 	s.batcherWG.Add(1)
 	go s.batcher()
@@ -227,7 +297,12 @@ func New(cfg Config, deps ...*runtime.Deployment) (*Server, error) {
 // perTableRows holds batch x reduction row indices per table, exactly as
 // Deployment.Infer takes them. Safe for concurrent use.
 func (s *Server) Infer(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
-	return s.submit(perTableRows, batch, false)
+	if err := s.validateRead(perTableRows, batch); err != nil {
+		return nil, err
+	}
+	req := getRequest()
+	req.rows, req.batch, req.infer = perTableRows, batch, true
+	return s.enqueue(req)
 }
 
 // Embed runs only the embedding stage, returning the pooled [batch,
@@ -235,36 +310,57 @@ func (s *Server) Infer(perTableRows [][]int, batch int) (*tensor.Tensor, error) 
 // Deployment.GoldenEmbedding regardless of how the request was batched with
 // others. Safe for concurrent use.
 func (s *Server) Embed(perTableRows [][]int, batch int) (*tensor.Tensor, error) {
-	return s.submit(perTableRows, batch, true)
+	dst, err := s.EmbedInto(nil, perTableRows, batch)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(dst, batch, s.width)
 }
 
-func (s *Server) submit(perTableRows [][]int, batch int, embedOnly bool) (*tensor.Tensor, error) {
+// EmbedInto is Embed writing the pooled [batch, tables*dim] values
+// row-major into dst, which is grown if its capacity is insufficient and
+// returned re-sliced to exactly batch*tables*dim. A caller that reuses the
+// returned slice across requests performs zero heap allocations in steady
+// state; the server writes to dst only between submission and return and
+// never retains it. Safe for concurrent use (with distinct dst buffers).
+func (s *Server) EmbedInto(dst []float32, perTableRows [][]int, batch int) ([]float32, error) {
+	if err := s.validateRead(perTableRows, batch); err != nil {
+		return nil, err
+	}
+	need := batch * s.width
+	if cap(dst) < need {
+		dst = make([]float32, need)
+	}
+	dst = dst[:need]
+	req := getRequest()
+	req.rows, req.batch, req.dst = perTableRows, batch, dst
+	if _, err := s.enqueue(req); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// validateRead checks one read submission against the server geometry.
+func (s *Server) validateRead(perTableRows [][]int, batch int) error {
 	cfg := s.deps[0].Model.Cfg
 	if batch <= 0 || batch > s.cfg.MaxBatch {
-		return nil, fmt.Errorf("serve: batch %d out of range [1, %d]", batch, s.cfg.MaxBatch)
+		return fmt.Errorf("serve: batch %d out of range [1, %d]", batch, s.cfg.MaxBatch)
 	}
-	if len(perTableRows) != cfg.Tables {
-		return nil, fmt.Errorf("serve: %d index lists for %d tables", len(perTableRows), cfg.Tables)
+	if len(perTableRows) != s.tables {
+		return fmt.Errorf("serve: %d index lists for %d tables", len(perTableRows), s.tables)
 	}
 	for t, rows := range perTableRows {
-		if len(rows) != batch*cfg.Reduction {
-			return nil, fmt.Errorf("serve: table %d: %d rows for batch %d x reduction %d",
-				t, len(rows), batch, cfg.Reduction)
+		if len(rows) != batch*s.reduction {
+			return fmt.Errorf("serve: table %d: %d rows for batch %d x reduction %d",
+				t, len(rows), batch, s.reduction)
 		}
 		for _, r := range rows {
 			if r < 0 || r >= cfg.TableRows {
-				return nil, fmt.Errorf("serve: table %d: row index %d out of range [0, %d)", t, r, cfg.TableRows)
+				return fmt.Errorf("serve: table %d: row index %d out of range [0, %d)", t, r, cfg.TableRows)
 			}
 		}
 	}
-	req := &request{
-		rows:      perTableRows,
-		batch:     batch,
-		embedOnly: embedOnly,
-		enq:       time.Now(),
-		done:      make(chan result, 1),
-	}
-	return s.enqueue(req)
+	return nil
 }
 
 // Update submits a batch of embedding-table gradient updates through the
@@ -297,20 +393,19 @@ func (s *Server) Update(ups []runtime.TableUpdate) error {
 			}
 		}
 	}
-	req := &request{
-		updates: ups,
-		enq:     time.Now(),
-		done:    make(chan result, 1),
-	}
+	req := getRequest()
+	req.updates = ups
 	_, err := s.enqueue(req)
 	return err
 }
 
-// enqueue hands one request to the batcher and blocks for its result.
+// enqueue hands one request to the batcher, blocks for its result, and
+// recycles the request.
 func (s *Server) enqueue(req *request) (*tensor.Tensor, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		putRequest(req)
 		return nil, fmt.Errorf("serve: server is closed")
 	}
 	// Holding the lock for the send would serialize submitters; instead the
@@ -321,6 +416,7 @@ func (s *Server) enqueue(req *request) (*tensor.Tensor, error) {
 	s.queue <- req
 	s.inflight.Done()
 	r := <-req.done
+	putRequest(req)
 	return r.out, r.err
 }
 
@@ -330,6 +426,14 @@ func (s *Server) enqueue(req *request) (*tensor.Tensor, error) {
 func (s *Server) batcher() {
 	defer s.batcherWG.Done()
 	defer close(s.dispatch)
+	// One timer serves every batch (armed per batch with Reset). A stale
+	// fire that slips between Stop and the drain below only dispatches the
+	// next batch early — never incorrectly.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	var pending *request
 	for {
 		first := pending
@@ -341,8 +445,11 @@ func (s *Server) batcher() {
 			}
 			first = r
 		}
-		mb := &mergedBatch{reqs: []*request{first}, total: first.batch}
-		timer := time.NewTimer(s.cfg.MaxDelay)
+		mb := s.mbPool.Get().(*mergedBatch)
+		mb.reqs = append(mb.reqs[:0], first)
+		mb.total = first.batch
+		timer.Reset(s.cfg.MaxDelay)
+		fired := false
 	collect:
 		// Updates contribute zero samples to total, so the member cap keeps
 		// an update flood from growing one merged batch without bound.
@@ -359,19 +466,35 @@ func (s *Server) batcher() {
 				mb.reqs = append(mb.reqs, r)
 				mb.total += r.batch
 			case <-timer.C:
+				fired = true
 				break collect
 			}
 		}
-		timer.Stop()
+		if !fired && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
 		s.dispatch <- mb
 	}
 }
 
-// worker executes merged batches until the dispatch channel drains.
+// worker executes merged batches on its private scratch until the dispatch
+// channel drains.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
+	ws := &workerScratch{
+		ups:    make([]*request, 0, s.cfg.QueueDepth),
+		reads:  make([]*request, 0, s.cfg.QueueDepth),
+		merged: make([][]int, s.tables),
+		emb:    make([]float32, s.cfg.MaxBatch*s.width),
+	}
+	for t := range ws.merged {
+		ws.merged[t] = make([]int, 0, s.cfg.MaxBatch*s.reduction)
+	}
 	for mb := range s.dispatch {
-		s.execute(mb)
+		s.execute(mb, ws)
 	}
 }
 
@@ -379,78 +502,94 @@ func (s *Server) worker() {
 // so an update never loses to a read it was coalesced with on the same
 // rows), then the merged embedding for the member reads on the next
 // deployment replica, fanning results back out to the member requests.
-func (s *Server) execute(mb *mergedBatch) {
+// The batch is recycled once the last member reply has been sent.
+func (s *Server) execute(mb *mergedBatch, ws *workerScratch) {
 	start := time.Now()
 	for _, r := range mb.reqs {
 		s.queueLat.Observe(start.Sub(r.enq).Seconds())
 	}
 
 	// Partition: updates apply before any member read executes.
-	var updates, reads []*request
+	ws.ups, ws.reads = ws.ups[:0], ws.reads[:0]
 	for _, r := range mb.reqs {
 		if r.updates != nil {
-			updates = append(updates, r)
+			ws.ups = append(ws.ups, r)
 		} else {
-			reads = append(reads, r)
+			ws.reads = append(ws.reads, r)
 		}
 	}
-	if len(updates) > 0 {
-		s.applyUpdates(updates)
+	total := mb.total
+	s.recycleBatch(mb)
+	if len(ws.ups) > 0 {
+		s.applyUpdates(ws.ups)
 	}
+	reads := ws.reads
 	if len(reads) == 0 {
 		return
 	}
 
 	dep := s.deps[int(s.rr.Add(1)-1)%len(s.deps)]
-	cfg := dep.Model.Cfg
 
 	// Merge: concatenate the member requests' per-table row lists. Pooling
 	// groups are positional, so sample i of member j lands at output row
 	// (offset of j) + i with identical arithmetic to a solo run.
-	merged := make([][]int, cfg.Tables)
-	for t := range merged {
-		rows := make([]int, 0, mb.total*cfg.Reduction)
+	for t := range ws.merged {
+		rows := ws.merged[t][:0]
 		for _, r := range reads {
 			rows = append(rows, r.rows[t]...)
 		}
-		merged[t] = rows
+		ws.merged[t] = rows
 	}
 
-	emb, err := dep.RunEmbedding(merged, mb.total)
-	if err != nil {
+	emb := ws.emb[:total*s.width]
+	if err := dep.RunEmbeddingInto(emb, ws.merged, total); err != nil {
 		s.failures.Add(uint64(len(reads)))
 		for _, r := range reads {
-			r.done <- result{err: fmt.Errorf("serve: merged batch of %d failed: %w", mb.total, err)}
+			r.done <- result{err: fmt.Errorf("serve: merged batch of %d failed: %w", total, err)}
 		}
 		return
 	}
 	s.batches.Add(1)
 
-	// Split: each member request gets its slice of the embedding rows, and
-	// — unless it asked for embeddings only — its own DNN stage (row-wise
-	// MLP results are independent of co-batched rows).
-	width := emb.Dim(1)
+	// Split: each member request gets its slice of the embedding rows
+	// copied into its destination buffer, or — for inference — its own DNN
+	// stage over a view of the scratch (row-wise MLP results are
+	// independent of co-batched rows).
 	off := 0
 	for _, r := range reads {
-		vals := make([]float32, 0, r.batch*width)
-		for i := 0; i < r.batch; i++ {
-			vals = append(vals, emb.Row(off+i)...)
-		}
+		rows := emb[off*s.width : (off+r.batch)*s.width]
 		off += r.batch
-		out, err := tensor.FromSlice(vals, r.batch, width)
-		if err == nil && !r.embedOnly {
-			out, err = dep.Model.InferFromEmbeddings(out)
+		var res result
+		if r.infer {
+			view, err := tensor.FromSlice(rows, r.batch, s.width)
+			if err == nil {
+				view, err = dep.Model.InferFromEmbeddings(view)
+			}
+			res = result{out: view, err: err}
+		} else {
+			copy(r.dst, rows)
 		}
-		if err != nil {
+		if res.err != nil {
 			s.failures.Add(1)
-			r.done <- result{err: err}
+			r.done <- res
 			continue
 		}
 		s.requests.Add(1)
 		s.samples.Add(uint64(r.batch))
 		s.totalLat.Observe(time.Since(r.enq).Seconds())
-		r.done <- result{out: out}
+		r.done <- res
 	}
+}
+
+// recycleBatch clears a merged batch's member references and returns it to
+// the pool. Safe at the top of execute because the member requests are
+// already partitioned into the worker's scratch.
+func (s *Server) recycleBatch(mb *mergedBatch) {
+	for i := range mb.reqs {
+		mb.reqs[i] = nil
+	}
+	mb.reqs, mb.total = mb.reqs[:0], 0
+	s.mbPool.Put(mb)
 }
 
 // applyUpdates applies a merged batch's update requests in arrival order,

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestFillBatchMatchesBatch pins determinism: for the same seed, the
+// allocation-free fill path draws exactly the sequence Batch draws.
+func TestFillBatchMatchesBatch(t *testing.T) {
+	g1, err := NewZipfGenerator(1000, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewZipfGenerator(1000, 0.9, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g1.Batch(3, 4, 2)
+	got := make([][]int, 3)
+	for t2 := range got {
+		got[t2] = make([]int, 4*2)
+	}
+	if err := g2.FillBatch(got, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range want {
+		for i := range want[t2] {
+			if got[t2][i] != want[t2][i] {
+				t.Fatalf("table %d index %d: %d != %d", t2, i, got[t2][i], want[t2][i])
+			}
+		}
+	}
+}
+
+// TestFillBatchRejectsMisSizedLists pins the sizing contract.
+func TestFillBatchRejectsMisSizedLists(t *testing.T) {
+	g, err := NewGenerator(100, Uniform, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := [][]int{make([]int, 8), make([]int, 7)}
+	if err := g.FillBatch(dst, 4, 2); err == nil {
+		t.Fatal("want error for a mis-sized index list")
+	}
+}
+
+// TestZipfCDFSharedAcrossGenerators pins the once-per-geometry CDF: two
+// generators over the same (rows, s) share one table instead of each
+// paying the O(rows) construction.
+func TestZipfCDFSharedAcrossGenerators(t *testing.T) {
+	g1, err := NewZipfGenerator(512, 0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewZipfGenerator(512, 0.7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &g1.cdf[0] != &g2.cdf[0] {
+		t.Fatal("generators over the same geometry should share one CDF")
+	}
+	g3, err := NewZipfGenerator(512, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &g1.cdf[0] == &g3.cdf[0] {
+		t.Fatal("different exponents must not share a CDF")
+	}
+	// Different seeds over the shared CDF still draw independently.
+	a, b := g1.Indices(32), g2.Indices(32)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical sequences")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Distribution selects how lookup indices are drawn.
@@ -61,21 +62,24 @@ func NewGenerator(rows int, dist Distribution, seed int64) (*Generator, error) {
 	return g, nil
 }
 
-// NewZipfGenerator builds a generator drawing indices from a Zipf
-// distribution with exponent s over [0, rows): P(r) is proportional to
-// 1/(r+1)^s, so row 0 is the hottest. Unlike NewGenerator's Zipfian mode
-// (stdlib rand.Zipf, which requires s > 1), this sampler inverts a
-// precomputed CDF with binary search, so any s > 0 works — including the
-// s ≈ 0.9 fits RecNMP reports for production embedding traffic. Memory is
-// 8 bytes per table row; draws are deterministic for a fixed seed.
-func NewZipfGenerator(rows int, s float64, seed int64) (*Generator, error) {
-	if rows <= 0 {
-		return nil, fmt.Errorf("workload: rows must be positive, got %d", rows)
+// zipfCDFKey identifies one precomputed Zipf CDF.
+type zipfCDFKey struct {
+	rows int
+	s    float64
+}
+
+// zipfCDFs caches the (read-only) inverse-CDF tables per (rows, s): a load
+// generator that builds one short-lived Generator per client or per request
+// pays the O(rows) CDF construction once per distinct geometry instead of
+// every time. Values are []float64 and never mutated after insertion.
+var zipfCDFs sync.Map
+
+// zipfCDF returns the cached CDF for (rows, s), computing it on first use.
+func zipfCDF(rows int, s float64) []float64 {
+	key := zipfCDFKey{rows: rows, s: s}
+	if v, ok := zipfCDFs.Load(key); ok {
+		return v.([]float64)
 	}
-	if s <= 0 {
-		return nil, fmt.Errorf("workload: zipf exponent must be positive, got %g", s)
-	}
-	g := &Generator{rows: rows, dist: Zipfian, rng: rand.New(rand.NewSource(seed))}
 	cdf := make([]float64, rows)
 	var acc float64
 	for i := range cdf {
@@ -85,7 +89,27 @@ func NewZipfGenerator(rows int, s float64, seed int64) (*Generator, error) {
 	for i := range cdf {
 		cdf[i] /= acc
 	}
-	g.cdf = cdf
+	v, _ := zipfCDFs.LoadOrStore(key, cdf)
+	return v.([]float64)
+}
+
+// NewZipfGenerator builds a generator drawing indices from a Zipf
+// distribution with exponent s over [0, rows): P(r) is proportional to
+// 1/(r+1)^s, so row 0 is the hottest. Unlike NewGenerator's Zipfian mode
+// (stdlib rand.Zipf, which requires s > 1), this sampler inverts a
+// precomputed CDF with binary search, so any s > 0 works — including the
+// s ≈ 0.9 fits RecNMP reports for production embedding traffic. The CDF is
+// computed once per (rows, s) geometry and shared by every generator over
+// it (8 bytes per table row); draws are deterministic for a fixed seed.
+func NewZipfGenerator(rows int, s float64, seed int64) (*Generator, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("workload: rows must be positive, got %d", rows)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("workload: zipf exponent must be positive, got %g", s)
+	}
+	g := &Generator{rows: rows, dist: Zipfian, rng: rand.New(rand.NewSource(seed))}
+	g.cdf = zipfCDF(rows, s)
 	return g, nil
 }
 
@@ -107,10 +131,18 @@ func (g *Generator) Next() int {
 // Indices draws n indices.
 func (g *Generator) Indices(n int) []int {
 	out := make([]int, n)
-	for i := range out {
-		out[i] = g.Next()
-	}
+	g.FillIndices(out)
 	return out
+}
+
+// FillIndices overwrites every element of dst with a drawn index: the
+// allocation-free form of Indices for load generators that reuse request
+// buffers (the benchmark harness fills pre-sized batches this way so the
+// generator never shows up in an allocation profile).
+func (g *Generator) FillIndices(dst []int) {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
 }
 
 // Batch draws the per-table index lists for one inference batch:
@@ -118,9 +150,26 @@ func (g *Generator) Indices(n int) []int {
 func (g *Generator) Batch(tables, batch, reduction int) [][]int {
 	out := make([][]int, tables)
 	for t := range out {
-		out[t] = g.Indices(batch * reduction)
+		out[t] = make([]int, batch*reduction)
+	}
+	if err := g.FillBatch(out, batch, reduction); err != nil {
+		panic(err) // unreachable: lists are sized batch*reduction above
 	}
 	return out
+}
+
+// FillBatch refills a previously sized batch in place: dst must hold one
+// index list of exactly batch x reduction entries per table. It is the
+// allocation-free form of Batch.
+func (g *Generator) FillBatch(dst [][]int, batch, reduction int) error {
+	for t, rows := range dst {
+		if len(rows) != batch*reduction {
+			return fmt.Errorf("workload: table %d holds %d indices, want batch %d x reduction %d",
+				t, len(rows), batch, reduction)
+		}
+		g.FillIndices(rows)
+	}
+	return nil
 }
 
 // Int32 converts an index list to the int32 form the TensorISA index blocks

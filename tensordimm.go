@@ -42,6 +42,12 @@
 //	probs, _ := srv.Infer(indices, batch)              // safe from any goroutine
 //	fmt.Println(srv.Metrics())                         // p50/p95/p99, throughput
 //
+// The steady-state serving path is allocation-free: callers that reuse a
+// result buffer through Server.EmbedInto (or Cluster.EmbedInto,
+// Deployment.RunEmbeddingInto) perform zero heap allocations per request,
+// which the benchmark suite (internal/benchkit, cmd/benchjson) pins at
+// 0 allocs/op in CI. See ARCHITECTURE.md, "Memory discipline".
+//
 // # Online updates
 //
 // Deployments, servers and clusters all accept SCATTER_ADD gradient
