@@ -7,7 +7,8 @@
 // CI runs it over the packages whose documentation this repository treats
 // as a contract:
 //
-//	go run ./cmd/doccheck internal/cluster internal/serve internal/runtime
+//	go run ./cmd/doccheck internal/cluster internal/serve internal/runtime \
+//	    internal/node internal/workload internal/wire internal/netserve internal/netclient
 //
 // With no arguments it checks that default set.
 package main
@@ -24,7 +25,11 @@ import (
 func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
-		dirs = []string{"internal/cluster", "internal/serve", "internal/runtime"}
+		dirs = []string{
+			"internal/cluster", "internal/serve", "internal/runtime",
+			"internal/node", "internal/workload",
+			"internal/wire", "internal/netserve", "internal/netclient",
+		}
 	}
 	var failures []string
 	for _, dir := range dirs {

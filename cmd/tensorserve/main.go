@@ -14,6 +14,16 @@
 // update counts and (in cluster mode) per-shard update and cache
 // invalidation counters.
 //
+// With -listen ADDR the process becomes a network server instead of a
+// load driver: it builds the node or cluster, fronts it with the binary
+// wire protocol, and serves until SIGINT/SIGTERM, when it drains
+// gracefully and prints the serving report. With -connect ADDR it is the
+// matching remote load driver: the model geometry comes from the server's
+// handshake, the open-loop workload travels over TCP on a pool of
+// pipelined connections, and the run ends with client-observed latency
+// plus the server's own report. The two flags turn one binary into the
+// classic two-terminal serving demo — and the CI network smoke test.
+//
 // Usage:
 //
 //	tensorserve                                  # YouTube-class model, defaults
@@ -21,6 +31,8 @@
 //	tensorserve -model ncf -batch 4 -maxbatch 32 -workers 2
 //	tensorserve -nodes 4 -shard row -cache-mb 4 -zipf -zipf-s 0.9
 //	tensorserve -nodes 4 -cache-mb 4 -zipf -update-frac 0.2
+//	tensorserve -listen :7077 -nodes 4 -cache-mb 4   # terminal 1: server
+//	tensorserve -connect :7077 -rate 2000 -batch 4   # terminal 2: driver
 package main
 
 import (
@@ -28,123 +40,483 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"tensordimm"
+	"tensordimm/internal/stats"
 )
 
-func main() {
-	var (
-		modelName = flag.String("model", "youtube", "benchmark model: ncf, youtube, fox, facebook")
-		rows      = flag.Int("rows", 4000, "rows per embedding table (paper-scale tables are hundreds of GBs; geometry is what matters)")
-		dim       = flag.Int("dim", 256, "embedding dimension (must be a multiple of dimms x 16)")
-		dimms     = flag.Int("dimms", 8, "TensorDIMMs per node")
-		batch     = flag.Int("batch", 1, "samples per client request")
-		rate      = flag.Float64("rate", 1000, "offered load in requests/second (open loop)")
-		duration  = flag.Duration("duration", 2*time.Second, "how long to offer load")
-		maxBatch  = flag.Int("maxbatch", 64, "merged-batch cap (samples)")
-		maxDelay  = flag.Duration("delay", 200*time.Microsecond, "micro-batching deadline")
-		workers   = flag.Int("workers", 4, "concurrent batch executors (= deployment slots)")
-		zipf      = flag.Bool("zipf", false, "draw Zipfian (skewed) lookup indices instead of uniform")
-		zipfS     = flag.Float64("zipf-s", 1.2, "Zipf exponent for -zipf (0.9 matches production skew fits)")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		updFrac   = flag.Float64("update-frac", 0, "fraction of requests that are SCATTER_ADD gradient updates (0..1)")
+// flags holds every parsed flag so validation can reason about the whole
+// set at once.
+type flags struct {
+	modelName string
+	rows      int
+	dim       int
+	dimms     int
+	batch     int
+	rate      float64
+	duration  time.Duration
+	maxBatch  int
+	maxDelay  time.Duration
+	workers   int
+	zipf      bool
+	zipfS     float64
+	seed      int64
+	updFrac   float64
 
-		nodes   = flag.Int("nodes", 1, "TensorNode shards; >1 selects cluster mode")
-		shard   = flag.String("shard", "table", "cluster sharding: table (whole tables round-robin) or row (rows hashed across shards)")
-		cacheMB = flag.Float64("cache-mb", 0, "per-shard hot-row cache capacity in MiB (0 disables; cluster mode only)")
-	)
+	nodes   int
+	shard   string
+	cacheMB float64
+
+	listen   string
+	connect  string
+	conns    int
+	inflight int
+}
+
+func main() {
+	var f flags
+	flag.StringVar(&f.modelName, "model", "youtube", "benchmark model: ncf, youtube, fox, facebook")
+	flag.IntVar(&f.rows, "rows", 4000, "rows per embedding table (paper-scale tables are hundreds of GBs; geometry is what matters)")
+	flag.IntVar(&f.dim, "dim", 256, "embedding dimension (must be a multiple of dimms x 16)")
+	flag.IntVar(&f.dimms, "dimms", 8, "TensorDIMMs per node")
+	flag.IntVar(&f.batch, "batch", 1, "samples per client request")
+	flag.Float64Var(&f.rate, "rate", 1000, "offered load in requests/second (open loop)")
+	flag.DurationVar(&f.duration, "duration", 2*time.Second, "how long to offer load")
+	flag.IntVar(&f.maxBatch, "maxbatch", 64, "merged-batch cap (samples)")
+	flag.DurationVar(&f.maxDelay, "delay", 200*time.Microsecond, "micro-batching deadline")
+	flag.IntVar(&f.workers, "workers", 4, "concurrent batch executors (= deployment slots)")
+	flag.BoolVar(&f.zipf, "zipf", false, "draw Zipfian (skewed) lookup indices instead of uniform")
+	flag.Float64Var(&f.zipfS, "zipf-s", 1.2, "Zipf exponent for -zipf (0.9 matches production skew fits)")
+	flag.Int64Var(&f.seed, "seed", 1, "workload seed")
+	flag.Float64Var(&f.updFrac, "update-frac", 0, "fraction of requests that are SCATTER_ADD gradient updates (0..1)")
+
+	flag.IntVar(&f.nodes, "nodes", 1, "TensorNode shards; >1 selects cluster mode")
+	flag.StringVar(&f.shard, "shard", "table", "cluster sharding: table (whole tables round-robin) or row (rows hashed across shards)")
+	flag.Float64Var(&f.cacheMB, "cache-mb", 0, "per-shard hot-row cache capacity in MiB (0 disables; cluster mode only)")
+
+	flag.StringVar(&f.listen, "listen", "", "serve the node/cluster over TCP on this address instead of driving load (e.g. :7077)")
+	flag.StringVar(&f.connect, "connect", "", "drive load over TCP against a -listen server at this address (geometry comes from the handshake)")
+	flag.IntVar(&f.conns, "conns", 2, "client connection pool size for -connect")
+	flag.IntVar(&f.inflight, "inflight", 256, "admission budget for -listen: in-flight requests beyond it are shed with OVERLOADED")
 	flag.Parse()
 
-	cfg, err := benchmark(*modelName)
+	if err := validate(f); err != nil {
+		fmt.Fprintln(os.Stderr, "tensorserve:", err)
+		os.Exit(2)
+	}
+
+	if f.connect != "" {
+		runConnect(f)
+		return
+	}
+
+	cfg, err := benchmark(f.modelName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tensorserve:", err)
 		os.Exit(2)
 	}
-	cfg.TableRows = *rows
-	cfg.EmbDim = *dim
-	stripeElems := *dimms * 16
-	if *dim%stripeElems != 0 {
-		fmt.Fprintf(os.Stderr, "tensorserve: -dim %d must be a multiple of dimms x 16 = %d\n", *dim, stripeElems)
-		os.Exit(2)
-	}
-
+	cfg.TableRows = f.rows
+	cfg.EmbDim = f.dim
 	model, err := tensordimm.BuildModel(cfg, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var gen *tensordimm.WorkloadGenerator
-	if *zipf {
-		gen, err = tensordimm.NewZipfWorkload(cfg.TableRows, *zipfS, *seed)
-	} else {
-		gen, err = tensordimm.NewWorkload(cfg.TableRows, tensordimm.Uniform, *seed)
-	}
-	if err != nil {
-		log.Fatal(err)
-	}
 
-	fmt.Printf("model %s: %d tables x %d rows, dim %d, %d-way %s\n",
-		cfg.Name, cfg.Tables, cfg.TableRows, cfg.EmbDim, cfg.Reduction, poolingName(cfg))
-	dist := "uniform"
-	if *zipf {
-		dist = fmt.Sprintf("zipf(%.2g)", *zipfS)
-	}
-
-	if *updFrac < 0 || *updFrac > 1 {
-		fmt.Fprintf(os.Stderr, "tensorserve: -update-frac %g must be in [0, 1]\n", *updFrac)
-		os.Exit(2)
-	}
-
-	if *nodes > 1 {
-		runCluster(model, cfg, gen, dist, *nodes, *shard, *cacheMB,
-			*dimms, *batch, *rate, *duration, *maxBatch, *maxDelay, *workers, *updFrac, *seed)
+	if f.listen != "" {
+		runListen(model, cfg, f)
 		return
 	}
-	runSingle(model, cfg, gen, dist,
-		*dimms, *batch, *rate, *duration, *maxBatch, *maxDelay, *workers, *updFrac, *seed)
+
+	gen, err := newGenerator(f, cfg.TableRows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %s: %d tables x %d rows, dim %d, %d-way %s\n",
+		cfg.Name, cfg.Tables, cfg.TableRows, cfg.EmbDim, cfg.Reduction, poolingName(cfg))
+	if f.nodes > 1 {
+		runCluster(model, cfg, gen, distName(f), f)
+		return
+	}
+	runSingle(model, cfg, gen, distName(f), f)
 }
 
-// runSingle drives one TensorNode behind a batched server (the PR 1 path).
-func runSingle(model *tensordimm.Model, cfg tensordimm.ModelConfig,
-	gen *tensordimm.WorkloadGenerator, dist string,
-	dimms, batch int, rate float64, duration time.Duration,
-	maxBatch int, maxDelay time.Duration, workers int, updFrac float64, seed int64) {
+// validate rejects inconsistent flag combinations up front with one
+// actionable line, instead of a deep panic or a late failure mid-run.
+func validate(f flags) error {
+	set := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
 
-	// Size the pool: tables + per-lane gather scratch + per-slot outputs,
-	// with 2x slack for allocator alignment.
-	lanes := workers * cfg.Tables
-	embBytes := uint64(cfg.EmbBytes())
-	need := uint64(cfg.TotalTableBytes()) +
-		uint64(lanes)*2*uint64(maxBatch)*uint64(cfg.Reduction)*embBytes +
-		uint64(workers)*uint64(cfg.Tables)*uint64(maxBatch)*embBytes
-	perDIMM := (2*need/uint64(dimms) + 65535) / 65536 * 65536
+	if f.listen != "" && f.connect != "" {
+		return fmt.Errorf("-listen and -connect are mutually exclusive (one process serves, the other drives)")
+	}
+	if f.listen == "" && f.connect == "" {
+		// Network-only flags in the in-process driver would be silently
+		// ignored.
+		if set["conns"] {
+			return fmt.Errorf("-conns needs -connect: the in-process driver opens no network connections")
+		}
+		if set["inflight"] {
+			return fmt.Errorf("-inflight needs -listen: admission control lives in the network server")
+		}
+	}
+	if f.connect != "" {
+		// The server owns the model and topology; a -connect driver setting
+		// them is a configuration that silently would not take effect.
+		for _, name := range []string{"model", "rows", "dim", "dimms", "maxbatch", "delay", "workers", "nodes", "shard", "cache-mb", "inflight"} {
+			if set[name] {
+				return fmt.Errorf("-%s cannot be combined with -connect: the server defines the model, topology and limits (set it on the -listen side)", name)
+			}
+		}
+		if f.conns < 1 {
+			return fmt.Errorf("-conns %d must be at least 1", f.conns)
+		}
+	} else {
+		if stripe := f.dimms * 16; f.dimms < 1 || f.dim%stripe != 0 {
+			return fmt.Errorf("-dim %d must be a positive multiple of dimms x 16 = %d", f.dim, f.dimms*16)
+		}
+		if f.rows < 1 {
+			return fmt.Errorf("-rows %d must be at least 1", f.rows)
+		}
+		if f.nodes < 1 {
+			return fmt.Errorf("-nodes %d must be at least 1", f.nodes)
+		}
+		if f.workers < 1 {
+			return fmt.Errorf("-workers %d must be at least 1", f.workers)
+		}
+		if f.maxBatch < 1 {
+			return fmt.Errorf("-maxbatch %d must be at least 1", f.maxBatch)
+		}
+		if s := strings.ToLower(f.shard); s != "table" && s != "row" {
+			return fmt.Errorf("-shard %q must be table or row", f.shard)
+		}
+		if f.nodes == 1 {
+			// Cluster-only flags on a single node would be silently ignored.
+			if set["shard"] {
+				return fmt.Errorf("-shard needs cluster mode: add -nodes N (N > 1)")
+			}
+			if set["cache-mb"] {
+				return fmt.Errorf("-cache-mb needs cluster mode: add -nodes N (N > 1); the single-node server has no hot-row cache")
+			}
+		}
+		if f.cacheMB < 0 {
+			return fmt.Errorf("-cache-mb %g must not be negative", f.cacheMB)
+		}
+		if f.inflight < 1 {
+			return fmt.Errorf("-inflight %d must be at least 1", f.inflight)
+		}
+	}
+	if f.listen != "" {
+		// The serving process offers no load; driver flags would be silently
+		// ignored.
+		for _, name := range []string{"batch", "rate", "duration", "zipf", "zipf-s", "seed", "update-frac", "conns"} {
+			if set[name] {
+				return fmt.Errorf("-%s cannot be combined with -listen: the workload is driven by the -connect side", name)
+			}
+		}
+	} else {
+		if f.batch < 1 {
+			return fmt.Errorf("-batch %d must be at least 1", f.batch)
+		}
+		if f.connect == "" && f.batch > f.maxBatch {
+			return fmt.Errorf("-batch %d exceeds -maxbatch %d: the server would reject every request", f.batch, f.maxBatch)
+		}
+		if f.rate <= 0 {
+			return fmt.Errorf("-rate %g must be positive", f.rate)
+		}
+		if f.duration <= 0 {
+			return fmt.Errorf("-duration %v must be positive", f.duration)
+		}
+		if f.updFrac < 0 || f.updFrac > 1 {
+			return fmt.Errorf("-update-frac %g must be in [0, 1]", f.updFrac)
+		}
+		if f.zipfS <= 0 {
+			return fmt.Errorf("-zipf-s %g must be positive", f.zipfS)
+		}
+		if set["zipf-s"] && !f.zipf {
+			return fmt.Errorf("-zipf-s needs -zipf (uniform indices ignore the exponent)")
+		}
+	}
+	return nil
+}
 
-	nd, err := tensordimm.NewNode(dimms, perDIMM)
+// newGenerator builds the index generator the driver draws from.
+func newGenerator(f flags, rows int) (*tensordimm.WorkloadGenerator, error) {
+	if f.zipf {
+		return tensordimm.NewZipfWorkload(rows, f.zipfS, f.seed)
+	}
+	return tensordimm.NewWorkload(rows, tensordimm.Uniform, f.seed)
+}
+
+// distName names the index distribution for reports.
+func distName(f flags) string {
+	if f.zipf {
+		return fmt.Sprintf("zipf(%.2g)", f.zipfS)
+	}
+	return "uniform"
+}
+
+// shardStrategy maps the validated -shard flag to a strategy.
+func shardStrategy(f flags) tensordimm.ShardStrategy {
+	if strings.ToLower(f.shard) == "row" {
+		return tensordimm.RowWise
+	}
+	return tensordimm.TableWise
+}
+
+// makeCluster builds the sharded cluster the flags describe and prints
+// its description — shared by the local driver and -listen modes so the
+// two paths can never drift apart.
+func makeCluster(model *tensordimm.Model, f flags) *tensordimm.Cluster {
+	strategy := shardStrategy(f)
+	cl, err := tensordimm.NewCluster(model, tensordimm.ClusterConfig{
+		Nodes:        f.nodes,
+		Strategy:     strategy,
+		DIMMsPerNode: f.dimms,
+		MaxBatch:     f.maxBatch,
+		Workers:      f.workers,
+		MaxDelay:     f.maxDelay,
+		CacheBytes:   int64(f.cacheMB * (1 << 20)),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	dep, err := tensordimm.DeployConcurrent(model, nd, maxBatch, workers, lanes)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("cluster: %d shards (%s), %d TensorDIMMs each, %.1f MiB cache per shard\n",
+		f.nodes, strategy, f.dimms, f.cacheMB)
+	fmt.Printf("shards: maxBatch %d samples/request, deadline %v, %d workers each\n",
+		f.maxBatch, f.maxDelay, f.workers)
+	return cl
+}
+
+// makeServer deploys one TensorNode and starts the batched server,
+// printing the node/server description — shared like makeCluster.
+func makeServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (*tensordimm.Node, *tensordimm.Server) {
+	nd, dep := deploySingle(model, cfg, f)
 	srv, err := tensordimm.NewServer(tensordimm.ServeConfig{
-		MaxBatch: maxBatch,
-		MaxDelay: maxDelay,
-		Workers:  workers,
+		MaxBatch: f.maxBatch,
+		MaxDelay: f.maxDelay,
+		Workers:  f.workers,
 	}, dep)
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	fmt.Printf("node: %d TensorDIMMs, %.0f MiB pool, %d B stripe\n",
 		nd.NodeDim(), float64(nd.CapacityBytes())/(1<<20), nd.StripeBytes())
 	fmt.Printf("server: maxBatch %d, deadline %v, %d workers, %d lanes\n",
-		maxBatch, maxDelay, workers, lanes)
+		f.maxBatch, f.maxDelay, f.workers, f.workers*cfg.Tables)
+	return nd, srv
+}
 
-	offered := offerLoad(cfg, gen, dist, batch, rate, duration, updFrac, seed, srv.Infer, srv.Update)
+// buildBackend constructs the serving backend the flags describe: a
+// single batched server for -nodes 1, the sharded cluster otherwise.
+// It returns the backend plus its close function.
+func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (tensordimm.NetBackend, func() error) {
+	if f.nodes > 1 {
+		cl := makeCluster(model, f)
+		return tensordimm.ClusterBackend(cl), cl.Close
+	}
+	nd, srv := makeServer(model, cfg, f)
+	closeAll := func() error {
+		err := srv.Close()
+		nd.Close()
+		return err
+	}
+	return tensordimm.ServeBackend(srv), closeAll
+}
+
+// runListen serves the node or cluster over TCP until SIGINT/SIGTERM,
+// then drains gracefully and prints the serving report.
+func runListen(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) {
+	fmt.Printf("model %s: %d tables x %d rows, dim %d, %d-way %s\n",
+		cfg.Name, cfg.Tables, cfg.TableRows, cfg.EmbDim, cfg.Reduction, poolingName(cfg))
+	backend, closeBackend := buildBackend(model, cfg, f)
+	srv, err := tensordimm.NewNetServer(backend, tensordimm.NetServeConfig{MaxInflight: f.inflight})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", f.listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listening on %s (admission budget %d in-flight); SIGINT/SIGTERM drains and exits\n",
+		l.Addr(), f.inflight)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("\n%s: draining in-flight requests...\n", sig)
+	case err := <-serveDone:
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(srv.Metrics())
+	fmt.Println(backend.MetricsText())
+	if err := closeBackend(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runConnect drives the open-loop workload over TCP against a -listen
+// server. Geometry (tables, reduction, dim, rows, max batch) comes from
+// the server's handshake. Shed requests (OVERLOADED) are counted, not
+// fatal — under open-loop overload they are the admission control working
+// as designed. Exits non-zero if nothing completed.
+func runConnect(f flags) {
+	cl, err := tensordimm.DialNet(f.connect, tensordimm.NetClientConfig{
+		Conns:    f.conns,
+		RetryFor: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	g := cl.Geometry()
+	fmt.Printf("connected to %s over %d conns: %d tables x %d rows, dim %d, reduction %d, max batch %d\n",
+		f.connect, f.conns, g.Tables, g.TableRows, g.Dim, g.Reduction, g.MaxBatch)
+	batch := f.batch
+	if batch > g.MaxBatch {
+		fmt.Fprintf(os.Stderr, "tensorserve: -batch %d exceeds the server's max batch %d\n", batch, g.MaxBatch)
+		os.Exit(2)
+	}
+	gen, err := newGenerator(f, g.TableRows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offering %.0f req/s x %v, batch %d, %s indices, %.0f%% updates (open loop over TCP)\n\n",
+		f.rate, f.duration, batch, distName(f), 100*f.updFrac)
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		completed int
+		shed      int
+		failed    int
+		firstErr  error
+		lat       stats.Latency
+	)
+	interval := float64(time.Second) / f.rate
+	rng := rand.New(rand.NewSource(f.seed))
+	start := time.Now()
+	offered := 0
+	for {
+		due := start.Add(time.Duration(float64(offered) * interval))
+		if due.Sub(start) >= f.duration {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		isUpdate := rng.Float64() < f.updFrac
+		var rows [][]int
+		var ups []tensordimm.TableUpdate
+		if isUpdate {
+			urows := gen.Indices(batch)
+			grads := tensordimm.NewTensor(len(urows), g.Dim)
+			for i := range grads.Data() {
+				grads.Data()[i] = rng.Float32()*0.02 - 0.01
+			}
+			ups = []tensordimm.TableUpdate{{Table: rng.Intn(g.Tables), Rows: urows, Grads: grads}}
+		} else {
+			rows = gen.Batch(g.Tables, batch, g.Reduction)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			var err error
+			if isUpdate {
+				err = cl.Update(ups)
+			} else {
+				_, err = cl.Embed(rows, batch)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				completed++
+				lat.Observe(time.Since(t0).Seconds())
+			case isShed(err):
+				shed++
+			default:
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}()
+		offered++
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("offered %d requests: %d completed, %d shed (OVERLOADED), %d failed\n",
+		offered, completed, shed, failed)
+	fmt.Printf("sustained %.0f req/s against %.0f req/s offered\n",
+		float64(completed)/elapsed.Seconds(), f.rate)
+	fmt.Printf("client-observed latency  %s\n", lat.Summary())
+	if firstErr != nil {
+		fmt.Fprintln(os.Stderr, "tensorserve: first failure:", firstErr)
+	}
+	if report, err := cl.Metrics(); err == nil {
+		fmt.Printf("\n--- server report ---\n%s\n", report)
+	} else {
+		fmt.Fprintln(os.Stderr, "tensorserve: fetching server metrics:", err)
+	}
+	if completed == 0 || failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// isShed reports whether err is an OVERLOADED error frame — expected
+// fail-fast behavior under open-loop overload.
+func isShed(err error) bool {
+	se, ok := err.(*tensordimm.NetServerError)
+	return ok && se.Code == tensordimm.NetErrOverloaded
+}
+
+// deploySingle sizes and uploads one TensorNode deployment.
+func deploySingle(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (*tensordimm.Node, *tensordimm.Deployment) {
+	// Size the pool: tables + per-lane gather scratch + per-slot outputs,
+	// with 2x slack for allocator alignment.
+	lanes := f.workers * cfg.Tables
+	embBytes := uint64(cfg.EmbBytes())
+	need := uint64(cfg.TotalTableBytes()) +
+		uint64(lanes)*2*uint64(f.maxBatch)*uint64(cfg.Reduction)*embBytes +
+		uint64(f.workers)*uint64(cfg.Tables)*uint64(f.maxBatch)*embBytes
+	perDIMM := (2*need/uint64(f.dimms) + 65535) / 65536 * 65536
+
+	nd, err := tensordimm.NewNode(f.dimms, perDIMM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := tensordimm.DeployConcurrent(model, nd, f.maxBatch, f.workers, lanes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return nd, dep
+}
+
+// runSingle drives one TensorNode behind a batched server (the PR 1 path).
+func runSingle(model *tensordimm.Model, cfg tensordimm.ModelConfig,
+	gen *tensordimm.WorkloadGenerator, dist string, f flags) {
+
+	nd, srv := makeServer(model, cfg, f)
+
+	offered := offerLoad(cfg, gen, dist, f.batch, f.rate, f.duration, f.updFrac, f.seed, srv.Infer, srv.Update)
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}
@@ -152,47 +524,20 @@ func runSingle(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 	m := srv.Metrics()
 	fmt.Println(m)
 	fmt.Printf("\noffered %d requests, completed %d (sustained %.0f req/s against %.0f req/s offered)\n",
-		offered, m.Requests, float64(m.Requests)/m.Uptime.Seconds(), rate)
+		offered, m.Requests, float64(m.Requests)/m.Uptime.Seconds(), f.rate)
 	s := nd.Stats()
 	fmt.Printf("NMP activity: %d instructions, %d blocks read, %d blocks written, %d ALU block ops\n",
 		s.Instructions, s.BlocksRead, s.BlocksWritten, s.ALUBlockOps)
+	nd.Close()
 }
 
 // runCluster drives the sharded multi-node cluster.
 func runCluster(model *tensordimm.Model, cfg tensordimm.ModelConfig,
-	gen *tensordimm.WorkloadGenerator, dist string,
-	nodes int, shard string, cacheMB float64,
-	dimms, batch int, rate float64, duration time.Duration,
-	maxBatch int, maxDelay time.Duration, workers int, updFrac float64, seed int64) {
+	gen *tensordimm.WorkloadGenerator, dist string, f flags) {
 
-	var strategy tensordimm.ShardStrategy
-	switch strings.ToLower(shard) {
-	case "table":
-		strategy = tensordimm.TableWise
-	case "row":
-		strategy = tensordimm.RowWise
-	default:
-		fmt.Fprintf(os.Stderr, "tensorserve: -shard %q must be table or row\n", shard)
-		os.Exit(2)
-	}
-	cl, err := tensordimm.NewCluster(model, tensordimm.ClusterConfig{
-		Nodes:        nodes,
-		Strategy:     strategy,
-		DIMMsPerNode: dimms,
-		MaxBatch:     maxBatch,
-		Workers:      workers,
-		MaxDelay:     maxDelay,
-		CacheBytes:   int64(cacheMB * (1 << 20)),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("cluster: %d shards (%s), %d TensorDIMMs each, %.1f MiB cache per shard\n",
-		nodes, strategy, dimms, cacheMB)
-	fmt.Printf("shards: maxBatch %d samples/request, deadline %v, %d workers each\n",
-		maxBatch, maxDelay, workers)
+	cl := makeCluster(model, f)
 
-	offered := offerLoad(cfg, gen, dist, batch, rate, duration, updFrac, seed, cl.Infer, cl.ApplyUpdates)
+	offered := offerLoad(cfg, gen, dist, f.batch, f.rate, f.duration, f.updFrac, f.seed, cl.Infer, cl.ApplyUpdates)
 	if err := cl.Close(); err != nil {
 		log.Fatal(err)
 	}
@@ -200,7 +545,7 @@ func runCluster(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 	m := cl.Metrics()
 	fmt.Println(m)
 	fmt.Printf("offered %d requests, completed %d (sustained %.0f req/s against %.0f req/s offered)\n",
-		offered, m.Requests, float64(m.Requests)/m.Uptime.Seconds(), rate)
+		offered, m.Requests, float64(m.Requests)/m.Uptime.Seconds(), f.rate)
 }
 
 // offerLoad submits requests open loop on an absolute schedule: arrival n

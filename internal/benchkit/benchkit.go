@@ -16,10 +16,13 @@
 package benchkit
 
 import (
+	"net"
 	"sync"
 	"testing"
 
 	"tensordimm/internal/cluster"
+	"tensordimm/internal/netclient"
+	"tensordimm/internal/netserve"
 	"tensordimm/internal/node"
 	"tensordimm/internal/recsys"
 	"tensordimm/internal/runtime"
@@ -43,6 +46,7 @@ const (
 	benchZipfS     = 0.9
 	benchNodes     = 2         // cluster shards
 	benchCacheB    = 256 << 10 // per-shard hot-row cache bytes
+	benchNetConns  = 4         // client connection pool for the loopback benchmark
 )
 
 // model builds the fixed benchmark recommender.
@@ -95,11 +99,11 @@ func clientPool(width int) *sync.Pool {
 	return p
 }
 
-// ServeThroughput is the BenchmarkServeThroughput body: concurrent clients
-// submitting 4-sample Embed requests through the micro-batching server via
-// the zero-allocation EmbedInto path. Reports req/s and p99 latency (us)
-// as extra metrics.
-func ServeThroughput(b *testing.B) {
+// serveStack builds the fixed single-node serving stack (model, node,
+// concurrent deployment, micro-batching server); cleanup tears it down.
+// Shared by ServeThroughput and NetRoundTrip so the two benchmarks can
+// never drift onto different stacks.
+func serveStack(b *testing.B) (*recsys.Model, *serve.Server, func()) {
 	m := model(b)
 	nd, err := node.New(node.Config{DIMMs: benchDIMMs, PerDIMMBytes: 16 << 20})
 	if err != nil {
@@ -113,15 +117,24 @@ func ServeThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer srv.Close()
-	defer nd.Close()
+	return m, srv, func() {
+		srv.Close()
+		nd.Close()
+	}
+}
+
+// driveEmbed is the shared measured loop: warm the path with benchWarmup
+// requests, then run `parallelism` concurrent clients submitting 4-sample
+// requests through the given EmbedInto-shaped function with pooled
+// destination buffers, reporting req/s.
+func driveEmbed(b *testing.B, m *recsys.Model, parallelism int,
+	embed func(dst []float32, perTableRows [][]int, batch int) ([]float32, error)) {
 
 	batches := feed(b, m)
-	width := m.Cfg.Tables * m.Cfg.EmbDim
-	pool := clientPool(width)
+	pool := clientPool(m.Cfg.Tables * m.Cfg.EmbDim)
 	warm := pool.Get().(*client)
 	for i := 0; i < benchWarmup; i++ {
-		dst, err := srv.EmbedInto(warm.dst, batches[i%len(batches)], benchBatch)
+		dst, err := embed(warm.dst, batches[i%len(batches)], benchBatch)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,26 +142,36 @@ func ServeThroughput(b *testing.B) {
 	}
 	pool.Put(warm)
 
-	b.SetParallelism(benchClients)
+	b.SetParallelism(parallelism)
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		cl := pool.Get().(*client)
-		defer pool.Put(cl)
+		st := pool.Get().(*client)
+		defer pool.Put(st)
 		for pb.Next() {
-			dst, err := srv.EmbedInto(cl.dst, batches[cl.cursor%benchFeedLen], benchBatch)
+			dst, err := embed(st.dst, batches[st.cursor%benchFeedLen], benchBatch)
 			if err != nil {
 				b.Error(err)
 				return
 			}
-			cl.dst = dst
-			cl.cursor++
+			st.dst = dst
+			st.cursor++
 		}
 	})
 	b.StopTimer()
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)/sec, "req/s")
 	}
+}
+
+// ServeThroughput is the BenchmarkServeThroughput body: concurrent clients
+// submitting 4-sample Embed requests through the micro-batching server via
+// the zero-allocation EmbedInto path. Reports req/s and p99 latency (us)
+// as extra metrics.
+func ServeThroughput(b *testing.B) {
+	m, srv, cleanup := serveStack(b)
+	defer cleanup()
+	driveEmbed(b, m, benchClients, srv.EmbedInto)
 	b.ReportMetric(srv.Metrics().TotalLatency.P99*1e6, "p99-us")
 }
 
@@ -166,40 +189,40 @@ func ClusterEmbed(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer cl.Close()
+	driveEmbed(b, m, benchClients/2, cl.EmbedInto)
+}
 
-	batches := feed(b, m)
-	width := m.Cfg.Tables * m.Cfg.EmbDim
-	pool := clientPool(width)
-	warm := pool.Get().(*client)
-	for i := 0; i < benchWarmup; i++ {
-		dst, err := cl.EmbedInto(warm.dst, batches[i%len(batches)], benchBatch)
-		if err != nil {
-			b.Fatal(err)
-		}
-		warm.dst = dst
-	}
-	pool.Put(warm)
+// NetRoundTrip is the BenchmarkNetRoundTrip body: the ServeThroughput
+// workload driven over the network plane — a netserve.Server fronting the
+// micro-batching server on a loopback listener, concurrent pipelined
+// netclient clients submitting 4-sample EmbedInto requests over a small
+// connection pool. The measured loop covers encode, TCP round trip,
+// admission, backend execution and decode; with pooled tasks/calls and
+// reused buffers on both endpoints it pins the network request path
+// allocation-free (amortized) under -benchmem. Reports req/s and the
+// server-side p99 (us) as extra metrics.
+func NetRoundTrip(b *testing.B) {
+	m, srv, cleanup := serveStack(b)
+	defer cleanup()
 
-	b.SetParallelism(benchClients / 2)
-	b.ReportAllocs()
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		st := pool.Get().(*client)
-		defer pool.Put(st)
-		for pb.Next() {
-			dst, err := cl.EmbedInto(st.dst, batches[st.cursor%benchFeedLen], benchBatch)
-			if err != nil {
-				b.Error(err)
-				return
-			}
-			st.dst = dst
-			st.cursor++
-		}
-	})
-	b.StopTimer()
-	if sec := b.Elapsed().Seconds(); sec > 0 {
-		b.ReportMetric(float64(b.N)/sec, "req/s")
+	net1, err := netserve.New(netserve.ServerBackend(srv), netserve.Config{})
+	if err != nil {
+		b.Fatal(err)
 	}
+	defer net1.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go net1.Serve(l)
+	cl, err := netclient.Dial(l.Addr().String(), netclient.Config{Conns: benchNetConns})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	driveEmbed(b, m, benchClients, cl.EmbedInto)
+	b.ReportMetric(net1.Metrics().Latency.P99*1e6, "p99-us")
 }
 
 // ExpandIndices is the BenchmarkExpandIndices body: stripe-index expansion
@@ -249,13 +272,14 @@ func digest(name string, r testing.BenchmarkResult) Result {
 	return out
 }
 
-// RunSuite executes the three hot-path benchmarks with testing.Benchmark
+// RunSuite executes the four hot-path benchmarks with testing.Benchmark
 // (auto-scaled iteration counts) and returns their digests in suite order:
-// ServeThroughput, ClusterEmbed, ExpandIndices.
+// ServeThroughput, ClusterEmbed, ExpandIndices, NetRoundTrip.
 func RunSuite() []Result {
 	return []Result{
 		digest("ServeThroughput", testing.Benchmark(ServeThroughput)),
 		digest("ClusterEmbed", testing.Benchmark(ClusterEmbed)),
 		digest("ExpandIndices", testing.Benchmark(ExpandIndices)),
+		digest("NetRoundTrip", testing.Benchmark(NetRoundTrip)),
 	}
 }

@@ -883,6 +883,16 @@ func (c *Cluster) GoldenEmbedding(perTableRows [][]int, batch int) (*tensor.Tens
 // Nodes returns the shard count.
 func (c *Cluster) Nodes() int { return c.cfg.Nodes }
 
+// Geometry reports the sharded model's shape and limits: table count,
+// pooling reduction, embedding dimension, table height, and the per-request
+// batch cap. The network serving plane announces exactly these numbers in
+// its wire handshake, so a remote client can validate and size every
+// request without out-of-band configuration.
+func (c *Cluster) Geometry() (tables, reduction, dim, tableRows, maxBatch int) {
+	mc := c.model.Cfg
+	return mc.Tables, mc.Reduction, mc.EmbDim, mc.TableRows, c.cfg.MaxBatch
+}
+
 // Config returns the cluster's effective configuration (defaults filled).
 func (c *Cluster) Config() Config { return c.cfg }
 

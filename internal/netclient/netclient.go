@@ -1,0 +1,468 @@
+// Package netclient is the Go client of the network serving plane: it
+// speaks the internal/wire protocol to a netserve.Server over a small
+// pool of TCP connections and exposes the same request surface as the
+// in-process serving layers (EmbedInto, Update, Metrics, Ping).
+//
+// Requests pipeline: any number of goroutines may call into one Client
+// concurrently, each request is stamped with a connection-local id,
+// writes interleave on the shared connections, and a per-connection
+// reader goroutine correlates responses — which arrive in completion
+// order, not request order — back to their waiting callers.
+//
+// The steady-state EmbedInto path performs no heap allocations: calls
+// (with their encode buffers and reply channels) are pooled, responses
+// decode straight into the caller's destination buffer, and the reader
+// reuses one receive buffer per connection (see ARCHITECTURE.md, "Memory
+// discipline"). A caller that reuses its dst slice therefore drives the
+// full network round trip allocation-free.
+package netclient
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/wire"
+)
+
+// Config tunes a client. The zero value of every field selects a
+// documented default at Dial; negative values are invalid.
+type Config struct {
+	// Conns is the connection pool size. Requests round-robin across the
+	// pool; more connections spread socket write contention at the cost of
+	// server-side reader goroutines. Zero defaults to 1.
+	Conns int
+	// MaxFrameBytes caps one frame's wire size. Zero defaults to
+	// wire.DefaultMaxFrameBytes. It must admit the largest response the
+	// announced geometry can produce; Dial validates that.
+	MaxFrameBytes int
+	// DialTimeout bounds one TCP connect plus handshake attempt. Zero
+	// defaults to 5 seconds.
+	DialTimeout time.Duration
+	// RetryFor keeps re-dialing a refused connection until this much time
+	// has elapsed — the knob that lets a client start before its server
+	// in scripted two-process runs. Zero means a single attempt.
+	RetryFor time.Duration
+}
+
+// ServerError is an error frame returned by the server, preserving the
+// machine-readable code so callers can distinguish a shed request
+// (wire.ErrOverloaded — retry after backoff) from a rejected or failed
+// one.
+type ServerError struct {
+	// Code classifies the failure.
+	Code wire.ErrCode
+	// Msg is the server's human-readable detail.
+	Msg string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string { return fmt.Sprintf("netclient: server: %s: %s", e.Code, e.Msg) }
+
+// call is one in-flight request: the encode buffer, the destination the
+// reader decodes an embed response into, and the reply channel. Calls are
+// pooled per client; a call is owned by its submitter from Get to Put,
+// with the reader borrowing it between correlation and reply.
+type call struct {
+	buf  []byte
+	dst  []float32
+	text string
+	wu   []wire.Update
+	done chan error
+}
+
+// clientConn is one pooled connection: a write lock serializing frame
+// writes, the pending table correlating request ids to waiting calls, and
+// a reader goroutine delivering responses.
+type clientConn struct {
+	nc      net.Conn
+	wmu     sync.Mutex
+	pmu     sync.Mutex
+	pending map[uint64]*call
+	broken  error // set once the connection is unusable; guarded by pmu
+	nextID  atomic.Uint64
+	rdDone  chan struct{}
+}
+
+// Client is a pooled, pipelined client of one serving endpoint. Create
+// with Dial, submit from any number of goroutines, and Close when done.
+type Client struct {
+	cfg   Config
+	geom  wire.Geometry
+	width int
+
+	conns    []*clientConn
+	rr       atomic.Uint64
+	callPool sync.Pool
+
+	closed atomic.Bool
+}
+
+// Dial connects cfg.Conns connections to addr, performs the protocol
+// handshake on each, and verifies every connection announces the same
+// geometry. With cfg.RetryFor > 0 a refused connection is retried until
+// the deadline, so a client may start before its server.
+func Dial(addr string, cfg Config) (*Client, error) {
+	if cfg.Conns < 0 || cfg.MaxFrameBytes < 0 || cfg.DialTimeout < 0 || cfg.RetryFor < 0 {
+		return nil, fmt.Errorf("netclient: negative config (Conns %d, MaxFrameBytes %d, DialTimeout %v, RetryFor %v)",
+			cfg.Conns, cfg.MaxFrameBytes, cfg.DialTimeout, cfg.RetryFor)
+	}
+	if cfg.Conns == 0 {
+		cfg.Conns = 1
+	}
+	if cfg.MaxFrameBytes == 0 {
+		cfg.MaxFrameBytes = wire.DefaultMaxFrameBytes
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	c := &Client{cfg: cfg}
+	c.callPool.New = func() any { return &call{done: make(chan error, 1)} }
+	deadline := time.Now().Add(cfg.RetryFor)
+	for i := 0; i < cfg.Conns; i++ {
+		cc, g, err := dialOne(addr, cfg, deadline)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if i == 0 {
+			c.geom = g
+			c.width = g.Width()
+			maxResp := wire.HeaderBytes + 4*g.MaxBatch*c.width
+			if cfg.MaxFrameBytes < maxResp {
+				cc.nc.Close()
+				c.Close()
+				return nil, fmt.Errorf("netclient: MaxFrameBytes %d below the %d B a maximal response needs", cfg.MaxFrameBytes, maxResp)
+			}
+		} else if g != c.geom {
+			cc.nc.Close()
+			c.Close()
+			return nil, fmt.Errorf("netclient: connection %d announced geometry %+v, connection 0 got %+v", i, g, c.geom)
+		}
+		c.conns = append(c.conns, cc)
+		go c.readLoop(cc)
+	}
+	return c, nil
+}
+
+// dialOne establishes and handshakes a single connection, retrying
+// refused connects until the deadline.
+func dialOne(addr string, cfg Config, deadline time.Time) (*clientConn, wire.Geometry, error) {
+	for {
+		nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+		if err != nil {
+			if time.Now().Before(deadline) {
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			return nil, wire.Geometry{}, fmt.Errorf("netclient: dial %s: %w", addr, err)
+		}
+		if _, err := nc.Write(wire.AppendClientHello(make([]byte, 0, 8))); err != nil {
+			nc.Close()
+			return nil, wire.Geometry{}, fmt.Errorf("netclient: handshake write: %w", err)
+		}
+		g, err := wire.ReadServerHello(nc)
+		if err != nil {
+			nc.Close()
+			return nil, wire.Geometry{}, fmt.Errorf("netclient: handshake: %w", err)
+		}
+		return &clientConn{
+			nc:      nc,
+			pending: make(map[uint64]*call),
+			rdDone:  make(chan struct{}),
+		}, g, nil
+	}
+}
+
+// Geometry returns the model geometry the server announced: everything a
+// workload generator needs to build valid requests.
+func (c *Client) Geometry() wire.Geometry { return c.geom }
+
+// readLoop is one connection's reader goroutine: it decodes response
+// frames, correlates each to its pending call by request id, and delivers
+// the result. On a read error it fails every pending call and marks the
+// connection broken.
+func (c *Client) readLoop(cc *clientConn) {
+	defer close(cc.rdDone)
+	var buf []byte
+	for {
+		var op wire.Op
+		var id uint64
+		var payload []byte
+		var err error
+		op, id, payload, buf, err = wire.ReadFrame(cc.nc, buf, c.cfg.MaxFrameBytes)
+		if err != nil {
+			cc.fail(fmt.Errorf("netclient: connection lost: %w", err))
+			return
+		}
+		cc.pmu.Lock()
+		ca := cc.pending[id]
+		delete(cc.pending, id)
+		cc.pmu.Unlock()
+		if ca == nil {
+			// A response for nothing we sent: the stream is not trustworthy.
+			cc.fail(fmt.Errorf("netclient: response for unknown request id %d", id))
+			return
+		}
+		var res error
+		switch op {
+		case wire.OpEmbedResp:
+			res = wire.DecodeEmbedResp(payload, ca.dst)
+		case wire.OpUpdateResp, wire.OpPong:
+			res = nil
+		case wire.OpMetricsResp:
+			ca.text = string(payload)
+		case wire.OpError:
+			code, msg, derr := wire.DecodeError(payload)
+			if derr != nil {
+				res = derr
+			} else {
+				res = &ServerError{Code: code, Msg: msg}
+			}
+		default:
+			res = fmt.Errorf("netclient: unexpected response op %d", op)
+		}
+		ca.done <- res
+	}
+}
+
+// fail marks the connection broken and delivers err to every pending
+// call.
+func (cc *clientConn) fail(err error) {
+	cc.pmu.Lock()
+	if cc.broken == nil {
+		cc.broken = err
+	}
+	pending := cc.pending
+	cc.pending = make(map[uint64]*call)
+	cc.pmu.Unlock()
+	cc.nc.Close()
+	for _, ca := range pending {
+		ca.done <- err
+	}
+}
+
+// pick selects the connection for one request, skipping broken ones.
+func (c *Client) pick() (*clientConn, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("netclient: client is closed")
+	}
+	start := int(c.rr.Add(1) - 1)
+	for i := 0; i < len(c.conns); i++ {
+		cc := c.conns[(start+i)%len(c.conns)]
+		cc.pmu.Lock()
+		broken := cc.broken
+		cc.pmu.Unlock()
+		if broken == nil {
+			return cc, nil
+		}
+	}
+	return nil, fmt.Errorf("netclient: every connection is broken")
+}
+
+// roundTrip registers ca under a fresh id on cc, writes the frame in
+// ca.buf (which must already carry the id returned by stamp), and waits
+// for the response.
+func (cc *clientConn) roundTrip(ca *call, id uint64) error {
+	cc.pmu.Lock()
+	if cc.broken != nil {
+		err := cc.broken
+		cc.pmu.Unlock()
+		return err
+	}
+	cc.pending[id] = ca
+	cc.pmu.Unlock()
+
+	cc.wmu.Lock()
+	_, werr := cc.nc.Write(ca.buf)
+	cc.wmu.Unlock()
+	if werr != nil {
+		// The reader will fail everything pending (including this call) when
+		// it notices; waiting on done keeps ownership single-threaded.
+		cc.fail(fmt.Errorf("netclient: write: %w", werr))
+	}
+	return <-ca.done
+}
+
+// getCall fetches a pooled call.
+func (c *Client) getCall() *call { return c.callPool.Get().(*call) }
+
+// putCall clears a call's request state and recycles it.
+func (c *Client) putCall(ca *call) {
+	ca.dst, ca.text = nil, ""
+	c.callPool.Put(ca)
+}
+
+// EmbedInto submits one embedding request of `batch` samples and decodes
+// the pooled [batch, tables*dim] response row-major into dst, which is
+// grown if its capacity is insufficient and returned re-sliced to exactly
+// batch*tables*dim. The result is bit-identical to the backend's
+// in-process EmbedInto. A caller that reuses the returned slice performs
+// zero heap allocations in steady state. Safe for concurrent use (with
+// distinct dst buffers).
+func (c *Client) EmbedInto(dst []float32, perTableRows [][]int, batch int) ([]float32, error) {
+	if err := c.validateRead(perTableRows, batch); err != nil {
+		return nil, err
+	}
+	need := batch * c.width
+	if cap(dst) < need {
+		dst = make([]float32, need)
+	}
+	dst = dst[:need]
+	cc, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	ca := c.getCall()
+	ca.dst = dst
+	id := cc.nextID.Add(1)
+	ca.buf = wire.AppendEmbed(ca.buf[:0], id, perTableRows, batch, c.geom.Reduction)
+	err = cc.roundTrip(ca, id)
+	c.putCall(ca)
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Embed is EmbedInto with a freshly allocated destination.
+func (c *Client) Embed(perTableRows [][]int, batch int) ([]float32, error) {
+	return c.EmbedInto(nil, perTableRows, batch)
+}
+
+// validateRead checks one read submission against the announced geometry,
+// so a malformed request fails here instead of costing a network round
+// trip (and so the encoder's length derivations are always in range).
+func (c *Client) validateRead(perTableRows [][]int, batch int) error {
+	g := c.geom
+	if batch <= 0 || batch > g.MaxBatch {
+		return fmt.Errorf("netclient: batch %d out of range [1, %d]", batch, g.MaxBatch)
+	}
+	if len(perTableRows) != g.Tables {
+		return fmt.Errorf("netclient: %d index lists for %d tables", len(perTableRows), g.Tables)
+	}
+	n := batch * g.Reduction
+	for t, rows := range perTableRows {
+		if len(rows) != n {
+			return fmt.Errorf("netclient: table %d: %d rows for batch %d x reduction %d", t, len(rows), batch, g.Reduction)
+		}
+		for _, r := range rows {
+			if r < 0 || r >= g.TableRows {
+				return fmt.Errorf("netclient: table %d: row index %d out of range [0, %d)", t, r, g.TableRows)
+			}
+		}
+	}
+	return nil
+}
+
+// Update submits a gradient-update batch, mirroring
+// serve.Server.Update / cluster.ApplyUpdates: when it returns nil the
+// update is applied server-side and every later read observes it. Safe
+// for concurrent use.
+func (c *Client) Update(ups []runtime.TableUpdate) error {
+	g := c.geom
+	if len(ups) == 0 {
+		return fmt.Errorf("netclient: empty update batch")
+	}
+	if len(ups) > wire.MaxUpdatesPerFrame {
+		return fmt.Errorf("netclient: %d updates exceed the %d-per-frame protocol cap; split the batch",
+			len(ups), wire.MaxUpdatesPerFrame)
+	}
+	frameBytes := wire.HeaderBytes + 2
+	for i, up := range ups {
+		if up.Table < 0 || up.Table >= g.Tables {
+			return fmt.Errorf("netclient: update %d: table %d out of range [0, %d)", i, up.Table, g.Tables)
+		}
+		if len(up.Rows) == 0 || len(up.Rows) > g.MaxBatch*g.Reduction {
+			return fmt.Errorf("netclient: update %d: %d rows out of range [1, %d]", i, len(up.Rows), g.MaxBatch*g.Reduction)
+		}
+		for _, r := range up.Rows {
+			if r < 0 || r >= g.TableRows {
+				return fmt.Errorf("netclient: update %d: row index %d out of range [0, %d)", i, r, g.TableRows)
+			}
+		}
+		if up.Grads == nil || up.Grads.Rank() != 2 || up.Grads.Dim(0) != len(up.Rows) || up.Grads.Dim(1) != g.Dim {
+			return fmt.Errorf("netclient: update %d: gradient shape for %d rows of dim %d", i, len(up.Rows), g.Dim)
+		}
+		frameBytes += 8 + 4*len(up.Rows) + 4*len(up.Rows)*g.Dim
+	}
+	// A frame over the limit would be rejected server-side as a protocol
+	// violation, tearing down the shared connection and failing every
+	// pipelined call on it — so it is refused here as a per-call error.
+	if frameBytes > c.cfg.MaxFrameBytes {
+		return fmt.Errorf("netclient: update batch encodes to %d B, above the %d B frame limit; split the batch",
+			frameBytes, c.cfg.MaxFrameBytes)
+	}
+	cc, err := c.pick()
+	if err != nil {
+		return err
+	}
+	ca := c.getCall()
+	if cap(ca.wu) < len(ups) {
+		ca.wu = make([]wire.Update, len(ups))
+	}
+	ca.wu = ca.wu[:len(ups)]
+	for i, up := range ups {
+		ca.wu[i] = wire.Update{Table: up.Table, Rows: up.Rows, Grads: up.Grads.Data()}
+	}
+	id := cc.nextID.Add(1)
+	ca.buf = wire.AppendUpdate(ca.buf[:0], id, ca.wu)
+	for i := range ca.wu {
+		ca.wu[i] = wire.Update{} // drop the borrowed views before pooling
+	}
+	err = cc.roundTrip(ca, id)
+	c.putCall(ca)
+	return err
+}
+
+// Metrics fetches the server's metrics report: the backend's own report
+// (serve or cluster metrics) followed by the network plane's.
+func (c *Client) Metrics() (string, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return "", err
+	}
+	ca := c.getCall()
+	id := cc.nextID.Add(1)
+	ca.buf = wire.AppendFrame(ca.buf[:0], wire.OpMetrics, id, nil)
+	err = cc.roundTrip(ca, id)
+	text := ca.text
+	c.putCall(ca)
+	if err != nil {
+		return "", err
+	}
+	return text, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	cc, err := c.pick()
+	if err != nil {
+		return err
+	}
+	ca := c.getCall()
+	id := cc.nextID.Add(1)
+	ca.buf = wire.AppendFrame(ca.buf[:0], wire.OpPing, id, nil)
+	err = cc.roundTrip(ca, id)
+	c.putCall(ca)
+	return err
+}
+
+// Close closes every connection and waits for the readers to finish;
+// calls still in flight fail with a connection-lost error. It is
+// idempotent.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, cc := range c.conns {
+		cc.fail(fmt.Errorf("netclient: client closed"))
+	}
+	for _, cc := range c.conns {
+		<-cc.rdDone
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package netserve_test
+
+import (
+	"testing"
+
+	"tensordimm/internal/benchkit"
+)
+
+// BenchmarkNetRoundTrip measures the full network serving path on a
+// loopback listener: concurrent pipelined netclient clients driving
+// 4-sample EmbedInto requests through the wire protocol, admission
+// control and the micro-batching backend. The shared harness body lives
+// in internal/benchkit so cmd/benchjson records the same numbers; with
+// -benchmem it pins the amortized allocation-free contract of the
+// steady-state request path on both endpoints.
+func BenchmarkNetRoundTrip(b *testing.B) { benchkit.NetRoundTrip(b) }

@@ -1,0 +1,668 @@
+// Package netserve is the network front of the serving stack: a TCP
+// server speaking the internal/wire protocol in front of a
+// cluster.Cluster or a single serve.Server. It is what turns the
+// in-process serving layers into a datacenter-shaped service — the RPC
+// boundary RecNMP-style systems put between the front-end fleet and the
+// embedding tier.
+//
+// Structure per connection: one reader goroutine decodes frames and one
+// writer goroutine encodes responses, so requests pipeline — a client may
+// have many requests outstanding and responses complete out of order,
+// correlated by request id. Execution happens on a server-wide pool of
+// executor goroutines feeding the backend, whose own micro-batcher
+// coalesces concurrent network requests exactly like in-process ones.
+//
+// Admission control: the server holds a bounded in-flight budget
+// (Config.MaxInflight). A request arriving with the budget exhausted is
+// shed immediately with an OVERLOADED error frame — fail-fast, so a
+// saturated server answers in microseconds instead of queueing into
+// timeout, and the client can back off or retry against a replica. Shed
+// requests are counted in Metrics.Shed.
+//
+// Shutdown: Close stops accepting new connections, half-closes every
+// live connection's read side (no new requests), lets everything already
+// admitted execute and flush its response, then tears the connections
+// and executors down. A caller blocked in netclient therefore always
+// gets its response during a graceful drain.
+//
+// The steady-state embed (read) path — read frame, decode, admit,
+// execute, encode, write — performs no heap allocations: tasks and their
+// decode buffers are pooled, encoders append into reused buffers, and the
+// backend's *Into path writes straight into the task's response scratch
+// (BenchmarkNetRoundTrip pins it; see ARCHITECTURE.md, "Memory
+// discipline"). The update path allocates a few tensor headers per
+// request (convertUpdates), mirroring the in-process write path.
+package netserve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tensordimm/internal/cluster"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/serve"
+	"tensordimm/internal/stats"
+	"tensordimm/internal/tensor"
+	"tensordimm/internal/wire"
+)
+
+// Backend is the serving engine a network server fronts. Both
+// serve.Server (via ServerBackend) and cluster.Cluster (via
+// ClusterBackend) satisfy it through thin adapters; tests substitute
+// stubs to exercise admission and drain behavior deterministically.
+type Backend interface {
+	// Geometry reports tables, reduction, dim, tableRows, maxBatch — the
+	// numbers the wire handshake announces.
+	Geometry() (tables, reduction, dim, tableRows, maxBatch int)
+	// EmbedInto computes the pooled embedding for one request into dst,
+	// exactly like serve.Server.EmbedInto / cluster.EmbedInto.
+	EmbedInto(dst []float32, perTableRows [][]int, batch int) ([]float32, error)
+	// ApplyUpdates applies one gradient-update batch.
+	ApplyUpdates(ups []runtime.TableUpdate) error
+	// MetricsText renders the backend's own metrics report.
+	MetricsText() string
+}
+
+// serverBackend adapts a serve.Server.
+type serverBackend struct{ s *serve.Server }
+
+// Geometry implements Backend.
+func (b serverBackend) Geometry() (int, int, int, int, int) { return b.s.Geometry() }
+
+// EmbedInto implements Backend.
+func (b serverBackend) EmbedInto(dst []float32, rows [][]int, batch int) ([]float32, error) {
+	return b.s.EmbedInto(dst, rows, batch)
+}
+
+// ApplyUpdates implements Backend.
+func (b serverBackend) ApplyUpdates(ups []runtime.TableUpdate) error { return b.s.Update(ups) }
+
+// MetricsText implements Backend.
+func (b serverBackend) MetricsText() string { return b.s.Metrics().String() }
+
+// ServerBackend adapts a single-node serve.Server to the Backend
+// interface.
+func ServerBackend(s *serve.Server) Backend { return serverBackend{s} }
+
+// clusterBackend adapts a cluster.Cluster.
+type clusterBackend struct{ c *cluster.Cluster }
+
+// Geometry implements Backend.
+func (b clusterBackend) Geometry() (int, int, int, int, int) { return b.c.Geometry() }
+
+// EmbedInto implements Backend.
+func (b clusterBackend) EmbedInto(dst []float32, rows [][]int, batch int) ([]float32, error) {
+	return b.c.EmbedInto(dst, rows, batch)
+}
+
+// ApplyUpdates implements Backend.
+func (b clusterBackend) ApplyUpdates(ups []runtime.TableUpdate) error { return b.c.ApplyUpdates(ups) }
+
+// MetricsText implements Backend.
+func (b clusterBackend) MetricsText() string { return b.c.Metrics().String() }
+
+// ClusterBackend adapts a sharded cluster.Cluster to the Backend
+// interface.
+func ClusterBackend(c *cluster.Cluster) Backend { return clusterBackend{c} }
+
+// Config tunes the network server. The zero value of every field selects
+// a documented default at New; negative values are invalid.
+type Config struct {
+	// MaxInflight is the admission budget: the number of embed/update
+	// requests simultaneously admitted (queued or executing) across all
+	// connections. A request beyond it is shed with an OVERLOADED error
+	// frame instead of queueing. It also sizes the executor pool, so every
+	// admitted request reaches the backend's micro-batcher without waiting
+	// behind another. Zero defaults to 256; negative is invalid.
+	MaxInflight int
+	// MaxFrameBytes caps one frame's wire size in both directions. Zero
+	// defaults to wire.DefaultMaxFrameBytes; negative is invalid. A frame
+	// beyond it is a protocol violation and closes the connection (the
+	// stream can no longer be trusted to be frame-aligned).
+	MaxFrameBytes int
+	// WriteTimeout bounds one response-frame write. A client that stops
+	// reading fills its socket buffer; without this bound its writer
+	// goroutine would block forever and a graceful drain could never
+	// finish. On expiry the connection is dropped (the client was not
+	// consuming responses anyway). Zero defaults to 30 seconds; negative
+	// is invalid.
+	WriteTimeout time.Duration
+}
+
+// task is one in-flight request: the decoded arguments, the destination
+// scratch the backend writes into, and the encoded response frame. Tasks
+// are pooled server-wide; a task is owned by exactly one goroutine at a
+// time (reader -> executor -> writer) and recycled by the writer after
+// its response frame is on the wire.
+type task struct {
+	c  *conn
+	op wire.Op
+	id uint64
+
+	// embed arguments + result scratch
+	batch int
+	rows  [][]int
+	idx   []int
+	dst   []float32
+
+	// update arguments (decoded views + converted headers)
+	upd wire.UpdateScratch
+	ups []runtime.TableUpdate
+
+	// encoded response frame, written verbatim by the conn writer
+	resp []byte
+}
+
+// conn is one accepted connection: its reader goroutine (the function
+// handle runs in), its writer goroutine draining out, and the count of
+// responses still owed so the drain can wait for them.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out chan *task
+	// owed counts tasks handed to the executor or writer but not yet
+	// written; the reader waits on it before closing out, so a drain never
+	// loses an in-flight response.
+	owed sync.WaitGroup
+}
+
+// Server is the network serving plane: accept loops feed per-connection
+// reader/writer goroutines, which feed a bounded executor pool in front
+// of the backend. Create with New, start with Serve (one call per
+// listener), and stop with Close, which drains gracefully. The server
+// does not own the backend — closing the netserve.Server leaves the
+// serve.Server or cluster.Cluster running for its owner to close.
+type Server struct {
+	cfg     Config
+	backend Backend
+	geom    wire.Geometry
+	width   int
+
+	tasks    chan *task
+	taskPool sync.Pool
+	workerWG sync.WaitGroup
+
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	mu        sync.Mutex
+	closed    bool
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	connWG    sync.WaitGroup
+	closeOnce sync.Once
+	closeDone chan struct{}
+
+	started   time.Time
+	accepted  stats.Counter
+	requests  stats.Counter
+	updates   stats.Counter
+	pings     stats.Counter
+	shed      stats.Counter
+	failures  stats.Counter
+	badFrames stats.Counter
+	lat       stats.Latency
+}
+
+// New validates the config against the backend's geometry and returns a
+// server ready for Serve. No sockets are opened here.
+func New(b Backend, cfg Config) (*Server, error) {
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("netserve: MaxInflight %d is negative (use 0 for the default)", cfg.MaxInflight)
+	}
+	if cfg.MaxFrameBytes < 0 {
+		return nil, fmt.Errorf("netserve: MaxFrameBytes %d is negative (use 0 for the default)", cfg.MaxFrameBytes)
+	}
+	if cfg.WriteTimeout < 0 {
+		return nil, fmt.Errorf("netserve: WriteTimeout %v is negative (use 0 for the 30s default)", cfg.WriteTimeout)
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 256
+	}
+	if cfg.MaxFrameBytes == 0 {
+		cfg.MaxFrameBytes = wire.DefaultMaxFrameBytes
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	tables, reduction, dim, rows, maxBatch := b.Geometry()
+	geom := wire.Geometry{Tables: tables, Reduction: reduction, Dim: dim, TableRows: rows, MaxBatch: maxBatch}
+	if err := geom.Validate(); err != nil {
+		return nil, fmt.Errorf("netserve: backend geometry: %w", err)
+	}
+	// The largest legal frame in either direction must fit the limit, or
+	// every maximal request would be "oversized" by configuration.
+	maxReq := wire.HeaderBytes + 4 + 4*tables*maxBatch*reduction
+	maxResp := wire.HeaderBytes + 4*maxBatch*tables*dim
+	if need := max(maxReq, maxResp); cfg.MaxFrameBytes < need {
+		return nil, fmt.Errorf("netserve: MaxFrameBytes %d below the %d B a maximal request/response needs", cfg.MaxFrameBytes, need)
+	}
+	s := &Server{
+		cfg:       cfg,
+		backend:   b,
+		geom:      geom,
+		width:     geom.Width(),
+		tasks:     make(chan *task, cfg.MaxInflight),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+		closeDone: make(chan struct{}),
+		started:   time.Now(),
+	}
+	s.taskPool.New = func() any { return &task{} }
+	for w := 0; w < cfg.MaxInflight; w++ {
+		s.workerWG.Add(1)
+		go s.executor()
+	}
+	return s, nil
+}
+
+// Geometry returns the wire geometry the server announces in handshakes.
+func (s *Server) Geometry() wire.Geometry { return s.geom }
+
+// Serve accepts connections on l until Close (or a listener error) and
+// blocks meanwhile. After Close it returns nil; multiple Serve calls on
+// different listeners may run concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return fmt.Errorf("netserve: server is closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("netserve: accept: %w", err)
+		}
+		s.startConn(nc)
+	}
+}
+
+// startConn registers one accepted connection and spawns its reader and
+// writer goroutines. A connection arriving during (or after) Close is
+// refused immediately.
+func (s *Server) startConn(nc net.Conn) {
+	c := &conn{srv: s, nc: nc, out: make(chan *task, s.cfg.MaxInflight+16)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.connWG.Add(2)
+	s.mu.Unlock()
+	s.accepted.Inc()
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+// forget removes a finished connection from the server's registry.
+func (s *Server) forget(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// admit takes one unit of the in-flight budget, failing fast when the
+// budget is exhausted.
+func (s *Server) admit() bool {
+	for {
+		n := s.inflight.Load()
+		if n >= int64(s.cfg.MaxInflight) {
+			return false
+		}
+		if s.inflight.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// readLoop is a connection's reader goroutine: handshake, then decode and
+// dispatch frames until EOF, a protocol violation, or the server's drain
+// half-closes the read side. On exit it waits for every response still
+// owed, then hands the connection to the writer for teardown.
+func (c *conn) readLoop() {
+	s := c.srv
+	defer s.connWG.Done()
+	ok := false
+	if err := wire.ReadClientHello(c.nc); err == nil {
+		hello := wire.AppendServerHello(make([]byte, 0, 64), s.geom)
+		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := c.nc.Write(hello); err == nil {
+			ok = true
+		}
+	} else if !isDisconnect(err) {
+		s.badFrames.Inc()
+	}
+	var buf []byte
+	for ok {
+		var op wire.Op
+		var id uint64
+		var payload []byte
+		var err error
+		op, id, payload, buf, err = wire.ReadFrame(c.nc, buf, s.cfg.MaxFrameBytes)
+		if err != nil {
+			// Disconnects (EOF, drain half-close, reset) are the normal end
+			// of a connection; everything else is a frame-level violation.
+			if !isDisconnect(err) {
+				s.badFrames.Inc()
+			}
+			break
+		}
+		if !c.dispatch(op, id, payload) {
+			break
+		}
+	}
+	// Drain handover: every response owed must be encoded and enqueued
+	// before out closes, and the writer flushes them all before closing
+	// the socket.
+	c.owed.Wait()
+	close(c.out)
+}
+
+// isDisconnect reports whether a read error means the peer (or the drain)
+// ended the connection, as opposed to a malformed frame: plain or
+// mid-frame EOF, a closed socket, a reset, or the read deadline the drain
+// fallback sets on non-TCP connections.
+func isDisconnect(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// dispatch routes one decoded frame. It returns false when the frame is a
+// protocol violation that must close the connection.
+func (c *conn) dispatch(op wire.Op, id uint64, payload []byte) bool {
+	s := c.srv
+	switch op {
+	case wire.OpPing:
+		t := s.getTask(c, op, id)
+		s.pings.Inc()
+		t.resp = wire.AppendFrame(t.resp[:0], wire.OpPong, id, nil)
+		c.enqueue(t)
+	case wire.OpMetrics:
+		t := s.getTask(c, op, id)
+		report := s.backend.MetricsText() + "\n" + s.Metrics().String()
+		t.resp = wire.AppendFrame(t.resp[:0], wire.OpMetricsResp, id, []byte(report))
+		c.enqueue(t)
+	case wire.OpEmbed:
+		t := s.getTask(c, op, id)
+		var err error
+		t.batch, t.rows, t.idx, err = wire.DecodeEmbed(payload, s.geom, t.rows, t.idx)
+		if err != nil {
+			s.failures.Inc()
+			t.resp = wire.AppendError(t.resp[:0], id, wire.ErrBadRequest, err.Error())
+			c.enqueue(t)
+			return true
+		}
+		c.submit(t)
+	case wire.OpUpdate:
+		t := s.getTask(c, op, id)
+		wu, err := wire.DecodeUpdate(payload, s.geom, &t.upd)
+		if err == nil {
+			err = t.convertUpdates(wu, s.geom.Dim)
+		}
+		if err != nil {
+			s.failures.Inc()
+			t.resp = wire.AppendError(t.resp[:0], id, wire.ErrBadRequest, err.Error())
+			c.enqueue(t)
+			return true
+		}
+		c.submit(t)
+	default:
+		s.badFrames.Inc()
+		return false
+	}
+	return true
+}
+
+// convertUpdates re-views the decoded wire updates as runtime.TableUpdate
+// headers over the same arenas.
+func (t *task) convertUpdates(wu []wire.Update, dim int) error {
+	if cap(t.ups) < len(wu) {
+		t.ups = make([]runtime.TableUpdate, len(wu))
+	}
+	t.ups = t.ups[:len(wu)]
+	for i, up := range wu {
+		grads, err := tensor.FromSlice(up.Grads, len(up.Rows), dim)
+		if err != nil {
+			return err
+		}
+		t.ups[i] = runtime.TableUpdate{Table: up.Table, Rows: up.Rows, Grads: grads}
+	}
+	return nil
+}
+
+// submit runs one decoded request through admission control: a request
+// racing the drain window (Close marked the server draining but the read
+// half-close has not reached this connection yet) is refused with
+// SHUTTING_DOWN, admitted tasks go to the executor pool, and the rest
+// are shed with an OVERLOADED error frame.
+func (c *conn) submit(t *task) {
+	s := c.srv
+	if s.draining.Load() {
+		s.failures.Inc()
+		t.resp = wire.AppendError(t.resp[:0], t.id, wire.ErrShuttingDown,
+			"server is draining; no new work accepted")
+		c.enqueue(t)
+		return
+	}
+	if !s.admit() {
+		s.shed.Inc()
+		t.resp = wire.AppendError(t.resp[:0], t.id, wire.ErrOverloaded,
+			"in-flight budget exhausted; retry after backoff")
+		c.enqueue(t)
+		return
+	}
+	c.owed.Add(1)
+	// Admission bounds senders at MaxInflight, which is exactly the
+	// channel's capacity: this send never blocks.
+	s.tasks <- t
+}
+
+// enqueue hands a ready-to-write response to the connection's writer.
+func (c *conn) enqueue(t *task) {
+	c.owed.Add(1)
+	c.out <- t
+}
+
+// executor is one worker of the server-wide pool: it runs admitted tasks
+// against the backend, encodes the response, and hands it to the owning
+// connection's writer.
+func (s *Server) executor() {
+	defer s.workerWG.Done()
+	for t := range s.tasks {
+		start := time.Now()
+		switch t.op {
+		case wire.OpEmbed:
+			need := t.batch * s.width
+			if cap(t.dst) < need {
+				t.dst = make([]float32, need)
+			}
+			dst, err := s.backend.EmbedInto(t.dst[:need], t.rows, t.batch)
+			if err != nil {
+				s.failures.Inc()
+				t.resp = wire.AppendError(t.resp[:0], t.id, wire.ErrInternal, err.Error())
+			} else {
+				t.dst = dst
+				s.requests.Inc()
+				t.resp = wire.AppendEmbedResp(t.resp[:0], t.id, dst)
+			}
+		case wire.OpUpdate:
+			if err := s.backend.ApplyUpdates(t.ups); err != nil {
+				s.failures.Inc()
+				t.resp = wire.AppendError(t.resp[:0], t.id, wire.ErrInternal, err.Error())
+			} else {
+				s.updates.Inc()
+				t.resp = wire.AppendFrame(t.resp[:0], wire.OpUpdateResp, t.id, nil)
+			}
+		}
+		s.lat.Observe(time.Since(start).Seconds())
+		s.inflight.Add(-1)
+		// The task already owes its response (owed was incremented at
+		// admission), so it goes to the writer directly, not via enqueue.
+		t.c.out <- t
+	}
+}
+
+// writeLoop is a connection's writer goroutine: it flushes response
+// frames in completion order (which is not request order — that is the
+// pipelining contract) and recycles each task after its bytes are on the
+// wire. When out closes (reader done, all responses flushed) it tears the
+// connection down.
+func (c *conn) writeLoop() {
+	s := c.srv
+	defer s.connWG.Done()
+	for t := range c.out {
+		// The per-frame write deadline is what keeps a graceful drain
+		// finite: a client that stops reading trips it, the write fails,
+		// and the drain path below accounts every owed response.
+		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := c.nc.Write(t.resp); err != nil {
+			// The client is gone; stop writing but keep draining so every
+			// owed response is accounted and the reader's Wait returns.
+			c.owed.Done()
+			s.putTask(t)
+			for t := range c.out {
+				c.owed.Done()
+				s.putTask(t)
+			}
+			break
+		}
+		c.owed.Done()
+		s.putTask(t)
+	}
+	c.nc.Close()
+	s.forget(c)
+}
+
+// getTask fetches a pooled task stamped for one request.
+func (s *Server) getTask(c *conn, op wire.Op, id uint64) *task {
+	t := s.taskPool.Get().(*task)
+	t.c, t.op, t.id = c, op, id
+	return t
+}
+
+// putTask recycles a task. Buffers keep their capacity; references into
+// per-request state are dropped.
+func (s *Server) putTask(t *task) {
+	t.c = nil
+	t.batch = 0
+	s.taskPool.Put(t)
+}
+
+// Close stops accepting connections, half-closes every live connection's
+// read side so no new requests arrive, waits for every admitted request
+// to execute and every owed response to flush, then closes the
+// connections and stops the executor pool. It is idempotent and safe to
+// call concurrently; every call returns only after the drain completes.
+// The backend is not closed — its owner closes it after Close returns.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.mu.Lock()
+		s.closed = true
+		for l := range s.listeners {
+			l.Close()
+		}
+		conns := make([]*conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		for _, c := range conns {
+			closeRead(c.nc)
+		}
+		s.connWG.Wait()
+		close(s.tasks)
+		s.workerWG.Wait()
+		close(s.closeDone)
+	})
+	<-s.closeDone
+	return nil
+}
+
+// closeRead half-closes a connection's read side: the reader sees EOF and
+// stops accepting requests while the write side stays open for the drain.
+// Non-TCP connections (tests use net.Pipe) fall back to an immediate read
+// deadline, which readLoop treats the same way.
+func closeRead(nc net.Conn) {
+	type readCloser interface{ CloseRead() error }
+	if rc, ok := nc.(readCloser); ok {
+		rc.CloseRead()
+		return
+	}
+	nc.SetReadDeadline(time.Now())
+}
+
+// Metrics is a point-in-time snapshot of the network plane's counters.
+type Metrics struct {
+	Accepted  uint64        // connections accepted
+	Requests  uint64        // embed requests completed successfully
+	Updates   uint64        // update requests applied successfully
+	Pings     uint64        // pings answered
+	Shed      uint64        // requests shed by admission control (OVERLOADED)
+	Failures  uint64        // requests answered with a non-OVERLOADED error frame
+	BadFrames uint64        // protocol violations (corrupt/oversized/unknown frames)
+	Inflight  int64         // requests admitted and not yet completed
+	Uptime    time.Duration // time since New
+
+	// Latency digests server-side request latency: executor pickup to
+	// response enqueued (decode and socket time excluded), in seconds.
+	Latency stats.LatencySummary
+}
+
+// Metrics snapshots the server's counters. Safe at any time, including
+// after Close.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		Accepted:  s.accepted.Load(),
+		Requests:  s.requests.Load(),
+		Updates:   s.updates.Load(),
+		Pings:     s.pings.Load(),
+		Shed:      s.shed.Load(),
+		Failures:  s.failures.Load(),
+		BadFrames: s.badFrames.Load(),
+		Inflight:  s.inflight.Load(),
+		Uptime:    time.Since(s.started),
+		Latency:   s.lat.Summary(),
+	}
+}
+
+// String renders the metrics as a small report.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"network: %d conns accepted, up %s\n"+
+			"served %d embeds, %d updates, %d pings (%d failures)\n"+
+			"admission: %d shed (OVERLOADED), %d in flight, %d bad frames\n"+
+			"server-side latency  %s",
+		m.Accepted, m.Uptime.Round(time.Millisecond),
+		m.Requests, m.Updates, m.Pings, m.Failures,
+		m.Shed, m.Inflight, m.BadFrames,
+		m.Latency)
+}

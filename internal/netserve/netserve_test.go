@@ -1,0 +1,464 @@
+package netserve_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tensordimm/internal/netclient"
+	"tensordimm/internal/netserve"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/wire"
+)
+
+// stubBackend is a deterministic, instrumentable Backend: embeddings are
+// a pure function of the request indices, and entered/release let tests
+// hold requests in flight to exercise admission and drain.
+type stubBackend struct {
+	tables, reduction, dim, rows, maxBatch int
+
+	mu      sync.Mutex
+	updates []runtime.TableUpdate
+
+	embeds  atomic.Int64
+	entered chan struct{} // receives one token per EmbedInto entry (if non-nil)
+	release chan struct{} // EmbedInto blocks for one token (if non-nil)
+	failAll atomic.Bool
+}
+
+func newStub() *stubBackend {
+	return &stubBackend{tables: 2, reduction: 2, dim: 4, rows: 64, maxBatch: 8}
+}
+
+// Geometry implements netserve.Backend.
+func (b *stubBackend) Geometry() (int, int, int, int, int) {
+	return b.tables, b.reduction, b.dim, b.rows, b.maxBatch
+}
+
+// stubValue is the deterministic embedding value at (table, sample,
+// element k) for the given request rows.
+func stubValue(rows [][]int, reduction, t, sample, k int) float32 {
+	sum := 0
+	for j := 0; j < reduction; j++ {
+		sum += rows[t][sample*reduction+j]
+	}
+	return float32(sum*(t+1)*31 + k)
+}
+
+// EmbedInto implements netserve.Backend.
+func (b *stubBackend) EmbedInto(dst []float32, rows [][]int, batch int) ([]float32, error) {
+	if b.entered != nil {
+		b.entered <- struct{}{}
+	}
+	if b.release != nil {
+		<-b.release
+	}
+	if b.failAll.Load() {
+		return nil, errors.New("stub backend failure")
+	}
+	b.embeds.Add(1)
+	width := b.tables * b.dim
+	for s := 0; s < batch; s++ {
+		for t := 0; t < b.tables; t++ {
+			for k := 0; k < b.dim; k++ {
+				dst[s*width+t*b.dim+k] = stubValue(rows, b.reduction, t, s, k)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// ApplyUpdates implements netserve.Backend.
+func (b *stubBackend) ApplyUpdates(ups []runtime.TableUpdate) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.updates = append(b.updates, ups...)
+	return nil
+}
+
+// MetricsText implements netserve.Backend.
+func (b *stubBackend) MetricsText() string { return "stub backend metrics" }
+
+// startServer serves a stub backend on a loopback listener, returning the
+// server, its address, and a cleanup-registered close.
+func startServer(t *testing.T, b netserve.Backend, cfg netserve.Config) (*netserve.Server, string) {
+	t.Helper()
+	srv, err := netserve.New(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v after Close, want nil", err)
+		}
+	})
+	return srv, l.Addr().String()
+}
+
+func dialClient(t *testing.T, addr string, cfg netclient.Config) *netclient.Client {
+	t.Helper()
+	cl, err := netclient.Dial(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func reqRows(g wire.Geometry, batch, seed int) [][]int {
+	rows := make([][]int, g.Tables)
+	for t := range rows {
+		rows[t] = make([]int, batch*g.Reduction)
+		for i := range rows[t] {
+			rows[t][i] = (seed + t*7 + i*3) % g.TableRows
+		}
+	}
+	return rows
+}
+
+func TestConfigValidation(t *testing.T) {
+	b := newStub()
+	if _, err := netserve.New(b, netserve.Config{MaxInflight: -1}); err == nil {
+		t.Fatal("negative MaxInflight accepted")
+	}
+	if _, err := netserve.New(b, netserve.Config{MaxFrameBytes: -1}); err == nil {
+		t.Fatal("negative MaxFrameBytes accepted")
+	}
+	if _, err := netserve.New(b, netserve.Config{MaxFrameBytes: 64}); err == nil {
+		t.Fatal("MaxFrameBytes below a maximal response accepted")
+	}
+	bad := newStub()
+	bad.tables = 0
+	if _, err := netserve.New(bad, netserve.Config{}); err == nil {
+		t.Fatal("zero-table backend geometry accepted")
+	}
+}
+
+func TestEmbedUpdatePingMetricsRoundTrip(t *testing.T) {
+	b := newStub()
+	srv, addr := startServer(t, b, netserve.Config{})
+	cl := dialClient(t, addr, netclient.Config{})
+
+	g := cl.Geometry()
+	want := wire.Geometry{Tables: 2, Reduction: 2, Dim: 4, TableRows: 64, MaxBatch: 8}
+	if g != want {
+		t.Fatalf("handshake geometry %+v, want %+v", g, want)
+	}
+
+	const batch = 3
+	rows := reqRows(g, batch, 5)
+	got, err := cl.EmbedInto(nil, rows, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < batch; s++ {
+		for tt := 0; tt < g.Tables; tt++ {
+			for k := 0; k < g.Dim; k++ {
+				want := stubValue(rows, g.Reduction, tt, s, k)
+				if got[s*g.Width()+tt*g.Dim+k] != want {
+					t.Fatalf("sample %d table %d elem %d: %g, want %g", s, tt, k,
+						got[s*g.Width()+tt*g.Dim+k], want)
+				}
+			}
+		}
+	}
+
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "stub backend metrics") || !strings.Contains(text, "network:") {
+		t.Fatalf("metrics report missing sections:\n%s", text)
+	}
+
+	m := srv.Metrics()
+	if m.Requests != 1 || m.Pings != 1 || m.Shed != 0 || m.BadFrames != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestBackendFailureMapsToInternalError(t *testing.T) {
+	b := newStub()
+	b.failAll.Store(true)
+	_, addr := startServer(t, b, netserve.Config{})
+	cl := dialClient(t, addr, netclient.Config{})
+	g := cl.Geometry()
+	_, err := cl.EmbedInto(nil, reqRows(g, 1, 0), 1)
+	var se *netclient.ServerError
+	if !errors.As(err, &se) || se.Code != wire.ErrInternal {
+		t.Fatalf("err = %v, want INTERNAL ServerError", err)
+	}
+}
+
+func TestAdmissionControlShedsWithOverloaded(t *testing.T) {
+	b := newStub()
+	b.entered = make(chan struct{}, 8)
+	b.release = make(chan struct{})
+	srv, addr := startServer(t, b, netserve.Config{MaxInflight: 2})
+	cl := dialClient(t, addr, netclient.Config{})
+	g := cl.Geometry()
+
+	// Two requests occupy the whole budget.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cl.EmbedInto(nil, reqRows(g, 1, i), 1)
+		}(i)
+	}
+	<-b.entered
+	<-b.entered
+
+	// The third is shed fail-fast with OVERLOADED while the budget is full.
+	_, err := cl.EmbedInto(nil, reqRows(g, 1, 9), 1)
+	var se *netclient.ServerError
+	if !errors.As(err, &se) || se.Code != wire.ErrOverloaded {
+		t.Fatalf("overloaded request: err = %v, want OVERLOADED ServerError", err)
+	}
+	if m := srv.Metrics(); m.Shed != 1 || m.Inflight != 2 {
+		t.Fatalf("after shed: metrics %+v, want Shed 1 Inflight 2", m)
+	}
+
+	// Release the budget; the held requests complete successfully.
+	close(b.release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("held request %d: %v", i, err)
+		}
+	}
+	// And with budget free again, new requests are admitted.
+	if _, err := cl.EmbedInto(nil, reqRows(g, 1, 3), 1); err != nil {
+		t.Fatal(err)
+	}
+	if m := srv.Metrics(); m.Shed != 1 || m.Requests != 3 || m.Inflight != 0 {
+		t.Fatalf("final metrics %+v", m)
+	}
+}
+
+func TestGracefulDrainCompletesInflight(t *testing.T) {
+	b := newStub()
+	b.entered = make(chan struct{}, 1)
+	b.release = make(chan struct{})
+	srv, addr := startServer(t, b, netserve.Config{})
+	cl := dialClient(t, addr, netclient.Config{})
+	g := cl.Geometry()
+
+	rows := reqRows(g, 2, 1)
+	resCh := make(chan error, 1)
+	var got []float32
+	go func() {
+		var err error
+		got, err = cl.EmbedInto(nil, rows, 2)
+		resCh <- err
+	}()
+	<-b.entered // the request is in the backend
+
+	closeDone := make(chan struct{})
+	go func() { srv.Close(); close(closeDone) }()
+	// Close must not finish while the request is still executing.
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned with a request in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(b.release)
+	if err := <-resCh; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if got[0] != stubValue(rows, g.Reduction, 0, 0, 0) {
+		t.Fatal("drained request returned wrong values")
+	}
+	<-closeDone
+
+	// After the drain, new connections are refused.
+	if _, err := netclient.Dial(addr, netclient.Config{DialTimeout: time.Second}); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+	// And Close is idempotent.
+	srv.Close()
+}
+
+func TestProtocolViolationsCloseConnection(t *testing.T) {
+	b := newStub()
+	srv, addr := startServer(t, b, netserve.Config{})
+
+	// Bad magic: the connection is dropped without a server hello.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0})
+	if buf := make([]byte, 1); readEventually(nc, buf) != 0 {
+		t.Fatal("server answered a bad-magic handshake")
+	}
+	nc.Close()
+
+	// Good handshake, then an oversized frame length: connection closed.
+	nc, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Write(wire.AppendClientHello(nil))
+	if _, err := wire.ReadServerHello(nc); err != nil {
+		t.Fatal(err)
+	}
+	nc.Write(binary.LittleEndian.AppendUint32(nil, 1<<31-1))
+	if buf := make([]byte, 1); readEventually(nc, buf) != 0 {
+		t.Fatal("server kept talking after an oversized frame")
+	}
+	nc.Close()
+
+	// Good handshake, then an unknown op: connection closed.
+	nc, err = net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Write(wire.AppendClientHello(nil))
+	if _, err := wire.ReadServerHello(nc); err != nil {
+		t.Fatal(err)
+	}
+	nc.Write(wire.AppendFrame(nil, wire.Op(200), 1, nil))
+	if buf := make([]byte, 1); readEventually(nc, buf) != 0 {
+		t.Fatal("server kept talking after an unknown op")
+	}
+	nc.Close()
+
+	waitFor(t, time.Second, func() bool { return srv.Metrics().BadFrames >= 3 })
+}
+
+// TestMalformedRequestGetsBadRequest pins that a shape-valid frame with
+// out-of-range content is answered (BAD_REQUEST) rather than dropped.
+func TestMalformedRequestGetsBadRequest(t *testing.T) {
+	b := newStub()
+	_, addr := startServer(t, b, netserve.Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.Write(wire.AppendClientHello(nil))
+	g, err := wire.ReadServerHello(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]int, g.Tables)
+	for t := range rows {
+		rows[t] = make([]int, g.Reduction)
+	}
+	rows[0][0] = g.TableRows // out of range
+	nc.Write(wire.AppendEmbed(nil, 7, rows, 1, g.Reduction))
+	op, id, payload, _, err := wire.ReadFrame(nc, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != wire.OpError || id != 7 {
+		t.Fatalf("op %d id %d, want OpError id 7", op, id)
+	}
+	code, _, err := wire.DecodeError(payload)
+	if err != nil || code != wire.ErrBadRequest {
+		t.Fatalf("code %v err %v, want BAD_REQUEST", code, err)
+	}
+}
+
+// TestPipelinedOutOfOrderCompletion holds an early request in the backend
+// while a later one on the same connection completes first — the response
+// correlation the request ids exist for.
+func TestPipelinedOutOfOrderCompletion(t *testing.T) {
+	b := newStub()
+	b.entered = make(chan struct{}, 2)
+	b.release = make(chan struct{})
+	_, addr := startServer(t, b, netserve.Config{})
+	cl := dialClient(t, addr, netclient.Config{})
+	g := cl.Geometry()
+
+	slowRows := reqRows(g, 1, 1)
+	slowDone := make(chan error, 1)
+	var slowGot []float32
+	go func() {
+		var err error
+		slowGot, err = cl.EmbedInto(nil, slowRows, 1)
+		slowDone <- err
+	}()
+	<-b.entered // slow request is parked in the backend
+
+	// A ping on the same connection completes while the embed is parked:
+	// the response stream is not head-of-line blocked.
+	pingDone := make(chan error, 1)
+	go func() { pingDone <- cl.Ping() }()
+	select {
+	case err := <-pingDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ping blocked behind a parked embed: no out-of-order completion")
+	}
+
+	close(b.release)
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+	if slowGot[0] != stubValue(slowRows, g.Reduction, 0, 0, 0) {
+		t.Fatal("parked request returned wrong values")
+	}
+}
+
+// readEventually reads until data or EOF, returning the byte count (0 on
+// clean close).
+func readEventually(nc net.Conn, buf []byte) int {
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _ := nc.Read(buf)
+	return n
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeAfterCloseFails pins that Serve on a closed server returns an
+// error instead of accepting.
+func TestServeAfterCloseFails(t *testing.T) {
+	srv, err := netserve.New(newStub(), netserve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := srv.Serve(l); err == nil {
+		t.Fatal("Serve on a closed server succeeded")
+	}
+}
+
+var _ fmt.Stringer = netserve.Metrics{} // the report must stay printable

@@ -33,3 +33,24 @@ func TestConfigRejectsQueueShallowerThanWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConfigDefaultQueueDepthTracksWorkers pins that a defaulted
+// QueueDepth grows with a worker pool larger than 256 instead of
+// rejecting it: a caller asking only for more workers must not trip the
+// pooled-buffer invariant through the default.
+func TestConfigDefaultQueueDepthTracksWorkers(t *testing.T) {
+	cfg := testConfig(2, 2, 128, false, isa.RAdd)
+	d := newDeployment(t, cfg, 8, 2, 2)
+	defer d.Release()
+
+	s, err := New(Config{Workers: 300}, d)
+	if err != nil {
+		t.Fatalf("Workers 300 with defaulted QueueDepth rejected: %v", err)
+	}
+	if s.cfg.QueueDepth != 300 {
+		t.Fatalf("defaulted QueueDepth = %d, want 300 (= Workers)", s.cfg.QueueDepth)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -75,7 +75,10 @@ type Config struct {
 	// negative is invalid.
 	Workers int
 	// QueueDepth is the submission queue capacity; submissions beyond it
-	// block. Zero defaults to 256; negative is invalid.
+	// block. Zero defaults to 256 or Workers, whichever is larger (the
+	// pooled batch buffers require QueueDepth >= Workers, so the default
+	// must track a large worker pool rather than reject it); negative is
+	// invalid.
 	QueueDepth int
 }
 
@@ -121,6 +124,9 @@ func (c Config) withDefaults(deps []*runtime.Deployment) Config {
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 256
+		if c.Workers > c.QueueDepth {
+			c.QueueDepth = c.Workers
+		}
 	}
 	return c
 }
@@ -361,6 +367,15 @@ func (s *Server) validateRead(perTableRows [][]int, batch int) error {
 		}
 	}
 	return nil
+}
+
+// Geometry reports the served model's shape and limits: table count,
+// pooling reduction, embedding dimension, table height, and the per-request
+// batch cap. The network serving plane announces exactly these numbers in
+// its wire handshake, so a remote client can validate and size every
+// request without out-of-band configuration.
+func (s *Server) Geometry() (tables, reduction, dim, tableRows, maxBatch int) {
+	return s.tables, s.reduction, s.dim, s.deps[0].Model.Cfg.TableRows, s.cfg.MaxBatch
 }
 
 // Update submits a batch of embedding-table gradient updates through the

@@ -1,0 +1,521 @@
+// Package wire defines the binary network protocol of the serving plane:
+// the frame format a netclient.Client and a netserve.Server exchange over
+// TCP. It is pure encoding — no sockets, no goroutines — so both endpoints
+// and the protocol tests share exactly one implementation of the layout.
+//
+// A connection opens with a fixed-size handshake: the client sends magic +
+// version, the server answers magic + version + the model geometry
+// (tables, reduction, dim, max batch), which is everything a client needs
+// to size requests and destination buffers. After the handshake the
+// connection carries length-prefixed frames in both directions:
+//
+//	[4 B length][1 B op][8 B request id][payload ...]
+//
+// where length counts everything after the length field itself (so a frame
+// occupies 4 + length bytes on the wire). Request ids are chosen by the
+// client and echoed verbatim by the server, which is what lets a client
+// pipeline many requests on one connection and accept responses out of
+// order. All integers are little-endian; embedding values travel as raw
+// IEEE-754 float32 bits.
+//
+// Every encoder appends to a caller-provided buffer and every decoder
+// parses into caller-provided storage, so both endpoints can run their
+// steady-state request paths without heap allocations (see
+// ARCHITECTURE.md, "Memory discipline"). Decoders validate sizes before
+// touching payload bytes: a truncated, corrupt or oversized frame yields
+// an error, never a panic or a silent misparse.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic opens both handshake messages: "TDNP" (TensorDIMM network
+// protocol). A connection that does not start with it is not speaking this
+// protocol and is closed immediately.
+const Magic = 0x54444e50
+
+// Version is the protocol revision. The handshake rejects a peer speaking
+// a different revision instead of guessing at frame layouts.
+const Version = 1
+
+// DefaultMaxFrameBytes bounds one frame's wire size when a Config leaves
+// the limit zero: large enough for a maximal update batch against the
+// biggest benchmark geometry, small enough that a corrupt length field
+// cannot make an endpoint allocate gigabytes.
+const DefaultMaxFrameBytes = 16 << 20
+
+// HeaderBytes is the fixed per-frame header: the 4-byte length prefix plus
+// the 1-byte op and 8-byte request id the length covers.
+const HeaderBytes = 4 + 1 + 8
+
+// Op identifies a frame's meaning.
+type Op uint8
+
+// The frame ops. Requests flow client -> server, responses server ->
+// client with the request's id echoed.
+const (
+	// OpEmbed requests a pooled embedding: payload is a uint32 batch
+	// followed by tables x batch x reduction uint32 row indices.
+	OpEmbed Op = 1
+	// OpEmbedResp answers OpEmbed: payload is batch x tables x dim raw
+	// float32 values.
+	OpEmbedResp Op = 2
+	// OpUpdate requests a gradient-update batch: payload is a uint16 update
+	// count, then per update a uint32 table, uint32 row count, the rows,
+	// and rows x dim float32 gradients.
+	OpUpdate Op = 3
+	// OpUpdateResp answers OpUpdate with an empty payload.
+	OpUpdateResp Op = 4
+	// OpMetrics requests a metrics report; empty payload.
+	OpMetrics Op = 5
+	// OpMetricsResp answers OpMetrics: payload is a UTF-8 text report.
+	OpMetricsResp Op = 6
+	// OpPing is a liveness probe; empty payload.
+	OpPing Op = 7
+	// OpPong answers OpPing with an empty payload.
+	OpPong Op = 8
+	// OpError answers any request that failed: payload is a uint16 ErrCode
+	// followed by a UTF-8 message.
+	OpError Op = 9
+)
+
+// ErrCode classifies an OpError frame.
+type ErrCode uint16
+
+// The error codes an OpError frame carries.
+const (
+	// ErrBadRequest: the request was malformed or failed validation
+	// (geometry mismatch, index out of range). Retrying is pointless.
+	ErrBadRequest ErrCode = 1
+	// ErrOverloaded: the server's admission budget was exhausted and the
+	// request was shed without executing. Retrying after backoff is safe.
+	ErrOverloaded ErrCode = 2
+	// ErrShuttingDown: the server is draining and accepts no new work.
+	ErrShuttingDown ErrCode = 3
+	// ErrInternal: the backend failed executing the request.
+	ErrInternal ErrCode = 4
+)
+
+// String names the code for error rendering.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrBadRequest:
+		return "BAD_REQUEST"
+	case ErrOverloaded:
+		return "OVERLOADED"
+	case ErrShuttingDown:
+		return "SHUTTING_DOWN"
+	case ErrInternal:
+		return "INTERNAL"
+	}
+	return fmt.Sprintf("ERR_%d", uint16(c))
+}
+
+// Geometry is the model shape the server announces in its handshake: with
+// it a client can validate and size every request and destination buffer
+// without any out-of-band configuration.
+type Geometry struct {
+	// Tables is the embedding table count of the served model.
+	Tables int
+	// Reduction is the pooling group width (rows per sample per table).
+	Reduction int
+	// Dim is the embedding dimension.
+	Dim int
+	// TableRows is the row count of every table — the valid index range a
+	// remote workload generator draws from, and the bound the decoders
+	// enforce so an out-of-range index is rejected as BAD_REQUEST at the
+	// protocol layer instead of deep inside the backend.
+	TableRows int
+	// MaxBatch is the largest per-request sample count the server accepts.
+	MaxBatch int
+}
+
+// Width returns the pooled row width tables x dim — the float32 count of
+// one sample's embedding output.
+func (g Geometry) Width() int { return g.Tables * g.Dim }
+
+// Validate rejects non-positive geometry fields, which would make every
+// payload-size derivation nonsense.
+func (g Geometry) Validate() error {
+	if g.Tables <= 0 || g.Reduction <= 0 || g.Dim <= 0 || g.TableRows <= 0 || g.MaxBatch <= 0 {
+		return fmt.Errorf("wire: invalid geometry %+v (all fields must be positive)", g)
+	}
+	return nil
+}
+
+// clientHelloBytes is the fixed client handshake size: magic + version.
+const clientHelloBytes = 4 + 2
+
+// serverHelloBytes is the fixed server handshake size: magic + version +
+// five uint32 geometry fields.
+const serverHelloBytes = 4 + 2 + 5*4
+
+// AppendClientHello appends the client handshake to buf.
+func AppendClientHello(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, Magic)
+	return binary.LittleEndian.AppendUint16(buf, Version)
+}
+
+// ReadClientHello reads and verifies a client handshake from r.
+func ReadClientHello(r io.Reader) error {
+	var b [clientHelloBytes]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("wire: reading client hello: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:4]); m != Magic {
+		return fmt.Errorf("wire: bad magic %#x (want %#x): peer is not speaking the TensorDIMM protocol", m, uint32(Magic))
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version {
+		return fmt.Errorf("wire: protocol version %d (want %d)", v, Version)
+	}
+	return nil
+}
+
+// AppendServerHello appends the server handshake — magic, version, and the
+// served geometry — to buf.
+func AppendServerHello(buf []byte, g Geometry) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, Magic)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Tables))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Reduction))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.TableRows))
+	return binary.LittleEndian.AppendUint32(buf, uint32(g.MaxBatch))
+}
+
+// ReadServerHello reads and verifies a server handshake from r, returning
+// the announced geometry.
+func ReadServerHello(r io.Reader) (Geometry, error) {
+	var b [serverHelloBytes]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return Geometry{}, fmt.Errorf("wire: reading server hello: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:4]); m != Magic {
+		return Geometry{}, fmt.Errorf("wire: bad magic %#x (want %#x): peer is not speaking the TensorDIMM protocol", m, uint32(Magic))
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version {
+		return Geometry{}, fmt.Errorf("wire: protocol version %d (want %d)", v, Version)
+	}
+	g := Geometry{
+		Tables:    int(binary.LittleEndian.Uint32(b[6:10])),
+		Reduction: int(binary.LittleEndian.Uint32(b[10:14])),
+		Dim:       int(binary.LittleEndian.Uint32(b[14:18])),
+		TableRows: int(binary.LittleEndian.Uint32(b[18:22])),
+		MaxBatch:  int(binary.LittleEndian.Uint32(b[22:26])),
+	}
+	if err := g.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	return g, nil
+}
+
+// AppendFrame appends one complete frame (header + payload) to buf. It is
+// the generic encoder for the empty- and opaque-payload ops (ping, pong,
+// metrics, update-ack); the hot-path ops have dedicated encoders below
+// that build their payloads in place.
+func AppendFrame(buf []byte, op Op, id uint64, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(1+8+len(payload)))
+	buf = append(buf, byte(op))
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	return append(buf, payload...)
+}
+
+// beginFrame appends a frame header with a placeholder length, returning
+// the offset of the length field for endFrame to patch.
+func beginFrame(buf []byte, op Op, id uint64) ([]byte, int) {
+	lenAt := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf = append(buf, byte(op))
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	return buf, lenAt
+}
+
+// endFrame patches the length field of the frame begun at lenAt.
+func endFrame(buf []byte, lenAt int) []byte {
+	binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
+	return buf
+}
+
+// AppendEmbed appends an OpEmbed request frame: `batch` samples whose
+// per-table row index lists are perTableRows (exactly as the serving
+// layers take them). The caller must have validated the lists against the
+// geometry — the encoder derives every length from batch, so a short list
+// would panic, not misencode.
+func AppendEmbed(buf []byte, id uint64, perTableRows [][]int, batch, reduction int) []byte {
+	buf, lenAt := beginFrame(buf, OpEmbed, id)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(batch))
+	n := batch * reduction
+	for _, rows := range perTableRows {
+		for _, r := range rows[:n] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+		}
+	}
+	return endFrame(buf, lenAt)
+}
+
+// DecodeEmbed parses an OpEmbed payload against the geometry, filling the
+// caller's reused row storage: idx is resized (grown at most once per
+// connection) to tables x batch x reduction decoded indices and rows's
+// tables entries are resliced into it. Returns the decoded batch plus the
+// (possibly regrown) buffers. Indices are range-checked against
+// g.TableRows, so a malformed request is rejected here as BAD_REQUEST
+// material instead of deep inside the backend.
+func DecodeEmbed(payload []byte, g Geometry, rows [][]int, idx []int) (batch int, _ [][]int, _ []int, err error) {
+	if len(payload) < 4 {
+		return 0, rows, idx, fmt.Errorf("wire: embed payload %d B, want at least 4", len(payload))
+	}
+	batch = int(binary.LittleEndian.Uint32(payload))
+	if batch <= 0 || batch > g.MaxBatch {
+		return 0, rows, idx, fmt.Errorf("wire: embed batch %d out of range [1, %d]", batch, g.MaxBatch)
+	}
+	n := batch * g.Reduction
+	want := 4 + 4*g.Tables*n
+	if len(payload) != want {
+		return 0, rows, idx, fmt.Errorf("wire: embed payload %d B, want %d for batch %d (%d tables x reduction %d)",
+			len(payload), want, batch, g.Tables, g.Reduction)
+	}
+	total := g.Tables * n
+	if cap(idx) < total {
+		idx = make([]int, total)
+	}
+	idx = idx[:total]
+	if cap(rows) < g.Tables {
+		rows = make([][]int, g.Tables)
+	}
+	rows = rows[:g.Tables]
+	p := payload[4:]
+	for i := 0; i < total; i++ {
+		r := int(binary.LittleEndian.Uint32(p[4*i:]))
+		if r >= g.TableRows {
+			return 0, rows, idx, fmt.Errorf("wire: embed index %d out of range [0, %d)", r, g.TableRows)
+		}
+		idx[i] = r
+	}
+	for t := 0; t < g.Tables; t++ {
+		rows[t] = idx[t*n : (t+1)*n]
+	}
+	return batch, rows, idx, nil
+}
+
+// AppendEmbedResp appends an OpEmbedResp frame carrying vals (the pooled
+// batch x tables x dim embedding values) as raw float32 bits.
+func AppendEmbedResp(buf []byte, id uint64, vals []float32) []byte {
+	buf, lenAt := beginFrame(buf, OpEmbedResp, id)
+	buf = appendFloats(buf, vals)
+	return endFrame(buf, lenAt)
+}
+
+// DecodeEmbedResp parses an OpEmbedResp payload into dst, which must be
+// exactly the expected result length (the client sizes it from the
+// geometry before sending the request).
+func DecodeEmbedResp(payload []byte, dst []float32) error {
+	if len(payload) != 4*len(dst) {
+		return fmt.Errorf("wire: embed response %d B, want %d (%d float32)", len(payload), 4*len(dst), len(dst))
+	}
+	decodeFloats(dst, payload)
+	return nil
+}
+
+// Update is the wire form of one table's slice of a gradient-update batch:
+// Grads holds len(Rows) x dim row-major values. It mirrors
+// runtime.TableUpdate without importing the runtime, so the protocol layer
+// stays free of serving-stack dependencies.
+type Update struct {
+	// Table is the target embedding table.
+	Table int
+	// Rows lists the target row per gradient (duplicates accumulate in
+	// order).
+	Rows []int
+	// Grads holds one dim-wide gradient row per entry of Rows.
+	Grads []float32
+}
+
+// AppendUpdate appends an OpUpdate frame carrying ups. Every entry's Grads
+// must hold exactly len(Rows) x dim values, and len(ups) must be within
+// MaxUpdatesPerFrame; like AppendEmbed, validation is the caller's job.
+func AppendUpdate(buf []byte, id uint64, ups []Update) []byte {
+	buf, lenAt := beginFrame(buf, OpUpdate, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ups)))
+	for _, up := range ups {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(up.Table))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(up.Rows)))
+		for _, r := range up.Rows {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+		}
+		buf = appendFloats(buf, up.Grads)
+	}
+	return endFrame(buf, lenAt)
+}
+
+// UpdateScratch is the reusable decode storage for OpUpdate payloads: the
+// update headers plus one arena each for rows and gradient values, grown
+// on demand and reused across requests.
+type UpdateScratch struct {
+	// Ups holds the decoded updates; valid until the next DecodeUpdate.
+	Ups []Update
+	// Rows is the arena the updates' Rows slices view into.
+	Rows []int
+	// Grads is the arena the updates' Grads slices view into.
+	Grads []float32
+}
+
+// MaxUpdatesPerFrame bounds one OpUpdate frame's update count: the
+// decoder rejects a corrupt header before it can demand absurd scratch
+// growth, and the client enforces the same bound before encoding (the
+// count also travels as a uint16, which a larger batch would silently
+// truncate into a corrupt frame).
+const MaxUpdatesPerFrame = 1 << 12
+
+// DecodeUpdate parses an OpUpdate payload against the geometry into s,
+// reusing its arenas. The returned slice views s and is valid until the
+// next call. Row counts are capped at maxBatch x reduction per update —
+// the same cap the serving layers enforce — so payload size stays bounded
+// by the geometry.
+func DecodeUpdate(payload []byte, g Geometry, s *UpdateScratch) ([]Update, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("wire: update payload %d B, want at least 2", len(payload))
+	}
+	count := int(binary.LittleEndian.Uint16(payload))
+	if count == 0 || count > MaxUpdatesPerFrame {
+		return nil, fmt.Errorf("wire: update count %d out of range [1, %d]", count, MaxUpdatesPerFrame)
+	}
+	if cap(s.Ups) < count {
+		s.Ups = make([]Update, count)
+	}
+	s.Ups = s.Ups[:count]
+	s.Rows, s.Grads = s.Rows[:0], s.Grads[:0]
+	p := payload[2:]
+	maxRows := g.MaxBatch * g.Reduction
+	for u := 0; u < count; u++ {
+		if len(p) < 8 {
+			return nil, fmt.Errorf("wire: update %d: truncated header (%d B left)", u, len(p))
+		}
+		table := int(binary.LittleEndian.Uint32(p))
+		n := int(binary.LittleEndian.Uint32(p[4:]))
+		p = p[8:]
+		if table < 0 || table >= g.Tables {
+			return nil, fmt.Errorf("wire: update %d: table %d out of range [0, %d)", u, table, g.Tables)
+		}
+		if n <= 0 || n > maxRows {
+			return nil, fmt.Errorf("wire: update %d: %d rows out of range [1, %d]", u, n, maxRows)
+		}
+		need := 4*n + 4*n*g.Dim
+		if len(p) < need {
+			return nil, fmt.Errorf("wire: update %d: %d B left, want %d for %d rows", u, len(p), need, n)
+		}
+		rowAt, gradAt := len(s.Rows), len(s.Grads)
+		for i := 0; i < n; i++ {
+			r := int(binary.LittleEndian.Uint32(p[4*i:]))
+			if r >= g.TableRows {
+				return nil, fmt.Errorf("wire: update %d row index %d out of range [0, %d)", u, r, g.TableRows)
+			}
+			s.Rows = append(s.Rows, r)
+		}
+		p = p[4*n:]
+		s.Grads = growFloats(s.Grads, n*g.Dim)
+		decodeFloats(s.Grads[gradAt:], p[:4*n*g.Dim])
+		p = p[4*n*g.Dim:]
+		s.Ups[u] = Update{Table: table, Rows: s.Rows[rowAt:], Grads: s.Grads[gradAt:]}
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("wire: update payload has %d trailing bytes", len(p))
+	}
+	// The arenas may have been regrown by appends mid-loop; re-slice every
+	// update's views against the final backing arrays.
+	rowAt, gradAt := 0, 0
+	for u := range s.Ups {
+		n := len(s.Ups[u].Rows)
+		s.Ups[u].Rows = s.Rows[rowAt : rowAt+n]
+		s.Ups[u].Grads = s.Grads[gradAt : gradAt+n*g.Dim]
+		rowAt += n
+		gradAt += n * g.Dim
+	}
+	return s.Ups, nil
+}
+
+// AppendError appends an OpError frame with the code and message.
+func AppendError(buf []byte, id uint64, code ErrCode, msg string) []byte {
+	buf, lenAt := beginFrame(buf, OpError, id)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(code))
+	buf = append(buf, msg...)
+	return endFrame(buf, lenAt)
+}
+
+// DecodeError parses an OpError payload. The message is copied out of the
+// payload (error paths may allocate).
+func DecodeError(payload []byte) (ErrCode, string, error) {
+	if len(payload) < 2 {
+		return 0, "", fmt.Errorf("wire: error payload %d B, want at least 2", len(payload))
+	}
+	return ErrCode(binary.LittleEndian.Uint16(payload)), string(payload[2:]), nil
+}
+
+// ReadFrame reads one complete frame from r into buf (grown if needed and
+// returned), enforcing max as the frame-size ceiling. The returned payload
+// aliases buf and is valid until the next call with the same buffer. An
+// oversized or short length field is a protocol violation: the stream can
+// no longer be trusted to be frame-aligned, so the caller must close the
+// connection.
+func ReadFrame(r io.Reader, buf []byte, max int) (op Op, id uint64, payload, _ []byte, err error) {
+	// The length prefix is read through the reused buffer, not a local
+	// array: a local escapes through the io.Reader interface and would cost
+	// one heap allocation per frame on every endpoint.
+	if cap(buf) < 64 {
+		buf = make([]byte, 64)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, nil, buf, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n < 1+8 {
+		return 0, 0, nil, buf, fmt.Errorf("wire: frame length %d below the %d-byte op+id minimum", n, 1+8)
+	}
+	if max <= 0 {
+		max = DefaultMaxFrameBytes
+	}
+	if 4+n > max {
+		return 0, 0, nil, buf, fmt.Errorf("wire: frame of %d B exceeds the %d B limit", 4+n, max)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, 0, nil, buf, fmt.Errorf("wire: reading %d-byte frame body: %w", n, err)
+	}
+	op = Op(buf[0])
+	id = binary.LittleEndian.Uint64(buf[1:9])
+	return op, id, buf[9:], buf, nil
+}
+
+// growFloats extends s by n elements, reusing capacity when it can — the
+// arena growth path of DecodeUpdate, which must not allocate a temporary
+// per call the way append(s, make(...)...) would.
+func growFloats(s []float32, n int) []float32 {
+	if cap(s)-len(s) >= n {
+		return s[:len(s)+n]
+	}
+	out := make([]float32, len(s)+n, 2*(len(s)+n))
+	copy(out, s)
+	return out
+}
+
+// appendFloats appends vals as raw little-endian float32 bits.
+func appendFloats(buf []byte, vals []float32) []byte {
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// decodeFloats fills dst from len(dst)*4 raw little-endian bytes.
+func decodeFloats(dst []float32, p []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
+	}
+}

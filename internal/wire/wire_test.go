@@ -1,0 +1,358 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+var testGeom = Geometry{Tables: 3, Reduction: 2, Dim: 8, TableRows: 640, MaxBatch: 16}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(AppendClientHello(nil))
+	if err := ReadClientHello(&buf); err != nil {
+		t.Fatalf("client hello round trip: %v", err)
+	}
+	buf.Reset()
+	buf.Write(AppendServerHello(nil, testGeom))
+	g, err := ReadServerHello(&buf)
+	if err != nil {
+		t.Fatalf("server hello round trip: %v", err)
+	}
+	if g != testGeom {
+		t.Fatalf("geometry %+v round-tripped to %+v", testGeom, g)
+	}
+	if g.Width() != testGeom.Tables*testGeom.Dim {
+		t.Fatalf("Width() = %d, want %d", g.Width(), testGeom.Tables*testGeom.Dim)
+	}
+}
+
+func TestHandshakeRejectsBadMagicAndVersion(t *testing.T) {
+	bad := AppendClientHello(nil)
+	bad[0] ^= 0xff
+	if err := ReadClientHello(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("corrupt magic: err = %v, want magic error", err)
+	}
+	bad = AppendClientHello(nil)
+	binary.LittleEndian.PutUint16(bad[4:], Version+1)
+	if err := ReadClientHello(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version: err = %v, want version error", err)
+	}
+	srv := AppendServerHello(nil, testGeom)
+	srv[0] ^= 0xff
+	if _, err := ReadServerHello(bytes.NewReader(srv)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("corrupt server magic: err = %v, want magic error", err)
+	}
+	// Zero geometry fields are rejected even when the framing is valid.
+	srv = AppendServerHello(nil, Geometry{Tables: 0, Reduction: 1, Dim: 8, MaxBatch: 4})
+	if _, err := ReadServerHello(bytes.NewReader(srv)); err == nil {
+		t.Fatal("zero-table geometry accepted")
+	}
+	// Truncated handshakes fail cleanly.
+	if err := ReadClientHello(bytes.NewReader(AppendClientHello(nil)[:3])); err == nil {
+		t.Fatal("truncated client hello accepted")
+	}
+	if _, err := ReadServerHello(bytes.NewReader(AppendServerHello(nil, testGeom)[:10])); err == nil {
+		t.Fatal("truncated server hello accepted")
+	}
+}
+
+func TestEmbedRoundTrip(t *testing.T) {
+	g := testGeom
+	const batch = 3
+	n := batch * g.Reduction
+	perTable := make([][]int, g.Tables)
+	for tt := range perTable {
+		perTable[tt] = make([]int, n)
+		for i := range perTable[tt] {
+			perTable[tt][i] = tt*100 + i
+		}
+	}
+	frame := AppendEmbed(nil, 42, perTable, batch, g.Reduction)
+
+	op, id, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpEmbed || id != 42 {
+		t.Fatalf("op %d id %d, want OpEmbed id 42", op, id)
+	}
+	var rows [][]int
+	var idx []int
+	gotBatch, rows, idx, err := DecodeEmbed(payload, g, rows, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBatch != batch {
+		t.Fatalf("batch %d, want %d", gotBatch, batch)
+	}
+	for tt := range perTable {
+		for i := range perTable[tt] {
+			if rows[tt][i] != perTable[tt][i] {
+				t.Fatalf("table %d index %d: %d, want %d", tt, i, rows[tt][i], perTable[tt][i])
+			}
+		}
+	}
+	// Reuse: decoding a second frame into the same buffers must not grow
+	// them.
+	frame2 := AppendEmbed(frame[:0], 43, perTable, batch, g.Reduction)
+	_, _, payload, _, err = ReadFrame(bytes.NewReader(frame2), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cap(idx)
+	if _, rows, idx, err = DecodeEmbed(payload, g, rows, idx); err != nil {
+		t.Fatal(err)
+	}
+	if cap(idx) != before {
+		t.Fatalf("idx buffer regrew from %d to %d on identical decode", before, cap(idx))
+	}
+	_ = rows
+}
+
+func TestDecodeEmbedRejectsBadShapes(t *testing.T) {
+	g := testGeom
+	perTable := [][]int{{1, 2}, {3, 4}, {5, 6}}
+	frame := AppendEmbed(nil, 1, perTable, 1, g.Reduction)
+	_, _, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"truncated", payload[:len(payload)-1]},
+		{"trailing garbage", append(append([]byte{}, payload...), 0xde, 0xad)},
+		{"zero batch", binary.LittleEndian.AppendUint32(nil, 0)},
+		{"oversized batch", binary.LittleEndian.AppendUint32(nil, uint32(g.MaxBatch+1))},
+		{"index out of range", func() []byte {
+			p := append([]byte{}, payload...)
+			binary.LittleEndian.PutUint32(p[4:], uint32(g.TableRows))
+			return p
+		}()},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := DecodeEmbed(tc.payload, g, nil, nil); err == nil {
+			t.Fatalf("%s: decode accepted", tc.name)
+		}
+	}
+}
+
+func TestEmbedRespRoundTrip(t *testing.T) {
+	vals := []float32{0, 1.5, -2.25, float32(math.Inf(1)), float32(math.NaN()), 3.1415927}
+	frame := AppendEmbedResp(nil, 7, vals)
+	op, id, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpEmbedResp || id != 7 {
+		t.Fatalf("op %d id %d, want OpEmbedResp id 7", op, id)
+	}
+	dst := make([]float32, len(vals))
+	if err := DecodeEmbedResp(payload, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float32bits(dst[i]) != math.Float32bits(vals[i]) {
+			t.Fatalf("value %d: bits %#x, want %#x (bit-identity contract)", i,
+				math.Float32bits(dst[i]), math.Float32bits(vals[i]))
+		}
+	}
+	if err := DecodeEmbedResp(payload[:len(payload)-2], dst); err == nil {
+		t.Fatal("truncated response accepted")
+	}
+	if err := DecodeEmbedResp(payload, dst[:len(dst)-1]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	g := testGeom
+	ups := []Update{
+		{Table: 0, Rows: []int{5, 5, 9}, Grads: seq(3 * g.Dim)},
+		{Table: 2, Rows: []int{0}, Grads: seq(g.Dim)},
+	}
+	frame := AppendUpdate(nil, 99, ups)
+	op, id, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpUpdate || id != 99 {
+		t.Fatalf("op %d id %d, want OpUpdate id 99", op, id)
+	}
+	var s UpdateScratch
+	got, err := DecodeUpdate(payload, g, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ups) {
+		t.Fatalf("%d updates, want %d", len(got), len(ups))
+	}
+	for u := range ups {
+		if got[u].Table != ups[u].Table || len(got[u].Rows) != len(ups[u].Rows) {
+			t.Fatalf("update %d header mismatch: %+v", u, got[u])
+		}
+		for i, r := range ups[u].Rows {
+			if got[u].Rows[i] != r {
+				t.Fatalf("update %d row %d: %d, want %d", u, i, got[u].Rows[i], r)
+			}
+		}
+		for i, v := range ups[u].Grads {
+			if math.Float32bits(got[u].Grads[i]) != math.Float32bits(v) {
+				t.Fatalf("update %d grad %d mismatch", u, i)
+			}
+		}
+	}
+	// Second decode into the same scratch must reuse the arenas.
+	before := cap(s.Grads)
+	if _, err := DecodeUpdate(payload, g, &s); err != nil {
+		t.Fatal(err)
+	}
+	if cap(s.Grads) != before {
+		t.Fatalf("grad arena regrew from %d to %d on identical decode", before, cap(s.Grads))
+	}
+}
+
+func TestDecodeUpdateRejectsCorruption(t *testing.T) {
+	g := testGeom
+	frame := AppendUpdate(nil, 1, []Update{{Table: 1, Rows: []int{2, 3}, Grads: seq(2 * g.Dim)}})
+	_, _, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s UpdateScratch
+	mutate := func(f func(p []byte) []byte) []byte {
+		return f(append([]byte{}, payload...))
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"zero count", mutate(func(p []byte) []byte { p[0], p[1] = 0, 0; return p })},
+		{"huge count", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint16(p, 0xffff); return p })},
+		{"table out of range", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint32(p[2:], 99); return p })},
+		{"row count over cap", mutate(func(p []byte) []byte {
+			binary.LittleEndian.PutUint32(p[6:], uint32(g.MaxBatch*g.Reduction+1))
+			return p
+		})},
+		{"row index out of range", mutate(func(p []byte) []byte {
+			binary.LittleEndian.PutUint32(p[10:], uint32(g.TableRows))
+			return p
+		})},
+		{"truncated grads", payload[:len(payload)-3]},
+		{"trailing garbage", mutate(func(p []byte) []byte { return append(p, 1, 2, 3) })},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeUpdate(tc.payload, g, &s); err == nil {
+			t.Fatalf("%s: decode accepted", tc.name)
+		}
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	frame := AppendError(nil, 13, ErrOverloaded, "budget exhausted")
+	op, id, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpError || id != 13 {
+		t.Fatalf("op %d id %d, want OpError id 13", op, id)
+	}
+	code, msg, err := DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != ErrOverloaded || msg != "budget exhausted" {
+		t.Fatalf("decoded %v %q", code, msg)
+	}
+	if code.String() != "OVERLOADED" {
+		t.Fatalf("ErrOverloaded renders %q", code.String())
+	}
+	if _, _, err := DecodeError([]byte{1}); err == nil {
+		t.Fatal("1-byte error payload accepted")
+	}
+}
+
+func TestReadFrameLimitsAndTruncation(t *testing.T) {
+	frame := AppendFrame(nil, OpPing, 5, nil)
+	op, id, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+	if err != nil || op != OpPing || id != 5 || len(payload) != 0 {
+		t.Fatalf("ping frame: op %d id %d payload %d err %v", op, id, len(payload), err)
+	}
+
+	// Oversized length field: rejected before any body read.
+	huge := binary.LittleEndian.AppendUint32(nil, 1<<30)
+	if _, _, _, _, err := ReadFrame(bytes.NewReader(huge), nil, 1<<20); err == nil ||
+		!strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized frame: err = %v", err)
+	}
+	// A frame over a custom (small) limit is rejected even when well-formed.
+	big := AppendFrame(nil, OpMetricsResp, 1, make([]byte, 256))
+	if _, _, _, _, err := ReadFrame(bytes.NewReader(big), nil, 64); err == nil {
+		t.Fatal("frame above custom limit accepted")
+	}
+	// Length below the op+id minimum: the stream cannot be resynced.
+	short := binary.LittleEndian.AppendUint32(nil, 3)
+	if _, _, _, _, err := ReadFrame(bytes.NewReader(append(short, 0, 0, 0)), nil, 0); err == nil {
+		t.Fatal("sub-minimum frame length accepted")
+	}
+	// Truncated body: io error, not a short parse.
+	if _, _, _, _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-4]), nil, 0); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	// Truncated header maps to EOF-ish errors the caller can distinguish.
+	if _, _, _, _, err := ReadFrame(bytes.NewReader(frame[:2]), nil, 0); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, _, _, _, err := ReadFrame(bytes.NewReader(nil), nil, 0); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestPipelinedStream decodes several back-to-back frames from one stream
+// through a single reused buffer — the reader-loop shape both endpoints
+// use.
+func TestPipelinedStream(t *testing.T) {
+	g := testGeom
+	perTable := [][]int{{1, 2}, {3, 4}, {5, 6}}
+	var stream []byte
+	stream = AppendEmbed(stream, 1, perTable, 1, g.Reduction)
+	stream = AppendFrame(stream, OpPing, 2, nil)
+	stream = AppendUpdate(stream, 3, []Update{{Table: 0, Rows: []int{1}, Grads: seq(g.Dim)}})
+	stream = AppendError(stream, 4, ErrShuttingDown, "drain")
+
+	r := bytes.NewReader(stream)
+	var buf []byte
+	wantOps := []Op{OpEmbed, OpPing, OpUpdate, OpError}
+	for i, want := range wantOps {
+		var op Op
+		var id uint64
+		var err error
+		op, id, _, buf, err = ReadFrame(r, buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if op != want || id != uint64(i+1) {
+			t.Fatalf("frame %d: op %d id %d, want op %d id %d", i, op, id, want, i+1)
+		}
+	}
+	if _, _, _, _, err := ReadFrame(r, buf, 0); err != io.EOF {
+		t.Fatalf("stream end: %v, want io.EOF", err)
+	}
+}
+
+// seq returns n distinct float32 values.
+func seq(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(i)*0.25 - 1
+	}
+	return out
+}

@@ -69,11 +69,14 @@ import (
 	"tensordimm/internal/embed"
 	"tensordimm/internal/experiments"
 	"tensordimm/internal/isa"
+	"tensordimm/internal/netclient"
+	"tensordimm/internal/netserve"
 	"tensordimm/internal/node"
 	"tensordimm/internal/recsys"
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/serve"
 	"tensordimm/internal/tensor"
+	"tensordimm/internal/wire"
 	"tensordimm/internal/workload"
 )
 
@@ -129,6 +132,23 @@ type (
 	ShardMetrics = cluster.ShardMetrics
 	// ShardStrategy selects table-wise or row-wise sharding.
 	ShardStrategy = cluster.Strategy
+	// NetServer is the TCP serving plane fronting a server or cluster.
+	NetServer = netserve.Server
+	// NetServeConfig tunes the network server (admission budget, frame cap).
+	NetServeConfig = netserve.Config
+	// NetServeMetrics is a snapshot of the network plane's counters.
+	NetServeMetrics = netserve.Metrics
+	// NetBackend is the serving engine a NetServer fronts.
+	NetBackend = netserve.Backend
+	// NetClient is the pooled, pipelined client of a NetServer.
+	NetClient = netclient.Client
+	// NetClientConfig tunes the client (pool size, dial retry).
+	NetClientConfig = netclient.Config
+	// NetServerError is an error frame returned by a server, carrying the
+	// machine-readable wire code (e.g. OVERLOADED for shed requests).
+	NetServerError = netclient.ServerError
+	// NetGeometry is the model shape a server announces in its handshake.
+	NetGeometry = wire.Geometry
 )
 
 // The five design points (Section 6).
@@ -144,6 +164,19 @@ const (
 const (
 	Uniform = workload.Uniform
 	Zipfian = workload.Zipfian
+)
+
+// Machine-readable error codes a NetServerError carries.
+const (
+	// NetErrBadRequest marks a malformed or rejected request.
+	NetErrBadRequest = wire.ErrBadRequest
+	// NetErrOverloaded marks a request shed by admission control; retrying
+	// after backoff is safe.
+	NetErrOverloaded = wire.ErrOverloaded
+	// NetErrShuttingDown marks a request refused by a draining server.
+	NetErrShuttingDown = wire.ErrShuttingDown
+	// NetErrInternal marks a backend execution failure.
+	NetErrInternal = wire.ErrInternal
 )
 
 // Sharding strategies for NewCluster.
@@ -206,6 +239,26 @@ func NewServer(cfg ServeConfig, deps ...*Deployment) (*Server, error) {
 // their pools.
 func NewCluster(m *Model, cfg ClusterConfig) (*Cluster, error) {
 	return cluster.New(m, cfg)
+}
+
+// NewNetServer wraps a backend (ServeBackend or ClusterBackend) in the
+// TCP serving plane. Start it with Serve on a listener; Close drains
+// gracefully and leaves the backend running for its owner to close.
+func NewNetServer(b NetBackend, cfg NetServeConfig) (*NetServer, error) {
+	return netserve.New(b, cfg)
+}
+
+// ServeBackend adapts a single-node Server for NewNetServer.
+func ServeBackend(s *Server) NetBackend { return netserve.ServerBackend(s) }
+
+// ClusterBackend adapts a sharded Cluster for NewNetServer.
+func ClusterBackend(c *Cluster) NetBackend { return netserve.ClusterBackend(c) }
+
+// DialNet connects a pooled, pipelined client to a NetServer. The
+// returned client's Geometry carries the server's model shape; EmbedInto
+// results are bit-identical to the backend's in-process EmbedInto.
+func DialNet(addr string, cfg NetClientConfig) (*NetClient, error) {
+	return netclient.Dial(addr, cfg)
 }
 
 // NewWorkload returns a deterministic index generator over tables of `rows`
