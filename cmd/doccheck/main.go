@@ -8,7 +8,8 @@
 // as a contract:
 //
 //	go run ./cmd/doccheck internal/cluster internal/serve internal/runtime \
-//	    internal/node internal/workload internal/wire internal/netserve internal/netclient
+//	    internal/node internal/workload internal/wire internal/netserve \
+//	    internal/netclient internal/remote internal/faultnet
 //
 // With no arguments it checks that default set.
 package main
@@ -29,6 +30,7 @@ func main() {
 			"internal/cluster", "internal/serve", "internal/runtime",
 			"internal/node", "internal/workload",
 			"internal/wire", "internal/netserve", "internal/netclient",
+			"internal/remote", "internal/faultnet",
 		}
 	}
 	var failures []string

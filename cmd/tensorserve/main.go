@@ -24,6 +24,17 @@
 // plus the server's own report. The two flags turn one binary into the
 // classic two-terminal serving demo — and the CI network smoke test.
 //
+// With -listen plus -shard-id S the process serves one shard of a model
+// split -nodes ways: it extracts shard S's gather-only slice from the
+// deterministic model build and announces itself as a replica, ready to
+// join a replica group. With -join "a1,a2/b1,b2" the process is the
+// matching replica-group driver: each /-separated group lists one shard's
+// replica endpoints, requests hedge and fail over inside each group, and
+// updates fan out with sequenced replay — killing one replica of a
+// multi-replica shard mid-run loses no requests. -replicas N asserts the
+// intended group width up front. The driver exits non-zero if any request
+// fails, which makes it the CI failover smoke test.
+//
 // Usage:
 //
 //	tensorserve                                  # YouTube-class model, defaults
@@ -33,9 +44,16 @@
 //	tensorserve -nodes 4 -cache-mb 4 -zipf -update-frac 0.2
 //	tensorserve -listen :7077 -nodes 4 -cache-mb 4   # terminal 1: server
 //	tensorserve -connect :7077 -rate 2000 -batch 4   # terminal 2: driver
+//
+//	tensorserve -listen :7171 -nodes 2 -shard-id 0   # shard 0, replica A
+//	tensorserve -listen :7172 -nodes 2 -shard-id 0   # shard 0, replica B
+//	tensorserve -listen :7173 -nodes 2 -shard-id 1   # shard 1, replica A
+//	tensorserve -listen :7174 -nodes 2 -shard-id 1   # shard 1, replica B
+//	tensorserve -join ":7171,:7172/:7173,:7174" -replicas 2 -rate 500 -update-frac 0.2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -78,6 +96,10 @@ type flags struct {
 	connect  string
 	conns    int
 	inflight int
+
+	shardID  int
+	join     string
+	replicas int
 }
 
 func main() {
@@ -105,6 +127,10 @@ func main() {
 	flag.StringVar(&f.connect, "connect", "", "drive load over TCP against a -listen server at this address (geometry comes from the handshake)")
 	flag.IntVar(&f.conns, "conns", 2, "client connection pool size for -connect")
 	flag.IntVar(&f.inflight, "inflight", 256, "admission budget for -listen: in-flight requests beyond it are shed with OVERLOADED")
+
+	flag.IntVar(&f.shardID, "shard-id", -1, "with -listen: serve only this shard of a model split -nodes ways, announcing the replica role")
+	flag.StringVar(&f.join, "join", "", "drive load against replica groups of -shard-id servers: one ,-separated address group per shard, groups separated by / (e.g. :7171,:7172/:7173,:7174)")
+	flag.IntVar(&f.replicas, "replicas", 0, "with -join: require every serving shard's group to list exactly this many replicas (0 skips the check)")
 	flag.Parse()
 
 	if err := validate(f); err != nil {
@@ -114,6 +140,10 @@ func main() {
 
 	if f.connect != "" {
 		runConnect(f)
+		return
+	}
+	if f.join != "" {
+		runJoin(f)
 		return
 	}
 
@@ -153,17 +183,36 @@ func validate(f flags) error {
 	set := map[string]bool{}
 	flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
 
-	if f.listen != "" && f.connect != "" {
-		return fmt.Errorf("-listen and -connect are mutually exclusive (one process serves, the other drives)")
+	modes := 0
+	for _, m := range []string{f.listen, f.connect, f.join} {
+		if m != "" {
+			modes++
+		}
 	}
-	if f.listen == "" && f.connect == "" {
+	if modes > 1 {
+		return fmt.Errorf("-listen, -connect and -join are mutually exclusive (one process serves, the other drives)")
+	}
+	if f.connect == "" && f.join == "" {
 		// Network-only flags in the in-process driver would be silently
 		// ignored.
 		if set["conns"] {
-			return fmt.Errorf("-conns needs -connect: the in-process driver opens no network connections")
+			return fmt.Errorf("-conns needs -connect or -join: the in-process driver opens no network connections")
 		}
+	}
+	if f.listen == "" {
 		if set["inflight"] {
 			return fmt.Errorf("-inflight needs -listen: admission control lives in the network server")
+		}
+		if set["shard-id"] {
+			return fmt.Errorf("-shard-id needs -listen: a shard replica is a serving process (drive its group with -join)")
+		}
+	}
+	if f.join == "" && set["replicas"] {
+		return fmt.Errorf("-replicas needs -join: it asserts the width of each replica group being driven")
+	}
+	if f.join != "" {
+		if err := validateJoin(f, set); err != nil {
+			return err
 		}
 	}
 	if f.connect != "" {
@@ -177,7 +226,7 @@ func validate(f flags) error {
 		if f.conns < 1 {
 			return fmt.Errorf("-conns %d must be at least 1", f.conns)
 		}
-	} else {
+	} else if f.join == "" {
 		if stripe := f.dimms * 16; f.dimms < 1 || f.dim%stripe != 0 {
 			return fmt.Errorf("-dim %d must be a positive multiple of dimms x 16 = %d", f.dim, f.dimms*16)
 		}
@@ -196,10 +245,17 @@ func validate(f flags) error {
 		if s := strings.ToLower(f.shard); s != "table" && s != "row" {
 			return fmt.Errorf("-shard %q must be table or row", f.shard)
 		}
-		if f.nodes == 1 {
+		if set["shard-id"] {
+			if f.shardID < 0 || f.shardID >= f.nodes {
+				return fmt.Errorf("-shard-id %d out of range: the model splits into -nodes %d shards", f.shardID, f.nodes)
+			}
+			if set["cache-mb"] {
+				return fmt.Errorf("-cache-mb cannot be combined with -shard-id: the hot-row cache lives in the in-process cluster router, not in a shard replica")
+			}
+		} else if f.nodes == 1 {
 			// Cluster-only flags on a single node would be silently ignored.
 			if set["shard"] {
-				return fmt.Errorf("-shard needs cluster mode: add -nodes N (N > 1)")
+				return fmt.Errorf("-shard needs cluster mode: add -nodes N (N > 1) or serve one shard with -shard-id")
 			}
 			if set["cache-mb"] {
 				return fmt.Errorf("-cache-mb needs cluster mode: add -nodes N (N > 1); the single-node server has no hot-row cache")
@@ -244,6 +300,77 @@ func validate(f flags) error {
 		}
 	}
 	return nil
+}
+
+// validateJoin checks the replica-group driver's flag set. Unlike
+// -connect, the -join driver defines the model geometry locally (it must
+// match what the shard servers were built with — every replica's
+// handshake is validated against it), so the model flags stay legal;
+// server-side sizing flags would be silently ignored and are rejected.
+func validateJoin(f flags, set map[string]bool) error {
+	for _, name := range []string{"dimms", "delay", "cache-mb", "inflight"} {
+		if set[name] {
+			return fmt.Errorf("-%s cannot be combined with -join: it sizes the serving processes (set it on the -listen -shard-id side)", name)
+		}
+	}
+	if set["nodes"] {
+		return fmt.Errorf("-nodes cannot be combined with -join: the shard count is the number of /-separated groups")
+	}
+	groups, err := parseJoin(f.join)
+	if err != nil {
+		return err
+	}
+	if f.replicas < 0 {
+		return fmt.Errorf("-replicas %d must not be negative", f.replicas)
+	}
+	if f.replicas > 0 {
+		for s, g := range groups {
+			if len(g) > 0 && len(g) != f.replicas {
+				return fmt.Errorf("-replicas %d: shard %d's group lists %d addresses", f.replicas, s, len(g))
+			}
+		}
+	}
+	if f.conns < 1 {
+		return fmt.Errorf("-conns %d must be at least 1", f.conns)
+	}
+	if f.rows < 1 {
+		return fmt.Errorf("-rows %d must be at least 1", f.rows)
+	}
+	if f.maxBatch < 1 {
+		return fmt.Errorf("-maxbatch %d must be at least 1", f.maxBatch)
+	}
+	if f.workers < 1 {
+		return fmt.Errorf("-workers %d must be at least 1", f.workers)
+	}
+	if s := strings.ToLower(f.shard); s != "table" && s != "row" {
+		return fmt.Errorf("-shard %q must be table or row", f.shard)
+	}
+	return nil
+}
+
+// parseJoin splits a -join value into per-shard replica address groups:
+// groups are separated by /, addresses within a group by ,. An empty
+// group stands for a shard the placement leaves without rows (table-wise
+// splits with more shards than tables).
+func parseJoin(join string) ([][]string, error) {
+	var groups [][]string
+	for s, g := range strings.Split(join, "/") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			groups = append(groups, nil)
+			continue
+		}
+		var addrs []string
+		for _, a := range strings.Split(g, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return nil, fmt.Errorf("-join: shard %d's group %q has an empty address", s, g)
+			}
+			addrs = append(addrs, a)
+		}
+		groups = append(groups, addrs)
+	}
+	return groups, nil
 }
 
 // newGenerator builds the index generator the driver draws from.
@@ -313,10 +440,54 @@ func makeServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (*
 	return nd, srv
 }
 
-// buildBackend constructs the serving backend the flags describe: a
-// single batched server for -nodes 1, the sharded cluster otherwise.
-// It returns the backend plus its close function.
+// makeShardServer extracts shard f.shardID's gather-only slice of the
+// deterministic model build and deploys it on one TensorNode behind a
+// batched server whose request cap is exactly the placement's largest
+// possible sub-request — the geometry a replica router validates its
+// handshake against. Replicas of the same shard run this same path from
+// the same seed, so a restarted replica reproduces its pre-crash state by
+// replaying the router's update log.
+func makeShardServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (*tensordimm.Node, *tensordimm.Server) {
+	strategy := shardStrategy(f)
+	place := tensordimm.NewPlacement(strategy, f.nodes, cfg.Tables, cfg.TableRows)
+	if place.LocalRows(f.shardID) == 0 {
+		log.Fatalf("shard %d holds no rows under %v placement (%d tables across %d shards); it needs no replicas",
+			f.shardID, strategy, cfg.Tables, f.nodes)
+	}
+	shardModel, err := tensordimm.ExtractShardModel(model, strategy, f.nodes, f.shardID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := f
+	fs.maxBatch = place.MaxSub(f.shardID, f.maxBatch, cfg.Reduction)
+	nd, dep := deploySingle(shardModel, shardModel.Cfg, fs)
+	srv, err := tensordimm.NewServer(tensordimm.ServeConfig{
+		MaxBatch: fs.maxBatch,
+		MaxDelay: f.maxDelay,
+		Workers:  f.workers,
+	}, dep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shard %d of %d (%s): %d local rows, sub-batch cap %d samples\n",
+		f.shardID, f.nodes, strategy, shardModel.Cfg.TableRows, fs.maxBatch)
+	return nd, srv
+}
+
+// buildBackend constructs the serving backend the flags describe: one
+// shard's slice for -shard-id, a single batched server for -nodes 1, the
+// sharded cluster otherwise. It returns the backend plus its close
+// function.
 func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (tensordimm.NetBackend, func() error) {
+	if f.shardID >= 0 {
+		nd, srv := makeShardServer(model, cfg, f)
+		closeAll := func() error {
+			err := srv.Close()
+			nd.Close()
+			return err
+		}
+		return tensordimm.ServeBackend(srv), closeAll
+	}
 	if f.nodes > 1 {
 		cl := makeCluster(model, f)
 		return tensordimm.ClusterBackend(cl), cl.Close
@@ -336,7 +507,11 @@ func runListen(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) {
 	fmt.Printf("model %s: %d tables x %d rows, dim %d, %d-way %s\n",
 		cfg.Name, cfg.Tables, cfg.TableRows, cfg.EmbDim, cfg.Reduction, poolingName(cfg))
 	backend, closeBackend := buildBackend(model, cfg, f)
-	srv, err := tensordimm.NewNetServer(backend, tensordimm.NetServeConfig{MaxInflight: f.inflight})
+	role := tensordimm.RoleStandalone
+	if f.shardID >= 0 {
+		role = tensordimm.RoleReplica
+	}
+	srv, err := tensordimm.NewNetServer(backend, tensordimm.NetServeConfig{MaxInflight: f.inflight, Role: role})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -475,6 +650,130 @@ func runConnect(f flags) {
 		fmt.Printf("\n--- server report ---\n%s\n", report)
 	} else {
 		fmt.Fprintln(os.Stderr, "tensorserve: fetching server metrics:", err)
+	}
+	if completed == 0 || failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runJoin drives the open-loop workload against replica groups of remote
+// shard processes through the failover router. Unlike -connect, there is
+// no shedding to tolerate at this level: the router retries sheds and
+// fails over transport losses internally, so any surfaced error is a lost
+// request and the run exits non-zero — which is what the CI failover
+// smoke asserts while SIGKILLing a replica mid-run.
+func runJoin(f flags) {
+	cfg, err := benchmark(f.modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tensorserve:", err)
+		os.Exit(2)
+	}
+	cfg.TableRows = f.rows
+	cfg.EmbDim = f.dim
+	groups, err := parseJoin(f.join) // validated; re-parsed for the addresses
+	if err != nil {
+		log.Fatal(err)
+	}
+	rc, err := tensordimm.NewRemoteCluster(tensordimm.RemoteConfig{
+		Model:    cfg,
+		Strategy: shardStrategy(f),
+		Shards:   groups,
+		MaxBatch: f.maxBatch,
+		Workers:  f.workers,
+		Conns:    f.conns,
+		RetryFor: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rc.Close()
+	replicas := 0
+	for _, g := range groups {
+		replicas += len(g)
+	}
+	fmt.Printf("joined %d shards (%s) over %d replicas: %d tables x %d rows, dim %d, %d-way %s\n",
+		len(groups), shardStrategy(f), replicas, cfg.Tables, cfg.TableRows, cfg.EmbDim,
+		cfg.Reduction, poolingName(cfg))
+	gen, err := newGenerator(f, cfg.TableRows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offering %.0f req/s x %v, batch %d, %s indices, %.0f%% updates (open loop over replica groups)\n\n",
+		f.rate, f.duration, f.batch, distName(f), 100*f.updFrac)
+
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		completed   int
+		failed      int
+		unavailable int
+		firstErr    error
+		lat         stats.Latency
+	)
+	interval := float64(time.Second) / f.rate
+	rng := rand.New(rand.NewSource(f.seed))
+	start := time.Now()
+	offered := 0
+	for {
+		due := start.Add(time.Duration(float64(offered) * interval))
+		if due.Sub(start) >= f.duration {
+			break
+		}
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		isUpdate := rng.Float64() < f.updFrac
+		var rows [][]int
+		var ups []tensordimm.TableUpdate
+		if isUpdate {
+			urows := gen.Indices(f.batch)
+			grads := tensordimm.NewTensor(len(urows), cfg.EmbDim)
+			for i := range grads.Data() {
+				grads.Data()[i] = rng.Float32()*0.02 - 0.01
+			}
+			ups = []tensordimm.TableUpdate{{Table: rng.Intn(cfg.Tables), Rows: urows, Grads: grads}}
+		} else {
+			rows = gen.Batch(cfg.Tables, f.batch, cfg.Reduction)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			var err error
+			if isUpdate {
+				err = rc.ApplyUpdates(ups)
+			} else {
+				_, err = rc.Embed(rows, f.batch)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				completed++
+				lat.Observe(time.Since(t0).Seconds())
+				return
+			}
+			failed++
+			var un *tensordimm.RemoteUnavailable
+			if errors.As(err, &un) {
+				unavailable++
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}()
+		offered++
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("offered %d requests: %d completed, %d failed (%d with a whole replica group down)\n",
+		offered, completed, failed, unavailable)
+	fmt.Printf("sustained %.0f req/s against %.0f req/s offered\n",
+		float64(completed)/elapsed.Seconds(), f.rate)
+	fmt.Printf("client-observed latency  %s\n", lat.Summary())
+	fmt.Println(rc.Metrics())
+	if firstErr != nil {
+		fmt.Fprintln(os.Stderr, "tensorserve: first failure:", firstErr)
 	}
 	if completed == 0 || failed > 0 {
 		os.Exit(1)

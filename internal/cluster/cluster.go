@@ -54,10 +54,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"tensordimm/internal/embed"
 	"tensordimm/internal/interconnect"
 	"tensordimm/internal/isa"
-	"tensordimm/internal/nn"
 	"tensordimm/internal/node"
 	"tensordimm/internal/recsys"
 	"tensordimm/internal/runtime"
@@ -148,7 +146,7 @@ type shard struct {
 type Cluster struct {
 	model *recsys.Model
 	cfg   Config
-	place *placement
+	place *Placement
 	shard []*shard
 
 	scratchPool sync.Pool
@@ -206,7 +204,7 @@ func New(m *recsys.Model, cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		model:   m,
 		cfg:     cfg,
-		place:   newPlacement(cfg.Strategy, cfg.Nodes, mc.Tables, mc.TableRows),
+		place:   NewPlacement(cfg.Strategy, cfg.Nodes, mc.Tables, mc.TableRows),
 		tableMu: make([]sync.Mutex, mc.Tables),
 	}
 	c.scratchPool.New = func() any { return c.newScratch() }
@@ -242,61 +240,19 @@ func (c *Cluster) buildShard(s int) (*shard, error) {
 		return sh, nil
 	}
 
-	// Flat local table: every row this shard owns, at the flat coordinate
-	// placement.locate assigns it. Owned rows are enumerated directly —
-	// whole tables for TableWise, the stride-N residue class for RowWise —
-	// so construction copies each owned row once instead of scanning the
-	// full model per shard.
-	flat, err := embed.NewTable(localRows, mc.EmbDim)
+	// Gather-only shard model: one flat table holding every row this shard
+	// owns at the flat coordinate Placement.Locate assigns it, reduction 1
+	// (pooling happens at the router's merge). Shared with the remote
+	// serving path (ExtractShardModel), so an in-process shard and a
+	// -shard-id TensorNode process serve identical bytes.
+	shardModel, err := buildShardModel(c.model, c.place, s)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: shard %d table: %w", s, err)
-	}
-	for t := 0; t < mc.Tables; t++ {
-		base := c.place.flatBase[s][t]
-		if base < 0 {
-			continue
-		}
-		src := c.model.Embedding.Tables[t]
-		if c.cfg.Strategy == RowWise {
-			for i, r := 0, s; r < mc.TableRows; i, r = i+1, r+c.cfg.Nodes {
-				copy(flat.Row(base+i), src.Row(r))
-			}
-		} else {
-			for r := 0; r < mc.TableRows; r++ {
-				copy(flat.Row(base+r), src.Row(r))
-			}
-		}
-	}
-
-	// Gather-only shard model: one flat table, reduction 1 (pooling happens
-	// at the router's merge), a minimal MLP so every Model invariant holds
-	// even though the cluster only ever calls Embed on shard servers.
-	shardCfg := recsys.Config{
-		Name:      fmt.Sprintf("%s/shard%d", mc.Name, s),
-		Tables:    1,
-		Reduction: 1,
-		FCLayers:  0,
-		EmbDim:    mc.EmbDim,
-		TableRows: localRows,
-		Op:        isa.RAdd,
-	}
-	mlp, err := nn.NewMLP(shardCfg.MLPDims(), int64(s))
-	if err != nil {
-		return nil, fmt.Errorf("cluster: shard %d mlp: %w", s, err)
-	}
-	shardModel := &recsys.Model{
-		Cfg: shardCfg,
-		Embedding: &embed.Layer{
-			Tables:    []*embed.Table{flat},
-			Reduction: 1,
-			Op:        isa.RAdd,
-		},
-		MLP: mlp,
+		return nil, err
 	}
 
 	// Worst case rows of one sub-request: every lookup of a maximal cluster
 	// request lands on this shard.
-	maxSub := c.place.tablesOn(s) * c.cfg.MaxBatch * mc.Reduction
+	maxSub := c.place.MaxSub(s, c.cfg.MaxBatch, mc.Reduction)
 
 	nd, err := node.New(node.Config{
 		DIMMs:        c.cfg.DIMMsPerNode,
@@ -374,6 +330,11 @@ type routerScratch struct {
 	src      []rowSrc  // tables x lookups resolved sources
 	hitBuf   []float32 // cache hits, one dim-wide row per hit
 	hitRows  int
+	// lookups is the current request's batch x reduction; vec is the
+	// Merger callback over src/sub/hitBuf, built once per scratch so the
+	// merge stays allocation-free.
+	lookups int
+	vec     func(t, i int) []float32
 }
 
 // shardCall is one shard sub-request being executed by a router worker.
@@ -397,7 +358,7 @@ func (c *Cluster) newScratch() *routerScratch {
 		hitBuf:   make([]float32, mc.Tables*lookups*mc.EmbDim),
 	}
 	for s := range scr.sub {
-		maxSub := c.place.tablesOn(s) * lookups
+		maxSub := c.place.TablesOn(s) * lookups
 		scr.sub[s] = subScratch{
 			rows:    make([]int, 0, maxSub),
 			rowsArg: make([][]int, 1),
@@ -408,6 +369,15 @@ func (c *Cluster) newScratch() *routerScratch {
 	}
 	for s := range scr.calls {
 		scr.calls[s] = shardCall{c: c, s: s, scr: scr}
+	}
+	dim := mc.EmbDim
+	scr.vec = func(t, i int) []float32 {
+		src := scr.src[t*scr.lookups+i]
+		if src.shard < 0 {
+			return scr.hitBuf[int(src.idx)*dim : (int(src.idx)+1)*dim]
+		}
+		out := scr.sub[src.shard].out
+		return out[int(src.idx)*dim : (int(src.idx)+1)*dim]
 	}
 	return scr
 }
@@ -617,7 +587,7 @@ func (c *Cluster) applyTableUpdate(up runtime.TableUpdate) ([]int64, error) {
 	shardRows := make(map[int][]int) // shard -> flat local rows
 	shardSrc := make(map[int][]int)  // shard -> gradient row indices
 	for i, r := range up.Rows {
-		s, flat := c.place.locate(up.Table, r)
+		s, flat := c.place.Locate(up.Table, r)
 		shardRows[s] = append(shardRows[s], flat)
 		shardSrc[s] = append(shardSrc[s], i)
 	}
@@ -723,6 +693,7 @@ func (c *Cluster) run(dst []float32, perTableRows [][]int, batch int, embedOnly 
 	defer c.scratchPool.Put(scr)
 	epoch := scr.nextEpoch()
 	scr.hitRows = 0
+	scr.lookups = lookups
 
 	// Snapshot every cache's version before any gather is dispatched: a
 	// row gathered now may predate an update that lands mid-request, and
@@ -741,7 +712,7 @@ func (c *Cluster) run(dst []float32, perTableRows [][]int, batch int, embedOnly 
 	for t, rows := range perTableRows {
 		srcRow := scr.src[t*lookups : (t+1)*lookups]
 		for i, r := range rows {
-			s, flat := c.place.locate(t, r)
+			s, flat := c.place.Locate(t, r)
 			sh := c.shard[s]
 			if sh.cache != nil {
 				hit := scr.hitBuf[scr.hitRows*dim : (scr.hitRows+1)*dim]
@@ -799,59 +770,14 @@ func (c *Cluster) run(dst []float32, perTableRows [][]int, batch int, embedOnly 
 		}
 	}
 
-	// Merge: pool each table's rows in request order directly into dst,
-	// with exactly the per-element operation sequence of the golden
-	// embed.Pool / embed.Average path (copy the first group member, apply
-	// the operator per member in order, scale for mean) — bit-identical to
-	// Layer.Forward.
+	// Merge: pool each table's rows in request order directly into dst
+	// through the shared Merger — the exact golden embed.Pool /
+	// embed.Average operation sequence, bit-identical to Layer.Forward.
 	width := mc.Tables * dim
-	vecFor := func(srcRow []rowSrc, i int) []float32 {
-		src := srcRow[i]
-		if src.shard < 0 {
-			return scr.hitBuf[int(src.idx)*dim : (int(src.idx)+1)*dim]
-		}
-		out := scr.sub[src.shard].out
-		return out[int(src.idx)*dim : (int(src.idx)+1)*dim]
-	}
-	red := mc.Reduction
-	for t := 0; t < mc.Tables; t++ {
-		srcRow := scr.src[t*lookups : (t+1)*lookups]
-		for g := 0; g < batch; g++ {
-			seg := dst[g*width+t*dim : g*width+(t+1)*dim]
-			copy(seg, vecFor(srcRow, g*red))
-			for j := 1; j < red; j++ {
-				vec := vecFor(srcRow, g*red+j)
-				switch {
-				case mc.Mean, mc.Op == isa.RAdd:
-					for k := range seg {
-						seg[k] += vec[k]
-					}
-				case mc.Op == isa.RSub:
-					for k := range seg {
-						seg[k] -= vec[k]
-					}
-				case mc.Op == isa.RMul:
-					for k := range seg {
-						seg[k] *= vec[k]
-					}
-				case mc.Op == isa.RMax:
-					for k := range seg {
-						if vec[k] > seg[k] {
-							seg[k] = vec[k]
-						}
-					}
-				default:
-					c.failures.Inc()
-					return nil, fmt.Errorf("cluster: merge table %d: unknown reduce op %v", t, mc.Op)
-				}
-			}
-			if mc.Mean && red > 1 {
-				inv := 1 / float32(red)
-				for k := range seg {
-					seg[k] *= inv
-				}
-			}
-		}
+	merger := Merger{Tables: mc.Tables, Dim: dim, Reduction: mc.Reduction, Mean: mc.Mean, Op: mc.Op}
+	if err := merger.Merge(dst, batch, scr.vec); err != nil {
+		c.failures.Inc()
+		return nil, err
 	}
 
 	if embedOnly {

@@ -69,7 +69,7 @@ func TestNewValidation(t *testing.T) {
 // lands where the mapping says it must.
 func TestPlacementRowWiseBoundaries(t *testing.T) {
 	const nodes, tables, rows = 3, 2, 301 // 301 = 3*100 + 1
-	p := newPlacement(RowWise, nodes, tables, rows)
+	p := NewPlacement(RowWise, nodes, tables, rows)
 	// Shard 0 owns rows 0,3,...,300 -> 101 rows per table; shards 1 and 2
 	// own 100 each.
 	if got := p.localRows[0]; got != 2*101 {
@@ -89,7 +89,7 @@ func TestPlacementRowWiseBoundaries(t *testing.T) {
 		{1, 299, 2, 100 + 99},
 	}
 	for _, c := range cases {
-		s, f := p.locate(c.table, c.row)
+		s, f := p.Locate(c.table, c.row)
 		if s != c.wantShard || f != c.wantFlat {
 			t.Errorf("locate(%d, %d) = (%d, %d), want (%d, %d)",
 				c.table, c.row, s, f, c.wantShard, c.wantFlat)
@@ -100,18 +100,18 @@ func TestPlacementRowWiseBoundaries(t *testing.T) {
 // TestPlacementTableWise pins the round-robin table assignment, including
 // more nodes than tables (empty shards).
 func TestPlacementTableWise(t *testing.T) {
-	p := newPlacement(TableWise, 4, 3, 10)
+	p := NewPlacement(TableWise, 4, 3, 10)
 	wantRows := []int{10, 10, 10, 0}
 	for s, want := range wantRows {
 		if p.localRows[s] != want {
 			t.Fatalf("shard %d rows = %d, want %d", s, p.localRows[s], want)
 		}
 	}
-	if s, f := p.locate(2, 7); s != 2 || f != 7 {
+	if s, f := p.Locate(2, 7); s != 2 || f != 7 {
 		t.Fatalf("locate(2, 7) = (%d, %d), want (2, 7)", s, f)
 	}
-	if p.tablesOn(3) != 0 {
-		t.Fatalf("empty shard reports %d tables", p.tablesOn(3))
+	if p.TablesOn(3) != 0 {
+		t.Fatalf("empty shard reports %d tables", p.TablesOn(3))
 	}
 }
 

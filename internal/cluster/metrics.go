@@ -87,7 +87,7 @@ func (c *Cluster) Metrics() Metrics {
 	for _, sh := range c.shard {
 		sm := ShardMetrics{
 			Shard:  sh.id,
-			Tables: c.place.tablesOn(sh.id),
+			Tables: c.place.TablesOn(sh.id),
 			Rows:   c.place.localRows[sh.id],
 		}
 		sm.SubRequests = sh.subRequests.Load()

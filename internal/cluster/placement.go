@@ -1,6 +1,13 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"tensordimm/internal/embed"
+	"tensordimm/internal/isa"
+	"tensordimm/internal/nn"
+	"tensordimm/internal/recsys"
+)
 
 // Strategy selects how a model's embedding tables are split across the
 // cluster's shards.
@@ -31,12 +38,16 @@ func (s Strategy) String() string {
 	}
 }
 
-// placement maps every (table, row) coordinate of the full model onto a
+// Placement maps every (table, row) coordinate of the full model onto a
 // shard and a row of that shard's flat local table. Each shard stores all
 // the rows it owns — from however many global tables — concatenated into
 // one flat gather-only table, so a sub-request is a single index list no
-// matter how many tables it touches.
-type placement struct {
+// matter how many tables it touches. It is the shared router core: the
+// in-process Cluster and the remote replica router derive identical
+// layouts from it, which is what lets a remote fleet serve bit-identical
+// results and lets cmd/tensorserve carve a single shard's model out of
+// the full one (ExtractShardModel).
+type Placement struct {
 	strategy Strategy
 	nodes    int
 	tables   int
@@ -48,10 +59,10 @@ type placement struct {
 	localRows []int
 }
 
-// newPlacement precomputes the shard layout for a model of `tables` tables
+// NewPlacement precomputes the shard layout for a model of `tables` tables
 // with `rows` rows each over `nodes` shards.
-func newPlacement(strategy Strategy, nodes, tables, rows int) *placement {
-	p := &placement{
+func NewPlacement(strategy Strategy, nodes, tables, rows int) *Placement {
+	p := &Placement{
 		strategy:  strategy,
 		nodes:     nodes,
 		tables:    tables,
@@ -92,9 +103,9 @@ func newPlacement(strategy Strategy, nodes, tables, rows int) *placement {
 	return p
 }
 
-// locate returns the shard owning (table, row) and the row's index in that
+// Locate returns the shard owning (table, row) and the row's index in that
 // shard's flat local table.
-func (p *placement) locate(table, row int) (shard, flat int) {
+func (p *Placement) Locate(table, row int) (shard, flat int) {
 	switch p.strategy {
 	case RowWise:
 		s := row % p.nodes
@@ -105,8 +116,8 @@ func (p *placement) locate(table, row int) (shard, flat int) {
 	}
 }
 
-// tablesOn returns how many global tables shard s holds a slice of.
-func (p *placement) tablesOn(s int) int {
+// TablesOn returns how many global tables shard s holds a slice of.
+func (p *Placement) TablesOn(s int) int {
 	n := 0
 	for _, base := range p.flatBase[s] {
 		if base >= 0 {
@@ -114,4 +125,91 @@ func (p *placement) tablesOn(s int) int {
 		}
 	}
 	return n
+}
+
+// LocalRows returns the flat local table height of shard s (0 = the
+// placement puts nothing on shard s).
+func (p *Placement) LocalRows(s int) int { return p.localRows[s] }
+
+// MaxSub returns the worst-case sub-request row count for shard s: every
+// lookup of a maximal request of maxBatch samples with the given pooling
+// reduction lands on it. It is the MaxBatch a shard's serving stack must
+// be sized for.
+func (p *Placement) MaxSub(s, maxBatch, reduction int) int {
+	return p.TablesOn(s) * maxBatch * reduction
+}
+
+// buildShardModel materializes the gather-only model shard s serves under
+// placement p: the flat local table copied row-by-row from m's golden
+// tables (one flat table, reduction 1 — pooling happens at the router's
+// merge) plus a minimal MLP so every Model invariant holds. The source
+// model is not modified.
+func buildShardModel(m *recsys.Model, p *Placement, s int) (*recsys.Model, error) {
+	mc := m.Cfg
+	localRows := p.localRows[s]
+	if localRows == 0 {
+		return nil, fmt.Errorf("cluster: shard %d holds no rows under %v placement of %d shards", s, p.strategy, p.nodes)
+	}
+	flat, err := embed.NewTable(localRows, mc.EmbDim)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d table: %w", s, err)
+	}
+	for t := 0; t < mc.Tables; t++ {
+		base := p.flatBase[s][t]
+		if base < 0 {
+			continue
+		}
+		src := m.Embedding.Tables[t]
+		if p.strategy == RowWise {
+			for i, r := 0, s; r < mc.TableRows; i, r = i+1, r+p.nodes {
+				copy(flat.Row(base+i), src.Row(r))
+			}
+		} else {
+			for r := 0; r < mc.TableRows; r++ {
+				copy(flat.Row(base+r), src.Row(r))
+			}
+		}
+	}
+	shardCfg := recsys.Config{
+		Name:      fmt.Sprintf("%s/shard%d", mc.Name, s),
+		Tables:    1,
+		Reduction: 1,
+		FCLayers:  0,
+		EmbDim:    mc.EmbDim,
+		TableRows: localRows,
+		Op:        isa.RAdd,
+	}
+	mlp, err := nn.NewMLP(shardCfg.MLPDims(), int64(s))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d mlp: %w", s, err)
+	}
+	return &recsys.Model{
+		Cfg: shardCfg,
+		Embedding: &embed.Layer{
+			Tables:    []*embed.Table{flat},
+			Reduction: 1,
+			Op:        isa.RAdd,
+		},
+		MLP: mlp,
+	}, nil
+}
+
+// ExtractShardModel materializes the gather-only model shard s of `nodes`
+// serves under the given strategy — the same construction the in-process
+// Cluster performs, exported so a remote TensorNode process
+// (cmd/tensorserve -shard-id) can build exactly the shard the router's
+// placement expects from the same deterministically-seeded full model. A
+// shard the placement leaves empty is an error.
+func ExtractShardModel(m *recsys.Model, strategy Strategy, nodes, s int) (*recsys.Model, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("cluster: nodes must be positive, got %d", nodes)
+	}
+	if s < 0 || s >= nodes {
+		return nil, fmt.Errorf("cluster: shard %d out of range [0, %d)", s, nodes)
+	}
+	if strategy != TableWise && strategy != RowWise {
+		return nil, fmt.Errorf("cluster: unknown strategy %v", strategy)
+	}
+	p := NewPlacement(strategy, nodes, m.Cfg.Tables, m.Cfg.TableRows)
+	return buildShardModel(m, p, s)
 }

@@ -1,13 +1,24 @@
 // Package netclient is the Go client of the network serving plane: it
 // speaks the internal/wire protocol to a netserve.Server over a small
 // pool of TCP connections and exposes the same request surface as the
-// in-process serving layers (EmbedInto, Update, Metrics, Ping).
+// in-process serving layers (EmbedInto, Update, Metrics, Ping), plus the
+// replica-oriented extensions a router needs: sequenced updates (Sync),
+// asynchronous embeds (StartEmbed, for hedged reads), and supervised
+// reconnect with exponential backoff (Config.Reconnect).
 //
 // Requests pipeline: any number of goroutines may call into one Client
 // concurrently, each request is stamped with a connection-local id,
 // writes interleave on the shared connections, and a per-connection
 // reader goroutine correlates responses — which arrive in completion
 // order, not request order — back to their waiting callers.
+//
+// Connection lifecycle: without Reconnect, a lost connection is broken
+// permanently and calls fail until the pool is exhausted — the original
+// fail-fast contract. With Reconnect, each lost connection is redialed in
+// the background with exponential backoff; the re-handshake must announce
+// the geometry learned at Dial (a restarted server with a different model
+// stays down), and the OnUp/OnDown hooks report transitions so a replica
+// router can replay its update log before trusting the endpoint again.
 //
 // The steady-state EmbedInto path performs no heap allocations: calls
 // (with their encode buffers and reply channels) are pooled, responses
@@ -46,6 +57,29 @@ type Config struct {
 	// has elapsed — the knob that lets a client start before its server
 	// in scripted two-process runs. Zero means a single attempt.
 	RetryFor time.Duration
+
+	// Reconnect supervises every pooled connection: when one is lost, a
+	// background goroutine redials it with exponential backoff instead of
+	// leaving it permanently broken. A reconnect handshake must announce
+	// the geometry learned at Dial; a mismatching server (restarted with a
+	// different model) is treated as still down and retried. False keeps
+	// the original contract: a lost connection is broken for good.
+	Reconnect bool
+	// ReconnectMin is the first redial backoff. Zero defaults to 50ms.
+	ReconnectMin time.Duration
+	// ReconnectMax caps the doubling backoff. Zero defaults to 2s.
+	ReconnectMax time.Duration
+	// OnUp, if set, is called from the supervisor goroutine each time a
+	// lost connection is re-established, with the server's new hello. A
+	// replica router uses it to replay missed updates (the hello carries
+	// the server's update sequence) before routing reads to the endpoint.
+	// It is not called for the initial Dial connections — read Hello()
+	// after Dial for those.
+	OnUp func(wire.Hello)
+	// OnDown, if set, is called from the supervisor goroutine each time a
+	// live connection is lost, with the breaking error. Failed reconnect
+	// attempts do not re-fire it; the endpoint is already down.
+	OnDown func(error)
 }
 
 // ServerError is an error frame returned by the server, preserving the
@@ -62,17 +96,29 @@ type ServerError struct {
 // Error implements error.
 func (e *ServerError) Error() string { return fmt.Sprintf("netclient: server: %s: %s", e.Code, e.Msg) }
 
-// call is one in-flight request: the encode buffer, the destination the
+// Call is one in-flight request: the encode buffer, the destination the
 // reader decodes an embed response into, and the reply channel. Calls are
-// pooled per client; a call is owned by its submitter from Get to Put,
-// with the reader borrowing it between correlation and reply.
-type call struct {
+// pooled per client; a Call is owned by its submitter from StartEmbed (or
+// an internal submit) until Finish, with the reader borrowing it between
+// correlation and reply delivery. A started Call must be waited on (Done)
+// and then returned with Finish, even when abandoned — a hedged-read
+// loser is finished by whoever drains its Done channel.
+type Call struct {
 	buf  []byte
 	dst  []float32
 	text string
 	wu   []wire.Update
+	seq  uint64
 	done chan error
 }
+
+// Done returns the channel the call's result is delivered on: exactly one
+// error (nil for success) per started call.
+func (ca *Call) Done() <-chan error { return ca.done }
+
+// Dst returns the destination buffer the response was decoded into,
+// re-sliced to the response length. Valid after Done delivered nil.
+func (ca *Call) Dst() []float32 { return ca.dst }
 
 // clientConn is one pooled connection: a write lock serializing frame
 // writes, the pending table correlating request ids to waiting calls, and
@@ -81,24 +127,36 @@ type clientConn struct {
 	nc      net.Conn
 	wmu     sync.Mutex
 	pmu     sync.Mutex
-	pending map[uint64]*call
+	pending map[uint64]*Call
 	broken  error // set once the connection is unusable; guarded by pmu
 	nextID  atomic.Uint64
 	rdDone  chan struct{}
+}
+
+// connSlot is one position in the pool. Without Reconnect it holds its
+// Dial-time connection forever; with Reconnect the supervisor swaps in a
+// fresh connection after each loss (nil while down).
+type connSlot struct {
+	cur atomic.Pointer[clientConn]
 }
 
 // Client is a pooled, pipelined client of one serving endpoint. Create
 // with Dial, submit from any number of goroutines, and Close when done.
 type Client struct {
 	cfg   Config
+	addr  string
 	geom  wire.Geometry
 	width int
+	hello atomic.Pointer[wire.Hello] // latest handshake observed
 
-	conns    []*clientConn
+	slots    []*connSlot
 	rr       atomic.Uint64
 	callPool sync.Pool
 
-	closed atomic.Bool
+	closed   atomic.Bool
+	closeCh  chan struct{}
+	superWG  sync.WaitGroup
+	readerWG sync.WaitGroup
 }
 
 // Dial connects cfg.Conns connections to addr, performs the protocol
@@ -106,9 +164,10 @@ type Client struct {
 // geometry. With cfg.RetryFor > 0 a refused connection is retried until
 // the deadline, so a client may start before its server.
 func Dial(addr string, cfg Config) (*Client, error) {
-	if cfg.Conns < 0 || cfg.MaxFrameBytes < 0 || cfg.DialTimeout < 0 || cfg.RetryFor < 0 {
-		return nil, fmt.Errorf("netclient: negative config (Conns %d, MaxFrameBytes %d, DialTimeout %v, RetryFor %v)",
-			cfg.Conns, cfg.MaxFrameBytes, cfg.DialTimeout, cfg.RetryFor)
+	if cfg.Conns < 0 || cfg.MaxFrameBytes < 0 || cfg.DialTimeout < 0 || cfg.RetryFor < 0 ||
+		cfg.ReconnectMin < 0 || cfg.ReconnectMax < 0 {
+		return nil, fmt.Errorf("netclient: negative config (Conns %d, MaxFrameBytes %d, DialTimeout %v, RetryFor %v, ReconnectMin %v, ReconnectMax %v)",
+			cfg.Conns, cfg.MaxFrameBytes, cfg.DialTimeout, cfg.RetryFor, cfg.ReconnectMin, cfg.ReconnectMax)
 	}
 	if cfg.Conns == 0 {
 		cfg.Conns = 1
@@ -119,38 +178,58 @@ func Dial(addr string, cfg Config) (*Client, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
-	c := &Client{cfg: cfg}
-	c.callPool.New = func() any { return &call{done: make(chan error, 1)} }
+	if cfg.ReconnectMin == 0 {
+		cfg.ReconnectMin = 50 * time.Millisecond
+	}
+	if cfg.ReconnectMax == 0 {
+		cfg.ReconnectMax = 2 * time.Second
+	}
+	if cfg.ReconnectMin > cfg.ReconnectMax {
+		return nil, fmt.Errorf("netclient: ReconnectMin %v above ReconnectMax %v", cfg.ReconnectMin, cfg.ReconnectMax)
+	}
+	c := &Client{cfg: cfg, addr: addr, closeCh: make(chan struct{})}
+	c.callPool.New = func() any { return &Call{done: make(chan error, 1)} }
 	deadline := time.Now().Add(cfg.RetryFor)
 	for i := 0; i < cfg.Conns; i++ {
-		cc, g, err := dialOne(addr, cfg, deadline)
+		cc, h, err := dialOne(addr, cfg, deadline)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		if i == 0 {
-			c.geom = g
-			c.width = g.Width()
-			maxResp := wire.HeaderBytes + 4*g.MaxBatch*c.width
+			c.geom = h.Geom
+			c.width = h.Geom.Width()
+			maxResp := wire.HeaderBytes + 4*h.Geom.MaxBatch*c.width
 			if cfg.MaxFrameBytes < maxResp {
 				cc.nc.Close()
 				c.Close()
 				return nil, fmt.Errorf("netclient: MaxFrameBytes %d below the %d B a maximal response needs", cfg.MaxFrameBytes, maxResp)
 			}
-		} else if g != c.geom {
+		} else if h.Geom != c.geom {
 			cc.nc.Close()
 			c.Close()
-			return nil, fmt.Errorf("netclient: connection %d announced geometry %+v, connection 0 got %+v", i, g, c.geom)
+			return nil, fmt.Errorf("netclient: connection %d announced geometry %+v, connection 0 got %+v", i, h.Geom, c.geom)
 		}
-		c.conns = append(c.conns, cc)
+		hc := h
+		c.hello.Store(&hc)
+		slot := &connSlot{}
+		slot.cur.Store(cc)
+		c.slots = append(c.slots, slot)
+		c.readerWG.Add(1)
 		go c.readLoop(cc)
+	}
+	if cfg.Reconnect {
+		for _, slot := range c.slots {
+			c.superWG.Add(1)
+			go c.supervise(slot)
+		}
 	}
 	return c, nil
 }
 
 // dialOne establishes and handshakes a single connection, retrying
 // refused connects until the deadline.
-func dialOne(addr string, cfg Config, deadline time.Time) (*clientConn, wire.Geometry, error) {
+func dialOne(addr string, cfg Config, deadline time.Time) (*clientConn, wire.Hello, error) {
 	for {
 		nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 		if err != nil {
@@ -158,22 +237,82 @@ func dialOne(addr string, cfg Config, deadline time.Time) (*clientConn, wire.Geo
 				time.Sleep(50 * time.Millisecond)
 				continue
 			}
-			return nil, wire.Geometry{}, fmt.Errorf("netclient: dial %s: %w", addr, err)
+			return nil, wire.Hello{}, fmt.Errorf("netclient: dial %s: %w", addr, err)
 		}
 		if _, err := nc.Write(wire.AppendClientHello(make([]byte, 0, 8))); err != nil {
 			nc.Close()
-			return nil, wire.Geometry{}, fmt.Errorf("netclient: handshake write: %w", err)
+			return nil, wire.Hello{}, fmt.Errorf("netclient: handshake write: %w", err)
 		}
-		g, err := wire.ReadServerHello(nc)
+		h, err := wire.ReadServerHello(nc)
 		if err != nil {
 			nc.Close()
-			return nil, wire.Geometry{}, fmt.Errorf("netclient: handshake: %w", err)
+			return nil, wire.Hello{}, fmt.Errorf("netclient: handshake: %w", err)
 		}
 		return &clientConn{
 			nc:      nc,
-			pending: make(map[uint64]*call),
+			pending: make(map[uint64]*Call),
 			rdDone:  make(chan struct{}),
-		}, g, nil
+		}, h, nil
+	}
+}
+
+// supervise watches one slot: when its connection dies, it reports the
+// loss, then redials with exponential backoff until a server announcing
+// the original geometry is back, swaps the fresh connection in, and
+// reports it up. Runs until Close.
+func (c *Client) supervise(slot *connSlot) {
+	defer c.superWG.Done()
+	for {
+		cc := slot.cur.Load()
+		if cc != nil {
+			select {
+			case <-cc.rdDone:
+			case <-c.closeCh:
+				return
+			}
+			slot.cur.Store(nil)
+			if c.cfg.OnDown != nil {
+				cc.pmu.Lock()
+				err := cc.broken
+				cc.pmu.Unlock()
+				if err == nil {
+					err = fmt.Errorf("netclient: connection lost")
+				}
+				c.cfg.OnDown(err)
+			}
+		}
+		backoff := c.cfg.ReconnectMin
+		for {
+			select {
+			case <-c.closeCh:
+				return
+			default:
+			}
+			ncc, h, err := dialOne(c.addr, c.cfg, time.Time{})
+			if err == nil && h.Geom != c.geom {
+				ncc.nc.Close()
+				err = fmt.Errorf("netclient: reconnect handshake announced geometry %+v, want %+v", h.Geom, c.geom)
+			}
+			if err == nil {
+				slot.cur.Store(ncc)
+				hc := h
+				c.hello.Store(&hc)
+				c.readerWG.Add(1)
+				go c.readLoop(ncc)
+				if c.cfg.OnUp != nil {
+					c.cfg.OnUp(h)
+				}
+				break
+			}
+			select {
+			case <-c.closeCh:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > c.cfg.ReconnectMax {
+				backoff = c.cfg.ReconnectMax
+			}
+		}
 	}
 }
 
@@ -181,11 +320,38 @@ func dialOne(addr string, cfg Config, deadline time.Time) (*clientConn, wire.Geo
 // workload generator needs to build valid requests.
 func (c *Client) Geometry() wire.Geometry { return c.geom }
 
+// Hello returns the most recent server handshake, whose Role and
+// UpdateSeq a replica router reads to size its catch-up replay.
+func (c *Client) Hello() wire.Hello { return *c.hello.Load() }
+
+// Healthy reports whether at least one pooled connection is currently
+// live. With Reconnect it flips back to true once the supervisor has a
+// fresh connection up; without it, false is permanent.
+func (c *Client) Healthy() bool {
+	if c.closed.Load() {
+		return false
+	}
+	for _, slot := range c.slots {
+		cc := slot.cur.Load()
+		if cc == nil {
+			continue
+		}
+		cc.pmu.Lock()
+		broken := cc.broken
+		cc.pmu.Unlock()
+		if broken == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // readLoop is one connection's reader goroutine: it decodes response
 // frames, correlates each to its pending call by request id, and delivers
 // the result. On a read error it fails every pending call and marks the
 // connection broken.
 func (c *Client) readLoop(cc *clientConn) {
+	defer c.readerWG.Done()
 	defer close(cc.rdDone)
 	var buf []byte
 	for {
@@ -213,6 +379,8 @@ func (c *Client) readLoop(cc *clientConn) {
 			res = wire.DecodeEmbedResp(payload, ca.dst)
 		case wire.OpUpdateResp, wire.OpPong:
 			res = nil
+		case wire.OpSyncResp:
+			ca.seq, res = wire.DecodeSyncResp(payload)
 		case wire.OpMetricsResp:
 			ca.text = string(payload)
 		case wire.OpError:
@@ -237,7 +405,7 @@ func (cc *clientConn) fail(err error) {
 		cc.broken = err
 	}
 	pending := cc.pending
-	cc.pending = make(map[uint64]*call)
+	cc.pending = make(map[uint64]*Call)
 	cc.pmu.Unlock()
 	cc.nc.Close()
 	for _, ca := range pending {
@@ -245,14 +413,18 @@ func (cc *clientConn) fail(err error) {
 	}
 }
 
-// pick selects the connection for one request, skipping broken ones.
+// pick selects the connection for one request, skipping down or broken
+// ones.
 func (c *Client) pick() (*clientConn, error) {
 	if c.closed.Load() {
 		return nil, fmt.Errorf("netclient: client is closed")
 	}
 	start := int(c.rr.Add(1) - 1)
-	for i := 0; i < len(c.conns); i++ {
-		cc := c.conns[(start+i)%len(c.conns)]
+	for i := 0; i < len(c.slots); i++ {
+		cc := c.slots[(start+i)%len(c.slots)].cur.Load()
+		if cc == nil {
+			continue
+		}
 		cc.pmu.Lock()
 		broken := cc.broken
 		cc.pmu.Unlock()
@@ -260,13 +432,15 @@ func (c *Client) pick() (*clientConn, error) {
 			return cc, nil
 		}
 	}
-	return nil, fmt.Errorf("netclient: every connection is broken")
+	return nil, fmt.Errorf("netclient: every connection is down")
 }
 
-// roundTrip registers ca under a fresh id on cc, writes the frame in
-// ca.buf (which must already carry the id returned by stamp), and waits
-// for the response.
-func (cc *clientConn) roundTrip(ca *call, id uint64) error {
+// start registers ca under id on cc and writes the frame in ca.buf. A
+// non-nil return means the call was never registered (the connection was
+// already broken) and nothing will arrive on done; after a nil return the
+// result — including a write failure, which the reader delivers when it
+// fails the pending set — arrives exactly once on done.
+func (cc *clientConn) start(ca *Call, id uint64) error {
 	cc.pmu.Lock()
 	if cc.broken != nil {
 		err := cc.broken
@@ -284,26 +458,37 @@ func (cc *clientConn) roundTrip(ca *call, id uint64) error {
 		// it notices; waiting on done keeps ownership single-threaded.
 		cc.fail(fmt.Errorf("netclient: write: %w", werr))
 	}
+	return nil
+}
+
+// roundTrip starts ca and waits for its response.
+func (cc *clientConn) roundTrip(ca *Call, id uint64) error {
+	if err := cc.start(ca, id); err != nil {
+		return err
+	}
 	return <-ca.done
 }
 
 // getCall fetches a pooled call.
-func (c *Client) getCall() *call { return c.callPool.Get().(*call) }
+func (c *Client) getCall() *Call { return c.callPool.Get().(*Call) }
 
-// putCall clears a call's request state and recycles it.
-func (c *Client) putCall(ca *call) {
+// Finish clears a call's request state and recycles it. It must only be
+// called after the call's Done channel delivered its result (or when the
+// call was never started).
+func (c *Client) Finish(ca *Call) {
 	ca.dst, ca.text = nil, ""
 	c.callPool.Put(ca)
 }
 
-// EmbedInto submits one embedding request of `batch` samples and decodes
-// the pooled [batch, tables*dim] response row-major into dst, which is
-// grown if its capacity is insufficient and returned re-sliced to exactly
-// batch*tables*dim. The result is bit-identical to the backend's
-// in-process EmbedInto. A caller that reuses the returned slice performs
-// zero heap allocations in steady state. Safe for concurrent use (with
-// distinct dst buffers).
-func (c *Client) EmbedInto(dst []float32, perTableRows [][]int, batch int) ([]float32, error) {
+// StartEmbed submits one embedding request without waiting: it validates,
+// grows dst if needed (to batch*tables*dim), encodes, and writes the
+// frame, returning the in-flight Call. The result is delivered exactly
+// once on Done; after a nil result Dst holds the decoded response. The
+// caller must Finish the call after draining Done — this is the hedged
+// read primitive, where the losing attempt is drained and finished by a
+// reaper. A non-nil error means nothing was sent (validation or no
+// usable connection).
+func (c *Client) StartEmbed(dst []float32, perTableRows [][]int, batch int) (*Call, error) {
 	if err := c.validateRead(perTableRows, batch); err != nil {
 		return nil, err
 	}
@@ -320,8 +505,28 @@ func (c *Client) EmbedInto(dst []float32, perTableRows [][]int, batch int) ([]fl
 	ca.dst = dst
 	id := cc.nextID.Add(1)
 	ca.buf = wire.AppendEmbed(ca.buf[:0], id, perTableRows, batch, c.geom.Reduction)
-	err = cc.roundTrip(ca, id)
-	c.putCall(ca)
+	if err := cc.start(ca, id); err != nil {
+		c.Finish(ca)
+		return nil, err
+	}
+	return ca, nil
+}
+
+// EmbedInto submits one embedding request of `batch` samples and decodes
+// the pooled [batch, tables*dim] response row-major into dst, which is
+// grown if its capacity is insufficient and returned re-sliced to exactly
+// batch*tables*dim. The result is bit-identical to the backend's
+// in-process EmbedInto. A caller that reuses the returned slice performs
+// zero heap allocations in steady state. Safe for concurrent use (with
+// distinct dst buffers).
+func (c *Client) EmbedInto(dst []float32, perTableRows [][]int, batch int) ([]float32, error) {
+	ca, err := c.StartEmbed(dst, perTableRows, batch)
+	if err != nil {
+		return nil, err
+	}
+	err = <-ca.done
+	dst = ca.dst
+	c.Finish(ca)
 	if err != nil {
 		return nil, err
 	}
@@ -358,34 +563,33 @@ func (c *Client) validateRead(perTableRows [][]int, batch int) error {
 	return nil
 }
 
-// Update submits a gradient-update batch, mirroring
-// serve.Server.Update / cluster.ApplyUpdates: when it returns nil the
-// update is applied server-side and every later read observes it. Safe
-// for concurrent use.
-func (c *Client) Update(ups []runtime.TableUpdate) error {
+// validateUpdates checks one update batch against the announced geometry
+// and returns its encoded frame size given the payload overhead before
+// the update list (2 B count for UPDATE, 8+2 B seq+count for SYNC).
+func (c *Client) validateUpdates(ups []runtime.TableUpdate, overhead int) (int, error) {
 	g := c.geom
 	if len(ups) == 0 {
-		return fmt.Errorf("netclient: empty update batch")
+		return 0, fmt.Errorf("netclient: empty update batch")
 	}
 	if len(ups) > wire.MaxUpdatesPerFrame {
-		return fmt.Errorf("netclient: %d updates exceed the %d-per-frame protocol cap; split the batch",
+		return 0, fmt.Errorf("netclient: %d updates exceed the %d-per-frame protocol cap; split the batch",
 			len(ups), wire.MaxUpdatesPerFrame)
 	}
-	frameBytes := wire.HeaderBytes + 2
+	frameBytes := wire.HeaderBytes + overhead
 	for i, up := range ups {
 		if up.Table < 0 || up.Table >= g.Tables {
-			return fmt.Errorf("netclient: update %d: table %d out of range [0, %d)", i, up.Table, g.Tables)
+			return 0, fmt.Errorf("netclient: update %d: table %d out of range [0, %d)", i, up.Table, g.Tables)
 		}
 		if len(up.Rows) == 0 || len(up.Rows) > g.MaxBatch*g.Reduction {
-			return fmt.Errorf("netclient: update %d: %d rows out of range [1, %d]", i, len(up.Rows), g.MaxBatch*g.Reduction)
+			return 0, fmt.Errorf("netclient: update %d: %d rows out of range [1, %d]", i, len(up.Rows), g.MaxBatch*g.Reduction)
 		}
 		for _, r := range up.Rows {
 			if r < 0 || r >= g.TableRows {
-				return fmt.Errorf("netclient: update %d: row index %d out of range [0, %d)", i, r, g.TableRows)
+				return 0, fmt.Errorf("netclient: update %d: row index %d out of range [0, %d)", i, r, g.TableRows)
 			}
 		}
 		if up.Grads == nil || up.Grads.Rank() != 2 || up.Grads.Dim(0) != len(up.Rows) || up.Grads.Dim(1) != g.Dim {
-			return fmt.Errorf("netclient: update %d: gradient shape for %d rows of dim %d", i, len(up.Rows), g.Dim)
+			return 0, fmt.Errorf("netclient: update %d: gradient shape for %d rows of dim %d", i, len(up.Rows), g.Dim)
 		}
 		frameBytes += 8 + 4*len(up.Rows) + 4*len(up.Rows)*g.Dim
 	}
@@ -393,14 +597,14 @@ func (c *Client) Update(ups []runtime.TableUpdate) error {
 	// violation, tearing down the shared connection and failing every
 	// pipelined call on it — so it is refused here as a per-call error.
 	if frameBytes > c.cfg.MaxFrameBytes {
-		return fmt.Errorf("netclient: update batch encodes to %d B, above the %d B frame limit; split the batch",
+		return 0, fmt.Errorf("netclient: update batch encodes to %d B, above the %d B frame limit; split the batch",
 			frameBytes, c.cfg.MaxFrameBytes)
 	}
-	cc, err := c.pick()
-	if err != nil {
-		return err
-	}
-	ca := c.getCall()
+	return frameBytes, nil
+}
+
+// borrowUpdates views ups as wire updates in the call's reused slice.
+func (ca *Call) borrowUpdates(ups []runtime.TableUpdate) {
 	if cap(ca.wu) < len(ups) {
 		ca.wu = make([]wire.Update, len(ups))
 	}
@@ -408,14 +612,65 @@ func (c *Client) Update(ups []runtime.TableUpdate) error {
 	for i, up := range ups {
 		ca.wu[i] = wire.Update{Table: up.Table, Rows: up.Rows, Grads: up.Grads.Data()}
 	}
+}
+
+// releaseUpdates drops the borrowed views before pooling.
+func (ca *Call) releaseUpdates() {
+	for i := range ca.wu {
+		ca.wu[i] = wire.Update{}
+	}
+}
+
+// Update submits a gradient-update batch, mirroring
+// serve.Server.Update / cluster.ApplyUpdates: when it returns nil the
+// update is applied server-side and every later read observes it. Safe
+// for concurrent use.
+func (c *Client) Update(ups []runtime.TableUpdate) error {
+	if _, err := c.validateUpdates(ups, 2); err != nil {
+		return err
+	}
+	cc, err := c.pick()
+	if err != nil {
+		return err
+	}
+	ca := c.getCall()
+	ca.borrowUpdates(ups)
 	id := cc.nextID.Add(1)
 	ca.buf = wire.AppendUpdate(ca.buf[:0], id, ca.wu)
-	for i := range ca.wu {
-		ca.wu[i] = wire.Update{} // drop the borrowed views before pooling
-	}
+	ca.releaseUpdates()
 	err = cc.roundTrip(ca, id)
-	c.putCall(ca)
+	c.Finish(ca)
 	return err
+}
+
+// Sync submits a sequenced update batch: "this is update number seq"
+// (zero-based over the server's life). The server applies it only when
+// seq matches its own applied count, acknowledges an already-applied seq
+// without reapplying, and rejects a gap — which is what makes replaying
+// an update log through reconnects exactly-once. It returns the server's
+// applied count after the call: seq+1 whether this frame applied or was
+// a replay of something already absorbed. Safe for concurrent use,
+// though replay order is the caller's contract.
+func (c *Client) Sync(seq uint64, ups []runtime.TableUpdate) (uint64, error) {
+	if _, err := c.validateUpdates(ups, 10); err != nil {
+		return 0, err
+	}
+	cc, err := c.pick()
+	if err != nil {
+		return 0, err
+	}
+	ca := c.getCall()
+	ca.borrowUpdates(ups)
+	id := cc.nextID.Add(1)
+	ca.buf = wire.AppendSync(ca.buf[:0], id, seq, ca.wu)
+	ca.releaseUpdates()
+	err = cc.roundTrip(ca, id)
+	srvSeq := ca.seq
+	c.Finish(ca)
+	if err != nil {
+		return 0, err
+	}
+	return srvSeq, nil
 }
 
 // Metrics fetches the server's metrics report: the backend's own report
@@ -430,7 +685,7 @@ func (c *Client) Metrics() (string, error) {
 	ca.buf = wire.AppendFrame(ca.buf[:0], wire.OpMetrics, id, nil)
 	err = cc.roundTrip(ca, id)
 	text := ca.text
-	c.putCall(ca)
+	c.Finish(ca)
 	if err != nil {
 		return "", err
 	}
@@ -447,22 +702,24 @@ func (c *Client) Ping() error {
 	id := cc.nextID.Add(1)
 	ca.buf = wire.AppendFrame(ca.buf[:0], wire.OpPing, id, nil)
 	err = cc.roundTrip(ca, id)
-	c.putCall(ca)
+	c.Finish(ca)
 	return err
 }
 
-// Close closes every connection and waits for the readers to finish;
-// calls still in flight fail with a connection-lost error. It is
-// idempotent.
+// Close stops the reconnect supervisors, closes every connection, and
+// waits for the readers to finish; calls still in flight fail with a
+// connection-lost error. It is idempotent.
 func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	for _, cc := range c.conns {
-		cc.fail(fmt.Errorf("netclient: client closed"))
+	close(c.closeCh)
+	c.superWG.Wait()
+	for _, slot := range c.slots {
+		if cc := slot.cur.Load(); cc != nil {
+			cc.fail(fmt.Errorf("netclient: client closed"))
+		}
 	}
-	for _, cc := range c.conns {
-		<-cc.rdDone
-	}
+	c.readerWG.Wait()
 	return nil
 }

@@ -132,6 +132,14 @@ type Config struct {
 	// consuming responses anyway). Zero defaults to 30 seconds; negative
 	// is invalid.
 	WriteTimeout time.Duration
+	// Role is the serving role announced in the handshake. The zero value
+	// (wire.RoleStandalone) is a self-contained endpoint; wire.RoleReplica
+	// marks this server as one replica of a shard behind a replica router,
+	// whose sequenced SYNC frames are its write path. The role does not
+	// change what the server accepts — a replica still answers plain
+	// updates — but a router uses it to sanity-check its target set, and
+	// operators to tell the deployments apart.
+	Role wire.Role
 }
 
 // task is one in-flight request: the decoded arguments, the destination
@@ -153,6 +161,8 @@ type task struct {
 	// update arguments (decoded views + converted headers)
 	upd wire.UpdateScratch
 	ups []runtime.TableUpdate
+	// sync sequence number (OpSync only)
+	seq uint64
 
 	// encoded response frame, written verbatim by the conn writer
 	resp []byte
@@ -190,6 +200,12 @@ type Server struct {
 	inflight atomic.Int64
 	draining atomic.Bool
 
+	// updateSeq counts successfully applied update batches (plain and
+	// sequenced). syncMu makes the OpSync check-apply-bump atomic, which is
+	// what gives a router's catch-up replay its exactly-once guarantee.
+	updateSeq atomic.Uint64
+	syncMu    sync.Mutex
+
 	mu        sync.Mutex
 	closed    bool
 	listeners map[net.Listener]struct{}
@@ -202,6 +218,7 @@ type Server struct {
 	accepted  stats.Counter
 	requests  stats.Counter
 	updates   stats.Counter
+	syncs     stats.Counter
 	pings     stats.Counter
 	shed      stats.Counter
 	failures  stats.Counter
@@ -220,6 +237,9 @@ func New(b Backend, cfg Config) (*Server, error) {
 	}
 	if cfg.WriteTimeout < 0 {
 		return nil, fmt.Errorf("netserve: WriteTimeout %v is negative (use 0 for the 30s default)", cfg.WriteTimeout)
+	}
+	if cfg.Role != wire.RoleStandalone && cfg.Role != wire.RoleReplica {
+		return nil, fmt.Errorf("netserve: unknown role %d", uint8(cfg.Role))
 	}
 	if cfg.MaxInflight == 0 {
 		cfg.MaxInflight = 256
@@ -345,7 +365,11 @@ func (c *conn) readLoop() {
 	defer s.connWG.Done()
 	ok := false
 	if err := wire.ReadClientHello(c.nc); err == nil {
-		hello := wire.AppendServerHello(make([]byte, 0, 64), s.geom)
+		hello := wire.AppendServerHello(make([]byte, 0, 64), wire.Hello{
+			Geom:      s.geom,
+			Role:      s.cfg.Role,
+			UpdateSeq: s.updateSeq.Load(),
+		})
 		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		if _, err := c.nc.Write(hello); err == nil {
 			ok = true
@@ -434,6 +458,20 @@ func (c *conn) dispatch(op wire.Op, id uint64, payload []byte) bool {
 			return true
 		}
 		c.submit(t)
+	case wire.OpSync:
+		t := s.getTask(c, op, id)
+		seq, wu, err := wire.DecodeSync(payload, s.geom, &t.upd)
+		if err == nil {
+			err = t.convertUpdates(wu, s.geom.Dim)
+		}
+		if err != nil {
+			s.failures.Inc()
+			t.resp = wire.AppendError(t.resp[:0], id, wire.ErrBadRequest, err.Error())
+			c.enqueue(t)
+			return true
+		}
+		t.seq = seq
+		c.submit(t)
 	default:
 		s.badFrames.Inc()
 		return false
@@ -518,9 +556,12 @@ func (s *Server) executor() {
 				s.failures.Inc()
 				t.resp = wire.AppendError(t.resp[:0], t.id, wire.ErrInternal, err.Error())
 			} else {
+				s.updateSeq.Add(1)
 				s.updates.Inc()
 				t.resp = wire.AppendFrame(t.resp[:0], wire.OpUpdateResp, t.id, nil)
 			}
+		case wire.OpSync:
+			t.resp = s.executeSync(t)
 		}
 		s.lat.Observe(time.Since(start).Seconds())
 		s.inflight.Add(-1)
@@ -529,6 +570,41 @@ func (s *Server) executor() {
 		t.c.out <- t
 	}
 }
+
+// executeSync runs one sequenced update against the seq guard and returns
+// the encoded response. The guard under syncMu is what makes a router's
+// replay exactly-once: a frame whose sequence number is already behind the
+// counter was applied before the previous connection died and is
+// acknowledged without reapplying; one exactly at the counter applies and
+// advances it; one beyond it means the sender skipped updates, which can
+// only produce divergent replicas and is rejected.
+func (s *Server) executeSync(t *task) []byte {
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	cur := s.updateSeq.Load()
+	switch {
+	case t.seq < cur:
+		s.syncs.Inc()
+		return wire.AppendSyncResp(t.resp[:0], t.id, cur)
+	case t.seq > cur:
+		s.failures.Inc()
+		return wire.AppendError(t.resp[:0], t.id, wire.ErrBadRequest,
+			fmt.Sprintf("sync sequence %d ahead of the server's %d applied updates; replay the gap first", t.seq, cur))
+	default:
+		if err := s.backend.ApplyUpdates(t.ups); err != nil {
+			s.failures.Inc()
+			return wire.AppendError(t.resp[:0], t.id, wire.ErrInternal, err.Error())
+		}
+		s.updateSeq.Store(cur + 1)
+		s.syncs.Inc()
+		return wire.AppendSyncResp(t.resp[:0], t.id, cur+1)
+	}
+}
+
+// UpdateSeq reports how many update batches the server has applied — the
+// number the handshake announces, against which a replica router decides
+// how much of its update log to replay.
+func (s *Server) UpdateSeq() uint64 { return s.updateSeq.Load() }
 
 // writeLoop is a connection's writer goroutine: it flushes response
 // frames in completion order (which is not request order — that is the
@@ -625,6 +701,8 @@ type Metrics struct {
 	Accepted  uint64        // connections accepted
 	Requests  uint64        // embed requests completed successfully
 	Updates   uint64        // update requests applied successfully
+	Syncs     uint64        // sequenced updates absorbed (applied or replayed)
+	UpdateSeq uint64        // update batches applied (the handshake sequence number)
 	Pings     uint64        // pings answered
 	Shed      uint64        // requests shed by admission control (OVERLOADED)
 	Failures  uint64        // requests answered with a non-OVERLOADED error frame
@@ -644,6 +722,8 @@ func (s *Server) Metrics() Metrics {
 		Accepted:  s.accepted.Load(),
 		Requests:  s.requests.Load(),
 		Updates:   s.updates.Load(),
+		Syncs:     s.syncs.Load(),
+		UpdateSeq: s.updateSeq.Load(),
 		Pings:     s.pings.Load(),
 		Shed:      s.shed.Load(),
 		Failures:  s.failures.Load(),
@@ -658,11 +738,11 @@ func (s *Server) Metrics() Metrics {
 func (m Metrics) String() string {
 	return fmt.Sprintf(
 		"network: %d conns accepted, up %s\n"+
-			"served %d embeds, %d updates, %d pings (%d failures)\n"+
+			"served %d embeds, %d updates, %d syncs (seq %d), %d pings (%d failures)\n"+
 			"admission: %d shed (OVERLOADED), %d in flight, %d bad frames\n"+
 			"server-side latency  %s",
 		m.Accepted, m.Uptime.Round(time.Millisecond),
-		m.Requests, m.Updates, m.Pings, m.Failures,
+		m.Requests, m.Updates, m.Syncs, m.UpdateSeq, m.Pings, m.Failures,
 		m.Shed, m.Inflight, m.BadFrames,
 		m.Latency)
 }

@@ -357,10 +357,11 @@ func TestMalformedRequestGetsBadRequest(t *testing.T) {
 	}
 	defer nc.Close()
 	nc.Write(wire.AppendClientHello(nil))
-	g, err := wire.ReadServerHello(nc)
+	h, err := wire.ReadServerHello(nc)
 	if err != nil {
 		t.Fatal(err)
 	}
+	g := h.Geom
 	rows := make([][]int, g.Tables)
 	for t := range rows {
 		rows[t] = make([]int, g.Reduction)

@@ -1,0 +1,152 @@
+package netserve_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"tensordimm/internal/netserve"
+	"tensordimm/internal/wire"
+)
+
+// rawDial opens a plain TCP connection, performs the client handshake,
+// and returns the connection plus the server's hello — the wire-level
+// view a replica router sees, below the netclient abstraction.
+func rawDial(t *testing.T, addr string) (net.Conn, wire.Hello) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	if _, err := nc.Write(wire.AppendClientHello(nil)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := wire.ReadServerHello(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc, h
+}
+
+// rawCall writes one request frame and reads one response frame.
+func rawCall(t *testing.T, nc net.Conn, frame []byte) (wire.Op, uint64, []byte) {
+	t.Helper()
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	op, id, payload, _, err := wire.ReadFrame(nc, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op, id, payload
+}
+
+// syncFrame builds one sequenced single-table update for the stub
+// geometry (dim 4).
+func syncFrame(id, seq uint64, rows []int) []byte {
+	grads := make([]float32, len(rows)*4)
+	for i := range grads {
+		grads[i] = float32(i) + float32(seq)*100
+	}
+	return wire.AppendSync(nil, id, seq, []wire.Update{{Table: 0, Rows: rows, Grads: grads}})
+}
+
+// TestSyncSeqGuard pins the three-way sequence guard that makes replica
+// catch-up exactly-once: a sync at the counter applies and advances it, a
+// replayed sync below the counter is acknowledged without reapplying, and
+// a sync ahead of the counter is rejected (the sender skipped updates).
+func TestSyncSeqGuard(t *testing.T) {
+	b := newStub()
+	srv, addr := startServer(t, b, netserve.Config{Role: wire.RoleReplica})
+	nc, h := rawDial(t, addr)
+
+	if h.Role != wire.RoleReplica || h.UpdateSeq != 0 {
+		t.Fatalf("hello %+v, want RoleReplica at seq 0", h)
+	}
+
+	// Seq 0 against a fresh server: applied, counter advances to 1.
+	op, id, payload := rawCall(t, nc, syncFrame(10, 0, []int{1, 2}))
+	if op != wire.OpSyncResp || id != 10 {
+		t.Fatalf("op %d id %d, want OpSyncResp id 10", op, id)
+	}
+	if seq, err := wire.DecodeSyncResp(payload); err != nil || seq != 1 {
+		t.Fatalf("resp seq %d err %v, want 1", seq, err)
+	}
+	b.mu.Lock()
+	applied := len(b.updates)
+	b.mu.Unlock()
+	if applied != 1 {
+		t.Fatalf("%d updates applied, want 1", applied)
+	}
+
+	// The same seq replayed (as a router does after a reconnect): the ack
+	// carries the current counter and the backend is NOT touched again.
+	op, _, payload = rawCall(t, nc, syncFrame(11, 0, []int{1, 2}))
+	if op != wire.OpSyncResp {
+		t.Fatalf("replay answered with op %d, want OpSyncResp", op)
+	}
+	if seq, err := wire.DecodeSyncResp(payload); err != nil || seq != 1 {
+		t.Fatalf("replay resp seq %d err %v, want 1", seq, err)
+	}
+	b.mu.Lock()
+	applied = len(b.updates)
+	b.mu.Unlock()
+	if applied != 1 {
+		t.Fatalf("replay reapplied: %d updates, want 1", applied)
+	}
+
+	// A gap (seq ahead of the counter) can only produce divergent
+	// replicas; it is rejected as a bad request, not applied.
+	op, _, payload = rawCall(t, nc, syncFrame(12, 5, []int{3}))
+	if op != wire.OpError {
+		t.Fatalf("gapped sync answered with op %d, want OpError", op)
+	}
+	code, msg, err := wire.DecodeError(payload)
+	if err != nil || code != wire.ErrBadRequest {
+		t.Fatalf("gapped sync: code %v err %v, want BAD_REQUEST", code, err)
+	}
+	if !strings.Contains(msg, "replay") {
+		t.Fatalf("gap rejection does not say what to do: %q", msg)
+	}
+
+	// A plain (unsequenced) update advances the same counter — replicas
+	// still answer direct updates, and the handshake seq accounts them.
+	op, _, _ = rawCall(t, nc, wire.AppendUpdate(nil, 13, []wire.Update{{
+		Table: 1, Rows: []int{4}, Grads: make([]float32, 4),
+	}}))
+	if op != wire.OpUpdateResp {
+		t.Fatalf("plain update answered with op %d, want OpUpdateResp", op)
+	}
+	if got := srv.UpdateSeq(); got != 2 {
+		t.Fatalf("UpdateSeq %d, want 2", got)
+	}
+
+	// A fresh handshake announces the advanced counter — what a router
+	// reads on reconnect to size its replay.
+	_, h2 := rawDial(t, addr)
+	if h2.UpdateSeq != 2 {
+		t.Fatalf("reconnect hello seq %d, want 2", h2.UpdateSeq)
+	}
+
+	m := srv.Metrics()
+	if m.Syncs != 2 || m.Updates != 1 || m.UpdateSeq != 2 {
+		t.Fatalf("metrics Syncs %d Updates %d UpdateSeq %d, want 2 1 2", m.Syncs, m.Updates, m.UpdateSeq)
+	}
+	if !strings.Contains(m.String(), "2 syncs (seq 2)") {
+		t.Fatalf("metrics report missing sync line:\n%s", m.String())
+	}
+}
+
+// TestRoleValidation pins that New rejects unknown roles and that the
+// default role announced is standalone.
+func TestRoleValidation(t *testing.T) {
+	if _, err := netserve.New(newStub(), netserve.Config{Role: wire.Role(7)}); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+	_, addr := startServer(t, newStub(), netserve.Config{})
+	_, h := rawDial(t, addr)
+	if h.Role != wire.RoleStandalone {
+		t.Fatalf("default role %v, want STANDALONE", h.Role)
+	}
+}

@@ -1,0 +1,80 @@
+package remote
+
+import (
+	"fmt"
+
+	"tensordimm/internal/stats"
+)
+
+// Metrics is a point-in-time snapshot of a router's counters.
+type Metrics struct {
+	// Requests, Samples, Lookups count completed reads, their samples,
+	// and their routed lookups.
+	Requests, Samples, Lookups uint64
+	// Failures counts reads and updates that returned an error.
+	Failures uint64
+	// Updates, UpdateRows count completed update batches and their
+	// gradient rows.
+	Updates, UpdateRows uint64
+	// Hedges counts hedged second attempts fired; HedgeWins counts the
+	// requests the hedged attempt won.
+	Hedges, HedgeWins uint64
+	// Failovers counts read attempts abandoned for another replica
+	// (transport loss or admission shed).
+	Failovers uint64
+	// Unavailable counts operations that failed with *Unavailable.
+	Unavailable uint64
+	// Resyncs counts completed replica catch-up replays; Replayed counts
+	// the log entries those replays delivered.
+	Resyncs, Replayed uint64
+	// ReplicasUp and ReplicasTotal describe the fleet's current health.
+	ReplicasUp, ReplicasTotal int
+	// LogEntries is the summed length of the per-shard update logs.
+	LogEntries uint64
+	// Latency summarizes request wall-clock time.
+	Latency stats.LatencySummary
+}
+
+// Metrics snapshots the router's counters.
+func (rc *RemoteCluster) Metrics() Metrics {
+	m := Metrics{
+		Requests:    rc.requests.Load(),
+		Samples:     rc.samples.Load(),
+		Lookups:     rc.lookups.Load(),
+		Failures:    rc.failures.Load(),
+		Updates:     rc.updates.Load(),
+		UpdateRows:  rc.updateRows.Load(),
+		Hedges:      rc.hedges.Load(),
+		HedgeWins:   rc.hedgeWins.Load(),
+		Failovers:   rc.failovers.Load(),
+		Unavailable: rc.unavail.Load(),
+		Resyncs:     rc.resyncs.Load(),
+		Replayed:    rc.replayed.Load(),
+		Latency:     rc.latency.Summary(),
+	}
+	for _, sh := range rc.shards {
+		for _, rep := range sh.replicas {
+			m.ReplicasTotal++
+			if rep.state.Load() == repHealthy {
+				m.ReplicasUp++
+			}
+		}
+		sh.updMu.Lock()
+		m.LogEntries += uint64(len(sh.log))
+		sh.updMu.Unlock()
+	}
+	return m
+}
+
+// String renders a one-line operator summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"remote: %d/%d replicas up; %d requests (%d samples, %d lookups), %d updates (%d rows, %d log entries); %d hedges (%d wins), %d failovers, %d unavailable, %d resyncs (%d replayed); %d failures; latency %v",
+		m.ReplicasUp, m.ReplicasTotal, m.Requests, m.Samples, m.Lookups,
+		m.Updates, m.UpdateRows, m.LogEntries,
+		m.Hedges, m.HedgeWins, m.Failovers, m.Unavailable, m.Resyncs, m.Replayed,
+		m.Failures, m.Latency)
+}
+
+// MetricsText renders the Metrics snapshot, satisfying netserve.Backend.
+func (rc *RemoteCluster) MetricsText() string { return rc.Metrics().String() }

@@ -1,0 +1,8 @@
+//go:build race
+
+package remote_test
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose goroutine and channel instrumentation heap-allocates and would
+// make an allocation pin meaningless.
+const raceEnabled = true

@@ -1,0 +1,917 @@
+// Package remote routes requests across replica groups of remote
+// TensorNode shard processes: a RemoteCluster speaks the internal/wire
+// protocol (through internal/netclient) to N replicas of each shard of a
+// placement-sharded model, and exposes the same request surface as the
+// in-process cluster.Cluster — EmbedInto, ApplyUpdates, Metrics, Close —
+// with the same bit-identity contract against the golden model.
+//
+// Reads. Every lookup routes through the shared cluster.Placement into
+// deduplicated per-shard sub-requests, exactly as the in-process router
+// does. Each sub-request round-robins over its shard's healthy replicas;
+// when the first attempt has not answered within the shard's hedge delay
+// (a tracked latency percentile, floored at Config.HedgeAfter), a second
+// attempt fires on another replica and the first answer wins — the loser
+// is drained and recycled in the background. A transport loss or an
+// admission-control shed fails over to the next healthy replica; only
+// when every replica of a shard is unreachable does the request fail,
+// fast, with a typed *Unavailable. The gathered partials merge through
+// the shared cluster.Merger, so results are bit-identical to the golden
+// embedding no matter which replica answered. The steady-state read path
+// performs no heap allocations: scratch, destination buffers, calls, and
+// hedge timers are all pooled.
+//
+// Writes. The router is the single writer of its fleet. Every per-shard
+// sub-update is appended to that shard's in-memory update log and fanned
+// out to the replicas with the sequenced SYNC op: a replica applies
+// update number seq only when seq matches its own applied count, acks
+// replays without reapplying, and rejects gaps — exactly-once semantics
+// over arbitrary disconnects. A replica that was down rejoins through a
+// catch-up replay: its reconnect handshake announces how many updates it
+// has applied, the router replays the missing log suffix, and only then
+// do reads route to it again. The log is never trimmed — at the scale
+// this repository targets (test and experiment fleets) a full in-memory
+// history is cheap, and it makes a freshly restarted replica (which
+// rebuilds its deterministic shard model and announces sequence 0)
+// recoverable by replaying from the beginning.
+//
+// Per-table locks serialize same-table updates in the same way as the
+// in-process cluster — float accumulation order is part of the
+// bit-identity contract — and the optional Config.OnApplied hook fires in
+// exactly that order, so a caller can maintain a golden reference model
+// that stays bit-identical to the fleet.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tensordimm/internal/cluster"
+	"tensordimm/internal/netclient"
+	"tensordimm/internal/recsys"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/stats"
+	"tensordimm/internal/wire"
+)
+
+// Config describes the fleet a RemoteCluster routes over. Model,
+// Strategy, and Shards are required; the zero value of every other field
+// selects a documented default at New.
+type Config struct {
+	// Model is the full model's configuration. The router never holds the
+	// model's weights — it needs the geometry (tables, reduction,
+	// dimension, rows) for placement and validation and the pooling mode
+	// (Mean, Op) for the merge.
+	Model recsys.Config
+	// Strategy selects table-wise or row-wise sharding. The shard
+	// processes must have been built with the same strategy and shard
+	// count (cluster.ExtractShardModel / cmd/tensorserve -shard-id).
+	Strategy cluster.Strategy
+	// Shards lists each shard's replica addresses: Shards[s] holds the
+	// endpoints serving shard s (1 to 64 entries). A shard the placement
+	// leaves empty must have an empty list.
+	Shards [][]string
+
+	// MaxBatch caps the samples of one request. Defaults to 64. It must
+	// match the -max-batch the shard processes were sized with: every
+	// replica's announced geometry is validated against it at New.
+	MaxBatch int
+	// Workers is the router's dispatch pool size per shard. Defaults to 4.
+	Workers int
+	// Conns is the connection pool size per replica. Defaults to 1.
+	Conns int
+	// MaxFrameBytes, DialTimeout, RetryFor, ReconnectMin, ReconnectMax
+	// pass through to every replica's netclient.Config.
+	MaxFrameBytes int
+	// DialTimeout bounds one connect plus handshake attempt.
+	DialTimeout time.Duration
+	// RetryFor keeps redialing refused connections at New, so the router
+	// may start before its shard processes.
+	RetryFor time.Duration
+	// ReconnectMin is the first redial backoff after a replica is lost.
+	ReconnectMin time.Duration
+	// ReconnectMax caps the doubling redial backoff.
+	ReconnectMax time.Duration
+
+	// HedgeAfter floors the hedge delay: a second read attempt never
+	// fires earlier than this, even when the tracked percentile is lower.
+	// Defaults to 1ms. Hedging only arms on shards with >= 2 replicas.
+	HedgeAfter time.Duration
+	// HedgePercentile is the attempt-latency percentile the hedge delay
+	// tracks, in (0, 1]. Defaults to 0.95.
+	HedgePercentile float64
+
+	// OnApplied, if set, is called once per successfully applied table
+	// update, under that table's update lock, in exactly the order the
+	// shard logs sequenced it. A caller maintaining a golden reference
+	// model applies the same update there to stay bit-identical to the
+	// fleet.
+	OnApplied func(runtime.TableUpdate)
+}
+
+// Unavailable is the typed fast-failure returned when every replica of a
+// shard is down (or has been tried and lost) — the caller can distinguish
+// a fleet outage from a rejected request.
+type Unavailable struct {
+	// Shard is the shard whose replica group is unreachable.
+	Shard int
+	// Err is the last per-replica error observed, when one exists.
+	Err error
+}
+
+// Error implements error.
+func (e *Unavailable) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("remote: shard %d: every replica is down (last: %v)", e.Shard, e.Err)
+	}
+	return fmt.Sprintf("remote: shard %d: every replica is down", e.Shard)
+}
+
+// Unwrap exposes the last per-replica error to errors.Is/As.
+func (e *Unavailable) Unwrap() error { return e.Err }
+
+// Replica health states. A replica serves reads only while healthy;
+// syncing marks a catch-up replay in progress.
+const (
+	repDown int32 = iota
+	repSyncing
+	repHealthy
+)
+
+// replica is one endpoint of a shard's replica group.
+type replica struct {
+	addr  string
+	cl    *netclient.Client
+	state atomic.Int32
+	// applied counts the log entries this replica has absorbed; guarded
+	// by the owning shard's updMu.
+	applied uint64
+}
+
+// rShard is one shard of the fleet: its replica group, its update log,
+// and its hedge-delay tracker.
+type rShard struct {
+	id       int
+	replicas []*replica
+	rr       atomic.Uint64
+
+	// updMu serializes log appends, fan-out, and catch-up replay for this
+	// shard, so every replica absorbs the same entries in the same order.
+	updMu sync.Mutex
+	// log is the full history of this shard's sub-updates (never trimmed;
+	// see the package comment).
+	log []runtime.TableUpdate
+
+	hedge hedgeTracker
+}
+
+// hedgeTracker tracks a percentile of recent read-attempt latencies for
+// one shard, recomputed every few dozen observations into an atomically
+// readable threshold — the hot path never sorts or locks.
+type hedgeTracker struct {
+	pct    float64
+	thresh atomic.Int64 // nanoseconds; 0 until enough observations
+
+	mu     sync.Mutex
+	ring   [256]int64
+	sorted [256]int64
+	n      int
+	idx    int
+	obs    int
+}
+
+// observe records one successful attempt's latency and periodically
+// refreshes the percentile threshold.
+func (h *hedgeTracker) observe(d time.Duration) {
+	h.mu.Lock()
+	h.ring[h.idx] = int64(d)
+	h.idx = (h.idx + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	h.obs++
+	if h.obs >= 64 {
+		h.obs = 0
+		copy(h.sorted[:h.n], h.ring[:h.n])
+		s := h.sorted[:h.n]
+		slices.Sort(s)
+		h.thresh.Store(s[int(float64(h.n-1)*h.pct)])
+	}
+	h.mu.Unlock()
+}
+
+// after returns the current hedge delay, floored at the configured
+// minimum.
+func (h *hedgeTracker) after(floor time.Duration) time.Duration {
+	if t := time.Duration(h.thresh.Load()); t > floor {
+		return t
+	}
+	return floor
+}
+
+// RemoteCluster routes requests over a fleet of remote shard replicas.
+// Create with New, submit from any number of goroutines, and Close when
+// done. It satisfies netserve.Backend, so a router can itself be served
+// over the network plane.
+type RemoteCluster struct {
+	cfg    Config
+	place  *cluster.Placement
+	shards []*rShard
+	width  int // tables x dim, the per-sample output width
+
+	scratchPool sync.Pool
+	bufPool     sync.Pool
+	timerPool   sync.Pool
+	dispatch    chan *rCall
+
+	// runMu guards closed against the in-flight counter so Close can
+	// drain before tearing the clients down.
+	runMu    sync.Mutex
+	inflight sync.WaitGroup
+	// tableMu serializes updates per global table (see ApplyUpdates).
+	tableMu []sync.Mutex
+
+	// ready gates the netclient callbacks until New finished wiring the
+	// replica structures they reference.
+	ready     chan struct{}
+	readyOnce sync.Once
+	closed    atomic.Bool
+	closeCh   chan struct{}
+	janitorWG sync.WaitGroup
+
+	requests   stats.Counter
+	samples    stats.Counter
+	lookups    stats.Counter
+	failures   stats.Counter
+	updates    stats.Counter
+	updateRows stats.Counter
+	hedges     stats.Counter // hedged second attempts fired
+	hedgeWins  stats.Counter // requests won by the hedged attempt
+	failovers  stats.Counter // attempts abandoned for another replica
+	unavail    stats.Counter // operations failed with Unavailable
+	resyncs    stats.Counter // replica catch-up replays completed
+	replayed   stats.Counter // log entries delivered by catch-up replays
+	latency    stats.Latency
+}
+
+// withDefaults fills the zero fields.
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.HedgeAfter == 0 {
+		cfg.HedgeAfter = time.Millisecond
+	}
+	if cfg.HedgePercentile == 0 {
+		cfg.HedgePercentile = 0.95
+	}
+	return cfg
+}
+
+// New dials every replica of every shard, validates each handshake
+// against the placement (a replica must announce exactly the flat
+// gather-only geometry its shard position implies, at update sequence 0),
+// and returns a router ready to serve. Every replica is supervised: a
+// lost connection reconnects with backoff and rejoins through a catch-up
+// replay of the shard's update log.
+func New(cfg Config) (*RemoteCluster, error) {
+	mc := cfg.Model
+	if mc.Tables <= 0 || mc.Reduction <= 0 || mc.EmbDim <= 0 || mc.TableRows <= 0 {
+		return nil, fmt.Errorf("remote: model geometry must be positive (tables %d, reduction %d, dim %d, rows %d)",
+			mc.Tables, mc.Reduction, mc.EmbDim, mc.TableRows)
+	}
+	if cfg.Strategy != cluster.TableWise && cfg.Strategy != cluster.RowWise {
+		return nil, fmt.Errorf("remote: unknown strategy %v", cfg.Strategy)
+	}
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("remote: no shards configured")
+	}
+	if cfg.MaxBatch < 0 || cfg.Workers < 0 || cfg.HedgeAfter < 0 || cfg.HedgePercentile < 0 || cfg.HedgePercentile > 1 {
+		return nil, fmt.Errorf("remote: invalid sizing (MaxBatch %d, Workers %d, HedgeAfter %v, HedgePercentile %g)",
+			cfg.MaxBatch, cfg.Workers, cfg.HedgeAfter, cfg.HedgePercentile)
+	}
+	cfg = cfg.withDefaults()
+
+	rc := &RemoteCluster{
+		cfg:     cfg,
+		place:   cluster.NewPlacement(cfg.Strategy, len(cfg.Shards), mc.Tables, mc.TableRows),
+		width:   mc.Tables * mc.EmbDim,
+		tableMu: make([]sync.Mutex, mc.Tables),
+		ready:   make(chan struct{}),
+		closeCh: make(chan struct{}),
+	}
+	fail := func(err error) (*RemoteCluster, error) {
+		rc.Close()
+		return nil, err
+	}
+
+	maxCap := 0
+	for s, addrs := range cfg.Shards {
+		localRows := rc.place.LocalRows(s)
+		if localRows == 0 {
+			if len(addrs) != 0 {
+				return fail(fmt.Errorf("remote: shard %d holds no rows under %v placement but has %d replica addresses",
+					s, cfg.Strategy, len(addrs)))
+			}
+			rc.shards = append(rc.shards, &rShard{id: s})
+			continue
+		}
+		if len(addrs) == 0 {
+			return fail(fmt.Errorf("remote: shard %d has no replica addresses", s))
+		}
+		if len(addrs) > 64 {
+			return fail(fmt.Errorf("remote: shard %d has %d replicas, above the supported 64", s, len(addrs)))
+		}
+		maxSub := rc.place.MaxSub(s, cfg.MaxBatch, mc.Reduction)
+		if n := maxSub * mc.EmbDim; n > maxCap {
+			maxCap = n
+		}
+		sh := &rShard{id: s}
+		sh.hedge.pct = cfg.HedgePercentile
+		want := wire.Geometry{Tables: 1, Reduction: 1, Dim: mc.EmbDim, TableRows: localRows, MaxBatch: maxSub}
+		for _, addr := range addrs {
+			rep := &replica{addr: addr}
+			shc, repc := sh, rep
+			cl, err := netclient.Dial(addr, netclient.Config{
+				Conns:         cfg.Conns,
+				MaxFrameBytes: cfg.MaxFrameBytes,
+				DialTimeout:   cfg.DialTimeout,
+				RetryFor:      cfg.RetryFor,
+				Reconnect:     true,
+				ReconnectMin:  cfg.ReconnectMin,
+				ReconnectMax:  cfg.ReconnectMax,
+				OnUp: func(h wire.Hello) {
+					<-rc.ready
+					rc.resync(shc, repc, h)
+				},
+				OnDown: func(error) {
+					<-rc.ready
+					repc.state.Store(repDown)
+				},
+			})
+			if err != nil {
+				return fail(fmt.Errorf("remote: shard %d replica %s: %w", s, addr, err))
+			}
+			rep.cl = cl
+			sh.replicas = append(sh.replicas, rep)
+			h := cl.Hello()
+			if h.Geom != want {
+				return fail(fmt.Errorf("remote: shard %d replica %s announced geometry %+v, placement expects %+v (same -strategy/-shards/-max-batch on both sides?)",
+					s, addr, h.Geom, want))
+			}
+			if len(addrs) > 1 && h.Role != wire.RoleReplica {
+				return fail(fmt.Errorf("remote: shard %d replica %s announced role %v in a %d-replica group; start it with -shard-id so it serves as a replica",
+					s, addr, h.Role, len(addrs)))
+			}
+			if h.UpdateSeq != 0 {
+				return fail(fmt.Errorf("remote: shard %d replica %s already applied %d updates; a new router needs fresh replicas (restart it)",
+					s, addr, h.UpdateSeq))
+			}
+			rep.state.Store(repHealthy)
+		}
+		rc.shards = append(rc.shards, sh)
+	}
+
+	rc.scratchPool.New = func() any { return rc.newScratch() }
+	rc.bufPool.New = func() any {
+		b := make([]float32, 0, maxCap)
+		return &b
+	}
+	rc.timerPool.New = func() any {
+		t := time.NewTimer(time.Hour)
+		if !t.Stop() {
+			<-t.C
+		}
+		return t
+	}
+	workers := len(cfg.Shards) * cfg.Workers
+	rc.dispatch = make(chan *rCall, workers)
+	for i := 0; i < workers; i++ {
+		go rc.dispatchWorker()
+	}
+	// The janitor re-admits replicas whose connection recovered but whose
+	// catch-up replay failed (or who were dropped for persistent shedding)
+	// — any down replica with a live connection is retried.
+	rc.janitorWG.Add(1)
+	go rc.janitor()
+	rc.markReady()
+	return rc, nil
+}
+
+// markReady releases the netclient callbacks gated on New's wiring.
+func (rc *RemoteCluster) markReady() {
+	rc.readyOnce.Do(func() { close(rc.ready) })
+}
+
+// janitor periodically resyncs down replicas whose connection is live.
+func (rc *RemoteCluster) janitor() {
+	defer rc.janitorWG.Done()
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rc.closeCh:
+			return
+		case <-tick.C:
+			for _, sh := range rc.shards {
+				for _, rep := range sh.replicas {
+					if rep.state.Load() == repDown && rep.cl.Healthy() {
+						rc.resync(sh, rep, rep.cl.Hello())
+					}
+				}
+			}
+		}
+	}
+}
+
+// rowRef locates one lookup's resolved row: an index into the owning
+// shard's sub-request result.
+type rowRef struct {
+	shard int32
+	idx   int32
+}
+
+// subReq is one shard's slice of a remoteScratch: the deduplicated flat
+// index list, the reused request header, the winning response view, and
+// the epoch-stamped dedup table (shared idiom with the in-process
+// router's subScratch).
+type subReq struct {
+	rows    []int
+	rowsArg [][]int
+	out     []float32 // the winning attempt's decoded response
+	stamp   []uint32
+	slot    []int32
+}
+
+// remoteScratch is the pooled per-request working set of the router.
+type remoteScratch struct {
+	wg      sync.WaitGroup
+	epoch   uint32
+	calls   []rCall
+	sub     []subReq
+	src     []rowRef
+	lookups int
+	vec     func(t, i int) []float32
+}
+
+// rCall is one shard sub-request being executed by a dispatch worker,
+// including the winning attempt's resources (released after the merge).
+type rCall struct {
+	rc  *RemoteCluster
+	s   int
+	scr *remoteScratch
+	err error
+
+	winCl  *netclient.Client
+	winCa  *netclient.Call
+	winBuf *[]float32
+}
+
+// newScratch sizes a remoteScratch for the fleet's geometry.
+func (rc *RemoteCluster) newScratch() *remoteScratch {
+	mc := rc.cfg.Model
+	lookups := rc.cfg.MaxBatch * mc.Reduction
+	scr := &remoteScratch{
+		calls: make([]rCall, len(rc.shards)),
+		sub:   make([]subReq, len(rc.shards)),
+		src:   make([]rowRef, mc.Tables*lookups),
+	}
+	for s := range scr.sub {
+		maxSub := rc.place.TablesOn(s) * lookups
+		scr.sub[s] = subReq{
+			rows:    make([]int, 0, maxSub),
+			rowsArg: make([][]int, 1),
+			stamp:   make([]uint32, rc.place.LocalRows(s)),
+			slot:    make([]int32, rc.place.LocalRows(s)),
+		}
+	}
+	for s := range scr.calls {
+		scr.calls[s] = rCall{rc: rc, s: s, scr: scr}
+	}
+	dim := mc.EmbDim
+	scr.vec = func(t, i int) []float32 {
+		ref := scr.src[t*scr.lookups+i]
+		out := scr.sub[ref.shard].out
+		return out[int(ref.idx)*dim : (int(ref.idx)+1)*dim]
+	}
+	return scr
+}
+
+// nextEpoch advances the dedup epoch, clearing stamps on wrap-around.
+func (scr *remoteScratch) nextEpoch() uint32 {
+	scr.epoch++
+	if scr.epoch == 0 {
+		for s := range scr.sub {
+			clear(scr.sub[s].stamp)
+		}
+		scr.epoch = 1
+	}
+	return scr.epoch
+}
+
+// dispatchWorker executes shard sub-requests until Close drains the pool.
+func (rc *RemoteCluster) dispatchWorker() {
+	for call := range rc.dispatch {
+		call.run()
+		call.scr.wg.Done()
+	}
+}
+
+// attempt is one in-flight read attempt on a replica.
+type attempt struct {
+	rep    *replica
+	ca     *netclient.Call
+	buf    *[]float32
+	start  time.Time
+	hedged bool
+}
+
+// run executes one shard's sub-request with hedging and failover: a
+// round-robin first attempt, a hedged second after the shard's tracked
+// latency percentile, failover past transport losses and sheds, and a
+// typed Unavailable when the whole replica group is unreachable.
+func (call *rCall) run() {
+	rc, s, scr := call.rc, call.s, call.scr
+	sh := rc.shards[s]
+	sub := &scr.sub[s]
+	sub.rowsArg[0] = sub.rows
+
+	var tried uint64
+	var lastErr error
+	cur, err := call.start(&tried, false)
+	if err != nil {
+		rc.unavail.Inc()
+		call.err = err
+		return
+	}
+	var alt attempt
+	var tm *time.Timer
+	var hedgeC <-chan time.Time
+	if len(sh.replicas) > 1 {
+		tm = rc.timerPool.Get().(*time.Timer)
+		tm.Reset(sh.hedge.after(rc.cfg.HedgeAfter))
+		hedgeC = tm.C
+	}
+	defer func() {
+		if tm != nil {
+			if !tm.Stop() {
+				select {
+				case <-tm.C:
+				default:
+				}
+			}
+			rc.timerPool.Put(tm)
+		}
+	}()
+
+	for {
+		var curC, altC <-chan error
+		if cur.ca != nil {
+			curC = cur.ca.Done()
+		}
+		if alt.ca != nil {
+			altC = alt.ca.Done()
+		}
+		select {
+		case err := <-curC:
+			if call.settle(sh, sub, &cur, &alt, err, &tried, &lastErr) {
+				return
+			}
+		case err := <-altC:
+			if call.settle(sh, sub, &alt, &cur, err, &tried, &lastErr) {
+				return
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if a, aerr := call.start(&tried, true); aerr == nil {
+				alt = a
+				rc.hedges.Inc()
+			}
+		}
+	}
+}
+
+// start fires one attempt on the next healthy untried replica, cycling
+// the shard's round-robin counter. It returns Unavailable when no replica
+// qualifies.
+func (call *rCall) start(tried *uint64, hedged bool) (attempt, error) {
+	rc, s := call.rc, call.s
+	sh := rc.shards[s]
+	sub := &call.scr.sub[s]
+	// Only primary attempts advance the round-robin counter: a hedge or
+	// failover bumping it too would give requests an even stride over the
+	// group and pin every primary to the same replica.
+	begin := int(sh.rr.Load())
+	if !hedged {
+		begin = int(sh.rr.Add(1))
+	}
+	for i := 0; i < len(sh.replicas); i++ {
+		ri := (begin + i) % len(sh.replicas)
+		if *tried&(1<<uint(ri)) != 0 {
+			continue
+		}
+		rep := sh.replicas[ri]
+		if rep.state.Load() != repHealthy {
+			continue
+		}
+		*tried |= 1 << uint(ri)
+		buf := rc.bufPool.Get().(*[]float32)
+		ca, err := rep.cl.StartEmbed((*buf)[:0], sub.rowsArg, len(sub.rows))
+		if err != nil {
+			rc.bufPool.Put(buf)
+			continue
+		}
+		return attempt{rep: rep, ca: ca, buf: buf, start: time.Now(), hedged: hedged}, nil
+	}
+	return attempt{}, &Unavailable{Shard: s}
+}
+
+// settle handles one attempt's result; done is the attempt that
+// delivered, other may still be in flight. It returns true when the call
+// is finished (won or failed for good).
+func (call *rCall) settle(sh *rShard, sub *subReq, done, other *attempt, err error, tried *uint64, lastErr *error) bool {
+	rc := call.rc
+	if err == nil {
+		sh.hedge.observe(time.Since(done.start))
+		if done.hedged {
+			rc.hedgeWins.Inc()
+		}
+		sub.out = done.ca.Dst()
+		call.winCl, call.winCa, call.winBuf = done.rep.cl, done.ca, done.buf
+		done.ca = nil
+		if other.ca != nil {
+			go rc.reap(other.rep.cl, other.ca, other.buf)
+			other.ca = nil
+		}
+		return true
+	}
+	// The attempt failed: recycle its call before deciding what's next.
+	*done.buf = done.ca.Dst()
+	done.rep.cl.Finish(done.ca)
+	rc.bufPool.Put(done.buf)
+	done.ca = nil
+	var se *netclient.ServerError
+	if errors.As(err, &se) && se.Code != wire.ErrOverloaded {
+		// The server rejected or failed the request itself; no other
+		// replica would answer differently.
+		call.err = fmt.Errorf("remote: shard %d: %w", call.s, err)
+		if other.ca != nil {
+			go rc.reap(other.rep.cl, other.ca, other.buf)
+			other.ca = nil
+		}
+		return true
+	}
+	// Transport loss or admission shed: fail over to another replica.
+	*lastErr = err
+	rc.failovers.Inc()
+	if other.ca != nil {
+		return false // the other attempt may still win
+	}
+	na, aerr := call.start(tried, done.hedged)
+	if aerr != nil {
+		var un *Unavailable
+		if errors.As(aerr, &un) {
+			un.Err = *lastErr
+		}
+		rc.unavail.Inc()
+		call.err = aerr
+		return true
+	}
+	*done = na
+	return false
+}
+
+// reap drains and recycles a hedged read's losing attempt.
+func (rc *RemoteCluster) reap(cl *netclient.Client, ca *netclient.Call, buf *[]float32) {
+	<-ca.Done()
+	*buf = ca.Dst()
+	cl.Finish(ca)
+	rc.bufPool.Put(buf)
+}
+
+// releaseWins recycles every dispatched shard's winning call and buffer
+// after the merge consumed them.
+func (rc *RemoteCluster) releaseWins(scr *remoteScratch) {
+	for s := range scr.calls {
+		call := &scr.calls[s]
+		if call.winCa == nil {
+			continue
+		}
+		*call.winBuf = call.winCa.Dst()
+		call.winCl.Finish(call.winCa)
+		rc.bufPool.Put(call.winBuf)
+		call.winCl, call.winCa, call.winBuf = nil, nil, nil
+	}
+}
+
+// Embed runs one embedding request of `batch` samples and returns the
+// pooled [batch, tables*dim] values in a fresh slice. Safe for concurrent
+// use.
+func (rc *RemoteCluster) Embed(perTableRows [][]int, batch int) ([]float32, error) {
+	return rc.EmbedInto(nil, perTableRows, batch)
+}
+
+// EmbedInto runs one embedding request of `batch` samples and decodes
+// the pooled [batch, tables*dim] values row-major into dst, which is
+// grown if its capacity is insufficient and returned re-sliced to exactly
+// batch*tables*dim. Results are bit-identical to the golden model's
+// embedding forward regardless of which replicas answered. A caller that
+// reuses the returned slice performs zero heap allocations in steady
+// state. Safe for concurrent use (with distinct dst buffers).
+func (rc *RemoteCluster) EmbedInto(dst []float32, perTableRows [][]int, batch int) ([]float32, error) {
+	if err := rc.validateRead(perTableRows, batch); err != nil {
+		return nil, err
+	}
+	need := batch * rc.width
+	if cap(dst) < need {
+		dst = make([]float32, need)
+	}
+	dst = dst[:need]
+	if err := rc.run(dst, perTableRows, batch); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// run executes one validated read: route, hedged-dispatch, merge.
+func (rc *RemoteCluster) run(dst []float32, perTableRows [][]int, batch int) error {
+	start := time.Now()
+	mc := rc.cfg.Model
+	if err := rc.enter(); err != nil {
+		return err
+	}
+	defer rc.inflight.Done()
+	lookups := batch * mc.Reduction
+	rc.lookups.Add(uint64(mc.Tables * lookups))
+
+	scr := rc.scratchPool.Get().(*remoteScratch)
+	defer rc.scratchPool.Put(scr)
+	epoch := scr.nextEpoch()
+	scr.lookups = lookups
+	for s := range scr.sub {
+		scr.sub[s].rows = scr.sub[s].rows[:0]
+	}
+
+	// Route: deduplicate every lookup into the owning shard's sub-request
+	// (same epoch-stamp idiom as the in-process router).
+	for t, rows := range perTableRows {
+		ref := scr.src[t*lookups : (t+1)*lookups]
+		for i, r := range rows {
+			s, flat := rc.place.Locate(t, r)
+			sub := &scr.sub[s]
+			if sub.stamp[flat] == epoch {
+				ref[i] = rowRef{shard: int32(s), idx: sub.slot[flat]}
+				continue
+			}
+			sub.stamp[flat] = epoch
+			sub.slot[flat] = int32(len(sub.rows))
+			ref[i] = rowRef{shard: int32(s), idx: sub.slot[flat]}
+			sub.rows = append(sub.rows, flat)
+		}
+	}
+
+	for s := range scr.sub {
+		if len(scr.sub[s].rows) == 0 {
+			continue
+		}
+		scr.calls[s].err = nil
+		scr.wg.Add(1)
+		rc.dispatch <- &scr.calls[s]
+	}
+	scr.wg.Wait()
+
+	var firstErr error
+	for s := range scr.sub {
+		if len(scr.sub[s].rows) == 0 {
+			continue
+		}
+		if err := scr.calls[s].err; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		rc.failures.Inc()
+		rc.releaseWins(scr)
+		return firstErr
+	}
+
+	merger := cluster.Merger{Tables: mc.Tables, Dim: mc.EmbDim, Reduction: mc.Reduction, Mean: mc.Mean, Op: mc.Op}
+	err := merger.Merge(dst, batch, scr.vec)
+	rc.releaseWins(scr)
+	if err != nil {
+		rc.failures.Inc()
+		return err
+	}
+	rc.requests.Inc()
+	rc.samples.Add(uint64(batch))
+	rc.latency.Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// validateRead checks one read submission against the fleet geometry.
+func (rc *RemoteCluster) validateRead(perTableRows [][]int, batch int) error {
+	mc := rc.cfg.Model
+	if batch <= 0 || batch > rc.cfg.MaxBatch {
+		return fmt.Errorf("remote: batch %d out of range [1, %d]", batch, rc.cfg.MaxBatch)
+	}
+	if len(perTableRows) != mc.Tables {
+		return fmt.Errorf("remote: %d index lists for %d tables", len(perTableRows), mc.Tables)
+	}
+	lookups := batch * mc.Reduction
+	for t, rows := range perTableRows {
+		if len(rows) != lookups {
+			return fmt.Errorf("remote: table %d: %d rows for batch %d x reduction %d",
+				t, len(rows), batch, mc.Reduction)
+		}
+		for _, r := range rows {
+			if r < 0 || r >= mc.TableRows {
+				return fmt.Errorf("remote: table %d: row index %d out of range [0, %d)", t, r, mc.TableRows)
+			}
+		}
+	}
+	return nil
+}
+
+// enter registers one in-flight operation, failing once closed.
+func (rc *RemoteCluster) enter() error {
+	rc.runMu.Lock()
+	defer rc.runMu.Unlock()
+	if rc.closed.Load() {
+		return fmt.Errorf("remote: router is closed")
+	}
+	rc.inflight.Add(1)
+	return nil
+}
+
+// Geometry reports the full model's shape and limits, mirroring
+// cluster.Cluster.Geometry — which makes a RemoteCluster a valid
+// netserve.Backend.
+func (rc *RemoteCluster) Geometry() (tables, reduction, dim, tableRows, maxBatch int) {
+	mc := rc.cfg.Model
+	return mc.Tables, mc.Reduction, mc.EmbDim, mc.TableRows, rc.cfg.MaxBatch
+}
+
+// WaitReady blocks until every non-empty shard has at least one healthy
+// replica, or the timeout elapses.
+func (rc *RemoteCluster) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := true
+		for _, sh := range rc.shards {
+			if len(sh.replicas) == 0 {
+				continue
+			}
+			ok := false
+			for _, rep := range sh.replicas {
+				if rep.state.Load() == repHealthy {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("remote: fleet not ready within %v", timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close stops accepting operations, drains the in-flight ones, stops the
+// janitor and dispatch workers, and closes every replica client. It is
+// idempotent.
+func (rc *RemoteCluster) Close() error {
+	rc.runMu.Lock()
+	already := rc.closed.Swap(true)
+	rc.runMu.Unlock()
+	if already {
+		return nil
+	}
+	rc.markReady()
+	close(rc.closeCh)
+	rc.inflight.Wait()
+	rc.janitorWG.Wait()
+	for _, sh := range rc.shards {
+		for _, rep := range sh.replicas {
+			if rep.cl != nil {
+				rep.cl.Close()
+			}
+		}
+	}
+	if rc.dispatch != nil {
+		close(rc.dispatch)
+	}
+	return nil
+}

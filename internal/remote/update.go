@@ -1,0 +1,234 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tensordimm/internal/netclient"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/tensor"
+	"tensordimm/internal/wire"
+)
+
+// maxShedRetries bounds how often one log entry is re-sent to a replica
+// that sheds it under admission control before the replica is dropped
+// from the group (the janitor re-admits it through a fresh catch-up).
+const maxShedRetries = 200
+
+// ApplyUpdates applies a batch of per-table gradient updates fleet-wide:
+// every entry's rows split by placement into per-shard sub-updates, each
+// sub-update is appended to the owning shard's log and fanned out to the
+// shard's live replicas with the sequenced SYNC op, and replicas that are
+// down catch the entry up later by replaying the log. Mirrors
+// cluster.Cluster.ApplyUpdates.
+//
+// Ordering. Updates to the same global table are serialized (slice order
+// within one call, lock order across calls) and reach every replica of a
+// shard in identical log order, so after ApplyUpdates returns every
+// subsequent read — from any replica — observes the update bit-identically.
+// Updates to distinct tables proceed concurrently. The OnApplied hook
+// fires under the table lock in exactly the sequenced order.
+//
+// A replica dropping mid-fan-out does not fail the update as long as at
+// least one replica of each touched shard absorbs it; the dropped replica
+// replays the gap on reconnect. Only when a shard's whole replica group
+// is unreachable does ApplyUpdates return a typed *Unavailable — the
+// entry stays in the log and still reaches the fleet when a replica
+// returns, so a caller tracking a reference model must treat an
+// Unavailable update as applied-eventually, not discarded.
+func (rc *RemoteCluster) ApplyUpdates(ups []runtime.TableUpdate) error {
+	mc := rc.cfg.Model
+	if len(ups) == 0 {
+		return fmt.Errorf("remote: empty update batch")
+	}
+	for i, up := range ups {
+		if up.Table < 0 || up.Table >= mc.Tables {
+			return fmt.Errorf("remote: update %d: table %d out of range [0, %d)", i, up.Table, mc.Tables)
+		}
+		if up.Grads == nil || up.Grads.Rank() != 2 || up.Grads.Dim(0) != len(up.Rows) || up.Grads.Dim(1) != mc.EmbDim {
+			return fmt.Errorf("remote: update %d: gradient shape for %d rows of dim %d", i, len(up.Rows), mc.EmbDim)
+		}
+		if len(up.Rows) == 0 || len(up.Rows) > rc.cfg.MaxBatch*mc.Reduction {
+			return fmt.Errorf("remote: update %d: %d rows out of range [1, %d]",
+				i, len(up.Rows), rc.cfg.MaxBatch*mc.Reduction)
+		}
+		for _, r := range up.Rows {
+			if r < 0 || r >= mc.TableRows {
+				return fmt.Errorf("remote: update %d: row index %d out of range [0, %d)", i, r, mc.TableRows)
+			}
+		}
+	}
+
+	if err := rc.enter(); err != nil {
+		return err
+	}
+	defer rc.inflight.Done()
+
+	order, groups := runtime.GroupUpdatesByTable(ups)
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for gi, t := range order {
+		wg.Add(1)
+		go func(gi, t int) {
+			defer wg.Done()
+			rc.tableMu[t].Lock()
+			defer rc.tableMu[t].Unlock()
+			for _, up := range groups[t] {
+				if err := rc.applyTableUpdate(up); err != nil {
+					errs[gi] = err
+					return
+				}
+			}
+		}(gi, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			rc.failures.Inc()
+			return err
+		}
+	}
+	rows := 0
+	for _, up := range ups {
+		rows += len(up.Rows)
+	}
+	rc.updates.Inc()
+	rc.updateRows.Add(uint64(rows))
+	return nil
+}
+
+// applyTableUpdate routes one table's update to its owning shards
+// (callers hold the table's update lock): split the rows by placement,
+// sequence each shard's slice into that shard's log and fan it out, then
+// fire OnApplied. Gradient rows are copied, so the log owns its data
+// outright and callers may reuse their buffers.
+func (rc *RemoteCluster) applyTableUpdate(up runtime.TableUpdate) error {
+	dim := rc.cfg.Model.EmbDim
+	shardRows := make(map[int][]int) // shard -> flat local rows
+	shardSrc := make(map[int][]int)  // shard -> gradient row indices
+	for i, r := range up.Rows {
+		s, flat := rc.place.Locate(up.Table, r)
+		shardRows[s] = append(shardRows[s], flat)
+		shardSrc[s] = append(shardSrc[s], i)
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for s, flatRows := range shardRows {
+		wg.Add(1)
+		go func(s int, flatRows []int) {
+			defer wg.Done()
+			grads := tensor.New(len(flatRows), dim)
+			for j, i := range shardSrc[s] {
+				copy(grads.Row(j), up.Grads.Row(i))
+			}
+			// The shard stores its rows as one flat gather-only table, so a
+			// sub-update always targets table 0 of the shard model.
+			err := rc.appendAndFan(rc.shards[s], runtime.TableUpdate{Table: 0, Rows: flatRows, Grads: grads})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(s, flatRows)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if rc.cfg.OnApplied != nil {
+		rc.cfg.OnApplied(up)
+	}
+	return nil
+}
+
+// appendAndFan sequences one sub-update into the shard's log and drives
+// every live replica to the new log head. A replica that fails mid-stream
+// is dropped (it replays on reconnect); a replica mid-catch-up counts as
+// reached, because it cannot turn healthy without replaying through this
+// entry — the replay runs under the same updMu.
+func (rc *RemoteCluster) appendAndFan(sh *rShard, sub runtime.TableUpdate) error {
+	sh.updMu.Lock()
+	defer sh.updMu.Unlock()
+	sh.log = append(sh.log, sub)
+	reached, pending := 0, 0
+	var lastErr error
+	for _, rep := range sh.replicas {
+		switch rep.state.Load() {
+		case repSyncing:
+			pending++
+			continue
+		case repDown:
+			continue
+		}
+		if err := rc.catchUp(sh, rep); err != nil {
+			rep.state.Store(repDown)
+			lastErr = err
+			continue
+		}
+		reached++
+	}
+	if reached == 0 && pending == 0 {
+		rc.unavail.Inc()
+		return &Unavailable{Shard: sh.id, Err: lastErr}
+	}
+	return nil
+}
+
+// catchUp drives one replica from its applied count to the shard's log
+// head, one sequenced entry at a time (callers hold the shard's updMu).
+// Admission-control sheds are retried with a short backoff; any other
+// error aborts and leaves the replica where it stopped.
+func (rc *RemoteCluster) catchUp(sh *rShard, rep *replica) error {
+	total := uint64(len(sh.log))
+	if rep.applied > total {
+		return fmt.Errorf("remote: shard %d replica %s reports %d applied updates, above the router's log of %d entries — it served a different writer",
+			sh.id, rep.addr, rep.applied, total)
+	}
+	sheds := 0
+	for rep.applied < total {
+		srvSeq, err := rep.cl.Sync(rep.applied, sh.log[rep.applied:rep.applied+1])
+		if err != nil {
+			var se *netclient.ServerError
+			if errors.As(err, &se) && se.Code == wire.ErrOverloaded && sheds < maxShedRetries {
+				sheds++
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		if srvSeq > total || srvSeq <= rep.applied {
+			return fmt.Errorf("remote: shard %d replica %s acknowledged sequence %d after replaying entry %d of %d — it served a different writer",
+				sh.id, rep.addr, srvSeq, rep.applied, total)
+		}
+		rep.applied = srvSeq
+	}
+	return nil
+}
+
+// resync re-admits a recovered replica: flip it to syncing, replay the
+// log suffix its handshake says it is missing, and only then mark it
+// healthy so reads route to it again. Both the reconnect hook and the
+// janitor funnel through here; the down->syncing CAS makes them race-free.
+func (rc *RemoteCluster) resync(sh *rShard, rep *replica, h wire.Hello) {
+	if !rep.state.CompareAndSwap(repDown, repSyncing) {
+		return
+	}
+	sh.updMu.Lock()
+	defer sh.updMu.Unlock()
+	rep.applied = h.UpdateSeq
+	before := rep.applied
+	if err := rc.catchUp(sh, rep); err != nil {
+		rep.state.Store(repDown)
+		return
+	}
+	if rep.state.CompareAndSwap(repSyncing, repHealthy) {
+		rc.resyncs.Inc()
+		rc.replayed.Add(uint64(len(sh.log)) - before)
+	}
+}

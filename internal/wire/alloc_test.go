@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReadFrameZeroAlloc pins ReadFrame's allocation freedom per frame,
+// not amortized over a benchmark: once the reused buffer has grown to the
+// frame size, reading a frame — length prefix included — must not touch
+// the heap. The length prefix is deliberately read through the reused
+// buffer because a local array would escape through the io.Reader
+// interface and cost one allocation per frame on every endpoint.
+func TestReadFrameZeroAlloc(t *testing.T) {
+	g := testGeom
+	perTable := make([][]int, g.Tables)
+	for tt := range perTable {
+		perTable[tt] = make([]int, g.MaxBatch*g.Reduction)
+	}
+	frame := AppendEmbed(nil, 9, perTable, g.MaxBatch, g.Reduction)
+	r := bytes.NewReader(frame)
+	buf := make([]byte, 0, len(frame))
+	// Warm once so the buffer is at steady-state capacity.
+	if _, _, _, buf2, err := ReadFrame(r, buf, 0); err != nil {
+		t.Fatal(err)
+	} else {
+		buf = buf2
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(frame)
+		var err error
+		_, _, _, buf, err = ReadFrame(r, buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadFrame allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// BenchmarkReadFrame measures the frame reader alone — the per-frame cost
+// every endpoint pays before any decode — and reports its allocation rate
+// (which must stay 0; BenchmarkNetRoundTrip pins the full network path).
+func BenchmarkReadFrame(b *testing.B) {
+	g := testGeom
+	perTable := make([][]int, g.Tables)
+	for tt := range perTable {
+		perTable[tt] = make([]int, g.MaxBatch*g.Reduction)
+	}
+	frame := AppendEmbed(nil, 9, perTable, g.MaxBatch, g.Reduction)
+	r := bytes.NewReader(frame)
+	var buf []byte
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		var err error
+		_, _, _, buf, err = ReadFrame(r, buf, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

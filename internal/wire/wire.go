@@ -4,9 +4,11 @@
 // and the protocol tests share exactly one implementation of the layout.
 //
 // A connection opens with a fixed-size handshake: the client sends magic +
-// version, the server answers magic + version + the model geometry
-// (tables, reduction, dim, max batch), which is everything a client needs
-// to size requests and destination buffers. After the handshake the
+// version, the server answers magic + version + a Hello — the model
+// geometry (tables, reduction, dim, max batch), the server's replica role,
+// and its update sequence number — which is everything a client needs to
+// size requests, size destination buffers, and (for a replica router)
+// decide how many logged updates the server missed. After the handshake the
 // connection carries length-prefixed frames in both directions:
 //
 //	[4 B length][1 B op][8 B request id][payload ...]
@@ -39,8 +41,10 @@ import (
 const Magic = 0x54444e50
 
 // Version is the protocol revision. The handshake rejects a peer speaking
-// a different revision instead of guessing at frame layouts.
-const Version = 1
+// a different revision instead of guessing at frame layouts. Revision 2
+// extended the server hello with the replica role and update sequence
+// number and added the SYNC replica catch-up op.
+const Version = 2
 
 // DefaultMaxFrameBytes bounds one frame's wire size when a Config leaves
 // the limit zero: large enough for a maximal update batch against the
@@ -81,6 +85,18 @@ const (
 	// OpError answers any request that failed: payload is a uint16 ErrCode
 	// followed by a UTF-8 message.
 	OpError Op = 9
+	// OpSync is a sequenced gradient update — the replica write/catch-up
+	// path: payload is a uint64 sequence number followed by an OpUpdate
+	// payload. The server applies it only when the sequence number equals
+	// its own update counter, acknowledges without reapplying when it is
+	// below (the update already landed before a connection died), and
+	// rejects it as BAD_REQUEST when it is above (the sender skipped
+	// updates). That guard makes replaying a router's update log after a
+	// replica reconnect exactly-once.
+	OpSync Op = 10
+	// OpSyncResp answers OpSync: payload is the server's uint64 update
+	// counter after the frame was absorbed.
+	OpSyncResp Op = 11
 )
 
 // ErrCode classifies an OpError frame.
@@ -98,6 +114,11 @@ const (
 	ErrShuttingDown ErrCode = 3
 	// ErrInternal: the backend failed executing the request.
 	ErrInternal ErrCode = 4
+	// ErrUnavailable: no endpoint can serve the request — the code a
+	// replica router reports when every replica of a shard is down. It is
+	// fail-fast by design: retrying immediately hits the same dead set, so
+	// callers should back off until a replica rejoins.
+	ErrUnavailable ErrCode = 5
 )
 
 // String names the code for error rendering.
@@ -111,6 +132,8 @@ func (c ErrCode) String() string {
 		return "SHUTTING_DOWN"
 	case ErrInternal:
 		return "INTERNAL"
+	case ErrUnavailable:
+		return "UNAVAILABLE"
 	}
 	return fmt.Sprintf("ERR_%d", uint16(c))
 }
@@ -147,12 +170,51 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
+// Role is the serving role a server announces in its handshake.
+type Role uint8
+
+// The server roles.
+const (
+	// RoleStandalone is a self-contained serving endpoint (single node or
+	// in-process cluster): clients talk to it directly.
+	RoleStandalone Role = 0
+	// RoleReplica is one replica of a shard behind a replica router: its
+	// writes are sequenced SYNC frames from the router, and its announced
+	// UpdateSeq tells a reconnecting router where catch-up replay starts.
+	RoleReplica Role = 1
+)
+
+// String names the role for reports.
+func (r Role) String() string {
+	switch r {
+	case RoleStandalone:
+		return "standalone"
+	case RoleReplica:
+		return "replica"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Hello is the server handshake body: the served geometry plus the
+// replication state a replica router needs — the server's role and how
+// many sequenced update batches it has applied.
+type Hello struct {
+	// Geom is the served model geometry.
+	Geom Geometry
+	// Role is the server's serving role.
+	Role Role
+	// UpdateSeq counts the update batches the server has applied. A
+	// replica router compares it against its own update log to replay
+	// exactly the updates the server missed while disconnected.
+	UpdateSeq uint64
+}
+
 // clientHelloBytes is the fixed client handshake size: magic + version.
 const clientHelloBytes = 4 + 2
 
 // serverHelloBytes is the fixed server handshake size: magic + version +
-// five uint32 geometry fields.
-const serverHelloBytes = 4 + 2 + 5*4
+// five uint32 geometry fields + role byte + uint64 update sequence.
+const serverHelloBytes = 4 + 2 + 5*4 + 1 + 8
 
 // AppendClientHello appends the client handshake to buf.
 func AppendClientHello(buf []byte) []byte {
@@ -176,41 +238,50 @@ func ReadClientHello(r io.Reader) error {
 }
 
 // AppendServerHello appends the server handshake — magic, version, and the
-// served geometry — to buf.
-func AppendServerHello(buf []byte, g Geometry) []byte {
+// Hello body (geometry, role, update sequence) — to buf.
+func AppendServerHello(buf []byte, h Hello) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, Magic)
 	buf = binary.LittleEndian.AppendUint16(buf, Version)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Tables))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Reduction))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.Dim))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.TableRows))
-	return binary.LittleEndian.AppendUint32(buf, uint32(g.MaxBatch))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Geom.Tables))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Geom.Reduction))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Geom.Dim))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Geom.TableRows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Geom.MaxBatch))
+	buf = append(buf, byte(h.Role))
+	return binary.LittleEndian.AppendUint64(buf, h.UpdateSeq)
 }
 
 // ReadServerHello reads and verifies a server handshake from r, returning
-// the announced geometry.
-func ReadServerHello(r io.Reader) (Geometry, error) {
+// the announced Hello.
+func ReadServerHello(r io.Reader) (Hello, error) {
 	var b [serverHelloBytes]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return Geometry{}, fmt.Errorf("wire: reading server hello: %w", err)
+		return Hello{}, fmt.Errorf("wire: reading server hello: %w", err)
 	}
 	if m := binary.LittleEndian.Uint32(b[0:4]); m != Magic {
-		return Geometry{}, fmt.Errorf("wire: bad magic %#x (want %#x): peer is not speaking the TensorDIMM protocol", m, uint32(Magic))
+		return Hello{}, fmt.Errorf("wire: bad magic %#x (want %#x): peer is not speaking the TensorDIMM protocol", m, uint32(Magic))
 	}
 	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version {
-		return Geometry{}, fmt.Errorf("wire: protocol version %d (want %d)", v, Version)
+		return Hello{}, fmt.Errorf("wire: protocol version %d (want %d)", v, Version)
 	}
-	g := Geometry{
-		Tables:    int(binary.LittleEndian.Uint32(b[6:10])),
-		Reduction: int(binary.LittleEndian.Uint32(b[10:14])),
-		Dim:       int(binary.LittleEndian.Uint32(b[14:18])),
-		TableRows: int(binary.LittleEndian.Uint32(b[18:22])),
-		MaxBatch:  int(binary.LittleEndian.Uint32(b[22:26])),
+	h := Hello{
+		Geom: Geometry{
+			Tables:    int(binary.LittleEndian.Uint32(b[6:10])),
+			Reduction: int(binary.LittleEndian.Uint32(b[10:14])),
+			Dim:       int(binary.LittleEndian.Uint32(b[14:18])),
+			TableRows: int(binary.LittleEndian.Uint32(b[18:22])),
+			MaxBatch:  int(binary.LittleEndian.Uint32(b[22:26])),
+		},
+		Role:      Role(b[26]),
+		UpdateSeq: binary.LittleEndian.Uint64(b[27:35]),
 	}
-	if err := g.Validate(); err != nil {
-		return Geometry{}, err
+	if err := h.Geom.Validate(); err != nil {
+		return Hello{}, err
 	}
-	return g, nil
+	if h.Role != RoleStandalone && h.Role != RoleReplica {
+		return Hello{}, fmt.Errorf("wire: unknown server role %d", uint8(h.Role))
+	}
+	return h, nil
 }
 
 // AppendFrame appends one complete frame (header + payload) to buf. It is
@@ -339,6 +410,13 @@ type Update struct {
 // MaxUpdatesPerFrame; like AppendEmbed, validation is the caller's job.
 func AppendUpdate(buf []byte, id uint64, ups []Update) []byte {
 	buf, lenAt := beginFrame(buf, OpUpdate, id)
+	buf = appendUpdates(buf, ups)
+	return endFrame(buf, lenAt)
+}
+
+// appendUpdates appends the update-batch body (count + per-update
+// sections) shared by OpUpdate and OpSync frames.
+func appendUpdates(buf []byte, ups []Update) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ups)))
 	for _, up := range ups {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(up.Table))
@@ -348,7 +426,7 @@ func AppendUpdate(buf []byte, id uint64, ups []Update) []byte {
 		}
 		buf = appendFloats(buf, up.Grads)
 	}
-	return endFrame(buf, lenAt)
+	return buf
 }
 
 // UpdateScratch is the reusable decode storage for OpUpdate payloads: the
@@ -376,6 +454,12 @@ const MaxUpdatesPerFrame = 1 << 12
 // the same cap the serving layers enforce — so payload size stays bounded
 // by the geometry.
 func DecodeUpdate(payload []byte, g Geometry, s *UpdateScratch) ([]Update, error) {
+	return decodeUpdates(payload, g, s)
+}
+
+// decodeUpdates parses the update-batch body shared by OpUpdate and
+// OpSync payloads.
+func decodeUpdates(payload []byte, g Geometry, s *UpdateScratch) ([]Update, error) {
 	if len(payload) < 2 {
 		return nil, fmt.Errorf("wire: update payload %d B, want at least 2", len(payload))
 	}
@@ -435,6 +519,43 @@ func DecodeUpdate(payload []byte, g Geometry, s *UpdateScratch) ([]Update, error
 		gradAt += n * g.Dim
 	}
 	return s.Ups, nil
+}
+
+// AppendSync appends an OpSync frame: the router's sequence number for
+// this update batch followed by the batch itself (same body as OpUpdate,
+// same caller-side validation obligations).
+func AppendSync(buf []byte, id uint64, seq uint64, ups []Update) []byte {
+	buf, lenAt := beginFrame(buf, OpSync, id)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = appendUpdates(buf, ups)
+	return endFrame(buf, lenAt)
+}
+
+// DecodeSync parses an OpSync payload: the sequence number plus the
+// update batch, decoded into s exactly like DecodeUpdate.
+func DecodeSync(payload []byte, g Geometry, s *UpdateScratch) (seq uint64, ups []Update, err error) {
+	if len(payload) < 8 {
+		return 0, nil, fmt.Errorf("wire: sync payload %d B, want at least 8", len(payload))
+	}
+	seq = binary.LittleEndian.Uint64(payload)
+	ups, err = decodeUpdates(payload[8:], g, s)
+	return seq, ups, err
+}
+
+// AppendSyncResp appends an OpSyncResp frame carrying the server's update
+// counter after absorbing the sync frame.
+func AppendSyncResp(buf []byte, id uint64, seq uint64) []byte {
+	buf, lenAt := beginFrame(buf, OpSyncResp, id)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	return endFrame(buf, lenAt)
+}
+
+// DecodeSyncResp parses an OpSyncResp payload.
+func DecodeSyncResp(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("wire: sync response %d B, want 8", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), nil
 }
 
 // AppendError appends an OpError frame with the code and message.

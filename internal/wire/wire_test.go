@@ -18,16 +18,20 @@ func TestHandshakeRoundTrip(t *testing.T) {
 		t.Fatalf("client hello round trip: %v", err)
 	}
 	buf.Reset()
-	buf.Write(AppendServerHello(nil, testGeom))
-	g, err := ReadServerHello(&buf)
+	hello := Hello{Geom: testGeom, Role: RoleReplica, UpdateSeq: 712}
+	buf.Write(AppendServerHello(nil, hello))
+	h, err := ReadServerHello(&buf)
 	if err != nil {
 		t.Fatalf("server hello round trip: %v", err)
 	}
-	if g != testGeom {
-		t.Fatalf("geometry %+v round-tripped to %+v", testGeom, g)
+	if h != hello {
+		t.Fatalf("hello %+v round-tripped to %+v", hello, h)
 	}
-	if g.Width() != testGeom.Tables*testGeom.Dim {
-		t.Fatalf("Width() = %d, want %d", g.Width(), testGeom.Tables*testGeom.Dim)
+	if h.Geom.Width() != testGeom.Tables*testGeom.Dim {
+		t.Fatalf("Width() = %d, want %d", h.Geom.Width(), testGeom.Tables*testGeom.Dim)
+	}
+	if h.Role.String() != "replica" || RoleStandalone.String() != "standalone" {
+		t.Fatalf("role names: %q / %q", h.Role, RoleStandalone)
 	}
 }
 
@@ -42,21 +46,26 @@ func TestHandshakeRejectsBadMagicAndVersion(t *testing.T) {
 	if err := ReadClientHello(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("wrong version: err = %v, want version error", err)
 	}
-	srv := AppendServerHello(nil, testGeom)
+	srv := AppendServerHello(nil, Hello{Geom: testGeom})
 	srv[0] ^= 0xff
 	if _, err := ReadServerHello(bytes.NewReader(srv)); err == nil || !strings.Contains(err.Error(), "magic") {
 		t.Fatalf("corrupt server magic: err = %v, want magic error", err)
 	}
 	// Zero geometry fields are rejected even when the framing is valid.
-	srv = AppendServerHello(nil, Geometry{Tables: 0, Reduction: 1, Dim: 8, MaxBatch: 4})
+	srv = AppendServerHello(nil, Hello{Geom: Geometry{Tables: 0, Reduction: 1, Dim: 8, MaxBatch: 4}})
 	if _, err := ReadServerHello(bytes.NewReader(srv)); err == nil {
 		t.Fatal("zero-table geometry accepted")
+	}
+	// An unknown role byte is rejected (a corrupt or future-revision peer).
+	srv = AppendServerHello(nil, Hello{Geom: testGeom, Role: Role(9)})
+	if _, err := ReadServerHello(bytes.NewReader(srv)); err == nil || !strings.Contains(err.Error(), "role") {
+		t.Fatalf("unknown role: err = %v, want role error", err)
 	}
 	// Truncated handshakes fail cleanly.
 	if err := ReadClientHello(bytes.NewReader(AppendClientHello(nil)[:3])); err == nil {
 		t.Fatal("truncated client hello accepted")
 	}
-	if _, err := ReadServerHello(bytes.NewReader(AppendServerHello(nil, testGeom)[:10])); err == nil {
+	if _, err := ReadServerHello(bytes.NewReader(AppendServerHello(nil, Hello{Geom: testGeom})[:10])); err == nil {
 		t.Fatal("truncated server hello accepted")
 	}
 }
@@ -256,6 +265,57 @@ func TestDecodeUpdateRejectsCorruption(t *testing.T) {
 	}
 }
 
+func TestSyncRoundTrip(t *testing.T) {
+	g := testGeom
+	ups := []Update{
+		{Table: 1, Rows: []int{7, 7, 11}, Grads: seq(3 * g.Dim)},
+	}
+	frame := AppendSync(nil, 55, 19, ups)
+	op, id, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpSync || id != 55 {
+		t.Fatalf("op %d id %d, want OpSync id 55", op, id)
+	}
+	var s UpdateScratch
+	gotSeq, got, err := DecodeSync(payload, g, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSeq != 19 {
+		t.Fatalf("seq %d, want 19", gotSeq)
+	}
+	if len(got) != 1 || got[0].Table != 1 || len(got[0].Rows) != 3 {
+		t.Fatalf("decoded %+v", got)
+	}
+	for i, v := range ups[0].Grads {
+		if math.Float32bits(got[0].Grads[i]) != math.Float32bits(v) {
+			t.Fatalf("grad %d mismatch", i)
+		}
+	}
+	// Corruption: short seq prefix, and a corrupt inner batch both fail.
+	if _, _, err := DecodeSync(payload[:7], g, &s); err == nil {
+		t.Fatal("7-byte sync payload accepted")
+	}
+	if _, _, err := DecodeSync(payload[:len(payload)-2], g, &s); err == nil {
+		t.Fatal("truncated sync batch accepted")
+	}
+
+	resp := AppendSyncResp(nil, 55, 20)
+	op, id, payload, _, err = ReadFrame(bytes.NewReader(resp), nil, 0)
+	if err != nil || op != OpSyncResp || id != 55 {
+		t.Fatalf("sync resp: op %d id %d err %v", op, id, err)
+	}
+	newSeq, err := DecodeSyncResp(payload)
+	if err != nil || newSeq != 20 {
+		t.Fatalf("sync resp decoded seq %d err %v, want 20", newSeq, err)
+	}
+	if _, err := DecodeSyncResp(payload[:4]); err == nil {
+		t.Fatal("short sync resp accepted")
+	}
+}
+
 func TestErrorRoundTrip(t *testing.T) {
 	frame := AppendError(nil, 13, ErrOverloaded, "budget exhausted")
 	op, id, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
@@ -274,6 +334,9 @@ func TestErrorRoundTrip(t *testing.T) {
 	}
 	if code.String() != "OVERLOADED" {
 		t.Fatalf("ErrOverloaded renders %q", code.String())
+	}
+	if ErrUnavailable.String() != "UNAVAILABLE" {
+		t.Fatalf("ErrUnavailable renders %q", ErrUnavailable.String())
 	}
 	if _, _, err := DecodeError([]byte{1}); err == nil {
 		t.Fatal("1-byte error payload accepted")

@@ -73,6 +73,7 @@ import (
 	"tensordimm/internal/netserve"
 	"tensordimm/internal/node"
 	"tensordimm/internal/recsys"
+	"tensordimm/internal/remote"
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/serve"
 	"tensordimm/internal/tensor"
@@ -149,6 +150,24 @@ type (
 	NetServerError = netclient.ServerError
 	// NetGeometry is the model shape a server announces in its handshake.
 	NetGeometry = wire.Geometry
+	// NetRole is the serving role a server announces in its handshake
+	// (RoleStandalone or RoleReplica).
+	NetRole = wire.Role
+	// Placement maps every (table, row) coordinate of a sharded model onto
+	// its owning shard — shared by the in-process Cluster and the
+	// RemoteCluster router, and by shard servers sizing their sub-batches.
+	Placement = cluster.Placement
+	// RemoteCluster routes requests over replica groups of remote shard
+	// processes with hedged reads, failover, and sequenced update replay.
+	RemoteCluster = remote.RemoteCluster
+	// RemoteConfig describes the fleet a RemoteCluster routes over.
+	RemoteConfig = remote.Config
+	// RemoteMetrics is a snapshot of a RemoteCluster's routing, hedging,
+	// failover and replay counters.
+	RemoteMetrics = remote.Metrics
+	// RemoteUnavailable is the typed fast-failure a RemoteCluster returns
+	// when every replica of a shard is unreachable.
+	RemoteUnavailable = remote.Unavailable
 )
 
 // The five design points (Section 6).
@@ -177,6 +196,19 @@ const (
 	NetErrShuttingDown = wire.ErrShuttingDown
 	// NetErrInternal marks a backend execution failure.
 	NetErrInternal = wire.ErrInternal
+	// NetErrUnavailable marks an operation refused because a shard's whole
+	// replica group is unreachable; RemoteCluster surfaces it locally as a
+	// *RemoteUnavailable.
+	NetErrUnavailable = wire.ErrUnavailable
+)
+
+// Serving roles announced in the network handshake.
+const (
+	// RoleStandalone is a self-contained endpoint (the default).
+	RoleStandalone = wire.RoleStandalone
+	// RoleReplica marks a server as one replica of a shard behind a
+	// RemoteCluster router, whose sequenced SYNC frames are its write path.
+	RoleReplica = wire.RoleReplica
 )
 
 // Sharding strategies for NewCluster.
@@ -253,6 +285,33 @@ func ServeBackend(s *Server) NetBackend { return netserve.ServerBackend(s) }
 
 // ClusterBackend adapts a sharded Cluster for NewNetServer.
 func ClusterBackend(c *Cluster) NetBackend { return netserve.ClusterBackend(c) }
+
+// NewRemoteCluster dials every replica of every shard in cfg.Shards and
+// returns a router exposing the same request surface as an in-process
+// Cluster: reads hedge and fail over across each shard's replica group,
+// updates fan out with sequenced replay, and results stay bit-identical
+// to the golden model no matter which replica answers. Each shard process
+// serves its slice via `tensorserve -listen -shard-id` (or any NetServer
+// over a Deployment of ExtractShardModel's output with RoleReplica).
+func NewRemoteCluster(cfg RemoteConfig) (*RemoteCluster, error) {
+	return remote.New(cfg)
+}
+
+// ExtractShardModel materializes the gather-only model slice that shard s
+// of `nodes` serves under the strategy's placement — the model a remote
+// shard process deploys. Replicas of the same shard extract identical
+// slices from the same deterministic build, so a restarted replica
+// reproduces its pre-crash state by replaying the router's update log.
+func ExtractShardModel(m *Model, strategy ShardStrategy, nodes, s int) (*Model, error) {
+	return cluster.ExtractShardModel(m, strategy, nodes, s)
+}
+
+// NewPlacement precomputes the shard layout for a model of `tables`
+// tables by `rows` rows split `nodes` ways — e.g. to size a shard
+// server's sub-batch cap with MaxSub.
+func NewPlacement(strategy ShardStrategy, nodes, tables, rows int) *Placement {
+	return cluster.NewPlacement(strategy, nodes, tables, rows)
+}
 
 // DialNet connects a pooled, pipelined client to a NetServer. The
 // returned client's Geometry carries the server's model shape; EmbedInto
