@@ -1,8 +1,8 @@
 // Command benchjson runs the hot-serving-path benchmark suite
 // (internal/benchkit: ServeThroughput, ClusterEmbed, ExpandIndices,
-// NetRoundTrip) and writes the results as JSON, so every PR leaves a
-// machine-readable performance record next to the paper-reproduction
-// artifacts.
+// NetRoundTrip) plus the open-loop network saturation sweep, and writes
+// the results as JSON, so every PR leaves a machine-readable performance
+// record next to the paper-reproduction artifacts.
 //
 // Usage:
 //
@@ -45,6 +45,11 @@ type document struct {
 	// SpeedupNs maps benchmark name to baseline ns/op divided by current
 	// ns/op (higher is faster).
 	SpeedupNs map[string]float64 `json:"speedup_ns_per_op"`
+	// Saturation is the open-loop offered-load sweep of the network plane:
+	// achieved rate, p99 and shed count per offered-load step. It is a
+	// curve, not a single number, so it carries no speedup entry and the
+	// allocs/op gate does not apply to it.
+	Saturation []benchkit.SaturationPoint `json:"saturation"`
 }
 
 func main() {
@@ -72,12 +77,14 @@ func main() {
 			}
 		}
 	}
+	saturation := benchkit.RunSaturation()
 	doc := document{
 		Suite:      "serving-hot-path",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Baseline:   baseline,
 		Results:    results,
 		SpeedupNs:  map[string]float64{},
+		Saturation: saturation,
 	}
 	base := map[string]benchkit.Result{}
 	for _, r := range baseline {
@@ -89,6 +96,11 @@ func main() {
 		}
 		fmt.Printf("%-16s %12.1f ns/op %6d allocs/op %10.0f req/s\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.ReqPerSec)
+	}
+
+	for _, p := range saturation {
+		fmt.Printf("saturation %8.0f offered req/s -> %8.0f achieved, p99 %7.1f us, %d shed\n",
+			p.OfferedReqS, p.AchievedReqS, p.P99Us, p.Shed)
 	}
 
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -100,6 +100,8 @@ type flags struct {
 	shardID  int
 	join     string
 	replicas int
+	sticky   bool
+	linger   time.Duration
 }
 
 func main() {
@@ -131,6 +133,8 @@ func main() {
 	flag.IntVar(&f.shardID, "shard-id", -1, "with -listen: serve only this shard of a model split -nodes ways, announcing the replica role")
 	flag.StringVar(&f.join, "join", "", "drive load against replica groups of -shard-id servers: one ,-separated address group per shard, groups separated by / (e.g. :7171,:7172/:7173,:7174)")
 	flag.IntVar(&f.replicas, "replicas", 0, "with -join: require every serving shard's group to list exactly this many replicas (0 skips the check)")
+	flag.BoolVar(&f.sticky, "sticky", false, "with -join: attach read-only (sticky-shard routing) — reads go straight to each shard's replica group and updates are refused; the fleet's writer owns the update log")
+	flag.DurationVar(&f.linger, "linger", 0, "with -listen: per-connection response-coalescing linger window (0 selects the 50us default)")
 	flag.Parse()
 
 	if err := validate(f); err != nil {
@@ -209,6 +213,18 @@ func validate(f flags) error {
 	}
 	if f.join == "" && set["replicas"] {
 		return fmt.Errorf("-replicas needs -join: it asserts the width of each replica group being driven")
+	}
+	if f.join == "" && f.sticky {
+		return fmt.Errorf("-sticky needs -join: sticky-shard routing attaches to replica groups")
+	}
+	if f.sticky && f.updFrac > 0 {
+		return fmt.Errorf("-sticky refuses -update-frac %g: a sticky (read-only) router routes no updates; drive them through the fleet's writer", f.updFrac)
+	}
+	if f.listen == "" && set["linger"] {
+		return fmt.Errorf("-linger needs -listen: the coalescing window belongs to the serving process's per-connection writer")
+	}
+	if f.linger < 0 {
+		return fmt.Errorf("-linger %v must not be negative", f.linger)
 	}
 	if f.join != "" {
 		if err := validateJoin(f, set); err != nil {
@@ -511,7 +527,7 @@ func runListen(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) {
 	if f.shardID >= 0 {
 		role = tensordimm.RoleReplica
 	}
-	srv, err := tensordimm.NewNetServer(backend, tensordimm.NetServeConfig{MaxInflight: f.inflight, Role: role})
+	srv, err := tensordimm.NewNetServer(backend, tensordimm.NetServeConfig{MaxInflight: f.inflight, Role: role, FlushLinger: f.linger})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -682,6 +698,7 @@ func runJoin(f flags) {
 		Workers:  f.workers,
 		Conns:    f.conns,
 		RetryFor: 5 * time.Second,
+		ReadOnly: f.sticky,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -691,8 +708,12 @@ func runJoin(f flags) {
 	for _, g := range groups {
 		replicas += len(g)
 	}
-	fmt.Printf("joined %d shards (%s) over %d replicas: %d tables x %d rows, dim %d, %d-way %s\n",
-		len(groups), shardStrategy(f), replicas, cfg.Tables, cfg.TableRows, cfg.EmbDim,
+	mode := ""
+	if f.sticky {
+		mode = ", sticky read-only"
+	}
+	fmt.Printf("joined %d shards (%s%s) over %d replicas: %d tables x %d rows, dim %d, %d-way %s\n",
+		len(groups), shardStrategy(f), mode, replicas, cfg.Tables, cfg.TableRows, cfg.EmbDim,
 		cfg.Reduction, poolingName(cfg))
 	gen, err := newGenerator(f, cfg.TableRows)
 	if err != nil {

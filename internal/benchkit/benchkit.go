@@ -46,7 +46,12 @@ const (
 	benchZipfS     = 0.9
 	benchNodes     = 2         // cluster shards
 	benchCacheB    = 256 << 10 // per-shard hot-row cache bytes
-	benchNetConns  = 4         // client connection pool for the loopback benchmark
+	// The network benchmark funnels many closed-loop clients through one
+	// connection: deep per-connection concurrency is what fills the
+	// client's group-commit buffer and the server's linger window, making
+	// the syscall amortization the coalescing writers buy visible.
+	benchNetConns   = 1
+	benchNetClients = 128
 )
 
 // model builds the fixed benchmark recommender.
@@ -175,11 +180,10 @@ func ServeThroughput(b *testing.B) {
 	b.ReportMetric(srv.Metrics().TotalLatency.P99*1e6, "p99-us")
 }
 
-// ClusterEmbed is the BenchmarkClusterEmbed body: concurrent clients
-// submitting 4-sample Embed requests against a 2-shard cluster with warm
-// hot-row caches, via the zero-allocation EmbedInto path. Reports req/s as
-// an extra metric.
-func ClusterEmbed(b *testing.B) {
+// clusterStack builds the fixed 2-shard cluster with warm hot-row caches
+// — the backend both ClusterEmbed and NetRoundTrip front, so the
+// in-process and over-the-wire numbers measure the same compute.
+func clusterStack(b *testing.B) (*recsys.Model, *cluster.Cluster, func()) {
 	m := model(b)
 	cl, err := cluster.New(m, cluster.Config{
 		Nodes: benchNodes, DIMMsPerNode: benchDIMMs,
@@ -188,41 +192,66 @@ func ClusterEmbed(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer cl.Close()
+	return m, cl, func() { cl.Close() }
+}
+
+// ClusterEmbed is the BenchmarkClusterEmbed body: concurrent clients
+// submitting 4-sample Embed requests against a 2-shard cluster with warm
+// hot-row caches, via the zero-allocation EmbedInto path. Reports req/s as
+// an extra metric.
+func ClusterEmbed(b *testing.B) {
+	m, cl, cleanup := clusterStack(b)
+	defer cleanup()
 	driveEmbed(b, m, benchClients/2, cl.EmbedInto)
 }
 
-// NetRoundTrip is the BenchmarkNetRoundTrip body: the ServeThroughput
-// workload driven over the network plane — a netserve.Server fronting the
-// micro-batching server on a loopback listener, concurrent pipelined
-// netclient clients submitting 4-sample EmbedInto requests over a small
-// connection pool. The measured loop covers encode, TCP round trip,
-// admission, backend execution and decode; with pooled tasks/calls and
-// reused buffers on both endpoints it pins the network request path
-// allocation-free (amortized) under -benchmem. Reports req/s and the
-// server-side p99 (us) as extra metrics.
-func NetRoundTrip(b *testing.B) {
-	m, srv, cleanup := serveStack(b)
-	defer cleanup()
-
-	net1, err := netserve.New(netserve.ServerBackend(srv), netserve.Config{})
+// netStack fronts the 2-shard cluster with a netserve.Server on a
+// loopback listener and dials a pooled netclient against it — the fixed
+// serving plane NetRoundTrip and the saturation sweep share.
+func netStack(b *testing.B) (*recsys.Model, *netserve.Server, *netclient.Client, func()) {
+	m, cluster, clusterDown := clusterStack(b)
+	srv, err := netserve.New(netserve.ClusterBackend(cluster), netserve.Config{})
 	if err != nil {
+		clusterDown()
 		b.Fatal(err)
 	}
-	defer net1.Close()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		srv.Close()
+		clusterDown()
 		b.Fatal(err)
 	}
-	go net1.Serve(l)
+	go srv.Serve(l)
 	cl, err := netclient.Dial(l.Addr().String(), netclient.Config{Conns: benchNetConns})
 	if err != nil {
+		srv.Close()
+		clusterDown()
 		b.Fatal(err)
 	}
-	defer cl.Close()
+	return m, srv, cl, func() {
+		cl.Close()
+		srv.Close()
+		clusterDown()
+	}
+}
 
-	driveEmbed(b, m, benchClients, cl.EmbedInto)
-	b.ReportMetric(net1.Metrics().Latency.P99*1e6, "p99-us")
+// NetRoundTrip is the BenchmarkNetRoundTrip body: the ClusterEmbed
+// workload driven over the network plane — a netserve.Server fronting the
+// 2-shard cluster on a loopback listener, concurrent pipelined netclient
+// clients submitting 4-sample EmbedInto requests over a small connection
+// pool. The measured loop covers encode, send coalescing, TCP round trip,
+// admission, backend execution, response coalescing and decode; with
+// pooled tasks/calls and reused buffers on both endpoints it pins the
+// network request path allocation-free (amortized) under -benchmem.
+// Reports req/s and the server-side p99 (us) as extra metrics.
+func NetRoundTrip(b *testing.B) {
+	m, srv, cl, cleanup := netStack(b)
+	defer cleanup()
+	driveEmbed(b, m, benchNetClients, cl.EmbedInto)
+	sm := srv.Metrics()
+	b.ReportMetric(sm.Latency.P99*1e6, "p99-us")
+	b.ReportMetric(float64(sm.BatchedIn)/float64(sm.BatchesIn+1), "in-coalesce")
+	b.ReportMetric(float64(sm.BatchedOut)/float64(sm.BatchesOut+1), "out-coalesce")
 }
 
 // ExpandIndices is the BenchmarkExpandIndices body: stripe-index expansion

@@ -12,6 +12,16 @@
 // reader goroutine correlates responses — which arrive in completion
 // order, not request order — back to their waiting callers.
 //
+// Sends coalesce: concurrent requests on one connection append their
+// frames to a shared combining buffer and ring a doorbell; a dedicated
+// per-connection flusher goroutine writes everything packed since its
+// last pass as one BATCH super-frame (group commit), so one write
+// syscall is amortized over a micro-batch while appenders never touch
+// the socket. The flusher splits its buffer into multiple BATCH frames
+// rather than exceed the frame-size limit the server's handshake
+// announced. Responses arrive either plain or coalesced by the server's
+// symmetric writer; the reader unpacks both.
+//
 // Connection lifecycle: without Reconnect, a lost connection is broken
 // permanently and calls fail until the pool is exhausted — the original
 // fail-fast contract. With Reconnect, each lost connection is redialed in
@@ -29,6 +39,8 @@
 package netclient
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -38,6 +50,15 @@ import (
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/wire"
 )
+
+// maxCoalesceBytes soft-caps one coalesced request frame so the combining
+// buffer stays cache-sized even when the negotiated frame limits are
+// generous; past it the flusher just emits another BATCH frame.
+const maxCoalesceBytes = 256 << 10
+
+// readBufBytes sizes the buffered reader on each connection, so one read
+// syscall pulls in many pipelined (or coalesced) response frames.
+const readBufBytes = 64 << 10
 
 // Config tunes a client. The zero value of every field selects a
 // documented default at Dial; negative values are invalid.
@@ -120,12 +141,30 @@ func (ca *Call) Done() <-chan error { return ca.done }
 // re-sliced to the response length. Valid after Done delivered nil.
 func (ca *Call) Dst() []float32 { return ca.dst }
 
-// clientConn is one pooled connection: a write lock serializing frame
-// writes, the pending table correlating request ids to waiting calls, and
-// a reader goroutine delivering responses.
+// clientConn is one pooled connection: the send combiner coalescing
+// concurrent request frames into BATCH super-frames, the pending table
+// correlating request ids to waiting calls, and a reader goroutine
+// delivering responses.
 type clientConn struct {
-	nc      net.Conn
-	wmu     sync.Mutex
+	nc net.Conn
+	br *bufio.Reader
+	// sendMax caps one coalesced frame: the smallest of this client's
+	// limit, the server's announced limit, and the cache-friendly soft cap.
+	sendMax int
+
+	// The send combiner, guarded by sendMu: senders append their complete
+	// frames behind sendBuf's BATCH-header headroom and nudge the flushCh
+	// doorbell; the connection's flusher goroutine swaps the filled buffer
+	// against spare and writes it out while senders keep appending. Keeping
+	// the flusher off the senders' goroutines is what creates the
+	// coalescing window — while the flusher is writing (or waiting its turn
+	// on a busy scheduler), concurrent senders pack the other buffer.
+	sendMu  sync.Mutex
+	sendBuf []byte
+	sendCnt int
+	spare   []byte
+	flushCh chan struct{}
+
 	pmu     sync.Mutex
 	pending map[uint64]*Call
 	broken  error // set once the connection is unusable; guarded by pmu
@@ -215,8 +254,9 @@ func Dial(addr string, cfg Config) (*Client, error) {
 		slot := &connSlot{}
 		slot.cur.Store(cc)
 		c.slots = append(c.slots, slot)
-		c.readerWG.Add(1)
+		c.readerWG.Add(2)
 		go c.readLoop(cc)
+		go c.flushLoop(cc)
 	}
 	if cfg.Reconnect {
 		for _, slot := range c.slots {
@@ -239,17 +279,23 @@ func dialOne(addr string, cfg Config, deadline time.Time) (*clientConn, wire.Hel
 			}
 			return nil, wire.Hello{}, fmt.Errorf("netclient: dial %s: %w", addr, err)
 		}
-		if _, err := nc.Write(wire.AppendClientHello(make([]byte, 0, 8))); err != nil {
+		if _, err := nc.Write(wire.AppendClientHello(make([]byte, 0, 16), cfg.MaxFrameBytes)); err != nil {
 			nc.Close()
 			return nil, wire.Hello{}, fmt.Errorf("netclient: handshake write: %w", err)
 		}
-		h, err := wire.ReadServerHello(nc)
+		br := bufio.NewReaderSize(nc, readBufBytes)
+		h, _, err := wire.ReadServerHello(br, nil)
 		if err != nil {
 			nc.Close()
 			return nil, wire.Hello{}, fmt.Errorf("netclient: handshake: %w", err)
 		}
 		return &clientConn{
 			nc:      nc,
+			br:      br,
+			sendMax: min(cfg.MaxFrameBytes, h.MaxFrameBytes, maxCoalesceBytes),
+			sendBuf: make([]byte, wire.BatchHeaderBytes, 32<<10),
+			spare:   make([]byte, wire.BatchHeaderBytes, 32<<10),
+			flushCh: make(chan struct{}, 1),
 			pending: make(map[uint64]*Call),
 			rdDone:  make(chan struct{}),
 		}, h, nil
@@ -297,8 +343,9 @@ func (c *Client) supervise(slot *connSlot) {
 				slot.cur.Store(ncc)
 				hc := h
 				c.hello.Store(&hc)
-				c.readerWG.Add(1)
+				c.readerWG.Add(2)
 				go c.readLoop(ncc)
+				go c.flushLoop(ncc)
 				if c.cfg.OnUp != nil {
 					c.cfg.OnUp(h)
 				}
@@ -359,42 +406,75 @@ func (c *Client) readLoop(cc *clientConn) {
 		var id uint64
 		var payload []byte
 		var err error
-		op, id, payload, buf, err = wire.ReadFrame(cc.nc, buf, c.cfg.MaxFrameBytes)
+		op, id, payload, buf, err = wire.ReadFrame(cc.br, buf, c.cfg.MaxFrameBytes)
 		if err != nil {
 			cc.fail(fmt.Errorf("netclient: connection lost: %w", err))
 			return
 		}
-		cc.pmu.Lock()
-		ca := cc.pending[id]
-		delete(cc.pending, id)
-		cc.pmu.Unlock()
-		if ca == nil {
-			// A response for nothing we sent: the stream is not trustworthy.
-			cc.fail(fmt.Errorf("netclient: response for unknown request id %d", id))
+		if op == wire.OpBatch {
+			// A server-coalesced flush: deliver each packed response exactly
+			// as if it had arrived alone.
+			it, derr := wire.DecodeBatch(payload)
+			if derr != nil {
+				cc.fail(fmt.Errorf("netclient: corrupt response batch: %w", derr))
+				return
+			}
+			for {
+				sop, sid, sp, more := it.Next()
+				if !more {
+					break
+				}
+				if !cc.deliver(sop, sid, sp) {
+					return
+				}
+			}
+			if derr := it.Err(); derr != nil {
+				cc.fail(fmt.Errorf("netclient: corrupt response batch: %w", derr))
+				return
+			}
+			continue
+		}
+		if !cc.deliver(op, id, payload) {
 			return
 		}
-		var res error
-		switch op {
-		case wire.OpEmbedResp:
-			res = wire.DecodeEmbedResp(payload, ca.dst)
-		case wire.OpUpdateResp, wire.OpPong:
-			res = nil
-		case wire.OpSyncResp:
-			ca.seq, res = wire.DecodeSyncResp(payload)
-		case wire.OpMetricsResp:
-			ca.text = string(payload)
-		case wire.OpError:
-			code, msg, derr := wire.DecodeError(payload)
-			if derr != nil {
-				res = derr
-			} else {
-				res = &ServerError{Code: code, Msg: msg}
-			}
-		default:
-			res = fmt.Errorf("netclient: unexpected response op %d", op)
-		}
-		ca.done <- res
 	}
+}
+
+// deliver correlates one response frame to its pending call and hands it
+// the result. It returns false when the frame proves the stream is not
+// trustworthy, which fails the connection.
+func (cc *clientConn) deliver(op wire.Op, id uint64, payload []byte) bool {
+	cc.pmu.Lock()
+	ca := cc.pending[id]
+	delete(cc.pending, id)
+	cc.pmu.Unlock()
+	if ca == nil {
+		// A response for nothing we sent: the stream is not trustworthy.
+		cc.fail(fmt.Errorf("netclient: response for unknown request id %d", id))
+		return false
+	}
+	var res error
+	switch op {
+	case wire.OpEmbedResp:
+		res = wire.DecodeEmbedResp(payload, ca.dst)
+	case wire.OpUpdateResp, wire.OpPong:
+		res = nil
+	case wire.OpSyncResp:
+		ca.seq, res = wire.DecodeSyncResp(payload)
+	case wire.OpMetricsResp:
+		ca.text = string(payload)
+	case wire.OpError:
+		code, msg, derr := wire.DecodeError(payload)
+		if derr != nil {
+			res = derr
+		} else {
+			res = &ServerError{Code: code, Msg: msg}
+		}
+	default:
+		res = fmt.Errorf("netclient: unexpected response op %d", op)
+	}
+	ca.done <- res
+	return true
 }
 
 // fail marks the connection broken and delivers err to every pending
@@ -435,11 +515,12 @@ func (c *Client) pick() (*clientConn, error) {
 	return nil, fmt.Errorf("netclient: every connection is down")
 }
 
-// start registers ca under id on cc and writes the frame in ca.buf. A
-// non-nil return means the call was never registered (the connection was
-// already broken) and nothing will arrive on done; after a nil return the
-// result — including a write failure, which the reader delivers when it
-// fails the pending set — arrives exactly once on done.
+// start registers ca under id on cc and submits the frame in ca.buf to
+// the send combiner. A non-nil return means the call was never registered
+// (the connection was already broken) and nothing will arrive on done;
+// after a nil return the result — including a write failure, which the
+// reader delivers when it fails the pending set — arrives exactly once on
+// done.
 func (cc *clientConn) start(ca *Call, id uint64) error {
 	cc.pmu.Lock()
 	if cc.broken != nil {
@@ -449,14 +530,106 @@ func (cc *clientConn) start(ca *Call, id uint64) error {
 	}
 	cc.pending[id] = ca
 	cc.pmu.Unlock()
+	cc.send(ca.buf)
+	return nil
+}
 
-	cc.wmu.Lock()
-	_, werr := cc.nc.Write(ca.buf)
-	cc.wmu.Unlock()
-	if werr != nil {
-		// The reader will fail everything pending (including this call) when
-		// it notices; waiting on done keeps ownership single-threaded.
-		cc.fail(fmt.Errorf("netclient: write: %w", werr))
+// send appends one complete frame to the combining buffer and rings the
+// flusher's doorbell. The frame is copied, so the caller's buffer is
+// free for reuse on return; the response (or a write failure, delivered
+// through the failed pending set) arrives on the call's done channel.
+func (cc *clientConn) send(frame []byte) {
+	cc.sendMu.Lock()
+	cc.sendBuf = append(cc.sendBuf, frame...)
+	cc.sendCnt++
+	cc.sendMu.Unlock()
+	// Nonblocking ring: the one-slot doorbell latches the signal even when
+	// the flusher is mid-pass, so no appended frame is ever stranded.
+	select {
+	case cc.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// flushLoop is one connection's dedicated flusher goroutine: on each
+// doorbell ring it drains the combining buffer until it stays empty —
+// swap the filled buffer against the spare, write it out (coalesced),
+// repeat. It holds no lock while on the socket, so concurrent senders
+// keep packing the other buffer; and because it is a separate goroutine,
+// a busy scheduler naturally lets several senders append before the
+// flusher gets the CPU — that is where the coalescing comes from. Runs
+// until the connection's reader exits (socket dead or client closed) or
+// a write fails.
+func (c *Client) flushLoop(cc *clientConn) {
+	defer c.readerWG.Done()
+	for {
+		select {
+		case <-cc.flushCh:
+		case <-cc.rdDone:
+			return
+		}
+		for {
+			cc.sendMu.Lock()
+			if cc.sendCnt == 0 {
+				cc.sendMu.Unlock()
+				break
+			}
+			buf, cnt := cc.sendBuf, cc.sendCnt
+			cc.sendBuf = cc.spare[:wire.BatchHeaderBytes]
+			cc.spare = nil
+			cc.sendCnt = 0
+			cc.sendMu.Unlock()
+
+			err := cc.writeCoalesced(buf, cnt)
+
+			cc.sendMu.Lock()
+			cc.spare = buf
+			cc.sendMu.Unlock()
+			if err != nil {
+				// fail closes the socket, which wakes the reader; the reader
+				// then fails everything pending — including the calls whose
+				// frames were in buf — exactly once.
+				cc.fail(fmt.Errorf("netclient: write: %w", err))
+				return
+			}
+		}
+	}
+}
+
+// writeCoalesced writes cnt packed frames (behind BatchHeaderBytes of
+// headroom in buf): a single frame goes out plain, several go out as one
+// or more BATCH super-frames, split wherever the next sub-frame would
+// push a chunk past sendMax or the protocol's sub-frame cap. Splitting
+// re-stamps each chunk's BATCH header into the bytes just before the
+// chunk — those belong to an already-written chunk (or the headroom), so
+// scribbling there is safe and the whole flush is zero-copy.
+func (cc *clientConn) writeCoalesced(buf []byte, cnt int) error {
+	if cnt == 1 {
+		_, err := cc.nc.Write(buf[wire.BatchHeaderBytes:])
+		return err
+	}
+	off := wire.BatchHeaderBytes // start of the first unwritten frame
+	for cnt > 0 {
+		end, n := off, 0
+		for n < cnt && n < wire.MaxBatchSubFrames {
+			flen := 4 + int(binary.LittleEndian.Uint32(buf[end:]))
+			if n > 0 && (end-off)+flen+wire.BatchHeaderBytes > cc.sendMax {
+				break
+			}
+			end += flen
+			n++
+		}
+		var chunk []byte
+		if n == 1 {
+			chunk = buf[off:end]
+		} else {
+			chunk = wire.FinishBatch(buf[off-wire.BatchHeaderBytes:end], 0, n)
+		}
+		if _, err := cc.nc.Write(chunk); err != nil {
+			return err
+		}
+		off = end
+		cnt -= n
 	}
 	return nil
 }

@@ -1,0 +1,355 @@
+package netserve_test
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"tensordimm/internal/cluster"
+	"tensordimm/internal/netclient"
+	"tensordimm/internal/netserve"
+	"tensordimm/internal/recsys"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/tensor"
+	"tensordimm/internal/wire"
+)
+
+// coalesceModelCfg is the real-model geometry for the coalescing
+// equivalence tests: dim 64 = one stripe on a 4-DIMM node, 301 rows so
+// row-wise shard boundaries are uneven.
+func coalesceModelCfg() recsys.Config {
+	return recsys.Config{
+		Name: "coalesce-test", Tables: 2, Reduction: 2, FCLayers: 1,
+		EmbDim: 64, TableRows: 301, Hidden: []int{8},
+	}
+}
+
+// startClusterServer fronts a real 2-shard cluster with a netserve.Server
+// — the stack the coalescing paths must keep bit-identical to the golden
+// model the cluster was built from.
+func startClusterServer(t *testing.T, strat cluster.Strategy, cfg netserve.Config) (*recsys.Model, *netserve.Server, string) {
+	t.Helper()
+	m, err := recsys.Build(coalesceModelCfg(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(m, cluster.Config{
+		Nodes: 2, DIMMsPerNode: 4, MaxBatch: 16,
+		CacheBytes: 64 << 10, Strategy: strat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	srv, addr := startServer(t, netserve.ClusterBackend(c), cfg)
+	return m, srv, addr
+}
+
+// randBatchRows draws one embed request against the real-model geometry.
+func randBatchRows(rng *rand.Rand, mc recsys.Config, batch int) [][]int {
+	rows := make([][]int, mc.Tables)
+	for t := range rows {
+		rows[t] = make([]int, batch*mc.Reduction)
+		for i := range rows[t] {
+			rows[t][i] = rng.Intn(mc.TableRows)
+		}
+	}
+	return rows
+}
+
+// gradUpdate draws one single-table gradient update; zero=true yields a
+// bit-identity-preserving no-op update (x + 0.0 == x for the non-zero
+// float32 values a seeded build produces), so it can fly concurrently
+// with golden-checked reads.
+func gradUpdate(rng *rand.Rand, mc recsys.Config, maxBatch int, zero bool) runtime.TableUpdate {
+	n := 1 + rng.Intn(maxBatch*mc.Reduction-1)
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = rng.Intn(mc.TableRows)
+	}
+	grads := tensor.New(n, mc.EmbDim)
+	if !zero {
+		g := grads.Data()
+		for i := range g {
+			g[i] = rng.Float32() - 0.5
+		}
+	}
+	return runtime.TableUpdate{Table: rng.Intn(mc.Tables), Rows: rows, Grads: grads}
+}
+
+// goldenReq is one pre-planned embed request with its expected output,
+// computed serially against the golden model before the concurrent phase
+// fires (the cluster's update write-through mutates the golden tables, so
+// golden forwards must never race in-flight updates).
+type goldenReq struct {
+	rows  [][]int
+	batch int
+	want  []float32
+}
+
+// TestCoalescedMixedTrafficBitIdentical drives concurrent EMBED and
+// UPDATE traffic through one shared connection — the topology that makes
+// the client's group-commit buffer and the server's linger window
+// coalesce frames — and checks every read bit-identical against the
+// golden model, for both sharding strategies. Real gradient updates are
+// serialized between read rounds (concurrent writes to read rows have no
+// defined interleaving); the concurrent updates are zero-gradient, so
+// they exercise the mixed-op coalescing path without perturbing values.
+func TestCoalescedMixedTrafficBitIdentical(t *testing.T) {
+	for _, strat := range []cluster.Strategy{cluster.TableWise, cluster.RowWise} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			m, srv, addr := startClusterServer(t, strat, netserve.Config{})
+			cl := dialClient(t, addr, netclient.Config{Conns: 1})
+			rng := rand.New(rand.NewSource(9))
+			for round := 0; round < 3; round++ {
+				// Plan this round's requests and their golden answers while
+				// nothing is in flight.
+				plans := make([][]goldenReq, 6)
+				for g := range plans {
+					plans[g] = make([]goldenReq, 12)
+					for i := range plans[g] {
+						batch := 1 + rng.Intn(4)
+						rows := randBatchRows(rng, m.Cfg, batch)
+						want, err := m.Embedding.Forward(rows, batch)
+						if err != nil {
+							t.Fatal(err)
+						}
+						plans[g][i] = goldenReq{rows: rows, batch: batch,
+							want: append([]float32(nil), want.Data()...)}
+					}
+				}
+
+				var wg sync.WaitGroup
+				for g := range plans {
+					wg.Add(1)
+					go func(reqs []goldenReq) {
+						defer wg.Done()
+						var dst []float32
+						for _, rq := range reqs {
+							got, err := cl.EmbedInto(dst, rq.rows, rq.batch)
+							if err != nil {
+								t.Errorf("embed: %v", err)
+								return
+							}
+							dst = got
+							for k, w := range rq.want {
+								if got[k] != w {
+									t.Errorf("value %d: net %v != golden %v", k, got[k], w)
+									return
+								}
+							}
+						}
+					}(plans[g])
+				}
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(seed))
+					for i := 0; i < 8; i++ {
+						up := gradUpdate(r, m.Cfg, 16, true)
+						if err := cl.Update([]runtime.TableUpdate{up}); err != nil {
+							t.Errorf("concurrent update: %v", err)
+							return
+						}
+					}
+				}(rng.Int63())
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+
+				// A real update lands between rounds, so later rounds read
+				// evolved state; the cluster's write-through keeps the golden
+				// model current, no separate accumulation needed.
+				up := gradUpdate(rng, m.Cfg, 16, false)
+				if err := cl.Update([]runtime.TableUpdate{up}); err != nil {
+					t.Fatalf("serialized update: %v", err)
+				}
+			}
+			sm := srv.Metrics()
+			t.Logf("coalescing under mixed traffic: %d reqs in %d BATCHes, %d resps in %d BATCHes",
+				sm.BatchedIn, sm.BatchesIn, sm.BatchedOut, sm.BatchesOut)
+		})
+	}
+}
+
+// readEmbedResponses drains frames until `want` embed responses have
+// arrived, transparently unwrapping coalesced BATCH frames, and returns
+// the response payloads by request id.
+func readEmbedResponses(t *testing.T, nc net.Conn, want int) map[uint64][]byte {
+	t.Helper()
+	got := make(map[uint64][]byte, want)
+	keep := func(op wire.Op, id uint64, payload []byte) {
+		if op != wire.OpEmbedResp {
+			t.Fatalf("op %d for request %d, want EMBED_RESP", op, id)
+		}
+		got[id] = append([]byte(nil), payload...)
+	}
+	var buf []byte
+	for len(got) < want {
+		var op wire.Op
+		var id uint64
+		var payload []byte
+		var err error
+		op, id, payload, buf, err = wire.ReadFrame(nc, buf, 0)
+		if err != nil {
+			t.Fatalf("reading responses: %v", err)
+		}
+		if op != wire.OpBatch {
+			keep(op, id, payload)
+			continue
+		}
+		it, err := wire.DecodeBatch(payload)
+		if err != nil {
+			t.Fatalf("decoding BATCH response: %v", err)
+		}
+		for {
+			subOp, subID, subPayload, ok := it.Next()
+			if !ok {
+				break
+			}
+			keep(subOp, subID, subPayload)
+		}
+		if err := it.Err(); err != nil {
+			t.Fatalf("corrupt BATCH response: %v", err)
+		}
+	}
+	return got
+}
+
+// TestBatchSplitBitIdenticalToUnbatched pins the coalescing equivalence
+// at the wire level: the same embed requests answered through one BATCH
+// super-frame carry byte-identical response payloads to the plain
+// one-frame-per-request path, against a real sharded cluster.
+func TestBatchSplitBitIdenticalToUnbatched(t *testing.T) {
+	m, srv, addr := startClusterServer(t, cluster.TableWise, netserve.Config{})
+	rng := rand.New(rand.NewSource(17))
+
+	const k = 5
+	frames := make([][]byte, k)
+	for i := range frames {
+		batch := 1 + rng.Intn(4)
+		frames[i] = wire.AppendEmbed(nil, uint64(100+i), randBatchRows(rng, m.Cfg, batch), batch, m.Cfg.Reduction)
+	}
+
+	// Plain path: one request in flight at a time, one frame per response.
+	plain, _ := rawDial(t, addr)
+	plainResp := make(map[uint64][]byte, k)
+	for i, f := range frames {
+		op, id, payload := rawCall(t, plain, f)
+		if op != wire.OpEmbedResp || id != uint64(100+i) {
+			t.Fatalf("plain request %d answered op %d id %d", i, op, id)
+		}
+		plainResp[id] = append([]byte(nil), payload...)
+	}
+
+	// Coalesced path: all k requests ride one BATCH super-frame.
+	batched, _ := rawDial(t, addr)
+	super := wire.AppendBatch(nil, 7, frames...)
+	if _, err := batched.Write(super); err != nil {
+		t.Fatal(err)
+	}
+	batchResp := readEmbedResponses(t, batched, k)
+
+	for id, want := range plainResp {
+		if !bytes.Equal(batchResp[id], want) {
+			t.Fatalf("request %d: batched response differs from plain response", id)
+		}
+	}
+	sm := srv.Metrics()
+	if sm.BatchesIn < 1 || sm.BatchedIn < k {
+		t.Fatalf("server metrics counted %d sub-requests in %d BATCHes, want >=%d in >=1",
+			sm.BatchedIn, sm.BatchesIn, k)
+	}
+}
+
+// TestBatchDrainCompletesSubRequests pins graceful drain for coalesced
+// requests: every sub-request of a BATCH in flight when Close begins is
+// answered before the connection dies — none are silently dropped.
+func TestBatchDrainCompletesSubRequests(t *testing.T) {
+	const k = 4
+	b := newStub()
+	b.entered = make(chan struct{}, k)
+	b.release = make(chan struct{})
+	srv, addr := startServer(t, b, netserve.Config{})
+	nc, _ := rawDial(t, addr)
+	g := srv.Geometry()
+
+	frames := make([][]byte, k)
+	for i := range frames {
+		frames[i] = wire.AppendEmbed(nil, uint64(i+1), reqRows(g, 1, i), 1, g.Reduction)
+	}
+	if _, err := nc.Write(wire.AppendBatch(nil, 9, frames...)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		<-b.entered // every sub-request is executing in the backend
+	}
+
+	closeDone := make(chan struct{})
+	go func() { srv.Close(); close(closeDone) }()
+	select {
+	case <-closeDone:
+		t.Fatal("Close returned with BATCH sub-requests in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(b.release)
+	resp := readEmbedResponses(t, nc, k)
+	for i := 1; i <= k; i++ {
+		if _, ok := resp[uint64(i)]; !ok {
+			t.Fatalf("sub-request %d of the in-flight BATCH was dropped during drain", i)
+		}
+	}
+	<-closeDone
+}
+
+// TestResponsesCoalesceUnderLinger pins the server-side group commit:
+// responses completing together inside one linger window leave in
+// coalesced BATCH frames, not one syscall each. The backend gate releases
+// all requests at once, so the coalescing is deterministic, not a timing
+// accident.
+func TestResponsesCoalesceUnderLinger(t *testing.T) {
+	const k = 16
+	b := newStub()
+	b.entered = make(chan struct{}, k)
+	b.release = make(chan struct{})
+	srv, addr := startServer(t, b, netserve.Config{FlushLinger: 5 * time.Millisecond})
+	cl := dialClient(t, addr, netclient.Config{Conns: 1})
+	g := cl.Geometry()
+
+	calls := make([]*netclient.Call, k)
+	for i := range calls {
+		ca, err := cl.StartEmbed(nil, reqRows(g, 1, i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls[i] = ca
+	}
+	for i := 0; i < k; i++ {
+		<-b.entered // all k requests blocked in the backend together
+	}
+	close(b.release)
+	for i, ca := range calls {
+		if err := <-ca.Done(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		rows := reqRows(g, 1, i)
+		if got, want := ca.Dst()[0], stubValue(rows, g.Reduction, 0, 0, 0); got != want {
+			t.Fatalf("call %d decoded %v, want %v", i, got, want)
+		}
+		cl.Finish(ca)
+	}
+
+	sm := srv.Metrics()
+	if sm.BatchesOut == 0 {
+		t.Fatalf("no coalesced response frames despite %d simultaneous completions under a 5ms linger", k)
+	}
+	if sm.BatchedOut < 2 {
+		t.Fatalf("only %d responses rode in BATCH frames, want >=2", sm.BatchedOut)
+	}
+}

@@ -46,6 +46,19 @@ func FuzzWireFrames(f *testing.F) {
 	f.Add(wire.AppendFrame(nil, wire.Op(77), 6, []byte{1}))   // unknown op
 	f.Add(wire.AppendEmbed(nil, 7, rows, 1, g.Reduction)[:9]) // truncated mid-frame
 
+	// Coalesced super-frames: valid BATCH of two embeds, plus the BATCH
+	// corruptions the codec must reject — truncated interior sub-frame,
+	// count word past the payload, nested batch.
+	embed := wire.AppendEmbed(nil, 8, rows, 1, g.Reduction)
+	goodBatch := wire.AppendBatch(nil, 9, embed, embed)
+	f.Add(goodBatch)
+	f.Add(goodBatch[:len(goodBatch)-3]) // interior sub-frame cut mid-payload
+	overCount := append([]byte(nil), goodBatch...)
+	overCount[wire.BatchHeaderBytes-2] = 0xff // count claims far more sub-frames
+	overCount[wire.BatchHeaderBytes-1] = 0xff // than the payload holds
+	f.Add(overCount)
+	f.Add(wire.AppendBatch(nil, 10, wire.AppendBatch(nil, 11, embed))) // nested batch
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		nc, err := net.Dial("tcp", addr)
 		if err != nil {
@@ -53,24 +66,17 @@ func FuzzWireFrames(f *testing.F) {
 		}
 		defer nc.Close()
 		nc.SetDeadline(time.Now().Add(5 * time.Second))
-		if _, err := nc.Write(wire.AppendClientHello(nil)); err != nil {
+		if _, err := nc.Write(wire.AppendClientHello(nil, 0)); err != nil {
 			t.Skip("handshake write failed")
 		}
-		if _, err := wire.ReadServerHello(nc); err != nil {
+		if _, _, err := wire.ReadServerHello(nc, nil); err != nil {
 			t.Skip("handshake read failed")
 		}
 		nc.Write(data)
 		if tc, ok := nc.(*net.TCPConn); ok {
 			tc.CloseWrite() // EOF after the payload so the server drains replies
 		}
-		var buf []byte
-		for {
-			var op wire.Op
-			var payload []byte
-			op, _, payload, buf, err = wire.ReadFrame(nc, buf, 0)
-			if err != nil {
-				return // EOF or connection closed: the violation path, fine
-			}
+		checkResp := func(op wire.Op, payload []byte) {
 			switch op {
 			case wire.OpEmbedResp, wire.OpUpdateResp, wire.OpSyncResp, wire.OpPong, wire.OpMetricsResp:
 				// well-formed success replies
@@ -80,6 +86,35 @@ func FuzzWireFrames(f *testing.F) {
 				}
 			default:
 				t.Fatalf("server answered op %d to input %x", op, data)
+			}
+		}
+		var buf []byte
+		for {
+			var op wire.Op
+			var payload []byte
+			op, _, payload, buf, err = wire.ReadFrame(nc, buf, 0)
+			if err != nil {
+				return // EOF or connection closed: the violation path, fine
+			}
+			if op != wire.OpBatch {
+				checkResp(op, payload)
+				continue
+			}
+			// Coalesced responses must themselves decode cleanly, and never
+			// nest: every sub-frame is a plain response.
+			it, derr := wire.DecodeBatch(payload)
+			if derr != nil {
+				t.Fatalf("undecodable BATCH response for input %x: %v", data, derr)
+			}
+			for {
+				subOp, _, subPayload, ok := it.Next()
+				if !ok {
+					break
+				}
+				checkResp(subOp, subPayload)
+			}
+			if derr := it.Err(); derr != nil {
+				t.Fatalf("corrupt BATCH response for input %x: %v", data, derr)
 			}
 		}
 	})

@@ -35,6 +35,7 @@
 package netserve
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -140,7 +141,24 @@ type Config struct {
 	// updates — but a router uses it to sanity-check its target set, and
 	// operators to tell the deployments apart.
 	Role wire.Role
+	// FlushLinger is the short window a connection's writer keeps its
+	// coalescing buffer open after draining the completion queue while more
+	// responses are still owed to the connection, so those responses ride
+	// the same BATCH frame and syscall. The writer lingers at most once per
+	// flush, so it adds at most one window to any response's latency, and
+	// never lingers when nothing else is in flight — idle latency stays
+	// flat. Zero defaults to 50 microseconds; negative is invalid.
+	FlushLinger time.Duration
 }
+
+// maxCoalesceBytes soft-caps one coalesced response frame so the writer's
+// reused buffer stays cache-sized even when the configured frame limits
+// are generous; past it the writer just flushes and starts the next batch.
+const maxCoalesceBytes = 256 << 10
+
+// readBufBytes sizes the buffered reader in front of each connection, so
+// one read syscall pulls in many pipelined (or coalesced) frames.
+const readBufBytes = 64 << 10
 
 // task is one in-flight request: the decoded arguments, the destination
 // scratch the backend writes into, and the encoded response frame. Tasks
@@ -179,6 +197,16 @@ type conn struct {
 	// written; the reader waits on it before closing out, so a drain never
 	// loses an in-flight response.
 	owed sync.WaitGroup
+	// pending counts responses owed to this connection that the writer has
+	// not yet dequeued — the writer's linger signal: when it drains out dry
+	// with pending still positive, more responses arrive momentarily and
+	// waiting one FlushLinger lets them share the flush.
+	pending atomic.Int64
+	// peerMax is the frame-size limit the client announced in its
+	// handshake; the writer caps coalesced response frames at it. Written
+	// by the reader before the first task is enqueued (the channel send
+	// orders it for the writer).
+	peerMax int
 }
 
 // Server is the network serving plane: accept loops feed per-connection
@@ -214,16 +242,20 @@ type Server struct {
 	closeOnce sync.Once
 	closeDone chan struct{}
 
-	started   time.Time
-	accepted  stats.Counter
-	requests  stats.Counter
-	updates   stats.Counter
-	syncs     stats.Counter
-	pings     stats.Counter
-	shed      stats.Counter
-	failures  stats.Counter
-	badFrames stats.Counter
-	lat       stats.Latency
+	started    time.Time
+	accepted   stats.Counter
+	requests   stats.Counter
+	updates    stats.Counter
+	syncs      stats.Counter
+	pings      stats.Counter
+	shed       stats.Counter
+	failures   stats.Counter
+	badFrames  stats.Counter
+	batchesIn  stats.Counter
+	batchedIn  stats.Counter
+	batchesOut stats.Counter
+	batchedOut stats.Counter
+	lat        stats.Latency
 }
 
 // New validates the config against the backend's geometry and returns a
@@ -241,6 +273,9 @@ func New(b Backend, cfg Config) (*Server, error) {
 	if cfg.Role != wire.RoleStandalone && cfg.Role != wire.RoleReplica {
 		return nil, fmt.Errorf("netserve: unknown role %d", uint8(cfg.Role))
 	}
+	if cfg.FlushLinger < 0 {
+		return nil, fmt.Errorf("netserve: FlushLinger %v is negative (use 0 for the 50µs default)", cfg.FlushLinger)
+	}
 	if cfg.MaxInflight == 0 {
 		cfg.MaxInflight = 256
 	}
@@ -249,6 +284,9 @@ func New(b Backend, cfg Config) (*Server, error) {
 	}
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.FlushLinger == 0 {
+		cfg.FlushLinger = 50 * time.Microsecond
 	}
 	tables, reduction, dim, rows, maxBatch := b.Geometry()
 	geom := wire.Geometry{Tables: tables, Reduction: reduction, Dim: dim, TableRows: rows, MaxBatch: maxBatch}
@@ -363,27 +401,34 @@ func (s *Server) admit() bool {
 func (c *conn) readLoop() {
 	s := c.srv
 	defer s.connWG.Done()
+	// All reads go through a buffered reader so one syscall pulls in many
+	// pipelined or coalesced frames; the frame decoder then slices them out
+	// of the buffer without further kernel round trips.
+	br := bufio.NewReaderSize(c.nc, readBufBytes)
 	ok := false
-	if err := wire.ReadClientHello(c.nc); err == nil {
-		hello := wire.AppendServerHello(make([]byte, 0, 64), wire.Hello{
-			Geom:      s.geom,
-			Role:      s.cfg.Role,
-			UpdateSeq: s.updateSeq.Load(),
+	var buf []byte
+	if peerMax, hbuf, err := wire.ReadClientHello(br, nil); err == nil {
+		c.peerMax = peerMax
+		hello := wire.AppendServerHello(hbuf[:0], wire.Hello{
+			Geom:          s.geom,
+			Role:          s.cfg.Role,
+			UpdateSeq:     s.updateSeq.Load(),
+			MaxFrameBytes: s.cfg.MaxFrameBytes,
 		})
 		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		if _, err := c.nc.Write(hello); err == nil {
 			ok = true
 		}
+		buf = hello[:0]
 	} else if !isDisconnect(err) {
 		s.badFrames.Inc()
 	}
-	var buf []byte
 	for ok {
 		var op wire.Op
 		var id uint64
 		var payload []byte
 		var err error
-		op, id, payload, buf, err = wire.ReadFrame(c.nc, buf, s.cfg.MaxFrameBytes)
+		op, id, payload, buf, err = wire.ReadFrame(br, buf, s.cfg.MaxFrameBytes)
 		if err != nil {
 			// Disconnects (EOF, drain half-close, reset) are the normal end
 			// of a connection; everything else is a frame-level violation.
@@ -419,9 +464,52 @@ func isDisconnect(err error) bool {
 	return errors.As(err, &oe)
 }
 
-// dispatch routes one decoded frame. It returns false when the frame is a
-// protocol violation that must close the connection.
+// dispatch routes one decoded frame, unpacking BATCH super-frames into
+// their sub-requests. It returns false when the frame is a protocol
+// violation that must close the connection.
 func (c *conn) dispatch(op wire.Op, id uint64, payload []byte) bool {
+	s := c.srv
+	if op != wire.OpBatch {
+		return c.dispatchOne(op, id, payload)
+	}
+	it, err := wire.DecodeBatch(payload)
+	if err != nil {
+		// A malformed count prefix: the outer frame was still well-formed, so
+		// the stream stays aligned — answer under the batch id and carry on.
+		s.failures.Inc()
+		t := s.getTask(c, op, id)
+		t.resp = wire.AppendError(t.resp[:0], id, wire.ErrBadRequest, err.Error())
+		c.enqueue(t)
+		return true
+	}
+	s.batchesIn.Inc()
+	for {
+		sop, sid, sp, more := it.Next()
+		if !more {
+			break
+		}
+		s.batchedIn.Inc()
+		if !c.dispatchOne(sop, sid, sp) {
+			return false
+		}
+	}
+	if err := it.Err(); err != nil {
+		// A structural violation inside the batch (truncated interior
+		// sub-frame, nested batch, trailing bytes). Requests before the
+		// damage were already dispatched and will be answered under their own
+		// ids; the damage itself is reported under the batch id.
+		s.failures.Inc()
+		t := s.getTask(c, wire.OpBatch, id)
+		t.resp = wire.AppendError(t.resp[:0], id, wire.ErrBadRequest, err.Error())
+		c.enqueue(t)
+	}
+	return true
+}
+
+// dispatchOne routes one non-BATCH request frame (top-level or a batch
+// sub-frame). It returns false when the op is unknown, which must close
+// the connection.
+func (c *conn) dispatchOne(op wire.Op, id uint64, payload []byte) bool {
 	s := c.srv
 	switch op {
 	case wire.OpPing:
@@ -518,6 +606,7 @@ func (c *conn) submit(t *task) {
 		return
 	}
 	c.owed.Add(1)
+	c.pending.Add(1)
 	// Admission bounds senders at MaxInflight, which is exactly the
 	// channel's capacity: this send never blocks.
 	s.tasks <- t
@@ -526,6 +615,7 @@ func (c *conn) submit(t *task) {
 // enqueue hands a ready-to-write response to the connection's writer.
 func (c *conn) enqueue(t *task) {
 	c.owed.Add(1)
+	c.pending.Add(1)
 	c.out <- t
 }
 
@@ -606,32 +696,129 @@ func (s *Server) executeSync(t *task) []byte {
 // how much of its update log to replay.
 func (s *Server) UpdateSeq() uint64 { return s.updateSeq.Load() }
 
-// writeLoop is a connection's writer goroutine: it flushes response
-// frames in completion order (which is not request order — that is the
-// pipelining contract) and recycles each task after its bytes are on the
-// wire. When out closes (reader done, all responses flushed) it tears the
-// connection down.
+// writeLoop is a connection's writer goroutine: it drains completed
+// responses (in completion order, not request order — that is the
+// pipelining contract) into a reused write buffer and flushes the whole
+// drain with one write syscall, as a single frame when one response was
+// ready or a coalesced BATCH frame when several were. When the drain runs
+// dry with responses still owed to the connection, it lingers one
+// FlushLinger window — once per flush, so latency is bounded — to let
+// near-complete responses ride the same flush. When out closes (reader
+// done, all responses flushed) it tears the connection down.
 func (c *conn) writeLoop() {
 	s := c.srv
 	defer s.connWG.Done()
-	for t := range c.out {
-		// The per-frame write deadline is what keeps a graceful drain
-		// finite: a client that stops reading trips it, the write fails,
-		// and the drain path below accounts every owed response.
-		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if _, err := c.nc.Write(t.resp); err != nil {
+	linger := time.NewTimer(time.Hour)
+	if !linger.Stop() {
+		<-linger.C
+	}
+	// The coalescing cap honors what the client's handshake said it will
+	// read; resolved lazily because the handshake finishes strictly before
+	// the first task arrives.
+	maxCoalesce := 0
+	wbuf := make([]byte, wire.BatchHeaderBytes, 32<<10)
+	failed := false
+	var carry *task // response that did not fit the previous flush
+	for {
+		t := carry
+		carry = nil
+		if t == nil {
+			var open bool
+			if t, open = <-c.out; !open {
+				break
+			}
+			c.pending.Add(-1)
+		}
+		if failed {
 			// The client is gone; stop writing but keep draining so every
 			// owed response is accounted and the reader's Wait returns.
 			c.owed.Done()
 			s.putTask(t)
-			for t := range c.out {
-				c.owed.Done()
-				s.putTask(t)
-			}
-			break
+			continue
 		}
+		if maxCoalesce == 0 {
+			maxCoalesce = min(s.cfg.MaxFrameBytes, c.peerMax, maxCoalesceBytes)
+		}
+		// Start a flush cycle: reserve BATCH-header headroom (stamped only if
+		// this flush coalesces), then pack completed responses behind it.
+		// owed.Done fires as each response is packed — the reader's drain
+		// Wait only needs the response owned by the writer, and the flush
+		// below happens before the writer ever gives the socket up.
+		wbuf = append(wbuf[:wire.BatchHeaderBytes], t.resp...)
+		count := 1
 		c.owed.Done()
 		s.putTask(t)
+		lingered := false
+	gather:
+		for count < wire.MaxBatchSubFrames {
+			select {
+			case t2, open := <-c.out:
+				if !open {
+					break gather
+				}
+				c.pending.Add(-1)
+				if len(wbuf)+len(t2.resp) > maxCoalesce {
+					carry = t2
+					break gather
+				}
+				wbuf = append(wbuf, t2.resp...)
+				count++
+				c.owed.Done()
+				s.putTask(t2)
+			default:
+				// Queue dry. If more responses are owed and we have not
+				// lingered this cycle, hold one linger window open — every
+				// response completing inside it rides this flush; otherwise
+				// flush what we have. The window is armed at most once per
+				// flush cycle, so it bounds added latency, not throughput.
+				if lingered || c.pending.Load() == 0 {
+					break gather
+				}
+				lingered = true
+				fired := false
+				linger.Reset(s.cfg.FlushLinger)
+			window:
+				for carry == nil && count < wire.MaxBatchSubFrames {
+					select {
+					case <-linger.C:
+						fired = true
+						break window
+					case t2, open := <-c.out:
+						if !open {
+							break window
+						}
+						c.pending.Add(-1)
+						if len(wbuf)+len(t2.resp) > maxCoalesce {
+							carry = t2
+							break window
+						}
+						wbuf = append(wbuf, t2.resp...)
+						count++
+						c.owed.Done()
+						s.putTask(t2)
+					}
+				}
+				if !fired && !linger.Stop() {
+					<-linger.C
+				}
+				break gather
+			}
+		}
+		frame := wbuf[wire.BatchHeaderBytes:]
+		if count > 1 {
+			// The request ids that matter ride inside the sub-frames; the
+			// super-frame's own id carries no information.
+			frame = wire.FinishBatch(wbuf, 0, count)
+			s.batchesOut.Inc()
+			s.batchedOut.Add(uint64(count))
+		}
+		// The write deadline is what keeps a graceful drain finite: a client
+		// that stops reading trips it, the write fails, and the drain path
+		// above accounts every owed response.
+		c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := c.nc.Write(frame); err != nil {
+			failed = true
+		}
 	}
 	c.nc.Close()
 	s.forget(c)
@@ -710,6 +897,11 @@ type Metrics struct {
 	Inflight  int64         // requests admitted and not yet completed
 	Uptime    time.Duration // time since New
 
+	BatchesIn  uint64 // BATCH request frames received
+	BatchedIn  uint64 // sub-requests that arrived inside BATCH frames
+	BatchesOut uint64 // coalesced BATCH response frames written
+	BatchedOut uint64 // responses that rode inside coalesced frames
+
 	// Latency digests server-side request latency: executor pickup to
 	// response enqueued (decode and socket time excluded), in seconds.
 	Latency stats.LatencySummary
@@ -719,18 +911,22 @@ type Metrics struct {
 // after Close.
 func (s *Server) Metrics() Metrics {
 	return Metrics{
-		Accepted:  s.accepted.Load(),
-		Requests:  s.requests.Load(),
-		Updates:   s.updates.Load(),
-		Syncs:     s.syncs.Load(),
-		UpdateSeq: s.updateSeq.Load(),
-		Pings:     s.pings.Load(),
-		Shed:      s.shed.Load(),
-		Failures:  s.failures.Load(),
-		BadFrames: s.badFrames.Load(),
-		Inflight:  s.inflight.Load(),
-		Uptime:    time.Since(s.started),
-		Latency:   s.lat.Summary(),
+		Accepted:   s.accepted.Load(),
+		Requests:   s.requests.Load(),
+		Updates:    s.updates.Load(),
+		Syncs:      s.syncs.Load(),
+		UpdateSeq:  s.updateSeq.Load(),
+		Pings:      s.pings.Load(),
+		Shed:       s.shed.Load(),
+		Failures:   s.failures.Load(),
+		BadFrames:  s.badFrames.Load(),
+		Inflight:   s.inflight.Load(),
+		Uptime:     time.Since(s.started),
+		BatchesIn:  s.batchesIn.Load(),
+		BatchedIn:  s.batchedIn.Load(),
+		BatchesOut: s.batchesOut.Load(),
+		BatchedOut: s.batchedOut.Load(),
+		Latency:    s.lat.Summary(),
 	}
 }
 
@@ -740,9 +936,11 @@ func (m Metrics) String() string {
 		"network: %d conns accepted, up %s\n"+
 			"served %d embeds, %d updates, %d syncs (seq %d), %d pings (%d failures)\n"+
 			"admission: %d shed (OVERLOADED), %d in flight, %d bad frames\n"+
+			"coalescing: %d sub-requests in %d BATCH frames received, %d responses in %d coalesced frames written\n"+
 			"server-side latency  %s",
 		m.Accepted, m.Uptime.Round(time.Millisecond),
 		m.Requests, m.Updates, m.Syncs, m.UpdateSeq, m.Pings, m.Failures,
 		m.Shed, m.Inflight, m.BadFrames,
+		m.BatchedIn, m.BatchesIn, m.BatchedOut, m.BatchesOut,
 		m.Latency)
 }

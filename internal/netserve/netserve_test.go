@@ -307,7 +307,7 @@ func TestProtocolViolationsCloseConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0})
+	nc.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0, 0, 0})
 	if buf := make([]byte, 1); readEventually(nc, buf) != 0 {
 		t.Fatal("server answered a bad-magic handshake")
 	}
@@ -318,8 +318,8 @@ func TestProtocolViolationsCloseConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc.Write(wire.AppendClientHello(nil))
-	if _, err := wire.ReadServerHello(nc); err != nil {
+	nc.Write(wire.AppendClientHello(nil, 0))
+	if _, _, err := wire.ReadServerHello(nc, nil); err != nil {
 		t.Fatal(err)
 	}
 	nc.Write(binary.LittleEndian.AppendUint32(nil, 1<<31-1))
@@ -333,8 +333,8 @@ func TestProtocolViolationsCloseConnection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nc.Write(wire.AppendClientHello(nil))
-	if _, err := wire.ReadServerHello(nc); err != nil {
+	nc.Write(wire.AppendClientHello(nil, 0))
+	if _, _, err := wire.ReadServerHello(nc, nil); err != nil {
 		t.Fatal(err)
 	}
 	nc.Write(wire.AppendFrame(nil, wire.Op(200), 1, nil))
@@ -356,8 +356,8 @@ func TestMalformedRequestGetsBadRequest(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nc.Close()
-	nc.Write(wire.AppendClientHello(nil))
-	h, err := wire.ReadServerHello(nc)
+	nc.Write(wire.AppendClientHello(nil, 0))
+	h, _, err := wire.ReadServerHello(nc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,10 +19,10 @@ func rawDial(t *testing.T, addr string) (net.Conn, wire.Hello) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { nc.Close() })
-	if _, err := nc.Write(wire.AppendClientHello(nil)); err != nil {
+	if _, err := nc.Write(wire.AppendClientHello(nil, 0)); err != nil {
 		t.Fatal(err)
 	}
-	h, err := wire.ReadServerHello(nc)
+	h, _, err := wire.ReadServerHello(nc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -110,7 +110,23 @@ type Config struct {
 	// model applies the same update there to stay bit-identical to the
 	// fleet.
 	OnApplied func(runtime.TableUpdate)
+
+	// ReadOnly attaches the router to a fleet it does not own — sticky-shard
+	// read routing. Reads route placement-aware straight to each shard's
+	// replica group, skipping the hop through the fleet's writing router;
+	// ApplyUpdates is refused with ErrReadOnly. Because the fleet's single
+	// writer owns the update log, a read-only router accepts replicas at any
+	// announced update sequence (a writing router demands sequence 0) and
+	// re-admits a recovered replica without catch-up replay — freshness is
+	// the writer's job. Reads are bit-identical to the golden model for
+	// whatever update sequence the answering replica has absorbed; a replica
+	// the writer has not yet caught up serves correspondingly older values.
+	ReadOnly bool
 }
+
+// ErrReadOnly is returned by ApplyUpdates on a read-only (sticky) router:
+// updates must go through the fleet's single writer.
+var ErrReadOnly = errors.New("remote: router is read-only; route updates through the fleet's writer")
 
 // Unavailable is the typed fast-failure returned when every replica of a
 // shard is down (or has been tried and lost) — the caller can distinguish
@@ -369,10 +385,11 @@ func New(cfg Config) (*RemoteCluster, error) {
 				return fail(fmt.Errorf("remote: shard %d replica %s announced role %v in a %d-replica group; start it with -shard-id so it serves as a replica",
 					s, addr, h.Role, len(addrs)))
 			}
-			if h.UpdateSeq != 0 {
+			if h.UpdateSeq != 0 && !cfg.ReadOnly {
 				return fail(fmt.Errorf("remote: shard %d replica %s already applied %d updates; a new router needs fresh replicas (restart it)",
 					s, addr, h.UpdateSeq))
 			}
+			rep.applied = h.UpdateSeq
 			rep.state.Store(repHealthy)
 		}
 		rc.shards = append(rc.shards, sh)

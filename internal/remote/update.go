@@ -39,6 +39,9 @@ const maxShedRetries = 200
 // returns, so a caller tracking a reference model must treat an
 // Unavailable update as applied-eventually, not discarded.
 func (rc *RemoteCluster) ApplyUpdates(ups []runtime.TableUpdate) error {
+	if rc.cfg.ReadOnly {
+		return ErrReadOnly
+	}
 	mc := rc.cfg.Model
 	if len(ups) == 0 {
 		return fmt.Errorf("remote: empty update batch")
@@ -217,6 +220,14 @@ func (rc *RemoteCluster) catchUp(sh *rShard, rep *replica) error {
 // janitor funnel through here; the down->syncing CAS makes them race-free.
 func (rc *RemoteCluster) resync(sh *rShard, rep *replica, h wire.Hello) {
 	if !rep.state.CompareAndSwap(repDown, repSyncing) {
+		return
+	}
+	if rc.cfg.ReadOnly {
+		// A sticky reader holds no log to replay — the fleet's writer keeps
+		// replicas current — so a recovered replica serves reads again as
+		// soon as its connection is back.
+		rep.state.Store(repHealthy)
+		rc.resyncs.Inc()
 		return
 	}
 	sh.updMu.Lock()

@@ -39,6 +39,77 @@ func TestReadFrameZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestHandshakeZeroAlloc pins both handshake readers' allocation freedom:
+// with a warmed reused buffer, accepting a client hello and parsing a
+// server hello must not touch the heap. A server accepting thousands of
+// reconnecting clients (and a client supervisor redialing them) runs this
+// path on every connection.
+func TestHandshakeZeroAlloc(t *testing.T) {
+	client := AppendClientHello(nil, 1<<20)
+	server := AppendServerHello(nil, Hello{Geom: testGeom, Role: RoleReplica, UpdateSeq: 3, MaxFrameBytes: 1 << 20})
+	r := bytes.NewReader(client)
+	var buf []byte
+	// Warm once so the buffer is at steady-state capacity.
+	if _, buf2, err := ReadClientHello(r, buf); err != nil {
+		t.Fatal(err)
+	} else {
+		buf = buf2
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(client)
+		var err error
+		_, buf, err = ReadClientHello(r, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadClientHello allocates %.1f times per handshake, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		r.Reset(server)
+		var err error
+		_, buf, err = ReadServerHello(r, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadServerHello allocates %.1f times per handshake, want 0", allocs)
+	}
+}
+
+// TestBatchCodecZeroAlloc pins the coalescing fast path: stamping a BATCH
+// header over reserved headroom and iterating a decoded batch are both
+// allocation-free, so coalescing adds no per-frame heap traffic over the
+// plain path it replaces.
+func TestBatchCodecZeroAlloc(t *testing.T) {
+	sub := AppendFrame(nil, OpPing, 7, nil)
+	frame := make([]byte, BatchHeaderBytes, BatchHeaderBytes+4*len(sub))
+	for i := 0; i < 4; i++ {
+		frame = append(frame, sub...)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		frame = FinishBatch(frame, 1, 4)
+		it, err := DecodeBatch(frame[HeaderBytes:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, _, _, ok := it.Next()
+			if !ok {
+				break
+			}
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batch finish+iterate allocates %.1f times, want 0", allocs)
+	}
+}
+
 // BenchmarkReadFrame measures the frame reader alone — the per-frame cost
 // every endpoint pays before any decode — and reports its allocation rate
 // (which must stay 0; BenchmarkNetRoundTrip pins the full network path).

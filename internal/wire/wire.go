@@ -4,11 +4,13 @@
 // and the protocol tests share exactly one implementation of the layout.
 //
 // A connection opens with a fixed-size handshake: the client sends magic +
-// version, the server answers magic + version + a Hello — the model
-// geometry (tables, reduction, dim, max batch), the server's replica role,
-// and its update sequence number — which is everything a client needs to
-// size requests, size destination buffers, and (for a replica router)
-// decide how many logged updates the server missed. After the handshake the
+// version + its frame-size limit, the server answers magic + version + a
+// Hello — the model geometry (tables, reduction, dim, max batch), the
+// server's replica role, its update sequence number, and its own
+// frame-size limit — which is everything a client needs to size requests,
+// size destination buffers, cap its coalesced BATCH frames, and (for a
+// replica router) decide how many logged updates the server missed. After
+// the handshake the
 // connection carries length-prefixed frames in both directions:
 //
 //	[4 B length][1 B op][8 B request id][payload ...]
@@ -33,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"unsafe"
 )
 
 // Magic opens both handshake messages: "TDNP" (TensorDIMM network
@@ -43,8 +46,11 @@ const Magic = 0x54444e50
 // Version is the protocol revision. The handshake rejects a peer speaking
 // a different revision instead of guessing at frame layouts. Revision 2
 // extended the server hello with the replica role and update sequence
-// number and added the SYNC replica catch-up op.
-const Version = 2
+// number and added the SYNC replica catch-up op. Revision 3 added the
+// BATCH coalescing super-frame and a frame-size announcement in both
+// handshake directions, so each endpoint can coalesce responses without
+// ever exceeding what its peer is willing to read.
+const Version = 3
 
 // DefaultMaxFrameBytes bounds one frame's wire size when a Config leaves
 // the limit zero: large enough for a maximal update batch against the
@@ -55,6 +61,18 @@ const DefaultMaxFrameBytes = 16 << 20
 // HeaderBytes is the fixed per-frame header: the 4-byte length prefix plus
 // the 1-byte op and 8-byte request id the length covers.
 const HeaderBytes = 4 + 1 + 8
+
+// BatchHeaderBytes is the fixed prefix of an OpBatch super-frame: the
+// standard frame header plus the uint16 sub-frame count. Coalescing
+// writers reserve exactly this much headroom at the front of their buffer
+// so FinishBatch can stamp the header in place without moving the packed
+// sub-frames.
+const BatchHeaderBytes = HeaderBytes + 2
+
+// MaxBatchSubFrames bounds one OpBatch frame's sub-frame count. The cap
+// keeps a corrupt count from looking plausible, and a coalescing writer
+// splits its buffer into multiple BATCH frames rather than exceed it.
+const MaxBatchSubFrames = 1024
 
 // Op identifies a frame's meaning.
 type Op uint8
@@ -97,6 +115,15 @@ const (
 	// OpSyncResp answers OpSync: payload is the server's uint64 update
 	// counter after the frame was absorbed.
 	OpSyncResp Op = 11
+	// OpBatch is the coalescing super-frame: payload is a uint16 sub-frame
+	// count followed by that many complete frames (each with its own
+	// length prefix, op, and request id), packed back to back. Both
+	// directions use it — a client packs concurrent requests into one
+	// write, a server packs completed responses — so one syscall is
+	// amortized over a micro-batch. Sub-frames are dispatched exactly as
+	// if they had arrived individually (each sub-request is admitted,
+	// executed, and answered under its own id); a BATCH may not nest.
+	OpBatch Op = 12
 )
 
 // ErrCode classifies an OpError frame.
@@ -197,7 +224,8 @@ func (r Role) String() string {
 
 // Hello is the server handshake body: the served geometry plus the
 // replication state a replica router needs — the server's role and how
-// many sequenced update batches it has applied.
+// many sequenced update batches it has applied — plus the server's frame
+// size limit, which caps the BATCH super-frames a client may send it.
 type Hello struct {
 	// Geom is the served model geometry.
 	Geom Geometry
@@ -207,38 +235,68 @@ type Hello struct {
 	// replica router compares it against its own update log to replay
 	// exactly the updates the server missed while disconnected.
 	UpdateSeq uint64
+	// MaxFrameBytes is the largest frame the server will read. A client
+	// must keep its coalesced BATCH frames under it; decoders normalize an
+	// unannounced (zero) limit to DefaultMaxFrameBytes.
+	MaxFrameBytes int
 }
 
-// clientHelloBytes is the fixed client handshake size: magic + version.
-const clientHelloBytes = 4 + 2
+// clientHelloBytes is the fixed client handshake size: magic + version +
+// uint32 frame-size limit.
+const clientHelloBytes = 4 + 2 + 4
 
 // serverHelloBytes is the fixed server handshake size: magic + version +
-// five uint32 geometry fields + role byte + uint64 update sequence.
-const serverHelloBytes = 4 + 2 + 5*4 + 1 + 8
+// five uint32 geometry fields + role byte + uint64 update sequence +
+// uint32 frame-size limit.
+const serverHelloBytes = 4 + 2 + 5*4 + 1 + 8 + 4
 
-// AppendClientHello appends the client handshake to buf.
-func AppendClientHello(buf []byte) []byte {
-	buf = binary.LittleEndian.AppendUint32(buf, Magic)
-	return binary.LittleEndian.AppendUint16(buf, Version)
+// growBuf returns buf with at least n bytes of capacity (and at least the
+// 64 B floor every reused wire buffer starts from), preserving nothing.
+func growBuf(buf []byte, n int) []byte {
+	if n < 64 {
+		n = 64
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	return buf
 }
 
-// ReadClientHello reads and verifies a client handshake from r.
-func ReadClientHello(r io.Reader) error {
-	var b [clientHelloBytes]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return fmt.Errorf("wire: reading client hello: %w", err)
+// AppendClientHello appends the client handshake to buf: magic, version,
+// and the largest frame the client will read (0 announces the default),
+// which caps the coalesced BATCH frames the server may answer with.
+func AppendClientHello(buf []byte, maxFrameBytes int) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, Magic)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	return binary.LittleEndian.AppendUint32(buf, uint32(maxFrameBytes))
+}
+
+// ReadClientHello reads and verifies a client handshake from r through the
+// reused buffer buf (grown if needed and returned), so a server accepts
+// connections without per-handshake heap allocations. It returns the
+// client's announced frame-size limit, normalized to DefaultMaxFrameBytes
+// when the client left it zero.
+func ReadClientHello(r io.Reader, buf []byte) (maxFrameBytes int, _ []byte, err error) {
+	buf = growBuf(buf, clientHelloBytes)
+	b := buf[:clientHelloBytes]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return 0, buf, fmt.Errorf("wire: reading client hello: %w", err)
 	}
 	if m := binary.LittleEndian.Uint32(b[0:4]); m != Magic {
-		return fmt.Errorf("wire: bad magic %#x (want %#x): peer is not speaking the TensorDIMM protocol", m, uint32(Magic))
+		return 0, buf, fmt.Errorf("wire: bad magic %#x (want %#x): peer is not speaking the TensorDIMM protocol", m, uint32(Magic))
 	}
 	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version {
-		return fmt.Errorf("wire: protocol version %d (want %d)", v, Version)
+		return 0, buf, fmt.Errorf("wire: protocol version %d (want %d)", v, Version)
 	}
-	return nil
+	maxFrameBytes = int(binary.LittleEndian.Uint32(b[6:10]))
+	if maxFrameBytes == 0 {
+		maxFrameBytes = DefaultMaxFrameBytes
+	}
+	return maxFrameBytes, buf, nil
 }
 
 // AppendServerHello appends the server handshake — magic, version, and the
-// Hello body (geometry, role, update sequence) — to buf.
+// Hello body (geometry, role, update sequence, frame-size limit) — to buf.
 func AppendServerHello(buf []byte, h Hello) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, Magic)
 	buf = binary.LittleEndian.AppendUint16(buf, Version)
@@ -248,21 +306,25 @@ func AppendServerHello(buf []byte, h Hello) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Geom.TableRows))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.Geom.MaxBatch))
 	buf = append(buf, byte(h.Role))
-	return binary.LittleEndian.AppendUint64(buf, h.UpdateSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, h.UpdateSeq)
+	return binary.LittleEndian.AppendUint32(buf, uint32(h.MaxFrameBytes))
 }
 
-// ReadServerHello reads and verifies a server handshake from r, returning
-// the announced Hello.
-func ReadServerHello(r io.Reader) (Hello, error) {
-	var b [serverHelloBytes]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return Hello{}, fmt.Errorf("wire: reading server hello: %w", err)
+// ReadServerHello reads and verifies a server handshake from r through the
+// reused buffer buf (grown if needed and returned), returning the
+// announced Hello with an unannounced (zero) frame-size limit normalized
+// to DefaultMaxFrameBytes.
+func ReadServerHello(r io.Reader, buf []byte) (Hello, []byte, error) {
+	buf = growBuf(buf, serverHelloBytes)
+	b := buf[:serverHelloBytes]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return Hello{}, buf, fmt.Errorf("wire: reading server hello: %w", err)
 	}
 	if m := binary.LittleEndian.Uint32(b[0:4]); m != Magic {
-		return Hello{}, fmt.Errorf("wire: bad magic %#x (want %#x): peer is not speaking the TensorDIMM protocol", m, uint32(Magic))
+		return Hello{}, buf, fmt.Errorf("wire: bad magic %#x (want %#x): peer is not speaking the TensorDIMM protocol", m, uint32(Magic))
 	}
 	if v := binary.LittleEndian.Uint16(b[4:6]); v != Version {
-		return Hello{}, fmt.Errorf("wire: protocol version %d (want %d)", v, Version)
+		return Hello{}, buf, fmt.Errorf("wire: protocol version %d (want %d)", v, Version)
 	}
 	h := Hello{
 		Geom: Geometry{
@@ -272,16 +334,20 @@ func ReadServerHello(r io.Reader) (Hello, error) {
 			TableRows: int(binary.LittleEndian.Uint32(b[18:22])),
 			MaxBatch:  int(binary.LittleEndian.Uint32(b[22:26])),
 		},
-		Role:      Role(b[26]),
-		UpdateSeq: binary.LittleEndian.Uint64(b[27:35]),
+		Role:          Role(b[26]),
+		UpdateSeq:     binary.LittleEndian.Uint64(b[27:35]),
+		MaxFrameBytes: int(binary.LittleEndian.Uint32(b[35:39])),
 	}
 	if err := h.Geom.Validate(); err != nil {
-		return Hello{}, err
+		return Hello{}, buf, err
 	}
 	if h.Role != RoleStandalone && h.Role != RoleReplica {
-		return Hello{}, fmt.Errorf("wire: unknown server role %d", uint8(h.Role))
+		return Hello{}, buf, fmt.Errorf("wire: unknown server role %d", uint8(h.Role))
 	}
-	return h, nil
+	if h.MaxFrameBytes == 0 {
+		h.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	return h, buf, nil
 }
 
 // AppendFrame appends one complete frame (header + payload) to buf. It is
@@ -575,6 +641,102 @@ func DecodeError(payload []byte) (ErrCode, string, error) {
 	return ErrCode(binary.LittleEndian.Uint16(payload)), string(payload[2:]), nil
 }
 
+// FinishBatch stamps the OpBatch header into the BatchHeaderBytes of
+// headroom a coalescing writer reserved at buf's front, covering the count
+// sub-frames packed behind it, and returns the finished frame. The caller
+// guarantees count matches the packed sub-frames and stays within
+// MaxBatchSubFrames — FinishBatch is the zero-copy fast path, so like the
+// other hot encoders it does not re-walk the buffer to validate.
+func FinishBatch(buf []byte, id uint64, count int) []byte {
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	buf[4] = byte(OpBatch)
+	binary.LittleEndian.PutUint64(buf[5:], id)
+	binary.LittleEndian.PutUint16(buf[13:], uint16(count))
+	return buf
+}
+
+// AppendBatch appends an OpBatch frame coalescing the given complete
+// frames (each already carrying its own header). It is the convenience
+// encoder for tests and cold paths; the hot coalescing writers pack
+// sub-frames directly behind reserved headroom and use FinishBatch.
+func AppendBatch(buf []byte, id uint64, subs ...[]byte) []byte {
+	at := len(buf)
+	buf = append(buf, make([]byte, BatchHeaderBytes)...)
+	for _, sub := range subs {
+		buf = append(buf, sub...)
+	}
+	FinishBatch(buf[at:], id, len(subs))
+	return buf
+}
+
+// BatchIter walks the sub-frames of an OpBatch payload. Obtain one with
+// DecodeBatch, drain it with Next, then check Err: a structural violation
+// discovered mid-iteration (truncated interior sub-frame, trailing bytes,
+// nested batch) ends the iteration and is reported there.
+type BatchIter struct {
+	rest      []byte
+	remaining int
+	count     int
+	err       error
+}
+
+// Count returns the sub-frame count the batch header announced.
+func (it *BatchIter) Count() int { return it.count }
+
+// Err returns the structural error that ended iteration, or nil after a
+// clean drain.
+func (it *BatchIter) Err() error { return it.err }
+
+// Next returns the next sub-frame's op, id, and payload. The payload
+// aliases the batch payload and is valid as long as it is. ok is false
+// when the batch is exhausted or a structural violation was found — always
+// check Err after the loop.
+func (it *BatchIter) Next() (op Op, id uint64, payload []byte, ok bool) {
+	if it.err != nil || it.remaining == 0 {
+		if it.err == nil && len(it.rest) != 0 {
+			it.err = fmt.Errorf("wire: batch has %d trailing bytes after %d sub-frames", len(it.rest), it.count)
+		}
+		return 0, 0, nil, false
+	}
+	if len(it.rest) < 4 {
+		it.err = fmt.Errorf("wire: batch truncated: %d B left, want a sub-frame length prefix", len(it.rest))
+		return 0, 0, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(it.rest))
+	if n < 1+8 {
+		it.err = fmt.Errorf("wire: batch sub-frame length %d below the %d-byte op+id minimum", n, 1+8)
+		return 0, 0, nil, false
+	}
+	if len(it.rest) < 4+n {
+		it.err = fmt.Errorf("wire: batch truncated: sub-frame of %d B with %d B left", 4+n, len(it.rest))
+		return 0, 0, nil, false
+	}
+	body := it.rest[4 : 4+n]
+	it.rest = it.rest[4+n:]
+	it.remaining--
+	op = Op(body[0])
+	if op == OpBatch {
+		it.err = fmt.Errorf("wire: batch may not nest a batch sub-frame")
+		return 0, 0, nil, false
+	}
+	return op, binary.LittleEndian.Uint64(body[1:9]), body[9:], true
+}
+
+// DecodeBatch parses an OpBatch payload's count prefix and returns an
+// iterator over its sub-frames. Only the count is validated here; per
+// sub-frame structure is checked lazily by Next so a receiver can dispatch
+// the valid prefix of a batch before hitting a violation.
+func DecodeBatch(payload []byte) (BatchIter, error) {
+	if len(payload) < 2 {
+		return BatchIter{}, fmt.Errorf("wire: batch payload %d B, want at least 2", len(payload))
+	}
+	count := int(binary.LittleEndian.Uint16(payload))
+	if count == 0 || count > MaxBatchSubFrames {
+		return BatchIter{}, fmt.Errorf("wire: batch sub-frame count %d out of range [1, %d]", count, MaxBatchSubFrames)
+	}
+	return BatchIter{rest: payload[2:], remaining: count, count: count}, nil
+}
+
 // ReadFrame reads one complete frame from r into buf (grown if needed and
 // returned), enforcing max as the frame-size ceiling. The returned payload
 // aliases buf and is valid until the next call with the same buffer. An
@@ -627,7 +789,20 @@ func growFloats(s []float32, n int) []float32 {
 }
 
 // appendFloats appends vals as raw little-endian float32 bits.
+// hostLittleEndian reports whether the host's native uint32 layout is
+// already the wire's little-endian layout, in which case the float
+// codecs degenerate to single memmoves — they dominate the per-byte
+// cost of large embed responses, so this is a hot-path fast lane, with
+// the portable per-element loop kept as the big-endian fallback.
+var hostLittleEndian = func() bool {
+	var x uint32 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
 func appendFloats(buf []byte, vals []float32) []byte {
+	if hostLittleEndian && len(vals) > 0 {
+		return append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&vals[0])), 4*len(vals))...)
+	}
 	for _, v := range vals {
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
 	}
@@ -636,6 +811,10 @@ func appendFloats(buf []byte, vals []float32) []byte {
 
 // decodeFloats fills dst from len(dst)*4 raw little-endian bytes.
 func decodeFloats(dst []float32, p []byte) {
+	if hostLittleEndian && len(dst) > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&dst[0])), 4*len(dst)), p)
+		return
+	}
 	for i := range dst {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
 	}

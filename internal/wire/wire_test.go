@@ -13,59 +13,85 @@ var testGeom = Geometry{Tables: 3, Reduction: 2, Dim: 8, TableRows: 640, MaxBatc
 
 func TestHandshakeRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	buf.Write(AppendClientHello(nil))
-	if err := ReadClientHello(&buf); err != nil {
+	buf.Write(AppendClientHello(nil, 1<<16))
+	cmax, scratch, err := ReadClientHello(&buf, nil)
+	if err != nil {
 		t.Fatalf("client hello round trip: %v", err)
 	}
+	if cmax != 1<<16 {
+		t.Fatalf("client frame limit %d, want %d", cmax, 1<<16)
+	}
+	// An unannounced (zero) limit normalizes to the default.
 	buf.Reset()
-	hello := Hello{Geom: testGeom, Role: RoleReplica, UpdateSeq: 712}
+	buf.Write(AppendClientHello(nil, 0))
+	cmax, scratch, err = ReadClientHello(&buf, scratch)
+	if err != nil || cmax != DefaultMaxFrameBytes {
+		t.Fatalf("zero client frame limit: %d, %v; want %d", cmax, err, DefaultMaxFrameBytes)
+	}
+	buf.Reset()
+	hello := Hello{Geom: testGeom, Role: RoleReplica, UpdateSeq: 712, MaxFrameBytes: 1 << 20}
 	buf.Write(AppendServerHello(nil, hello))
-	h, err := ReadServerHello(&buf)
+	h, scratch, err := ReadServerHello(&buf, scratch)
 	if err != nil {
 		t.Fatalf("server hello round trip: %v", err)
 	}
 	if h != hello {
 		t.Fatalf("hello %+v round-tripped to %+v", hello, h)
 	}
+	buf.Reset()
+	buf.Write(AppendServerHello(nil, Hello{Geom: testGeom}))
+	h, _, err = ReadServerHello(&buf, scratch)
+	if err != nil || h.MaxFrameBytes != DefaultMaxFrameBytes {
+		t.Fatalf("zero server frame limit: %d, %v; want %d", h.MaxFrameBytes, err, DefaultMaxFrameBytes)
+	}
 	if h.Geom.Width() != testGeom.Tables*testGeom.Dim {
 		t.Fatalf("Width() = %d, want %d", h.Geom.Width(), testGeom.Tables*testGeom.Dim)
 	}
-	if h.Role.String() != "replica" || RoleStandalone.String() != "standalone" {
+	if h.Role.String() != "replica" && RoleStandalone.String() != "standalone" {
 		t.Fatalf("role names: %q / %q", h.Role, RoleStandalone)
+	}
+	if RoleReplica.String() != "replica" || RoleStandalone.String() != "standalone" {
+		t.Fatalf("role names: %q / %q", RoleReplica, RoleStandalone)
 	}
 }
 
 func TestHandshakeRejectsBadMagicAndVersion(t *testing.T) {
-	bad := AppendClientHello(nil)
+	bad := AppendClientHello(nil, 0)
 	bad[0] ^= 0xff
-	if err := ReadClientHello(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+	if _, _, err := ReadClientHello(bytes.NewReader(bad), nil); err == nil || !strings.Contains(err.Error(), "magic") {
 		t.Fatalf("corrupt magic: err = %v, want magic error", err)
 	}
-	bad = AppendClientHello(nil)
+	bad = AppendClientHello(nil, 0)
 	binary.LittleEndian.PutUint16(bad[4:], Version+1)
-	if err := ReadClientHello(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+	if _, _, err := ReadClientHello(bytes.NewReader(bad), nil); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("wrong version: err = %v, want version error", err)
 	}
 	srv := AppendServerHello(nil, Hello{Geom: testGeom})
 	srv[0] ^= 0xff
-	if _, err := ReadServerHello(bytes.NewReader(srv)); err == nil || !strings.Contains(err.Error(), "magic") {
+	if _, _, err := ReadServerHello(bytes.NewReader(srv), nil); err == nil || !strings.Contains(err.Error(), "magic") {
 		t.Fatalf("corrupt server magic: err = %v, want magic error", err)
+	}
+	// A server speaking a different revision is rejected.
+	srv = AppendServerHello(nil, Hello{Geom: testGeom})
+	binary.LittleEndian.PutUint16(srv[4:], Version+1)
+	if _, _, err := ReadServerHello(bytes.NewReader(srv), nil); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong server version: err = %v, want version error", err)
 	}
 	// Zero geometry fields are rejected even when the framing is valid.
 	srv = AppendServerHello(nil, Hello{Geom: Geometry{Tables: 0, Reduction: 1, Dim: 8, MaxBatch: 4}})
-	if _, err := ReadServerHello(bytes.NewReader(srv)); err == nil {
+	if _, _, err := ReadServerHello(bytes.NewReader(srv), nil); err == nil {
 		t.Fatal("zero-table geometry accepted")
 	}
 	// An unknown role byte is rejected (a corrupt or future-revision peer).
 	srv = AppendServerHello(nil, Hello{Geom: testGeom, Role: Role(9)})
-	if _, err := ReadServerHello(bytes.NewReader(srv)); err == nil || !strings.Contains(err.Error(), "role") {
+	if _, _, err := ReadServerHello(bytes.NewReader(srv), nil); err == nil || !strings.Contains(err.Error(), "role") {
 		t.Fatalf("unknown role: err = %v, want role error", err)
 	}
 	// Truncated handshakes fail cleanly.
-	if err := ReadClientHello(bytes.NewReader(AppendClientHello(nil)[:3])); err == nil {
+	if _, _, err := ReadClientHello(bytes.NewReader(AppendClientHello(nil, 0)[:3]), nil); err == nil {
 		t.Fatal("truncated client hello accepted")
 	}
-	if _, err := ReadServerHello(bytes.NewReader(AppendServerHello(nil, Hello{Geom: testGeom})[:10])); err == nil {
+	if _, _, err := ReadServerHello(bytes.NewReader(AppendServerHello(nil, Hello{Geom: testGeom})[:10]), nil); err == nil {
 		t.Fatal("truncated server hello accepted")
 	}
 }
