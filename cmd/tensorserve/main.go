@@ -35,6 +35,16 @@
 // intended group width up front. The driver exits non-zero if any request
 // fails, which makes it the CI failover smoke test.
 //
+// With -data-dir DIR the -join driver's update log is durable: every
+// update is appended to a per-shard WAL under DIR before it fans out, and
+// full-table snapshots (every -snapshot-every entries) trim the log. A
+// driver killed mid-run — SIGKILL included — and restarted with the same
+// -data-dir resumes its update sequence and replays replicas back to the
+// head, which is what the CI restart-replay smoke asserts. On a -listen
+// cluster server, -data-dir instead persists each shard's hot-row top-K
+// at drain and pre-warms the caches from it at the next boot, so a warm
+// restart serves its first requests from cache.
+//
 // Usage:
 //
 //	tensorserve                                  # YouTube-class model, defaults
@@ -50,6 +60,7 @@
 //	tensorserve -listen :7173 -nodes 2 -shard-id 1   # shard 1, replica A
 //	tensorserve -listen :7174 -nodes 2 -shard-id 1   # shard 1, replica B
 //	tensorserve -join ":7171,:7172/:7173,:7174" -replicas 2 -rate 500 -update-frac 0.2
+//	tensorserve -join ... -data-dir /var/lib/tensordimm -snapshot-every 256
 package main
 
 import (
@@ -102,6 +113,9 @@ type flags struct {
 	replicas int
 	sticky   bool
 	linger   time.Duration
+
+	dataDir   string
+	snapEvery int
 }
 
 func main() {
@@ -135,6 +149,8 @@ func main() {
 	flag.IntVar(&f.replicas, "replicas", 0, "with -join: require every serving shard's group to list exactly this many replicas (0 skips the check)")
 	flag.BoolVar(&f.sticky, "sticky", false, "with -join: attach read-only (sticky-shard routing) — reads go straight to each shard's replica group and updates are refused; the fleet's writer owns the update log")
 	flag.DurationVar(&f.linger, "linger", 0, "with -listen: per-connection response-coalescing linger window (0 selects the 50us default)")
+	flag.StringVar(&f.dataDir, "data-dir", "", "durability root: with -join, each shard's update WAL and snapshots live here and a restarted driver resumes from them; with -listen -nodes N, hot-row lists persist here for cache pre-warming across restarts")
+	flag.IntVar(&f.snapEvery, "snapshot-every", 0, "with -join: log entries per shard between full-table snapshots, which trim the update log (0 selects the default)")
 	flag.Parse()
 
 	if err := validate(f); err != nil {
@@ -225,6 +241,20 @@ func validate(f flags) error {
 	}
 	if f.linger < 0 {
 		return fmt.Errorf("-linger %v must not be negative", f.linger)
+	}
+	if f.snapEvery < 0 {
+		return fmt.Errorf("-snapshot-every %d must not be negative (0 selects the default)", f.snapEvery)
+	}
+	if set["snapshot-every"] && f.join == "" {
+		return fmt.Errorf("-snapshot-every needs -join: the update log lives in the replica-group driver")
+	}
+	if f.dataDir != "" {
+		if f.sticky {
+			return fmt.Errorf("-data-dir cannot be combined with -sticky: a read-only router owns no update log (the fleet's writer persists it)")
+		}
+		if f.join == "" && (f.listen == "" || f.nodes <= 1 || f.shardID >= 0) {
+			return fmt.Errorf("-data-dir needs -join (durable update log) or -listen with -nodes N > 1 (persisted hot-row lists)")
+		}
 	}
 	if f.join != "" {
 		if err := validateJoin(f, set); err != nil {
@@ -492,9 +522,10 @@ func makeShardServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flag
 
 // buildBackend constructs the serving backend the flags describe: one
 // shard's slice for -shard-id, a single batched server for -nodes 1, the
-// sharded cluster otherwise. It returns the backend plus its close
+// sharded cluster otherwise. It returns the backend, the cluster when one
+// was built (nil otherwise — warm-restart hooks need it), and the close
 // function.
-func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (tensordimm.NetBackend, func() error) {
+func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (tensordimm.NetBackend, *tensordimm.Cluster, func() error) {
 	if f.shardID >= 0 {
 		nd, srv := makeShardServer(model, cfg, f)
 		closeAll := func() error {
@@ -502,11 +533,11 @@ func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) 
 			nd.Close()
 			return err
 		}
-		return tensordimm.ServeBackend(srv), closeAll
+		return tensordimm.ServeBackend(srv), nil, closeAll
 	}
 	if f.nodes > 1 {
 		cl := makeCluster(model, f)
-		return tensordimm.ClusterBackend(cl), cl.Close
+		return tensordimm.ClusterBackend(cl), cl, cl.Close
 	}
 	nd, srv := makeServer(model, cfg, f)
 	closeAll := func() error {
@@ -514,7 +545,43 @@ func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) 
 		nd.Close()
 		return err
 	}
-	return tensordimm.ServeBackend(srv), closeAll
+	return tensordimm.ServeBackend(srv), nil, closeAll
+}
+
+// hotRowsTopK bounds how many hot rows a cluster shard persists at drain;
+// WarmCache additionally clamps the warm set to what the cache can hold.
+const hotRowsTopK = 4096
+
+// warmCluster pre-populates every shard's hot-row cache from the lists a
+// previous run persisted under dir. Called before the listener starts, so
+// the first admitted requests already hit. Best-effort: a missing or stale
+// list just warms fewer rows.
+func warmCluster(cl *tensordimm.Cluster, dir string, nodes int) {
+	total := 0
+	for s := 0; s < nodes; s++ {
+		rows, err := tensordimm.LoadHotRows(dir, s)
+		if err != nil || len(rows) == 0 {
+			continue
+		}
+		n, err := cl.WarmCache(s, rows)
+		if err != nil {
+			log.Fatal(err) // a gather failure at boot is a broken shard
+		}
+		total += n
+	}
+	if total > 0 {
+		fmt.Printf("warm restart: pre-populated %d hot rows from %s\n", total, dir)
+	}
+}
+
+// persistHotRows writes every shard's hot-row top-K under dir at drain.
+func persistHotRows(cl *tensordimm.Cluster, dir string, nodes int) {
+	for s := 0; s < nodes; s++ {
+		if err := tensordimm.SaveHotRows(dir, s, cl.HotRows(s, hotRowsTopK)); err != nil {
+			fmt.Fprintln(os.Stderr, "tensorserve: persisting hot rows:", err)
+			return
+		}
+	}
 }
 
 // runListen serves the node or cluster over TCP until SIGINT/SIGTERM,
@@ -522,7 +589,10 @@ func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) 
 func runListen(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) {
 	fmt.Printf("model %s: %d tables x %d rows, dim %d, %d-way %s\n",
 		cfg.Name, cfg.Tables, cfg.TableRows, cfg.EmbDim, cfg.Reduction, poolingName(cfg))
-	backend, closeBackend := buildBackend(model, cfg, f)
+	backend, cl, closeBackend := buildBackend(model, cfg, f)
+	if cl != nil && f.dataDir != "" {
+		warmCluster(cl, f.dataDir, f.nodes)
+	}
 	role := tensordimm.RoleStandalone
 	if f.shardID >= 0 {
 		role = tensordimm.RoleReplica
@@ -553,6 +623,9 @@ func runListen(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) {
 	}
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
+	}
+	if cl != nil && f.dataDir != "" {
+		persistHotRows(cl, f.dataDir, f.nodes)
 	}
 	fmt.Println(srv.Metrics())
 	fmt.Println(backend.MetricsText())
@@ -691,14 +764,16 @@ func runJoin(f flags) {
 		log.Fatal(err)
 	}
 	rc, err := tensordimm.NewRemoteCluster(tensordimm.RemoteConfig{
-		Model:    cfg,
-		Strategy: shardStrategy(f),
-		Shards:   groups,
-		MaxBatch: f.maxBatch,
-		Workers:  f.workers,
-		Conns:    f.conns,
-		RetryFor: 5 * time.Second,
-		ReadOnly: f.sticky,
+		Model:         cfg,
+		Strategy:      shardStrategy(f),
+		Shards:        groups,
+		MaxBatch:      f.maxBatch,
+		Workers:       f.workers,
+		Conns:         f.conns,
+		RetryFor:      5 * time.Second,
+		ReadOnly:      f.sticky,
+		DataDir:       f.dataDir,
+		SnapshotEvery: f.snapEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -711,6 +786,9 @@ func runJoin(f flags) {
 	mode := ""
 	if f.sticky {
 		mode = ", sticky read-only"
+	}
+	if f.dataDir != "" {
+		mode = fmt.Sprintf(", durable log at %s", f.dataDir)
 	}
 	fmt.Printf("joined %d shards (%s%s) over %d replicas: %d tables x %d rows, dim %d, %d-way %s\n",
 		len(groups), shardStrategy(f), mode, replicas, cfg.Tables, cfg.TableRows, cfg.EmbDim,

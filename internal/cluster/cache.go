@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"tensordimm/internal/stats"
@@ -43,6 +44,11 @@ type rowCache struct {
 	order    *list.List // front = most recently used
 	items    map[int]*list.Element
 	freeVecs [][]float32 // recycled row payload buffers, guarded by mu
+	// heat counts lifetime probes per flat local row (hits and misses
+	// alike — a probe is the demand signal, residency is incidental),
+	// guarded by mu. hotRows ranks it so a warm restart can repopulate the
+	// cache with the Zipf head instead of waiting for traffic to refill it.
+	heat []uint32
 
 	hits          stats.Counter
 	misses        stats.Counter
@@ -55,10 +61,11 @@ type cacheEntry struct {
 	vec []float32
 }
 
-// newRowCache builds a cache of at most capBytes of dim-wide rows. It
-// returns nil when capBytes is too small to hold even one row, which
-// callers treat as "cache disabled".
-func newRowCache(capBytes int64, dim int) *rowCache {
+// newRowCache builds a cache of at most capBytes of dim-wide rows
+// fronting a flat local table of localRows rows. It returns nil when
+// capBytes is too small to hold even one row, which callers treat as
+// "cache disabled".
+func newRowCache(capBytes int64, dim, localRows int) *rowCache {
 	rowBytes := int64(dim) * 4
 	if capBytes < rowBytes {
 		return nil
@@ -68,6 +75,7 @@ func newRowCache(capBytes int64, dim int) *rowCache {
 		rowBytes: rowBytes,
 		order:    list.New(),
 		items:    make(map[int]*list.Element),
+		heat:     make([]uint32, localRows),
 	}
 }
 
@@ -98,6 +106,9 @@ func (c *rowCache) get(row int) ([]float32, bool) {
 // allocation-free hit path of the router.
 func (c *rowCache) getInto(row int, dst []float32) bool {
 	c.mu.Lock()
+	if row < len(c.heat) {
+		c.heat[row]++
+	}
 	el, ok := c.items[row]
 	if !ok {
 		c.mu.Unlock()
@@ -193,6 +204,32 @@ func (c *rowCache) insert(row int, vec []float32) {
 	copy(cp, vec)
 	c.items[row] = c.order.PushFront(&cacheEntry{row: row, vec: cp})
 	c.used += c.rowBytes
+}
+
+// hotRows returns up to k flat local rows ranked by lifetime probe count,
+// hottest first, skipping rows never probed. A cold path (drain-time
+// persistence), so the copy-then-sort is fine.
+func (c *rowCache) hotRows(k int) []int {
+	c.mu.Lock()
+	heat := make([]uint32, len(c.heat))
+	copy(heat, c.heat)
+	c.mu.Unlock()
+	idx := make([]int, 0, len(heat))
+	for r, h := range heat {
+		if h > 0 {
+			idx = append(idx, r)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		if heat[idx[i]] != heat[idx[j]] {
+			return heat[idx[i]] > heat[idx[j]]
+		}
+		return idx[i] < idx[j] // deterministic tie-break
+	})
+	if k < len(idx) {
+		idx = idx[:k]
+	}
+	return idx
 }
 
 // len returns the number of resident rows.

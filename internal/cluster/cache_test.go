@@ -18,20 +18,20 @@ func vec(dim int, v float32) []float32 {
 }
 
 func TestRowCacheDisabledWhenTooSmall(t *testing.T) {
-	if c := newRowCache(0, 16); c != nil {
+	if c := newRowCache(0, 16, 1024); c != nil {
 		t.Fatal("zero capacity must disable the cache")
 	}
-	if c := newRowCache(63, 16); c != nil {
+	if c := newRowCache(63, 16, 1024); c != nil {
 		t.Fatal("capacity below one row must disable the cache")
 	}
-	if c := newRowCache(64, 16); c == nil {
+	if c := newRowCache(64, 16, 1024); c == nil {
 		t.Fatal("one-row capacity must enable the cache")
 	}
 }
 
 func TestRowCacheLRUEviction(t *testing.T) {
 	const dim = 16 // 64 B per row
-	c := newRowCache(3*64, dim)
+	c := newRowCache(3*64, dim, 1024)
 	for r := 0; r < 3; r++ {
 		c.put(r, vec(dim, float32(r)))
 	}
@@ -59,7 +59,7 @@ func TestRowCacheLRUEviction(t *testing.T) {
 
 func TestRowCachePutCopies(t *testing.T) {
 	const dim = 16
-	c := newRowCache(1024, dim)
+	c := newRowCache(1024, dim, 1024)
 	src := vec(dim, 1)
 	c.put(7, src)
 	src[0] = 99 // caller mutates its slice after insert
@@ -80,7 +80,7 @@ func TestRowCachePutCopies(t *testing.T) {
 // the row size only holds the whole rows that fit.
 func TestRowCacheExactBudgetFill(t *testing.T) {
 	const dim = 16 // 64 B per row
-	c := newRowCache(4*64, dim)
+	c := newRowCache(4*64, dim, 1024)
 	for r := 0; r < 4; r++ {
 		c.put(r, vec(dim, float32(r)))
 	}
@@ -101,7 +101,7 @@ func TestRowCacheExactBudgetFill(t *testing.T) {
 	}
 
 	// A fractional budget (3.5 rows) holds only 3 whole rows.
-	c = newRowCache(3*64+32, dim)
+	c = newRowCache(3*64+32, dim, 1024)
 	for r := 0; r < 4; r++ {
 		c.put(r, vec(dim, float32(r)))
 	}
@@ -114,7 +114,7 @@ func TestRowCacheExactBudgetFill(t *testing.T) {
 // zero (or sub-row) budget yields a nil cache, and the cluster treats a
 // nil cache as "no caching" on both the read and the write path.
 func TestRowCacheZeroBudget(t *testing.T) {
-	if c := newRowCache(0, 16); c != nil {
+	if c := newRowCache(0, 16, 1024); c != nil {
 		t.Fatal("zero budget must disable the cache")
 	}
 	// A cacheless cluster still serves updates and reads correctly.
@@ -151,7 +151,7 @@ func TestRowCacheZeroBudget(t *testing.T) {
 // and that later eviction order is unaffected by the hole.
 func TestRowCacheInvalidateMidLRU(t *testing.T) {
 	const dim = 16
-	c := newRowCache(3*64, dim)
+	c := newRowCache(3*64, dim, 1024)
 	for r := 0; r < 3; r++ {
 		c.put(r, vec(dim, float32(r)))
 	}
@@ -191,7 +191,7 @@ func TestRowCacheInvalidateMidLRU(t *testing.T) {
 // must land.
 func TestRowCacheVersionHandshake(t *testing.T) {
 	const dim = 16
-	c := newRowCache(1024, dim)
+	c := newRowCache(1024, dim, 1024)
 	ver := c.snapshot()
 	c.invalidate([]int{5}) // nothing resident: still bumps the version
 	c.putAt(5, vec(dim, 1), ver)
@@ -208,7 +208,7 @@ func TestRowCacheVersionHandshake(t *testing.T) {
 
 func TestRowCacheAccountingUnderConcurrency(t *testing.T) {
 	const dim = 16
-	c := newRowCache(8*64, dim)
+	c := newRowCache(8*64, dim, 1024)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)

@@ -275,7 +275,7 @@ func (c *Cluster) buildShard(s int) (*shard, error) {
 		return nil, fmt.Errorf("cluster: shard %d server: %w", s, err)
 	}
 	sh.node = nd
-	sh.cache = newRowCache(c.cfg.CacheBytes, mc.EmbDim)
+	sh.cache = newRowCache(c.cfg.CacheBytes, mc.EmbDim, localRows)
 	return sh, nil
 }
 
@@ -821,6 +821,70 @@ func (c *Cluster) Geometry() (tables, reduction, dim, tableRows, maxBatch int) {
 
 // Config returns the cluster's effective configuration (defaults filled).
 func (c *Cluster) Config() Config { return c.cfg }
+
+// HotRows returns up to k flat local rows of one shard ranked by lifetime
+// cache-probe count, hottest first — the Zipf head the shard's traffic
+// actually exercised. A serving process persists this list at drain so a
+// warm restart can WarmCache before admitting traffic. Returns nil when
+// the shard has no cache (or no traffic yet).
+func (c *Cluster) HotRows(shard, k int) []int {
+	if shard < 0 || shard >= len(c.shard) || c.shard[shard] == nil || c.shard[shard].cache == nil || k <= 0 {
+		return nil
+	}
+	return c.shard[shard].cache.hotRows(k)
+}
+
+// WarmCache pre-populates one shard's hot-row cache with the given flat
+// local rows (hottest first, as HotRows returns them): the rows gather
+// through the shard's normal serving path in sub-request-sized chunks and
+// park in the cache, so the first post-restart requests hit instead of
+// paying the near-memory gather. Out-of-range rows are skipped — the list
+// may come from a stale persisted file whose placement changed. Returns
+// how many rows were cached. No-op (0, nil) when the shard has no cache.
+func (c *Cluster) WarmCache(shard int, flatRows []int) (int, error) {
+	if shard < 0 || shard >= len(c.shard) {
+		return 0, fmt.Errorf("cluster: shard %d out of range [0, %d)", shard, len(c.shard))
+	}
+	sh := c.shard[shard]
+	if sh == nil || sh.srv == nil || sh.cache == nil || len(flatRows) == 0 {
+		return 0, nil
+	}
+	if err := c.enter(); err != nil {
+		return 0, err
+	}
+	defer c.inflight.Done()
+	mc := c.model.Cfg
+	localRows := c.place.LocalRows(shard)
+	maxSub := c.place.MaxSub(shard, c.cfg.MaxBatch, mc.Reduction)
+	rows := make([]int, 0, min(len(flatRows), localRows))
+	for _, r := range flatRows {
+		if r >= 0 && r < localRows {
+			rows = append(rows, r)
+		}
+	}
+	// Capacity-bound the warm set: inserting more rows than fit would just
+	// evict the hotter prefix.
+	if fit := int(c.cfg.CacheBytes / (int64(mc.EmbDim) * 4)); len(rows) > fit {
+		rows = rows[:fit]
+	}
+	ver := sh.cache.snapshot()
+	buf := make([]float32, maxSub*mc.EmbDim)
+	warmed := 0
+	for at := 0; at < len(rows); {
+		n := min(maxSub, len(rows)-at)
+		chunk := rows[at : at+n]
+		out, err := sh.srv.EmbedInto(buf[:n*mc.EmbDim], [][]int{chunk}, n)
+		if err != nil {
+			return warmed, fmt.Errorf("cluster: shard %d warm: %w", shard, err)
+		}
+		for i, r := range chunk {
+			sh.cache.putAt(r, out[i*mc.EmbDim:(i+1)*mc.EmbDim], ver)
+			warmed++
+		}
+		at += n
+	}
+	return warmed, nil
+}
 
 // Close stops accepting requests, waits for every in-flight request and
 // update to drain, shuts down every shard server (draining whatever they

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+
+	"tensordimm/internal/isa"
+)
+
+// TestUnlocateRoundTrip pins Unlocate as the exact inverse of Locate over
+// every (table, row) coordinate, for both sharding strategies and a node
+// count that does not divide the table height.
+func TestUnlocateRoundTrip(t *testing.T) {
+	const nodes, tables, rows = 3, 4, 301
+	for _, strat := range []Strategy{TableWise, RowWise} {
+		p := NewPlacement(strat, nodes, tables, rows)
+		for tab := 0; tab < tables; tab++ {
+			for r := 0; r < rows; r++ {
+				s, flat := p.Locate(tab, r)
+				gotTab, gotRow, err := p.Unlocate(s, flat)
+				if err != nil {
+					t.Fatalf("%v: unlocate(%d, %d): %v", strat, s, flat, err)
+				}
+				if gotTab != tab || gotRow != r {
+					t.Fatalf("%v: locate(%d, %d) = (%d, %d), unlocate = (%d, %d)",
+						strat, tab, r, s, flat, gotTab, gotRow)
+				}
+			}
+		}
+		// Every flat coordinate must also map back into range.
+		for s := 0; s < nodes; s++ {
+			for flat := 0; flat < p.LocalRows(s); flat++ {
+				tab, r, err := p.Unlocate(s, flat)
+				if err != nil {
+					t.Fatalf("%v: unlocate(%d, %d): %v", strat, s, flat, err)
+				}
+				if tab < 0 || tab >= tables || r < 0 || r >= rows {
+					t.Fatalf("%v: unlocate(%d, %d) = (%d, %d) out of model range",
+						strat, s, flat, tab, r)
+				}
+			}
+		}
+		if _, _, err := p.Unlocate(-1, 0); err == nil {
+			t.Fatalf("%v: want error for negative shard", strat)
+		}
+		if _, _, err := p.Unlocate(0, p.LocalRows(0)); err == nil {
+			t.Fatalf("%v: want error for flat row past local table", strat)
+		}
+	}
+}
+
+// TestHotRowsRanking pins the heat accounting: rows probed more often rank
+// earlier, unprobed rows never appear, and k truncates.
+func TestHotRowsRanking(t *testing.T) {
+	const dim = 16
+	c := newRowCache(1024, dim, 64)
+	buf := make([]float32, dim)
+	for i := 0; i < 5; i++ {
+		c.getInto(7, buf)
+	}
+	for i := 0; i < 3; i++ {
+		c.getInto(2, buf)
+	}
+	c.getInto(40, buf)
+	got := c.hotRows(10)
+	want := []int{7, 2, 40}
+	if len(got) != len(want) {
+		t.Fatalf("hotRows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hotRows = %v, want %v", got, want)
+		}
+	}
+	if got := c.hotRows(2); len(got) != 2 || got[0] != 7 || got[1] != 2 {
+		t.Fatalf("hotRows(2) = %v, want [7 2]", got)
+	}
+	if got := newRowCache(1024, dim, 8).hotRows(4); len(got) != 0 {
+		t.Fatalf("cold cache hotRows = %v, want empty", got)
+	}
+}
+
+// TestWarmCacheHitsFirstRequest drives skewed traffic through one cluster,
+// harvests its hot-row list, warms a second identical cluster with it, and
+// asserts the warmed cluster serves the same head rows from cache on the
+// very first request — the warm-restart contract.
+func TestWarmCacheHitsFirstRequest(t *testing.T) {
+	mc := testConfig(2, 2, 64, false, isa.RAdd)
+	cfg := Config{Nodes: 2, CacheBytes: 64 * 1024}
+	c1, m := buildCluster(t, mc, cfg)
+
+	// Skewed read traffic: a handful of rows dominate.
+	hot := [][]int{{1, 1, 5, 5}, {9, 9, 3, 3}}
+	for i := 0; i < 20; i++ {
+		if _, err := c1.Embed(hot, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var lists [][]int
+	for s := 0; s < cfg.Nodes; s++ {
+		rows := c1.HotRows(s, 16)
+		if len(rows) == 0 {
+			t.Fatalf("shard %d: no hot rows after skewed traffic", s)
+		}
+		lists = append(lists, rows)
+	}
+	if c1.HotRows(-1, 4) != nil || c1.HotRows(99, 4) != nil || c1.HotRows(0, 0) != nil {
+		t.Fatal("out-of-range HotRows must return nil")
+	}
+
+	c2, err := New(m, c1.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	for s, rows := range lists {
+		// A stale out-of-range entry must be skipped, not fatal.
+		n, err := c2.WarmCache(s, append([]int{1 << 20}, rows...))
+		if err != nil {
+			t.Fatalf("shard %d warm: %v", s, err)
+		}
+		if n != len(rows) {
+			t.Fatalf("shard %d warmed %d rows, want %d", s, n, len(rows))
+		}
+	}
+	if _, err := c2.WarmCache(99, []int{0}); err == nil {
+		t.Fatal("want error for out-of-range shard")
+	}
+	if n, err := c2.WarmCache(0, nil); n != 0 || err != nil {
+		t.Fatalf("empty warm = (%d, %v), want (0, nil)", n, err)
+	}
+
+	before := c2.Metrics().CacheHits
+	got, err := c2.Embed(hot, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c2.GoldenEmbedding(hot, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		if gd[i] != wd[i] {
+			t.Fatalf("warmed embedding differs from golden at %d", i)
+		}
+	}
+	if hits := c2.Metrics().CacheHits - before; hits == 0 {
+		t.Fatal("first post-warm request took zero cache hits")
+	}
+}

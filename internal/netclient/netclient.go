@@ -461,6 +461,8 @@ func (cc *clientConn) deliver(op wire.Op, id uint64, payload []byte) bool {
 		res = nil
 	case wire.OpSyncResp:
 		ca.seq, res = wire.DecodeSyncResp(payload)
+	case wire.OpRestoreResp:
+		ca.seq, res = wire.DecodeRestoreResp(payload)
 	case wire.OpMetricsResp:
 		ca.text = string(payload)
 	case wire.OpError:
@@ -837,6 +839,60 @@ func (c *Client) Sync(seq uint64, ups []runtime.TableUpdate) (uint64, error) {
 	id := cc.nextID.Add(1)
 	ca.buf = wire.AppendSync(ca.buf[:0], id, seq, ca.wu)
 	ca.releaseUpdates()
+	err = cc.roundTrip(ca, id)
+	srvSeq := ca.seq
+	c.Finish(ca)
+	if err != nil {
+		return 0, err
+	}
+	return srvSeq, nil
+}
+
+// MaxRestoreRows reports the largest row count one Restore call may
+// carry: the geometry's per-frame update cap, shrunk if needed so the
+// encoded frame fits both this client's frame limit and the one the
+// server's handshake announced. A snapshot installer chunks by it.
+func (c *Client) MaxRestoreRows() int {
+	g := c.geom
+	n := g.MaxBatch * g.Reduction
+	limit := min(c.cfg.MaxFrameBytes, c.Hello().MaxFrameBytes)
+	if fit := (limit - wire.HeaderBytes - 17) / (4 + 4*g.Dim); fit < n {
+		n = fit
+	}
+	return max(n, 1)
+}
+
+// Restore streams one chunk of a full-table snapshot install: absolute
+// values for len(rows) rows of one table, stamped with the snapshot's
+// sequence number. Chunks with commit false install rows without moving
+// the server's applied counter; the snapshot's final chunk sets commit,
+// which fast-forwards the counter to seq — after that, catch-up replay
+// continues from seq with Sync. The server rejects a snapshot older than
+// its applied state. Returns the server's applied count after the call.
+// Safe for concurrent use, though chunk order is the caller's contract.
+func (c *Client) Restore(seq uint64, commit bool, table int, rows []int, vals []float32) (uint64, error) {
+	g := c.geom
+	if table < 0 || table >= g.Tables {
+		return 0, fmt.Errorf("netclient: restore: table %d out of range [0, %d)", table, g.Tables)
+	}
+	if n := c.MaxRestoreRows(); len(rows) == 0 || len(rows) > n {
+		return 0, fmt.Errorf("netclient: restore: %d rows out of range [1, %d]; chunk the install", len(rows), n)
+	}
+	for _, r := range rows {
+		if r < 0 || r >= g.TableRows {
+			return 0, fmt.Errorf("netclient: restore: row index %d out of range [0, %d)", r, g.TableRows)
+		}
+	}
+	if len(vals) != len(rows)*g.Dim {
+		return 0, fmt.Errorf("netclient: restore: %d values for %d rows of dim %d", len(vals), len(rows), g.Dim)
+	}
+	cc, err := c.pick()
+	if err != nil {
+		return 0, err
+	}
+	ca := c.getCall()
+	id := cc.nextID.Add(1)
+	ca.buf = wire.AppendRestore(ca.buf[:0], id, seq, commit, table, rows, vals)
 	err = cc.roundTrip(ca, id)
 	srvSeq := ca.seq
 	c.Finish(ca)

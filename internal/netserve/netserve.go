@@ -69,8 +69,24 @@ type Backend interface {
 	MetricsText() string
 }
 
+// RestoreBackend is the optional backend extension behind the RESTORE
+// op: installing absolute row values from a durable snapshot, the cold
+// half of a replica router's crash recovery. Backends that lack it (the
+// cluster adapter, test stubs) answer RESTORE frames with BAD_REQUEST —
+// only shard replicas fronting a serve.Server are restore targets.
+type RestoreBackend interface {
+	// Restore overwrites rows of one table with absolute embedding values
+	// (vals holds len(rows) embeddings, row-major) on every replica.
+	Restore(table int, rows []int, vals []float32) error
+}
+
 // serverBackend adapts a serve.Server.
 type serverBackend struct{ s *serve.Server }
+
+// Restore implements RestoreBackend.
+func (b serverBackend) Restore(table int, rows []int, vals []float32) error {
+	return b.s.Restore(table, rows, vals)
+}
 
 // Geometry implements Backend.
 func (b serverBackend) Geometry() (int, int, int, int, int) { return b.s.Geometry() }
@@ -179,8 +195,13 @@ type task struct {
 	// update arguments (decoded views + converted headers)
 	upd wire.UpdateScratch
 	ups []runtime.TableUpdate
-	// sync sequence number (OpSync only)
+	// sync / restore sequence number (OpSync and OpRestore)
 	seq uint64
+	// restore arguments (OpRestore only): decoded views into upd's arenas
+	commit   bool
+	restTab  int
+	restRows []int
+	restVals []float32
 
 	// encoded response frame, written verbatim by the conn writer
 	resp []byte
@@ -247,6 +268,7 @@ type Server struct {
 	requests   stats.Counter
 	updates    stats.Counter
 	syncs      stats.Counter
+	restores   stats.Counter
 	pings      stats.Counter
 	shed       stats.Counter
 	failures   stats.Counter
@@ -560,6 +582,18 @@ func (c *conn) dispatchOne(op wire.Op, id uint64, payload []byte) bool {
 		}
 		t.seq = seq
 		c.submit(t)
+	case wire.OpRestore:
+		t := s.getTask(c, op, id)
+		seq, commit, up, err := wire.DecodeRestore(payload, s.geom, &t.upd)
+		if err != nil {
+			s.failures.Inc()
+			t.resp = wire.AppendError(t.resp[:0], id, wire.ErrBadRequest, err.Error())
+			c.enqueue(t)
+			return true
+		}
+		t.seq, t.commit = seq, commit
+		t.restTab, t.restRows, t.restVals = up.Table, up.Rows, up.Grads
+		c.submit(t)
 	default:
 		s.badFrames.Inc()
 		return false
@@ -652,6 +686,8 @@ func (s *Server) executor() {
 			}
 		case wire.OpSync:
 			t.resp = s.executeSync(t)
+		case wire.OpRestore:
+			t.resp = s.executeRestore(t)
 		}
 		s.lat.Observe(time.Since(start).Seconds())
 		s.inflight.Add(-1)
@@ -689,6 +725,39 @@ func (s *Server) executeSync(t *task) []byte {
 		s.syncs.Inc()
 		return wire.AppendSyncResp(t.resp[:0], t.id, cur+1)
 	}
+}
+
+// executeRestore installs one snapshot chunk under the same lock as the
+// sequenced write path, so restores and syncs serialize into one history.
+// The sequence guard runs the other way from executeSync: a snapshot must
+// be at or ahead of the applied counter — installing one from before the
+// server's current state would silently roll back updates the router
+// already acknowledged. Only a committing chunk (the snapshot's last)
+// moves the counter, so a restore that dies mid-stream leaves the counter
+// untouched and the router retries from scratch.
+func (s *Server) executeRestore(t *task) []byte {
+	rb, ok := s.backend.(RestoreBackend)
+	if !ok {
+		s.failures.Inc()
+		return wire.AppendError(t.resp[:0], t.id, wire.ErrBadRequest, "backend does not accept snapshot installs")
+	}
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	cur := s.updateSeq.Load()
+	if t.seq < cur {
+		s.failures.Inc()
+		return wire.AppendError(t.resp[:0], t.id, wire.ErrBadRequest,
+			fmt.Sprintf("snapshot at sequence %d behind the server's %d applied updates", t.seq, cur))
+	}
+	if err := rb.Restore(t.restTab, t.restRows, t.restVals); err != nil {
+		s.failures.Inc()
+		return wire.AppendError(t.resp[:0], t.id, wire.ErrInternal, err.Error())
+	}
+	if t.commit {
+		s.updateSeq.Store(t.seq)
+	}
+	s.restores.Inc()
+	return wire.AppendRestoreResp(t.resp[:0], t.id, s.updateSeq.Load())
 }
 
 // UpdateSeq reports how many update batches the server has applied — the
@@ -889,6 +958,7 @@ type Metrics struct {
 	Requests  uint64        // embed requests completed successfully
 	Updates   uint64        // update requests applied successfully
 	Syncs     uint64        // sequenced updates absorbed (applied or replayed)
+	Restores  uint64        // snapshot chunks installed
 	UpdateSeq uint64        // update batches applied (the handshake sequence number)
 	Pings     uint64        // pings answered
 	Shed      uint64        // requests shed by admission control (OVERLOADED)
@@ -915,6 +985,7 @@ func (s *Server) Metrics() Metrics {
 		Requests:   s.requests.Load(),
 		Updates:    s.updates.Load(),
 		Syncs:      s.syncs.Load(),
+		Restores:   s.restores.Load(),
 		UpdateSeq:  s.updateSeq.Load(),
 		Pings:      s.pings.Load(),
 		Shed:       s.shed.Load(),
@@ -934,12 +1005,12 @@ func (s *Server) Metrics() Metrics {
 func (m Metrics) String() string {
 	return fmt.Sprintf(
 		"network: %d conns accepted, up %s\n"+
-			"served %d embeds, %d updates, %d syncs (seq %d), %d pings (%d failures)\n"+
+			"served %d embeds, %d updates, %d syncs, %d restores (seq %d), %d pings (%d failures)\n"+
 			"admission: %d shed (OVERLOADED), %d in flight, %d bad frames\n"+
 			"coalescing: %d sub-requests in %d BATCH frames received, %d responses in %d coalesced frames written\n"+
 			"server-side latency  %s",
 		m.Accepted, m.Uptime.Round(time.Millisecond),
-		m.Requests, m.Updates, m.Syncs, m.UpdateSeq, m.Pings, m.Failures,
+		m.Requests, m.Updates, m.Syncs, m.Restores, m.UpdateSeq, m.Pings, m.Failures,
 		m.Shed, m.Inflight, m.BadFrames,
 		m.BatchedIn, m.BatchesIn, m.BatchedOut, m.BatchesOut,
 		m.Latency)

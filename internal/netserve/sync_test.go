@@ -133,7 +133,7 @@ func TestSyncSeqGuard(t *testing.T) {
 	if m.Syncs != 2 || m.Updates != 1 || m.UpdateSeq != 2 {
 		t.Fatalf("metrics Syncs %d Updates %d UpdateSeq %d, want 2 1 2", m.Syncs, m.Updates, m.UpdateSeq)
 	}
-	if !strings.Contains(m.String(), "2 syncs (seq 2)") {
+	if !strings.Contains(m.String(), "2 syncs, 0 restores (seq 2)") {
 		t.Fatalf("metrics report missing sync line:\n%s", m.String())
 	}
 }

@@ -1,0 +1,41 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/tensor"
+)
+
+// TestAppendTurnsStickyBroken is the one white-box test: it yanks the
+// WAL file descriptor out from under a healthy log so the next append's
+// write AND its cleanup truncate both fail — the case where a partial
+// record may be sitting in the middle of the file. The log must turn
+// sticky-broken and refuse every later append, because appending past a
+// torn middle record would corrupt recovery.
+func TestAppendTurnsStickyBroken(t *testing.T) {
+	l, err := Open(Config{
+		Dir: t.TempDir(), Shard: 0, Dim: 4, LocalRows: 8,
+		MaxRowsPerEntry: 2, SnapshotEvery: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := runtime.TableUpdate{Table: 0, Rows: []int{1}, Grads: tensor.New(1, 4)}
+	if err := l.Append(up); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(up); err == nil || !strings.Contains(err.Error(), "unrecoverable") {
+		t.Fatalf("append on a dead WAL fd: %v, want sticky unrecoverable error", err)
+	}
+	if l.Head() != 1 {
+		t.Fatalf("failed append advanced the head to %d", l.Head())
+	}
+	if err := l.Append(up); err == nil || !strings.Contains(err.Error(), "unrecoverable") {
+		t.Fatalf("append after the log broke: %v, want the sticky error again", err)
+	}
+}

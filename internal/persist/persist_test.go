@@ -1,0 +1,395 @@
+package persist_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tensordimm/internal/persist"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/tensor"
+)
+
+const (
+	testDim   = 8
+	testRows  = 32
+	testMaxRE = 4
+)
+
+func testCfg(dir string) persist.Config {
+	return persist.Config{
+		Dir:             dir,
+		Shard:           1,
+		Dim:             testDim,
+		LocalRows:       testRows,
+		MaxRowsPerEntry: testMaxRE,
+		SnapshotEvery:   1 << 20, // effectively off unless a test overrides
+	}
+}
+
+// mkUpdate builds a deterministic update for sequence i.
+func mkUpdate(i int) runtime.TableUpdate {
+	rng := rand.New(rand.NewSource(int64(i) + 7))
+	n := 1 + i%testMaxRE
+	rows := make([]int, n)
+	grads := tensor.New(n, testDim)
+	for j := range rows {
+		rows[j] = rng.Intn(testRows)
+		for k := 0; k < testDim; k++ {
+			grads.Data()[j*testDim+k] = rng.Float32() - 0.5
+		}
+	}
+	return runtime.TableUpdate{Table: 0, Rows: rows, Grads: grads}
+}
+
+func mustOpen(t *testing.T, cfg persist.Config) *persist.ShardLog {
+	t.Helper()
+	l, err := persist.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *persist.ShardLog, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := l.Append(mkUpdate(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+// checkEntries asserts the log retains exactly updates [from, from+n) of
+// the deterministic sequence, bit-identical.
+func checkEntries(t *testing.T, l *persist.ShardLog, from, n int) {
+	t.Helper()
+	if l.Base() != uint64(from) || l.Head() != uint64(from+n) {
+		t.Fatalf("log spans [%d, %d), want [%d, %d)", l.Base(), l.Head(), from, from+n)
+	}
+	got := l.Entries(uint64(from))
+	if len(got) != n {
+		t.Fatalf("Entries returned %d updates, want %d", len(got), n)
+	}
+	for i, up := range got {
+		want := mkUpdate(from + i)
+		if fmt.Sprint(up.Rows) != fmt.Sprint(want.Rows) {
+			t.Fatalf("entry %d rows %v, want %v", from+i, up.Rows, want.Rows)
+		}
+		g, w := up.Grads.Data(), want.Grads.Data()
+		for k := range w {
+			if g[k] != w[k] {
+				t.Fatalf("entry %d grad[%d] = %v, want %v", from+i, k, g[k], w[k])
+			}
+		}
+	}
+}
+
+func TestVolatileAppendAndTrim(t *testing.T) {
+	cfg := testCfg("")
+	cfg.SnapshotEvery = 4
+	l := mustOpen(t, cfg)
+	defer l.Close()
+	appendN(t, l, 0, 4)
+	if !l.NeedSnapshot() {
+		t.Fatal("NeedSnapshot false after SnapshotEvery appends")
+	}
+	if l.WALBytes() != 0 {
+		t.Fatalf("volatile log reports %d WAL bytes", l.WALBytes())
+	}
+	snap := make([]float32, testRows*testDim)
+	if err := l.InstallSnapshot(4, snap); err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	checkEntries(t, l, 4, 0)
+	if _, _, ok := l.Snapshot(); !ok {
+		t.Fatal("Snapshot not retained")
+	}
+	appendN(t, l, 4, 2)
+	checkEntries(t, l, 4, 2)
+}
+
+func TestDurableReplay(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, testCfg(dir))
+	appendN(t, l, 0, 7)
+	if l.WALBytes() <= 0 {
+		t.Fatal("durable log reports no WAL bytes")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := mustOpen(t, testCfg(dir))
+	defer l2.Close()
+	checkEntries(t, l2, 0, 7)
+}
+
+func TestSnapshotTrimsAndReopens(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, testCfg(dir))
+	appendN(t, l, 0, 5)
+	snap := make([]float32, testRows*testDim)
+	for i := range snap {
+		snap[i] = float32(i) * 0.25
+	}
+	if err := l.InstallSnapshot(5, snap); err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	if l.WALBytes() != 0 {
+		t.Fatalf("WAL holds %d bytes after snapshot trim", l.WALBytes())
+	}
+	appendN(t, l, 5, 3)
+	l.Close()
+
+	l2 := mustOpen(t, testCfg(dir))
+	defer l2.Close()
+	checkEntries(t, l2, 5, 3)
+	seq, rows, ok := l2.Snapshot()
+	if !ok || seq != 5 {
+		t.Fatalf("reopened snapshot (seq %d, ok %v), want seq 5", seq, ok)
+	}
+	for i := range snap {
+		if rows[i] != snap[i] {
+			t.Fatalf("snapshot value %d = %v, want %v", i, rows[i], snap[i])
+		}
+	}
+}
+
+func TestSnapshotValidation(t *testing.T) {
+	l := mustOpen(t, testCfg(""))
+	defer l.Close()
+	appendN(t, l, 0, 2)
+	snap := make([]float32, testRows*testDim)
+	if err := l.InstallSnapshot(1, snap); err == nil {
+		t.Fatal("InstallSnapshot below the head succeeded")
+	}
+	if err := l.InstallSnapshot(2, snap[:8]); err == nil {
+		t.Fatal("InstallSnapshot with a short table succeeded")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	for _, cfg := range []persist.Config{
+		{Dim: 0, LocalRows: 1, MaxRowsPerEntry: 1},
+		{Dim: 1, LocalRows: 0, MaxRowsPerEntry: 1},
+		{Dim: 1, LocalRows: 1, MaxRowsPerEntry: 0},
+		{Dim: 1, LocalRows: 1, MaxRowsPerEntry: 1, Shard: -1},
+		{Dim: 1, LocalRows: 1, MaxRowsPerEntry: 1, SnapshotEvery: -1},
+	} {
+		if _, err := persist.Open(cfg); err == nil {
+			t.Fatalf("Open accepted invalid config %+v", cfg)
+		}
+	}
+}
+
+// walBoundaries parses the record boundaries of a WAL file using only
+// the documented record layout: [4 B crc][4 B frame length][frame body].
+func walBoundaries(t *testing.T, wal []byte) []int {
+	t.Helper()
+	bounds := []int{0}
+	off := 0
+	for off+8 <= len(wal) {
+		n := int(binary.LittleEndian.Uint32(wal[off+4:]))
+		if off+8+n > len(wal) {
+			break
+		}
+		off += 8 + n
+		bounds = append(bounds, off)
+	}
+	return bounds
+}
+
+// TestTornTailEveryByte cuts a WAL at every possible byte boundary and
+// proves recovery always yields exactly the longest whole-record prefix —
+// the single-writer torn-tail contract.
+func TestTornTailEveryByte(t *testing.T) {
+	src := t.TempDir()
+	l := mustOpen(t, testCfg(src))
+	const records = 4
+	appendN(t, l, 0, records)
+	l.Close()
+	walPath := filepath.Join(persist.ShardDir(src, 1), "wal.log")
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := walBoundaries(t, wal)
+	if len(bounds) != records+1 {
+		t.Fatalf("parsed %d record boundaries, want %d", len(bounds)-1, records+1)
+	}
+
+	step := 1
+	if testing.Short() {
+		step = 7
+	}
+	for cut := 0; cut <= len(wal); cut += step {
+		whole := 0
+		for r := 1; r < len(bounds); r++ {
+			if bounds[r] <= cut {
+				whole = r
+			}
+		}
+		dir := t.TempDir()
+		if err := os.MkdirAll(persist.ShardDir(dir, 1), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(persist.ShardDir(dir, 1), "wal.log"), wal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lc := mustOpen(t, testCfg(dir))
+		checkEntries(t, lc, 0, whole)
+		if lc.WALBytes() != int64(bounds[whole]) {
+			t.Fatalf("cut %d: WAL trimmed to %d bytes, want %d", cut, lc.WALBytes(), bounds[whole])
+		}
+		// The log must accept appends after recovery.
+		appendN(t, lc, whole, 1)
+		lc.Close()
+	}
+}
+
+// TestReplaySkipsSnapshotCoveredRecords simulates a crash between the
+// snapshot rename and the WAL truncate: the stale records (all below the
+// snapshot sequence) must be skipped, not replayed.
+func TestReplaySkipsSnapshotCoveredRecords(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(persist.ShardDir(dir, 1), "wal.log")
+	l := mustOpen(t, testCfg(dir))
+	appendN(t, l, 0, 3)
+	stale, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make([]float32, testRows*testDim)
+	if err := l.InstallSnapshot(3, snap); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Undo the trim, as if the process died before Truncate ran.
+	if err := os.WriteFile(walPath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, testCfg(dir))
+	defer l2.Close()
+	checkEntries(t, l2, 3, 0)
+	appendN(t, l2, 3, 1)
+	checkEntries(t, l2, 3, 1)
+}
+
+// TestReplayRejectsSequenceGap removes a middle record: unlike a torn
+// tail, an interior gap cannot come from a crashed append, so recovery
+// must refuse the log rather than silently skip history.
+func TestReplayRejectsSequenceGap(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, testCfg(dir))
+	appendN(t, l, 0, 3)
+	l.Close()
+	walPath := filepath.Join(persist.ShardDir(dir, 1), "wal.log")
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := walBoundaries(t, wal)
+	gapped := append(append([]byte{}, wal[:bounds[1]]...), wal[bounds[2]:]...)
+	if err := os.WriteFile(walPath, gapped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.Open(testCfg(dir)); err == nil {
+		t.Fatal("Open accepted a WAL with an interior sequence gap")
+	}
+}
+
+// TestWALBytesBoundedUnderSnapshots is the package-level soak: appends
+// far more entries than the snapshot interval and asserts the WAL and
+// the retained tail never exceed one interval.
+func TestWALBytesBoundedUnderSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg(dir)
+	cfg.SnapshotEvery = 8
+	l := mustOpen(t, cfg)
+	defer l.Close()
+	total := 500
+	if testing.Short() {
+		total = 100
+	}
+	var maxWAL int64
+	snap := make([]float32, testRows*testDim)
+	for i := 0; i < total; i++ {
+		if err := l.Append(mkUpdate(i)); err != nil {
+			t.Fatal(err)
+		}
+		if l.NeedSnapshot() {
+			fresh := make([]float32, len(snap))
+			copy(fresh, snap)
+			if err := l.InstallSnapshot(l.Head(), fresh); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if l.WALBytes() > maxWAL {
+			maxWAL = l.WALBytes()
+		}
+		if got := l.Head() - l.Base(); got > uint64(cfg.SnapshotEvery) {
+			t.Fatalf("retained tail grew to %d entries (interval %d)", got, cfg.SnapshotEvery)
+		}
+	}
+	// One record is bounded by the max-entry frame; 8 of them stay far
+	// under this ceiling unless trimming silently stopped.
+	ceiling := int64(cfg.SnapshotEvery) * int64(8+30+4*testMaxRE+4*testMaxRE*testDim+64)
+	if maxWAL == 0 || maxWAL > ceiling {
+		t.Fatalf("WAL peaked at %d bytes (ceiling %d)", maxWAL, ceiling)
+	}
+}
+
+func TestEntriesOutOfRange(t *testing.T) {
+	l := mustOpen(t, testCfg(""))
+	defer l.Close()
+	appendN(t, l, 0, 2)
+	if got := l.Entries(3); got != nil {
+		t.Fatalf("Entries beyond head returned %d updates", len(got))
+	}
+}
+
+func TestHotRowsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if rows, err := persist.LoadHotRows(dir, 0); err != nil || rows != nil {
+		t.Fatalf("missing file: rows %v, err %v", rows, err)
+	}
+	want := []int{9, 3, 27, 0, 14}
+	if err := persist.SaveHotRows(dir, 0, want); err != nil {
+		t.Fatalf("SaveHotRows: %v", err)
+	}
+	got, err := persist.LoadHotRows(dir, 0)
+	if err != nil {
+		t.Fatalf("LoadHotRows: %v", err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("hot rows %v, want %v", got, want)
+	}
+
+	// Corrupt file: advisory load falls back to a cold start.
+	path := filepath.Join(persist.ShardDir(dir, 0), "hotrows.dat")
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xff
+	os.WriteFile(path, raw, 0o644)
+	if rows, err := persist.LoadHotRows(dir, 0); err != nil || rows != nil {
+		t.Fatalf("corrupt file: rows %v, err %v", rows, err)
+	}
+
+	// Saving an empty list removes the file.
+	if err := persist.SaveHotRows(dir, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.SaveHotRows(dir, 0, nil); err != nil {
+		t.Fatalf("SaveHotRows(nil): %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("hotrows.dat still present after empty save (err %v)", err)
+	}
+	if err := persist.SaveHotRows(dir, 0, []int{-1}); err == nil {
+		t.Fatal("SaveHotRows accepted a negative row")
+	}
+}

@@ -1,0 +1,293 @@
+package persist_test
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tensordimm/internal/persist"
+	"tensordimm/internal/wire"
+)
+
+// TestSnapshotEveryDefault pins that a zero SnapshotEvery selects the
+// package default interval.
+func TestSnapshotEveryDefault(t *testing.T) {
+	cfg := testCfg("")
+	cfg.SnapshotEvery = 0
+	l := mustOpen(t, cfg)
+	appendN(t, l, 0, persist.DefaultSnapshotEvery-1)
+	if l.NeedSnapshot() {
+		t.Fatalf("NeedSnapshot one entry short of the default interval")
+	}
+	appendN(t, l, persist.DefaultSnapshotEvery-1, 1)
+	if !l.NeedSnapshot() {
+		t.Fatalf("NeedSnapshot false at the default interval %d", persist.DefaultSnapshotEvery)
+	}
+}
+
+// TestOpenIOErrors drives Open into the filesystem failures it must
+// report rather than swallow: a durability root that is a plain file,
+// and a WAL path squatted by a directory.
+func TestOpenIOErrors(t *testing.T) {
+	root := t.TempDir()
+
+	file := filepath.Join(root, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testCfg(file)
+	if _, err := persist.Open(cfg); err == nil {
+		t.Fatalf("Open with a file as the durability root succeeded")
+	}
+
+	cfg = testCfg(root)
+	if err := os.MkdirAll(filepath.Join(persist.ShardDir(root, cfg.Shard), "wal.log"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.Open(cfg); err == nil {
+		t.Fatalf("Open with a directory squatting wal.log succeeded")
+	}
+}
+
+// TestSnapshotFallback pins boot-time snapshot selection: the newest
+// snapshot file that VALIDATES wins, and everything else — truncated,
+// corrupt, mislabeled, or unparsable snapshot files — is deleted, never
+// adopted. A newer-but-invalid snapshot can only be a torn install whose
+// WAL records were not yet trimmed, so falling back stays correct.
+func TestSnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg(dir)
+	l := mustOpen(t, cfg)
+	appendN(t, l, 0, 4)
+	rows := make([]float32, testRows*testDim)
+	for i := range rows {
+		rows[i] = float32(i)
+	}
+	if err := l.InstallSnapshot(4, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sd := persist.ShardDir(dir, cfg.Shard)
+	snap := func(seq uint64) string {
+		return filepath.Join(sd, "snap-"+padSeq(seq)+".dat")
+	}
+	good, err := os.ReadFile(snap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// seq 9: truncated (wrong length). seq 8: right length, bad crc.
+	// seq 7: a byte-valid file whose header says seq 4 — name/header
+	// mismatch. Plus a file that parses as no snapshot at all.
+	if err := os.WriteFile(snap(9), good[:len(good)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xff
+	if err := os.WriteFile(snap(8), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap(7), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sd, "snap-garbage.dat"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l = mustOpen(t, cfg)
+	defer l.Close()
+	if seq, got, ok := l.Snapshot(); !ok || seq != 4 || got[3] != 3 {
+		t.Fatalf("fallback adopted snapshot seq %d ok=%v, want the valid one at 4", seq, ok)
+	}
+	for _, s := range []uint64{7, 8, 9} {
+		if _, err := os.Stat(snap(s)); !os.IsNotExist(err) {
+			t.Fatalf("invalid snapshot at seq %d survived recovery", s)
+		}
+	}
+}
+
+// padSeq renders seq the way snapshot filenames do (20 digits).
+func padSeq(seq uint64) string {
+	s := "00000000000000000000"
+	for i := len(s) - 1; seq > 0; i-- {
+		s = s[:i] + string(rune('0'+seq%10)) + s[i+1:]
+		seq /= 10
+	}
+	return s
+}
+
+// TestReplayCorruptRecords pins the two non-torn corruption shapes:
+// an intact-length record whose body no longer matches its checksum, and
+// a checksum-valid record whose body is not the single-update SYNC frame
+// Append writes. Both must truncate the log at that record, exactly like
+// a torn tail.
+func TestReplayCorruptRecords(t *testing.T) {
+	t.Run("crc mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		cfg := testCfg(dir)
+		l := mustOpen(t, cfg)
+		appendN(t, l, 0, 3)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(persist.ShardDir(dir, cfg.Shard), "wal.log")
+		wal, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wal[len(wal)-1] ^= 0xff
+		if err := os.WriteFile(path, wal, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l = mustOpen(t, cfg)
+		defer l.Close()
+		checkEntries(t, l, 0, 2)
+	})
+	t.Run("foreign record", func(t *testing.T) {
+		dir := t.TempDir()
+		cfg := testCfg(dir)
+		l := mustOpen(t, cfg)
+		appendN(t, l, 0, 2)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// A two-update SYNC frame with a correct checksum: nothing Append
+		// ever writes, so replay must refuse it rather than adopt it.
+		rec := []byte{0, 0, 0, 0}
+		g := make([]float32, testDim)
+		rec = wire.AppendSync(rec, 0, 2, []wire.Update{
+			{Table: 0, Rows: []int{0}, Grads: g},
+			{Table: 0, Rows: []int{1}, Grads: g},
+		})
+		binary.LittleEndian.PutUint32(rec, crc32.Checksum(rec[8:], crc32.MakeTable(crc32.Castagnoli)))
+		path := filepath.Join(persist.ShardDir(dir, cfg.Shard), "wal.log")
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l = mustOpen(t, cfg)
+		defer l.Close()
+		checkEntries(t, l, 0, 2)
+	})
+}
+
+// TestInstallSnapshotIOErrors blocks the snapshot write's tmp path and
+// rename target with directories; InstallSnapshot must fail cleanly and
+// leave the log usable.
+func TestInstallSnapshotIOErrors(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testCfg(dir)
+	l := mustOpen(t, cfg)
+	defer l.Close()
+	appendN(t, l, 0, 2)
+	rows := make([]float32, testRows*testDim)
+	sd := persist.ShardDir(dir, cfg.Shard)
+
+	if err := os.Mkdir(filepath.Join(sd, "snap.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.InstallSnapshot(2, rows); err == nil {
+		t.Fatalf("InstallSnapshot with snap.tmp squatted by a directory succeeded")
+	}
+	if err := os.Remove(filepath.Join(sd, "snap.tmp")); err != nil {
+		t.Fatal(err)
+	}
+
+	target := filepath.Join(sd, "snap-"+padSeq(2)+".dat")
+	if err := os.MkdirAll(filepath.Join(target, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.InstallSnapshot(2, rows); err == nil {
+		t.Fatalf("InstallSnapshot with the rename target squatted succeeded")
+	}
+	if err := os.RemoveAll(target); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := l.InstallSnapshot(2, rows); err != nil {
+		t.Fatalf("InstallSnapshot after clearing the squatters: %v", err)
+	}
+	appendN(t, l, 2, 1)
+	checkEntries(t, l, 2, 1)
+}
+
+// TestHotRowsErrors pins SaveHotRows/LoadHotRows behavior on bad input
+// and bad files: hard errors for unwritable state the caller asked to
+// change, silent cold-start fallback for unreadable advisory data.
+func TestHotRowsErrors(t *testing.T) {
+	dir := t.TempDir()
+	sd := persist.ShardDir(dir, 1)
+
+	if err := persist.SaveHotRows(dir, 1, []int{3, -1}); err == nil {
+		t.Fatalf("SaveHotRows accepted a negative row index")
+	}
+
+	file := filepath.Join(dir, "root-is-a-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.SaveHotRows(file, 1, []int{1}); err == nil {
+		t.Fatalf("SaveHotRows under a file root succeeded")
+	}
+
+	if err := os.MkdirAll(filepath.Join(sd, "hotrows.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.SaveHotRows(dir, 1, []int{1}); err == nil {
+		t.Fatalf("SaveHotRows with hotrows.tmp squatted by a directory succeeded")
+	}
+	if err := os.Remove(filepath.Join(sd, "hotrows.tmp")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Removing an "empty" list must fail loudly when the path is squatted
+	// by a non-empty directory, not report the rows as gone.
+	if err := os.MkdirAll(filepath.Join(sd, "hotrows.dat", "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.SaveHotRows(dir, 1, nil); err == nil {
+		t.Fatalf("SaveHotRows(nil) with a squatted path reported success")
+	}
+	if _, err := persist.LoadHotRows(dir, 1); err == nil {
+		t.Fatalf("LoadHotRows on a directory succeeded")
+	}
+	if err := os.RemoveAll(filepath.Join(sd, "hotrows.dat")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt advisory files fall back to a cold start: (nil, nil).
+	hot := filepath.Join(sd, "hotrows.dat")
+	for name, buf := range map[string][]byte{
+		"short":     {1, 2, 3},
+		"bad magic": make([]byte, 16),
+		"bad count": hotFileWithCount(5, []int{1, 2}),
+	} {
+		if err := os.WriteFile(hot, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if rows, err := persist.LoadHotRows(dir, 1); err != nil || rows != nil {
+			t.Fatalf("%s hotrows file: got (%v, %v), want cold-start (nil, nil)", name, rows, err)
+		}
+	}
+}
+
+// hotFileWithCount builds a checksum-valid hot-rows file whose header
+// claims `count` rows but whose body holds len(rows).
+func hotFileWithCount(count int, rows []int) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, 0x54444852)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(count))
+	for _, r := range rows {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crc32.MakeTable(crc32.Castagnoli)))
+}

@@ -27,10 +27,19 @@ type Metrics struct {
 	// Resyncs counts completed replica catch-up replays; Replayed counts
 	// the log entries those replays delivered.
 	Resyncs, Replayed uint64
+	// Snapshots counts full-table snapshots scraped and installed (each
+	// trims its shard's log); Restores counts replicas reseated from a
+	// snapshot via the RESTORE op.
+	Snapshots, Restores uint64
 	// ReplicasUp and ReplicasTotal describe the fleet's current health.
 	ReplicasUp, ReplicasTotal int
-	// LogEntries is the summed length of the per-shard update logs.
+	// LogEntries is the summed retained tail of the per-shard update logs
+	// (entries past each shard's snapshot); bounded by shards x
+	// SnapshotEvery, unlike the unbounded pre-durability log.
 	LogEntries uint64
+	// WALBytes is the summed on-disk size of the per-shard WALs (zero for
+	// an in-memory router), trimmed to zero at each snapshot.
+	WALBytes int64
 	// Latency summarizes request wall-clock time.
 	Latency stats.LatencySummary
 }
@@ -50,6 +59,8 @@ func (rc *RemoteCluster) Metrics() Metrics {
 		Unavailable: rc.unavail.Load(),
 		Resyncs:     rc.resyncs.Load(),
 		Replayed:    rc.replayed.Load(),
+		Snapshots:   rc.snapshots.Load(),
+		Restores:    rc.restores.Load(),
 		Latency:     rc.latency.Summary(),
 	}
 	for _, sh := range rc.shards {
@@ -59,9 +70,12 @@ func (rc *RemoteCluster) Metrics() Metrics {
 				m.ReplicasUp++
 			}
 		}
-		sh.updMu.Lock()
-		m.LogEntries += uint64(len(sh.log))
-		sh.updMu.Unlock()
+		if sh.store != nil {
+			sh.updMu.Lock()
+			m.LogEntries += sh.store.Head() - sh.store.Base()
+			m.WALBytes += sh.store.WALBytes()
+			sh.updMu.Unlock()
+		}
 	}
 	return m
 }
@@ -69,10 +83,10 @@ func (rc *RemoteCluster) Metrics() Metrics {
 // String renders a one-line operator summary.
 func (m Metrics) String() string {
 	return fmt.Sprintf(
-		"remote: %d/%d replicas up; %d requests (%d samples, %d lookups), %d updates (%d rows, %d log entries); %d hedges (%d wins), %d failovers, %d unavailable, %d resyncs (%d replayed); %d failures; latency %v",
+		"remote: %d/%d replicas up; %d requests (%d samples, %d lookups), %d updates (%d rows, %d log entries, %d WAL B, %d snapshots); %d hedges (%d wins), %d failovers, %d unavailable, %d resyncs (%d replayed, %d restored); %d failures; latency %v",
 		m.ReplicasUp, m.ReplicasTotal, m.Requests, m.Samples, m.Lookups,
-		m.Updates, m.UpdateRows, m.LogEntries,
-		m.Hedges, m.HedgeWins, m.Failovers, m.Unavailable, m.Resyncs, m.Replayed,
+		m.Updates, m.UpdateRows, m.LogEntries, m.WALBytes, m.Snapshots,
+		m.Hedges, m.HedgeWins, m.Failovers, m.Unavailable, m.Resyncs, m.Replayed, m.Restores,
 		m.Failures, m.Latency)
 }
 

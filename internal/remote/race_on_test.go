@@ -2,7 +2,8 @@
 
 package remote_test
 
-// raceEnabled reports that this binary was built with the race detector,
-// whose goroutine and channel instrumentation heap-allocates and would
-// make an allocation pin meaningless.
+// raceEnabled reports that this binary was built with the race detector;
+// the e2e TestMain propagates it so spawned tensorserve processes are
+// built -race too. (Allocation pins use //go:build !race directly — see
+// zeroalloc_test.go.)
 const raceEnabled = true

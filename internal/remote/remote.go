@@ -21,18 +21,29 @@
 // hedge timers are all pooled.
 //
 // Writes. The router is the single writer of its fleet. Every per-shard
-// sub-update is appended to that shard's in-memory update log and fanned
-// out to the replicas with the sequenced SYNC op: a replica applies
-// update number seq only when seq matches its own applied count, acks
-// replays without reapplying, and rejects gaps — exactly-once semantics
-// over arbitrary disconnects. A replica that was down rejoins through a
-// catch-up replay: its reconnect handshake announces how many updates it
-// has applied, the router replays the missing log suffix, and only then
-// do reads route to it again. The log is never trimmed — at the scale
-// this repository targets (test and experiment fleets) a full in-memory
-// history is cheap, and it makes a freshly restarted replica (which
-// rebuilds its deterministic shard model and announces sequence 0)
-// recoverable by replaying from the beginning.
+// sub-update is appended to that shard's durable update log
+// (internal/persist) before it is fanned out to the replicas with the
+// sequenced SYNC op: a replica applies update number seq only when seq
+// matches its own applied count, acks replays without reapplying, and
+// rejects gaps — exactly-once semantics over arbitrary disconnects. A
+// replica that was down rejoins through a catch-up replay: its reconnect
+// handshake announces how many updates it has applied, the router replays
+// the missing log suffix, and only then do reads route to it again.
+//
+// Durability. Each shard's log is a persist.ShardLog: a WAL under
+// Config.DataDir (or an in-memory equivalent when DataDir is empty),
+// trimmed every Config.SnapshotEvery entries by scraping a full-table
+// snapshot from a replica at the log head — so log bytes stay bounded in
+// both modes. Because the WAL append happens before fan-out, the durable
+// log is always a superset of any replica's applied state: a router
+// restarted from DataDir replays WAL-tail-over-snapshot at New, resumes
+// at the correct SYNC sequence, and re-drives every replica to the log
+// head before serving. A replica that announces a sequence below the
+// snapshot horizon is reseated with the RESTORE op (chunked absolute-row
+// install) and then replays the remaining tail. The WAL is written with
+// one write syscall per append and no per-append fsync: it survives
+// router crashes (the kernel owns the bytes) but not a machine-wide power
+// loss; snapshots are written tmp + fsync + rename.
 //
 // Per-table locks serialize same-table updates in the same way as the
 // in-process cluster — float accumulation order is part of the
@@ -51,6 +62,7 @@ import (
 
 	"tensordimm/internal/cluster"
 	"tensordimm/internal/netclient"
+	"tensordimm/internal/persist"
 	"tensordimm/internal/recsys"
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/stats"
@@ -103,6 +115,21 @@ type Config struct {
 	// HedgePercentile is the attempt-latency percentile the hedge delay
 	// tracks, in (0, 1]. Defaults to 0.95.
 	HedgePercentile float64
+
+	// DataDir, when set, roots the router's durable state: each shard's
+	// WAL, snapshots, and hot-row lists live under DataDir/shard-NNN. A
+	// router restarted with the same DataDir rebuilds its update logs,
+	// resumes at the correct SYNC sequence, and re-drives its replicas to
+	// the log head before serving. Empty keeps the logs in memory — still
+	// snapshot-trimmed, but lost with the process. Mutually exclusive with
+	// ReadOnly: a read-only router holds no update log.
+	DataDir string
+	// SnapshotEvery is how many log entries a shard accumulates before the
+	// router scrapes a full-table snapshot from a replica at the log head
+	// and trims the log prefix the snapshot covers. Zero defaults to
+	// persist.DefaultSnapshotEvery; negative is invalid. Smaller values
+	// bound log bytes tighter at the cost of more scrape traffic.
+	SnapshotEvery int
 
 	// OnApplied, if set, is called once per successfully applied table
 	// update, under that table's update lock, in exactly the order the
@@ -167,19 +194,23 @@ type replica struct {
 	applied uint64
 }
 
-// rShard is one shard of the fleet: its replica group, its update log,
-// and its hedge-delay tracker.
+// rShard is one shard of the fleet: its replica group, its durable update
+// log, and its hedge-delay tracker.
 type rShard struct {
 	id       int
 	replicas []*replica
 	rr       atomic.Uint64
+	// maxSub is the shard's largest sub-request (the replica's announced
+	// MaxBatch), which sizes snapshot scrape chunks.
+	maxSub int
 
-	// updMu serializes log appends, fan-out, and catch-up replay for this
-	// shard, so every replica absorbs the same entries in the same order.
+	// updMu serializes log appends, fan-out, catch-up replay, and snapshot
+	// scrapes for this shard, so every replica absorbs the same entries in
+	// the same order.
 	updMu sync.Mutex
-	// log is the full history of this shard's sub-updates (never trimmed;
-	// see the package comment).
-	log []runtime.TableUpdate
+	// store is the shard's snapshot-trimmed update log (nil on empty shards
+	// and read-only routers); guarded by updMu.
+	store *persist.ShardLog
 
 	hedge hedgeTracker
 }
@@ -270,6 +301,8 @@ type RemoteCluster struct {
 	unavail    stats.Counter // operations failed with Unavailable
 	resyncs    stats.Counter // replica catch-up replays completed
 	replayed   stats.Counter // log entries delivered by catch-up replays
+	snapshots  stats.Counter // shard snapshots scraped and installed
+	restores   stats.Counter // replicas reseated from a snapshot (RESTORE)
 	latency    stats.Latency
 }
 
@@ -290,11 +323,13 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-// New dials every replica of every shard, validates each handshake
-// against the placement (a replica must announce exactly the flat
-// gather-only geometry its shard position implies, at update sequence 0),
-// and returns a router ready to serve. Every replica is supervised: a
-// lost connection reconnects with backoff and rejoins through a catch-up
+// New opens (and replays) each shard's durable update log, dials every
+// replica of every shard, validates each handshake against the placement
+// (a replica must announce exactly the flat gather-only geometry its
+// shard position implies, at an update sequence no further than the
+// recovered log head), drives lagging replicas back to the head, and
+// returns a router ready to serve. Every replica is supervised: a lost
+// connection reconnects with backoff and rejoins through a catch-up
 // replay of the shard's update log.
 func New(cfg Config) (*RemoteCluster, error) {
 	mc := cfg.Model
@@ -311,6 +346,12 @@ func New(cfg Config) (*RemoteCluster, error) {
 	if cfg.MaxBatch < 0 || cfg.Workers < 0 || cfg.HedgeAfter < 0 || cfg.HedgePercentile < 0 || cfg.HedgePercentile > 1 {
 		return nil, fmt.Errorf("remote: invalid sizing (MaxBatch %d, Workers %d, HedgeAfter %v, HedgePercentile %g)",
 			cfg.MaxBatch, cfg.Workers, cfg.HedgeAfter, cfg.HedgePercentile)
+	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("remote: SnapshotEvery %d is negative (use 0 for the default)", cfg.SnapshotEvery)
+	}
+	if cfg.ReadOnly && cfg.DataDir != "" {
+		return nil, fmt.Errorf("remote: a read-only router holds no update log; drop DataDir %q or ReadOnly", cfg.DataDir)
 	}
 	cfg = cfg.withDefaults()
 
@@ -348,8 +389,27 @@ func New(cfg Config) (*RemoteCluster, error) {
 		if n := maxSub * mc.EmbDim; n > maxCap {
 			maxCap = n
 		}
-		sh := &rShard{id: s}
+		sh := &rShard{id: s, maxSub: maxSub}
 		sh.hedge.pct = cfg.HedgePercentile
+		// Registered before dialing so a mid-shard failure still closes this
+		// shard's store and already-dialed clients through Close.
+		rc.shards = append(rc.shards, sh)
+		if !cfg.ReadOnly {
+			// The store opens (and replays) before the first replica dials:
+			// the handshake check below needs the recovered log head.
+			store, err := persist.Open(persist.Config{
+				Dir:             cfg.DataDir,
+				Shard:           s,
+				Dim:             mc.EmbDim,
+				LocalRows:       localRows,
+				MaxRowsPerEntry: maxSub,
+				SnapshotEvery:   cfg.SnapshotEvery,
+			})
+			if err != nil {
+				return fail(fmt.Errorf("remote: shard %d: %w", s, err))
+			}
+			sh.store = store
+		}
 		want := wire.Geometry{Tables: 1, Reduction: 1, Dim: mc.EmbDim, TableRows: localRows, MaxBatch: maxSub}
 		for _, addr := range addrs {
 			rep := &replica{addr: addr}
@@ -385,14 +445,38 @@ func New(cfg Config) (*RemoteCluster, error) {
 				return fail(fmt.Errorf("remote: shard %d replica %s announced role %v in a %d-replica group; start it with -shard-id so it serves as a replica",
 					s, addr, h.Role, len(addrs)))
 			}
-			if h.UpdateSeq != 0 && !cfg.ReadOnly {
-				return fail(fmt.Errorf("remote: shard %d replica %s already applied %d updates; a new router needs fresh replicas (restart it)",
-					s, addr, h.UpdateSeq))
+			if !cfg.ReadOnly && h.UpdateSeq > sh.store.Head() {
+				return fail(fmt.Errorf("remote: shard %d replica %s already applied %d updates, ahead of the router's log head %d — it served a different writer (restart it, or start this router from that writer's -data-dir)",
+					s, addr, h.UpdateSeq, sh.store.Head()))
 			}
 			rep.applied = h.UpdateSeq
 			rep.state.Store(repHealthy)
 		}
-		rc.shards = append(rc.shards, sh)
+	}
+
+	// Boot catch-up: a router restarted from its durable log re-drives
+	// every replica to the recovered log head — snapshot reseat for the
+	// ones below the trim horizon, sequenced replay for the rest — before
+	// any traffic is admitted. A replica that cannot be caught up goes
+	// down (the janitor keeps retrying) rather than failing New: the fleet
+	// serves as soon as one replica per shard is current, which WaitReady
+	// observes.
+	if !cfg.ReadOnly {
+		for _, sh := range rc.shards {
+			if sh.store == nil || sh.store.Head() == 0 {
+				continue
+			}
+			sh.updMu.Lock()
+			for _, rep := range sh.replicas {
+				if rep.applied == sh.store.Head() {
+					continue
+				}
+				if err := rc.catchUp(sh, rep); err != nil {
+					rep.state.Store(repDown)
+				}
+			}
+			sh.updMu.Unlock()
+		}
 	}
 
 	rc.scratchPool.New = func() any { return rc.newScratch() }
@@ -925,6 +1009,9 @@ func (rc *RemoteCluster) Close() error {
 			if rep.cl != nil {
 				rep.cl.Close()
 			}
+		}
+		if sh.store != nil {
+			sh.store.Close()
 		}
 	}
 	if rc.dispatch != nil {

@@ -423,36 +423,6 @@ func TestHedgedReads(t *testing.T) {
 	}
 }
 
-// TestSteadyStateZeroAlloc pins the router's read path to zero heap
-// allocations per request once pools are warm — the same discipline as
-// the in-process cluster and the netclient.
-func TestSteadyStateZeroAlloc(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race-detector instrumentation allocates on channel operations")
-	}
-	m := buildModel(t)
-	_, addrs := startFleet(t, cluster.TableWise, 2, 1)
-	rc := newRouter(t, m, cluster.TableWise, addrs, nil)
-	rng := rand.New(rand.NewSource(19))
-	rows := randRows(rng, m.Cfg, testMaxBatch)
-	dst := make([]float32, 0, testMaxBatch*m.Cfg.Tables*m.Cfg.EmbDim)
-	var err error
-	for i := 0; i < 32; i++ { // warm every pool on every worker
-		if dst, err = rc.EmbedInto(dst, rows, testMaxBatch); err != nil {
-			t.Fatal(err)
-		}
-	}
-	allocs := testing.AllocsPerRun(100, func() {
-		dst, err = rc.EmbedInto(dst, rows, testMaxBatch)
-		if err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state EmbedInto allocates %.1f times per op, want 0", allocs)
-	}
-}
-
 // TestNewValidation exercises the fleet-shape checks at New: geometry
 // mismatches, addresses on empty shards, and replicas that already
 // applied updates are all rejected.

@@ -150,15 +150,24 @@ func (rc *RemoteCluster) applyTableUpdate(up runtime.TableUpdate) error {
 	return nil
 }
 
-// appendAndFan sequences one sub-update into the shard's log and drives
-// every live replica to the new log head. A replica that fails mid-stream
-// is dropped (it replays on reconnect); a replica mid-catch-up counts as
-// reached, because it cannot turn healthy without replaying through this
-// entry — the replay runs under the same updMu.
+// appendAndFan sequences one sub-update into the shard's durable log and
+// drives every live replica to the new log head. The append happens
+// strictly before any replica sees the entry — the crash-consistency
+// invariant: the durable log is always a superset of any replica's
+// applied state, so a restarted router can re-drive its fleet from the
+// log alone. A replica that fails mid-stream is dropped (it replays on
+// reconnect); a replica mid-catch-up counts as reached, because it cannot
+// turn healthy without replaying through this entry — the replay runs
+// under the same updMu. When the entry pushes the retained tail past the
+// snapshot interval, a full-table snapshot is scraped and the log prefix
+// trimmed before the lock is released.
 func (rc *RemoteCluster) appendAndFan(sh *rShard, sub runtime.TableUpdate) error {
 	sh.updMu.Lock()
 	defer sh.updMu.Unlock()
-	sh.log = append(sh.log, sub)
+	if err := sh.store.Append(sub); err != nil {
+		rc.unavail.Inc()
+		return fmt.Errorf("remote: shard %d: %w", sh.id, err)
+	}
 	reached, pending := 0, 0
 	var lastErr error
 	for _, rep := range sh.replicas {
@@ -180,22 +189,32 @@ func (rc *RemoteCluster) appendAndFan(sh *rShard, sub runtime.TableUpdate) error
 		rc.unavail.Inc()
 		return &Unavailable{Shard: sh.id, Err: lastErr}
 	}
+	if sh.store.NeedSnapshot() {
+		rc.snapshotShard(sh)
+	}
 	return nil
 }
 
 // catchUp drives one replica from its applied count to the shard's log
-// head, one sequenced entry at a time (callers hold the shard's updMu).
-// Admission-control sheds are retried with a short backoff; any other
-// error aborts and leaves the replica where it stopped.
+// head (callers hold the shard's updMu): a chunked snapshot reseat when
+// the replica is below the log's trim horizon, then sequenced replay one
+// entry at a time. Admission-control sheds are retried with a short
+// backoff; any other error aborts and leaves the replica where it
+// stopped.
 func (rc *RemoteCluster) catchUp(sh *rShard, rep *replica) error {
-	total := uint64(len(sh.log))
-	if rep.applied > total {
-		return fmt.Errorf("remote: shard %d replica %s reports %d applied updates, above the router's log of %d entries — it served a different writer",
-			sh.id, rep.addr, rep.applied, total)
+	head := sh.store.Head()
+	if rep.applied > head {
+		return fmt.Errorf("remote: shard %d replica %s reports %d applied updates, above the router's log head %d — it served a different writer",
+			sh.id, rep.addr, rep.applied, head)
+	}
+	if rep.applied < sh.store.Base() {
+		if err := rc.restoreReplica(sh, rep); err != nil {
+			return err
+		}
 	}
 	sheds := 0
-	for rep.applied < total {
-		srvSeq, err := rep.cl.Sync(rep.applied, sh.log[rep.applied:rep.applied+1])
+	for rep.applied < head {
+		srvSeq, err := rep.cl.Sync(rep.applied, sh.store.Entries(rep.applied)[:1])
 		if err != nil {
 			var se *netclient.ServerError
 			if errors.As(err, &se) && se.Code == wire.ErrOverloaded && sheds < maxShedRetries {
@@ -205,13 +224,100 @@ func (rc *RemoteCluster) catchUp(sh *rShard, rep *replica) error {
 			}
 			return err
 		}
-		if srvSeq > total || srvSeq <= rep.applied {
+		if srvSeq > head || srvSeq <= rep.applied {
 			return fmt.Errorf("remote: shard %d replica %s acknowledged sequence %d after replaying entry %d of %d — it served a different writer",
-				sh.id, rep.addr, srvSeq, rep.applied, total)
+				sh.id, rep.addr, srvSeq, rep.applied, head)
 		}
 		rep.applied = srvSeq
 	}
 	return nil
+}
+
+// restoreReplica reseats a replica whose applied count is below the log's
+// trim horizon — replay alone cannot reach it, because the covering
+// entries were trimmed when the snapshot was installed. The snapshot's
+// absolute rows stream over in MaxRestoreRows-sized chunks; the final
+// chunk commits, fast-forwarding the replica's applied counter to the
+// snapshot's sequence, after which the caller replays the remaining tail.
+// Callers hold the shard's updMu.
+func (rc *RemoteCluster) restoreReplica(sh *rShard, rep *replica) error {
+	snapSeq, vals, ok := sh.store.Snapshot()
+	if !ok {
+		return fmt.Errorf("remote: shard %d: no snapshot covers sequences below %d", sh.id, sh.store.Base())
+	}
+	dim := rc.cfg.Model.EmbDim
+	localRows := rc.place.LocalRows(sh.id)
+	chunk := rep.cl.MaxRestoreRows()
+	rowIdx := make([]int, 0, chunk)
+	sheds := 0
+	for at := 0; at < localRows; {
+		n := min(chunk, localRows-at)
+		rowIdx = rowIdx[:0]
+		for r := at; r < at+n; r++ {
+			rowIdx = append(rowIdx, r)
+		}
+		commit := at+n == localRows
+		srvSeq, err := rep.cl.Restore(snapSeq, commit, 0, rowIdx, vals[at*dim:(at+n)*dim])
+		if err != nil {
+			var se *netclient.ServerError
+			if errors.As(err, &se) && se.Code == wire.ErrOverloaded && sheds < maxShedRetries {
+				sheds++
+				time.Sleep(2 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		if commit && srvSeq != snapSeq {
+			return fmt.Errorf("remote: shard %d replica %s acknowledged sequence %d after a snapshot install at %d — it served a different writer",
+				sh.id, rep.addr, srvSeq, snapSeq)
+		}
+		at += n
+	}
+	rep.applied = snapSeq
+	rc.restores.Inc()
+	return nil
+}
+
+// snapshotShard trims the shard's log by scraping the full table from a
+// replica that has applied every entry and installing it as the new
+// snapshot. The router holds no weights, so the scrape is how it obtains
+// absolute table state — and because the source replica sits exactly at
+// the log head under updMu (no fan-out can interleave), the scraped rows
+// are bit-identical to golden at that sequence. Best-effort: any scrape
+// failure just leaves the log untrimmed and the next append retries.
+// Callers hold the shard's updMu.
+func (rc *RemoteCluster) snapshotShard(sh *rShard) {
+	head := sh.store.Head()
+	var src *replica
+	for _, rep := range sh.replicas {
+		if rep.state.Load() == repHealthy && rep.applied == head {
+			src = rep
+			break
+		}
+	}
+	if src == nil {
+		return
+	}
+	dim := rc.cfg.Model.EmbDim
+	localRows := rc.place.LocalRows(sh.id)
+	vals := make([]float32, localRows*dim)
+	rowsArg := [][]int{nil}
+	rowIdx := make([]int, 0, sh.maxSub)
+	for at := 0; at < localRows; {
+		n := min(sh.maxSub, localRows-at)
+		rowIdx = rowIdx[:0]
+		for r := at; r < at+n; r++ {
+			rowIdx = append(rowIdx, r)
+		}
+		rowsArg[0] = rowIdx
+		if _, err := src.cl.EmbedInto(vals[at*dim:(at+n)*dim], rowsArg, n); err != nil {
+			return
+		}
+		at += n
+	}
+	if err := sh.store.InstallSnapshot(head, vals); err == nil {
+		rc.snapshots.Inc()
+	}
 }
 
 // resync re-admits a recovered replica: flip it to syncing, replay the
@@ -233,13 +339,15 @@ func (rc *RemoteCluster) resync(sh *rShard, rep *replica, h wire.Hello) {
 	sh.updMu.Lock()
 	defer sh.updMu.Unlock()
 	rep.applied = h.UpdateSeq
-	before := rep.applied
+	// Entries below the trim horizon arrive via snapshot reseat, not
+	// replay; only the tail counts as replayed.
+	before := max(rep.applied, sh.store.Base())
 	if err := rc.catchUp(sh, rep); err != nil {
 		rep.state.Store(repDown)
 		return
 	}
 	if rep.state.CompareAndSwap(repSyncing, repHealthy) {
 		rc.resyncs.Inc()
-		rc.replayed.Add(uint64(len(sh.log)) - before)
+		rc.replayed.Add(sh.store.Head() - before)
 	}
 }

@@ -602,6 +602,57 @@ func (d *Deployment) ApplyUpdatesToNode(ups []TableUpdate) error {
 	return d.applyUpdates(ups, false)
 }
 
+// RestoreRows overwrites rows of table t with absolute values (vals holds
+// len(rows) embeddings, row-major) on both the node table and the golden
+// write-through copy. It is the snapshot-install primitive of the
+// durability plane: unlike ApplyUpdates it does not accumulate, so it can
+// reseat a replica from a full-table snapshot without replaying the update
+// history that produced it. Rows are written in slice order under the
+// table's update lock, serializing against in-flight SCATTER_ADDs.
+func (d *Deployment) RestoreRows(t int, rows []int, vals []float32) error {
+	return d.restoreRows(t, rows, vals, true)
+}
+
+// RestoreRowsToNode is RestoreRows without the golden write-through, for
+// replica fan-out over a shared *recsys.Model — the same split as
+// ApplyUpdates / ApplyUpdatesToNode.
+func (d *Deployment) RestoreRowsToNode(t int, rows []int, vals []float32) error {
+	return d.restoreRows(t, rows, vals, false)
+}
+
+func (d *Deployment) restoreRows(t int, rows []int, vals []float32, writeThrough bool) error {
+	cfg := d.Model.Cfg
+	if t < 0 || t >= cfg.Tables {
+		return fmt.Errorf("runtime: restore: table %d out of range", t)
+	}
+	if len(vals) != len(rows)*cfg.EmbDim {
+		return fmt.Errorf("runtime: restore: %d values for %d rows of dim %d", len(vals), len(rows), cfg.EmbDim)
+	}
+	tb := d.Model.Embedding.Tables[t]
+	for _, r := range rows {
+		if r < 0 || r >= tb.Rows() {
+			return fmt.Errorf("runtime: restore: row %d out of range [0, %d)", r, tb.Rows())
+		}
+	}
+	if err := d.enter(); err != nil {
+		return err
+	}
+	defer d.inflight.Done()
+	embBytes := uint64(cfg.EmbBytes())
+	d.tableMu[t].Lock()
+	defer d.tableMu[t].Unlock()
+	for i, r := range rows {
+		src := vals[i*cfg.EmbDim : (i+1)*cfg.EmbDim]
+		if err := d.Node.WriteFloats(d.tableBase[t]+uint64(r)*embBytes, src); err != nil {
+			return fmt.Errorf("runtime: restore row %d: %w", r, err)
+		}
+		if writeThrough {
+			copy(tb.Row(r), src)
+		}
+	}
+	return nil
+}
+
 // GroupUpdatesByTable splits an update batch into per-table groups,
 // preserving slice order within each table, and returns the tables in
 // first-appearance order. It is the single authoritative grouping for the

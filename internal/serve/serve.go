@@ -652,6 +652,56 @@ func (s *Server) fanOutUpdate(ups []runtime.TableUpdate) error {
 	return nil
 }
 
+// Restore overwrites rows of one table with absolute embedding values on
+// every replica deployment (write-through to each distinct golden model
+// exactly once) — the serving-side half of a durable snapshot install. It
+// bypasses the micro-batching queue: restores are a cold recovery path
+// that must not contend with live traffic for batch slots, and the
+// server-wide update lock already gives them the same atomicity as a
+// fanned-out update. Safe for concurrent use with reads and updates.
+func (s *Server) Restore(table int, rows []int, vals []float32) error {
+	cfg := s.deps[0].Model.Cfg
+	if table < 0 || table >= cfg.Tables {
+		return fmt.Errorf("serve: restore: table %d out of range [0, %d)", table, cfg.Tables)
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("serve: restore: empty row set")
+	}
+	if len(rows) > s.cfg.MaxBatch*cfg.Reduction {
+		return fmt.Errorf("serve: restore: %d rows exceed the %d-row cap", len(rows), s.cfg.MaxBatch*cfg.Reduction)
+	}
+	if len(vals) != len(rows)*cfg.EmbDim {
+		return fmt.Errorf("serve: restore: %d values for %d rows of dim %d", len(vals), len(rows), cfg.EmbDim)
+	}
+	for _, r := range rows {
+		if r < 0 || r >= cfg.TableRows {
+			return fmt.Errorf("serve: restore: row index %d out of range [0, %d)", r, cfg.TableRows)
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: server is closed")
+	}
+	s.mu.Unlock()
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	seen := make(map[*recsys.Model]bool, len(s.deps))
+	for i, d := range s.deps {
+		var err error
+		if seen[d.Model] {
+			err = d.RestoreRowsToNode(table, rows, vals)
+		} else {
+			seen[d.Model] = true
+			err = d.RestoreRows(table, rows, vals)
+		}
+		if err != nil {
+			return fmt.Errorf("serve: restore: replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // Close stops accepting requests, drains everything already submitted
 // (pending micro-batches execute and reply — reads and updates alike, so a
 // caller blocked in Infer, Embed or Update always gets its result), stops

@@ -49,8 +49,10 @@ const Magic = 0x54444e50
 // number and added the SYNC replica catch-up op. Revision 3 added the
 // BATCH coalescing super-frame and a frame-size announcement in both
 // handshake directions, so each endpoint can coalesce responses without
-// ever exceeding what its peer is willing to read.
-const Version = 3
+// ever exceeding what its peer is willing to read. Revision 4 added the
+// RESTORE snapshot-install op, which lets a router reseat a lagging
+// replica from a durable snapshot instead of replaying from sequence 0.
+const Version = 4
 
 // DefaultMaxFrameBytes bounds one frame's wire size when a Config leaves
 // the limit zero: large enough for a maximal update batch against the
@@ -124,6 +126,20 @@ const (
 	// if they had arrived individually (each sub-request is admitted,
 	// executed, and answered under its own id); a BATCH may not nest.
 	OpBatch Op = 12
+	// OpRestore installs one chunk of an absolute table snapshot on a
+	// replica: payload is a uint64 snapshot sequence number, a commit byte,
+	// a uint32 table, a uint32 row count, the rows, and rows x dim float32
+	// absolute values (not gradients — the rows are overwritten, not
+	// accumulated). The router streams a snapshot as a chunk sequence; only
+	// the final chunk carries commit = 1, which moves the server's update
+	// counter to the snapshot sequence. A snapshot older than the server's
+	// applied state is rejected as BAD_REQUEST, so a restore can never
+	// travel backwards.
+	OpRestore Op = 13
+	// OpRestoreResp answers OpRestore: payload is the server's uint64
+	// update counter after the chunk was absorbed (unchanged until the
+	// commit chunk lands).
+	OpRestoreResp Op = 14
 )
 
 // ErrCode classifies an OpError frame.
@@ -624,6 +640,90 @@ func DecodeSyncResp(payload []byte) (uint64, error) {
 	return binary.LittleEndian.Uint64(payload), nil
 }
 
+// AppendRestore appends an OpRestore frame: one chunk of an absolute table
+// snapshot at sequence seq, overwriting the given rows of the table with
+// vals (len(rows) x dim values). commit marks the final chunk of the
+// snapshot stream. Like the other hot encoders, size validation is the
+// caller's job.
+func AppendRestore(buf []byte, id uint64, seq uint64, commit bool, table int, rows []int, vals []float32) []byte {
+	buf, lenAt := beginFrame(buf, OpRestore, id)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	c := byte(0)
+	if commit {
+		c = 1
+	}
+	buf = append(buf, c)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(table))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rows)))
+	for _, r := range rows {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+	}
+	buf = appendFloats(buf, vals)
+	return endFrame(buf, lenAt)
+}
+
+// DecodeRestore parses an OpRestore payload against the geometry into s's
+// arenas (the same reusable storage DecodeUpdate fills), returning the
+// snapshot sequence, the commit flag, and the chunk's target as a single
+// Update whose Grads carry absolute row values. Row counts obey the same
+// maxBatch x reduction cap as update frames, and every index is
+// range-checked, so a malformed restore is rejected at the protocol layer.
+func DecodeRestore(payload []byte, g Geometry, s *UpdateScratch) (seq uint64, commit bool, up Update, err error) {
+	if len(payload) < 8+1+4+4 {
+		return 0, false, Update{}, fmt.Errorf("wire: restore payload %d B, want at least %d", len(payload), 8+1+4+4)
+	}
+	seq = binary.LittleEndian.Uint64(payload)
+	switch payload[8] {
+	case 0:
+	case 1:
+		commit = true
+	default:
+		return 0, false, Update{}, fmt.Errorf("wire: restore commit byte %d, want 0 or 1", payload[8])
+	}
+	table := int(binary.LittleEndian.Uint32(payload[9:]))
+	n := int(binary.LittleEndian.Uint32(payload[13:]))
+	if table < 0 || table >= g.Tables {
+		return 0, false, Update{}, fmt.Errorf("wire: restore table %d out of range [0, %d)", table, g.Tables)
+	}
+	maxRows := g.MaxBatch * g.Reduction
+	if n <= 0 || n > maxRows {
+		return 0, false, Update{}, fmt.Errorf("wire: restore row count %d out of range [1, %d]", n, maxRows)
+	}
+	want := 8 + 1 + 4 + 4 + 4*n + 4*n*g.Dim
+	if len(payload) != want {
+		return 0, false, Update{}, fmt.Errorf("wire: restore payload %d B, want %d for %d rows of dim %d",
+			len(payload), want, n, g.Dim)
+	}
+	p := payload[17:]
+	s.Rows, s.Grads = s.Rows[:0], s.Grads[:0]
+	for i := 0; i < n; i++ {
+		r := int(binary.LittleEndian.Uint32(p[4*i:]))
+		if r >= g.TableRows {
+			return 0, false, Update{}, fmt.Errorf("wire: restore row index %d out of range [0, %d)", r, g.TableRows)
+		}
+		s.Rows = append(s.Rows, r)
+	}
+	s.Grads = growFloats(s.Grads, n*g.Dim)
+	decodeFloats(s.Grads, p[4*n:])
+	return seq, commit, Update{Table: table, Rows: s.Rows, Grads: s.Grads}, nil
+}
+
+// AppendRestoreResp appends an OpRestoreResp frame carrying the server's
+// update counter after absorbing the restore chunk.
+func AppendRestoreResp(buf []byte, id uint64, seq uint64) []byte {
+	buf, lenAt := beginFrame(buf, OpRestoreResp, id)
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	return endFrame(buf, lenAt)
+}
+
+// DecodeRestoreResp parses an OpRestoreResp payload.
+func DecodeRestoreResp(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("wire: restore response %d B, want 8", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
 // AppendError appends an OpError frame with the code and message.
 func AppendError(buf []byte, id uint64, code ErrCode, msg string) []byte {
 	buf, lenAt := beginFrame(buf, OpError, id)
@@ -818,4 +918,17 @@ func decodeFloats(dst []float32, p []byte) {
 	for i := range dst {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
 	}
+}
+
+// AppendFloat32s appends vals to buf as raw little-endian float32 bits —
+// the wire's float encoding, exported so on-disk formats (the durability
+// plane's snapshot files) lay floats out exactly like the protocol does.
+func AppendFloat32s(buf []byte, vals []float32) []byte {
+	return appendFloats(buf, vals)
+}
+
+// DecodeFloat32s fills dst from len(dst)*4 raw little-endian bytes, the
+// inverse of AppendFloat32s. p must hold at least 4*len(dst) bytes.
+func DecodeFloat32s(dst []float32, p []byte) {
+	decodeFloats(dst, p)
 }

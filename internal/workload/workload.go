@@ -68,18 +68,41 @@ type zipfCDFKey struct {
 	s    float64
 }
 
+// zipfCDFEntry is one cached inverse-CDF table.
+type zipfCDFEntry struct {
+	key zipfCDFKey
+	cdf []float64 // read-only after construction
+}
+
 // zipfCDFs caches the (read-only) inverse-CDF tables per (rows, s): a load
 // generator that builds one short-lived Generator per client or per request
 // pays the O(rows) CDF construction once per distinct geometry instead of
-// every time. Values are []float64 and never mutated after insertion.
-var zipfCDFs sync.Map
+// every time. The cache is a small move-to-front LRU capped at
+// zipfCDFCap entries, so a sweep over many distinct geometries (a row-count
+// scan, an exponent scan) cannot pin an unbounded number of O(rows) tables
+// in a long-lived process — each entry is 8 bytes per table row, and real
+// workloads reuse at most a handful of geometries at a time.
+const zipfCDFCap = 8
 
-// zipfCDF returns the cached CDF for (rows, s), computing it on first use.
+var (
+	zipfCDFMu  sync.Mutex
+	zipfCDFLRU []zipfCDFEntry // front = most recently used, len <= zipfCDFCap
+)
+
+// zipfCDF returns the cached CDF for (rows, s), computing it on first use
+// and evicting the least recently used geometry past the cap.
 func zipfCDF(rows int, s float64) []float64 {
 	key := zipfCDFKey{rows: rows, s: s}
-	if v, ok := zipfCDFs.Load(key); ok {
-		return v.([]float64)
+	zipfCDFMu.Lock()
+	for i, e := range zipfCDFLRU {
+		if e.key == key {
+			copy(zipfCDFLRU[1:i+1], zipfCDFLRU[:i]) // move to front
+			zipfCDFLRU[0] = e
+			zipfCDFMu.Unlock()
+			return e.cdf
+		}
 	}
+	zipfCDFMu.Unlock()
 	cdf := make([]float64, rows)
 	var acc float64
 	for i := range cdf {
@@ -89,8 +112,21 @@ func zipfCDF(rows int, s float64) []float64 {
 	for i := range cdf {
 		cdf[i] /= acc
 	}
-	v, _ := zipfCDFs.LoadOrStore(key, cdf)
-	return v.([]float64)
+	zipfCDFMu.Lock()
+	defer zipfCDFMu.Unlock()
+	for i, e := range zipfCDFLRU { // recheck: a racing builder may have won
+		if e.key == key {
+			copy(zipfCDFLRU[1:i+1], zipfCDFLRU[:i])
+			zipfCDFLRU[0] = e
+			return e.cdf
+		}
+	}
+	if len(zipfCDFLRU) < zipfCDFCap {
+		zipfCDFLRU = append(zipfCDFLRU, zipfCDFEntry{})
+	}
+	copy(zipfCDFLRU[1:], zipfCDFLRU[:len(zipfCDFLRU)-1])
+	zipfCDFLRU[0] = zipfCDFEntry{key: key, cdf: cdf}
+	return cdf
 }
 
 // NewZipfGenerator builds a generator drawing indices from a Zipf
@@ -100,7 +136,8 @@ func zipfCDF(rows int, s float64) []float64 {
 // precomputed CDF with binary search, so any s > 0 works — including the
 // s ≈ 0.9 fits RecNMP reports for production embedding traffic. The CDF is
 // computed once per (rows, s) geometry and shared by every generator over
-// it (8 bytes per table row); draws are deterministic for a fixed seed.
+// it (8 bytes per table row) through a small LRU capped at zipfCDFCap
+// geometries; draws are deterministic for a fixed seed.
 func NewZipfGenerator(rows int, s float64, seed int64) (*Generator, error) {
 	if rows <= 0 {
 		return nil, fmt.Errorf("workload: rows must be positive, got %d", rows)

@@ -204,3 +204,40 @@ func TestZipfGeneratorExponentOrdering(t *testing.T) {
 		t.Fatalf("Zipf(0.5) top-5%% mass %.2f >= Zipf(1.2) mass %.2f", m5, m12)
 	}
 }
+
+// TestZipfCDFCacheBounded pins the CDF cache's LRU bound: after touching
+// many more distinct (rows, s) geometries than the cap, at most zipfCDFCap
+// tables stay resident, the hot geometry survives (it is re-touched every
+// round), and a cached geometry is returned by reference rather than
+// rebuilt.
+func TestZipfCDFCacheBounded(t *testing.T) {
+	zipfCDFMu.Lock()
+	zipfCDFLRU = nil // isolate from other tests
+	zipfCDFMu.Unlock()
+
+	hot := zipfCDF(100, 0.9)
+	for i := 0; i < 20; i++ {
+		zipfCDF(101+i, 1.1) // 20 distinct cold geometries
+		zipfCDF(100, 0.9)   // keep the hot one fresh
+	}
+	zipfCDFMu.Lock()
+	n := len(zipfCDFLRU)
+	zipfCDFMu.Unlock()
+	if n > zipfCDFCap {
+		t.Fatalf("CDF cache holds %d geometries, cap is %d", n, zipfCDFCap)
+	}
+	if got := zipfCDF(100, 0.9); &got[0] != &hot[0] {
+		t.Fatal("hot geometry was evicted despite being re-touched every round")
+	}
+	// The most recent cold geometry is still cached; the oldest is not.
+	if got := zipfCDF(120, 1.1); &got[0] == nil {
+		t.Fatal("unreachable")
+	}
+	g, err := NewZipfGenerator(100, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &g.cdf[0] != &hot[0] {
+		t.Fatal("NewZipfGenerator rebuilt a cached CDF")
+	}
+}

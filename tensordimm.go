@@ -72,6 +72,7 @@ import (
 	"tensordimm/internal/netclient"
 	"tensordimm/internal/netserve"
 	"tensordimm/internal/node"
+	"tensordimm/internal/persist"
 	"tensordimm/internal/recsys"
 	"tensordimm/internal/remote"
 	"tensordimm/internal/runtime"
@@ -293,6 +294,11 @@ func ClusterBackend(c *Cluster) NetBackend { return netserve.ClusterBackend(c) }
 // to the golden model no matter which replica answers. Each shard process
 // serves its slice via `tensorserve -listen -shard-id` (or any NetServer
 // over a Deployment of ExtractShardModel's output with RoleReplica).
+// With cfg.DataDir set the update log is durable: every update is written
+// to a per-shard WAL before it fans out, full-table snapshots trim the
+// log, and a router restarted from the same DataDir resumes its sequence
+// and catches replicas up — serving state bit-identical to an uncrashed
+// writer.
 func NewRemoteCluster(cfg RemoteConfig) (*RemoteCluster, error) {
 	return remote.New(cfg)
 }
@@ -311,6 +317,21 @@ func ExtractShardModel(m *Model, strategy ShardStrategy, nodes, s int) (*Model, 
 // server's sub-batch cap with MaxSub.
 func NewPlacement(strategy ShardStrategy, nodes, tables, rows int) *Placement {
 	return cluster.NewPlacement(strategy, nodes, tables, rows)
+}
+
+// SaveHotRows persists a shard's hot-row top-K (flat local row indices,
+// hottest first — Cluster.HotRows's output) under dir, written atomically.
+// A serving process calls it at drain so the next boot can WarmCache
+// before admitting traffic; an empty list removes the file.
+func SaveHotRows(dir string, shard int, rows []int) error {
+	return persist.SaveHotRows(dir, shard, rows)
+}
+
+// LoadHotRows reads a shard's persisted hot-row list, hottest first. A
+// missing or corrupt file yields (nil, nil) — pre-warming is advisory, so
+// a cold start is the fallback, never a boot failure.
+func LoadHotRows(dir string, shard int) ([]int, error) {
+	return persist.LoadHotRows(dir, shard)
 }
 
 // DialNet connects a pooled, pipelined client to a NetServer. The
