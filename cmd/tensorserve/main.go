@@ -113,9 +113,12 @@ type flags struct {
 	replicas int
 	sticky   bool
 	linger   time.Duration
+	deadline time.Duration
 
 	dataDir   string
 	snapEvery int
+
+	chaosSeed int64
 }
 
 func main() {
@@ -151,6 +154,8 @@ func main() {
 	flag.DurationVar(&f.linger, "linger", 0, "with -listen: per-connection response-coalescing linger window (0 selects the 50us default)")
 	flag.StringVar(&f.dataDir, "data-dir", "", "durability root: with -join, each shard's update WAL and snapshots live here and a restarted driver resumes from them; with -listen -nodes N, hot-row lists persist here for cache pre-warming across restarts")
 	flag.IntVar(&f.snapEvery, "snapshot-every", 0, "with -join: log entries per shard between full-table snapshots, which trim the update log (0 selects the default)")
+	flag.DurationVar(&f.deadline, "deadline", 0, "with -connect or -join: end-to-end deadline budget per request, propagated to the server so both sides shed expired work (0 disables)")
+	flag.Int64Var(&f.chaosSeed, "chaos-seed", 0, "run a seeded chaos soak against an in-process replica fleet instead of serving or driving load; -duration bounds the fault phase (0 disables)")
 	flag.Parse()
 
 	if err := validate(f); err != nil {
@@ -158,6 +163,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	if f.chaosSeed != 0 {
+		runChaos(f)
+		return
+	}
 	if f.connect != "" {
 		runConnect(f)
 		return
@@ -211,6 +220,15 @@ func validate(f flags) error {
 	}
 	if modes > 1 {
 		return fmt.Errorf("-listen, -connect and -join are mutually exclusive (one process serves, the other drives)")
+	}
+	if f.chaosSeed != 0 && modes > 0 {
+		return fmt.Errorf("-chaos-seed cannot be combined with -listen, -connect or -join: the soak boots its own in-process fleet")
+	}
+	if f.deadline < 0 {
+		return fmt.Errorf("-deadline %v must not be negative (0 disables)", f.deadline)
+	}
+	if set["deadline"] && f.connect == "" && f.join == "" {
+		return fmt.Errorf("-deadline needs -connect or -join: the budget is stamped by the requesting client")
 	}
 	if f.connect == "" && f.join == "" {
 		// Network-only flags in the in-process driver would be silently
@@ -643,6 +661,7 @@ func runConnect(f flags) {
 	cl, err := tensordimm.DialNet(f.connect, tensordimm.NetClientConfig{
 		Conns:    f.conns,
 		RetryFor: 5 * time.Second,
+		Deadline: f.deadline,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -668,6 +687,7 @@ func runConnect(f flags) {
 		mu        sync.Mutex
 		completed int
 		shed      int
+		expired   int
 		failed    int
 		firstErr  error
 		lat       stats.Latency
@@ -715,6 +735,10 @@ func runConnect(f flags) {
 				lat.Observe(time.Since(t0).Seconds())
 			case isShed(err):
 				shed++
+			case isDeadline(err):
+				// Under open-loop overload a -deadline driver expects expired
+				// requests: both sides shedding them is the feature working.
+				expired++
 			default:
 				failed++
 				if firstErr == nil {
@@ -727,8 +751,8 @@ func runConnect(f flags) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("offered %d requests: %d completed, %d shed (OVERLOADED), %d failed\n",
-		offered, completed, shed, failed)
+	fmt.Printf("offered %d requests: %d completed, %d shed (OVERLOADED), %d expired (DEADLINE_EXCEEDED), %d failed\n",
+		offered, completed, shed, expired, failed)
 	fmt.Printf("sustained %.0f req/s against %.0f req/s offered\n",
 		float64(completed)/elapsed.Seconds(), f.rate)
 	fmt.Printf("client-observed latency  %s\n", lat.Summary())
@@ -774,6 +798,7 @@ func runJoin(f flags) {
 		ReadOnly:      f.sticky,
 		DataDir:       f.dataDir,
 		SnapshotEvery: f.snapEvery,
+		Deadline:      f.deadline,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -804,6 +829,7 @@ func runJoin(f flags) {
 		wg          sync.WaitGroup
 		mu          sync.Mutex
 		completed   int
+		expired     int
 		failed      int
 		unavailable int
 		firstErr    error
@@ -851,6 +877,12 @@ func runJoin(f flags) {
 				lat.Observe(time.Since(t0).Seconds())
 				return
 			}
+			if isDeadline(err) {
+				// The router surfaces a typed budget exhaustion instead of
+				// retrying forever — expected under -deadline, not a loss.
+				expired++
+				return
+			}
 			failed++
 			var un *tensordimm.RemoteUnavailable
 			if errors.As(err, &un) {
@@ -865,8 +897,8 @@ func runJoin(f flags) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("offered %d requests: %d completed, %d failed (%d with a whole replica group down)\n",
-		offered, completed, failed, unavailable)
+	fmt.Printf("offered %d requests: %d completed, %d expired (deadline), %d failed (%d with a whole replica group down)\n",
+		offered, completed, expired, failed, unavailable)
 	fmt.Printf("sustained %.0f req/s against %.0f req/s offered\n",
 		float64(completed)/elapsed.Seconds(), f.rate)
 	fmt.Printf("client-observed latency  %s\n", lat.Summary())
@@ -884,6 +916,38 @@ func runJoin(f flags) {
 func isShed(err error) bool {
 	se, ok := err.(*tensordimm.NetServerError)
 	return ok && se.Code == tensordimm.NetErrOverloaded
+}
+
+// isDeadline reports whether err is a deadline-budget exhaustion, in any
+// of its typed forms: tripped client-side before the reply, shed by the
+// server after the propagated budget expired, or surfaced by the replica
+// router after retries ran the budget out.
+func isDeadline(err error) bool {
+	var dl *tensordimm.NetDeadlineError
+	var de *tensordimm.RemoteDeadlineExceeded
+	var se *tensordimm.NetServerError
+	if errors.As(err, &dl) || errors.As(err, &de) {
+		return true
+	}
+	return errors.As(err, &se) && se.Code == tensordimm.NetErrDeadlineExceeded
+}
+
+// runChaos runs the seeded chaos soak: an in-process replica fleet under
+// a deterministic fault schedule, with bit-identity, durability and
+// deadline invariants checked throughout. Exits non-zero on any
+// violation, which makes it the CI chaos smoke.
+func runChaos(f flags) {
+	fmt.Printf("chaos soak: seed %d, %v fault phase\n", f.chaosSeed, f.duration)
+	rep, err := tensordimm.RunChaos(tensordimm.ChaosConfig{
+		Seed:     f.chaosSeed,
+		Duration: f.duration,
+		Log:      func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	fmt.Println(rep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tensorserve:", err)
+		os.Exit(1)
+	}
 }
 
 // deploySingle sizes and uploads one TensorNode deployment.

@@ -19,6 +19,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"tensordimm/internal/cluster"
 	"tensordimm/internal/netclient"
@@ -209,6 +210,13 @@ func ClusterEmbed(b *testing.B) {
 // loopback listener and dials a pooled netclient against it — the fixed
 // serving plane NetRoundTrip and the saturation sweep share.
 func netStack(b *testing.B) (*recsys.Model, *netserve.Server, *netclient.Client, func()) {
+	return netStackDeadline(b, 0)
+}
+
+// netStackDeadline is netStack with a client-side deadline budget on
+// every request — the steady-state configuration NetRoundTripDeadline
+// pins, where budgets are stamped and checked but never trip.
+func netStackDeadline(b *testing.B, deadline time.Duration) (*recsys.Model, *netserve.Server, *netclient.Client, func()) {
 	m, cluster, clusterDown := clusterStack(b)
 	srv, err := netserve.New(netserve.ClusterBackend(cluster), netserve.Config{})
 	if err != nil {
@@ -222,7 +230,7 @@ func netStack(b *testing.B) (*recsys.Model, *netserve.Server, *netclient.Client,
 		b.Fatal(err)
 	}
 	go srv.Serve(l)
-	cl, err := netclient.Dial(l.Addr().String(), netclient.Config{Conns: benchNetConns})
+	cl, err := netclient.Dial(l.Addr().String(), netclient.Config{Conns: benchNetConns, Deadline: deadline})
 	if err != nil {
 		srv.Close()
 		clusterDown()
@@ -252,6 +260,24 @@ func NetRoundTrip(b *testing.B) {
 	b.ReportMetric(sm.Latency.P99*1e6, "p99-us")
 	b.ReportMetric(float64(sm.BatchedIn)/float64(sm.BatchesIn+1), "in-coalesce")
 	b.ReportMetric(float64(sm.BatchedOut)/float64(sm.BatchesOut+1), "out-coalesce")
+}
+
+// NetRoundTripDeadline is the BenchmarkNetRoundTripDeadline body: the
+// NetRoundTrip workload with an ample per-request deadline budget (250ms
+// against sub-millisecond round trips, so it never trips). It pins the
+// cost of carrying deadlines on the steady-state read path: stamping the
+// budget client-side, the wire bytes, the server-side expiry checks at
+// admission and execution, and the client's per-call deadline timer —
+// all of it allocation-free, enforced by the CI allocation gate.
+func NetRoundTripDeadline(b *testing.B) {
+	m, srv, cl, cleanup := netStackDeadline(b, 250*time.Millisecond)
+	defer cleanup()
+	driveEmbed(b, m, benchNetClients, cl.EmbedInto)
+	sm := srv.Metrics()
+	b.ReportMetric(sm.Latency.P99*1e6, "p99-us")
+	if sm.Expired != 0 {
+		b.Fatalf("%d requests expired under a 250ms budget: the benchmark must never trip deadlines", sm.Expired)
+	}
 }
 
 // ExpandIndices is the BenchmarkExpandIndices body: stripe-index expansion
@@ -301,14 +327,16 @@ func digest(name string, r testing.BenchmarkResult) Result {
 	return out
 }
 
-// RunSuite executes the four hot-path benchmarks with testing.Benchmark
+// RunSuite executes the hot-path benchmarks with testing.Benchmark
 // (auto-scaled iteration counts) and returns their digests in suite order:
-// ServeThroughput, ClusterEmbed, ExpandIndices, NetRoundTrip.
+// ServeThroughput, ClusterEmbed, ExpandIndices, NetRoundTrip,
+// NetRoundTripDeadline.
 func RunSuite() []Result {
 	return []Result{
 		digest("ServeThroughput", testing.Benchmark(ServeThroughput)),
 		digest("ClusterEmbed", testing.Benchmark(ClusterEmbed)),
 		digest("ExpandIndices", testing.Benchmark(ExpandIndices)),
 		digest("NetRoundTrip", testing.Benchmark(NetRoundTrip)),
+		digest("NetRoundTripDeadline", testing.Benchmark(NetRoundTripDeadline)),
 	}
 }

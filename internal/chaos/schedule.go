@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// eventKind enumerates the fault primitives a schedule composes: the
+// faultnet knobs (read delay, mid-frame truncation, hard connection
+// resets), process-level kill/restart, and the deadline-starving stall
+// (a delay burst longer than any skew reader's budget, so end-to-end
+// deadlines actually fire instead of merely being carried).
+type eventKind int
+
+const (
+	evDelay eventKind = iota
+	evClearDelay
+	evTruncate
+	evClearTruncate
+	evReset
+	evKill
+	evRestart
+)
+
+// String names the kind for schedule dumps and violation reports.
+func (k eventKind) String() string {
+	switch k {
+	case evDelay:
+		return "delay"
+	case evClearDelay:
+		return "clear-delay"
+	case evTruncate:
+		return "truncate"
+	case evClearTruncate:
+		return "clear-truncate"
+	case evReset:
+		return "reset"
+	case evKill:
+		return "kill"
+	case evRestart:
+		return "restart"
+	}
+	return "unknown"
+}
+
+// event is one scheduled fault against one victim replica. Replica 0 of
+// every shard is never a victim: with one replica per shard always
+// healthy, acknowledged updates can never wholly fail and the golden
+// model can never diverge through a partially-applied batch — which is
+// what lets the soak assert bit-identity at every quiescent point.
+type event struct {
+	at     time.Duration // offset into the round
+	shard  int
+	rep    int // victim replica index, always >= 1
+	kind   eventKind
+	amount time.Duration // evDelay: added per-read latency
+	bytes  int64         // evTruncate: bytes until the mid-frame cut
+}
+
+// String renders one event for logs.
+func (e event) String() string {
+	return fmt.Sprintf("%7s s%dr%d %v amount=%v bytes=%d", e.kind, e.shard, e.rep, e.at.Round(time.Millisecond), e.amount, e.bytes)
+}
+
+// genSchedule derives the full soak schedule from the seed: `rounds`
+// rounds of 3-6 fault bursts each, every burst paired with its clearing
+// or restart event inside the same round. The same (seed, rounds, shards,
+// replicas, round) always yields the same schedule, so a soak failure
+// reproduces from its seed alone. replicas must be >= 2 (replica 0 is
+// never faulted).
+func genSchedule(seed int64, rounds, shards, replicas int, round time.Duration) [][]event {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]event, rounds)
+	for r := range out {
+		n := 3 + rng.Intn(4)
+		evs := make([]event, 0, 2*n)
+		for i := 0; i < n; i++ {
+			s := rng.Intn(shards)
+			rep := 1 + rng.Intn(replicas-1)
+			at := time.Duration(rng.Int63n(int64(round * 3 / 4)))
+			clearAfter := time.Duration(rng.Int63n(int64(round / 4)))
+			switch rng.Intn(5) {
+			case 0: // moderate slow-replica window
+				d := time.Duration(2+rng.Intn(20)) * time.Millisecond
+				evs = append(evs,
+					event{at: at, shard: s, rep: rep, kind: evDelay, amount: d},
+					event{at: at + clearAfter, shard: s, rep: rep, kind: evClearDelay})
+			case 1: // mid-frame truncation: the peer sees a cut stream
+				evs = append(evs,
+					event{at: at, shard: s, rep: rep, kind: evTruncate, bytes: 64 + int64(rng.Intn(4096))},
+					event{at: at + clearAfter, shard: s, rep: rep, kind: evClearTruncate})
+			case 2: // hard RST of every live connection
+				evs = append(evs, event{at: at, shard: s, rep: rep, kind: evReset})
+			case 3: // process kill, restarted cold later in the round
+				down := time.Duration(50+rng.Intn(150)) * time.Millisecond
+				evs = append(evs,
+					event{at: at, shard: s, rep: rep, kind: evKill},
+					event{at: at + down, shard: s, rep: rep, kind: evRestart})
+			default: // deadline-starving stall, far past any skew budget
+				d := time.Duration(100+rng.Intn(200)) * time.Millisecond
+				evs = append(evs,
+					event{at: at, shard: s, rep: rep, kind: evDelay, amount: d},
+					event{at: at + clearAfter, shard: s, rep: rep, kind: evClearDelay})
+			}
+		}
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+		out[r] = evs
+	}
+	return out
+}

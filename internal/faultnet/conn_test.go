@@ -1,0 +1,171 @@
+package faultnet_test
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// waitLive polls until the injector tracks exactly n live connections.
+func waitLive(t *testing.T, in interface{ Live() int }, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Live() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("Live() = %d, want %d", in.Live(), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// echo writes msg and reads it back, returning the round-trip time.
+func echo(t *testing.T, nc net.Conn, msg string) time.Duration {
+	t.Helper()
+	start := time.Now()
+	if _, err := nc.Write([]byte(msg)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != msg {
+		t.Fatalf("echoed %q, want %q", buf, msg)
+	}
+	return time.Since(start)
+}
+
+// TestDelayAppliesAtReadEntry pins the injector's delay semantics, which
+// every consumer's timing logic depends on: the sleep happens when Read
+// is ENTERED, so a Read the peer is already parked in passes un-delayed
+// and only the next entry stalls. A test (or soak) arming a delay
+// must therefore expect the FIRST request through to be fast.
+func TestDelayAppliesAtReadEntry(t *testing.T) {
+	addr, in := pipeServer(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Let the echo server accept and park in its first Read.
+	waitLive(t, in, 1)
+	time.Sleep(20 * time.Millisecond)
+
+	in.SetReadDelay(200 * time.Millisecond)
+	defer in.SetReadDelay(0)
+	// The parked Read predates the delay: the first echo is fast.
+	if el := echo(t, nc, "a"); el >= 150*time.Millisecond {
+		t.Fatalf("first echo took %v: a Read already parked must pass un-delayed", el)
+	}
+	// The server re-entered Read with the delay armed: the next echo
+	// stalls for (at least most of) it.
+	if el := echo(t, nc, "b"); el < 100*time.Millisecond {
+		t.Fatalf("second echo took %v: the next Read entry must sleep the armed delay", el)
+	}
+}
+
+// TestClearDelayRestoresLatency verifies disarming: one in-flight Read
+// may still be sleeping, but every entry after the clear is fast.
+func TestClearDelayRestoresLatency(t *testing.T) {
+	addr, in := pipeServer(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	waitLive(t, in, 1)
+	in.SetReadDelay(100 * time.Millisecond)
+	echo(t, nc, "a") // fast (parked Read), re-arms the next entry
+	in.SetReadDelay(0)
+	echo(t, nc, "b") // flushes the entry that was already sleeping
+	if el := echo(t, nc, "c"); el >= 80*time.Millisecond {
+		t.Fatalf("echo after clearing the delay took %v", el)
+	}
+}
+
+// TestTruncationBudgetIsPerConn pins that SetTruncateAfter arms each
+// accepted connection with its OWN byte budget — one victim's cut does
+// not spend a later connection's budget — and that clearing it restores
+// full streams for fresh connections.
+func TestTruncationBudgetIsPerConn(t *testing.T) {
+	addr, in := pipeServer(t)
+	in.SetTruncateAfter(4)
+
+	// A connection staying under its 4-byte budget works.
+	nc1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc1.Close()
+	echo(t, nc1, "xyz")
+
+	// A second connection gets a fresh 4-byte budget: 3 more bytes echo,
+	// which a budget shared with the first connection (4 - 3 = 1 left)
+	// could not carry.
+	nc2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	echo(t, nc2, "abc")
+	// The read consuming the budget's last byte RSTs the connection: the
+	// 4th byte goes in, but its echo can never come back.
+	nc2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	nc2.Write([]byte("e"))
+	buf := make([]byte, 1)
+	if _, err := nc2.Read(buf); err == nil {
+		t.Fatal("read through an exhausted truncation budget succeeded")
+	}
+
+	// Disarmed: fresh connections carry unbounded streams again.
+	in.SetTruncateAfter(0)
+	nc3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc3.Close()
+	echo(t, nc3, "a long message far past four bytes")
+}
+
+// TestLiveTracksConnLifecycle pins the Live() accounting across multiple
+// concurrent connections and their teardown.
+func TestLiveTracksConnLifecycle(t *testing.T) {
+	addr, in := pipeServer(t)
+	nc1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	echo(t, nc1, "a")
+	echo(t, nc2, "b")
+	waitLive(t, in, 2)
+	nc1.Close() // the echo server sees EOF and closes its wrapped side
+	waitLive(t, in, 1)
+}
+
+// TestDropResetsLiveConns pins that Drop(true) does not merely refuse
+// new connections: it RSTs every live one, so an armed drop looks like a
+// crashed process to its peers immediately.
+func TestDropResetsLiveConns(t *testing.T) {
+	addr, in := pipeServer(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	echo(t, nc, "a")
+	waitLive(t, in, 1)
+	in.Drop(true)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("read succeeded on a connection Drop should have reset")
+	}
+	waitLive(t, in, 0)
+	in.Drop(false)
+}

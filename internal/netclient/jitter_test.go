@@ -1,0 +1,48 @@
+package netclient
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterSpread pins the reconnect jitter's contract: every draw
+// lands in [d/2, d), and the draws actually spread across that window
+// rather than clustering — the property that de-synchronizes a fleet of
+// clients redialing a restarted replica at once.
+func TestJitterSpread(t *testing.T) {
+	const d = 100 * time.Millisecond
+	const n = 2000
+	lo, hi := d, time.Duration(0)
+	buckets := [4]int{} // quartiles of [d/2, d)
+	for i := 0; i < n; i++ {
+		j := jitter(d)
+		if j < d/2 || j >= d {
+			t.Fatalf("jitter(%v) = %v, outside [%v, %v)", d, j, d/2, d)
+		}
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+		buckets[int(4*(j-d/2)/(d-d/2))%4]++
+	}
+	// Uniform draws cover the window: with 2000 samples each quartile
+	// holds ~500; an empty one means the spread collapsed.
+	for q, c := range buckets {
+		if c == 0 {
+			t.Fatalf("quartile %d of [d/2, d) drew 0 of %d samples: %v", q, n, buckets)
+		}
+	}
+	if spread := hi - lo; spread < (d-d/2)/2 {
+		t.Fatalf("draws span only %v of the %v window (min %v, max %v)", spread, d-d/2, lo, hi)
+	}
+
+	// Degenerate durations pass through untouched (no panic, no negative
+	// sleep).
+	for _, v := range []time.Duration{0, 1} {
+		if got := jitter(v); got != v {
+			t.Fatalf("jitter(%v) = %v, want unchanged", v, got)
+		}
+	}
+}

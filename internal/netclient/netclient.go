@@ -42,6 +42,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -78,6 +80,16 @@ type Config struct {
 	// has elapsed — the knob that lets a client start before its server
 	// in scripted two-process runs. Zero means a single attempt.
 	RetryFor time.Duration
+	// Deadline is the per-request deadline budget stamped into EMBED and
+	// UPDATE frames and enforced client-side: a request with no response
+	// when the budget lapses fails with a *DeadlineError, and the late
+	// response (if it ever arrives) is discarded. The budget restarts at
+	// each hop (gRPC-style): the server measures its share from frame
+	// arrival, so wire transit is neither double-counted nor deducted.
+	// Zero means no deadline. StartEmbed callers enforce their own waits;
+	// the stamped budget still lets the server shed the request once
+	// expired.
+	Deadline time.Duration
 
 	// Reconnect supervises every pooled connection: when one is lost, a
 	// background goroutine redials it with exponential backoff instead of
@@ -116,6 +128,39 @@ type ServerError struct {
 
 // Error implements error.
 func (e *ServerError) Error() string { return fmt.Sprintf("netclient: server: %s: %s", e.Code, e.Msg) }
+
+// DeadlineError reports a client-local deadline miss: the request's
+// budget lapsed with no response on the wire, so the caller was released
+// and the late response (if any) will be dropped on arrival. It is
+// distinct from a *ServerError with wire.ErrDeadlineExceeded, which means
+// the server itself shed the already-expired request; both end a request
+// the caller has stopped caring about, and retrying with a fresh budget
+// is safe.
+type DeadlineError struct {
+	// Budget is the deadline budget the request was stamped with.
+	Budget time.Duration
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("netclient: deadline budget %v exhausted awaiting response", e.Budget)
+}
+
+// budgetMicros converts a deadline budget to its wire form: microseconds
+// clamped to uint32, with a floor of 1µs for any positive budget so "has
+// a deadline" survives the rounding (0 is reserved for "none").
+func budgetMicros(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	if us := d.Microseconds(); us >= math.MaxUint32 {
+		return math.MaxUint32
+	} else if us < 1 {
+		return 1
+	} else {
+		return uint32(us)
+	}
+}
 
 // Call is one in-flight request: the encode buffer, the destination the
 // reader decodes an embed response into, and the reply channel. Calls are
@@ -167,9 +212,15 @@ type clientConn struct {
 
 	pmu     sync.Mutex
 	pending map[uint64]*Call
-	broken  error // set once the connection is unusable; guarded by pmu
-	nextID  atomic.Uint64
-	rdDone  chan struct{}
+	// abandoned ids belong to deadline-expired calls whose caller already
+	// left: the reader drops their late responses instead of treating them
+	// as protocol violations. Entries are removed when the straggler
+	// arrives and die with the connection otherwise; the server answers
+	// every admitted request, so the set cannot grow without bound.
+	abandoned map[uint64]struct{}
+	broken    error // set once the connection is unusable; guarded by pmu
+	nextID    atomic.Uint64
+	rdDone    chan struct{}
 }
 
 // connSlot is one position in the pool. Without Reconnect it holds its
@@ -188,9 +239,10 @@ type Client struct {
 	width int
 	hello atomic.Pointer[wire.Hello] // latest handshake observed
 
-	slots    []*connSlot
-	rr       atomic.Uint64
-	callPool sync.Pool
+	slots     []*connSlot
+	rr        atomic.Uint64
+	callPool  sync.Pool
+	timerPool sync.Pool // stopped *time.Timer, for deadline waits
 
 	closed   atomic.Bool
 	closeCh  chan struct{}
@@ -204,9 +256,9 @@ type Client struct {
 // the deadline, so a client may start before its server.
 func Dial(addr string, cfg Config) (*Client, error) {
 	if cfg.Conns < 0 || cfg.MaxFrameBytes < 0 || cfg.DialTimeout < 0 || cfg.RetryFor < 0 ||
-		cfg.ReconnectMin < 0 || cfg.ReconnectMax < 0 {
-		return nil, fmt.Errorf("netclient: negative config (Conns %d, MaxFrameBytes %d, DialTimeout %v, RetryFor %v, ReconnectMin %v, ReconnectMax %v)",
-			cfg.Conns, cfg.MaxFrameBytes, cfg.DialTimeout, cfg.RetryFor, cfg.ReconnectMin, cfg.ReconnectMax)
+		cfg.ReconnectMin < 0 || cfg.ReconnectMax < 0 || cfg.Deadline < 0 {
+		return nil, fmt.Errorf("netclient: negative config (Conns %d, MaxFrameBytes %d, DialTimeout %v, RetryFor %v, ReconnectMin %v, ReconnectMax %v, Deadline %v)",
+			cfg.Conns, cfg.MaxFrameBytes, cfg.DialTimeout, cfg.RetryFor, cfg.ReconnectMin, cfg.ReconnectMax, cfg.Deadline)
 	}
 	if cfg.Conns == 0 {
 		cfg.Conns = 1
@@ -228,6 +280,13 @@ func Dial(addr string, cfg Config) (*Client, error) {
 	}
 	c := &Client{cfg: cfg, addr: addr, closeCh: make(chan struct{})}
 	c.callPool.New = func() any { return &Call{done: make(chan error, 1)} }
+	c.timerPool.New = func() any {
+		tm := time.NewTimer(time.Hour)
+		if !tm.Stop() {
+			<-tm.C
+		}
+		return tm
+	}
 	deadline := time.Now().Add(cfg.RetryFor)
 	for i := 0; i < cfg.Conns; i++ {
 		cc, h, err := dialOne(addr, cfg, deadline)
@@ -290,14 +349,15 @@ func dialOne(addr string, cfg Config, deadline time.Time) (*clientConn, wire.Hel
 			return nil, wire.Hello{}, fmt.Errorf("netclient: handshake: %w", err)
 		}
 		return &clientConn{
-			nc:      nc,
-			br:      br,
-			sendMax: min(cfg.MaxFrameBytes, h.MaxFrameBytes, maxCoalesceBytes),
-			sendBuf: make([]byte, wire.BatchHeaderBytes, 32<<10),
-			spare:   make([]byte, wire.BatchHeaderBytes, 32<<10),
-			flushCh: make(chan struct{}, 1),
-			pending: make(map[uint64]*Call),
-			rdDone:  make(chan struct{}),
+			nc:        nc,
+			br:        br,
+			sendMax:   min(cfg.MaxFrameBytes, h.MaxFrameBytes, maxCoalesceBytes),
+			sendBuf:   make([]byte, wire.BatchHeaderBytes, 32<<10),
+			spare:     make([]byte, wire.BatchHeaderBytes, 32<<10),
+			flushCh:   make(chan struct{}, 1),
+			pending:   make(map[uint64]*Call),
+			abandoned: make(map[uint64]struct{}),
+			rdDone:    make(chan struct{}),
 		}, h, nil
 	}
 }
@@ -354,13 +414,25 @@ func (c *Client) supervise(slot *connSlot) {
 			select {
 			case <-c.closeCh:
 				return
-			case <-time.After(backoff):
+			case <-time.After(jitter(backoff)):
 			}
 			if backoff *= 2; backoff > c.cfg.ReconnectMax {
 				backoff = c.cfg.ReconnectMax
 			}
 		}
 	}
+}
+
+// jitter spreads one reconnect sleep uniformly over [d/2, d): when a mass
+// replica restart breaks every client at once, full-half jitter keeps
+// their redial attempts from synchronizing into a thundering herd against
+// the returning server, while never sleeping less than half the nominal
+// backoff.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d-d/2)))
 }
 
 // Geometry returns the model geometry the server announced: everything a
@@ -446,13 +518,21 @@ func (c *Client) readLoop(cc *clientConn) {
 func (cc *clientConn) deliver(op wire.Op, id uint64, payload []byte) bool {
 	cc.pmu.Lock()
 	ca := cc.pending[id]
-	delete(cc.pending, id)
-	cc.pmu.Unlock()
 	if ca == nil {
+		if _, ok := cc.abandoned[id]; ok {
+			// A straggler for a deadline-expired call: its caller is gone,
+			// so the response is dropped on the floor.
+			delete(cc.abandoned, id)
+			cc.pmu.Unlock()
+			return true
+		}
+		cc.pmu.Unlock()
 		// A response for nothing we sent: the stream is not trustworthy.
 		cc.fail(fmt.Errorf("netclient: response for unknown request id %d", id))
 		return false
 	}
+	delete(cc.pending, id)
+	cc.pmu.Unlock()
 	var res error
 	switch op {
 	case wire.OpEmbedResp:
@@ -493,6 +573,21 @@ func (cc *clientConn) fail(err error) {
 	for _, ca := range pending {
 		ca.done <- err
 	}
+}
+
+// abandon removes a deadline-expired call from the pending table and
+// tombstones its id, so the reader drops the late response instead of
+// failing the connection. A false return means the reader already claimed
+// the call — its result is on the way and the caller must take it.
+func (cc *clientConn) abandon(id uint64) bool {
+	cc.pmu.Lock()
+	defer cc.pmu.Unlock()
+	if _, ok := cc.pending[id]; !ok {
+		return false
+	}
+	delete(cc.pending, id)
+	cc.abandoned[id] = struct{}{}
+	return true
 }
 
 // pick selects the connection for one request, skipping down or broken
@@ -644,6 +739,35 @@ func (cc *clientConn) roundTrip(ca *Call, id uint64) error {
 	return <-ca.done
 }
 
+// await waits for a started call's result, bounded by the deadline budget
+// when one is set: if the budget lapses first the call is abandoned (its
+// late response will be dropped by the reader) and a *DeadlineError
+// returned. The expiry timer is pooled, so the deadline-armed steady
+// state stays allocation-free.
+func (c *Client) await(cc *clientConn, ca *Call, id uint64, budget time.Duration) error {
+	if budget <= 0 {
+		return <-ca.done
+	}
+	tm := c.timerPool.Get().(*time.Timer)
+	tm.Reset(budget)
+	select {
+	case err := <-ca.done:
+		if !tm.Stop() {
+			<-tm.C
+		}
+		c.timerPool.Put(tm)
+		return err
+	case <-tm.C:
+		c.timerPool.Put(tm)
+		if cc.abandon(id) {
+			return &DeadlineError{Budget: budget}
+		}
+		// The reader claimed the call before it could be abandoned: the
+		// result is in flight, take it.
+		return <-ca.done
+	}
+}
+
 // getCall fetches a pooled call.
 func (c *Client) getCall() *Call { return c.callPool.Get().(*Call) }
 
@@ -664,8 +788,26 @@ func (c *Client) Finish(ca *Call) {
 // reaper. A non-nil error means nothing was sent (validation or no
 // usable connection).
 func (c *Client) StartEmbed(dst []float32, perTableRows [][]int, batch int) (*Call, error) {
+	ca, _, _, err := c.startEmbed(dst, perTableRows, batch, c.cfg.Deadline)
+	return ca, err
+}
+
+// StartEmbedBudget is StartEmbed with an explicit remaining deadline
+// budget overriding Config.Deadline: the replica router stamps each
+// failover or hedge attempt with the caller's remaining time, so a retry
+// can never outlive the original request's budget. Zero means no
+// deadline.
+func (c *Client) StartEmbedBudget(dst []float32, perTableRows [][]int, batch int, budget time.Duration) (*Call, error) {
+	ca, _, _, err := c.startEmbed(dst, perTableRows, batch, budget)
+	return ca, err
+}
+
+// startEmbed validates, encodes, and submits one embedding request,
+// returning the call plus the connection and id a deadline-bounded wait
+// needs to abandon it.
+func (c *Client) startEmbed(dst []float32, perTableRows [][]int, batch int, budget time.Duration) (*Call, *clientConn, uint64, error) {
 	if err := c.validateRead(perTableRows, batch); err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	need := batch * c.width
 	if cap(dst) < need {
@@ -674,17 +816,17 @@ func (c *Client) StartEmbed(dst []float32, perTableRows [][]int, batch int) (*Ca
 	dst = dst[:need]
 	cc, err := c.pick()
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	ca := c.getCall()
 	ca.dst = dst
 	id := cc.nextID.Add(1)
-	ca.buf = wire.AppendEmbed(ca.buf[:0], id, perTableRows, batch, c.geom.Reduction)
+	ca.buf = wire.AppendEmbed(ca.buf[:0], id, budgetMicros(budget), perTableRows, batch, c.geom.Reduction)
 	if err := cc.start(ca, id); err != nil {
 		c.Finish(ca)
-		return nil, err
+		return nil, nil, 0, err
 	}
-	return ca, nil
+	return ca, cc, id, nil
 }
 
 // EmbedInto submits one embedding request of `batch` samples and decodes
@@ -695,11 +837,11 @@ func (c *Client) StartEmbed(dst []float32, perTableRows [][]int, batch int) (*Ca
 // zero heap allocations in steady state. Safe for concurrent use (with
 // distinct dst buffers).
 func (c *Client) EmbedInto(dst []float32, perTableRows [][]int, batch int) ([]float32, error) {
-	ca, err := c.StartEmbed(dst, perTableRows, batch)
+	ca, cc, id, err := c.startEmbed(dst, perTableRows, batch, c.cfg.Deadline)
 	if err != nil {
 		return nil, err
 	}
-	err = <-ca.done
+	err = c.await(cc, ca, id, c.cfg.Deadline)
 	dst = ca.dst
 	c.Finish(ca)
 	if err != nil {
@@ -740,7 +882,8 @@ func (c *Client) validateRead(perTableRows [][]int, batch int) error {
 
 // validateUpdates checks one update batch against the announced geometry
 // and returns its encoded frame size given the payload overhead before
-// the update list (2 B count for UPDATE, 8+2 B seq+count for SYNC).
+// the update list (4+2 B budget+count for UPDATE, 8+2 B seq+count for
+// SYNC).
 func (c *Client) validateUpdates(ups []runtime.TableUpdate, overhead int) (int, error) {
 	g := c.geom
 	if len(ups) == 0 {
@@ -801,7 +944,7 @@ func (ca *Call) releaseUpdates() {
 // update is applied server-side and every later read observes it. Safe
 // for concurrent use.
 func (c *Client) Update(ups []runtime.TableUpdate) error {
-	if _, err := c.validateUpdates(ups, 2); err != nil {
+	if _, err := c.validateUpdates(ups, 6); err != nil {
 		return err
 	}
 	cc, err := c.pick()
@@ -811,9 +954,11 @@ func (c *Client) Update(ups []runtime.TableUpdate) error {
 	ca := c.getCall()
 	ca.borrowUpdates(ups)
 	id := cc.nextID.Add(1)
-	ca.buf = wire.AppendUpdate(ca.buf[:0], id, ca.wu)
+	ca.buf = wire.AppendUpdate(ca.buf[:0], id, budgetMicros(c.cfg.Deadline), ca.wu)
 	ca.releaseUpdates()
-	err = cc.roundTrip(ca, id)
+	if err = cc.start(ca, id); err == nil {
+		err = c.await(cc, ca, id, c.cfg.Deadline)
+	}
 	c.Finish(ca)
 	return err
 }

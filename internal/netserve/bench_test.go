@@ -14,3 +14,9 @@ import (
 // -benchmem it pins the amortized allocation-free contract of the
 // steady-state request path on both endpoints.
 func BenchmarkNetRoundTrip(b *testing.B) { benchkit.NetRoundTrip(b) }
+
+// BenchmarkNetRoundTripDeadline is the same path with an ample
+// per-request deadline budget that never trips: stamping, carrying and
+// checking deadlines must cost nothing measurable and allocate nothing
+// on the steady-state read path.
+func BenchmarkNetRoundTripDeadline(b *testing.B) { benchkit.NetRoundTripDeadline(b) }

@@ -233,7 +233,7 @@ func TestBatchSplitBitIdenticalToUnbatched(t *testing.T) {
 	frames := make([][]byte, k)
 	for i := range frames {
 		batch := 1 + rng.Intn(4)
-		frames[i] = wire.AppendEmbed(nil, uint64(100+i), randBatchRows(rng, m.Cfg, batch), batch, m.Cfg.Reduction)
+		frames[i] = wire.AppendEmbed(nil, uint64(100+i), 0, randBatchRows(rng, m.Cfg, batch), batch, m.Cfg.Reduction)
 	}
 
 	// Plain path: one request in flight at a time, one frame per response.
@@ -281,7 +281,7 @@ func TestBatchDrainCompletesSubRequests(t *testing.T) {
 
 	frames := make([][]byte, k)
 	for i := range frames {
-		frames[i] = wire.AppendEmbed(nil, uint64(i+1), reqRows(g, 1, i), 1, g.Reduction)
+		frames[i] = wire.AppendEmbed(nil, uint64(i+1), 0, reqRows(g, 1, i), 1, g.Reduction)
 	}
 	if _, err := nc.Write(wire.AppendBatch(nil, 9, frames...)); err != nil {
 		t.Fatal(err)

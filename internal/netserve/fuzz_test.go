@@ -36,20 +36,20 @@ func FuzzWireFrames(f *testing.F) {
 	for t := range rows {
 		rows[t] = make([]int, g.Reduction)
 	}
-	f.Add(wire.AppendEmbed(nil, 1, rows, 1, g.Reduction))
-	f.Add(wire.AppendUpdate(nil, 2, []wire.Update{{Table: 0, Rows: []int{3}, Grads: make([]float32, g.Dim)}}))
+	f.Add(wire.AppendEmbed(nil, 1, 0, rows, 1, g.Reduction))
+	f.Add(wire.AppendUpdate(nil, 2, 0, []wire.Update{{Table: 0, Rows: []int{3}, Grads: make([]float32, g.Dim)}}))
 	f.Add(wire.AppendSync(nil, 3, 0, []wire.Update{{Table: 0, Rows: []int{3}, Grads: make([]float32, g.Dim)}}))
 	f.Add(wire.AppendFrame(nil, wire.OpPing, 4, nil))
 	f.Add(wire.AppendFrame(nil, wire.OpMetrics, 5, nil))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})                     // absurd length prefix
 	f.Add(wire.AppendFrame(nil, wire.Op(77), 6, []byte{1}))   // unknown op
-	f.Add(wire.AppendEmbed(nil, 7, rows, 1, g.Reduction)[:9]) // truncated mid-frame
+	f.Add(wire.AppendEmbed(nil, 7, 0, rows, 1, g.Reduction)[:9]) // truncated mid-frame
 
 	// Coalesced super-frames: valid BATCH of two embeds, plus the BATCH
 	// corruptions the codec must reject — truncated interior sub-frame,
 	// count word past the payload, nested batch.
-	embed := wire.AppendEmbed(nil, 8, rows, 1, g.Reduction)
+	embed := wire.AppendEmbed(nil, 8, 0, rows, 1, g.Reduction)
 	goodBatch := wire.AppendBatch(nil, 9, embed, embed)
 	f.Add(goodBatch)
 	f.Add(goodBatch[:len(goodBatch)-3]) // interior sub-frame cut mid-payload

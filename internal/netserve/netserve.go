@@ -186,6 +186,14 @@ type task struct {
 	op wire.Op
 	id uint64
 
+	// deadline bookkeeping (OpEmbed and OpUpdate): the request's budget in
+	// microseconds (0 = none) and the frame's arrival time. The executor
+	// re-checks the budget after the queue wait — the dominant expiry cause
+	// under load — and sheds expired work with DEADLINE_EXCEEDED instead of
+	// executing a response nobody is waiting for.
+	budget  uint32
+	arrived time.Time
+
 	// embed arguments + result scratch
 	batch int
 	rows  [][]int
@@ -271,6 +279,7 @@ type Server struct {
 	restores   stats.Counter
 	pings      stats.Counter
 	shed       stats.Counter
+	expired    stats.Counter
 	failures   stats.Counter
 	badFrames  stats.Counter
 	batchesIn  stats.Counter
@@ -317,7 +326,7 @@ func New(b Backend, cfg Config) (*Server, error) {
 	}
 	// The largest legal frame in either direction must fit the limit, or
 	// every maximal request would be "oversized" by configuration.
-	maxReq := wire.HeaderBytes + 4 + 4*tables*maxBatch*reduction
+	maxReq := wire.HeaderBytes + 8 + 4*tables*maxBatch*reduction
 	maxResp := wire.HeaderBytes + 4*maxBatch*tables*dim
 	if need := max(maxReq, maxResp); cfg.MaxFrameBytes < need {
 		return nil, fmt.Errorf("netserve: MaxFrameBytes %d below the %d B a maximal request/response needs", cfg.MaxFrameBytes, need)
@@ -546,8 +555,9 @@ func (c *conn) dispatchOne(op wire.Op, id uint64, payload []byte) bool {
 		c.enqueue(t)
 	case wire.OpEmbed:
 		t := s.getTask(c, op, id)
+		t.arrived = time.Now()
 		var err error
-		t.batch, t.rows, t.idx, err = wire.DecodeEmbed(payload, s.geom, t.rows, t.idx)
+		t.batch, t.budget, t.rows, t.idx, err = wire.DecodeEmbed(payload, s.geom, t.rows, t.idx)
 		if err != nil {
 			s.failures.Inc()
 			t.resp = wire.AppendError(t.resp[:0], id, wire.ErrBadRequest, err.Error())
@@ -557,8 +567,10 @@ func (c *conn) dispatchOne(op wire.Op, id uint64, payload []byte) bool {
 		c.submit(t)
 	case wire.OpUpdate:
 		t := s.getTask(c, op, id)
-		wu, err := wire.DecodeUpdate(payload, s.geom, &t.upd)
+		t.arrived = time.Now()
+		wu, budget, err := wire.DecodeUpdate(payload, s.geom, &t.upd)
 		if err == nil {
+			t.budget = budget
 			err = t.convertUpdates(wu, s.geom.Dim)
 		}
 		if err != nil {
@@ -621,14 +633,23 @@ func (t *task) convertUpdates(wu []wire.Update, dim int) error {
 // submit runs one decoded request through admission control: a request
 // racing the drain window (Close marked the server draining but the read
 // half-close has not reached this connection yet) is refused with
-// SHUTTING_DOWN, admitted tasks go to the executor pool, and the rest
-// are shed with an OVERLOADED error frame.
+// SHUTTING_DOWN, one whose deadline budget already lapsed is shed with
+// DEADLINE_EXCEEDED before it can consume an in-flight slot, admitted
+// tasks go to the executor pool, and the rest are shed with an OVERLOADED
+// error frame.
 func (c *conn) submit(t *task) {
 	s := c.srv
 	if s.draining.Load() {
 		s.failures.Inc()
 		t.resp = wire.AppendError(t.resp[:0], t.id, wire.ErrShuttingDown,
 			"server is draining; no new work accepted")
+		c.enqueue(t)
+		return
+	}
+	if t.expired(time.Now()) {
+		s.expired.Inc()
+		t.resp = wire.AppendError(t.resp[:0], t.id, wire.ErrDeadlineExceeded,
+			"deadline budget exhausted before dispatch")
 		c.enqueue(t)
 		return
 	}
@@ -660,6 +681,16 @@ func (s *Server) executor() {
 	defer s.workerWG.Done()
 	for t := range s.tasks {
 		start := time.Now()
+		if t.expired(start) {
+			// The budget lapsed in the queue: the client has moved on, so
+			// executing would burn backend capacity on a dead response.
+			s.expired.Inc()
+			t.resp = wire.AppendError(t.resp[:0], t.id, wire.ErrDeadlineExceeded,
+				"deadline budget exhausted in queue")
+			s.inflight.Add(-1)
+			t.c.out <- t
+			continue
+		}
 		switch t.op {
 		case wire.OpEmbed:
 			need := t.batch * s.width
@@ -897,7 +928,14 @@ func (c *conn) writeLoop() {
 func (s *Server) getTask(c *conn, op wire.Op, id uint64) *task {
 	t := s.taskPool.Get().(*task)
 	t.c, t.op, t.id = c, op, id
+	t.budget = 0
 	return t
+}
+
+// expired reports whether the task's deadline budget lapsed since its
+// frame arrived.
+func (t *task) expired(now time.Time) bool {
+	return t.budget > 0 && now.Sub(t.arrived) >= time.Duration(t.budget)*time.Microsecond
 }
 
 // putTask recycles a task. Buffers keep their capacity; references into
@@ -962,6 +1000,7 @@ type Metrics struct {
 	UpdateSeq uint64        // update batches applied (the handshake sequence number)
 	Pings     uint64        // pings answered
 	Shed      uint64        // requests shed by admission control (OVERLOADED)
+	Expired   uint64        // requests shed with an already-lapsed deadline (DEADLINE_EXCEEDED)
 	Failures  uint64        // requests answered with a non-OVERLOADED error frame
 	BadFrames uint64        // protocol violations (corrupt/oversized/unknown frames)
 	Inflight  int64         // requests admitted and not yet completed
@@ -989,6 +1028,7 @@ func (s *Server) Metrics() Metrics {
 		UpdateSeq:  s.updateSeq.Load(),
 		Pings:      s.pings.Load(),
 		Shed:       s.shed.Load(),
+		Expired:    s.expired.Load(),
 		Failures:   s.failures.Load(),
 		BadFrames:  s.badFrames.Load(),
 		Inflight:   s.inflight.Load(),
@@ -1006,12 +1046,12 @@ func (m Metrics) String() string {
 	return fmt.Sprintf(
 		"network: %d conns accepted, up %s\n"+
 			"served %d embeds, %d updates, %d syncs, %d restores (seq %d), %d pings (%d failures)\n"+
-			"admission: %d shed (OVERLOADED), %d in flight, %d bad frames\n"+
+			"admission: %d shed (OVERLOADED), %d expired (DEADLINE_EXCEEDED), %d in flight, %d bad frames\n"+
 			"coalescing: %d sub-requests in %d BATCH frames received, %d responses in %d coalesced frames written\n"+
 			"server-side latency  %s",
 		m.Accepted, m.Uptime.Round(time.Millisecond),
 		m.Requests, m.Updates, m.Syncs, m.Restores, m.UpdateSeq, m.Pings, m.Failures,
-		m.Shed, m.Inflight, m.BadFrames,
+		m.Shed, m.Expired, m.Inflight, m.BadFrames,
 		m.BatchedIn, m.BatchesIn, m.BatchedOut, m.BatchesOut,
 		m.Latency)
 }

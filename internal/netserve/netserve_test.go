@@ -367,7 +367,7 @@ func TestMalformedRequestGetsBadRequest(t *testing.T) {
 		rows[t] = make([]int, g.Reduction)
 	}
 	rows[0][0] = g.TableRows // out of range
-	nc.Write(wire.AppendEmbed(nil, 7, rows, 1, g.Reduction))
+	nc.Write(wire.AppendEmbed(nil, 7, 0, rows, 1, g.Reduction))
 	op, id, payload, _, err := wire.ReadFrame(nc, nil, 0)
 	if err != nil {
 		t.Fatal(err)

@@ -112,7 +112,7 @@ func TestSyncSeqGuard(t *testing.T) {
 
 	// A plain (unsequenced) update advances the same counter — replicas
 	// still answer direct updates, and the handshake seq accounts them.
-	op, _, _ = rawCall(t, nc, wire.AppendUpdate(nil, 13, []wire.Update{{
+	op, _, _ = rawCall(t, nc, wire.AppendUpdate(nil, 13, 0, []wire.Update{{
 		Table: 1, Rows: []int{4}, Grads: make([]float32, 4),
 	}}))
 	if op != wire.OpUpdateResp {

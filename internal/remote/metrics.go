@@ -19,11 +19,21 @@ type Metrics struct {
 	// Hedges counts hedged second attempts fired; HedgeWins counts the
 	// requests the hedged attempt won.
 	Hedges, HedgeWins uint64
-	// Failovers counts read attempts abandoned for another replica
-	// (transport loss or admission shed).
+	// Failovers counts failover replacement attempts started after a
+	// transport loss or admission shed.
 	Failovers uint64
 	// Unavailable counts operations that failed with *Unavailable.
 	Unavailable uint64
+	// BreakerTrips counts per-replica circuit breakers tripped
+	// closed->open; BreakerOpen is the number of replicas whose breaker is
+	// currently rejecting traffic (open or half-open).
+	BreakerTrips uint64
+	BreakerOpen  int
+	// RetriesDenied counts failovers refused by the shard retry budget
+	// (the read failed typed instead of retrying).
+	RetriesDenied uint64
+	// DeadlineExceeded counts reads that failed with *DeadlineExceeded.
+	DeadlineExceeded uint64
 	// Resyncs counts completed replica catch-up replays; Replayed counts
 	// the log entries those replays delivered.
 	Resyncs, Replayed uint64
@@ -47,27 +57,33 @@ type Metrics struct {
 // Metrics snapshots the router's counters.
 func (rc *RemoteCluster) Metrics() Metrics {
 	m := Metrics{
-		Requests:    rc.requests.Load(),
-		Samples:     rc.samples.Load(),
-		Lookups:     rc.lookups.Load(),
-		Failures:    rc.failures.Load(),
-		Updates:     rc.updates.Load(),
-		UpdateRows:  rc.updateRows.Load(),
-		Hedges:      rc.hedges.Load(),
-		HedgeWins:   rc.hedgeWins.Load(),
-		Failovers:   rc.failovers.Load(),
-		Unavailable: rc.unavail.Load(),
-		Resyncs:     rc.resyncs.Load(),
-		Replayed:    rc.replayed.Load(),
-		Snapshots:   rc.snapshots.Load(),
-		Restores:    rc.restores.Load(),
-		Latency:     rc.latency.Summary(),
+		Requests:         rc.requests.Load(),
+		Samples:          rc.samples.Load(),
+		Lookups:          rc.lookups.Load(),
+		Failures:         rc.failures.Load(),
+		Updates:          rc.updates.Load(),
+		UpdateRows:       rc.updateRows.Load(),
+		Hedges:           rc.hedges.Load(),
+		HedgeWins:        rc.hedgeWins.Load(),
+		Failovers:        rc.failovers.Load(),
+		Unavailable:      rc.unavail.Load(),
+		BreakerTrips:     rc.brkTrips.Load(),
+		RetriesDenied:    rc.denied.Load(),
+		DeadlineExceeded: rc.deadlines.Load(),
+		Resyncs:          rc.resyncs.Load(),
+		Replayed:         rc.replayed.Load(),
+		Snapshots:        rc.snapshots.Load(),
+		Restores:         rc.restores.Load(),
+		Latency:          rc.latency.Summary(),
 	}
 	for _, sh := range rc.shards {
 		for _, rep := range sh.replicas {
 			m.ReplicasTotal++
 			if rep.state.Load() == repHealthy {
 				m.ReplicasUp++
+			}
+			if rep.brk.state.Load() != brkClosed {
+				m.BreakerOpen++
 			}
 		}
 		if sh.store != nil {
@@ -83,10 +99,11 @@ func (rc *RemoteCluster) Metrics() Metrics {
 // String renders a one-line operator summary.
 func (m Metrics) String() string {
 	return fmt.Sprintf(
-		"remote: %d/%d replicas up; %d requests (%d samples, %d lookups), %d updates (%d rows, %d log entries, %d WAL B, %d snapshots); %d hedges (%d wins), %d failovers, %d unavailable, %d resyncs (%d replayed, %d restored); %d failures; latency %v",
-		m.ReplicasUp, m.ReplicasTotal, m.Requests, m.Samples, m.Lookups,
+		"remote: %d/%d replicas up (%d breakers open); %d requests (%d samples, %d lookups), %d updates (%d rows, %d log entries, %d WAL B, %d snapshots); %d hedges (%d wins), %d failovers (%d denied), %d breaker trips, %d unavailable, %d deadline exceeded, %d resyncs (%d replayed, %d restored); %d failures; latency %v",
+		m.ReplicasUp, m.ReplicasTotal, m.BreakerOpen, m.Requests, m.Samples, m.Lookups,
 		m.Updates, m.UpdateRows, m.LogEntries, m.WALBytes, m.Snapshots,
-		m.Hedges, m.HedgeWins, m.Failovers, m.Unavailable, m.Resyncs, m.Replayed, m.Restores,
+		m.Hedges, m.HedgeWins, m.Failovers, m.RetriesDenied, m.BreakerTrips,
+		m.Unavailable, m.DeadlineExceeded, m.Resyncs, m.Replayed, m.Restores,
 		m.Failures, m.Latency)
 }
 

@@ -116,6 +116,43 @@ type Config struct {
 	// tracks, in (0, 1]. Defaults to 0.95.
 	HedgePercentile float64
 
+	// Deadline is the end-to-end budget of one read request. Every attempt
+	// is stamped with the remaining budget on the wire (so a replica sheds
+	// work the caller has already given up on, and a failover or hedge can
+	// never outlive the original request), and when the budget lapses
+	// before any replica answers, the read fails with a typed
+	// *DeadlineExceeded instead of waiting out a slow replica. Zero means
+	// no deadline. Updates are not deadline-bounded: once appended to the
+	// shard log they are applied-eventually by design.
+	Deadline time.Duration
+
+	// BreakerWindow sizes the per-replica circuit breaker's rolling
+	// outcome window: when the failure fraction of the last BreakerWindow
+	// attempts reaches BreakerThreshold, the replica stops receiving reads
+	// until a probe succeeds — which keeps a brown-out replica (alive
+	// connection, failing attempts) from eating a retry on every request.
+	// 2 to 64; zero defaults to 32, negative disables circuit breaking.
+	BreakerWindow int
+	// BreakerThreshold is the failure fraction within the window that
+	// trips the breaker, in (0, 1]. Zero defaults to 0.5.
+	BreakerThreshold float64
+	// BreakerOpenFor is how long a tripped breaker rejects a replica
+	// before admitting one probe attempt (and the spacing between probes
+	// while the replica keeps failing). Zero defaults to 250ms.
+	BreakerOpenFor time.Duration
+
+	// RetryBudget caps failover amplification: each read entering a shard
+	// earns the shard RetryBudget failover tokens and each failover spends
+	// one, so sustained retry traffic cannot exceed RetryBudget times the
+	// offered load (plus the RetryBurst bucket). When a shard's bucket is
+	// empty the read fails with a typed *Unavailable instead of retrying.
+	// Zero defaults to 0.2; negative disables the budget. Hedges are not
+	// charged — they are bounded by design to one per request.
+	RetryBudget float64
+	// RetryBurst is the failover token bucket's capacity, allowing short
+	// failure bursts to retry freely. Zero defaults to 16.
+	RetryBurst int
+
 	// DataDir, when set, roots the router's durable state: each shard's
 	// WAL, snapshots, and hot-row lists live under DataDir/shard-NNN. A
 	// router restarted with the same DataDir rebuilds its update logs,
@@ -176,6 +213,20 @@ func (e *Unavailable) Error() string {
 // Unwrap exposes the last per-replica error to errors.Is/As.
 func (e *Unavailable) Unwrap() error { return e.Err }
 
+// DeadlineExceeded is the typed failure of a read whose Config.Deadline
+// budget lapsed before any replica of a shard answered.
+type DeadlineExceeded struct {
+	// Shard is the shard whose sub-request ran out of budget.
+	Shard int
+	// Budget is the configured end-to-end deadline.
+	Budget time.Duration
+}
+
+// Error implements error.
+func (e *DeadlineExceeded) Error() string {
+	return fmt.Sprintf("remote: shard %d: deadline budget %v exhausted", e.Shard, e.Budget)
+}
+
 // Replica health states. A replica serves reads only while healthy;
 // syncing marks a catch-up replay in progress.
 const (
@@ -189,6 +240,9 @@ type replica struct {
 	addr  string
 	cl    *netclient.Client
 	state atomic.Int32
+	// brk is the replica's circuit breaker over recent attempt outcomes,
+	// orthogonal to state (see breaker).
+	brk breaker
 	// applied counts the log entries this replica has absorbed; guarded
 	// by the owning shard's updMu.
 	applied uint64
@@ -203,6 +257,9 @@ type rShard struct {
 	// maxSub is the shard's largest sub-request (the replica's announced
 	// MaxBatch), which sizes snapshot scrape chunks.
 	maxSub int
+	// retryTokens is the shard's failover token bucket in millitokens
+	// (see refillRetry/takeRetry).
+	retryTokens atomic.Int64
 
 	// updMu serializes log appends, fan-out, catch-up replay, and snapshot
 	// scrapes for this shard, so every replica absorbs the same entries in
@@ -268,6 +325,11 @@ type RemoteCluster struct {
 	place  *cluster.Placement
 	shards []*rShard
 	width  int // tables x dim, the per-sample output width
+	brkCfg breakerCfg
+	// retryRefill/retryCap are the resolved failover token-bucket
+	// parameters in millitokens (0 refill disables the budget).
+	retryRefill int64
+	retryCap    int64
 
 	scratchPool sync.Pool
 	bufPool     sync.Pool
@@ -297,8 +359,11 @@ type RemoteCluster struct {
 	updateRows stats.Counter
 	hedges     stats.Counter // hedged second attempts fired
 	hedgeWins  stats.Counter // requests won by the hedged attempt
-	failovers  stats.Counter // attempts abandoned for another replica
+	failovers  stats.Counter // failover replacement attempts started
 	unavail    stats.Counter // operations failed with Unavailable
+	brkTrips   stats.Counter // circuit breakers tripped closed->open
+	denied     stats.Counter // failovers denied by the retry budget
+	deadlines  stats.Counter // reads failed with DeadlineExceeded
 	resyncs    stats.Counter // replica catch-up replays completed
 	replayed   stats.Counter // log entries delivered by catch-up replays
 	snapshots  stats.Counter // shard snapshots scraped and installed
@@ -319,6 +384,21 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.HedgePercentile == 0 {
 		cfg.HedgePercentile = 0.95
+	}
+	if cfg.BreakerWindow == 0 {
+		cfg.BreakerWindow = 32
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 0.5
+	}
+	if cfg.BreakerOpenFor == 0 {
+		cfg.BreakerOpenFor = 250 * time.Millisecond
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 0.2
+	}
+	if cfg.RetryBurst == 0 {
+		cfg.RetryBurst = 16
 	}
 	return cfg
 }
@@ -350,6 +430,16 @@ func New(cfg Config) (*RemoteCluster, error) {
 	if cfg.SnapshotEvery < 0 {
 		return nil, fmt.Errorf("remote: SnapshotEvery %d is negative (use 0 for the default)", cfg.SnapshotEvery)
 	}
+	if cfg.Deadline < 0 {
+		return nil, fmt.Errorf("remote: Deadline %v is negative (use 0 for no deadline)", cfg.Deadline)
+	}
+	if cfg.BreakerWindow == 1 || cfg.BreakerWindow > 64 {
+		return nil, fmt.Errorf("remote: BreakerWindow %d out of range [2, 64] (0 defaults, negative disables)", cfg.BreakerWindow)
+	}
+	if cfg.BreakerThreshold < 0 || cfg.BreakerThreshold > 1 || cfg.BreakerOpenFor < 0 || cfg.RetryBurst < 0 {
+		return nil, fmt.Errorf("remote: invalid robustness tuning (BreakerThreshold %g, BreakerOpenFor %v, RetryBurst %d)",
+			cfg.BreakerThreshold, cfg.BreakerOpenFor, cfg.RetryBurst)
+	}
 	if cfg.ReadOnly && cfg.DataDir != "" {
 		return nil, fmt.Errorf("remote: a read-only router holds no update log; drop DataDir %q or ReadOnly", cfg.DataDir)
 	}
@@ -362,6 +452,22 @@ func New(cfg Config) (*RemoteCluster, error) {
 		tableMu: make([]sync.Mutex, mc.Tables),
 		ready:   make(chan struct{}),
 		closeCh: make(chan struct{}),
+	}
+	if cfg.BreakerWindow > 0 {
+		need := cfg.BreakerWindow / 4
+		if need < 4 {
+			need = 4
+		}
+		rc.brkCfg = breakerCfg{
+			size:      cfg.BreakerWindow,
+			need:      need,
+			threshold: cfg.BreakerThreshold,
+			openFor:   cfg.BreakerOpenFor,
+		}
+	}
+	if cfg.RetryBudget > 0 {
+		rc.retryRefill = int64(cfg.RetryBudget * 1000)
+		rc.retryCap = int64(cfg.RetryBurst) * 1000
 	}
 	fail := func(err error) (*RemoteCluster, error) {
 		rc.Close()
@@ -391,6 +497,7 @@ func New(cfg Config) (*RemoteCluster, error) {
 		}
 		sh := &rShard{id: s, maxSub: maxSub}
 		sh.hedge.pct = cfg.HedgePercentile
+		sh.retryTokens.Store(rc.retryCap) // start with a full burst bucket
 		// Registered before dialing so a mid-shard failure still closes this
 		// shard's store and already-dialed clients through Close.
 		rc.shards = append(rc.shards, sh)
@@ -568,6 +675,9 @@ type rCall struct {
 	s   int
 	scr *remoteScratch
 	err error
+	// deadline is this request's absolute expiry (zero when no deadline
+	// is configured); set per request before dispatch.
+	deadline time.Time
 
 	winCl  *netclient.Client
 	winCa  *netclient.Call
@@ -642,33 +752,43 @@ func (call *rCall) run() {
 	sh := rc.shards[s]
 	sub := &scr.sub[s]
 	sub.rowsArg[0] = sub.rows
+	sh.refillRetry(rc.retryRefill, rc.retryCap)
 
 	var tried uint64
 	var lastErr error
 	cur, err := call.start(&tried, false)
 	if err != nil {
-		rc.unavail.Inc()
-		call.err = err
+		call.fail(err)
 		return
 	}
 	var alt attempt
-	var tm *time.Timer
-	var hedgeC <-chan time.Time
+	var tm, dtm *time.Timer
+	var hedgeC, dlC <-chan time.Time
 	if len(sh.replicas) > 1 {
 		tm = rc.timerPool.Get().(*time.Timer)
 		tm.Reset(sh.hedge.after(rc.cfg.HedgeAfter))
 		hedgeC = tm.C
 	}
-	defer func() {
-		if tm != nil {
-			if !tm.Stop() {
-				select {
-				case <-tm.C:
-				default:
-				}
-			}
-			rc.timerPool.Put(tm)
+	if !call.deadline.IsZero() {
+		dtm = rc.timerPool.Get().(*time.Timer)
+		dtm.Reset(time.Until(call.deadline))
+		dlC = dtm.C
+	}
+	putTimer := func(t *time.Timer) {
+		if t == nil {
+			return
 		}
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+		rc.timerPool.Put(t)
+	}
+	defer func() {
+		putTimer(tm)
+		putTimer(dtm)
 	}()
 
 	for {
@@ -694,17 +814,52 @@ func (call *rCall) run() {
 				alt = a
 				rc.hedges.Inc()
 			}
+		case <-dlC:
+			// Budget exhausted: abandon the in-flight attempts (reaped and
+			// recycled in the background) and fail typed.
+			dlC = nil
+			if cur.ca != nil {
+				go rc.reap(cur.rep.cl, cur.ca, cur.buf)
+				cur.ca = nil
+			}
+			if alt.ca != nil {
+				go rc.reap(alt.rep.cl, alt.ca, alt.buf)
+				alt.ca = nil
+			}
+			call.fail(&DeadlineExceeded{Shard: s, Budget: rc.cfg.Deadline})
+			return
 		}
 	}
 }
 
-// start fires one attempt on the next healthy untried replica, cycling
-// the shard's round-robin counter. It returns Unavailable when no replica
-// qualifies.
+// fail records a terminal routing failure, classifying it for metrics.
+func (call *rCall) fail(err error) {
+	var de *DeadlineExceeded
+	if errors.As(err, &de) {
+		call.rc.deadlines.Inc()
+	} else {
+		call.rc.unavail.Inc()
+	}
+	call.err = err
+}
+
+// start fires one attempt on the next healthy untried replica whose
+// circuit breaker admits traffic, cycling the shard's round-robin
+// counter. Each attempt is stamped with the request's remaining deadline
+// budget, so a late failover asks the replica for strictly less time than
+// the original attempt did. It returns Unavailable when no replica
+// qualifies and DeadlineExceeded when the budget is already gone.
 func (call *rCall) start(tried *uint64, hedged bool) (attempt, error) {
 	rc, s := call.rc, call.s
 	sh := rc.shards[s]
 	sub := &call.scr.sub[s]
+	now := time.Now()
+	var budget time.Duration
+	if !call.deadline.IsZero() {
+		if budget = call.deadline.Sub(now); budget <= 0 {
+			return attempt{}, &DeadlineExceeded{Shard: s, Budget: rc.cfg.Deadline}
+		}
+	}
 	// Only primary attempts advance the round-robin counter: a hedge or
 	// failover bumping it too would give requests an even stride over the
 	// group and pin every primary to the same replica.
@@ -721,14 +876,17 @@ func (call *rCall) start(tried *uint64, hedged bool) (attempt, error) {
 		if rep.state.Load() != repHealthy {
 			continue
 		}
+		if !rep.brk.allow(&rc.brkCfg, now) {
+			continue
+		}
 		*tried |= 1 << uint(ri)
 		buf := rc.bufPool.Get().(*[]float32)
-		ca, err := rep.cl.StartEmbed((*buf)[:0], sub.rowsArg, len(sub.rows))
+		ca, err := rep.cl.StartEmbedBudget((*buf)[:0], sub.rowsArg, len(sub.rows), budget)
 		if err != nil {
 			rc.bufPool.Put(buf)
 			continue
 		}
-		return attempt{rep: rep, ca: ca, buf: buf, start: time.Now(), hedged: hedged}, nil
+		return attempt{rep: rep, ca: ca, buf: buf, start: now, hedged: hedged}, nil
 	}
 	return attempt{}, &Unavailable{Shard: s}
 }
@@ -740,6 +898,7 @@ func (call *rCall) settle(sh *rShard, sub *subReq, done, other *attempt, err err
 	rc := call.rc
 	if err == nil {
 		sh.hedge.observe(time.Since(done.start))
+		done.rep.brk.ok(&rc.brkCfg)
 		if done.hedged {
 			rc.hedgeWins.Inc()
 		}
@@ -770,18 +929,27 @@ func (call *rCall) settle(sh *rShard, sub *subReq, done, other *attempt, err err
 	}
 	// Transport loss or admission shed: fail over to another replica.
 	*lastErr = err
-	rc.failovers.Inc()
+	if done.rep.brk.fail(&rc.brkCfg, time.Now()) {
+		rc.brkTrips.Inc()
+	}
 	if other.ca != nil {
 		return false // the other attempt may still win
 	}
+	// A replacement attempt spends one of the shard's retry tokens; an
+	// empty bucket fails the read instead of amplifying the brown-out.
+	if rc.retryRefill > 0 && !sh.takeRetry() {
+		rc.denied.Inc()
+		call.fail(&Unavailable{Shard: call.s, Err: *lastErr})
+		return true
+	}
+	rc.failovers.Inc()
 	na, aerr := call.start(tried, done.hedged)
 	if aerr != nil {
 		var un *Unavailable
 		if errors.As(aerr, &un) {
 			un.Err = *lastErr
 		}
-		rc.unavail.Inc()
-		call.err = aerr
+		call.fail(aerr)
 		return true
 	}
 	*done = na
@@ -877,11 +1045,16 @@ func (rc *RemoteCluster) run(dst []float32, perTableRows [][]int, batch int) err
 		}
 	}
 
+	var deadline time.Time
+	if rc.cfg.Deadline > 0 {
+		deadline = start.Add(rc.cfg.Deadline)
+	}
 	for s := range scr.sub {
 		if len(scr.sub[s].rows) == 0 {
 			continue
 		}
 		scr.calls[s].err = nil
+		scr.calls[s].deadline = deadline
 		scr.wg.Add(1)
 		rc.dispatch <- &scr.calls[s]
 	}

@@ -332,6 +332,7 @@ func (rc *RemoteCluster) resync(sh *rShard, rep *replica, h wire.Hello) {
 		// A sticky reader holds no log to replay — the fleet's writer keeps
 		// replicas current — so a recovered replica serves reads again as
 		// soon as its connection is back.
+		rep.brk.reset()
 		rep.state.Store(repHealthy)
 		rc.resyncs.Inc()
 		return
@@ -347,6 +348,9 @@ func (rc *RemoteCluster) resync(sh *rShard, rep *replica, h wire.Hello) {
 		return
 	}
 	if rep.state.CompareAndSwap(repSyncing, repHealthy) {
+		// The breaker's history predates the recovery and would only delay
+		// re-admission of a now-current replica.
+		rep.brk.reset()
 		rc.resyncs.Inc()
 		rc.replayed.Add(sh.store.Head() - before)
 	}

@@ -228,6 +228,14 @@ type Server struct {
 	// accumulate updates in one global order and stay bit-identical.
 	upMu sync.Mutex
 
+	// tblMu guards table memory against Restore: merged-batch gathers hold
+	// it shared, Restore holds it exclusively. Updates need no share — their
+	// scatter-adds ride the per-DIMM execute queue and serialize with
+	// gathers there — but Restore writes table rows directly (WriteFloats
+	// bypasses the queue by design; see Restore) and would otherwise tear
+	// rows under a concurrent read from a second, read-only router.
+	tblMu sync.RWMutex
+
 	started time.Time
 	rr      atomic.Uint64 // round-robin deployment cursor
 
@@ -557,7 +565,10 @@ func (s *Server) execute(mb *mergedBatch, ws *workerScratch) {
 	}
 
 	emb := ws.emb[:total*s.width]
-	if err := dep.RunEmbeddingInto(emb, ws.merged, total); err != nil {
+	s.tblMu.RLock()
+	err := dep.RunEmbeddingInto(emb, ws.merged, total)
+	s.tblMu.RUnlock()
+	if err != nil {
 		s.failures.Add(uint64(len(reads)))
 		for _, r := range reads {
 			r.done <- result{err: fmt.Errorf("serve: merged batch of %d failed: %w", total, err)}
@@ -658,7 +669,10 @@ func (s *Server) fanOutUpdate(ups []runtime.TableUpdate) error {
 // bypasses the micro-batching queue: restores are a cold recovery path
 // that must not contend with live traffic for batch slots, and the
 // server-wide update lock already gives them the same atomicity as a
-// fanned-out update. Safe for concurrent use with reads and updates.
+// fanned-out update. Safe for concurrent use with reads and updates: the
+// table barrier (tblMu) excludes in-flight gathers while rows are
+// overwritten, so a read-only router hitting a replica mid-restore can
+// never observe a torn row.
 func (s *Server) Restore(table int, rows []int, vals []float32) error {
 	cfg := s.deps[0].Model.Cfg
 	if table < 0 || table >= cfg.Tables {
@@ -686,6 +700,8 @@ func (s *Server) Restore(table int, rows []int, vals []float32) error {
 	s.mu.Unlock()
 	s.upMu.Lock()
 	defer s.upMu.Unlock()
+	s.tblMu.Lock()
+	defer s.tblMu.Unlock()
 	seen := make(map[*recsys.Model]bool, len(s.deps))
 	for i, d := range s.deps {
 		var err error

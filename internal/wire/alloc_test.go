@@ -17,7 +17,7 @@ func TestReadFrameZeroAlloc(t *testing.T) {
 	for tt := range perTable {
 		perTable[tt] = make([]int, g.MaxBatch*g.Reduction)
 	}
-	frame := AppendEmbed(nil, 9, perTable, g.MaxBatch, g.Reduction)
+	frame := AppendEmbed(nil, 9, 0, perTable, g.MaxBatch, g.Reduction)
 	r := bytes.NewReader(frame)
 	buf := make([]byte, 0, len(frame))
 	// Warm once so the buffer is at steady-state capacity.
@@ -119,7 +119,7 @@ func BenchmarkReadFrame(b *testing.B) {
 	for tt := range perTable {
 		perTable[tt] = make([]int, g.MaxBatch*g.Reduction)
 	}
-	frame := AppendEmbed(nil, 9, perTable, g.MaxBatch, g.Reduction)
+	frame := AppendEmbed(nil, 9, 0, perTable, g.MaxBatch, g.Reduction)
 	r := bytes.NewReader(frame)
 	var buf []byte
 	b.SetBytes(int64(len(frame)))

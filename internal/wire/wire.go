@@ -52,7 +52,13 @@ const Magic = 0x54444e50
 // ever exceeding what its peer is willing to read. Revision 4 added the
 // RESTORE snapshot-install op, which lets a router reseat a lagging
 // replica from a durable snapshot instead of replaying from sequence 0.
-const Version = 4
+// Revision 5 opened the EMBED and UPDATE payloads with a per-request
+// deadline budget (uint32 microseconds, 0 = none) and added the
+// DEADLINE_EXCEEDED error code, so a server can shed already-expired
+// requests before executing doomed work. The handshake layout itself is
+// unchanged across revisions 2-5 — only the version number moves — so a
+// version mismatch is always detected cleanly at connect time.
+const Version = 5
 
 // DefaultMaxFrameBytes bounds one frame's wire size when a Config leaves
 // the limit zero: large enough for a maximal update batch against the
@@ -82,15 +88,17 @@ type Op uint8
 // The frame ops. Requests flow client -> server, responses server ->
 // client with the request's id echoed.
 const (
-	// OpEmbed requests a pooled embedding: payload is a uint32 batch
-	// followed by tables x batch x reduction uint32 row indices.
+	// OpEmbed requests a pooled embedding: payload is a uint32 deadline
+	// budget (microseconds, 0 = none), a uint32 batch, then tables x batch
+	// x reduction uint32 row indices.
 	OpEmbed Op = 1
 	// OpEmbedResp answers OpEmbed: payload is batch x tables x dim raw
 	// float32 values.
 	OpEmbedResp Op = 2
-	// OpUpdate requests a gradient-update batch: payload is a uint16 update
-	// count, then per update a uint32 table, uint32 row count, the rows,
-	// and rows x dim float32 gradients.
+	// OpUpdate requests a gradient-update batch: payload is a uint32
+	// deadline budget (microseconds, 0 = none), a uint16 update count, then
+	// per update a uint32 table, uint32 row count, the rows, and rows x dim
+	// float32 gradients.
 	OpUpdate Op = 3
 	// OpUpdateResp answers OpUpdate with an empty payload.
 	OpUpdateResp Op = 4
@@ -162,6 +170,12 @@ const (
 	// fail-fast by design: retrying immediately hits the same dead set, so
 	// callers should back off until a replica rejoins.
 	ErrUnavailable ErrCode = 5
+	// ErrDeadlineExceeded: the request's deadline budget lapsed before the
+	// server executed it, so it was shed unexecuted — the answer arrives
+	// after the caller stopped caring by definition, and executing it would
+	// only steal capacity from requests that can still make their
+	// deadlines. Retrying with a fresh budget is safe.
+	ErrDeadlineExceeded ErrCode = 6
 )
 
 // String names the code for error rendering.
@@ -177,6 +191,8 @@ func (c ErrCode) String() string {
 		return "INTERNAL"
 	case ErrUnavailable:
 		return "UNAVAILABLE"
+	case ErrDeadlineExceeded:
+		return "DEADLINE_EXCEEDED"
 	}
 	return fmt.Sprintf("ERR_%d", uint16(c))
 }
@@ -395,11 +411,13 @@ func endFrame(buf []byte, lenAt int) []byte {
 
 // AppendEmbed appends an OpEmbed request frame: `batch` samples whose
 // per-table row index lists are perTableRows (exactly as the serving
-// layers take them). The caller must have validated the lists against the
-// geometry — the encoder derives every length from batch, so a short list
-// would panic, not misencode.
-func AppendEmbed(buf []byte, id uint64, perTableRows [][]int, batch, reduction int) []byte {
+// layers take them), stamped with the caller's remaining deadline budget
+// in microseconds (0 = no deadline). The caller must have validated the
+// lists against the geometry — the encoder derives every length from
+// batch, so a short list would panic, not misencode.
+func AppendEmbed(buf []byte, id uint64, budget uint32, perTableRows [][]int, batch, reduction int) []byte {
 	buf, lenAt := beginFrame(buf, OpEmbed, id)
+	buf = binary.LittleEndian.AppendUint32(buf, budget)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(batch))
 	n := batch * reduction
 	for _, rows := range perTableRows {
@@ -413,22 +431,24 @@ func AppendEmbed(buf []byte, id uint64, perTableRows [][]int, batch, reduction i
 // DecodeEmbed parses an OpEmbed payload against the geometry, filling the
 // caller's reused row storage: idx is resized (grown at most once per
 // connection) to tables x batch x reduction decoded indices and rows's
-// tables entries are resliced into it. Returns the decoded batch plus the
-// (possibly regrown) buffers. Indices are range-checked against
-// g.TableRows, so a malformed request is rejected here as BAD_REQUEST
-// material instead of deep inside the backend.
-func DecodeEmbed(payload []byte, g Geometry, rows [][]int, idx []int) (batch int, _ [][]int, _ []int, err error) {
-	if len(payload) < 4 {
-		return 0, rows, idx, fmt.Errorf("wire: embed payload %d B, want at least 4", len(payload))
+// tables entries are resliced into it. Returns the decoded batch and
+// deadline budget (microseconds, 0 = none) plus the (possibly regrown)
+// buffers. Indices are range-checked against g.TableRows, so a malformed
+// request is rejected here as BAD_REQUEST material instead of deep inside
+// the backend.
+func DecodeEmbed(payload []byte, g Geometry, rows [][]int, idx []int) (batch int, budget uint32, _ [][]int, _ []int, err error) {
+	if len(payload) < 8 {
+		return 0, 0, rows, idx, fmt.Errorf("wire: embed payload %d B, want at least 8", len(payload))
 	}
-	batch = int(binary.LittleEndian.Uint32(payload))
+	budget = binary.LittleEndian.Uint32(payload)
+	batch = int(binary.LittleEndian.Uint32(payload[4:]))
 	if batch <= 0 || batch > g.MaxBatch {
-		return 0, rows, idx, fmt.Errorf("wire: embed batch %d out of range [1, %d]", batch, g.MaxBatch)
+		return 0, 0, rows, idx, fmt.Errorf("wire: embed batch %d out of range [1, %d]", batch, g.MaxBatch)
 	}
 	n := batch * g.Reduction
-	want := 4 + 4*g.Tables*n
+	want := 8 + 4*g.Tables*n
 	if len(payload) != want {
-		return 0, rows, idx, fmt.Errorf("wire: embed payload %d B, want %d for batch %d (%d tables x reduction %d)",
+		return 0, 0, rows, idx, fmt.Errorf("wire: embed payload %d B, want %d for batch %d (%d tables x reduction %d)",
 			len(payload), want, batch, g.Tables, g.Reduction)
 	}
 	total := g.Tables * n
@@ -440,18 +460,18 @@ func DecodeEmbed(payload []byte, g Geometry, rows [][]int, idx []int) (batch int
 		rows = make([][]int, g.Tables)
 	}
 	rows = rows[:g.Tables]
-	p := payload[4:]
+	p := payload[8:]
 	for i := 0; i < total; i++ {
 		r := int(binary.LittleEndian.Uint32(p[4*i:]))
 		if r >= g.TableRows {
-			return 0, rows, idx, fmt.Errorf("wire: embed index %d out of range [0, %d)", r, g.TableRows)
+			return 0, 0, rows, idx, fmt.Errorf("wire: embed index %d out of range [0, %d)", r, g.TableRows)
 		}
 		idx[i] = r
 	}
 	for t := 0; t < g.Tables; t++ {
 		rows[t] = idx[t*n : (t+1)*n]
 	}
-	return batch, rows, idx, nil
+	return batch, budget, rows, idx, nil
 }
 
 // AppendEmbedResp appends an OpEmbedResp frame carrying vals (the pooled
@@ -487,11 +507,14 @@ type Update struct {
 	Grads []float32
 }
 
-// AppendUpdate appends an OpUpdate frame carrying ups. Every entry's Grads
-// must hold exactly len(Rows) x dim values, and len(ups) must be within
-// MaxUpdatesPerFrame; like AppendEmbed, validation is the caller's job.
-func AppendUpdate(buf []byte, id uint64, ups []Update) []byte {
+// AppendUpdate appends an OpUpdate frame carrying ups, stamped with the
+// caller's remaining deadline budget in microseconds (0 = no deadline).
+// Every entry's Grads must hold exactly len(Rows) x dim values, and
+// len(ups) must be within MaxUpdatesPerFrame; like AppendEmbed,
+// validation is the caller's job.
+func AppendUpdate(buf []byte, id uint64, budget uint32, ups []Update) []byte {
 	buf, lenAt := beginFrame(buf, OpUpdate, id)
+	buf = binary.LittleEndian.AppendUint32(buf, budget)
 	buf = appendUpdates(buf, ups)
 	return endFrame(buf, lenAt)
 }
@@ -531,12 +554,18 @@ type UpdateScratch struct {
 const MaxUpdatesPerFrame = 1 << 12
 
 // DecodeUpdate parses an OpUpdate payload against the geometry into s,
-// reusing its arenas. The returned slice views s and is valid until the
-// next call. Row counts are capped at maxBatch x reduction per update —
-// the same cap the serving layers enforce — so payload size stays bounded
-// by the geometry.
-func DecodeUpdate(payload []byte, g Geometry, s *UpdateScratch) ([]Update, error) {
-	return decodeUpdates(payload, g, s)
+// reusing its arenas, and returns the decoded updates plus the request's
+// deadline budget (microseconds, 0 = none). The returned slice views s
+// and is valid until the next call. Row counts are capped at maxBatch x
+// reduction per update — the same cap the serving layers enforce — so
+// payload size stays bounded by the geometry.
+func DecodeUpdate(payload []byte, g Geometry, s *UpdateScratch) ([]Update, uint32, error) {
+	if len(payload) < 4 {
+		return nil, 0, fmt.Errorf("wire: update payload %d B, want at least 4", len(payload))
+	}
+	budget := binary.LittleEndian.Uint32(payload)
+	ups, err := decodeUpdates(payload[4:], g, s)
+	return ups, budget, err
 }
 
 // decodeUpdates parses the update-batch body shared by OpUpdate and

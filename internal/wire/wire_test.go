@@ -107,7 +107,7 @@ func TestEmbedRoundTrip(t *testing.T) {
 			perTable[tt][i] = tt*100 + i
 		}
 	}
-	frame := AppendEmbed(nil, 42, perTable, batch, g.Reduction)
+	frame := AppendEmbed(nil, 42, 1500, perTable, batch, g.Reduction)
 
 	op, id, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
 	if err != nil {
@@ -118,12 +118,15 @@ func TestEmbedRoundTrip(t *testing.T) {
 	}
 	var rows [][]int
 	var idx []int
-	gotBatch, rows, idx, err := DecodeEmbed(payload, g, rows, idx)
+	gotBatch, gotBudget, rows, idx, err := DecodeEmbed(payload, g, rows, idx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gotBatch != batch {
 		t.Fatalf("batch %d, want %d", gotBatch, batch)
+	}
+	if gotBudget != 1500 {
+		t.Fatalf("deadline budget %d, want 1500", gotBudget)
 	}
 	for tt := range perTable {
 		for i := range perTable[tt] {
@@ -134,13 +137,13 @@ func TestEmbedRoundTrip(t *testing.T) {
 	}
 	// Reuse: decoding a second frame into the same buffers must not grow
 	// them.
-	frame2 := AppendEmbed(frame[:0], 43, perTable, batch, g.Reduction)
+	frame2 := AppendEmbed(frame[:0], 43, 0, perTable, batch, g.Reduction)
 	_, _, payload, _, err = ReadFrame(bytes.NewReader(frame2), nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := cap(idx)
-	if _, rows, idx, err = DecodeEmbed(payload, g, rows, idx); err != nil {
+	if _, _, rows, idx, err = DecodeEmbed(payload, g, rows, idx); err != nil {
 		t.Fatal(err)
 	}
 	if cap(idx) != before {
@@ -152,28 +155,33 @@ func TestEmbedRoundTrip(t *testing.T) {
 func TestDecodeEmbedRejectsBadShapes(t *testing.T) {
 	g := testGeom
 	perTable := [][]int{{1, 2}, {3, 4}, {5, 6}}
-	frame := AppendEmbed(nil, 1, perTable, 1, g.Reduction)
+	frame := AppendEmbed(nil, 1, 0, perTable, 1, g.Reduction)
 	_, _, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	withBudget := func(batch uint32) []byte {
+		p := binary.LittleEndian.AppendUint32(nil, 0)
+		return binary.LittleEndian.AppendUint32(p, batch)
 	}
 	cases := []struct {
 		name    string
 		payload []byte
 	}{
 		{"empty", nil},
+		{"budget only", payload[:4]},
 		{"truncated", payload[:len(payload)-1]},
 		{"trailing garbage", append(append([]byte{}, payload...), 0xde, 0xad)},
-		{"zero batch", binary.LittleEndian.AppendUint32(nil, 0)},
-		{"oversized batch", binary.LittleEndian.AppendUint32(nil, uint32(g.MaxBatch+1))},
+		{"zero batch", withBudget(0)},
+		{"oversized batch", withBudget(uint32(g.MaxBatch + 1))},
 		{"index out of range", func() []byte {
 			p := append([]byte{}, payload...)
-			binary.LittleEndian.PutUint32(p[4:], uint32(g.TableRows))
+			binary.LittleEndian.PutUint32(p[8:], uint32(g.TableRows))
 			return p
 		}()},
 	}
 	for _, tc := range cases {
-		if _, _, _, err := DecodeEmbed(tc.payload, g, nil, nil); err == nil {
+		if _, _, _, _, err := DecodeEmbed(tc.payload, g, nil, nil); err == nil {
 			t.Fatalf("%s: decode accepted", tc.name)
 		}
 	}
@@ -213,7 +221,7 @@ func TestUpdateRoundTrip(t *testing.T) {
 		{Table: 0, Rows: []int{5, 5, 9}, Grads: seq(3 * g.Dim)},
 		{Table: 2, Rows: []int{0}, Grads: seq(g.Dim)},
 	}
-	frame := AppendUpdate(nil, 99, ups)
+	frame := AppendUpdate(nil, 99, 2750, ups)
 	op, id, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -222,9 +230,12 @@ func TestUpdateRoundTrip(t *testing.T) {
 		t.Fatalf("op %d id %d, want OpUpdate id 99", op, id)
 	}
 	var s UpdateScratch
-	got, err := DecodeUpdate(payload, g, &s)
+	got, budget, err := DecodeUpdate(payload, g, &s)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if budget != 2750 {
+		t.Fatalf("deadline budget %d, want 2750", budget)
 	}
 	if len(got) != len(ups) {
 		t.Fatalf("%d updates, want %d", len(got), len(ups))
@@ -246,7 +257,7 @@ func TestUpdateRoundTrip(t *testing.T) {
 	}
 	// Second decode into the same scratch must reuse the arenas.
 	before := cap(s.Grads)
-	if _, err := DecodeUpdate(payload, g, &s); err != nil {
+	if _, _, err := DecodeUpdate(payload, g, &s); err != nil {
 		t.Fatal(err)
 	}
 	if cap(s.Grads) != before {
@@ -256,7 +267,7 @@ func TestUpdateRoundTrip(t *testing.T) {
 
 func TestDecodeUpdateRejectsCorruption(t *testing.T) {
 	g := testGeom
-	frame := AppendUpdate(nil, 1, []Update{{Table: 1, Rows: []int{2, 3}, Grads: seq(2 * g.Dim)}})
+	frame := AppendUpdate(nil, 1, 0, []Update{{Table: 1, Rows: []int{2, 3}, Grads: seq(2 * g.Dim)}})
 	_, _, payload, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -270,22 +281,23 @@ func TestDecodeUpdateRejectsCorruption(t *testing.T) {
 		payload []byte
 	}{
 		{"empty", nil},
-		{"zero count", mutate(func(p []byte) []byte { p[0], p[1] = 0, 0; return p })},
-		{"huge count", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint16(p, 0xffff); return p })},
-		{"table out of range", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint32(p[2:], 99); return p })},
+		{"budget only", payload[:4]},
+		{"zero count", mutate(func(p []byte) []byte { p[4], p[5] = 0, 0; return p })},
+		{"huge count", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint16(p[4:], 0xffff); return p })},
+		{"table out of range", mutate(func(p []byte) []byte { binary.LittleEndian.PutUint32(p[6:], 99); return p })},
 		{"row count over cap", mutate(func(p []byte) []byte {
-			binary.LittleEndian.PutUint32(p[6:], uint32(g.MaxBatch*g.Reduction+1))
+			binary.LittleEndian.PutUint32(p[10:], uint32(g.MaxBatch*g.Reduction+1))
 			return p
 		})},
 		{"row index out of range", mutate(func(p []byte) []byte {
-			binary.LittleEndian.PutUint32(p[10:], uint32(g.TableRows))
+			binary.LittleEndian.PutUint32(p[14:], uint32(g.TableRows))
 			return p
 		})},
 		{"truncated grads", payload[:len(payload)-3]},
 		{"trailing garbage", mutate(func(p []byte) []byte { return append(p, 1, 2, 3) })},
 	}
 	for _, tc := range cases {
-		if _, err := DecodeUpdate(tc.payload, g, &s); err == nil {
+		if _, _, err := DecodeUpdate(tc.payload, g, &s); err == nil {
 			t.Fatalf("%s: decode accepted", tc.name)
 		}
 	}
@@ -412,9 +424,9 @@ func TestPipelinedStream(t *testing.T) {
 	g := testGeom
 	perTable := [][]int{{1, 2}, {3, 4}, {5, 6}}
 	var stream []byte
-	stream = AppendEmbed(stream, 1, perTable, 1, g.Reduction)
+	stream = AppendEmbed(stream, 1, 0, perTable, 1, g.Reduction)
 	stream = AppendFrame(stream, OpPing, 2, nil)
-	stream = AppendUpdate(stream, 3, []Update{{Table: 0, Rows: []int{1}, Grads: seq(g.Dim)}})
+	stream = AppendUpdate(stream, 3, 0, []Update{{Table: 0, Rows: []int{1}, Grads: seq(g.Dim)}})
 	stream = AppendError(stream, 4, ErrShuttingDown, "drain")
 
 	r := bytes.NewReader(stream)

@@ -64,6 +64,7 @@
 package tensordimm
 
 import (
+	"tensordimm/internal/chaos"
 	"tensordimm/internal/cluster"
 	"tensordimm/internal/core"
 	"tensordimm/internal/embed"
@@ -169,7 +170,24 @@ type (
 	// RemoteUnavailable is the typed fast-failure a RemoteCluster returns
 	// when every replica of a shard is unreachable.
 	RemoteUnavailable = remote.Unavailable
+	// RemoteDeadlineExceeded is the typed failure a RemoteCluster returns
+	// when a read exhausts its end-to-end deadline budget (RemoteConfig
+	// .Deadline), retries included.
+	RemoteDeadlineExceeded = remote.DeadlineExceeded
+	// NetDeadlineError is the typed failure a NetClient returns when a call
+	// exhausts its deadline budget (NetClientConfig.Deadline) client-side.
+	NetDeadlineError = netclient.DeadlineError
+	// ChaosConfig parameterizes a seeded chaos soak (RunChaos).
+	ChaosConfig = chaos.Config
+	// ChaosReport summarizes a completed chaos soak.
+	ChaosReport = chaos.Report
 )
+
+// RunChaos executes one seeded chaos soak against an in-process replica
+// fleet: deterministic fault schedule, mixed traffic, bit-identity and
+// durability invariants. The error is non-nil when an invariant was
+// violated; the report summarizes the run either way.
+func RunChaos(cfg ChaosConfig) (ChaosReport, error) { return chaos.Run(cfg) }
 
 // The five design points (Section 6).
 const (
@@ -201,6 +219,9 @@ const (
 	// replica group is unreachable; RemoteCluster surfaces it locally as a
 	// *RemoteUnavailable.
 	NetErrUnavailable = wire.ErrUnavailable
+	// NetErrDeadlineExceeded marks a request a server shed because its
+	// propagated deadline budget had already expired on arrival or in queue.
+	NetErrDeadlineExceeded = wire.ErrDeadlineExceeded
 )
 
 // Serving roles announced in the network handshake.
