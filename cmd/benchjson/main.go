@@ -10,9 +10,12 @@
 //
 // The emitted document carries the current run, the recorded pre-PR
 // baseline (measured with exactly this harness before the zero-allocation
-// refactor), and the derived speedups. With -max-allocs >= 0 the tool
-// exits non-zero if any benchmark's steady-state allocs/op exceeds the
-// threshold — the CI bench-smoke gate.
+// refactor), and the derived speedups. Each serving benchmark's record
+// embeds its stack's telemetry registry snapshot (exact counters and
+// latency histograms), and the stacks run instrumented — so the
+// allocation gate also proves telemetry is free on the steady-state path.
+// With -max-allocs >= 0 the tool exits non-zero if any benchmark's
+// steady-state allocs/op exceeds the threshold — the CI bench-smoke gate.
 package main
 
 import (

@@ -31,6 +31,7 @@ func main() {
 			"internal/node", "internal/workload",
 			"internal/wire", "internal/netserve", "internal/netclient",
 			"internal/remote", "internal/faultnet",
+			"internal/persist", "internal/chaos", "internal/telemetry",
 		}
 	}
 	var failures []string

@@ -45,6 +45,13 @@
 // at drain and pre-warms the caches from it at the next boot, so a warm
 // restart serves its first requests from cache.
 //
+// With -metrics-addr ADDR the process additionally serves a live admin
+// endpoint while it runs (any mode except -connect, which reads the
+// server's registry over the wire instead): /metrics is Prometheus text,
+// /metrics.json the versioned snapshot, /slow the recent slow-request
+// traces with per-hop timings, /stream an SSE feed of snapshots, and
+// /debug/pprof/ the standard Go profiles.
+//
 // Usage:
 //
 //	tensorserve                                  # YouTube-class model, defaults
@@ -52,8 +59,9 @@
 //	tensorserve -model ncf -batch 4 -maxbatch 32 -workers 2
 //	tensorserve -nodes 4 -shard row -cache-mb 4 -zipf -zipf-s 0.9
 //	tensorserve -nodes 4 -cache-mb 4 -zipf -update-frac 0.2
-//	tensorserve -listen :7077 -nodes 4 -cache-mb 4   # terminal 1: server
+//	tensorserve -listen :7077 -nodes 4 -cache-mb 4 -metrics-addr :9090
 //	tensorserve -connect :7077 -rate 2000 -batch 4   # terminal 2: driver
+//	curl -s localhost:9090/metrics | grep cache_hits # terminal 3: scrape
 //
 //	tensorserve -listen :7171 -nodes 2 -shard-id 0   # shard 0, replica A
 //	tensorserve -listen :7172 -nodes 2 -shard-id 0   # shard 0, replica B
@@ -70,6 +78,7 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -119,6 +128,8 @@ type flags struct {
 	snapEvery int
 
 	chaosSeed int64
+
+	metricsAddr string
 }
 
 func main() {
@@ -156,6 +167,7 @@ func main() {
 	flag.IntVar(&f.snapEvery, "snapshot-every", 0, "with -join: log entries per shard between full-table snapshots, which trim the update log (0 selects the default)")
 	flag.DurationVar(&f.deadline, "deadline", 0, "with -connect or -join: end-to-end deadline budget per request, propagated to the server so both sides shed expired work (0 disables)")
 	flag.Int64Var(&f.chaosSeed, "chaos-seed", 0, "run a seeded chaos soak against an in-process replica fleet instead of serving or driving load; -duration bounds the fault phase (0 disables)")
+	flag.StringVar(&f.metricsAddr, "metrics-addr", "", "serve the admin endpoint on this address (e.g. 127.0.0.1:9090): /metrics (Prometheus text), /metrics.json, /slow, /stream (SSE), /debug/pprof/*; every mode except -connect, whose metrics come from the server over the wire")
 	flag.Parse()
 
 	if err := validate(f); err != nil {
@@ -226,6 +238,9 @@ func validate(f flags) error {
 	}
 	if f.deadline < 0 {
 		return fmt.Errorf("-deadline %v must not be negative (0 disables)", f.deadline)
+	}
+	if f.metricsAddr != "" && f.connect != "" {
+		return fmt.Errorf("-metrics-addr cannot be combined with -connect: the serving process owns the registry; the driver reads it over the wire (server report + snapshot)")
 	}
 	if set["deadline"] && f.connect == "" && f.join == "" {
 		return fmt.Errorf("-deadline needs -connect or -join: the budget is stamped by the requesting client")
@@ -461,10 +476,36 @@ func shardStrategy(f flags) tensordimm.ShardStrategy {
 	return tensordimm.TableWise
 }
 
+// startMetrics boots the admin HTTP endpoint when -metrics-addr is set:
+// it builds the process registry, adds the Go runtime series, and serves
+// /metrics, /metrics.json, /slow, /stream and /debug/pprof/* on a
+// background goroutine for the life of the process. Returns nil (no
+// registry, layers skip instrumentation) when the flag is unset.
+func startMetrics(f flags) *tensordimm.TelemetryRegistry {
+	if f.metricsAddr == "" {
+		return nil
+	}
+	reg := tensordimm.NewTelemetry()
+	tensordimm.RegisterGoRuntime(reg)
+	l, err := net.Listen("tcp", f.metricsAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(l, tensordimm.MetricsHandler(reg)); err != nil {
+			// The listener dies with the process; anything earlier is fatal
+			// misconfiguration worth surfacing, not burying.
+			fmt.Fprintln(os.Stderr, "tensorserve: metrics endpoint:", err)
+		}
+	}()
+	fmt.Printf("metrics on http://%s/ (/metrics, /metrics.json, /slow, /stream, /debug/pprof/)\n", l.Addr())
+	return reg
+}
+
 // makeCluster builds the sharded cluster the flags describe and prints
 // its description — shared by the local driver and -listen modes so the
 // two paths can never drift apart.
-func makeCluster(model *tensordimm.Model, f flags) *tensordimm.Cluster {
+func makeCluster(model *tensordimm.Model, f flags, reg *tensordimm.TelemetryRegistry) *tensordimm.Cluster {
 	strategy := shardStrategy(f)
 	cl, err := tensordimm.NewCluster(model, tensordimm.ClusterConfig{
 		Nodes:        f.nodes,
@@ -478,6 +519,9 @@ func makeCluster(model *tensordimm.Model, f flags) *tensordimm.Cluster {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if reg != nil {
+		cl.Instrument(reg)
+	}
 	fmt.Printf("cluster: %d shards (%s), %d TensorDIMMs each, %.1f MiB cache per shard\n",
 		f.nodes, strategy, f.dimms, f.cacheMB)
 	fmt.Printf("shards: maxBatch %d samples/request, deadline %v, %d workers each\n",
@@ -487,7 +531,7 @@ func makeCluster(model *tensordimm.Model, f flags) *tensordimm.Cluster {
 
 // makeServer deploys one TensorNode and starts the batched server,
 // printing the node/server description — shared like makeCluster.
-func makeServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (*tensordimm.Node, *tensordimm.Server) {
+func makeServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags, reg *tensordimm.TelemetryRegistry) (*tensordimm.Node, *tensordimm.Server) {
 	nd, dep := deploySingle(model, cfg, f)
 	srv, err := tensordimm.NewServer(tensordimm.ServeConfig{
 		MaxBatch: f.maxBatch,
@@ -496,6 +540,9 @@ func makeServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (*
 	}, dep)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if reg != nil {
+		srv.Instrument(reg)
 	}
 	fmt.Printf("node: %d TensorDIMMs, %.0f MiB pool, %d B stripe\n",
 		nd.NodeDim(), float64(nd.CapacityBytes())/(1<<20), nd.StripeBytes())
@@ -511,7 +558,7 @@ func makeServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (*
 // handshake against. Replicas of the same shard run this same path from
 // the same seed, so a restarted replica reproduces its pre-crash state by
 // replaying the router's update log.
-func makeShardServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (*tensordimm.Node, *tensordimm.Server) {
+func makeShardServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags, reg *tensordimm.TelemetryRegistry) (*tensordimm.Node, *tensordimm.Server) {
 	strategy := shardStrategy(f)
 	place := tensordimm.NewPlacement(strategy, f.nodes, cfg.Tables, cfg.TableRows)
 	if place.LocalRows(f.shardID) == 0 {
@@ -533,6 +580,9 @@ func makeShardServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flag
 	if err != nil {
 		log.Fatal(err)
 	}
+	if reg != nil {
+		srv.Instrument(reg)
+	}
 	fmt.Printf("shard %d of %d (%s): %d local rows, sub-batch cap %d samples\n",
 		f.shardID, f.nodes, strategy, shardModel.Cfg.TableRows, fs.maxBatch)
 	return nd, srv
@@ -543,9 +593,9 @@ func makeShardServer(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flag
 // sharded cluster otherwise. It returns the backend, the cluster when one
 // was built (nil otherwise — warm-restart hooks need it), and the close
 // function.
-func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) (tensordimm.NetBackend, *tensordimm.Cluster, func() error) {
+func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags, reg *tensordimm.TelemetryRegistry) (tensordimm.NetBackend, *tensordimm.Cluster, func() error) {
 	if f.shardID >= 0 {
-		nd, srv := makeShardServer(model, cfg, f)
+		nd, srv := makeShardServer(model, cfg, f, reg)
 		closeAll := func() error {
 			err := srv.Close()
 			nd.Close()
@@ -554,10 +604,10 @@ func buildBackend(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) 
 		return tensordimm.ServeBackend(srv), nil, closeAll
 	}
 	if f.nodes > 1 {
-		cl := makeCluster(model, f)
+		cl := makeCluster(model, f, reg)
 		return tensordimm.ClusterBackend(cl), cl, cl.Close
 	}
-	nd, srv := makeServer(model, cfg, f)
+	nd, srv := makeServer(model, cfg, f, reg)
 	closeAll := func() error {
 		err := srv.Close()
 		nd.Close()
@@ -607,7 +657,8 @@ func persistHotRows(cl *tensordimm.Cluster, dir string, nodes int) {
 func runListen(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) {
 	fmt.Printf("model %s: %d tables x %d rows, dim %d, %d-way %s\n",
 		cfg.Name, cfg.Tables, cfg.TableRows, cfg.EmbDim, cfg.Reduction, poolingName(cfg))
-	backend, cl, closeBackend := buildBackend(model, cfg, f)
+	reg := startMetrics(f)
+	backend, cl, closeBackend := buildBackend(model, cfg, f, reg)
 	if cl != nil && f.dataDir != "" {
 		warmCluster(cl, f.dataDir, f.nodes)
 	}
@@ -615,7 +666,7 @@ func runListen(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) {
 	if f.shardID >= 0 {
 		role = tensordimm.RoleReplica
 	}
-	srv, err := tensordimm.NewNetServer(backend, tensordimm.NetServeConfig{MaxInflight: f.inflight, Role: role, FlushLinger: f.linger})
+	srv, err := tensordimm.NewNetServer(backend, tensordimm.NetServeConfig{MaxInflight: f.inflight, Role: role, FlushLinger: f.linger, Registry: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -759,8 +810,21 @@ func runConnect(f flags) {
 	if firstErr != nil {
 		fmt.Fprintln(os.Stderr, "tensorserve: first failure:", firstErr)
 	}
-	if report, err := cl.Metrics(); err == nil {
+	if snap, report, err := cl.MetricsSnapshot(); err == nil {
 		fmt.Printf("\n--- server report ---\n%s\n", report)
+		if snap != nil && len(snap.Counters) > 0 {
+			// Exact counters from the server's telemetry registry (wire
+			// revision 6) — the same series its /metrics endpoint exports.
+			// An uninstrumented server (-listen without -metrics-addr) ships
+			// an empty snapshot; only the human report applies then.
+			reqs, _ := snap.Counter("tensordimm_net_requests_total")
+			shedN, _ := snap.Counter("tensordimm_net_shed_total")
+			fmt.Printf("server telemetry: %d requests, %d shed", reqs, shedN)
+			if h, ok := snap.Histogram("tensordimm_net_request_seconds"); ok && h.Count > 0 {
+				fmt.Printf(", exec p50 %.3gms p99 %.3gms", h.P50*1e3, h.P99*1e3)
+			}
+			fmt.Println()
+		}
 	} else {
 		fmt.Fprintln(os.Stderr, "tensorserve: fetching server metrics:", err)
 	}
@@ -804,6 +868,9 @@ func runJoin(f flags) {
 		log.Fatal(err)
 	}
 	defer rc.Close()
+	if reg := startMetrics(f); reg != nil {
+		rc.Instrument(reg)
+	}
 	replicas := 0
 	for _, g := range groups {
 		replicas += len(g)
@@ -942,6 +1009,7 @@ func runChaos(f flags) {
 		Seed:     f.chaosSeed,
 		Duration: f.duration,
 		Log:      func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		Registry: startMetrics(f),
 	})
 	fmt.Println(rep)
 	if err != nil {
@@ -976,7 +1044,7 @@ func deploySingle(model *tensordimm.Model, cfg tensordimm.ModelConfig, f flags) 
 func runSingle(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 	gen *tensordimm.WorkloadGenerator, dist string, f flags) {
 
-	nd, srv := makeServer(model, cfg, f)
+	nd, srv := makeServer(model, cfg, f, startMetrics(f))
 
 	offered := offerLoad(cfg, gen, dist, f.batch, f.rate, f.duration, f.updFrac, f.seed, srv.Infer, srv.Update)
 	if err := srv.Close(); err != nil {
@@ -997,7 +1065,7 @@ func runSingle(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 func runCluster(model *tensordimm.Model, cfg tensordimm.ModelConfig,
 	gen *tensordimm.WorkloadGenerator, dist string, f flags) {
 
-	cl := makeCluster(model, f)
+	cl := makeCluster(model, f, startMetrics(f))
 
 	offered := offerLoad(cfg, gen, dist, f.batch, f.rate, f.duration, f.updFrac, f.seed, cl.Infer, cl.ApplyUpdates)
 	if err := cl.Close(); err != nil {

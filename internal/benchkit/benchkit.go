@@ -28,8 +28,37 @@ import (
 	"tensordimm/internal/recsys"
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/serve"
+	"tensordimm/internal/telemetry"
 	"tensordimm/internal/workload"
 )
+
+// Every benchmark stack carries a live telemetry registry, so the
+// allocation gate measures the serving path as it runs in production —
+// instrumented. The last completed run's snapshot per benchmark is
+// embedded into BENCH_serving.json, leaving exact counters (cache hits,
+// batches coalesced, latency histograms) next to each perf record.
+var (
+	snapMu    sync.Mutex
+	snapshots = map[string]*telemetry.Snapshot{}
+)
+
+// saveSnapshot records a benchmark's registry snapshot under its name.
+// testing.Benchmark re-enters the body while scaling b.N; the final
+// (longest) run's snapshot wins.
+func saveSnapshot(name string, reg *telemetry.Registry) {
+	snap := reg.Snapshot()
+	snapMu.Lock()
+	snapshots[name] = snap
+	snapMu.Unlock()
+}
+
+// takeSnapshot hands a saved snapshot to the digest (nil if the
+// benchmark has no instrumented stack, e.g. ExpandIndices).
+func takeSnapshot(name string) *telemetry.Snapshot {
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	return snapshots[name]
+}
 
 // Harness geometry, fixed for cross-PR comparability.
 const (
@@ -109,7 +138,7 @@ func clientPool(width int) *sync.Pool {
 // concurrent deployment, micro-batching server); cleanup tears it down.
 // Shared by ServeThroughput and NetRoundTrip so the two benchmarks can
 // never drift onto different stacks.
-func serveStack(b *testing.B) (*recsys.Model, *serve.Server, func()) {
+func serveStack(b *testing.B) (*recsys.Model, *serve.Server, *telemetry.Registry, func()) {
 	m := model(b)
 	nd, err := node.New(node.Config{DIMMs: benchDIMMs, PerDIMMBytes: 16 << 20})
 	if err != nil {
@@ -123,7 +152,9 @@ func serveStack(b *testing.B) (*recsys.Model, *serve.Server, func()) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return m, srv, func() {
+	reg := telemetry.NewRegistry()
+	srv.Instrument(reg)
+	return m, srv, reg, func() {
 		srv.Close()
 		nd.Close()
 	}
@@ -175,16 +206,17 @@ func driveEmbed(b *testing.B, m *recsys.Model, parallelism int,
 // the zero-allocation EmbedInto path. Reports req/s and p99 latency (us)
 // as extra metrics.
 func ServeThroughput(b *testing.B) {
-	m, srv, cleanup := serveStack(b)
+	m, srv, reg, cleanup := serveStack(b)
 	defer cleanup()
 	driveEmbed(b, m, benchClients, srv.EmbedInto)
 	b.ReportMetric(srv.Metrics().TotalLatency.P99*1e6, "p99-us")
+	saveSnapshot("ServeThroughput", reg)
 }
 
 // clusterStack builds the fixed 2-shard cluster with warm hot-row caches
 // — the backend both ClusterEmbed and NetRoundTrip front, so the
 // in-process and over-the-wire numbers measure the same compute.
-func clusterStack(b *testing.B) (*recsys.Model, *cluster.Cluster, func()) {
+func clusterStack(b *testing.B) (*recsys.Model, *cluster.Cluster, *telemetry.Registry, func()) {
 	m := model(b)
 	cl, err := cluster.New(m, cluster.Config{
 		Nodes: benchNodes, DIMMsPerNode: benchDIMMs,
@@ -193,7 +225,9 @@ func clusterStack(b *testing.B) (*recsys.Model, *cluster.Cluster, func()) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return m, cl, func() { cl.Close() }
+	reg := telemetry.NewRegistry()
+	cl.Instrument(reg)
+	return m, cl, reg, func() { cl.Close() }
 }
 
 // ClusterEmbed is the BenchmarkClusterEmbed body: concurrent clients
@@ -201,24 +235,25 @@ func clusterStack(b *testing.B) (*recsys.Model, *cluster.Cluster, func()) {
 // hot-row caches, via the zero-allocation EmbedInto path. Reports req/s as
 // an extra metric.
 func ClusterEmbed(b *testing.B) {
-	m, cl, cleanup := clusterStack(b)
+	m, cl, reg, cleanup := clusterStack(b)
 	defer cleanup()
 	driveEmbed(b, m, benchClients/2, cl.EmbedInto)
+	saveSnapshot("ClusterEmbed", reg)
 }
 
 // netStack fronts the 2-shard cluster with a netserve.Server on a
 // loopback listener and dials a pooled netclient against it — the fixed
 // serving plane NetRoundTrip and the saturation sweep share.
-func netStack(b *testing.B) (*recsys.Model, *netserve.Server, *netclient.Client, func()) {
+func netStack(b *testing.B) (*recsys.Model, *netserve.Server, *netclient.Client, *telemetry.Registry, func()) {
 	return netStackDeadline(b, 0)
 }
 
 // netStackDeadline is netStack with a client-side deadline budget on
 // every request — the steady-state configuration NetRoundTripDeadline
 // pins, where budgets are stamped and checked but never trip.
-func netStackDeadline(b *testing.B, deadline time.Duration) (*recsys.Model, *netserve.Server, *netclient.Client, func()) {
-	m, cluster, clusterDown := clusterStack(b)
-	srv, err := netserve.New(netserve.ClusterBackend(cluster), netserve.Config{})
+func netStackDeadline(b *testing.B, deadline time.Duration) (*recsys.Model, *netserve.Server, *netclient.Client, *telemetry.Registry, func()) {
+	m, cluster, reg, clusterDown := clusterStack(b)
+	srv, err := netserve.New(netserve.ClusterBackend(cluster), netserve.Config{Registry: reg})
 	if err != nil {
 		clusterDown()
 		b.Fatal(err)
@@ -236,7 +271,7 @@ func netStackDeadline(b *testing.B, deadline time.Duration) (*recsys.Model, *net
 		clusterDown()
 		b.Fatal(err)
 	}
-	return m, srv, cl, func() {
+	return m, srv, cl, reg, func() {
 		cl.Close()
 		srv.Close()
 		clusterDown()
@@ -253,13 +288,14 @@ func netStackDeadline(b *testing.B, deadline time.Duration) (*recsys.Model, *net
 // network request path allocation-free (amortized) under -benchmem.
 // Reports req/s and the server-side p99 (us) as extra metrics.
 func NetRoundTrip(b *testing.B) {
-	m, srv, cl, cleanup := netStack(b)
+	m, srv, cl, reg, cleanup := netStack(b)
 	defer cleanup()
 	driveEmbed(b, m, benchNetClients, cl.EmbedInto)
 	sm := srv.Metrics()
 	b.ReportMetric(sm.Latency.P99*1e6, "p99-us")
 	b.ReportMetric(float64(sm.BatchedIn)/float64(sm.BatchesIn+1), "in-coalesce")
 	b.ReportMetric(float64(sm.BatchedOut)/float64(sm.BatchesOut+1), "out-coalesce")
+	saveSnapshot("NetRoundTrip", reg)
 }
 
 // NetRoundTripDeadline is the BenchmarkNetRoundTripDeadline body: the
@@ -270,7 +306,7 @@ func NetRoundTrip(b *testing.B) {
 // admission and execution, and the client's per-call deadline timer —
 // all of it allocation-free, enforced by the CI allocation gate.
 func NetRoundTripDeadline(b *testing.B) {
-	m, srv, cl, cleanup := netStackDeadline(b, 250*time.Millisecond)
+	m, srv, cl, reg, cleanup := netStackDeadline(b, 250*time.Millisecond)
 	defer cleanup()
 	driveEmbed(b, m, benchNetClients, cl.EmbedInto)
 	sm := srv.Metrics()
@@ -278,6 +314,7 @@ func NetRoundTripDeadline(b *testing.B) {
 	if sm.Expired != 0 {
 		b.Fatalf("%d requests expired under a 250ms budget: the benchmark must never trip deadlines", sm.Expired)
 	}
+	saveSnapshot("NetRoundTripDeadline", reg)
 }
 
 // ExpandIndices is the BenchmarkExpandIndices body: stripe-index expansion
@@ -308,6 +345,10 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	ReqPerSec   float64 `json:"req_per_sec,omitempty"`
 	P99Us       float64 `json:"p99_us,omitempty"`
+	// Telemetry is the benchmark stack's registry snapshot after the final
+	// run — exact counters and latency histograms behind the averages
+	// above. Absent for benchmarks with no serving stack (ExpandIndices).
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // digest converts a testing.BenchmarkResult into a Result.
@@ -324,6 +365,7 @@ func digest(name string, r testing.BenchmarkResult) Result {
 	if v, ok := r.Extra["p99-us"]; ok {
 		out.P99Us = v
 	}
+	out.Telemetry = takeSnapshot(name)
 	return out
 }
 

@@ -73,7 +73,7 @@ func RunSaturation() []SaturationPoint {
 // saturationSweep builds the network stack, warms it, and walks the
 // offered-load grid.
 func saturationSweep(b *testing.B) []SaturationPoint {
-	m, _, cl, cleanup := netStack(b)
+	m, _, cl, _, cleanup := netStack(b)
 	defer cleanup()
 	batches := feed(b, m)
 	var dst []float32

@@ -50,6 +50,7 @@ import (
 	"tensordimm/internal/remote"
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/serve"
+	"tensordimm/internal/telemetry"
 	"tensordimm/internal/tensor"
 	"tensordimm/internal/wire"
 )
@@ -82,6 +83,11 @@ type Config struct {
 	DataDir string
 	// Log, when set, receives one line per round and phase.
 	Log func(format string, args ...any)
+	// Registry, when set, receives the soak's live counters (updates,
+	// reads, skew reads, typed and deadline errors, golden checks,
+	// invariant violations) plus the writing router's full series, so a
+	// long soak is observable through the admin endpoint while it runs.
+	Registry *telemetry.Registry
 }
 
 // Report summarizes one soak.
@@ -144,17 +150,33 @@ type soak struct {
 	updates, reads, skewReads atomic.Uint64
 	typedErrs, deadlineErrs   atomic.Uint64
 	goldenChecks              atomic.Uint64
+	violationCount            atomic.Uint64
 	vmu                       sync.Mutex
 	violations                []string
 }
 
 // vio records one invariant violation.
 func (c *soak) vio(format string, args ...any) {
+	c.violationCount.Add(1)
 	c.vmu.Lock()
 	if len(c.violations) < 32 {
 		c.violations = append(c.violations, fmt.Sprintf(format, args...))
 	}
 	c.vmu.Unlock()
+}
+
+// instrument registers the soak's live counters on the configured
+// registry and instruments both routers (labeled by role).
+func (c *soak) instrument(reg *telemetry.Registry) {
+	reg.Counter("tensordimm_chaos_updates_total", "update batches driven through the writing router", c.updates.Load)
+	reg.Counter("tensordimm_chaos_reads_total", "reads driven through the writing router", c.reads.Load)
+	reg.Counter("tensordimm_chaos_skew_reads_total", "deadline-bounded reads driven through the skew router", c.skewReads.Load)
+	reg.Counter("tensordimm_chaos_typed_errors_total", "reads failed with a typed error", c.typedErrs.Load)
+	reg.Counter("tensordimm_chaos_deadline_errors_total", "reads failed with DeadlineExceeded", c.deadlineErrs.Load)
+	reg.Counter("tensordimm_chaos_golden_checks_total", "bit-identity checks against the golden model", c.goldenChecks.Load)
+	reg.Counter("tensordimm_chaos_violations_total", "invariant violations detected", c.violationCount.Load)
+	c.writer.Instrument(reg, telemetry.L("router", "writer"))
+	c.skew.Instrument(reg, telemetry.L("router", "skew"))
 }
 
 // logf forwards to the configured logger.
@@ -256,6 +278,9 @@ func Run(cfg Config) (Report, error) {
 		return Report{}, fmt.Errorf("chaos: skew router: %w", err)
 	}
 	defer c.skew.Close()
+	if cfg.Registry != nil {
+		c.instrument(cfg.Registry)
+	}
 
 	rounds := int((cfg.Duration + soakRound - 1) / soakRound)
 	schedule := genSchedule(cfg.Seed, rounds, cfg.Shards, cfg.Replicas, soakRound)

@@ -61,7 +61,17 @@ import (
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/serve"
 	"tensordimm/internal/stats"
+	"tensordimm/internal/telemetry"
 	"tensordimm/internal/tensor"
+)
+
+// Hop indices of the cluster tracer: routing (cache probes + dedup),
+// shard gather fan-out (dispatch to last sub-request completion), and the
+// golden merge.
+const (
+	hopRoute = iota
+	hopGather
+	hopMerge
 )
 
 // Config sizes a cluster. The zero value of every optional field selects a
@@ -175,6 +185,12 @@ type Cluster struct {
 	transfer    stats.Latency // modeled fabric seconds per request
 	updTransfer stats.Latency // modeled fabric seconds per update batch
 	totalLat    stats.Latency // wall-clock seconds per request
+
+	// Telemetry plane, nil until Instrument; every hot-path use is
+	// nil-guarded (see Instrument).
+	tTotal  *telemetry.Histogram
+	tFabric *telemetry.Histogram
+	tracer  *telemetry.Tracer
 }
 
 // New shards the model across cfg.Nodes TensorNodes: it materializes each
@@ -335,6 +351,7 @@ type routerScratch struct {
 	// merge stays allocation-free.
 	lookups int
 	vec     func(t, i int) []float32
+	span    telemetry.Span // per-hop trace slot, recycled with the scratch
 }
 
 // shardCall is one shard sub-request being executed by a router worker.
@@ -694,6 +711,9 @@ func (c *Cluster) run(dst []float32, perTableRows [][]int, batch int, embedOnly 
 	epoch := scr.nextEpoch()
 	scr.hitRows = 0
 	scr.lookups = lookups
+	if c.tracer != nil {
+		scr.span.BeginAt(start)
+	}
 
 	// Snapshot every cache's version before any gather is dispatched: a
 	// row gathered now may predate an update that lands mid-request, and
@@ -733,6 +753,9 @@ func (c *Cluster) run(dst []float32, perTableRows [][]int, batch int, embedOnly 
 			sub.rows = append(sub.rows, flat)
 		}
 	}
+	if c.tracer != nil {
+		scr.span.Mark(hopRoute)
+	}
 
 	// Execute the per-shard sub-requests concurrently through the router
 	// workers and model the fabric cost: index lists out, partial gathered
@@ -746,7 +769,12 @@ func (c *Cluster) run(dst []float32, perTableRows [][]int, batch int, embedOnly 
 		c.dispatch <- &scr.calls[s]
 	}
 	scr.wg.Wait()
-	c.transfer.Observe(c.cfg.Fabric.ConvergeSeconds(scr.fabric))
+	fabric := c.cfg.Fabric.ConvergeSeconds(scr.fabric)
+	c.transfer.Observe(fabric)
+	if c.tracer != nil {
+		scr.span.Mark(hopGather)
+		c.tFabric.Observe(fabric)
+	}
 	for s := range scr.sub {
 		if len(scr.sub[s].rows) == 0 {
 			continue
@@ -779,11 +807,14 @@ func (c *Cluster) run(dst []float32, perTableRows [][]int, batch int, embedOnly 
 		c.failures.Inc()
 		return nil, err
 	}
+	if c.tracer != nil {
+		scr.span.Mark(hopMerge)
+	}
 
 	if embedOnly {
 		c.requests.Inc()
 		c.samples.Add(uint64(batch))
-		c.totalLat.Observe(time.Since(start).Seconds())
+		c.finishRequest(scr, start)
 		return nil, nil
 	}
 	view, err := tensor.FromSlice(dst, batch, width)
@@ -796,8 +827,20 @@ func (c *Cluster) run(dst []float32, perTableRows [][]int, batch int, embedOnly 
 	}
 	c.requests.Inc()
 	c.samples.Add(uint64(batch))
-	c.totalLat.Observe(time.Since(start).Seconds())
+	c.finishRequest(scr, start)
 	return view, nil
+}
+
+// finishRequest records a completed request's total latency into both the
+// legacy reservoir and (when instrumented) the telemetry histogram, and
+// finishes the scratch's trace span.
+func (c *Cluster) finishRequest(scr *routerScratch, start time.Time) {
+	total := time.Since(start).Seconds()
+	c.totalLat.Observe(total)
+	if c.tracer != nil {
+		c.tTotal.Observe(total)
+		c.tracer.Finish(&scr.span)
+	}
 }
 
 // GoldenEmbedding computes the single-node reference embedding output the

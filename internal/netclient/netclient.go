@@ -50,6 +50,7 @@ import (
 	"time"
 
 	"tensordimm/internal/runtime"
+	"tensordimm/internal/telemetry"
 	"tensordimm/internal/wire"
 )
 
@@ -1047,23 +1048,36 @@ func (c *Client) Restore(seq uint64, commit bool, table int, rows []int, vals []
 	return srvSeq, nil
 }
 
-// Metrics fetches the server's metrics report: the backend's own report
-// (serve or cluster metrics) followed by the network plane's.
+// Metrics fetches the server's human-readable metrics report: the
+// backend's own report (serve or cluster metrics) followed by the network
+// plane's. The machine-parseable section riding the same response is
+// stripped; use MetricsSnapshot to get both.
 func (c *Client) Metrics() (string, error) {
+	_, text, err := c.MetricsSnapshot()
+	return text, err
+}
+
+// MetricsSnapshot fetches the server's metrics in both forms the METRICS
+// op carries since wire revision 6: the versioned telemetry snapshot
+// (exact counters, gauges, and latency histograms — what a driver or
+// smoke test asserts against) and the human text report. The snapshot is
+// nil when the server has no telemetry registry wired; an uninstrumented
+// server still snapshots as an empty, well-formed section.
+func (c *Client) MetricsSnapshot() (*telemetry.Snapshot, string, error) {
 	cc, err := c.pick()
 	if err != nil {
-		return "", err
+		return nil, "", err
 	}
 	ca := c.getCall()
 	id := cc.nextID.Add(1)
 	ca.buf = wire.AppendFrame(ca.buf[:0], wire.OpMetrics, id, nil)
 	err = cc.roundTrip(ca, id)
-	text := ca.text
+	payload := ca.text
 	c.Finish(ca)
 	if err != nil {
-		return "", err
+		return nil, "", err
 	}
-	return text, nil
+	return telemetry.DecodeWirePayload([]byte(payload))
 }
 
 // Ping round-trips a liveness probe.

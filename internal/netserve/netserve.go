@@ -48,8 +48,19 @@ import (
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/serve"
 	"tensordimm/internal/stats"
+	"tensordimm/internal/telemetry"
 	"tensordimm/internal/tensor"
 	"tensordimm/internal/wire"
+)
+
+// Hop indices of the net tracer: executor-queue wait, backend execution
+// (including response encoding), and flush wait — completion to the
+// writer packing the response into its coalesced frame, which includes
+// any FlushLinger window but not the final write syscall.
+const (
+	netHopQueue = iota
+	netHopExec
+	netHopFlush
 )
 
 // Backend is the serving engine a network server fronts. Both
@@ -165,6 +176,12 @@ type Config struct {
 	// never lingers when nothing else is in flight — idle latency stays
 	// flat. Zero defaults to 50 microseconds; negative is invalid.
 	FlushLinger time.Duration
+	// Registry, when non-nil, wires the server into the telemetry plane:
+	// New registers the net_* series (admission, shed/expired, batching,
+	// request-latency histogram) and a queue/exec/flush request tracer,
+	// and METRICS responses carry the registry's versioned snapshot
+	// section. Nil leaves the server uninstrumented at zero cost.
+	Registry *telemetry.Registry
 }
 
 // maxCoalesceBytes soft-caps one coalesced response frame so the writer's
@@ -213,6 +230,9 @@ type task struct {
 
 	// encoded response frame, written verbatim by the conn writer
 	resp []byte
+
+	// per-hop trace slot, recycled with the task (see putTask)
+	span telemetry.Span
 }
 
 // conn is one accepted connection: its reader goroutine (the function
@@ -287,6 +307,36 @@ type Server struct {
 	batchesOut stats.Counter
 	batchedOut stats.Counter
 	lat        stats.Latency
+
+	// Telemetry plane, nil unless Config.Registry was set; every hot-path
+	// use is nil-guarded.
+	tLat   *telemetry.Histogram
+	tracer *telemetry.Tracer
+}
+
+// instrument registers the server's series on the configured registry:
+// func-backed counters over the existing atomics, the in-flight gauge,
+// the executor latency histogram, and the queue/exec/flush tracer.
+func (s *Server) instrument(reg *telemetry.Registry) {
+	reg.Counter("tensordimm_net_accepted_total", "connections accepted", s.accepted.Load)
+	reg.Counter("tensordimm_net_requests_total", "embed requests served", s.requests.Load)
+	reg.Counter("tensordimm_net_updates_total", "update requests applied", s.updates.Load)
+	reg.Counter("tensordimm_net_syncs_total", "sequenced SYNC updates applied", s.syncs.Load)
+	reg.Counter("tensordimm_net_restores_total", "RESTORE rounds applied", s.restores.Load)
+	reg.Counter("tensordimm_net_pings_total", "pings answered", s.pings.Load)
+	reg.Counter("tensordimm_net_shed_total", "requests shed by admission control (OVERLOADED)", s.shed.Load)
+	reg.Counter("tensordimm_net_expired_total", "requests shed with a lapsed deadline (DEADLINE_EXCEEDED)", s.expired.Load)
+	reg.Counter("tensordimm_net_failures_total", "requests failed", s.failures.Load)
+	reg.Counter("tensordimm_net_bad_frames_total", "protocol violations", s.badFrames.Load)
+	reg.Counter("tensordimm_net_batches_in_total", "BATCH request frames received", s.batchesIn.Load)
+	reg.Counter("tensordimm_net_batched_in_total", "sub-requests arrived inside BATCH frames", s.batchedIn.Load)
+	reg.Counter("tensordimm_net_batches_out_total", "coalesced BATCH response frames written", s.batchesOut.Load)
+	reg.Counter("tensordimm_net_batched_out_total", "responses shipped inside BATCH frames", s.batchedOut.Load)
+	reg.Gauge("tensordimm_net_inflight", "requests admitted and not yet completed", func() float64 {
+		return float64(s.inflight.Load())
+	})
+	s.tLat = reg.Histogram("tensordimm_net_request_seconds", "executor latency per request (dequeue to response encoded)")
+	s.tracer = reg.Tracer("net", 0, []string{"queue", "exec", "flush"})
 }
 
 // New validates the config against the backend's geometry and returns a
@@ -343,6 +393,9 @@ func New(b Backend, cfg Config) (*Server, error) {
 		started:   time.Now(),
 	}
 	s.taskPool.New = func() any { return &task{} }
+	if cfg.Registry != nil {
+		s.instrument(cfg.Registry)
+	}
 	for w := 0; w < cfg.MaxInflight; w++ {
 		s.workerWG.Add(1)
 		go s.executor()
@@ -551,7 +604,10 @@ func (c *conn) dispatchOne(op wire.Op, id uint64, payload []byte) bool {
 	case wire.OpMetrics:
 		t := s.getTask(c, op, id)
 		report := s.backend.MetricsText() + "\n" + s.Metrics().String()
-		t.resp = wire.AppendFrame(t.resp[:0], wire.OpMetricsResp, id, []byte(report))
+		// Since wire revision 6 a METRICS response leads with the
+		// registry's versioned snapshot section; the human report rides
+		// behind it (telemetry.DecodeWirePayload splits them).
+		t.resp = wire.AppendFrame(t.resp[:0], wire.OpMetricsResp, id, telemetry.EncodeWirePayload(s.cfg.Registry, report))
 		c.enqueue(t)
 	case wire.OpEmbed:
 		t := s.getTask(c, op, id)
@@ -660,6 +716,15 @@ func (c *conn) submit(t *task) {
 		c.enqueue(t)
 		return
 	}
+	if s.tracer != nil {
+		// Embed/update tasks trace from frame arrival; sync/restore tasks
+		// (no arrival stamp) trace from admission.
+		if t.arrived.IsZero() {
+			t.span.Begin()
+		} else {
+			t.span.BeginAt(t.arrived)
+		}
+	}
 	c.owed.Add(1)
 	c.pending.Add(1)
 	// Admission bounds senders at MaxInflight, which is exactly the
@@ -681,6 +746,11 @@ func (s *Server) executor() {
 	defer s.workerWG.Done()
 	for t := range s.tasks {
 		start := time.Now()
+		// The queue hop closes here for expired tasks too — their trace
+		// shows exactly where the budget died.
+		if s.tracer != nil {
+			t.span.Mark(netHopQueue)
+		}
 		if t.expired(start) {
 			// The budget lapsed in the queue: the client has moved on, so
 			// executing would burn backend capacity on a dead response.
@@ -720,7 +790,12 @@ func (s *Server) executor() {
 		case wire.OpRestore:
 			t.resp = s.executeRestore(t)
 		}
-		s.lat.Observe(time.Since(start).Seconds())
+		exec := time.Since(start).Seconds()
+		s.lat.Observe(exec)
+		if s.tracer != nil {
+			s.tLat.Observe(exec)
+			t.span.Mark(netHopExec)
+		}
 		s.inflight.Add(-1)
 		// The task already owes its response (owed was incremented at
 		// admission), so it goes to the writer directly, not via enqueue.
@@ -939,8 +1014,15 @@ func (t *task) expired(now time.Time) bool {
 }
 
 // putTask recycles a task. Buffers keep their capacity; references into
-// per-request state are dropped.
+// per-request state are dropped. The writer is the only caller, at pack
+// time, so this is where a traced task's flush hop closes and its span
+// feeds the slow ring before the slot is recycled.
 func (s *Server) putTask(t *task) {
+	if s.tracer != nil && t.span.Active() {
+		t.span.Mark(netHopFlush)
+		s.tracer.Finish(&t.span)
+	}
+	t.span.Reset()
 	t.c = nil
 	t.batch = 0
 	s.taskPool.Put(t)

@@ -54,8 +54,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"tensordimm/internal/runtime"
+	"tensordimm/internal/telemetry"
 	"tensordimm/internal/tensor"
 	"tensordimm/internal/wire"
 )
@@ -115,6 +117,23 @@ type ShardLog struct {
 	wu      [1]wire.Update
 	maxRec  int
 	scratch wire.UpdateScratch
+
+	// Durability counters, atomic because the telemetry plane reads them
+	// from scrape goroutines while the owner mutates the log under its
+	// own lock (see Instrument).
+	appends       atomic.Uint64 // WAL/tail appends accepted
+	snapInstalls  atomic.Uint64 // snapshots installed (log trims)
+	replayEntries atomic.Uint64 // WAL entries replayed at boot
+}
+
+// Instrument registers the log's durability counters on a telemetry
+// registry (labels distinguish shards). Only the atomic counters are
+// registered here; size gauges (WAL bytes, retained tail) are registered
+// by the log's owner, which holds the lock those fields are guarded by.
+func (l *ShardLog) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.Counter("tensordimm_persist_appends_total", "update records appended to the WAL and tail", l.appends.Load, labels...)
+	reg.Counter("tensordimm_persist_snapshots_total", "snapshots installed, trimming the log", l.snapInstalls.Load, labels...)
+	reg.Counter("tensordimm_persist_replayed_total", "WAL entries replayed over the boot snapshot", l.replayEntries.Load, labels...)
 }
 
 // ShardDir returns the directory shard s's files live in under dir.
@@ -251,6 +270,7 @@ func (l *ShardLog) Append(up runtime.TableUpdate) error {
 	}
 	l.tail = append(l.tail, up)
 	l.head++
+	l.appends.Add(1)
 	return nil
 }
 
@@ -286,6 +306,7 @@ func (l *ShardLog) InstallSnapshot(seq uint64, rows []float32) error {
 	l.tail = l.tail[:0]
 	l.snapRows = rows
 	l.haveSnap = true
+	l.snapInstalls.Add(1)
 	return nil
 }
 
@@ -469,6 +490,7 @@ func (l *ShardLog) replay() error {
 		copy(grads.Data(), ups[0].Grads)
 		l.tail = append(l.tail, runtime.TableUpdate{Table: ups[0].Table, Rows: rows, Grads: grads})
 		l.head++
+		l.replayEntries.Add(1)
 	}
 	l.walBytes = off
 	if _, err := l.wal.Seek(off, io.SeekStart); err != nil {

@@ -2,8 +2,10 @@ package remote
 
 import (
 	"fmt"
+	"strconv"
 
 	"tensordimm/internal/stats"
+	"tensordimm/internal/telemetry"
 )
 
 // Metrics is a point-in-time snapshot of a router's counters.
@@ -109,3 +111,88 @@ func (m Metrics) String() string {
 
 // MetricsText renders the Metrics snapshot, satisfying netserve.Backend.
 func (rc *RemoteCluster) MetricsText() string { return rc.Metrics().String() }
+
+// Instrument registers the router's series on a telemetry registry: the
+// remote_* counters over the existing atomics, fleet-health and
+// durability gauges (replicas up, breakers open, retained log entries,
+// WAL bytes — read at scrape time under the same locks Metrics takes),
+// the read-latency histogram, and each shard store's persist counters
+// (labeled shard="N"). Call once, before traffic.
+func (rc *RemoteCluster) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.Counter("tensordimm_remote_requests_total", "reads completed successfully", rc.requests.Load, labels...)
+	reg.Counter("tensordimm_remote_samples_total", "samples served across completed reads", rc.samples.Load, labels...)
+	reg.Counter("tensordimm_remote_lookups_total", "embedding row lookups routed", rc.lookups.Load, labels...)
+	reg.Counter("tensordimm_remote_failures_total", "operations failed", rc.failures.Load, labels...)
+	reg.Counter("tensordimm_remote_updates_total", "update batches applied", rc.updates.Load, labels...)
+	reg.Counter("tensordimm_remote_update_rows_total", "gradient rows across applied updates", rc.updateRows.Load, labels...)
+	reg.Counter("tensordimm_remote_hedges_total", "hedged second attempts fired", rc.hedges.Load, labels...)
+	reg.Counter("tensordimm_remote_hedge_wins_total", "reads won by the hedged attempt", rc.hedgeWins.Load, labels...)
+	reg.Counter("tensordimm_remote_failovers_total", "failover replacement attempts started", rc.failovers.Load, labels...)
+	reg.Counter("tensordimm_remote_unavailable_total", "operations failed with Unavailable", rc.unavail.Load, labels...)
+	reg.Counter("tensordimm_remote_breaker_trips_total", "circuit breakers tripped closed to open", rc.brkTrips.Load, labels...)
+	reg.Counter("tensordimm_remote_retries_denied_total", "failovers denied by the retry budget", rc.denied.Load, labels...)
+	reg.Counter("tensordimm_remote_deadline_exceeded_total", "reads failed with DeadlineExceeded", rc.deadlines.Load, labels...)
+	reg.Counter("tensordimm_remote_resyncs_total", "replica catch-up replays completed", rc.resyncs.Load, labels...)
+	reg.Counter("tensordimm_remote_replayed_total", "log entries delivered by catch-up replays", rc.replayed.Load, labels...)
+	reg.Counter("tensordimm_remote_snapshots_total", "shard snapshots scraped and installed", rc.snapshots.Load, labels...)
+	reg.Counter("tensordimm_remote_restores_total", "replicas reseated from a snapshot", rc.restores.Load, labels...)
+	reg.Gauge("tensordimm_remote_replicas_up", "replicas currently healthy", func() float64 {
+		n := 0
+		for _, sh := range rc.shards {
+			for _, rep := range sh.replicas {
+				if rep.state.Load() == repHealthy {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	}, labels...)
+	reg.Gauge("tensordimm_remote_replicas_total", "replicas configured across all shards", func() float64 {
+		n := 0
+		for _, sh := range rc.shards {
+			n += len(sh.replicas)
+		}
+		return float64(n)
+	}, labels...)
+	reg.Gauge("tensordimm_remote_breakers_open", "replica circuit breakers not closed", func() float64 {
+		n := 0
+		for _, sh := range rc.shards {
+			for _, rep := range sh.replicas {
+				if rep.brk.state.Load() != brkClosed {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	}, labels...)
+	reg.Gauge("tensordimm_remote_log_entries", "retained update-log tail entries across shards", func() float64 {
+		var n uint64
+		for _, sh := range rc.shards {
+			if sh.store == nil {
+				continue
+			}
+			sh.updMu.Lock()
+			n += sh.store.Head() - sh.store.Base()
+			sh.updMu.Unlock()
+		}
+		return float64(n)
+	}, labels...)
+	reg.Gauge("tensordimm_remote_wal_bytes", "on-disk WAL bytes across shards", func() float64 {
+		var n int64
+		for _, sh := range rc.shards {
+			if sh.store == nil {
+				continue
+			}
+			sh.updMu.Lock()
+			n += sh.store.WALBytes()
+			sh.updMu.Unlock()
+		}
+		return float64(n)
+	}, labels...)
+	rc.tLat = reg.Histogram("tensordimm_remote_request_seconds", "read latency through the replica router", labels...)
+	for s, sh := range rc.shards {
+		if sh.store != nil {
+			sh.store.Instrument(reg, append(append([]telemetry.Label{}, labels...), telemetry.L("shard", strconv.Itoa(s)))...)
+		}
+	}
+}

@@ -66,6 +66,7 @@ import (
 	"tensordimm/internal/recsys"
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/stats"
+	"tensordimm/internal/telemetry"
 	"tensordimm/internal/wire"
 )
 
@@ -369,6 +370,10 @@ type RemoteCluster struct {
 	snapshots  stats.Counter // shard snapshots scraped and installed
 	restores   stats.Counter // replicas reseated from a snapshot (RESTORE)
 	latency    stats.Latency
+
+	// tLat is the telemetry read-latency histogram, nil until Instrument;
+	// the observe site is nil-guarded.
+	tLat *telemetry.Histogram
 }
 
 // withDefaults fills the zero fields.
@@ -1084,7 +1089,11 @@ func (rc *RemoteCluster) run(dst []float32, perTableRows [][]int, batch int) err
 	}
 	rc.requests.Inc()
 	rc.samples.Add(uint64(batch))
-	rc.latency.Observe(time.Since(start).Seconds())
+	total := time.Since(start).Seconds()
+	rc.latency.Observe(total)
+	if rc.tLat != nil {
+		rc.tLat.Observe(total)
+	}
 	return nil
 }
 

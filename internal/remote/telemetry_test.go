@@ -1,0 +1,76 @@
+package remote_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tensordimm/internal/cluster"
+	"tensordimm/internal/runtime"
+	"tensordimm/internal/telemetry"
+)
+
+// TestInstrumentExportsSeries drives mixed traffic through an
+// instrumented router and asserts the registry snapshot carries the
+// routing counters, the fleet-health and durability gauges, the latency
+// histogram, and each shard store's persist series.
+func TestInstrumentExportsSeries(t *testing.T) {
+	m := buildModel(t)
+	_, addrs := startFleet(t, cluster.TableWise, 2, 1)
+	rc := newRouter(t, m, cluster.TableWise, addrs, nil)
+	reg := telemetry.NewRegistry()
+	rc.Instrument(reg)
+
+	const reads, writes = 8, 6
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < writes; i++ {
+		if err := rc.ApplyUpdates([]runtime.TableUpdate{randUpdate(rng, m.Cfg)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < reads; i++ {
+		checkGolden(t, m, rc, randRows(rng, m.Cfg, 4), 4)
+	}
+
+	snap := reg.Snapshot()
+	if v, ok := snap.Counter("tensordimm_remote_requests_total"); !ok || v != reads {
+		t.Fatalf("requests_total = %d, %v; want %d, true", v, ok, reads)
+	}
+	if v, ok := snap.Counter("tensordimm_remote_updates_total"); !ok || v != writes {
+		t.Fatalf("updates_total = %d, %v; want %d, true", v, ok, writes)
+	}
+	if v, ok := snap.Counter("tensordimm_remote_failures_total"); !ok || v != 0 {
+		t.Fatalf("failures_total = %d, %v; want 0, true", v, ok)
+	}
+	if v, ok := snap.Gauge("tensordimm_remote_replicas_total"); !ok || v != 2 {
+		t.Fatalf("replicas_total = %g, %v; want 2, true", v, ok)
+	}
+	if v, ok := snap.Gauge("tensordimm_remote_replicas_up"); !ok || v != 2 {
+		t.Fatalf("replicas_up = %g, %v; want 2, true", v, ok)
+	}
+	if v, ok := snap.Gauge("tensordimm_remote_breakers_open"); !ok || v != 0 {
+		t.Fatalf("breakers_open = %g, %v; want 0, true", v, ok)
+	}
+	// A volatile (no DataDir) store retains the appended tail in memory
+	// and reports zero WAL bytes.
+	if v, ok := snap.Gauge("tensordimm_remote_log_entries"); !ok || v == 0 {
+		t.Fatalf("log_entries = %g, %v; want > 0, true", v, ok)
+	}
+	if v, ok := snap.Gauge("tensordimm_remote_wal_bytes"); !ok || v != 0 {
+		t.Fatalf("wal_bytes = %g, %v; want 0, true", v, ok)
+	}
+	h, ok := snap.Histogram("tensordimm_remote_request_seconds")
+	if !ok || h.Count != reads {
+		t.Fatalf("request_seconds count = %d, %v; want %d, true", h.Count, ok, reads)
+	}
+	for _, shard := range []string{"0", "1"} {
+		if _, ok := snap.Counter("tensordimm_persist_appends_total", telemetry.L("shard", shard)); !ok {
+			t.Fatalf("persist appends series missing for shard %s", shard)
+		}
+	}
+
+	// The human renderers ride the same counters.
+	if s := rc.MetricsText(); !strings.Contains(s, "replicas up") {
+		t.Fatalf("MetricsText missing fleet health: %q", s)
+	}
+}

@@ -39,7 +39,15 @@ import (
 	"tensordimm/internal/recsys"
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/stats"
+	"tensordimm/internal/telemetry"
 	"tensordimm/internal/tensor"
+)
+
+// Hop indices of the serve tracer: queue wait (submission to execution
+// start) and execution (merged-batch run to reply).
+const (
+	hopQueue = iota
+	hopExec
 )
 
 // Config tunes the serving runtime. The zero value of every field selects a
@@ -145,6 +153,7 @@ type request struct {
 	infer   bool      // run the DNN stage on the merged embedding
 	updates []runtime.TableUpdate
 	enq     time.Time
+	span    telemetry.Span // per-hop trace slot, recycled with the request
 	done    chan result
 }
 
@@ -247,6 +256,31 @@ type Server struct {
 	upRows   atomic.Uint64
 	queueLat stats.Latency
 	totalLat stats.Latency
+
+	// Telemetry plane, nil until Instrument wires the server into a
+	// registry. All uses are nil-guarded so an uninstrumented server pays
+	// a single pointer check per site.
+	tQueue *telemetry.Histogram
+	tTotal *telemetry.Histogram
+	tracer *telemetry.Tracer
+}
+
+// Instrument registers the server's series on a telemetry registry:
+// func-backed counters over the existing atomics, queue/total latency
+// histograms, and a request tracer with queue and exec hops. The labels
+// distinguish multiple servers on one registry (e.g. shard="0"). Call
+// once, before the traffic it should observe — registration is not
+// synchronized against the hot path.
+func (s *Server) Instrument(reg *telemetry.Registry, labels ...telemetry.Label) {
+	reg.Counter("tensordimm_serve_requests_total", "read requests completed successfully", s.requests.Load, labels...)
+	reg.Counter("tensordimm_serve_samples_total", "samples served across completed reads", s.samples.Load, labels...)
+	reg.Counter("tensordimm_serve_batches_total", "merged batches executed", s.batches.Load, labels...)
+	reg.Counter("tensordimm_serve_failures_total", "requests failed", s.failures.Load, labels...)
+	reg.Counter("tensordimm_serve_updates_total", "update requests applied", s.updates.Load, labels...)
+	reg.Counter("tensordimm_serve_update_rows_total", "embedding rows updated", s.upRows.Load, labels...)
+	s.tQueue = reg.Histogram("tensordimm_serve_queue_seconds", "submission-to-execution queue wait", labels...)
+	s.tTotal = reg.Histogram("tensordimm_serve_total_seconds", "submission-to-reply request latency", labels...)
+	s.tracer = reg.Tracer("serve", 0, []string{"queue", "exec"}, labels...)
 }
 
 // New validates the deployments (same model geometry everywhere, batching
@@ -529,7 +563,13 @@ func (s *Server) worker() {
 func (s *Server) execute(mb *mergedBatch, ws *workerScratch) {
 	start := time.Now()
 	for _, r := range mb.reqs {
-		s.queueLat.Observe(start.Sub(r.enq).Seconds())
+		wait := start.Sub(r.enq).Seconds()
+		s.queueLat.Observe(wait)
+		if s.tracer != nil {
+			s.tQueue.Observe(wait)
+			r.span.BeginAt(r.enq)
+			r.span.Mark(hopQueue)
+		}
 	}
 
 	// Partition: updates apply before any member read executes.
@@ -602,7 +642,16 @@ func (s *Server) execute(mb *mergedBatch, ws *workerScratch) {
 		}
 		s.requests.Add(1)
 		s.samples.Add(uint64(r.batch))
-		s.totalLat.Observe(time.Since(r.enq).Seconds())
+		total := time.Since(r.enq).Seconds()
+		s.totalLat.Observe(total)
+		// Trace bookkeeping strictly precedes the reply send: the
+		// submitter recycles the request (and its span slot) as soon as
+		// the result lands.
+		if s.tracer != nil {
+			s.tTotal.Observe(total)
+			r.span.Mark(hopExec)
+			s.tracer.Finish(&r.span)
+		}
 		r.done <- res
 	}
 }
@@ -637,7 +686,13 @@ func (s *Server) applyUpdates(reqs []*request) {
 		}
 		s.updates.Add(1)
 		s.upRows.Add(uint64(rows))
-		s.totalLat.Observe(time.Since(r.enq).Seconds())
+		total := time.Since(r.enq).Seconds()
+		s.totalLat.Observe(total)
+		if s.tracer != nil {
+			s.tTotal.Observe(total)
+			r.span.Mark(hopExec)
+			s.tracer.Finish(&r.span)
+		}
 		r.done <- result{}
 	}
 }

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// goRuntimeCollector tracks how much of the MemStats GC pause history has
+// already been fed into the pause histogram, so each snapshot only adds
+// the pauses that happened since the last one.
+type goRuntimeCollector struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	pauses    *Histogram
+}
+
+// RegisterGoRuntime registers Go runtime series on the registry:
+// goroutine count, heap gauges, GC cycle and pause-time counters, and a
+// real GC pause histogram (go_gc_pause_seconds) fed incrementally at
+// snapshot time from the runtime's pause history. Call once per registry.
+func RegisterGoRuntime(r *Registry) {
+	c := &goRuntimeCollector{
+		pauses: r.Histogram("go_gc_pause_seconds", "stop-the-world GC pause durations"),
+	}
+	var ms runtime.MemStats
+	var msMu sync.Mutex
+	// One ReadMemStats per snapshot feeds every gauge below; the hook runs
+	// before series are read.
+	r.OnSnapshot(func() {
+		msMu.Lock()
+		runtime.ReadMemStats(&ms)
+		msMu.Unlock()
+		c.feed(&ms)
+	})
+	read := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			msMu.Lock()
+			defer msMu.Unlock()
+			return f(&ms)
+		}
+	}
+	r.Gauge("go_goroutines", "current number of goroutines", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.Gauge("go_heap_alloc_bytes", "bytes of allocated heap objects", read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.Gauge("go_heap_sys_bytes", "bytes of heap obtained from the OS", read(func(m *runtime.MemStats) float64 { return float64(m.HeapSys) }))
+	r.Gauge("go_heap_objects", "number of allocated heap objects", read(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	r.Counter("go_gc_cycles_total", "completed GC cycles", func() uint64 {
+		var m runtime.MemStats
+		msMu.Lock()
+		m = ms
+		msMu.Unlock()
+		return uint64(m.NumGC)
+	})
+	r.Counter("go_gc_pause_total_ns", "cumulative GC stop-the-world pause time in nanoseconds", func() uint64 {
+		msMu.Lock()
+		defer msMu.Unlock()
+		return ms.PauseTotalNs
+	})
+}
+
+// feed records GC pauses that completed since the previous snapshot into
+// the pause histogram. MemStats keeps the most recent 256 pauses in a
+// circular buffer; if more than 256 cycles ran between snapshots the
+// overwritten ones are lost, which is fine for a pause-shape histogram.
+func (c *goRuntimeCollector) feed(ms *runtime.MemStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := ms.NumGC - c.lastNumGC
+	if n > uint32(len(ms.PauseNs)) {
+		n = uint32(len(ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		cycle := ms.NumGC - i
+		pause := ms.PauseNs[(cycle+255)%256]
+		c.pauses.Observe(float64(pause) / 1e9)
+	}
+	c.lastNumGC = ms.NumGC
+}

@@ -1,0 +1,624 @@
+// Package telemetry is the live observability plane of the serving stack:
+// a process-wide metrics registry unifying the counters every serving
+// layer (serve, cluster, netserve, netclient, remote, persist, chaos)
+// already keeps, plus per-hop request tracing feeding a bounded ring of
+// recent slow requests.
+//
+// The registry is built for a steady-state read path that must stay
+// allocation-free with telemetry enabled (the CI benchmark gate):
+//
+//   - counters and gauges are func-backed — the owning layer keeps its
+//     existing atomic counter and registers a closure that reads it, so
+//     the hot path pays nothing at all for exposure and each layer keeps
+//     ownership of its own series (see ARCHITECTURE.md, "Observability
+//     plane");
+//   - latency histograms are fixed-bucket log-scale arrays of atomics:
+//     Observe computes a bucket index and does two atomic adds — no
+//     locks, no maps, no allocation — and readers take a consistent-
+//     enough snapshot by copying the bucket array;
+//   - spans are plain value structs embedded in the layers' already-
+//     pooled request objects, so tracing recycles with them.
+//
+// Snapshots render three ways: Prometheus text exposition for scrapers,
+// JSON for tooling and the SSE stream, and a versioned wire payload
+// (EncodeWirePayload) that the METRICS network op carries so remote
+// drivers can assert on exact counters instead of grepping a text report.
+// The admin HTTP endpoint over all of it lives in NewHandler.
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SnapshotVersion is the schema revision stamped into every Snapshot.
+// Consumers of the wire payload and /metrics.json reject a version they
+// do not understand instead of misreading bucket layouts. Version 1 pins
+// the histogram geometry below (HistBuckets log-scale buckets growing by
+// 2^(1/4) from HistBase seconds).
+const SnapshotVersion = 1
+
+// Histogram bucket geometry, fixed by SnapshotVersion. Bucket 0 covers
+// (0, HistBase]; bucket i covers (HistBase*g^(i-1), HistBase*g^i] with
+// growth g = 2^(1/4), so 112 buckets span 100ns to ~27s and a quantile
+// estimated at a bucket's geometric midpoint is within 2^(1/8)-1 (~9.1%)
+// of the true sample. Values past the last bound clamp into it.
+const (
+	// HistBuckets is the fixed bucket count of every histogram.
+	HistBuckets = 112
+	// HistBase is the upper bound of bucket 0 in seconds (100ns).
+	HistBase = 1e-7
+)
+
+// bounds holds each bucket's upper bound in seconds, precomputed once.
+var bounds = func() [HistBuckets]float64 {
+	var b [HistBuckets]float64
+	for i := range b {
+		b[i] = HistBase * math.Pow(2, float64(i)/4)
+	}
+	return b
+}()
+
+// BucketBounds returns a copy of the histogram bucket upper bounds in
+// seconds — the geometry SnapshotVersion pins, for tools that post-process
+// snapshot counts.
+func BucketBounds() []float64 {
+	out := make([]float64, HistBuckets)
+	copy(out, bounds[:])
+	return out
+}
+
+// Label is one name=value dimension of a series (e.g. shard="0"). Series
+// identity is the metric name plus the rendered label string, in the
+// order given — registrants of the same metric must use one label order.
+type Label struct {
+	// Key is the label name.
+	Key string
+	// Value is the label value.
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// renderLabels renders labels as `k1="v1",k2="v2"` (no braces), the
+// canonical label string used for series identity and JSON.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return b.String()
+}
+
+// counterSeries is one registered monotonic counter, read through fn at
+// snapshot time.
+type counterSeries struct {
+	name, labels, help string
+	fn                 func() uint64
+}
+
+// gaugeSeries is one registered gauge, read through fn at snapshot time.
+type gaugeSeries struct {
+	name, labels, help string
+	fn                 func() float64
+}
+
+// Registry is a process-wide metrics registry: func-backed counters and
+// gauges, lock-free histograms, tracers, and the shared slow-request
+// ring. Create with NewRegistry; register every series before the traffic
+// it measures starts (registration takes a lock, recording never does).
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	names    map[string]struct{}
+	counters []*counterSeries
+	gauges   []*gaugeSeries
+	hists    []*Histogram
+	tracers  []*Tracer
+	hooks    []func()
+	ring     slowRing
+	started  time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{}), started: time.Now()}
+}
+
+// register claims a series key, panicking on a duplicate: two layers
+// registering the same name+labels is a wiring bug that would silently
+// shadow one of them, so it fails loudly at startup instead.
+func (r *Registry) register(kind, name, labels string) {
+	key := name + "{" + labels + "}"
+	if _, dup := r.names[key]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate %s series %s", kind, key))
+	}
+	r.names[key] = struct{}{}
+}
+
+// Counter registers a monotonic counter series whose value is read by fn
+// at snapshot time. The owning layer keeps its own atomic counter; fn is
+// typically that counter's Load method.
+func (r *Registry) Counter(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := renderLabels(labels)
+	r.register("counter", name, ls)
+	r.counters = append(r.counters, &counterSeries{name: name, labels: ls, help: help, fn: fn})
+}
+
+// Gauge registers a gauge series whose value is read by fn at snapshot
+// time. Gauges may go up and down (in-flight requests, replicas up, WAL
+// bytes, hit rate).
+func (r *Registry) Gauge(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := renderLabels(labels)
+	r.register("gauge", name, ls)
+	r.gauges = append(r.gauges, &gaugeSeries{name: name, labels: ls, help: help, fn: fn})
+}
+
+// Histogram registers and returns a fixed-bucket log-scale latency
+// histogram. The caller records into it with Observe on its hot path.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ls := renderLabels(labels)
+	r.register("histogram", name, ls)
+	h := &Histogram{name: name, labels: ls, help: help}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// OnSnapshot registers a hook run at the start of every Snapshot, before
+// series are read — the place for scrape-time collectors (the Go runtime
+// collector feeds new GC pauses into its histogram here).
+func (r *Registry) OnSnapshot(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, fn)
+}
+
+// Histogram is a fixed-bucket log-scale latency histogram with lock-free
+// recording: Observe does two atomic adds and (rarely) two CAS loops, no
+// locks and no allocation, so it is safe on the zero-allocation serving
+// path. Readers snapshot by copying the bucket array; a snapshot racing
+// concurrent Observes may be off by the in-flight observations, which is
+// the usual monitoring contract.
+type Histogram struct {
+	name, labels, help string
+	buckets            [HistBuckets]atomic.Uint64
+	count              atomic.Uint64
+	sumNanos           atomic.Uint64
+	minBits            atomic.Uint64 // float64 bits; +Inf until first Observe
+	maxBits            atomic.Uint64 // float64 bits; 0 until first Observe
+}
+
+// bucketIndex maps a value in seconds to its bucket.
+func bucketIndex(v float64) int {
+	if v <= HistBase {
+		return 0
+	}
+	i := int(math.Ceil(math.Log2(v/HistBase) * 4))
+	if i >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value in seconds. Negative values record as zero.
+// Safe for concurrent use; never allocates.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	// The sum is kept in integer nanoseconds so merging snapshots is
+	// exactly associative (float addition is not).
+	h.sumNanos.Add(uint64(v * 1e9))
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:     h.name,
+		Labels:   h.labels,
+		Count:    h.count.Load(),
+		SumNanos: h.sumNanos.Load(),
+		Counts:   make([]uint64, HistBuckets),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	s.finalize()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram: per-bucket
+// counts in the fixed SnapshotVersion geometry plus derived percentiles.
+// All times are in seconds except SumNanos (integer nanoseconds, kept
+// integral so Merge is exactly associative).
+type HistogramSnapshot struct {
+	// Name and Labels identify the series.
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// SumNanos is the sum of all observations in integer nanoseconds.
+	SumNanos uint64 `json:"sum_ns"`
+	// Min and Max are the smallest and largest observed values (seconds).
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// P50, P95 and P99 are bucket-estimated percentiles in seconds, each
+	// within ~9.1% of the true sample (see the bucket geometry).
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+	// Counts holds one entry per bucket (len HistBuckets).
+	Counts []uint64 `json:"counts"`
+}
+
+// finalize recomputes the derived percentile fields from the buckets.
+func (s *HistogramSnapshot) finalize() {
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in seconds from the
+// bucket counts: the bucket holding the target rank contributes its
+// geometric midpoint, clamped into the observed [Min, Max]. Returns 0
+// when the histogram is empty.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	cum := uint64(0)
+	idx := len(s.Counts) - 1
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			idx = i
+			break
+		}
+	}
+	lo := HistBase * math.Pow(2, float64(idx-1)/4) // lower bound of bucket idx
+	if idx == 0 {
+		lo = bounds[0] / math.Pow(2, 0.25)
+	}
+	est := math.Sqrt(lo * bounds[idx])
+	return math.Min(math.Max(est, s.Min), s.Max)
+}
+
+// Mean returns the mean observation in seconds (0 when empty).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNanos) / 1e9 / float64(s.Count)
+}
+
+// Merge combines two histogram snapshots of the same geometry — the
+// cross-shard aggregation a fleet-level view needs. Counts and sums add
+// (integer adds, so merging is exactly associative and commutative); Min
+// and Max combine; percentiles are recomputed. The result carries a's
+// name and labels. Errors if the bucket layouts differ.
+func Merge(a, b HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(a.Counts) != len(b.Counts) {
+		return HistogramSnapshot{}, fmt.Errorf("telemetry: merging %d-bucket with %d-bucket histogram", len(a.Counts), len(b.Counts))
+	}
+	out := HistogramSnapshot{
+		Name:     a.Name,
+		Labels:   a.Labels,
+		Count:    a.Count + b.Count,
+		SumNanos: a.SumNanos + b.SumNanos,
+		Counts:   make([]uint64, len(a.Counts)),
+	}
+	for i := range out.Counts {
+		out.Counts[i] = a.Counts[i] + b.Counts[i]
+	}
+	switch {
+	case a.Count == 0:
+		out.Min, out.Max = b.Min, b.Max
+	case b.Count == 0:
+		out.Min, out.Max = a.Min, a.Max
+	default:
+		out.Min = math.Min(a.Min, b.Min)
+		out.Max = math.Max(a.Max, b.Max)
+	}
+	out.finalize()
+	return out, nil
+}
+
+// CounterValue is one counter series' snapshot value.
+type CounterValue struct {
+	// Name and Labels identify the series; Value is the counter reading.
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge series' snapshot value.
+type GaugeValue struct {
+	// Name and Labels identify the series; Value is the gauge reading.
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Snapshot is a point-in-time copy of every registered series — the unit
+// the JSON endpoint, the SSE stream and the METRICS wire payload all
+// carry. Fields are exported for JSON; use the lookup helpers to assert
+// on individual series.
+type Snapshot struct {
+	// Version is the schema revision (SnapshotVersion).
+	Version int `json:"version"`
+	// TakenUnixNano is when the snapshot was taken.
+	TakenUnixNano int64 `json:"taken_unix_nano"`
+	// UptimeSeconds is time since the registry was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Counters, Gauges and Histograms hold every registered series in
+	// registration order.
+	Counters   []CounterValue      `json:"counters"`
+	Gauges     []GaugeValue        `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every registered series. Hot paths are never blocked:
+// counters and gauges are atomic reads through the registered closures,
+// histograms copy their bucket arrays.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	hooks := r.hooks
+	counters := r.counters
+	gauges := r.gauges
+	hists := r.hists
+	started := r.started
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	s := &Snapshot{
+		Version:       SnapshotVersion,
+		TakenUnixNano: time.Now().UnixNano(),
+		UptimeSeconds: time.Since(started).Seconds(),
+		Counters:      make([]CounterValue, 0, len(counters)),
+		Gauges:        make([]GaugeValue, 0, len(gauges)),
+		Histograms:    make([]HistogramSnapshot, 0, len(hists)),
+	}
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Labels: c.labels, Value: c.fn()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Labels: g.labels, Value: g.fn()})
+	}
+	for _, h := range hists {
+		s.Histograms = append(s.Histograms, h.Snapshot())
+	}
+	return s
+}
+
+// Counter looks up a counter's snapshot value by name and labels.
+func (s *Snapshot) Counter(name string, labels ...Label) (uint64, bool) {
+	ls := renderLabels(labels)
+	for _, c := range s.Counters {
+		if c.Name == name && c.Labels == ls {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge looks up a gauge's snapshot value by name and labels.
+func (s *Snapshot) Gauge(name string, labels ...Label) (float64, bool) {
+	ls := renderLabels(labels)
+	for _, g := range s.Gauges {
+		if g.Name == name && g.Labels == ls {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram looks up a histogram snapshot by name and labels.
+func (s *Snapshot) Histogram(name string, labels ...Label) (HistogramSnapshot, bool) {
+	ls := renderLabels(labels)
+	for _, h := range s.Histograms {
+		if h.Name == name && h.Labels == ls {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// promGroup orders series of one metric name together, as the Prometheus
+// exposition format requires (HELP/TYPE once, then every labeled sample).
+type promGroup struct {
+	name, help, kind string
+	lines            []string
+}
+
+// PromText renders the snapshot in the Prometheus text exposition format:
+// counters and gauges as single samples, histograms as cumulative
+// le-labeled buckets with _sum and _count. Series of one name are grouped
+// under one HELP/TYPE header regardless of registration interleaving.
+func (r *Registry) PromText() string {
+	r.mu.Lock()
+	counters := r.counters
+	gauges := r.gauges
+	hists := r.hists
+	hooks := r.hooks
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
+	order := []string{}
+	groups := map[string]*promGroup{}
+	grp := func(name, help, kind string) *promGroup {
+		g, ok := groups[name]
+		if !ok {
+			g = &promGroup{name: name, help: help, kind: kind}
+			groups[name] = g
+			order = append(order, name)
+		}
+		return g
+	}
+	sample := func(name, labels string, val string) string {
+		if labels == "" {
+			return name + " " + val
+		}
+		return name + "{" + labels + "} " + val
+	}
+	for _, c := range counters {
+		g := grp(c.name, c.help, "counter")
+		g.lines = append(g.lines, sample(c.name, c.labels, strconv.FormatUint(c.fn(), 10)))
+	}
+	for _, gg := range gauges {
+		g := grp(gg.name, gg.help, "gauge")
+		g.lines = append(g.lines, sample(gg.name, gg.labels, strconv.FormatFloat(gg.fn(), 'g', -1, 64)))
+	}
+	for _, h := range hists {
+		hs := h.Snapshot()
+		g := grp(h.name, h.help, "histogram")
+		cum := uint64(0)
+		for i, c := range hs.Counts {
+			cum += c
+			le := strconv.FormatFloat(bounds[i], 'g', -1, 64)
+			ls := hs.Labels
+			if ls != "" {
+				ls += ","
+			}
+			g.lines = append(g.lines, sample(h.name+"_bucket", ls+`le="`+le+`"`, strconv.FormatUint(cum, 10)))
+		}
+		ls := hs.Labels
+		if ls != "" {
+			ls += ","
+		}
+		g.lines = append(g.lines, sample(h.name+"_bucket", ls+`le="+Inf"`, strconv.FormatUint(hs.Count, 10)))
+		g.lines = append(g.lines, sample(h.name+"_sum", hs.Labels, strconv.FormatFloat(float64(hs.SumNanos)/1e9, 'g', -1, 64)))
+		g.lines = append(g.lines, sample(h.name+"_count", hs.Labels, strconv.FormatUint(hs.Count, 10)))
+	}
+
+	var b strings.Builder
+	for _, name := range order {
+		g := groups[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", g.name, g.help, g.name, g.kind)
+		for _, line := range g.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// wireMagic opens the METRICS wire payload's machine-parseable section:
+// "TensorDIMM Metrics Snapshot", revision 1.
+const wireMagic = "TDMS1\n"
+
+// wireSep separates the snapshot section from the human text report.
+const wireSep = "\n---\n"
+
+// EncodeWirePayload builds the METRICS wire op's response payload: the
+// registry's versioned JSON snapshot, a separator line, then the human
+// text report. A nil registry encodes an empty (but well-formed) snapshot
+// so the payload shape is uniform for every server.
+func EncodeWirePayload(reg *Registry, text string) []byte {
+	var snap *Snapshot
+	if reg != nil {
+		snap = reg.Snapshot()
+	} else {
+		snap = &Snapshot{Version: SnapshotVersion, TakenUnixNano: time.Now().UnixNano()}
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		// A snapshot is plain data and always marshals; fall back to the
+		// bare text rather than fail a metrics fetch.
+		return []byte(text)
+	}
+	out := make([]byte, 0, len(wireMagic)+len(data)+len(wireSep)+len(text))
+	out = append(out, wireMagic...)
+	out = append(out, data...)
+	out = append(out, wireSep...)
+	out = append(out, text...)
+	return out
+}
+
+// DecodeWirePayload splits a METRICS response payload into its snapshot
+// and human text sections. A payload without the snapshot magic (an older
+// server) returns a nil snapshot and the whole payload as text — callers
+// degrade to text-only, never fail.
+func DecodeWirePayload(payload []byte) (*Snapshot, string, error) {
+	if !bytes.HasPrefix(payload, []byte(wireMagic)) {
+		return nil, string(payload), nil
+	}
+	rest := payload[len(wireMagic):]
+	sep := bytes.Index(rest, []byte(wireSep))
+	if sep < 0 {
+		return nil, "", fmt.Errorf("telemetry: metrics payload missing the snapshot/text separator")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rest[:sep], &snap); err != nil {
+		return nil, "", fmt.Errorf("telemetry: metrics snapshot section: %w", err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, "", fmt.Errorf("telemetry: metrics snapshot version %d, want %d", snap.Version, SnapshotVersion)
+	}
+	return &snap, string(rest[sep+len(wireSep):]), nil
+}
+
+// sortedSeriesNames returns every registered series key, sorted — a debug
+// helper for the admin index page.
+func (r *Registry) sortedSeriesNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.names))
+	for n := range r.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tensordimm/internal/stats"
+)
+
+// TestHistogramPercentileErrorBound records identical samples into a
+// telemetry histogram and a raw sample slice, and checks the bucketed
+// quantile estimate against stats.Percentile within the geometry's
+// guaranteed relative error (~9.1%, tested at 10%).
+func TestHistogramPercentileErrorBound(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_seconds", "test")
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		// Log-uniform over [2µs, 1s] — several orders of magnitude, like
+		// real serving latencies.
+		samples[i] = 2e-6 * math.Pow(5e5, rng.Float64())
+		h.Observe(samples[i])
+	}
+	hs := h.Snapshot()
+	for _, q := range []float64{0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999} {
+		want := stats.Percentile(append([]float64(nil), samples...), q*100)
+		got := hs.Quantile(q)
+		relErr := math.Abs(got-want) / want
+		if relErr > 0.10 {
+			t.Errorf("q=%v: got %v want %v (rel err %.3f > 0.10)", q, got, want, relErr)
+		}
+	}
+	if hs.Count != uint64(len(samples)) {
+		t.Errorf("count = %d, want %d", hs.Count, len(samples))
+	}
+	wantMean := 0.0
+	for _, v := range samples {
+		wantMean += v
+	}
+	wantMean /= float64(len(samples))
+	if relErr := math.Abs(hs.Mean()-wantMean) / wantMean; relErr > 0.01 {
+		t.Errorf("mean = %v, want %v", hs.Mean(), wantMean)
+	}
+}
+
+// TestHistogramConcurrentRecording hammers one histogram from many
+// goroutines; run under -race this is the lock-free recording safety
+// test, and the final count/sum must be exact regardless.
+func TestHistogramConcurrentRecording(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("conc_seconds", "test")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Float64() * 0.01)
+				if i%100 == 0 {
+					h.Snapshot() // readers race recorders
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	hs := h.Snapshot()
+	if hs.Count != workers*per {
+		t.Fatalf("count = %d, want %d", hs.Count, workers*per)
+	}
+	total := uint64(0)
+	for _, c := range hs.Counts {
+		total += c
+	}
+	if total != hs.Count {
+		t.Fatalf("bucket total %d != count %d", total, hs.Count)
+	}
+	if hs.Min < 0 || hs.Max > 0.01 || hs.Min > hs.Max {
+		t.Fatalf("min/max out of range: %v/%v", hs.Min, hs.Max)
+	}
+}
+
+// TestMergeAssociativity checks that merging shard histograms is exactly
+// associative: (a+b)+c == a+(b+c) bucket-for-bucket and in the integer
+// nanosecond sum — the property that makes fleet-level aggregation
+// order-independent.
+func TestMergeAssociativity(t *testing.T) {
+	reg := NewRegistry()
+	mk := func(seed int64) HistogramSnapshot {
+		h := reg.Histogram("m_seconds", "test", L("shard", string(rune('a'+seed))))
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 3000; i++ {
+			h.Observe(2e-6 * math.Pow(1e5, rng.Float64()))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	ab, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc1, err := Merge(ab, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Merge(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc2, err := Merge(a, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abc1.Count != abc2.Count || abc1.SumNanos != abc2.SumNanos {
+		t.Fatalf("count/sum differ: %d/%d vs %d/%d", abc1.Count, abc1.SumNanos, abc2.Count, abc2.SumNanos)
+	}
+	if abc1.Min != abc2.Min || abc1.Max != abc2.Max {
+		t.Fatalf("min/max differ: %v/%v vs %v/%v", abc1.Min, abc1.Max, abc2.Min, abc2.Max)
+	}
+	for i := range abc1.Counts {
+		if abc1.Counts[i] != abc2.Counts[i] {
+			t.Fatalf("bucket %d differs: %d vs %d", i, abc1.Counts[i], abc2.Counts[i])
+		}
+	}
+	if abc1.P99 != abc2.P99 || abc1.P50 != abc2.P50 {
+		t.Fatalf("percentiles differ after merge")
+	}
+	if abc1.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count %d, want %d", abc1.Count, a.Count+b.Count+c.Count)
+	}
+	// Mismatched geometries must refuse to merge.
+	bad := HistogramSnapshot{Counts: make([]uint64, 3)}
+	if _, err := Merge(a, bad); err == nil {
+		t.Fatal("expected a geometry-mismatch error")
+	}
+}
+
+// TestHistogramEdgeCases covers empty histograms, zero/negative samples,
+// overflow clamping, and quantile bounds.
+func TestHistogramEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("edge_seconds", "test")
+	hs := h.Snapshot()
+	if hs.Quantile(0.99) != 0 || hs.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(-1)  // clamps to 0 → bucket 0
+	h.Observe(0)   // bucket 0
+	h.Observe(1e9) // clamps into the last bucket
+	hs = h.Snapshot()
+	if hs.Counts[0] != 2 {
+		t.Fatalf("bucket 0 = %d, want 2", hs.Counts[0])
+	}
+	if hs.Counts[HistBuckets-1] != 1 {
+		t.Fatalf("last bucket = %d, want 1", hs.Counts[HistBuckets-1])
+	}
+	if q := hs.Quantile(-1); q != hs.Quantile(0) {
+		t.Fatalf("q<0 should clamp: %v vs %v", q, hs.Quantile(0))
+	}
+	if q := hs.Quantile(2); q != hs.Quantile(1) {
+		t.Fatalf("q>1 should clamp: %v vs %v", q, hs.Quantile(1))
+	}
+	// Quantiles are clamped into the observed range.
+	if hs.Quantile(1) > hs.Max || hs.Quantile(0) < hs.Min {
+		t.Fatalf("quantile escaped [min,max]")
+	}
+	bb := BucketBounds()
+	if len(bb) != HistBuckets || bb[0] != HistBase {
+		t.Fatalf("bucket bounds: len %d first %v", len(bb), bb[0])
+	}
+	for i := 1; i < len(bb); i++ {
+		if bb[i] <= bb[i-1] {
+			t.Fatalf("bounds not increasing at %d", i)
+		}
+	}
+}
+
+// TestRegistrySeries exercises func-backed counters and gauges, snapshot
+// lookup helpers, and label rendering.
+func TestRegistrySeries(t *testing.T) {
+	reg := NewRegistry()
+	var hits atomic.Uint64
+	hits.Store(7)
+	reg.Counter("hits_total", "cache hits", hits.Load, L("shard", "0"))
+	reg.Gauge("depth", "queue depth", func() float64 { return 3.5 })
+	h := reg.Histogram("lat_seconds", "latency")
+	h.Observe(0.001)
+
+	s := reg.Snapshot()
+	if s.Version != SnapshotVersion {
+		t.Fatalf("version %d", s.Version)
+	}
+	if v, ok := s.Counter("hits_total", L("shard", "0")); !ok || v != 7 {
+		t.Fatalf("counter lookup: %v %v", v, ok)
+	}
+	if _, ok := s.Counter("hits_total"); ok {
+		t.Fatal("label-less lookup should miss the labeled series")
+	}
+	if v, ok := s.Gauge("depth"); !ok || v != 3.5 {
+		t.Fatalf("gauge lookup: %v %v", v, ok)
+	}
+	if hsnap, ok := s.Histogram("lat_seconds"); !ok || hsnap.Count != 1 {
+		t.Fatalf("histogram lookup: %+v %v", hsnap, ok)
+	}
+	if _, ok := s.Histogram("nope"); ok {
+		t.Fatal("missing histogram should not resolve")
+	}
+	if _, ok := s.Gauge("nope"); ok {
+		t.Fatal("missing gauge should not resolve")
+	}
+	hits.Add(1)
+	if v, _ := reg.Snapshot().Counter("hits_total", L("shard", "0")); v != 8 {
+		t.Fatalf("counter should read live value, got %d", v)
+	}
+
+	// Snapshots must round-trip through JSON.
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back.Counter("hits_total", L("shard", "0")); !ok || v != 7 {
+		t.Fatalf("post-roundtrip counter: %v %v", v, ok)
+	}
+}
+
+// TestDuplicateRegistrationPanics checks the wiring-bug guard.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x", func() uint64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	reg.Counter("x_total", "x", func() uint64 { return 0 })
+}
+
+// TestPromText checks the Prometheus exposition rendering: grouped
+// HELP/TYPE headers, labeled samples, and cumulative histogram buckets.
+func TestPromText(t *testing.T) {
+	reg := NewRegistry()
+	var c0, c1 atomic.Uint64
+	c0.Store(5)
+	c1.Store(9)
+	reg.Counter("hits_total", "cache hits", c0.Load, L("shard", "0"))
+	reg.Gauge("rate", "hit rate", func() float64 { return 0.25 })
+	reg.Counter("hits_total", "cache hits", c1.Load, L("shard", "1"))
+	h := reg.Histogram("lat_seconds", "latency")
+	h.Observe(0.001)
+	h.Observe(0.002)
+
+	text := reg.PromText()
+	for _, want := range []string{
+		"# HELP hits_total cache hits",
+		"# TYPE hits_total counter",
+		`hits_total{shard="0"} 5`,
+		`hits_total{shard="1"} 9`,
+		"# TYPE rate gauge",
+		"rate 0.25",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_count 2",
+		"lat_seconds_sum 0.003",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	// Same-name series must be grouped under one header even though a
+	// gauge was registered between them.
+	if strings.Count(text, "# TYPE hits_total counter") != 1 {
+		t.Errorf("hits_total header not deduplicated:\n%s", text)
+	}
+	// Buckets are cumulative: the +Inf bucket equals the count.
+	if !strings.Contains(text, `le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket wrong:\n%s", text)
+	}
+}
+
+// TestWirePayloadRoundTrip covers encode/decode of the METRICS payload,
+// the nil-registry shape, and legacy text-only fallback.
+func TestWirePayloadRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	var n atomic.Uint64
+	n.Store(42)
+	reg.Counter("reqs_total", "requests", n.Load)
+	payload := EncodeWirePayload(reg, "human report\nsecond line")
+	snap, text, err := DecodeWirePayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "human report\nsecond line" {
+		t.Fatalf("text section = %q", text)
+	}
+	if snap == nil {
+		t.Fatal("expected a snapshot")
+	}
+	if v, ok := snap.Counter("reqs_total"); !ok || v != 42 {
+		t.Fatalf("snapshot counter: %v %v", v, ok)
+	}
+
+	// Nil registry still yields a well-formed, versioned payload.
+	snap, text, err = DecodeWirePayload(EncodeWirePayload(nil, "bare"))
+	if err != nil || snap == nil || snap.Version != SnapshotVersion || text != "bare" {
+		t.Fatalf("nil-registry payload: snap=%+v text=%q err=%v", snap, text, err)
+	}
+
+	// A legacy payload without the magic decodes as text-only.
+	snap, text, err = DecodeWirePayload([]byte("old-style text report"))
+	if err != nil || snap != nil || text != "old-style text report" {
+		t.Fatalf("legacy payload: snap=%v text=%q err=%v", snap, text, err)
+	}
+
+	// Corrupt payloads fail loudly.
+	if _, _, err := DecodeWirePayload([]byte(wireMagic + "no separator here")); err == nil {
+		t.Fatal("missing separator should error")
+	}
+	if _, _, err := DecodeWirePayload([]byte(wireMagic + "{bad json" + wireSep + "x")); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+	if _, _, err := DecodeWirePayload([]byte(wireMagic + `{"version":99}` + wireSep + "x")); err == nil {
+		t.Fatal("unknown snapshot version should error")
+	}
+}

@@ -55,10 +55,14 @@ const Magic = 0x54444e50
 // Revision 5 opened the EMBED and UPDATE payloads with a per-request
 // deadline budget (uint32 microseconds, 0 = none) and added the
 // DEADLINE_EXCEEDED error code, so a server can shed already-expired
-// requests before executing doomed work. The handshake layout itself is
-// unchanged across revisions 2-5 — only the version number moves — so a
+// requests before executing doomed work. Revision 6 made METRICS
+// responses carry a versioned machine-parseable telemetry snapshot
+// section ahead of the human text report (split by
+// telemetry.DecodeWirePayload), so drivers and smoke tests assert on
+// exact counters instead of grepping text. The handshake layout itself is
+// unchanged across revisions 2-6 — only the version number moves — so a
 // version mismatch is always detected cleanly at connect time.
-const Version = 5
+const Version = 6
 
 // DefaultMaxFrameBytes bounds one frame's wire size when a Config leaves
 // the limit zero: large enough for a maximal update batch against the

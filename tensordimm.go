@@ -64,6 +64,8 @@
 package tensordimm
 
 import (
+	"net/http"
+
 	"tensordimm/internal/chaos"
 	"tensordimm/internal/cluster"
 	"tensordimm/internal/core"
@@ -78,6 +80,7 @@ import (
 	"tensordimm/internal/remote"
 	"tensordimm/internal/runtime"
 	"tensordimm/internal/serve"
+	"tensordimm/internal/telemetry"
 	"tensordimm/internal/tensor"
 	"tensordimm/internal/wire"
 	"tensordimm/internal/workload"
@@ -181,6 +184,19 @@ type (
 	ChaosConfig = chaos.Config
 	// ChaosReport summarizes a completed chaos soak.
 	ChaosReport = chaos.Report
+	// TelemetryRegistry is the process-wide metrics registry of the
+	// observability plane: counters, gauges, latency histograms and slow
+	// request traces, snapshot on read and rendered as Prometheus text or
+	// versioned JSON.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time, versioned capture of every
+	// series a TelemetryRegistry holds.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryLabel is one key="value" dimension on a telemetry series.
+	TelemetryLabel = telemetry.Label
+	// TelemetryHistogram is a lock-free fixed-bucket log-scale latency
+	// histogram registered on a TelemetryRegistry.
+	TelemetryHistogram = telemetry.Histogram
 )
 
 // RunChaos executes one seeded chaos soak against an in-process replica
@@ -188,6 +204,21 @@ type (
 // durability invariants. The error is non-nil when an invariant was
 // violated; the report summarizes the run either way.
 func RunChaos(cfg ChaosConfig) (ChaosReport, error) { return chaos.Run(cfg) }
+
+// NewTelemetry builds an empty metrics registry. Layers register onto it
+// via their Instrument methods (Server, Cluster, RemoteCluster, chaos) or
+// config fields (NetServeConfig.Registry, ChaosConfig.Registry); serve it
+// with MetricsHandler.
+func NewTelemetry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// MetricsHandler returns the admin HTTP handler for a registry: /metrics
+// (Prometheus text), /metrics.json (versioned snapshot), /slow (recent
+// slow-request traces), /stream (SSE snapshot feed) and /debug/pprof/*.
+func MetricsHandler(reg *TelemetryRegistry) http.Handler { return telemetry.NewHandler(reg) }
+
+// RegisterGoRuntime adds Go runtime series (goroutines, heap, GC cycles
+// and pause histogram) to a registry. Call once per process.
+func RegisterGoRuntime(reg *TelemetryRegistry) { telemetry.RegisterGoRuntime(reg) }
 
 // The five design points (Section 6).
 const (
